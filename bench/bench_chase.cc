@@ -1,0 +1,137 @@
+// Experiment E1 (Lemma 1 / [8]): chase cost and chase length scale
+// polynomially in the instance size for weakly acyclic dependency sets.
+// Series reported:
+//   * standard chase over a 3-stage weakly acyclic pipeline,
+//   * chase with key egds merging invented nulls,
+//   * solution-aware chase length vs |K| (the Lemma 1 bound).
+
+#include <benchmark/benchmark.h>
+
+#include "chase/chase.h"
+#include "chase/solution_aware_chase.h"
+#include "logic/parser.h"
+#include "workload/random.h"
+
+namespace pdx {
+namespace {
+
+// Fixture state shared by the chase benchmarks: schema E/2, H/2, F/2.
+struct ChaseBenchContext {
+  Schema schema;
+  SymbolTable symbols;
+  std::vector<Tgd> pipeline_tgds;
+  std::vector<Tgd> existential_tgds;
+  std::vector<Egd> key_egds;
+
+  ChaseBenchContext() {
+    PDX_CHECK(schema.AddRelation("E", 2).ok());
+    PDX_CHECK(schema.AddRelation("H", 2).ok());
+    PDX_CHECK(schema.AddRelation("F", 2).ok());
+    auto deps = ParseDependencies(
+        "E(x,z) & E(z,y) -> H(x,y)."
+        "H(x,y) -> exists w: F(y,w).",
+        schema, &symbols);
+    PDX_CHECK(deps.ok());
+    pipeline_tgds = std::move(deps).value().tgds;
+    auto deps2 = ParseDependencies("E(x,y) -> exists z: H(x,z).", schema,
+                                   &symbols);
+    PDX_CHECK(deps2.ok());
+    existential_tgds = std::move(deps2).value().tgds;
+    auto deps3 =
+        ParseDependencies("H(x,y) & H(x,z) -> y = z.", schema, &symbols);
+    PDX_CHECK(deps3.ok());
+    key_egds = std::move(deps3).value().egds;
+  }
+
+  // A sparse random E-graph with `n` nodes and ~2n edges.
+  Instance RandomEdges(int n, uint64_t seed) {
+    Rng rng(seed);
+    Instance instance(&schema);
+    for (int i = 0; i < 2 * n; ++i) {
+      Value u = symbols.InternConstant("n" + std::to_string(
+                                                 rng.UniformInt(n)));
+      Value v = symbols.InternConstant("n" + std::to_string(
+                                                 rng.UniformInt(n)));
+      instance.AddFact(0, {u, v});
+    }
+    return instance;
+  }
+};
+
+ChaseBenchContext& Context() {
+  static ChaseBenchContext* context = new ChaseBenchContext();
+  return *context;
+}
+
+void BM_ChaseWeaklyAcyclicPipeline(benchmark::State& state) {
+  ChaseBenchContext& ctx = Context();
+  Instance start = ctx.RandomEdges(static_cast<int>(state.range(0)), 17);
+  int64_t steps = 0;
+  int64_t result_size = 0;
+  for (auto _ : state) {
+    ChaseResult result = Chase(start, ctx.pipeline_tgds, &ctx.symbols);
+    PDX_CHECK(result.outcome == ChaseOutcome::kSuccess);
+    steps = result.steps;
+    result_size = static_cast<int64_t>(result.instance.fact_count());
+    benchmark::DoNotOptimize(result.instance);
+  }
+  state.counters["input_facts"] =
+      static_cast<double>(start.fact_count());
+  state.counters["chase_steps"] = static_cast<double>(steps);
+  state.counters["result_facts"] = static_cast<double>(result_size);
+}
+BENCHMARK(BM_ChaseWeaklyAcyclicPipeline)
+    ->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ChaseWithKeyEgds(benchmark::State& state) {
+  ChaseBenchContext& ctx = Context();
+  Instance start = ctx.RandomEdges(static_cast<int>(state.range(0)), 23);
+  int64_t steps = 0;
+  for (auto _ : state) {
+    // The existential tgd invents one null per E-source node; the key egd
+    // then merges all of a node's H-successors into one.
+    ChaseResult result =
+        Chase(start, ctx.existential_tgds, ctx.key_egds, &ctx.symbols);
+    PDX_CHECK(result.outcome == ChaseOutcome::kSuccess);
+    steps = result.steps;
+    benchmark::DoNotOptimize(result.instance);
+  }
+  state.counters["input_facts"] = static_cast<double>(start.fact_count());
+  state.counters["chase_steps"] = static_cast<double>(steps);
+}
+BENCHMARK(BM_ChaseWithKeyEgds)
+    ->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SolutionAwareChaseLength(benchmark::State& state) {
+  ChaseBenchContext& ctx = Context();
+  int n = static_cast<int>(state.range(0));
+  Instance start = ctx.RandomEdges(n, 29);
+  // Build a solution by chasing normally first.
+  ChaseResult chased = Chase(start, ctx.pipeline_tgds, &ctx.symbols);
+  PDX_CHECK(chased.outcome == ChaseOutcome::kSuccess);
+  const Instance& solution = chased.instance;
+  int64_t steps = 0;
+  for (auto _ : state) {
+    ChaseResult result =
+        SolutionAwareChase(start, ctx.pipeline_tgds, {}, solution);
+    PDX_CHECK(result.outcome == ChaseOutcome::kSuccess);
+    steps = result.steps;
+    benchmark::DoNotOptimize(result.instance);
+  }
+  // Lemma 1: the chase length is polynomial in |K|; here every step adds a
+  // solution fact, so steps <= |solution| - |start|.
+  state.counters["K_facts"] = static_cast<double>(start.fact_count());
+  state.counters["chase_steps"] = static_cast<double>(steps);
+  state.counters["lemma1_bound"] =
+      static_cast<double>(solution.fact_count() - start.fact_count());
+}
+BENCHMARK(BM_SolutionAwareChaseLength)
+    ->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pdx
+
+BENCHMARK_MAIN();

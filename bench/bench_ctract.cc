@@ -1,0 +1,107 @@
+// Experiment E3 (Theorem 4 / Figure 3): on C_tract settings, the
+// ExistsSolution algorithm runs in polynomial time. The series sweep the
+// input instance size for three C_tract families; the measured growth
+// should stay polynomial (near-linear for these shapes), in sharp contrast
+// with bench_nphard's exponential curves.
+
+#include <benchmark/benchmark.h>
+
+#include "pde/ctract_solver.h"
+#include "workload/genomics.h"
+#include "workload/random.h"
+#include "workload/setting_gen.h"
+
+namespace pdx {
+namespace {
+
+void BM_CtractLavSetting(benchmark::State& state) {
+  Rng rng(41);
+  SymbolTable symbols;
+  SettingGenOptions opts;
+  opts.max_arity = 2;
+  auto generated = MakeRandomLavSetting(opts, &rng, &symbols);
+  PDX_CHECK(generated.ok());
+  const PdeSetting& setting = generated->setting;
+  PDX_CHECK(setting.InCtract());
+  int facts = static_cast<int>(state.range(0));
+  Instance source =
+      MakeRandomSourceInstance(setting, facts, facts / 2 + 2, &rng, &symbols);
+  Instance target = setting.EmptyInstance();
+  bool has_solution = false;
+  int64_t i_can = 0;
+  for (auto _ : state) {
+    auto result = CtractExistsSolution(setting, source, target, &symbols);
+    PDX_CHECK(result.ok());
+    has_solution = result->has_solution;
+    i_can = result->i_can_size;
+    benchmark::DoNotOptimize(*result);
+  }
+  state.counters["source_facts"] = static_cast<double>(source.fact_count());
+  state.counters["i_can_facts"] = static_cast<double>(i_can);
+  state.counters["has_solution"] = has_solution ? 1 : 0;
+}
+BENCHMARK(BM_CtractLavSetting)
+    ->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CtractFullStSetting(benchmark::State& state) {
+  Rng rng(43);
+  SymbolTable symbols;
+  SettingGenOptions opts;
+  opts.max_arity = 2;
+  auto generated = MakeRandomFullStSetting(opts, &rng, &symbols);
+  PDX_CHECK(generated.ok());
+  const PdeSetting& setting = generated->setting;
+  PDX_CHECK(setting.InCtract());
+  int facts = static_cast<int>(state.range(0));
+  Instance source =
+      MakeRandomSourceInstance(setting, facts, facts / 2 + 2, &rng, &symbols);
+  Instance target = setting.EmptyInstance();
+  bool has_solution = false;
+  for (auto _ : state) {
+    auto result = CtractExistsSolution(setting, source, target, &symbols);
+    PDX_CHECK(result.ok());
+    has_solution = result->has_solution;
+    benchmark::DoNotOptimize(*result);
+  }
+  state.counters["source_facts"] = static_cast<double>(source.fact_count());
+  state.counters["has_solution"] = has_solution ? 1 : 0;
+}
+BENCHMARK(BM_CtractFullStSetting)
+    ->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CtractGenomics(benchmark::State& state) {
+  SymbolTable symbols;
+  auto setting = MakeGenomicsSetting(&symbols);
+  PDX_CHECK(setting.ok());
+  Rng rng(47);
+  GenomicsWorkloadOptions opts;
+  opts.proteins = static_cast<int>(state.range(0));
+  opts.annotations_per_protein = 2;
+  opts.backed_target_annotations = opts.proteins / 4;
+  GenomicsWorkload workload =
+      MakeGenomicsWorkload(*setting, opts, &rng, &symbols);
+  bool has_solution = false;
+  int64_t blocks = 0;
+  for (auto _ : state) {
+    auto result = CtractExistsSolution(*setting, workload.source,
+                                       workload.target, &symbols);
+    PDX_CHECK(result.ok());
+    has_solution = result->has_solution;
+    blocks = result->block_count;
+    benchmark::DoNotOptimize(*result);
+  }
+  state.counters["source_facts"] =
+      static_cast<double>(workload.source.fact_count());
+  state.counters["blocks"] = static_cast<double>(blocks);
+  state.counters["has_solution"] = has_solution ? 1 : 0;
+}
+BENCHMARK(BM_CtractGenomics)
+    ->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pdx
+
+BENCHMARK_MAIN();

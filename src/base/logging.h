@@ -1,0 +1,64 @@
+#ifndef PDX_BASE_LOGGING_H_
+#define PDX_BASE_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace pdx {
+namespace internal_logging {
+
+// Accumulates a fatal-error message and aborts the process when destroyed.
+// Used only by the PDX_CHECK family below; library code never aborts on
+// user input, only on violated internal invariants.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << condition
+            << " ";
+  }
+
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace pdx
+
+// Fatal assertion on internal invariants, with streaming for extra context:
+//   PDX_CHECK(ptr != nullptr) << "while chasing " << name;
+// Active in all build modes: the algorithms in this library are subtle
+// enough that silent invariant violations are worse than the branch cost.
+// The for-loop trick makes the CheckFailure temporary (whose destructor
+// aborts) exist only on the failure path while still accepting `<<`.
+#define PDX_CHECK(condition)                                  \
+  for (bool _pdx_ok = static_cast<bool>(condition); !_pdx_ok; \
+       _pdx_ok = true)                                        \
+  ::pdx::internal_logging::CheckFailure(__FILE__, __LINE__, #condition)
+
+#define PDX_CHECK_EQ(a, b) PDX_CHECK((a) == (b))
+#define PDX_CHECK_NE(a, b) PDX_CHECK((a) != (b))
+#define PDX_CHECK_LT(a, b) PDX_CHECK((a) < (b))
+#define PDX_CHECK_LE(a, b) PDX_CHECK((a) <= (b))
+#define PDX_CHECK_GT(a, b) PDX_CHECK((a) > (b))
+#define PDX_CHECK_GE(a, b) PDX_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define PDX_DCHECK(condition) \
+  while (false) PDX_CHECK(condition)
+#else
+#define PDX_DCHECK(condition) PDX_CHECK(condition)
+#endif
+
+#endif  // PDX_BASE_LOGGING_H_

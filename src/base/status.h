@@ -1,0 +1,128 @@
+#ifndef PDX_BASE_STATUS_H_
+#define PDX_BASE_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "base/logging.h"
+
+namespace pdx {
+
+// Canonical error space for the library. Library code reports failures via
+// Status / StatusOr instead of exceptions.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kFailedPrecondition = 4,
+  kResourceExhausted = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+};
+
+// Returns the canonical name of a status code, e.g. "INVALID_ARGUMENT".
+const char* StatusCodeToString(StatusCode code);
+
+// A lightweight success-or-error value. Cheap to copy in the OK case.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Convenience factories mirroring the canonical codes.
+Status OkStatus();
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+
+// A value of type T or an error Status. Accessing the value of a non-OK
+// StatusOr is a fatal error.
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit so `return MakeFoo();` and `return status;` both
+  // work, matching the absl::StatusOr ergonomics.
+  StatusOr(const T& value) : value_(value) {}            // NOLINT
+  StatusOr(T&& value) : value_(std::move(value)) {}      // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    PDX_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    PDX_CHECK(ok()) << "StatusOr::value on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    PDX_CHECK(ok()) << "StatusOr::value on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    PDX_CHECK(ok()) << "StatusOr::value on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+// Evaluates `expr` (a Status or StatusOr expression) and returns its status
+// from the enclosing function if not OK.
+#define PDX_RETURN_IF_ERROR(expr)                   \
+  do {                                              \
+    const ::pdx::Status _pdx_status = (expr);       \
+    if (!_pdx_status.ok()) return _pdx_status;      \
+  } while (false)
+
+// Evaluates a StatusOr expression; on success assigns the value to `lhs`,
+// otherwise returns the error status from the enclosing function.
+#define PDX_ASSIGN_OR_RETURN(lhs, expr)                       \
+  PDX_ASSIGN_OR_RETURN_IMPL_(                                 \
+      PDX_STATUS_CONCAT_(_pdx_statusor, __LINE__), lhs, expr)
+
+#define PDX_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, expr) \
+  auto statusor = (expr);                               \
+  if (!statusor.ok()) return statusor.status();         \
+  lhs = std::move(statusor).value()
+
+#define PDX_STATUS_CONCAT_(a, b) PDX_STATUS_CONCAT_IMPL_(a, b)
+#define PDX_STATUS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace pdx
+
+#endif  // PDX_BASE_STATUS_H_

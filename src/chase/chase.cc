@@ -1,0 +1,384 @@
+#include "chase/chase.h"
+
+#include <unordered_set>
+
+#include "base/string_util.h"
+#include "hom/matcher.h"
+
+namespace pdx {
+
+namespace {
+
+// Finds one violated trigger for `tgd` in `instance`: a body homomorphism
+// with no head extension. Returns true and fills `binding` if found.
+bool FindViolatedTgdTrigger(const Instance& instance, const Tgd& tgd,
+                            Binding* out) {
+  return EnumerateMatches(
+      tgd.body, tgd.var_count, instance, Binding::Empty(tgd.var_count),
+      [&](const Binding& body_match) {
+        if (HasMatch(tgd.head, tgd.var_count, instance, body_match)) {
+          return true;  // satisfied trigger; keep searching
+        }
+        *out = body_match;
+        return false;  // violated trigger found; stop
+      });
+}
+
+// Finds one violated egd trigger: a body homomorphism with
+// h(left) != h(right). Returns true and fills `out` if found.
+bool FindViolatedEgdTrigger(const Instance& instance, const Egd& egd,
+                            Binding* out) {
+  return EnumerateMatches(
+      egd.body, egd.var_count, instance, Binding::Empty(egd.var_count),
+      [&](const Binding& body_match) {
+        if (body_match.values[egd.left_var] ==
+            body_match.values[egd.right_var]) {
+          return true;  // satisfied; keep searching
+        }
+        *out = body_match;
+        return false;
+      });
+}
+
+// Applies one tgd chase step for the trigger `binding`: extends the
+// binding with fresh nulls for existential variables and inserts the head
+// image. Returns the number of fresh nulls created.
+int ApplyTgdStep(const Tgd& tgd, const Binding& binding, Instance* instance,
+                 SymbolTable* symbols) {
+  Binding extended = binding;
+  int fresh = 0;
+  for (VariableId v = 0; v < tgd.var_count; ++v) {
+    if (tgd.existential[v] && !extended.bound[v]) {
+      extended.Bind(v, symbols->FreshNull());
+      ++fresh;
+    }
+  }
+  for (const Atom& atom : tgd.head) {
+    Tuple tuple;
+    tuple.reserve(atom.terms.size());
+    for (const Term& t : atom.terms) {
+      if (t.is_constant()) {
+        tuple.push_back(t.constant());
+      } else {
+        PDX_DCHECK(extended.bound[t.var()]);
+        tuple.push_back(extended.values[t.var()]);
+      }
+    }
+    instance->AddFact(atom.relation, std::move(tuple));
+  }
+  return fresh;
+}
+
+// Fingerprint of a fired trigger: tgd index plus the values assigned to
+// the universally quantified body variables. Used by the oblivious chase
+// to fire every trigger exactly once.
+uint64_t TriggerFingerprint(size_t tgd_index, const Tgd& tgd,
+                            const Binding& binding) {
+  uint64_t h = 0xcbf29ce484222325ull ^ (tgd_index * 0x9e3779b97f4a7c15ull);
+  for (VariableId v = 0; v < tgd.var_count; ++v) {
+    if (!binding.bound[v]) continue;
+    uint64_t x = binding.values[v].packed();
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    h = (h ^ x) * 0x100000001b3ull;
+  }
+  return h;
+}
+
+// Applies target egds to fixpoint. Returns false on a constant/constant
+// clash (filling `result`); `merged` reports whether any substitution
+// happened (the incremental chase must then reset its watermarks).
+bool RunEgdsToFixpoint(const std::vector<Egd>& egds, Instance* instance,
+                       SymbolTable* symbols, const ChaseOptions& options,
+                       ChaseResult* result, bool* merged) {
+  for (const Egd& egd : egds) {
+    Binding trigger = Binding::Empty(egd.var_count);
+    while (FindViolatedEgdTrigger(*instance, egd, &trigger)) {
+      Value a = trigger.values[egd.left_var];
+      Value b = trigger.values[egd.right_var];
+      if (a.is_constant() && b.is_constant()) {
+        result->outcome = ChaseOutcome::kFailed;
+        result->failure = StrCat("egd equates distinct constants ",
+                                 symbols->ValueToString(a), " and ",
+                                 symbols->ValueToString(b));
+        ++result->steps;
+        return false;
+      }
+      if (a.is_null()) {
+        instance->Substitute(a, b);
+        result->merges[a.packed()] = b;
+      } else {
+        instance->Substitute(b, a);
+        result->merges[b.packed()] = a;
+      }
+      *merged = true;
+      ++result->steps;
+      if (result->steps >= options.max_steps) {
+        result->outcome = ChaseOutcome::kBudgetExhausted;
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// The classic scan-from-scratch restricted chase.
+ChaseResult ChaseRestrictedNaive(const Instance& start,
+                                 const std::vector<Tgd>& tgds,
+                                 const std::vector<Egd>& egds,
+                                 SymbolTable* symbols,
+                                 const ChaseOptions& options) {
+  ChaseResult result(start);
+  Instance& instance = result.instance;
+  while (true) {
+    if (result.steps >= options.max_steps) {
+      result.outcome = ChaseOutcome::kBudgetExhausted;
+      return result;
+    }
+    bool applied = false;
+    bool merged = false;
+    if (!RunEgdsToFixpoint(egds, &instance, symbols, options, &result,
+                           &merged)) {
+      return result;
+    }
+    applied |= merged;
+    for (const Tgd& tgd : tgds) {
+      Binding trigger = Binding::Empty(tgd.var_count);
+      while (FindViolatedTgdTrigger(instance, tgd, &trigger)) {
+        result.nulls_created += ApplyTgdStep(tgd, trigger, &instance,
+                                             symbols);
+        ++result.steps;
+        applied = true;
+        if (result.steps >= options.max_steps) {
+          result.outcome = ChaseOutcome::kBudgetExhausted;
+          return result;
+        }
+      }
+    }
+    if (!applied) {
+      result.outcome = ChaseOutcome::kSuccess;
+      return result;
+    }
+  }
+}
+
+// Attempts to bind `atom` against `tuple` on top of `binding`; returns
+// false on clash. Shared by the semi-naive trigger scan.
+bool BindAtomToTuple(const Atom& atom, const Tuple& tuple, Binding* binding) {
+  for (size_t i = 0; i < atom.terms.size(); ++i) {
+    const Term& t = atom.terms[i];
+    if (t.is_constant()) {
+      if (t.constant() != tuple[i]) return false;
+    } else if (binding->bound[t.var()]) {
+      if (binding->values[t.var()] != tuple[i]) return false;
+    } else {
+      binding->Bind(t.var(), tuple[i]);
+    }
+  }
+  return true;
+}
+
+// Semi-naive restricted chase: per round, only triggers whose body touches
+// a fact added since the last round are scanned.
+ChaseResult ChaseRestrictedIncremental(const Instance& start,
+                                       const std::vector<Tgd>& tgds,
+                                       const std::vector<Egd>& egds,
+                                       SymbolTable* symbols,
+                                       const ChaseOptions& options) {
+  ChaseResult result(start);
+  Instance& instance = result.instance;
+  int relation_count = instance.schema().relation_count();
+  // Per relation: number of tuples already scanned in earlier rounds.
+  std::vector<size_t> watermark(relation_count, 0);
+
+  while (true) {
+    if (result.steps >= options.max_steps) {
+      result.outcome = ChaseOutcome::kBudgetExhausted;
+      return result;
+    }
+    bool applied = false;
+    bool merged = false;
+    if (!RunEgdsToFixpoint(egds, &instance, symbols, options, &result,
+                           &merged)) {
+      return result;
+    }
+    if (merged) {
+      // Substitution rewrote tuples and invalidated positions: rescan all.
+      watermark.assign(relation_count, 0);
+      applied = true;
+    }
+
+    // Snapshot the frontier: facts at index >= watermark are "new".
+    std::vector<size_t> frontier(relation_count);
+    for (RelationId r = 0; r < relation_count; ++r) {
+      frontier[r] = instance.tuples(r).size();
+    }
+
+    for (const Tgd& tgd : tgds) {
+      for (size_t pivot = 0; pivot < tgd.body.size(); ++pivot) {
+        const Atom& atom = tgd.body[pivot];
+        // Only tuples within this round's frontier are pivots; facts the
+        // round itself adds become pivots next round.
+        for (size_t idx = watermark[atom.relation];
+             idx < frontier[atom.relation] &&
+             idx < instance.tuples(atom.relation).size();
+             ++idx) {
+          Binding partial = Binding::Empty(tgd.var_count);
+          if (!BindAtomToTuple(atom, instance.tuples(atom.relation)[idx],
+                               &partial)) {
+            continue;
+          }
+          // Collect the violated triggers for this pivot, then apply them.
+          // (Applying while enumerating would mutate the instance under
+          // the matcher.)
+          std::vector<Binding> pending;
+          EnumerateMatches(tgd.body, tgd.var_count, instance, partial,
+                           [&](const Binding& body_match) {
+                             if (!HasMatch(tgd.head, tgd.var_count, instance,
+                                           body_match)) {
+                               pending.push_back(body_match);
+                             }
+                             return true;
+                           });
+          for (const Binding& trigger : pending) {
+            // Re-check: an earlier application may have satisfied it.
+            if (HasMatch(tgd.head, tgd.var_count, instance, trigger)) {
+              continue;
+            }
+            result.nulls_created +=
+                ApplyTgdStep(tgd, trigger, &instance, symbols);
+            ++result.steps;
+            applied = true;
+            if (result.steps >= options.max_steps) {
+              result.outcome = ChaseOutcome::kBudgetExhausted;
+              return result;
+            }
+          }
+        }
+      }
+    }
+    watermark = frontier;
+    if (!applied) {
+      result.outcome = ChaseOutcome::kSuccess;
+      return result;
+    }
+  }
+}
+
+// The oblivious chase: every body homomorphism of every tgd fires exactly
+// once, with fresh nulls for its existential variables.
+ChaseResult ChaseOblivious(const Instance& start,
+                           const std::vector<Tgd>& tgds,
+                           const std::vector<Egd>& egds,
+                           SymbolTable* symbols, const ChaseOptions& options) {
+  ChaseResult result(start);
+  Instance& instance = result.instance;
+  std::unordered_set<uint64_t> fired;
+  while (true) {
+    if (result.steps >= options.max_steps) {
+      result.outcome = ChaseOutcome::kBudgetExhausted;
+      return result;
+    }
+    bool applied = false;
+    bool merged = false;
+    if (!RunEgdsToFixpoint(egds, &instance, symbols, options, &result,
+                           &merged)) {
+      return result;
+    }
+    applied |= merged;
+    for (size_t d = 0; d < tgds.size(); ++d) {
+      const Tgd& tgd = tgds[d];
+      // Collect unfired triggers first (the instance must not change under
+      // the matcher), then fire them.
+      std::vector<Binding> pending;
+      EnumerateMatches(tgd.body, tgd.var_count, instance,
+                       Binding::Empty(tgd.var_count),
+                       [&](const Binding& body_match) {
+                         uint64_t fp = TriggerFingerprint(d, tgd, body_match);
+                         if (fired.insert(fp).second) {
+                           pending.push_back(body_match);
+                         }
+                         return true;
+                       });
+      for (const Binding& trigger : pending) {
+        result.nulls_created += ApplyTgdStep(tgd, trigger, &instance,
+                                             symbols);
+        ++result.steps;
+        applied = true;
+        if (result.steps >= options.max_steps) {
+          result.outcome = ChaseOutcome::kBudgetExhausted;
+          return result;
+        }
+      }
+    }
+    if (!applied) {
+      result.outcome = ChaseOutcome::kSuccess;
+      return result;
+    }
+  }
+}
+
+}  // namespace
+
+ChaseResult Chase(const Instance& start, const std::vector<Tgd>& tgds,
+                  const std::vector<Egd>& egds, SymbolTable* symbols,
+                  const ChaseOptions& options) {
+  PDX_CHECK(symbols != nullptr);
+  switch (options.strategy) {
+    case ChaseStrategy::kOblivious:
+      return ChaseOblivious(start, tgds, egds, symbols, options);
+    case ChaseStrategy::kRestricted:
+      if (options.incremental) {
+        return ChaseRestrictedIncremental(start, tgds, egds, symbols,
+                                          options);
+      }
+      return ChaseRestrictedNaive(start, tgds, egds, symbols, options);
+  }
+  ChaseResult result(start);
+  result.outcome = ChaseOutcome::kBudgetExhausted;
+  return result;
+}
+
+ChaseResult Chase(const Instance& start, const std::vector<Tgd>& tgds,
+                  SymbolTable* symbols, const ChaseOptions& options) {
+  return Chase(start, tgds, {}, symbols, options);
+}
+
+bool SatisfiesTgd(const Instance& instance, const Tgd& tgd) {
+  Binding trigger = Binding::Empty(tgd.var_count);
+  return !FindViolatedTgdTrigger(instance, tgd, &trigger);
+}
+
+bool SatisfiesEgd(const Instance& instance, const Egd& egd) {
+  Binding trigger = Binding::Empty(egd.var_count);
+  return !FindViolatedEgdTrigger(instance, egd, &trigger);
+}
+
+bool SatisfiesDisjunctiveTgd(const Instance& instance,
+                             const DisjunctiveTgd& tgd) {
+  return !EnumerateMatches(
+      tgd.body, tgd.var_count, instance, Binding::Empty(tgd.var_count),
+      [&](const Binding& body_match) {
+        for (const std::vector<Atom>& disjunct : tgd.head_disjuncts) {
+          if (HasMatch(disjunct, tgd.var_count, instance, body_match)) {
+            return true;  // this trigger satisfied; keep searching
+          }
+        }
+        return false;  // violated trigger found; stop (=> not satisfied)
+      });
+}
+
+bool SatisfiesAll(const Instance& instance, const DependencySet& deps) {
+  for (const Tgd& tgd : deps.tgds) {
+    if (!SatisfiesTgd(instance, tgd)) return false;
+  }
+  for (const Egd& egd : deps.egds) {
+    if (!SatisfiesEgd(instance, egd)) return false;
+  }
+  for (const DisjunctiveTgd& tgd : deps.disjunctive_tgds) {
+    if (!SatisfiesDisjunctiveTgd(instance, tgd)) return false;
+  }
+  return true;
+}
+
+}  // namespace pdx

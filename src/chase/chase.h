@@ -1,0 +1,105 @@
+#ifndef PDX_CHASE_CHASE_H_
+#define PDX_CHASE_CHASE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <string>
+#include <vector>
+
+#include "logic/dependency.h"
+#include "relational/instance.h"
+#include "relational/value.h"
+
+namespace pdx {
+
+// How a chase run ended.
+enum class ChaseOutcome {
+  kSuccess,           // fixpoint reached, all dependencies satisfied
+  kFailed,            // an egd equated two distinct constants
+  kBudgetExhausted,   // step budget hit (e.g. non-terminating chase)
+};
+
+// Which chase variant to run.
+enum class ChaseStrategy {
+  // The restricted (standard) chase of [9]: a tgd fires for a body
+  // homomorphism only if no head extension already exists.
+  kRestricted,
+  // The oblivious chase: every body homomorphism fires exactly once,
+  // whether or not a witness already exists. Produces larger (but still
+  // universal) results; terminates on weakly acyclic sets.
+  kOblivious,
+};
+
+struct ChaseOptions {
+  // Upper bound on the number of chase steps before giving up. Weakly
+  // acyclic inputs terminate well under this for the sizes we run; the
+  // budget exists so that non-weakly-acyclic inputs fail loudly instead of
+  // looping.
+  int64_t max_steps = 1'000'000;
+
+  ChaseStrategy strategy = ChaseStrategy::kRestricted;
+
+  // Semi-naive trigger search: only body matches touching at least one
+  // fact added since the previous round are considered, instead of
+  // re-scanning the whole instance per step. Changes performance only,
+  // never the chase result (cross-validated in chase_strategies_test and
+  // ~100x faster at scale per bench_ablation), so it is the default.
+  // Applies to the restricted strategy.
+  bool incremental = true;
+};
+
+struct ChaseResult {
+  ChaseOutcome outcome = ChaseOutcome::kSuccess;
+  Instance instance;       // the chased instance (final state even on failure)
+  int64_t steps = 0;       // number of chase steps applied
+  int64_t nulls_created = 0;
+  std::string failure;     // human-readable description when kFailed
+  // Egd merge log: each substituted null, keyed by Value::packed(), maps
+  // to the value it was replaced by (which may itself have been merged
+  // later; Resolve() follows the chain).
+  std::unordered_map<uint64_t, Value> merges;
+
+  explicit ChaseResult(Instance i) : instance(std::move(i)) {}
+
+  // Follows the merge chain: the final value a given input value denotes
+  // in `instance`. Identity for values never substituted.
+  Value Resolve(Value v) const {
+    auto it = merges.find(v.packed());
+    while (it != merges.end()) {
+      v = it->second;
+      it = merges.find(v.packed());
+    }
+    return v;
+  }
+};
+
+// Runs the restricted (standard) chase of `start` with the given tgds and
+// egds, in the sense of [9]: a tgd fires for a body homomorphism only if no
+// head extension already exists; fresh labeled nulls (from `symbols`)
+// witness existential variables; an egd trigger merges a null into the
+// other value or fails on a constant/constant clash.
+//
+// The chase is fair: it loops over dependencies round-robin until a full
+// pass finds no applicable trigger.
+ChaseResult Chase(const Instance& start, const std::vector<Tgd>& tgds,
+                  const std::vector<Egd>& egds, SymbolTable* symbols,
+                  const ChaseOptions& options = ChaseOptions());
+
+// Convenience overload without egds.
+ChaseResult Chase(const Instance& start, const std::vector<Tgd>& tgds,
+                  SymbolTable* symbols,
+                  const ChaseOptions& options = ChaseOptions());
+
+// True if `instance` satisfies the tgd / egd under standard first-order
+// semantics (nulls behave as ordinary values).
+bool SatisfiesTgd(const Instance& instance, const Tgd& tgd);
+bool SatisfiesEgd(const Instance& instance, const Egd& egd);
+bool SatisfiesDisjunctiveTgd(const Instance& instance,
+                             const DisjunctiveTgd& tgd);
+
+// True if all dependencies of `deps` are satisfied.
+bool SatisfiesAll(const Instance& instance, const DependencySet& deps);
+
+}  // namespace pdx
+
+#endif  // PDX_CHASE_CHASE_H_

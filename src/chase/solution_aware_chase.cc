@@ -1,0 +1,119 @@
+#include "chase/solution_aware_chase.h"
+
+#include "base/string_util.h"
+#include "hom/matcher.h"
+
+namespace pdx {
+
+namespace {
+
+// Finds a violated trigger h for `tgd` in `instance` together with an
+// extension h' into `solution` witnessing the existential variables
+// (guaranteed to exist since solution ⊇ instance satisfies the tgd).
+// Returns true and fills `extended` with the full assignment.
+bool FindSolutionAwareTrigger(const Instance& instance,
+                              const Instance& solution, const Tgd& tgd,
+                              Binding* extended) {
+  return EnumerateMatches(
+      tgd.body, tgd.var_count, instance, Binding::Empty(tgd.var_count),
+      [&](const Binding& body_match) {
+        if (HasMatch(tgd.head, tgd.var_count, instance, body_match)) {
+          return true;  // satisfied trigger; keep searching
+        }
+        // Violated in `instance`; find the witness inside `solution`.
+        bool witnessed = EnumerateMatches(
+            tgd.head, tgd.var_count, solution, body_match,
+            [&](const Binding& full) {
+              *extended = full;
+              return false;  // first witness suffices
+            });
+        PDX_CHECK(witnessed)
+            << "solution-aware chase: the provided solution violates a tgd";
+        return false;  // stop: trigger found and extended
+      });
+}
+
+}  // namespace
+
+ChaseResult SolutionAwareChase(const Instance& start,
+                               const std::vector<Tgd>& tgds,
+                               const std::vector<Egd>& egds,
+                               const Instance& solution,
+                               const ChaseOptions& options) {
+  PDX_CHECK(start.IsSubsetOf(solution))
+      << "solution-aware chase requires start ⊆ solution";
+  ChaseResult result(start);
+  Instance& instance = result.instance;
+  while (true) {
+    if (result.steps >= options.max_steps) {
+      result.outcome = ChaseOutcome::kBudgetExhausted;
+      return result;
+    }
+    bool applied = false;
+    for (const Egd& egd : egds) {
+      while (true) {
+        Binding trigger = Binding::Empty(egd.var_count);
+        bool violated = !EnumerateMatches(
+            egd.body, egd.var_count, instance, Binding::Empty(egd.var_count),
+            [&](const Binding& body_match) {
+              if (body_match.values[egd.left_var] ==
+                  body_match.values[egd.right_var]) {
+                return true;
+              }
+              trigger = body_match;
+              return false;
+            });
+        // EnumerateMatches returns true iff stopped early (violation found).
+        violated = !violated;
+        if (!violated) break;
+        Value a = trigger.values[egd.left_var];
+        Value b = trigger.values[egd.right_var];
+        if (a.is_constant() && b.is_constant()) {
+          result.outcome = ChaseOutcome::kFailed;
+          result.failure = "egd equates distinct constants";
+          ++result.steps;
+          return result;
+        }
+        if (a.is_null()) {
+          instance.Substitute(a, b);
+          result.merges[a.packed()] = b;
+        } else {
+          instance.Substitute(b, a);
+          result.merges[b.packed()] = a;
+        }
+        ++result.steps;
+        applied = true;
+        if (result.steps >= options.max_steps) {
+          result.outcome = ChaseOutcome::kBudgetExhausted;
+          return result;
+        }
+      }
+    }
+    for (const Tgd& tgd : tgds) {
+      Binding extended = Binding::Empty(tgd.var_count);
+      while (FindSolutionAwareTrigger(instance, solution, tgd, &extended)) {
+        for (const Atom& atom : tgd.head) {
+          Tuple tuple;
+          tuple.reserve(atom.terms.size());
+          for (const Term& t : atom.terms) {
+            tuple.push_back(t.is_constant() ? t.constant()
+                                            : extended.values[t.var()]);
+          }
+          instance.AddFact(atom.relation, std::move(tuple));
+        }
+        ++result.steps;
+        applied = true;
+        if (result.steps >= options.max_steps) {
+          result.outcome = ChaseOutcome::kBudgetExhausted;
+          return result;
+        }
+      }
+    }
+    if (!applied) {
+      result.outcome = ChaseOutcome::kSuccess;
+      return result;
+    }
+  }
+}
+
+}  // namespace pdx

@@ -1,0 +1,26 @@
+#ifndef PDX_CHASE_SOLUTION_AWARE_CHASE_H_
+#define PDX_CHASE_SOLUTION_AWARE_CHASE_H_
+
+#include "chase/chase.h"
+
+namespace pdx {
+
+// The solution-aware chase (Definitions 6-7): chases `start` with tgds and
+// egds, drawing witnesses for existential variables from a given instance
+// `solution` that contains `start` and satisfies the tgds, instead of
+// inventing fresh nulls. This is the proof tool behind the NP upper bound
+// (Lemmas 1-2): its chase sequences have polynomially bounded length and
+// its result is a sub-instance of `solution`.
+//
+// Preconditions (checked): start ⊆ solution and solution ⊨ tgds.
+// Returns kFailed if an egd equates distinct constants, exactly as the
+// standard chase does.
+ChaseResult SolutionAwareChase(const Instance& start,
+                               const std::vector<Tgd>& tgds,
+                               const std::vector<Egd>& egds,
+                               const Instance& solution,
+                               const ChaseOptions& options = ChaseOptions());
+
+}  // namespace pdx
+
+#endif  // PDX_CHASE_SOLUTION_AWARE_CHASE_H_

@@ -1,0 +1,77 @@
+#include "hom/core.h"
+
+#include <vector>
+
+#include "hom/instance_hom.h"
+
+namespace pdx {
+
+namespace {
+
+// Builds the instance containing all facts of `instance` except
+// facts[skip].
+Instance WithoutFact(const Instance& instance, const std::vector<Fact>& facts,
+                     size_t skip) {
+  Instance smaller(&instance.schema());
+  for (size_t i = 0; i < facts.size(); ++i) {
+    if (i != skip) smaller.AddFact(facts[i]);
+  }
+  return smaller;
+}
+
+// Attempts one retraction: a homomorphism from `instance` into a proper
+// subinstance (missing at least one fact). Returns the retract image on
+// success.
+bool TryRetract(const Instance& instance, Instance* out) {
+  std::vector<Fact> facts = instance.AllFacts();
+  for (size_t i = 0; i < facts.size(); ++i) {
+    // Ground facts are hom-fixed (constants map to themselves), so only
+    // facts with nulls can be dropped.
+    bool has_null = false;
+    for (const Value& v : facts[i].tuple) {
+      if (v.is_null()) {
+        has_null = true;
+        break;
+      }
+    }
+    if (!has_null) continue;
+    Instance smaller = WithoutFact(instance, facts, i);
+    std::optional<NullAssignment> h =
+        FindInstanceHomomorphism(instance, smaller);
+    if (h.has_value()) {
+      // The retract is the image of the instance, which may be smaller
+      // still than `smaller`.
+      *out = ApplyAssignment(instance, *h);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Instance ComputeCore(const Instance& instance, CoreStats* stats) {
+  Instance current = instance;
+  int64_t retractions = 0;
+  Instance next(&instance.schema());
+  while (TryRetract(current, &next)) {
+    PDX_CHECK_LT(next.fact_count(), current.fact_count())
+        << "retract must shrink";
+    current = std::move(next);
+    next = Instance(&instance.schema());
+    ++retractions;
+  }
+  if (stats != nullptr) {
+    stats->retractions = retractions;
+    stats->facts_removed =
+        static_cast<int64_t>(instance.fact_count() - current.fact_count());
+  }
+  return current;
+}
+
+bool IsCore(const Instance& instance) {
+  Instance scratch(&instance.schema());
+  return !TryRetract(instance, &scratch);
+}
+
+}  // namespace pdx

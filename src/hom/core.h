@@ -1,0 +1,36 @@
+#ifndef PDX_HOM_CORE_H_
+#define PDX_HOM_CORE_H_
+
+#include <cstdint>
+
+#include "relational/instance.h"
+
+namespace pdx {
+
+// Computation of the *core* of an instance with labeled nulls, after
+// Fagin, Kolaitis & Popa, "Data exchange: getting to the core" [7] (the
+// paper this reproduction builds on for its block machinery, Def. 10).
+//
+// The core of K is the smallest K' ⊆ K such that K maps homomorphically
+// into K' (constants fixed); it is unique up to isomorphism. For data
+// exchange, the core of a universal solution is the smallest universal
+// solution — the canonical artifact a target peer would materialize.
+//
+// The search for proper retracts is exponential only in per-block null
+// counts (the same quantity Theorem 6 bounds), so cores of C_tract-style
+// canonical instances are cheap.
+
+struct CoreStats {
+  int64_t retractions = 0;    // successful shrink steps
+  int64_t facts_removed = 0;
+};
+
+// Returns the core of `instance`. Ground instances are their own core.
+Instance ComputeCore(const Instance& instance, CoreStats* stats = nullptr);
+
+// True if `instance` equals its own core (no proper retract exists).
+bool IsCore(const Instance& instance);
+
+}  // namespace pdx
+
+#endif  // PDX_HOM_CORE_H_

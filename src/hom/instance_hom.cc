@@ -1,0 +1,175 @@
+#include "hom/instance_hom.h"
+
+#include <algorithm>
+
+#include "hom/matcher.h"
+#include "logic/atom.h"
+
+namespace pdx {
+
+namespace {
+
+// Union-find over null ids (dense-indexed via a map to component slots).
+class NullUnionFind {
+ public:
+  int Slot(uint64_t packed) {
+    auto [it, inserted] = slots_.emplace(packed, parent_.size());
+    if (inserted) {
+      parent_.push_back(static_cast<int>(parent_.size()));
+      keys_.push_back(packed);
+    }
+    return it->second;
+  }
+
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(int a, int b) { parent_[Find(a)] = Find(b); }
+
+  const std::unordered_map<uint64_t, int>& slots() const { return slots_; }
+
+ private:
+  std::unordered_map<uint64_t, int> slots_;
+  std::vector<int> parent_;
+  std::vector<uint64_t> keys_;
+};
+
+}  // namespace
+
+std::vector<Block> DecomposeIntoBlocks(const Instance& instance) {
+  // Connected components of the graph of nulls: nulls co-occurring in one
+  // fact are connected (a fact connects *all* its nulls pairwise, which is
+  // the same component either way).
+  NullUnionFind uf;
+  instance.ForEachFact([&uf](const Fact& f) {
+    int first_slot = -1;
+    for (const Value& v : f.tuple) {
+      if (!v.is_null()) continue;
+      int slot = uf.Slot(v.packed());
+      if (first_slot == -1) {
+        first_slot = slot;
+      } else {
+        uf.Union(first_slot, slot);
+      }
+    }
+  });
+
+  std::unordered_map<int, int> root_to_block;
+  std::vector<Block> blocks;
+  Block constant_block;
+  instance.ForEachFact([&](const Fact& f) {
+    int root = -1;
+    for (const Value& v : f.tuple) {
+      if (v.is_null()) {
+        root = uf.Find(uf.Slot(v.packed()));
+        break;
+      }
+    }
+    if (root == -1) {
+      constant_block.facts.push_back(f);
+      return;
+    }
+    auto [it, inserted] = root_to_block.emplace(
+        root, static_cast<int>(blocks.size()));
+    if (inserted) blocks.emplace_back();
+    blocks[it->second].facts.push_back(f);
+  });
+
+  // Collect distinct nulls per block.
+  for (Block& block : blocks) {
+    std::unordered_map<uint64_t, bool> seen;
+    for (const Fact& f : block.facts) {
+      for (const Value& v : f.tuple) {
+        if (v.is_null() && seen.emplace(v.packed(), true).second) {
+          block.nulls.push_back(v);
+        }
+      }
+    }
+  }
+  if (!constant_block.facts.empty()) {
+    blocks.push_back(std::move(constant_block));
+  }
+  return blocks;
+}
+
+std::optional<NullAssignment> FindBlockHomomorphism(const Block& block,
+                                                    const Instance& target) {
+  // Null-free blocks map iff every fact is literally present: a plain
+  // subset check, far cheaper than driving the matcher.
+  if (block.nulls.empty()) {
+    for (const Fact& f : block.facts) {
+      if (!target.Contains(f)) return std::nullopt;
+    }
+    return NullAssignment{};
+  }
+  // Translate the block into a conjunction of atoms: nulls become
+  // variables, constants stay constant.
+  std::unordered_map<uint64_t, VariableId> var_of_null;
+  for (const Value& n : block.nulls) {
+    var_of_null.emplace(n.packed(), static_cast<VariableId>(var_of_null.size()));
+  }
+  std::vector<Atom> atoms;
+  atoms.reserve(block.facts.size());
+  for (const Fact& f : block.facts) {
+    Atom atom;
+    atom.relation = f.relation;
+    atom.terms.reserve(f.tuple.size());
+    for (const Value& v : f.tuple) {
+      if (v.is_null()) {
+        atom.terms.push_back(Term::Var(var_of_null.at(v.packed())));
+      } else {
+        atom.terms.push_back(Term::Const(v));
+      }
+    }
+    atoms.push_back(std::move(atom));
+  }
+  int var_count = static_cast<int>(var_of_null.size());
+  NullAssignment assignment;
+  bool found = EnumerateMatches(
+      atoms, var_count, target, Binding::Empty(var_count),
+      [&](const Binding& binding) {
+        for (const auto& [packed, var] : var_of_null) {
+          assignment[packed] = binding.values[var];
+        }
+        return false;  // stop at the first homomorphism
+      });
+  if (!found) return std::nullopt;
+  return assignment;
+}
+
+std::optional<NullAssignment> FindInstanceHomomorphism(
+    const Instance& source, const Instance& target) {
+  NullAssignment combined;
+  for (const Block& block : DecomposeIntoBlocks(source)) {
+    std::optional<NullAssignment> block_assignment =
+        FindBlockHomomorphism(block, target);
+    if (!block_assignment.has_value()) return std::nullopt;
+    for (const auto& [packed, value] : *block_assignment) {
+      combined[packed] = value;
+    }
+  }
+  return combined;
+}
+
+Instance ApplyAssignment(const Instance& source,
+                         const NullAssignment& assignment) {
+  Instance image(&source.schema());
+  source.ForEachFact([&](const Fact& f) {
+    Tuple mapped = f.tuple;
+    for (Value& v : mapped) {
+      if (v.is_null()) {
+        auto it = assignment.find(v.packed());
+        if (it != assignment.end()) v = it->second;
+      }
+    }
+    image.AddFact(f.relation, std::move(mapped));
+  });
+  return image;
+}
+
+}  // namespace pdx

@@ -1,0 +1,167 @@
+#include "hom/matcher.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace pdx {
+
+namespace {
+
+// Backtracking state shared across the recursion.
+struct SearchContext {
+  const std::vector<Atom>* atoms;
+  const Instance* instance;
+  const std::function<bool(const Binding&)>* fn;
+  Binding binding;
+  std::vector<bool> done;  // per atom: already matched on this path
+};
+
+// Estimated number of candidate tuples for `atom` under the current
+// binding: the smallest index bucket over bound/constant positions, or the
+// relation size if nothing is bound yet.
+size_t CandidateCount(const SearchContext& ctx, const Atom& atom) {
+  const Instance& inst = *ctx.instance;
+  size_t best = inst.tuples(atom.relation).size();
+  for (int pos = 0; pos < static_cast<int>(atom.terms.size()); ++pos) {
+    const Term& t = atom.terms[pos];
+    Value v;
+    if (t.is_constant()) {
+      v = t.constant();
+    } else if (ctx.binding.bound[t.var()]) {
+      v = ctx.binding.values[t.var()];
+    } else {
+      continue;
+    }
+    const std::vector<int>* bucket = inst.TuplesWithValueAt(atom.relation,
+                                                            pos, v);
+    size_t count = bucket == nullptr ? 0 : bucket->size();
+    best = std::min(best, count);
+  }
+  return best;
+}
+
+// The candidate tuple list for `atom`: the smallest applicable index
+// bucket, or all tuples of the relation. Returns indexes into
+// instance.tuples(atom.relation); `all` is an out-param scratch vector used
+// when no position is bound.
+const std::vector<int>* Candidates(const SearchContext& ctx, const Atom& atom,
+                                   std::vector<int>* all) {
+  const Instance& inst = *ctx.instance;
+  const std::vector<int>* best = nullptr;
+  size_t best_count = std::numeric_limits<size_t>::max();
+  static const std::vector<int> kEmpty;
+  for (int pos = 0; pos < static_cast<int>(atom.terms.size()); ++pos) {
+    const Term& t = atom.terms[pos];
+    Value v;
+    if (t.is_constant()) {
+      v = t.constant();
+    } else if (ctx.binding.bound[t.var()]) {
+      v = ctx.binding.values[t.var()];
+    } else {
+      continue;
+    }
+    const std::vector<int>* bucket =
+        inst.TuplesWithValueAt(atom.relation, pos, v);
+    if (bucket == nullptr) return &kEmpty;
+    if (bucket->size() < best_count) {
+      best = bucket;
+      best_count = bucket->size();
+    }
+  }
+  if (best != nullptr) return best;
+  size_t n = inst.tuples(atom.relation).size();
+  all->resize(n);
+  for (size_t i = 0; i < n; ++i) (*all)[i] = static_cast<int>(i);
+  return all;
+}
+
+// Attempts to unify `atom` with `tuple` under the current binding.
+// On success, appends newly bound variables to `trail` and returns true.
+bool Unify(SearchContext* ctx, const Atom& atom, const Tuple& tuple,
+           std::vector<VariableId>* trail) {
+  for (int pos = 0; pos < static_cast<int>(atom.terms.size()); ++pos) {
+    const Term& t = atom.terms[pos];
+    if (t.is_constant()) {
+      if (tuple[pos] != t.constant()) return false;
+      continue;
+    }
+    VariableId v = t.var();
+    if (ctx->binding.bound[v]) {
+      if (ctx->binding.values[v] != tuple[pos]) return false;
+    } else {
+      ctx->binding.Bind(v, tuple[pos]);
+      trail->push_back(v);
+    }
+  }
+  return true;
+}
+
+void Unbind(SearchContext* ctx, const std::vector<VariableId>& trail) {
+  for (VariableId v : trail) ctx->binding.bound[v] = false;
+}
+
+// Recursive search. Returns true iff the callback stopped the enumeration.
+bool Search(SearchContext* ctx, int remaining) {
+  if (remaining == 0) {
+    return !(*ctx->fn)(ctx->binding);
+  }
+  // Select the pending atom with the fewest candidates.
+  int chosen = -1;
+  size_t chosen_count = std::numeric_limits<size_t>::max();
+  for (int i = 0; i < static_cast<int>(ctx->atoms->size()); ++i) {
+    if (ctx->done[i]) continue;
+    size_t count = CandidateCount(*ctx, (*ctx->atoms)[i]);
+    if (count < chosen_count) {
+      chosen = i;
+      chosen_count = count;
+    }
+  }
+  PDX_DCHECK(chosen >= 0);
+  const Atom& atom = (*ctx->atoms)[chosen];
+  ctx->done[chosen] = true;
+  std::vector<int> scratch;
+  const std::vector<int>* candidates = Candidates(*ctx, atom, &scratch);
+  const std::vector<Tuple>& tuples = ctx->instance->tuples(atom.relation);
+  std::vector<VariableId> trail;
+  for (int idx : *candidates) {
+    trail.clear();
+    if (Unify(ctx, atom, tuples[idx], &trail)) {
+      if (Search(ctx, remaining - 1)) {
+        Unbind(ctx, trail);
+        ctx->done[chosen] = false;
+        return true;
+      }
+    }
+    Unbind(ctx, trail);
+  }
+  ctx->done[chosen] = false;
+  return false;
+}
+
+}  // namespace
+
+bool EnumerateMatches(const std::vector<Atom>& atoms, int var_count,
+                      const Instance& instance, const Binding& partial,
+                      const std::function<bool(const Binding&)>& fn) {
+  PDX_CHECK_EQ(static_cast<int>(partial.bound.size()), var_count);
+  SearchContext ctx;
+  ctx.atoms = &atoms;
+  ctx.instance = &instance;
+  ctx.fn = &fn;
+  ctx.binding = partial;
+  ctx.done.assign(atoms.size(), false);
+  return Search(&ctx, static_cast<int>(atoms.size()));
+}
+
+bool HasMatch(const std::vector<Atom>& atoms, int var_count,
+              const Instance& instance, const Binding& partial) {
+  return EnumerateMatches(atoms, var_count, instance, partial,
+                          [](const Binding&) { return false; });
+}
+
+bool HasMatch(const std::vector<Atom>& atoms, int var_count,
+              const Instance& instance) {
+  return HasMatch(atoms, var_count, instance, Binding::Empty(var_count));
+}
+
+}  // namespace pdx

@@ -1,0 +1,59 @@
+#ifndef PDX_HOM_MATCHER_H_
+#define PDX_HOM_MATCHER_H_
+
+#include <functional>
+#include <vector>
+
+#include "logic/atom.h"
+#include "relational/instance.h"
+
+namespace pdx {
+
+// A partial assignment of values to the variables 0..var_count-1 of one
+// dependency or query. `bound[v]` says whether `values[v]` is meaningful.
+struct Binding {
+  std::vector<Value> values;
+  std::vector<bool> bound;
+
+  static Binding Empty(int var_count) {
+    Binding b;
+    b.values.resize(var_count);
+    b.bound.assign(var_count, false);
+    return b;
+  }
+
+  void Bind(VariableId v, Value value) {
+    values[v] = value;
+    bound[v] = true;
+  }
+};
+
+// Enumerates homomorphisms from the conjunction `atoms` into `instance`
+// that extend `partial`: assignments h of values to all variables occurring
+// in `atoms` such that h(A) is a fact of `instance` for every atom A.
+// Values are matched literally; labeled nulls in the instance behave like
+// ordinary values (the standard naive-evaluation semantics used by the
+// chase and by monotone query evaluation).
+//
+// `fn` is invoked once per complete match; returning false stops the
+// enumeration. EnumerateMatches returns true iff enumeration was stopped by
+// `fn` (i.e. "found and accepted early").
+//
+// The search picks, at every step, the pending atom with the fewest
+// candidate tuples according to the instance's positional index, which
+// keeps chase trigger detection near-linear on typical inputs.
+bool EnumerateMatches(const std::vector<Atom>& atoms, int var_count,
+                      const Instance& instance, const Binding& partial,
+                      const std::function<bool(const Binding&)>& fn);
+
+// True if at least one homomorphism extending `partial` exists.
+bool HasMatch(const std::vector<Atom>& atoms, int var_count,
+              const Instance& instance, const Binding& partial);
+
+// Convenience: HasMatch from the empty binding.
+bool HasMatch(const std::vector<Atom>& atoms, int var_count,
+              const Instance& instance);
+
+}  // namespace pdx
+
+#endif  // PDX_HOM_MATCHER_H_

@@ -1,0 +1,53 @@
+#include "logic/atom.h"
+
+#include "base/string_util.h"
+
+namespace pdx {
+
+std::string AtomToString(const Atom& atom, const Schema& schema,
+                         const SymbolTable& symbols,
+                         const std::vector<std::string>& var_names) {
+  std::vector<std::string> parts;
+  parts.reserve(atom.terms.size());
+  for (const Term& t : atom.terms) {
+    if (t.is_variable()) {
+      VariableId v = t.var();
+      if (v >= 0 && v < static_cast<VariableId>(var_names.size())) {
+        parts.push_back(var_names[v]);
+      } else {
+        parts.push_back(StrCat("v", v));
+      }
+    } else {
+      parts.push_back(StrCat("'", symbols.ValueToString(t.constant()), "'"));
+    }
+  }
+  return StrCat(schema.relation_name(atom.relation), "(",
+                StrJoin(parts, ","), ")");
+}
+
+std::string ConjunctionToString(const std::vector<Atom>& atoms,
+                                const Schema& schema,
+                                const SymbolTable& symbols,
+                                const std::vector<std::string>& var_names) {
+  std::vector<std::string> parts;
+  parts.reserve(atoms.size());
+  for (const Atom& a : atoms) {
+    parts.push_back(AtomToString(a, schema, symbols, var_names));
+  }
+  return StrJoin(parts, " & ");
+}
+
+std::vector<bool> VariablesIn(const std::vector<Atom>& atoms, int var_count) {
+  std::vector<bool> present(var_count, false);
+  for (const Atom& a : atoms) {
+    for (const Term& t : a.terms) {
+      if (t.is_variable()) {
+        PDX_CHECK_LT(t.var(), var_count);
+        present[t.var()] = true;
+      }
+    }
+  }
+  return present;
+}
+
+}  // namespace pdx

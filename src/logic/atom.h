@@ -1,0 +1,84 @@
+#ifndef PDX_LOGIC_ATOM_H_
+#define PDX_LOGIC_ATOM_H_
+
+#include <string>
+#include <vector>
+
+#include "base/logging.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace pdx {
+
+// A variable local to one dependency or query, numbered 0..var_count-1.
+using VariableId = int;
+
+// A term in an atomic formula: either a variable or a constant.
+class Term {
+ public:
+  static Term Var(VariableId v) {
+    Term t;
+    t.is_var_ = true;
+    t.var_ = v;
+    return t;
+  }
+  static Term Const(Value c) {
+    Term t;
+    t.is_var_ = false;
+    t.constant_ = c;
+    return t;
+  }
+
+  bool is_variable() const { return is_var_; }
+  bool is_constant() const { return !is_var_; }
+
+  VariableId var() const {
+    PDX_DCHECK(is_var_);
+    return var_;
+  }
+  Value constant() const {
+    PDX_DCHECK(!is_var_);
+    return constant_;
+  }
+
+  bool operator==(const Term& other) const {
+    if (is_var_ != other.is_var_) return false;
+    return is_var_ ? var_ == other.var_ : constant_ == other.constant_;
+  }
+
+ private:
+  Term() : is_var_(true), var_(0) {}
+
+  bool is_var_;
+  VariableId var_;
+  Value constant_;
+};
+
+// An atomic formula R(t1, ..., tn) over a schema.
+struct Atom {
+  RelationId relation = -1;
+  std::vector<Term> terms;
+
+  bool operator==(const Atom& other) const {
+    return relation == other.relation && terms == other.terms;
+  }
+};
+
+// Renders an atom like "E(x,y)" given per-variable names.
+std::string AtomToString(const Atom& atom, const Schema& schema,
+                         const SymbolTable& symbols,
+                         const std::vector<std::string>& var_names);
+
+// Renders "A1 & A2 & ..." for a conjunction of atoms.
+std::string ConjunctionToString(const std::vector<Atom>& atoms,
+                                const Schema& schema,
+                                const SymbolTable& symbols,
+                                const std::vector<std::string>& var_names);
+
+// The set of variables occurring in `atoms`, as a membership vector of size
+// `var_count`.
+std::vector<bool> VariablesIn(const std::vector<Atom>& atoms, int var_count);
+
+}  // namespace pdx
+
+#endif  // PDX_LOGIC_ATOM_H_

@@ -1,0 +1,67 @@
+#ifndef PDX_LOGIC_CONJUNCTIVE_QUERY_H_
+#define PDX_LOGIC_CONJUNCTIVE_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "logic/atom.h"
+#include "relational/instance.h"
+#include "relational/schema.h"
+#include "relational/tuple.h"
+
+namespace pdx {
+
+// A conjunctive query  q(x1,...,xk) :- A1, ..., An.
+// Head variables must occur in the body. k = 0 is a Boolean query.
+struct ConjunctiveQuery {
+  std::vector<VariableId> head_vars;
+  std::vector<Atom> body;
+  int var_count = 0;
+  std::vector<std::string> var_names;
+
+  int head_arity() const { return static_cast<int>(head_vars.size()); }
+  bool IsBoolean() const { return head_vars.empty(); }
+
+  std::string ToString(const Schema& schema, const SymbolTable& symbols) const;
+};
+
+// A union of conjunctive queries, all with the same head arity.
+struct UnionQuery {
+  std::vector<ConjunctiveQuery> disjuncts;
+
+  int head_arity() const {
+    return disjuncts.empty() ? 0 : disjuncts[0].head_arity();
+  }
+  bool IsBoolean() const { return head_arity() == 0; }
+
+  std::string ToString(const Schema& schema, const SymbolTable& symbols) const;
+};
+
+Status ValidateQuery(const ConjunctiveQuery& query, const Schema& schema);
+Status ValidateUnionQuery(const UnionQuery& query, const Schema& schema);
+
+// Evaluates q over `instance` under naive semantics: labeled nulls are
+// treated as ordinary values (this is what monotone evaluation inside the
+// solvers needs). Returns the set of head tuples, deduplicated, in
+// deterministic (sorted) order. A Boolean query returns {()} when true and
+// {} when false.
+std::vector<Tuple> EvaluateQuery(const ConjunctiveQuery& query,
+                                 const Instance& instance);
+std::vector<Tuple> EvaluateUnionQuery(const UnionQuery& query,
+                                      const Instance& instance);
+
+// Evaluates q and keeps only all-constant answers. This is the
+// certain-answer evaluation of [8] on a universal solution: null-containing
+// answers are artifacts of incompleteness and must be dropped.
+std::vector<Tuple> EvaluateQueryNullFree(const ConjunctiveQuery& query,
+                                         const Instance& instance);
+std::vector<Tuple> EvaluateUnionQueryNullFree(const UnionQuery& query,
+                                              const Instance& instance);
+
+// True for Boolean q if some match exists.
+bool EvaluateBoolean(const UnionQuery& query, const Instance& instance);
+
+}  // namespace pdx
+
+#endif  // PDX_LOGIC_CONJUNCTIVE_QUERY_H_

@@ -1,0 +1,184 @@
+#include "logic/datalog.h"
+
+#include "base/string_util.h"
+#include "hom/matcher.h"
+#include "logic/parser.h"
+
+namespace pdx {
+
+std::string DatalogRule::ToString(const Schema& schema,
+                                  const SymbolTable& symbols) const {
+  return StrCat(AtomToString(head, schema, symbols, var_names), " :- ",
+                ConjunctionToString(body, schema, symbols, var_names));
+}
+
+std::vector<bool> DatalogProgram::IntensionalRelations(
+    const Schema& schema) const {
+  std::vector<bool> intensional(schema.relation_count(), false);
+  for (const DatalogRule& rule : rules) {
+    intensional[rule.head.relation] = true;
+  }
+  return intensional;
+}
+
+std::string DatalogProgram::ToString(const Schema& schema,
+                                     const SymbolTable& symbols) const {
+  std::vector<std::string> lines;
+  lines.reserve(rules.size());
+  for (const DatalogRule& rule : rules) {
+    lines.push_back(StrCat(rule.ToString(schema, symbols), "."));
+  }
+  return StrJoin(lines, "\n");
+}
+
+namespace {
+
+// Rewrites "Head :- Body" statements into the tgd form "Body -> Head" so
+// the dependency parser can handle both syntaxes. Works statement-wise on
+// '.'-terminated clauses; ':-' inside quoted constants is not supported.
+std::string NormalizeDatalogSyntax(std::string_view text) {
+  std::string out;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('.', start);
+    std::string_view statement =
+        end == std::string_view::npos
+            ? text.substr(start)
+            : text.substr(start, end - start);
+    size_t turnstile = statement.find(":-");
+    if (turnstile == std::string_view::npos) {
+      out.append(statement);
+    } else {
+      out.append(statement.substr(turnstile + 2));
+      out.append(" -> ");
+      out.append(StripWhitespace(statement.substr(0, turnstile)));
+    }
+    if (end == std::string_view::npos) break;
+    out.push_back('.');
+    start = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<DatalogProgram> ParseDatalogProgram(std::string_view text,
+                                             const Schema& schema,
+                                             SymbolTable* symbols) {
+  PDX_ASSIGN_OR_RETURN(
+      DependencySet deps,
+      ParseDependencies(NormalizeDatalogSyntax(text), schema, symbols));
+  if (!deps.egds.empty() || !deps.disjunctive_tgds.empty()) {
+    return InvalidArgumentError(
+        "Datalog programs contain only plain rules (no egds/disjunction)");
+  }
+  DatalogProgram program;
+  for (Tgd& tgd : deps.tgds) {
+    if (tgd.head.size() != 1) {
+      return InvalidArgumentError(
+          "Datalog rules have exactly one head atom");
+    }
+    if (!tgd.IsFull()) {
+      return InvalidArgumentError(
+          "Datalog rules are range-restricted (no existential variables)");
+    }
+    DatalogRule rule;
+    rule.head = std::move(tgd.head[0]);
+    rule.body = std::move(tgd.body);
+    rule.var_count = tgd.var_count;
+    rule.var_names = std::move(tgd.var_names);
+    program.rules.push_back(std::move(rule));
+  }
+  return program;
+}
+
+namespace {
+
+// Attempts to bind `atom` against `tuple` on top of `binding`.
+bool BindAtomToTuple(const Atom& atom, const Tuple& tuple, Binding* binding) {
+  for (size_t i = 0; i < atom.terms.size(); ++i) {
+    const Term& t = atom.terms[i];
+    if (t.is_constant()) {
+      if (t.constant() != tuple[i]) return false;
+    } else if (binding->bound[t.var()]) {
+      if (binding->values[t.var()] != tuple[i]) return false;
+    } else {
+      binding->Bind(t.var(), tuple[i]);
+    }
+  }
+  return true;
+}
+
+void DeriveHead(const DatalogRule& rule, const Binding& binding,
+                Instance* instance, int64_t* derived) {
+  Tuple tuple;
+  tuple.reserve(rule.head.terms.size());
+  for (const Term& t : rule.head.terms) {
+    tuple.push_back(t.is_constant() ? t.constant() : binding.values[t.var()]);
+  }
+  if (instance->AddFact(rule.head.relation, std::move(tuple))) {
+    ++*derived;
+  }
+}
+
+}  // namespace
+
+Instance EvaluateDatalog(const DatalogProgram& program, const Instance& input,
+                         DatalogStats* stats) {
+  Instance result = input;
+  int relation_count = result.schema().relation_count();
+  std::vector<size_t> watermark(relation_count, 0);
+  int64_t iterations = 0;
+  int64_t derived = 0;
+  while (true) {
+    ++iterations;
+    std::vector<size_t> frontier(relation_count);
+    for (RelationId r = 0; r < relation_count; ++r) {
+      frontier[r] = result.tuples(r).size();
+    }
+    int64_t derived_before = derived;
+    for (const DatalogRule& rule : program.rules) {
+      for (size_t pivot = 0; pivot < rule.body.size(); ++pivot) {
+        const Atom& atom = rule.body[pivot];
+        for (size_t idx = watermark[atom.relation];
+             idx < frontier[atom.relation]; ++idx) {
+          Binding partial = Binding::Empty(rule.var_count);
+          if (!BindAtomToTuple(atom, result.tuples(atom.relation)[idx],
+                               &partial)) {
+            continue;
+          }
+          // Collect matches first (the instance must not change under the
+          // matcher), then derive.
+          std::vector<Binding> matches;
+          EnumerateMatches(rule.body, rule.var_count, result, partial,
+                           [&](const Binding& match) {
+                             matches.push_back(match);
+                             return true;
+                           });
+          for (const Binding& match : matches) {
+            DeriveHead(rule, match, &result, &derived);
+          }
+        }
+      }
+    }
+    watermark = frontier;
+    bool new_frontier = false;
+    for (RelationId r = 0; r < relation_count; ++r) {
+      if (result.tuples(r).size() > frontier[r]) new_frontier = true;
+    }
+    if (derived == derived_before && !new_frontier) break;
+  }
+  if (stats != nullptr) {
+    stats->iterations = iterations;
+    stats->derived_facts = derived;
+  }
+  return result;
+}
+
+bool IsClosedUnder(const DatalogProgram& program, const Instance& instance) {
+  DatalogStats stats;
+  Instance fixpoint = EvaluateDatalog(program, instance, &stats);
+  return stats.derived_facts == 0;
+}
+
+}  // namespace pdx

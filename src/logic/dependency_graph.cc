@@ -1,0 +1,283 @@
+#include "logic/dependency_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "base/string_util.h"
+
+namespace pdx {
+
+PositionDependencyGraph::PositionDependencyGraph(const std::vector<Tgd>& tgds,
+                                                 const Schema& schema) {
+  offsets_.resize(schema.relation_count());
+  int next = 0;
+  for (RelationId r = 0; r < schema.relation_count(); ++r) {
+    offsets_[r] = next;
+    next += schema.arity(r);
+  }
+  position_count_ = next;
+
+  std::set<std::tuple<int, int, bool>> dedup;
+  for (const Tgd& tgd : tgds) {
+    // Positions of each variable in body and head.
+    std::vector<std::vector<int>> body_positions(tgd.var_count);
+    std::vector<std::vector<int>> head_positions(tgd.var_count);
+    std::vector<int> existential_head_positions;
+    for (const Atom& atom : tgd.body) {
+      for (int i = 0; i < static_cast<int>(atom.terms.size()); ++i) {
+        if (atom.terms[i].is_variable()) {
+          body_positions[atom.terms[i].var()].push_back(
+              PositionId(atom.relation, i));
+        }
+      }
+    }
+    for (const Atom& atom : tgd.head) {
+      for (int i = 0; i < static_cast<int>(atom.terms.size()); ++i) {
+        if (!atom.terms[i].is_variable()) continue;
+        VariableId v = atom.terms[i].var();
+        int pos = PositionId(atom.relation, i);
+        if (tgd.existential[v]) {
+          existential_head_positions.push_back(pos);
+        } else {
+          head_positions[v].push_back(pos);
+        }
+      }
+    }
+    for (VariableId v = 0; v < tgd.var_count; ++v) {
+      if (tgd.existential[v]) continue;
+      if (head_positions[v].empty()) continue;  // x must occur in the head
+      for (int from : body_positions[v]) {
+        for (int to : head_positions[v]) {
+          dedup.emplace(from, to, false);
+        }
+        for (int to : existential_head_positions) {
+          dedup.emplace(from, to, true);
+        }
+      }
+    }
+  }
+  edges_.reserve(dedup.size());
+  for (const auto& [from, to, special] : dedup) {
+    edges_.push_back(Edge{from, to, special});
+  }
+}
+
+std::vector<int> PositionDependencyGraph::StronglyConnectedComponents() const {
+  // Iterative Tarjan SCC.
+  std::vector<std::vector<int>> adj(position_count_);
+  for (const Edge& e : edges_) adj[e.from].push_back(e.to);
+
+  std::vector<int> component(position_count_, -1);
+  std::vector<int> index(position_count_, -1);
+  std::vector<int> lowlink(position_count_, 0);
+  std::vector<bool> on_stack(position_count_, false);
+  std::vector<int> stack;
+  int next_index = 0;
+  int next_component = 0;
+
+  struct Frame {
+    int node;
+    size_t child = 0;
+  };
+  for (int start = 0; start < position_count_; ++start) {
+    if (index[start] != -1) continue;
+    std::vector<Frame> frames;
+    frames.push_back(Frame{start});
+    index[start] = lowlink[start] = next_index++;
+    stack.push_back(start);
+    on_stack[start] = true;
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      int u = frame.node;
+      if (frame.child < adj[u].size()) {
+        int v = adj[u][frame.child++];
+        if (index[v] == -1) {
+          index[v] = lowlink[v] = next_index++;
+          stack.push_back(v);
+          on_stack[v] = true;
+          frames.push_back(Frame{v});
+        } else if (on_stack[v]) {
+          lowlink[u] = std::min(lowlink[u], index[v]);
+        }
+      } else {
+        if (lowlink[u] == index[u]) {
+          while (true) {
+            int w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            component[w] = next_component;
+            if (w == u) break;
+          }
+          ++next_component;
+        }
+        frames.pop_back();
+        if (!frames.empty()) {
+          int parent = frames.back().node;
+          lowlink[parent] = std::min(lowlink[parent], lowlink[u]);
+        }
+      }
+    }
+  }
+  return component;
+}
+
+bool PositionDependencyGraph::IsWeaklyAcyclic() const {
+  std::vector<int> component = StronglyConnectedComponents();
+  for (const Edge& e : edges_) {
+    if (e.special && component[e.from] == component[e.to]) return false;
+  }
+  return true;
+}
+
+std::vector<int> PositionDependencyGraph::PositionRanks() const {
+  std::vector<int> component = StronglyConnectedComponents();
+  if (component.empty()) {
+    return std::vector<int>(position_count_, 0);
+  }
+  int num_components =
+      *std::max_element(component.begin(), component.end()) + 1;
+  // Condensation edges; a special edge inside an SCC means not weakly
+  // acyclic.
+  std::vector<std::vector<std::pair<int, bool>>> cadj(num_components);
+  std::vector<int> indegree(num_components, 0);
+  std::set<std::tuple<int, int, bool>> dedup;
+  for (const Edge& e : edges_) {
+    int cu = component[e.from];
+    int cv = component[e.to];
+    if (cu == cv) {
+      if (e.special) return {};
+      continue;
+    }
+    if (dedup.emplace(cu, cv, e.special).second) {
+      cadj[cu].emplace_back(cv, e.special);
+      ++indegree[cv];
+    }
+  }
+  // Longest special-edge count via topological DP on the condensation.
+  std::vector<int> crank(num_components, 0);
+  std::vector<int> queue;
+  for (int c = 0; c < num_components; ++c) {
+    if (indegree[c] == 0) queue.push_back(c);
+  }
+  size_t head = 0;
+  while (head < queue.size()) {
+    int c = queue[head++];
+    for (const auto& [to, special] : cadj[c]) {
+      crank[to] = std::max(crank[to], crank[c] + (special ? 1 : 0));
+      if (--indegree[to] == 0) queue.push_back(to);
+    }
+  }
+  std::vector<int> ranks(position_count_);
+  for (int p = 0; p < position_count_; ++p) ranks[p] = crank[component[p]];
+  return ranks;
+}
+
+int PositionDependencyGraph::MaxRank() const {
+  if (!IsWeaklyAcyclic()) return -1;
+  std::vector<int> ranks = PositionRanks();
+  if (ranks.empty()) return 0;
+  return *std::max_element(ranks.begin(), ranks.end());
+}
+
+std::string PositionDependencyGraph::PositionName(
+    int position, const Schema& schema) const {
+  for (RelationId r = schema.relation_count() - 1; r >= 0; --r) {
+    if (position >= offsets_[r]) {
+      return StrCat(schema.relation_name(r), ".", position - offsets_[r]);
+    }
+  }
+  return StrCat("?", position);
+}
+
+bool IsWeaklyAcyclic(const std::vector<Tgd>& tgds, const Schema& schema) {
+  return PositionDependencyGraph(tgds, schema).IsWeaklyAcyclic();
+}
+
+ChaseBound EstimateChaseBound(const std::vector<Tgd>& tgds,
+                              const Schema& schema, int64_t domain_size) {
+  constexpr double kCap = 1e18;
+  ChaseBound bound;
+  PositionDependencyGraph graph(tgds, schema);
+  bound.weakly_acyclic = graph.IsWeaklyAcyclic();
+  if (!bound.weakly_acyclic) return bound;  // no finite bound in general
+  bound.max_rank = graph.MaxRank();
+
+  // Largest body-variable count and existential count over the tgds.
+  double max_body_vars = 1;
+  double max_existentials = 1;
+  for (const Tgd& tgd : tgds) {
+    int body_vars = 0;
+    int existentials = 0;
+    std::vector<bool> in_body = VariablesIn(tgd.body, tgd.var_count);
+    for (VariableId v = 0; v < tgd.var_count; ++v) {
+      if (in_body[v]) ++body_vars;
+      if (tgd.existential[v]) ++existentials;
+    }
+    max_body_vars = std::max(max_body_vars, static_cast<double>(body_vars));
+    max_existentials =
+        std::max(max_existentials, static_cast<double>(existentials));
+  }
+  double tgd_count = std::max<double>(1, tgds.size());
+
+  // Rank recursion: values available below rank i bound the triggers that
+  // can create rank-i nulls. V_0 = n; V_{i+1} = V_i + T*E*(V_i)^B.
+  double values = std::max<double>(1, static_cast<double>(domain_size));
+  for (int i = 0; i < bound.max_rank; ++i) {
+    double created =
+        tgd_count * max_existentials * std::pow(values, max_body_vars);
+    values = std::min(kCap, values + created);
+  }
+  bound.value_bound = values;
+
+  double facts = 0;
+  for (RelationId r = 0; r < schema.relation_count(); ++r) {
+    facts += std::pow(values, schema.arity(r));
+    if (facts > kCap) {
+      facts = kCap;
+      break;
+    }
+  }
+  bound.fact_bound = std::min(kCap, facts);
+  return bound;
+}
+
+bool IsRelationGraphAcyclic(const std::vector<Tgd>& tgds,
+                            const Schema& schema) {
+  int n = schema.relation_count();
+  std::vector<std::vector<int>> adj(n);
+  std::set<std::pair<int, int>> dedup;
+  for (const Tgd& tgd : tgds) {
+    for (const Atom& b : tgd.body) {
+      for (const Atom& h : tgd.head) {
+        if (dedup.emplace(b.relation, h.relation).second) {
+          adj[b.relation].push_back(h.relation);
+        }
+      }
+    }
+  }
+  // Acyclic iff DFS finds no back edge.
+  std::vector<int> state(n, 0);  // 0 = unvisited, 1 = in progress, 2 = done
+  for (int start = 0; start < n; ++start) {
+    if (state[start] != 0) continue;
+    std::vector<std::pair<int, size_t>> stack{{start, 0}};
+    state[start] = 1;
+    while (!stack.empty()) {
+      auto& [u, child] = stack.back();
+      if (child < adj[u].size()) {
+        int v = adj[u][child++];
+        if (state[v] == 1) return false;
+        if (state[v] == 0) {
+          state[v] = 1;
+          stack.emplace_back(v, 0);
+        }
+      } else {
+        state[u] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace pdx

@@ -1,0 +1,85 @@
+#ifndef PDX_LOGIC_DEPENDENCY_GRAPH_H_
+#define PDX_LOGIC_DEPENDENCY_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "logic/dependency.h"
+#include "relational/schema.h"
+
+namespace pdx {
+
+// The position dependency graph of a set of tgds (Definition 5, from [8]):
+// one node per (relation, attribute) position; for every tgd and every
+// universally quantified variable x occurring in the head, an ordinary edge
+// from each body position of x to each head position of x, and a *special*
+// edge from each body position of x to each head position of every
+// existentially quantified variable.
+class PositionDependencyGraph {
+ public:
+  PositionDependencyGraph(const std::vector<Tgd>& tgds, const Schema& schema);
+
+  // A set of tgds is weakly acyclic iff its dependency graph has no cycle
+  // through a special edge.
+  bool IsWeaklyAcyclic() const;
+
+  // The rank of a position: the maximum number of special edges on any
+  // path ending at it (only defined for weakly acyclic sets; this is the
+  // quantity [8] uses to bound chase length polynomially). Returns one rank
+  // per position id; empty if the set is not weakly acyclic.
+  std::vector<int> PositionRanks() const;
+
+  // Max over PositionRanks (0 for an empty graph); -1 if not weakly acyclic.
+  int MaxRank() const;
+
+  int position_count() const { return position_count_; }
+  int PositionId(RelationId relation, int attribute) const {
+    return offsets_[relation] + attribute;
+  }
+  std::string PositionName(int position, const Schema& schema) const;
+
+  struct Edge {
+    int from;
+    int to;
+    bool special;
+  };
+  const std::vector<Edge>& edges() const { return edges_; }
+
+ private:
+  std::vector<int> StronglyConnectedComponents() const;
+
+  int position_count_ = 0;
+  std::vector<int> offsets_;  // per relation: first position id
+  std::vector<Edge> edges_;
+};
+
+// Convenience: weak acyclicity of a set of tgds over `schema`.
+bool IsWeaklyAcyclic(const std::vector<Tgd>& tgds, const Schema& schema);
+
+// Static estimate of chase growth for a set of tgds, following the rank
+// argument of [8]: with r = max rank, the number of distinct values a
+// chase can produce is polynomial in the input domain size with degree
+// governed by r. The bound is conservative (existentially safe) and meant
+// for budgeting/diagnostics, not tightness. Values are computed in double
+// and capped at 1e18.
+struct ChaseBound {
+  bool weakly_acyclic = false;
+  int max_rank = -1;
+  double value_bound = 0;  // distinct values in any chase result
+  double fact_bound = 0;   // facts in any chase result
+};
+
+ChaseBound EstimateChaseBound(const std::vector<Tgd>& tgds,
+                              const Schema& schema, int64_t domain_size);
+
+// The relation-level dependency graph used for PDMS results ([14], and the
+// discussion after Theorem 3): nodes are relations; an edge P -> R exists
+// when some tgd mentions P in its body and R in its head. Returns true iff
+// that graph is acyclic. The paper's CLIQUE setting is acyclic here yet
+// NP-hard, which is the point of the Section 3.2 remark.
+bool IsRelationGraphAcyclic(const std::vector<Tgd>& tgds,
+                            const Schema& schema);
+
+}  // namespace pdx
+
+#endif  // PDX_LOGIC_DEPENDENCY_GRAPH_H_

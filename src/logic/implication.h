@@ -1,0 +1,38 @@
+#ifndef PDX_LOGIC_IMPLICATION_H_
+#define PDX_LOGIC_IMPLICATION_H_
+
+#include "base/status.h"
+#include "logic/conjunctive_query.h"
+#include "logic/dependency.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace pdx {
+
+// Classical reasoning tasks built on the chase and homomorphisms — the
+// proof procedures of Beeri & Vardi [3] (the paper's reference for tgds)
+// and Chandra & Merlin.
+
+// Conjunctive query containment q1 ⊆ q2: every database maps every q1
+// answer into a q2 answer. Decided by freezing q1's body into a canonical
+// instance (variables become labeled nulls) and matching q2's body onto it
+// with the head variables pinned to q1's frozen head. Queries must share
+// one head arity; kInvalidArgument otherwise.
+StatusOr<bool> IsContainedIn(const ConjunctiveQuery& q1,
+                             const ConjunctiveQuery& q2, const Schema& schema);
+
+// Logical implication Σ ⊨ σ for tgds/egds, via the chase proof procedure:
+// freeze σ's body, chase it with Σ, and check that σ's conclusion holds in
+// the result. Sound and complete when the chase terminates; Σ's tgds are
+// therefore required to be weakly acyclic (kFailedPrecondition otherwise).
+// A failing chase (egd clash on frozen nulls cannot happen; clashes are
+// only possible with constants in σ) means the body is unsatisfiable under
+// Σ, and the implication holds vacuously.
+StatusOr<bool> ImpliesTgd(const DependencySet& sigma, const Tgd& candidate,
+                          const Schema& schema, SymbolTable* symbols);
+StatusOr<bool> ImpliesEgd(const DependencySet& sigma, const Egd& candidate,
+                          const Schema& schema, SymbolTable* symbols);
+
+}  // namespace pdx
+
+#endif  // PDX_LOGIC_IMPLICATION_H_

@@ -1,0 +1,139 @@
+#include "logic/marking.h"
+
+#include "base/string_util.h"
+
+namespace pdx {
+
+std::vector<std::vector<bool>> ComputeMarkedPositions(
+    const std::vector<Tgd>& st_tgds, const Schema& schema) {
+  std::vector<std::vector<bool>> marked(schema.relation_count());
+  for (RelationId r = 0; r < schema.relation_count(); ++r) {
+    marked[r].assign(schema.arity(r), false);
+  }
+  for (const Tgd& tgd : st_tgds) {
+    for (const Atom& atom : tgd.head) {
+      for (int i = 0; i < static_cast<int>(atom.terms.size()); ++i) {
+        const Term& t = atom.terms[i];
+        if (t.is_variable() && tgd.existential[t.var()]) {
+          marked[atom.relation][i] = true;
+        }
+      }
+    }
+  }
+  return marked;
+}
+
+std::vector<bool> ComputeMarkedVariables(
+    const Tgd& ts_tgd,
+    const std::vector<std::vector<bool>>& marked_positions) {
+  std::vector<bool> marked(ts_tgd.var_count, false);
+  // Case (2): existentially quantified variables.
+  for (VariableId v = 0; v < ts_tgd.var_count; ++v) {
+    if (ts_tgd.existential[v]) marked[v] = true;
+  }
+  // Case (1): variables at marked positions of LHS (target) conjuncts.
+  for (const Atom& atom : ts_tgd.body) {
+    const std::vector<bool>& positions = marked_positions[atom.relation];
+    for (int i = 0; i < static_cast<int>(atom.terms.size()); ++i) {
+      if (positions[i] && atom.terms[i].is_variable()) {
+        marked[atom.terms[i].var()] = true;
+      }
+    }
+  }
+  return marked;
+}
+
+namespace {
+
+// Number of occurrences of each variable in `atoms`.
+std::vector<int> OccurrenceCounts(const std::vector<Atom>& atoms,
+                                  int var_count) {
+  std::vector<int> counts(var_count, 0);
+  for (const Atom& atom : atoms) {
+    for (const Term& t : atom.terms) {
+      if (t.is_variable()) ++counts[t.var()];
+    }
+  }
+  return counts;
+}
+
+// True if variables x and y appear together in some atom of `atoms`.
+bool CoOccur(const std::vector<Atom>& atoms, VariableId x, VariableId y) {
+  for (const Atom& atom : atoms) {
+    bool has_x = false;
+    bool has_y = false;
+    for (const Term& t : atom.terms) {
+      if (!t.is_variable()) continue;
+      if (t.var() == x) has_x = true;
+      if (t.var() == y) has_y = true;
+    }
+    if (has_x && has_y) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+CtractReport ClassifyCtract(const std::vector<Tgd>& st_tgds,
+                            const std::vector<Tgd>& ts_tgds,
+                            const Schema& schema) {
+  CtractReport report;
+  std::vector<std::vector<bool>> marked_positions =
+      ComputeMarkedPositions(st_tgds, schema);
+
+  for (size_t d = 0; d < ts_tgds.size(); ++d) {
+    const Tgd& tgd = ts_tgds[d];
+    std::vector<bool> marked = ComputeMarkedVariables(tgd, marked_positions);
+    std::vector<int> lhs_counts = OccurrenceCounts(tgd.body, tgd.var_count);
+    std::vector<bool> in_lhs = VariablesIn(tgd.body, tgd.var_count);
+
+    // Condition 1: every marked variable appears at most once in the LHS.
+    for (VariableId v = 0; v < tgd.var_count; ++v) {
+      if (marked[v] && lhs_counts[v] > 1) {
+        report.condition1 = false;
+        report.violations.push_back(
+            StrCat("condition 1: marked variable ", tgd.var_names[v],
+                   " appears ", lhs_counts[v], " times in the LHS of ts-tgd #",
+                   d));
+      }
+    }
+
+    // Condition 2.1: the LHS consists of exactly one literal.
+    if (tgd.body.size() != 1) {
+      report.condition2_1 = false;
+      report.violations.push_back(
+          StrCat("condition 2.1: ts-tgd #", d, " has ", tgd.body.size(),
+                 " literals in its LHS"));
+    }
+
+    // Condition 2.2: for every pair of marked variables x, y co-occurring
+    // in a RHS conjunct, either they co-occur in an LHS conjunct or neither
+    // occurs in the LHS at all.
+    for (const Atom& head_atom : tgd.head) {
+      for (size_t i = 0; i < head_atom.terms.size(); ++i) {
+        if (!head_atom.terms[i].is_variable()) continue;
+        VariableId x = head_atom.terms[i].var();
+        if (!marked[x]) continue;
+        for (size_t j = i + 1; j < head_atom.terms.size(); ++j) {
+          if (!head_atom.terms[j].is_variable()) continue;
+          VariableId y = head_atom.terms[j].var();
+          if (!marked[y] || x == y) continue;
+          bool together_in_lhs = CoOccur(tgd.body, x, y);
+          bool both_absent = !in_lhs[x] && !in_lhs[y];
+          if (!together_in_lhs && !both_absent) {
+            report.condition2_2 = false;
+            report.violations.push_back(StrCat(
+                "condition 2.2: marked variables ", tgd.var_names[x], " and ",
+                tgd.var_names[y], " co-occur in the RHS of ts-tgd #", d,
+                " but not in any LHS conjunct (and at least one occurs in"
+                " the LHS)"));
+          }
+        }
+      }
+    }
+  }
+  (void)schema;
+  return report;
+}
+
+}  // namespace pdx

@@ -1,0 +1,56 @@
+#ifndef PDX_LOGIC_MARKING_H_
+#define PDX_LOGIC_MARKING_H_
+
+#include <string>
+#include <vector>
+
+#include "logic/dependency.h"
+#include "relational/schema.h"
+
+namespace pdx {
+
+// Definition 8 (marked positions): position i of target relation T is
+// marked if some source-to-target tgd has a head conjunct
+// T(z1,...,zi,...,zn) where z_i is existentially quantified.
+// Returns marked[relation][attribute] over the full combined schema
+// (positions of source relations are never marked).
+std::vector<std::vector<bool>> ComputeMarkedPositions(
+    const std::vector<Tgd>& st_tgds, const Schema& schema);
+
+// Definition 8 (marked variables): variable z of the target-to-source tgd
+// `ts_tgd` is marked if (1) z appears at a marked position of a body
+// (target-side) conjunct, or (2) z is existentially quantified. The two
+// cases are mutually exclusive by the validity of the tgd.
+std::vector<bool> ComputeMarkedVariables(
+    const Tgd& ts_tgd, const std::vector<std::vector<bool>>& marked_positions);
+
+// Outcome of the C_tract membership test (Definition 9), with per-condition
+// results and human-readable diagnostics naming each violation.
+struct CtractReport {
+  bool condition1 = true;    // marked vars appear at most once in each LHS
+  bool condition2_1 = true;  // every ts-tgd LHS is a single literal
+  bool condition2_2 = true;  // co-occurring marked head vars co-occur in one
+                             // LHS conjunct or are both absent from the LHS
+  std::vector<std::string> violations;
+
+  // P is in C_tract iff condition 1 and (condition 2.1 or condition 2.2).
+  bool in_ctract() const {
+    return condition1 && (condition2_1 || condition2_2);
+  }
+
+  // Theorem 5 needs only condition 1: the homomorphism reduction is
+  // *correct* (but not necessarily polynomial) whenever condition 1 holds.
+  bool theorem5_applicable() const { return condition1; }
+};
+
+// Classifies (Σ_st, Σ_ts) against Definition 9. The presence of egds,
+// target tgds or disjunctive tgds in a setting disqualifies it from
+// C_tract at the PdeSetting level; this function looks only at the two
+// inter-peer sets, as the definition does.
+CtractReport ClassifyCtract(const std::vector<Tgd>& st_tgds,
+                            const std::vector<Tgd>& ts_tgds,
+                            const Schema& schema);
+
+}  // namespace pdx
+
+#endif  // PDX_LOGIC_MARKING_H_

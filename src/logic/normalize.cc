@@ -1,0 +1,102 @@
+#include "logic/normalize.h"
+
+#include <unordered_set>
+
+#include "logic/implication.h"
+
+namespace pdx {
+
+std::vector<Tgd> SplitFullTgdHeads(const std::vector<Tgd>& tgds) {
+  std::vector<Tgd> result;
+  result.reserve(tgds.size());
+  for (const Tgd& tgd : tgds) {
+    if (!tgd.IsFull() || tgd.head.size() == 1) {
+      result.push_back(tgd);
+      continue;
+    }
+    for (const Atom& head_atom : tgd.head) {
+      Tgd split = tgd;
+      split.head = {head_atom};
+      result.push_back(std::move(split));
+    }
+  }
+  return result;
+}
+
+namespace {
+
+// Canonical fingerprint of a tgd up to variable renaming: hash the atoms
+// with variables renamed in first-occurrence order over body-then-head.
+uint64_t TgdFingerprint(const Tgd& tgd) {
+  std::vector<int> rename(tgd.var_count, -1);
+  int next = 0;
+  uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](uint64_t x) {
+    x *= 0x9e3779b97f4a7c15ull;
+    x ^= x >> 29;
+    h = (h ^ x) * 0x100000001b3ull;
+  };
+  auto mix_atoms = [&](const std::vector<Atom>& atoms, uint64_t salt) {
+    mix(salt);
+    for (const Atom& atom : atoms) {
+      mix(static_cast<uint64_t>(atom.relation) + 1);
+      for (const Term& t : atom.terms) {
+        if (t.is_constant()) {
+          mix(t.constant().packed() * 2 + 1);
+        } else {
+          if (rename[t.var()] == -1) rename[t.var()] = next++;
+          mix(uint64_t{static_cast<uint32_t>(rename[t.var()])} * 2);
+        }
+      }
+    }
+  };
+  mix_atoms(tgd.body, 0x1111);
+  mix_atoms(tgd.head, 0x2222);
+  // Existentiality pattern matters: the same shape with a universal vs
+  // existential variable is a different dependency.
+  for (VariableId v = 0; v < tgd.var_count; ++v) {
+    if (tgd.existential[v] && rename[v] != -1) {
+      mix(0x3333 + static_cast<uint64_t>(rename[v]));
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+std::vector<Tgd> DeduplicateTgds(const std::vector<Tgd>& tgds) {
+  // Note: atom *order* within body/head still distinguishes tgds (this is
+  // a syntactic dedup, not full equivalence — use PruneImpliedTgds for
+  // semantic redundancy).
+  std::unordered_set<uint64_t> seen;
+  std::vector<Tgd> result;
+  result.reserve(tgds.size());
+  for (const Tgd& tgd : tgds) {
+    if (seen.insert(TgdFingerprint(tgd)).second) {
+      result.push_back(tgd);
+    }
+  }
+  return result;
+}
+
+StatusOr<std::vector<Tgd>> PruneImpliedTgds(const std::vector<Tgd>& tgds,
+                                            const Schema& schema,
+                                            SymbolTable* symbols) {
+  std::vector<Tgd> kept = tgds;
+  for (size_t i = 0; i < kept.size();) {
+    DependencySet rest;
+    for (size_t j = 0; j < kept.size(); ++j) {
+      if (j != i) rest.tgds.push_back(kept[j]);
+    }
+    PDX_ASSIGN_OR_RETURN(bool implied,
+                         ImpliesTgd(rest, kept[i], schema, symbols));
+    if (implied) {
+      kept.erase(kept.begin() + static_cast<int64_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  return kept;
+}
+
+}  // namespace pdx

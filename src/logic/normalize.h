@@ -1,0 +1,37 @@
+#ifndef PDX_LOGIC_NORMALIZE_H_
+#define PDX_LOGIC_NORMALIZE_H_
+
+#include "base/status.h"
+#include "logic/dependency.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace pdx {
+
+// Normalization utilities for dependency sets. All transformations
+// preserve logical equivalence of the set.
+
+// Splits every *full* tgd with a multi-atom head into one single-atom-head
+// (GAV) tgd per head atom: φ(x) → A(x) ∧ B(x) becomes φ→A and φ→B. Valid
+// only without existentials (a shared existential couples head atoms), so
+// non-full tgds pass through unchanged. GAV-normal sets chase slightly
+// faster (smaller head-satisfaction checks) and read better in reports.
+std::vector<Tgd> SplitFullTgdHeads(const std::vector<Tgd>& tgds);
+
+// Removes syntactic duplicates: tgds that are identical up to a renaming
+// of variables (detected via canonical freezing of body+head).
+std::vector<Tgd> DeduplicateTgds(const std::vector<Tgd>& tgds);
+
+// Removes tgds implied by the rest of the set (chase implication, [3]).
+// Requires the set to be weakly acyclic (kFailedPrecondition otherwise).
+// Greedy: scans in order, dropping each tgd that the surviving rest
+// implies; the result is equivalent and irredundant with respect to this
+// scan order (global minimality is not guaranteed — implication-based
+// minimization is order-sensitive).
+StatusOr<std::vector<Tgd>> PruneImpliedTgds(const std::vector<Tgd>& tgds,
+                                            const Schema& schema,
+                                            SymbolTable* symbols);
+
+}  // namespace pdx
+
+#endif  // PDX_LOGIC_NORMALIZE_H_

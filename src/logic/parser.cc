@@ -1,0 +1,493 @@
+#include "logic/parser.h"
+
+#include <cctype>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/string_util.h"
+
+namespace pdx {
+
+namespace {
+
+enum class TokenKind {
+  kIdent,       // relation names and variables
+  kConstant,    // quoted string or number
+  kLParen,
+  kRParen,
+  kComma,
+  kAmp,         // '&'
+  kPipe,        // '|'
+  kArrow,       // '->'
+  kTurnstile,   // ':-'
+  kColon,
+  kEquals,
+  kEnd,         // '.' or ';'
+  kEof,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  size_t offset = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  StatusOr<Token> Next() {
+    SkipSpaceAndComments();
+    Token token;
+    token.offset = pos_;
+    if (pos_ >= text_.size()) {
+      token.kind = TokenKind::kEof;
+      return token;
+    }
+    char c = text_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_')) {
+        ++pos_;
+      }
+      token.kind = TokenKind::kIdent;
+      token.text = std::string(text_.substr(start, pos_ - start));
+      return token;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_')) {
+        ++pos_;
+      }
+      token.kind = TokenKind::kConstant;
+      token.text = std::string(text_.substr(start, pos_ - start));
+      return token;
+    }
+    if (c == '\'' || c == '"') {
+      char quote = c;
+      size_t start = ++pos_;
+      while (pos_ < text_.size() && text_[pos_] != quote) ++pos_;
+      if (pos_ >= text_.size()) {
+        return InvalidArgumentError(
+            StrCat("unterminated quoted constant at offset ", start - 1));
+      }
+      token.kind = TokenKind::kConstant;
+      token.text = std::string(text_.substr(start, pos_ - start));
+      ++pos_;
+      return token;
+    }
+    ++pos_;
+    switch (c) {
+      case '(':
+        token.kind = TokenKind::kLParen;
+        return token;
+      case ')':
+        token.kind = TokenKind::kRParen;
+        return token;
+      case ',':
+        token.kind = TokenKind::kComma;
+        return token;
+      case '&':
+        token.kind = TokenKind::kAmp;
+        return token;
+      case '|':
+        token.kind = TokenKind::kPipe;
+        return token;
+      case '=':
+        token.kind = TokenKind::kEquals;
+        return token;
+      case '.':
+      case ';':
+        token.kind = TokenKind::kEnd;
+        return token;
+      case '-':
+        if (pos_ < text_.size() && text_[pos_] == '>') {
+          ++pos_;
+          token.kind = TokenKind::kArrow;
+          return token;
+        }
+        return InvalidArgumentError(
+            StrCat("stray '-' at offset ", token.offset));
+      case ':':
+        if (pos_ < text_.size() && text_[pos_] == '-') {
+          ++pos_;
+          token.kind = TokenKind::kTurnstile;
+          return token;
+        }
+        token.kind = TokenKind::kColon;
+        return token;
+      default:
+        return InvalidArgumentError(StrCat("unexpected character '",
+                                           std::string(1, c), "' at offset ",
+                                           token.offset));
+    }
+  }
+
+ private:
+  void SkipSpaceAndComments() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        return;
+      }
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+// Recursive-descent parser over the token stream. One Parser instance
+// parses one program; variable scopes are per-statement.
+class Parser {
+ public:
+  Parser(std::string_view text, const Schema& schema, SymbolTable* symbols)
+      : lexer_(text), schema_(schema), symbols_(symbols) {}
+
+  Status Init() { return Advance(); }
+
+  bool AtEof() const { return current_.kind == TokenKind::kEof; }
+
+  // statement := conj '->' rhs terminator
+  Status ParseStatement(DependencySet* out) {
+    vars_.clear();
+    var_names_.clear();
+    std::vector<Atom> body;
+    PDX_RETURN_IF_ERROR(ParseConjunction(&body));
+    PDX_RETURN_IF_ERROR(Expect(TokenKind::kArrow, "'->'"));
+
+    // Egd: IDENT '=' IDENT (the identifier must be a known body variable).
+    if (current_.kind == TokenKind::kIdent && LookaheadIsEquals()) {
+      Egd egd;
+      egd.body = std::move(body);
+      PDX_RETURN_IF_ERROR(ParseEqualityVariable(&egd.left_var));
+      PDX_RETURN_IF_ERROR(Expect(TokenKind::kEquals, "'='"));
+      PDX_RETURN_IF_ERROR(ParseEqualityVariable(&egd.right_var));
+      PDX_RETURN_IF_ERROR(ConsumeTerminator());
+      egd.var_count = static_cast<int>(var_names_.size());
+      egd.var_names = var_names_;
+      PDX_RETURN_IF_ERROR(ValidateEgd(egd, schema_));
+      out->egds.push_back(std::move(egd));
+      return OkStatus();
+    }
+
+    // Tgd: optional 'exists v1,...:' then disjunction of conjunctions.
+    std::vector<bool> declared_existential;
+    int body_var_count = static_cast<int>(var_names_.size());
+    if (current_.kind == TokenKind::kIdent && current_.text == "exists") {
+      PDX_RETURN_IF_ERROR(Advance());
+      while (true) {
+        if (current_.kind != TokenKind::kIdent) {
+          return ErrorHere("expected variable after 'exists'");
+        }
+        VariableId v = InternVariable(current_.text);
+        if (v < body_var_count) {
+          return ErrorHere(StrCat("existential variable ", current_.text,
+                                  " already occurs in the body"));
+        }
+        if (static_cast<int>(declared_existential.size()) <= v) {
+          declared_existential.resize(v + 1, false);
+        }
+        declared_existential[v] = true;
+        PDX_RETURN_IF_ERROR(Advance());
+        if (current_.kind == TokenKind::kComma) {
+          PDX_RETURN_IF_ERROR(Advance());
+          continue;
+        }
+        break;
+      }
+      PDX_RETURN_IF_ERROR(Expect(TokenKind::kColon, "':' after 'exists' list"));
+    }
+
+    std::vector<std::vector<Atom>> disjuncts;
+    PDX_RETURN_IF_ERROR(ParseHeadDisjunction(&disjuncts));
+    PDX_RETURN_IF_ERROR(ConsumeTerminator());
+
+    int var_count = static_cast<int>(var_names_.size());
+    std::vector<bool> existential(var_count, false);
+    for (size_t v = 0; v < declared_existential.size(); ++v) {
+      if (declared_existential[v]) existential[v] = true;
+    }
+    // Head variables not bound by the body are implicitly existential.
+    for (VariableId v = body_var_count; v < var_count; ++v) {
+      existential[v] = true;
+    }
+
+    if (disjuncts.size() == 1) {
+      Tgd tgd;
+      tgd.body = std::move(body);
+      tgd.head = std::move(disjuncts[0]);
+      tgd.var_count = var_count;
+      tgd.existential = std::move(existential);
+      tgd.var_names = var_names_;
+      PDX_RETURN_IF_ERROR(ValidateTgd(tgd, schema_));
+      out->tgds.push_back(std::move(tgd));
+    } else {
+      DisjunctiveTgd tgd;
+      tgd.body = std::move(body);
+      tgd.head_disjuncts = std::move(disjuncts);
+      tgd.var_count = var_count;
+      tgd.existential = std::move(existential);
+      tgd.var_names = var_names_;
+      PDX_RETURN_IF_ERROR(ValidateDisjunctiveTgd(tgd, schema_));
+      out->disjunctive_tgds.push_back(std::move(tgd));
+    }
+    return OkStatus();
+  }
+
+  // query := IDENT ['(' varlist ')'] ':-' conj terminator
+  Status ParseQueryStatement(ConjunctiveQuery* out) {
+    vars_.clear();
+    var_names_.clear();
+    if (current_.kind != TokenKind::kIdent) {
+      return ErrorHere("expected query head name");
+    }
+    PDX_RETURN_IF_ERROR(Advance());
+    std::vector<std::string> head_names;
+    if (current_.kind == TokenKind::kLParen) {
+      PDX_RETURN_IF_ERROR(Advance());
+      if (current_.kind != TokenKind::kRParen) {
+        while (true) {
+          if (current_.kind != TokenKind::kIdent) {
+            return ErrorHere("expected variable in query head");
+          }
+          head_names.push_back(current_.text);
+          PDX_RETURN_IF_ERROR(Advance());
+          if (current_.kind == TokenKind::kComma) {
+            PDX_RETURN_IF_ERROR(Advance());
+            continue;
+          }
+          break;
+        }
+      }
+      PDX_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+    }
+    PDX_RETURN_IF_ERROR(Expect(TokenKind::kTurnstile, "':-'"));
+    // Intern head variables first so that their ids are stable even though
+    // binding happens in the body.
+    for (const std::string& name : head_names) {
+      out->head_vars.push_back(InternVariable(name));
+    }
+    PDX_RETURN_IF_ERROR(ParseConjunction(&out->body));
+    PDX_RETURN_IF_ERROR(ConsumeTerminator());
+    out->var_count = static_cast<int>(var_names_.size());
+    out->var_names = var_names_;
+    return ValidateQuery(*out, schema_);
+  }
+
+ private:
+  Status Advance() {
+    PDX_ASSIGN_OR_RETURN(current_, lexer_.Next());
+    return OkStatus();
+  }
+
+  Status Expect(TokenKind kind, const char* what) {
+    if (current_.kind != kind) {
+      return ErrorHere(StrCat("expected ", what));
+    }
+    return Advance();
+  }
+
+  Status ConsumeTerminator() {
+    if (current_.kind == TokenKind::kEnd) return Advance();
+    if (current_.kind == TokenKind::kEof) return OkStatus();
+    return ErrorHere("expected '.' or ';' after statement");
+  }
+
+  Status ErrorHere(std::string message) {
+    return InvalidArgumentError(
+        StrCat(message, " at offset ", current_.offset,
+               current_.text.empty() ? "" : StrCat(" (near '", current_.text,
+                                                   "')")));
+  }
+
+  VariableId InternVariable(const std::string& name) {
+    auto it = vars_.find(name);
+    if (it != vars_.end()) return it->second;
+    VariableId v = static_cast<VariableId>(var_names_.size());
+    vars_.emplace(name, v);
+    var_names_.push_back(name);
+    return v;
+  }
+
+  // Peeks whether the token after the current identifier is '='. The lexer
+  // has no pushback, so we re-lex from a saved copy.
+  bool LookaheadIsEquals() {
+    Lexer saved = lexer_;
+    auto next = saved.Next();
+    return next.ok() && next->kind == TokenKind::kEquals;
+  }
+
+  Status ParseEqualityVariable(VariableId* out) {
+    if (current_.kind != TokenKind::kIdent) {
+      return ErrorHere("expected variable in equality");
+    }
+    auto it = vars_.find(current_.text);
+    if (it == vars_.end()) {
+      return ErrorHere(StrCat("equated variable ", current_.text,
+                              " does not occur in the body"));
+    }
+    *out = it->second;
+    return Advance();
+  }
+
+  Status ParseAtom(Atom* atom) {
+    if (current_.kind != TokenKind::kIdent) {
+      return ErrorHere("expected relation name");
+    }
+    PDX_ASSIGN_OR_RETURN(atom->relation,
+                         schema_.FindRelation(current_.text));
+    PDX_RETURN_IF_ERROR(Advance());
+    PDX_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+    atom->terms.clear();
+    if (current_.kind != TokenKind::kRParen) {
+      while (true) {
+        if (current_.kind == TokenKind::kIdent) {
+          atom->terms.push_back(Term::Var(InternVariable(current_.text)));
+          PDX_RETURN_IF_ERROR(Advance());
+        } else if (current_.kind == TokenKind::kConstant) {
+          atom->terms.push_back(
+              Term::Const(symbols_->InternConstant(current_.text)));
+          PDX_RETURN_IF_ERROR(Advance());
+        } else {
+          return ErrorHere("expected term");
+        }
+        if (current_.kind == TokenKind::kComma) {
+          PDX_RETURN_IF_ERROR(Advance());
+          continue;
+        }
+        break;
+      }
+    }
+    PDX_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+    if (static_cast<int>(atom->terms.size()) !=
+        schema_.arity(atom->relation)) {
+      return InvalidArgumentError(
+          StrCat("atom for ", schema_.relation_name(atom->relation), " has ",
+                 atom->terms.size(), " terms, expected ",
+                 schema_.arity(atom->relation)));
+    }
+    return OkStatus();
+  }
+
+  Status ParseConjunction(std::vector<Atom>* atoms) {
+    while (true) {
+      Atom atom;
+      PDX_RETURN_IF_ERROR(ParseAtom(&atom));
+      atoms->push_back(std::move(atom));
+      if (current_.kind == TokenKind::kAmp ||
+          current_.kind == TokenKind::kComma) {
+        PDX_RETURN_IF_ERROR(Advance());
+        continue;
+      }
+      return OkStatus();
+    }
+  }
+
+  // head := conj | '(' conj ')' ('|' '(' conj ')')*
+  Status ParseHeadDisjunction(std::vector<std::vector<Atom>>* disjuncts) {
+    if (current_.kind != TokenKind::kLParen) {
+      std::vector<Atom> conj;
+      PDX_RETURN_IF_ERROR(ParseConjunction(&conj));
+      disjuncts->push_back(std::move(conj));
+      return OkStatus();
+    }
+    while (true) {
+      PDX_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+      std::vector<Atom> conj;
+      PDX_RETURN_IF_ERROR(ParseConjunction(&conj));
+      PDX_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+      disjuncts->push_back(std::move(conj));
+      if (current_.kind == TokenKind::kPipe) {
+        PDX_RETURN_IF_ERROR(Advance());
+        continue;
+      }
+      return OkStatus();
+    }
+  }
+
+  Lexer lexer_;
+  Token current_;
+  const Schema& schema_;
+  SymbolTable* symbols_;
+  std::unordered_map<std::string, VariableId> vars_;
+  std::vector<std::string> var_names_;
+};
+
+}  // namespace
+
+StatusOr<DependencySet> ParseDependencies(std::string_view text,
+                                          const Schema& schema,
+                                          SymbolTable* symbols) {
+  PDX_CHECK(symbols != nullptr);
+  Parser parser(text, schema, symbols);
+  PDX_RETURN_IF_ERROR(parser.Init());
+  DependencySet out;
+  while (!parser.AtEof()) {
+    PDX_RETURN_IF_ERROR(parser.ParseStatement(&out));
+  }
+  return out;
+}
+
+StatusOr<Tgd> ParseTgd(std::string_view text, const Schema& schema,
+                       SymbolTable* symbols) {
+  PDX_ASSIGN_OR_RETURN(DependencySet deps,
+                       ParseDependencies(text, schema, symbols));
+  if (deps.tgds.size() != 1 || !deps.egds.empty() ||
+      !deps.disjunctive_tgds.empty()) {
+    return InvalidArgumentError("expected exactly one tgd");
+  }
+  return std::move(deps.tgds[0]);
+}
+
+StatusOr<Egd> ParseEgd(std::string_view text, const Schema& schema,
+                       SymbolTable* symbols) {
+  PDX_ASSIGN_OR_RETURN(DependencySet deps,
+                       ParseDependencies(text, schema, symbols));
+  if (deps.egds.size() != 1 || !deps.tgds.empty() ||
+      !deps.disjunctive_tgds.empty()) {
+    return InvalidArgumentError("expected exactly one egd");
+  }
+  return std::move(deps.egds[0]);
+}
+
+StatusOr<ConjunctiveQuery> ParseQuery(std::string_view text,
+                                      const Schema& schema,
+                                      SymbolTable* symbols) {
+  PDX_CHECK(symbols != nullptr);
+  Parser parser(text, schema, symbols);
+  PDX_RETURN_IF_ERROR(parser.Init());
+  ConjunctiveQuery query;
+  PDX_RETURN_IF_ERROR(parser.ParseQueryStatement(&query));
+  if (!parser.AtEof()) {
+    return InvalidArgumentError("expected exactly one query");
+  }
+  return query;
+}
+
+StatusOr<UnionQuery> ParseUnionQuery(std::string_view text,
+                                     const Schema& schema,
+                                     SymbolTable* symbols) {
+  PDX_CHECK(symbols != nullptr);
+  Parser parser(text, schema, symbols);
+  PDX_RETURN_IF_ERROR(parser.Init());
+  UnionQuery query;
+  while (!parser.AtEof()) {
+    ConjunctiveQuery q;
+    PDX_RETURN_IF_ERROR(parser.ParseQueryStatement(&q));
+    query.disjuncts.push_back(std::move(q));
+  }
+  PDX_RETURN_IF_ERROR(ValidateUnionQuery(query, schema));
+  return query;
+}
+
+}  // namespace pdx

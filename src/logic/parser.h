@@ -1,0 +1,58 @@
+#ifndef PDX_LOGIC_PARSER_H_
+#define PDX_LOGIC_PARSER_H_
+
+#include <string_view>
+
+#include "base/status.h"
+#include "logic/conjunctive_query.h"
+#include "logic/dependency.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace pdx {
+
+// Parses a program of dependencies in the paper's notation, one statement
+// per '.'/';'-terminated clause:
+//
+//   E(x,z) & E(z,y) -> H(x,y).
+//   H(x,y) -> exists z: E(x,z) & E(z,y).
+//   P(x,z,y,w) & P(x,z2,y2,w2) -> z = z2.            # an egd
+//   B(x) -> exists u: (R(u)) | (G(u)).               # disjunctive head
+//
+// Conventions:
+//   * identifiers in term position are variables; constants are written
+//     quoted ('a') or as numbers (42) and are interned into `symbols`;
+//   * `exists v1,v2:` explicitly quantifies head variables; in addition,
+//     any head variable that does not occur in the body is implicitly
+//     existential (the common shorthand for st-tgds);
+//   * conjunction is '&' or ','; disjuncts of a disjunctive head are
+//     parenthesized conjunctions separated by '|';
+//   * '#' starts a comment running to end of line.
+//
+// Relation names must exist in `schema` with matching arities.
+StatusOr<DependencySet> ParseDependencies(std::string_view text,
+                                          const Schema& schema,
+                                          SymbolTable* symbols);
+
+// Convenience wrappers that require the program to contain exactly one
+// statement of the respective kind.
+StatusOr<Tgd> ParseTgd(std::string_view text, const Schema& schema,
+                       SymbolTable* symbols);
+StatusOr<Egd> ParseEgd(std::string_view text, const Schema& schema,
+                       SymbolTable* symbols);
+
+// Parses a conjunctive query "q(x,y) :- H(x,z) & H(z,y)." (head name is
+// arbitrary; "q() :- ..." or "q :- ..." is Boolean).
+StatusOr<ConjunctiveQuery> ParseQuery(std::string_view text,
+                                      const Schema& schema,
+                                      SymbolTable* symbols);
+
+// Parses a union of conjunctive queries: one query statement per clause,
+// all with the same head arity.
+StatusOr<UnionQuery> ParseUnionQuery(std::string_view text,
+                                     const Schema& schema,
+                                     SymbolTable* symbols);
+
+}  // namespace pdx
+
+#endif  // PDX_LOGIC_PARSER_H_

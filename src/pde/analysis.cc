@@ -1,0 +1,86 @@
+#include "pde/analysis.h"
+
+#include "base/string_util.h"
+#include "logic/dependency_graph.h"
+#include "logic/implication.h"
+
+namespace pdx {
+
+namespace {
+
+// All plain tgds of the setting, in a stable order with labels.
+struct LabeledTgd {
+  const Tgd* tgd;
+  const char* set_name;
+};
+
+std::vector<LabeledTgd> AllTgds(const PdeSetting& setting) {
+  std::vector<LabeledTgd> all;
+  for (const Tgd& tgd : setting.st_tgds()) all.push_back({&tgd, "Σst"});
+  for (const Tgd& tgd : setting.ts_tgds()) all.push_back({&tgd, "Σts"});
+  for (const Tgd& tgd : setting.target_tgds()) all.push_back({&tgd, "Σt"});
+  return all;
+}
+
+}  // namespace
+
+SettingAnalysis AnalyzeSetting(const PdeSetting& setting,
+                               SymbolTable* symbols) {
+  SettingAnalysis analysis;
+  const Schema& schema = setting.schema();
+
+  std::vector<LabeledTgd> all = AllTgds(setting);
+  std::vector<Tgd> combined;
+  combined.reserve(all.size());
+  for (const LabeledTgd& labeled : all) combined.push_back(*labeled.tgd);
+
+  // Chase-growth diagnostics over the generating direction Σ_st ∪ Σ_t.
+  std::vector<Tgd> generating = setting.st_tgds();
+  generating.insert(generating.end(), setting.target_tgds().begin(),
+                    setting.target_tgds().end());
+  PositionDependencyGraph graph(generating, schema);
+  analysis.generating_sets_weakly_acyclic = graph.IsWeaklyAcyclic();
+  analysis.max_rank = graph.MaxRank();
+
+  // Redundancy needs the full combined set to be weakly acyclic (and no
+  // disjunctive ts-tgds, which the implication engine does not support).
+  analysis.implication_available =
+      setting.ts_disjunctive_tgds().empty() &&
+      IsWeaklyAcyclic(combined, schema);
+  if (!analysis.implication_available) return analysis;
+
+  DependencySet sigma;
+  sigma.egds = setting.target_egds();
+  for (size_t i = 0; i < all.size(); ++i) {
+    sigma.tgds.clear();
+    for (size_t j = 0; j < all.size(); ++j) {
+      if (j != i) sigma.tgds.push_back(*all[j].tgd);
+    }
+    StatusOr<bool> implied =
+        ImpliesTgd(sigma, *all[i].tgd, schema, symbols);
+    if (implied.ok() && *implied) {
+      analysis.redundant_dependencies.push_back(
+          StrCat(all[i].set_name, ": ",
+                 all[i].tgd->ToString(schema, *symbols),
+                 "  (implied by the remaining dependencies)"));
+    }
+  }
+  // Egds of Σ_t against the rest.
+  for (size_t i = 0; i < setting.target_egds().size(); ++i) {
+    DependencySet rest;
+    rest.tgds = combined;
+    for (size_t j = 0; j < setting.target_egds().size(); ++j) {
+      if (j != i) rest.egds.push_back(setting.target_egds()[j]);
+    }
+    StatusOr<bool> implied =
+        ImpliesEgd(rest, setting.target_egds()[i], schema, symbols);
+    if (implied.ok() && *implied) {
+      analysis.redundant_dependencies.push_back(
+          StrCat("Σt: ", setting.target_egds()[i].ToString(schema, *symbols),
+                 "  (implied by the remaining dependencies)"));
+    }
+  }
+  return analysis;
+}
+
+}  // namespace pdx

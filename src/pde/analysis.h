@@ -1,0 +1,37 @@
+#ifndef PDX_PDE_ANALYSIS_H_
+#define PDX_PDE_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "pde/setting.h"
+#include "relational/value.h"
+
+namespace pdx {
+
+// Static analysis of a PDE setting's dependency sets, built on the chase
+// implication procedure ([3]).
+struct SettingAnalysis {
+  // Whether implication analysis could run: it needs the combined tgd set
+  // Σ_st ∪ Σ_ts ∪ Σ_t to be weakly acyclic (Σ_st/Σ_ts cycles through
+  // existentials make the implication chase non-terminating in general).
+  bool implication_available = false;
+  // Human-readable notes: one entry per dependency implied by the others
+  // (a redundant dependency can be dropped without changing the space of
+  // solutions).
+  std::vector<std::string> redundant_dependencies;
+  // Chase-growth diagnostics for Σ_st ∪ Σ_t (the fact-generating sets).
+  bool generating_sets_weakly_acyclic = false;
+  int max_rank = -1;
+};
+
+// Analyzes `setting`: redundancy of each dependency w.r.t. the others and
+// chase-growth characteristics. Never fails on valid settings; analyses
+// that do not apply are reported via the flags above.
+SettingAnalysis AnalyzeSetting(const PdeSetting& setting,
+                               SymbolTable* symbols);
+
+}  // namespace pdx
+
+#endif  // PDX_PDE_ANALYSIS_H_

@@ -1,0 +1,141 @@
+#include "pde/certain_answers.h"
+
+#include <algorithm>
+#include <set>
+
+#include "chase/chase.h"
+#include "pde/data_exchange.h"
+
+namespace pdx {
+
+namespace {
+
+bool TupleIsGround(const Tuple& t) {
+  return std::all_of(t.begin(), t.end(),
+                     [](const Value& v) { return v.is_constant(); });
+}
+
+}  // namespace
+
+StatusOr<CertainAnswersResult> ComputeCertainAnswers(
+    const PdeSetting& setting, const Instance& source, const Instance& target,
+    const UnionQuery& query, SymbolTable* symbols,
+    const GenericSolverOptions& options) {
+  PDX_RETURN_IF_ERROR(ValidateUnionQuery(query, setting.schema()));
+  for (const ConjunctiveQuery& q : query.disjuncts) {
+    for (const Atom& atom : q.body) {
+      if (setting.is_source(atom.relation)) {
+        return InvalidArgumentError(
+            "certain answers are defined for queries over the target schema");
+      }
+    }
+  }
+
+  CertainAnswersResult result;
+
+  // Fast path: data exchange settings have a PTIME algorithm ([8]).
+  if (setting.IsDataExchange()) {
+    result.used_data_exchange_fast_path = true;
+    PDX_ASSIGN_OR_RETURN(DataExchangeResult de,
+                         SolveDataExchange(setting, source, target, symbols));
+    if (!de.has_solution) {
+      result.no_solution = true;
+      result.boolean_value = true;  // vacuously certain
+      return result;
+    }
+    if (query.IsBoolean()) {
+      result.boolean_value = EvaluateBoolean(query, *de.universal_solution);
+    } else {
+      result.answers = EvaluateUnionQueryNullFree(query,
+                                                  *de.universal_solution);
+    }
+    return result;
+  }
+
+  // General path: enumerate all minimal solutions and intersect.
+  GenericSolverOptions enumerate_options = options;
+  enumerate_options.enumerate_all = true;
+  PDX_ASSIGN_OR_RETURN(
+      GenericSolveResult solve,
+      GenericExistsSolution(setting, source, target, symbols,
+                            enumerate_options));
+  if (solve.outcome == SolveOutcome::kBudgetExhausted) {
+    return ResourceExhaustedError(
+        "solution enumeration exceeded its budget; certain answers unknown");
+  }
+  if (solve.outcome == SolveOutcome::kNoSolution) {
+    result.no_solution = true;
+    result.boolean_value = true;  // vacuously certain
+    return result;
+  }
+  result.solutions_enumerated =
+      static_cast<int64_t>(solve.solutions.size());
+
+  if (query.IsBoolean()) {
+    result.boolean_value = true;
+    for (const Instance& solution : solve.solutions) {
+      if (!EvaluateBoolean(query, solution)) {
+        result.boolean_value = false;
+        break;
+      }
+    }
+    return result;
+  }
+
+  // Intersection of ground answers over all enumerated minimal solutions.
+  // Monotonicity of q makes this exactly certain(q): any solution J*
+  // contains some enumerated J ⊆ J* (Lemma 2), so q(J) ⊆ q(J*).
+  bool first = true;
+  std::set<Tuple> certain;
+  for (const Instance& solution : solve.solutions) {
+    std::vector<Tuple> answers = EvaluateUnionQuery(query, solution);
+    std::set<Tuple> ground;
+    for (Tuple& t : answers) {
+      if (TupleIsGround(t)) ground.insert(std::move(t));
+    }
+    if (first) {
+      certain = std::move(ground);
+      first = false;
+    } else {
+      std::set<Tuple> intersection;
+      std::set_intersection(certain.begin(), certain.end(), ground.begin(),
+                            ground.end(),
+                            std::inserter(intersection,
+                                          intersection.begin()));
+      certain = std::move(intersection);
+    }
+    if (certain.empty()) break;
+  }
+  result.answers.assign(certain.begin(), certain.end());
+  return result;
+}
+
+StatusOr<CertainLowerBoundResult> ComputeCertainAnswersLowerBound(
+    const PdeSetting& setting, const Instance& source, const Instance& target,
+    const UnionQuery& query, SymbolTable* symbols) {
+  PDX_CHECK(symbols != nullptr);
+  PDX_RETURN_IF_ERROR(ValidateUnionQuery(query, setting.schema()));
+  PDX_RETURN_IF_ERROR(setting.ValidateSourceInstance(source));
+  PDX_RETURN_IF_ERROR(setting.ValidateTargetInstance(target));
+
+  // J_can: chase (I, J) with Σ_st only (Lemma 3's canonical pre-solution).
+  Instance combined = setting.CombineInstances(source, target);
+  ChaseResult chase = Chase(combined, setting.st_tgds(), symbols);
+  PDX_CHECK(chase.outcome == ChaseOutcome::kSuccess)
+      << "Σ_st chase cannot fail or diverge";
+  Instance j_can = setting.TargetPart(chase.instance);
+
+  CertainLowerBoundResult result;
+  result.j_can_size = static_cast<int64_t>(j_can.fact_count());
+  if (query.IsBoolean()) {
+    // A Boolean match using only constants... Boolean queries have no
+    // head, so any match on J_can transfers along the homomorphism into
+    // every solution (homomorphisms preserve CQ matches wholesale).
+    result.boolean_value = EvaluateBoolean(query, j_can);
+  } else {
+    result.answers = EvaluateUnionQueryNullFree(query, j_can);
+  }
+  return result;
+}
+
+}  // namespace pdx

@@ -1,0 +1,66 @@
+#ifndef PDX_PDE_CERTAIN_ANSWERS_H_
+#define PDX_PDE_CERTAIN_ANSWERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/status.h"
+#include "logic/conjunctive_query.h"
+#include "pde/generic_solver.h"
+#include "pde/setting.h"
+#include "relational/instance.h"
+#include "relational/tuple.h"
+#include "relational/value.h"
+
+namespace pdx {
+
+// certain(q, (I, J)) for a monotone (union of conjunctive) query q over T
+// (Definition 4).
+struct CertainAnswersResult {
+  // True when (I, J) has no solution at all; then every tuple/Boolean query
+  // is vacuously certain and `answers` is not meaningful.
+  bool no_solution = false;
+  // The certain answers: all-constant tuples t with t ∈ q(J') for every
+  // solution J'. For Boolean q (head arity 0) use `boolean_value`.
+  std::vector<Tuple> answers;
+  bool boolean_value = false;
+  // Number of distinct minimal solutions the intersection ranged over
+  // (0 for the data-exchange fast path, which needs only the universal
+  // solution).
+  int64_t solutions_enumerated = 0;
+  bool used_data_exchange_fast_path = false;
+};
+
+// Computes the certain answers of `query`:
+//   * Σ_ts = ∅ (data exchange): PTIME via the universal solution ([8]);
+//   * otherwise: enumerates all minimal solutions with the generic solver
+//     and intersects q over them — sound and complete for monotone queries
+//     by Lemma 2, realizing the coNP procedure of Theorem 2.
+// Returns kResourceExhausted if the solution enumeration hit its budget
+// (no answer can then be certified).
+StatusOr<CertainAnswersResult> ComputeCertainAnswers(
+    const PdeSetting& setting, const Instance& source, const Instance& target,
+    const UnionQuery& query, SymbolTable* symbols,
+    const GenericSolverOptions& options = GenericSolverOptions());
+
+// A PTIME *sound under-approximation* of the certain answers, built from
+// the paper's Lemma 3: J_can (the chase of (I, J) with Σ_st alone) maps
+// homomorphically into every solution, so every null-free answer of q on
+// J_can holds in every solution. The returned set is therefore always a
+// subset of certain(q, (I, J)) — exact for data exchange settings, and
+// frequently exact in practice; the paper leaves the complexity of exact
+// C_tract certain answers open, which is precisely the gap this fills
+// operationally. Note: when (I, J) has no solution at all, certainty is
+// vacuous and this under-approximation is simply still sound.
+struct CertainLowerBoundResult {
+  std::vector<Tuple> answers;
+  bool boolean_value = false;
+  int64_t j_can_size = 0;
+};
+StatusOr<CertainLowerBoundResult> ComputeCertainAnswersLowerBound(
+    const PdeSetting& setting, const Instance& source, const Instance& target,
+    const UnionQuery& query, SymbolTable* symbols);
+
+}  // namespace pdx
+
+#endif  // PDX_PDE_CERTAIN_ANSWERS_H_

@@ -1,0 +1,81 @@
+#include "pde/ctract_solver.h"
+
+#include <algorithm>
+
+#include "base/string_util.h"
+#include "chase/chase.h"
+#include "hom/instance_hom.h"
+
+namespace pdx {
+
+StatusOr<CtractSolveResult> CtractExistsSolution(const PdeSetting& setting,
+                                                 const Instance& source,
+                                                 const Instance& target,
+                                                 SymbolTable* symbols) {
+  PDX_CHECK(symbols != nullptr);
+  if (setting.HasTargetConstraints()) {
+    return FailedPreconditionError(
+        "ExistsSolution requires Σ_t = ∅ (Definition 9 settings)");
+  }
+  if (setting.HasDisjunctiveTsTgds()) {
+    return FailedPreconditionError(
+        "ExistsSolution does not support disjunctive ts-tgds");
+  }
+  if (!setting.ctract_report().theorem5_applicable()) {
+    return FailedPreconditionError(
+        StrCat("ExistsSolution requires condition 1 of Definition 9; ",
+               StrJoin(setting.ctract_report().violations, "; ")));
+  }
+  PDX_RETURN_IF_ERROR(setting.ValidateSourceInstance(source));
+  PDX_RETURN_IF_ERROR(setting.ValidateTargetInstance(target));
+
+  CtractSolveResult result;
+
+  // Step 1: (I, J_can) = chase of (I, J) with Σ_st. Σ_st bodies are over S
+  // and heads over T, so the chase adds only target facts and terminates
+  // after one pass over the (fixed) source triggers.
+  Instance combined = setting.CombineInstances(source, target);
+  ChaseResult st_chase = Chase(combined, setting.st_tgds(), symbols);
+  PDX_CHECK(st_chase.outcome == ChaseOutcome::kSuccess)
+      << "Σ_st chase cannot fail or diverge";
+  result.chase_steps += st_chase.steps;
+  Instance j_can = setting.TargetPart(st_chase.instance);
+  result.j_can_size = static_cast<int64_t>(j_can.fact_count());
+
+  // Step 2: (J_can, I_can) = chase of (J_can, ∅) with Σ_ts. Bodies over T
+  // (fixed), heads over S: again a single-pass terminating chase.
+  ChaseResult ts_chase = Chase(j_can, setting.ts_tgds(), symbols);
+  PDX_CHECK(ts_chase.outcome == ChaseOutcome::kSuccess)
+      << "Σ_ts chase cannot fail or diverge";
+  result.chase_steps += ts_chase.steps;
+  Instance i_can = setting.SourcePart(ts_chase.instance);
+  result.i_can_size = static_cast<int64_t>(i_can.fact_count());
+
+  // Step 3: per-block homomorphism checks from I_can into I.
+  NullAssignment h;
+  bool all_blocks_map = true;
+  for (const Block& block : DecomposeIntoBlocks(i_can)) {
+    ++result.block_count;
+    result.max_block_nulls = std::max(
+        result.max_block_nulls, static_cast<int64_t>(block.nulls.size()));
+    if (!all_blocks_map) continue;  // keep collecting stats
+    std::optional<NullAssignment> block_h =
+        FindBlockHomomorphism(block, source);
+    if (!block_h.has_value()) {
+      all_blocks_map = false;
+      continue;
+    }
+    for (const auto& [packed, value] : *block_h) h[packed] = value;
+  }
+  result.has_solution = all_blocks_map;
+  if (!all_blocks_map) return result;
+
+  // Witness construction (Theorem 5, ⇐): J_img = h_J(J_can) where h_J maps
+  // the nulls that J_can shares with I_can per h and fixes everything
+  // else. ApplyAssignment leaves nulls outside `h` unchanged, which is
+  // exactly h_J.
+  result.solution = ApplyAssignment(j_can, h);
+  return result;
+}
+
+}  // namespace pdx

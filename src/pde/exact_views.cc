@@ -1,0 +1,33 @@
+#include "pde/exact_views.h"
+
+#include "base/string_util.h"
+
+namespace pdx {
+
+StatusOr<PdeSetting> MakeExactViewSetting(
+    const std::vector<RelationSchema>& source_relations,
+    const std::vector<RelationSchema>& target_relations,
+    const std::vector<ExactViewDef>& views, SymbolTable* symbols) {
+  if (views.empty()) {
+    return InvalidArgumentError("exact-view setting needs at least one view");
+  }
+  std::vector<std::string> st_lines;
+  std::vector<std::string> ts_lines;
+  for (const ExactViewDef& view : views) {
+    if (view.source_query.empty() || view.target_view.empty()) {
+      return InvalidArgumentError("exact view with an empty side");
+    }
+    // Soundness: φ(x) -> ∃y ψ(x,y). Variables local to ψ become implicit
+    // existentials in the parser.
+    st_lines.push_back(
+        StrCat(view.source_query, " -> ", view.target_view, "."));
+    // Exactness: ψ(x,y) -> ∃z φ(x,z) likewise.
+    ts_lines.push_back(
+        StrCat(view.target_view, " -> ", view.source_query, "."));
+  }
+  return PdeSetting::Create(source_relations, target_relations,
+                            StrJoin(st_lines, "\n"), StrJoin(ts_lines, "\n"),
+                            "", symbols);
+}
+
+}  // namespace pdx

@@ -1,0 +1,44 @@
+#ifndef PDX_PDE_EXACT_VIEWS_H_
+#define PDX_PDE_EXACT_VIEWS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "pde/setting.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace pdx {
+
+// Section 2 observation: peer data exchange captures GLAV data
+// integration with *exact* views. An exact view pairs
+//     φ(x) -> ∃y ψ(x,y)        (the view is sound: it contains the query)
+//     ψ(x,y) -> φ(x)           (the view is exact: nothing else)
+// where φ is a conjunction over the source and ψ over the target. This
+// helper builds a PDE setting from a list of such view definitions.
+struct ExactViewDef {
+  // The two sides, written as conjunctions in the parser syntax with
+  // shared variable names, e.g.
+  //   source_query = "Emp(e,d) & Dept(d,m)"
+  //   target_view  = "WorksFor(e,m)"
+  // Variables occurring only in target_view are existential in the sound
+  // direction; variables occurring only in source_query are existential
+  // in the exactness direction.
+  std::string source_query;
+  std::string target_view;
+};
+
+// Builds the PDE setting whose Σ_st/Σ_ts encode the given exact views.
+// The resulting Σ_ts tgds have the target view as LHS; when every view's
+// target side is a single atom without repeated variables the setting is
+// LAV-with-exact-views and lands in C_tract (Corollary 2).
+StatusOr<PdeSetting> MakeExactViewSetting(
+    const std::vector<RelationSchema>& source_relations,
+    const std::vector<RelationSchema>& target_relations,
+    const std::vector<ExactViewDef>& views, SymbolTable* symbols);
+
+}  // namespace pdx
+
+#endif  // PDX_PDE_EXACT_VIEWS_H_

@@ -1,0 +1,93 @@
+#include "pde/explain.h"
+
+#include <vector>
+
+namespace pdx {
+
+namespace {
+
+Instance WithoutFact(const Instance& instance, const std::vector<Fact>& facts,
+                     size_t skip) {
+  Instance smaller(&instance.schema());
+  for (size_t i = 0; i < facts.size(); ++i) {
+    if (i != skip) smaller.AddFact(facts[i]);
+  }
+  return smaller;
+}
+
+// Shared greedy minimization: repeatedly drop any fact of `shrinkable`
+// that keeps `predicate` true (predicate = "still unsolvable").
+template <typename Predicate>
+StatusOr<Instance> GreedyMinimize(Instance shrinkable,
+                                  const Predicate& still_conflicting) {
+  bool shrunk = true;
+  while (shrunk) {
+    shrunk = false;
+    std::vector<Fact> facts = shrinkable.AllFacts();
+    for (size_t i = 0; i < facts.size(); ++i) {
+      Instance candidate = WithoutFact(shrinkable, facts, i);
+      PDX_ASSIGN_OR_RETURN(bool conflicting, still_conflicting(candidate));
+      if (conflicting) {
+        shrinkable = std::move(candidate);
+        shrunk = true;
+        break;
+      }
+    }
+  }
+  return shrinkable;
+}
+
+}  // namespace
+
+StatusOr<Instance> FindMinimalTargetConflict(const PdeSetting& setting,
+                                             const Instance& source,
+                                             const Instance& target,
+                                             SymbolTable* symbols,
+                                             const ExplainOptions& options) {
+  auto unsolvable = [&](const Instance& j) -> StatusOr<bool> {
+    PDX_ASSIGN_OR_RETURN(
+        GenericSolveResult result,
+        GenericExistsSolution(setting, source, j, symbols, options.solver));
+    if (result.outcome == SolveOutcome::kBudgetExhausted) {
+      return ResourceExhaustedError("solver budget exhausted during explain");
+    }
+    return result.outcome == SolveOutcome::kNoSolution;
+  };
+  PDX_ASSIGN_OR_RETURN(bool whole_unsolvable, unsolvable(target));
+  if (!whole_unsolvable) {
+    return FailedPreconditionError(
+        "FindMinimalTargetConflict requires an unsolvable (I, J)");
+  }
+  PDX_ASSIGN_OR_RETURN(bool empty_unsolvable,
+                       unsolvable(setting.EmptyInstance()));
+  if (empty_unsolvable) {
+    return FailedPreconditionError(
+        "the conflict is independent of J: (I, ∅) is already unsolvable; "
+        "use FindMinimalSourceConflict");
+  }
+  return GreedyMinimize(target, unsolvable);
+}
+
+StatusOr<Instance> FindMinimalSourceConflict(const PdeSetting& setting,
+                                             const Instance& source,
+                                             const Instance& target,
+                                             SymbolTable* symbols,
+                                             const ExplainOptions& options) {
+  auto unsolvable = [&](const Instance& i) -> StatusOr<bool> {
+    PDX_ASSIGN_OR_RETURN(
+        GenericSolveResult result,
+        GenericExistsSolution(setting, i, target, symbols, options.solver));
+    if (result.outcome == SolveOutcome::kBudgetExhausted) {
+      return ResourceExhaustedError("solver budget exhausted during explain");
+    }
+    return result.outcome == SolveOutcome::kNoSolution;
+  };
+  PDX_ASSIGN_OR_RETURN(bool whole_unsolvable, unsolvable(source));
+  if (!whole_unsolvable) {
+    return FailedPreconditionError(
+        "FindMinimalSourceConflict requires an unsolvable (I, J)");
+  }
+  return GreedyMinimize(source, unsolvable);
+}
+
+}  // namespace pdx

@@ -1,0 +1,48 @@
+#ifndef PDX_PDE_EXPLAIN_H_
+#define PDX_PDE_EXPLAIN_H_
+
+#include "base/status.h"
+#include "pde/generic_solver.h"
+#include "pde/setting.h"
+#include "relational/instance.h"
+#include "relational/value.h"
+
+namespace pdx {
+
+// Diagnostics for unsolvable (I, J) pairs: minimal conflicts.
+//
+// Solvability is downward closed in J and *upward* closed nowhere in I —
+// removing source facts can either help (fewer Σ_st obligations) or hurt
+// (fewer Σ_ts witnesses) — so the two sides get different treatments:
+//
+//   * FindMinimalTargetConflict: a ⊆-minimal J_bad ⊆ J with (I, J_bad)
+//     unsolvable. Exists whenever (I, J) is unsolvable but (I, ∅) is
+//     solvable; pinpoints which of the target's own facts doom the
+//     exchange (dual to a repair).
+//
+//   * FindMinimalSourceConflict: a ⊆-minimal I_bad ⊆ I with (I_bad, J)
+//     unsolvable, computed by greedy deletion with re-checking (deletion
+//     is not monotone on the source side, so the result is minimal but
+//     existence requires (I, J) unsolvable — the trivial precondition).
+//
+// Both run the complete solver once per candidate deletion; sizes should
+// match the generic solver's small-instance regime.
+
+struct ExplainOptions {
+  GenericSolverOptions solver;
+};
+
+// Requires (I, J) unsolvable and (I, ∅) solvable (kFailedPrecondition
+// otherwise).
+StatusOr<Instance> FindMinimalTargetConflict(
+    const PdeSetting& setting, const Instance& source, const Instance& target,
+    SymbolTable* symbols, const ExplainOptions& options = ExplainOptions());
+
+// Requires (I, J) unsolvable (kFailedPrecondition otherwise).
+StatusOr<Instance> FindMinimalSourceConflict(
+    const PdeSetting& setting, const Instance& source, const Instance& target,
+    SymbolTable* symbols, const ExplainOptions& options = ExplainOptions());
+
+}  // namespace pdx
+
+#endif  // PDX_PDE_EXPLAIN_H_

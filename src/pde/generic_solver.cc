@@ -1,0 +1,286 @@
+#include "pde/generic_solver.h"
+
+#include <unordered_set>
+
+#include "chase/chase.h"
+#include "hom/matcher.h"
+
+namespace pdx {
+
+namespace {
+
+enum class TsStatus {
+  kSatisfied,
+  kViolatedPermanent,  // no later step can repair it: prune
+  kViolatedFixable,    // violated only on triggers with nulls, and Σ_t has
+                       // egds that might merge them later
+};
+
+// A violated st/t tgd trigger to branch on.
+struct PendingTrigger {
+  const Tgd* tgd = nullptr;
+  Binding binding;
+};
+
+class Searcher {
+ public:
+  Searcher(const PdeSetting& setting, SymbolTable* symbols,
+           const GenericSolverOptions& options)
+      : setting_(setting),
+        symbols_(symbols),
+        options_(options),
+        has_egds_(!setting.target_egds().empty()) {}
+
+  GenericSolveResult Run(Instance start) {
+    Explore(std::move(start), 0);
+    result_.nodes_explored = nodes_;
+    if (budget_hit_ && !found_) {
+      result_.outcome = SolveOutcome::kBudgetExhausted;
+    } else if (budget_hit_ && options_.enumerate_all) {
+      // Found some solutions but could not finish the enumeration.
+      result_.outcome = SolveOutcome::kBudgetExhausted;
+    } else if (found_) {
+      result_.outcome = SolveOutcome::kSolutionFound;
+    } else {
+      result_.outcome = SolveOutcome::kNoSolution;
+    }
+    return std::move(result_);
+  }
+
+ private:
+  // Returns true to abort the entire search (first solution found in
+  // non-enumerating mode, or budget exhausted).
+  bool Explore(Instance k, int depth) {
+    if (nodes_ >= options_.max_nodes || depth > options_.max_depth) {
+      budget_hit_ = true;
+      return true;
+    }
+    ++nodes_;
+
+    // Deterministic phase: egd fixpoint.
+    if (!ApplyEgdFixpoint(&k)) return false;  // constant clash: dead
+
+    // Memoization (after egds so equivalent states coincide).
+    if (!visited_.insert(k.CanonicalFingerprint()).second) return false;
+
+    TsStatus ts = CheckTsConstraints(k);
+    if (ts == TsStatus::kViolatedPermanent) return false;
+
+    PendingTrigger trigger;
+    if (!FindPendingTrigger(k, &trigger)) {
+      // Fixpoint of Σ_st ∪ Σ_t.
+      if (ts != TsStatus::kSatisfied) return false;
+      return RecordSolution(k);
+    }
+
+    // Branch over witness assignments for the trigger's existential
+    // variables: current active domain values, nulls introduced for
+    // earlier variables of this same assignment, or one fresh null.
+    std::vector<Value> domain = k.ActiveDomain();
+    std::vector<VariableId> exist_vars;
+    for (VariableId v = 0; v < trigger.tgd->var_count; ++v) {
+      if (trigger.tgd->existential[v] && !trigger.binding.bound[v]) {
+        exist_vars.push_back(v);
+      }
+    }
+    return BranchOnAssignment(k, depth, *trigger.tgd, trigger.binding,
+                              exist_vars, 0, domain);
+  }
+
+  // Recursively enumerates assignments for exist_vars[i..): each variable
+  // tries every current-domain value, every null invented for an earlier
+  // variable of this assignment (those are appended to `domain` as we
+  // recurse), and one fresh null.
+  bool BranchOnAssignment(const Instance& k, int depth, const Tgd& tgd,
+                          Binding binding,
+                          const std::vector<VariableId>& exist_vars, size_t i,
+                          std::vector<Value>& domain) {
+    if (i == exist_vars.size()) {
+      Instance k2 = k;
+      for (const Atom& atom : tgd.head) {
+        Tuple tuple;
+        tuple.reserve(atom.terms.size());
+        for (const Term& t : atom.terms) {
+          tuple.push_back(t.is_constant() ? t.constant()
+                                          : binding.values[t.var()]);
+        }
+        k2.AddFact(atom.relation, std::move(tuple));
+      }
+      return Explore(std::move(k2), depth + 1);
+    }
+    VariableId v = exist_vars[i];
+    // Existing values (including nulls invented for earlier variables of
+    // this assignment, which BranchOnAssignment appended below).
+    size_t domain_size = domain.size();
+    for (size_t d = 0; d < domain_size; ++d) {
+      binding.Bind(v, domain[d]);
+      if (BranchOnAssignment(k, depth, tgd, binding, exist_vars, i + 1,
+                             domain)) {
+        return true;
+      }
+    }
+    // One fresh null.
+    Value fresh = symbols_->FreshNull();
+    binding.Bind(v, fresh);
+    domain.push_back(fresh);
+    bool stop = BranchOnAssignment(k, depth, tgd, binding, exist_vars, i + 1,
+                                   domain);
+    domain.pop_back();
+    return stop;
+  }
+
+  // Applies target egds to fixpoint. Returns false on constant/constant
+  // clash.
+  bool ApplyEgdFixpoint(Instance* k) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const Egd& egd : setting_.target_egds()) {
+        while (true) {
+          Binding trigger = Binding::Empty(egd.var_count);
+          bool violated = EnumerateMatches(
+              egd.body, egd.var_count, *k, Binding::Empty(egd.var_count),
+              [&](const Binding& match) {
+                if (match.values[egd.left_var] ==
+                    match.values[egd.right_var]) {
+                  return true;  // keep searching
+                }
+                trigger = match;
+                return false;  // stop: violated trigger
+              });
+          if (!violated) break;
+          Value a = trigger.values[egd.left_var];
+          Value b = trigger.values[egd.right_var];
+          if (a.is_constant() && b.is_constant()) return false;
+          if (a.is_null()) {
+            k->Substitute(a, b);
+          } else {
+            k->Substitute(b, a);
+          }
+          changed = true;
+        }
+      }
+    }
+    return true;
+  }
+
+  TsStatus CheckTsConstraints(const Instance& k) {
+    TsStatus status = TsStatus::kSatisfied;
+    for (const Tgd& tgd : setting_.ts_tgds()) {
+      TsStatus s = CheckOneTs(k, tgd.body, {&tgd.head}, tgd.var_count);
+      if (s == TsStatus::kViolatedPermanent) return s;
+      if (s == TsStatus::kViolatedFixable) status = s;
+    }
+    for (const DisjunctiveTgd& tgd : setting_.ts_disjunctive_tgds()) {
+      std::vector<const std::vector<Atom>*> heads;
+      heads.reserve(tgd.head_disjuncts.size());
+      for (const std::vector<Atom>& d : tgd.head_disjuncts) {
+        heads.push_back(&d);
+      }
+      TsStatus s = CheckOneTs(k, tgd.body, heads, tgd.var_count);
+      if (s == TsStatus::kViolatedPermanent) return s;
+      if (s == TsStatus::kViolatedFixable) status = s;
+    }
+    return status;
+  }
+
+  // Checks one (possibly disjunctive) ts dependency: every body match must
+  // extend into some head option. Source facts never change and target
+  // facts only grow, so a violated trigger whose body match uses only
+  // constants can never be repaired; triggers involving nulls may be
+  // repaired by a later egd merge (only possible when Σ_t has egds).
+  TsStatus CheckOneTs(const Instance& k, const std::vector<Atom>& body,
+                      const std::vector<const std::vector<Atom>*>& heads,
+                      int var_count) {
+    TsStatus status = TsStatus::kSatisfied;
+    EnumerateMatches(
+        body, var_count, k, Binding::Empty(var_count),
+        [&](const Binding& match) {
+          for (const std::vector<Atom>* head : heads) {
+            if (HasMatch(*head, var_count, k, match)) return true;
+          }
+          // Violated trigger.
+          bool all_constants = true;
+          for (VariableId v = 0; v < var_count; ++v) {
+            if (match.bound[v] && match.values[v].is_null()) {
+              all_constants = false;
+              break;
+            }
+          }
+          if (all_constants || !has_egds_) {
+            status = TsStatus::kViolatedPermanent;
+            return false;  // stop
+          }
+          status = TsStatus::kViolatedFixable;
+          return true;  // keep scanning; a permanent violation would win
+        });
+    return status;
+  }
+
+  // Finds one violated Σ_st or Σ_t tgd trigger. Returns false at fixpoint.
+  // Full tgds are scanned first: their steps are deterministic (no
+  // branching), so exhausting them before guessing existential witnesses
+  // both shrinks the tree and lets the Σ_ts pruning fire earlier.
+  bool FindPendingTrigger(const Instance& k, PendingTrigger* out) {
+    for (bool full_pass : {true, false}) {
+      for (const std::vector<Tgd>* tgds :
+           {&setting_.st_tgds(), &setting_.target_tgds()}) {
+        for (const Tgd& tgd : *tgds) {
+          if (tgd.IsFull() != full_pass) continue;
+          bool found = EnumerateMatches(
+              tgd.body, tgd.var_count, k, Binding::Empty(tgd.var_count),
+              [&](const Binding& match) {
+                if (HasMatch(tgd.head, tgd.var_count, k, match)) {
+                  return true;  // satisfied; keep searching
+                }
+                out->tgd = &tgd;
+                out->binding = match;
+                return false;
+              });
+          if (found) return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  // Records the target part of `k` as a solution. Returns true if the
+  // search should stop (non-enumerating mode).
+  bool RecordSolution(const Instance& k) {
+    Instance target_part = setting_.TargetPart(k);
+    found_ = true;
+    if (!result_.solution.has_value()) {
+      result_.solution = target_part;
+    }
+    if (!options_.enumerate_all) return true;
+    if (solution_fps_.insert(target_part.CanonicalFingerprint()).second) {
+      result_.solutions.push_back(std::move(target_part));
+    }
+    return false;
+  }
+
+  const PdeSetting& setting_;
+  SymbolTable* symbols_;
+  GenericSolverOptions options_;
+  bool has_egds_;
+  int64_t nodes_ = 0;
+  bool budget_hit_ = false;
+  bool found_ = false;
+  std::unordered_set<uint64_t> visited_;
+  std::unordered_set<uint64_t> solution_fps_;
+  GenericSolveResult result_;
+};
+
+}  // namespace
+
+StatusOr<GenericSolveResult> GenericExistsSolution(
+    const PdeSetting& setting, const Instance& source, const Instance& target,
+    SymbolTable* symbols, const GenericSolverOptions& options) {
+  PDX_CHECK(symbols != nullptr);
+  PDX_RETURN_IF_ERROR(setting.ValidateSourceInstance(source));
+  PDX_RETURN_IF_ERROR(setting.ValidateTargetInstance(target));
+  Searcher searcher(setting, symbols, options);
+  return searcher.Run(setting.CombineInstances(source, target));
+}
+
+}  // namespace pdx

@@ -1,0 +1,73 @@
+#ifndef PDX_PDE_GENERIC_SOLVER_H_
+#define PDX_PDE_GENERIC_SOLVER_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "base/status.h"
+#include "pde/setting.h"
+#include "relational/instance.h"
+#include "relational/value.h"
+
+namespace pdx {
+
+enum class SolveOutcome {
+  kSolutionFound,
+  kNoSolution,
+  kBudgetExhausted,  // search budget hit before the space was exhausted
+};
+
+struct GenericSolverOptions {
+  // Total search-node budget across the whole exploration.
+  int64_t max_nodes = 1'000'000;
+  // Maximum recursion depth (= chase steps along one path). Weakly acyclic
+  // settings stay far below this; the bound keeps non-weakly-acyclic Σ_t
+  // from diverging.
+  int max_depth = 5'000;
+  // When true, the entire space is explored and every distinct solution
+  // found at a search leaf is collected (deduplicated up to null renaming).
+  // Used by certain-answer computation.
+  bool enumerate_all = false;
+};
+
+struct GenericSolveResult {
+  SolveOutcome outcome = SolveOutcome::kNoSolution;
+  // Target part of the first solution found (present iff kSolutionFound).
+  std::optional<Instance> solution;
+  // All distinct leaf solutions, when enumerate_all. Every solution J* of
+  // the setting contains (up to renaming of nulls) at least one member, so
+  // intersecting a monotone query over this set yields the certain answers.
+  std::vector<Instance> solutions;
+  int64_t nodes_explored = 0;
+};
+
+// Sound and complete decision procedure for SOL(P) on arbitrary settings
+// with Σ_t = egds + (preferably weakly acyclic) tgds, realizing the NP
+// upper bound of Theorem 1 as an explicit backtracking search over
+// solution-aware chase choices:
+//
+//   * a violated Σ_st / Σ_t tgd trigger branches over all assignments of
+//     its existential variables to values of the current active domain or
+//     fresh labeled nulls (including reuse of nulls introduced for earlier
+//     variables of the same trigger);
+//   * a violated Σ_t egd merges a null or kills the branch on a
+//     constant/constant clash;
+//   * Σ_ts (and disjunctive Σ_ts) act as checks: a violated all-constant
+//     trigger — or any violated trigger when Σ_t has no egds — is
+//     permanent and prunes; otherwise the branch dies only at fixpoints.
+//
+// Completeness follows the paper's Lemma 2: for any solution J*, tracing
+// the solution-aware chase against J* is one of the explored paths up to
+// injective renaming of non-input values. Visited states are memoized by
+// canonical fingerprint.
+//
+// kBudgetExhausted means "unknown": no claim is made either way.
+StatusOr<GenericSolveResult> GenericExistsSolution(
+    const PdeSetting& setting, const Instance& source, const Instance& target,
+    SymbolTable* symbols,
+    const GenericSolverOptions& options = GenericSolverOptions());
+
+}  // namespace pdx
+
+#endif  // PDX_PDE_GENERIC_SOLVER_H_

@@ -1,0 +1,65 @@
+#include "pde/minimize.h"
+
+#include <vector>
+
+#include "pde/solution.h"
+
+namespace pdx {
+
+namespace {
+
+// Rebuilds `instance` without the fact at `skip_index` of `facts`.
+Instance WithoutFact(const Instance& instance, const std::vector<Fact>& facts,
+                     size_t skip_index) {
+  Instance smaller(&instance.schema());
+  for (size_t i = 0; i < facts.size(); ++i) {
+    if (i != skip_index) smaller.AddFact(facts[i]);
+  }
+  return smaller;
+}
+
+}  // namespace
+
+StatusOr<Instance> MinimizeSolution(const PdeSetting& setting,
+                                    const Instance& source,
+                                    const Instance& target,
+                                    const Instance& solution,
+                                    const SymbolTable& symbols) {
+  if (!IsSolution(setting, source, target, solution, symbols)) {
+    return FailedPreconditionError(
+        "MinimizeSolution requires a valid solution as input");
+  }
+  Instance current = solution;
+  bool shrunk = true;
+  while (shrunk) {
+    shrunk = false;
+    std::vector<Fact> facts = current.AllFacts();
+    for (size_t i = 0; i < facts.size(); ++i) {
+      if (target.Contains(facts[i])) continue;  // J must stay contained
+      Instance candidate = WithoutFact(current, facts, i);
+      if (IsSolution(setting, source, target, candidate, symbols)) {
+        current = std::move(candidate);
+        shrunk = true;
+        break;  // fact list changed; restart the scan
+      }
+    }
+  }
+  return current;
+}
+
+bool IsMinimalSolution(const PdeSetting& setting, const Instance& source,
+                       const Instance& target, const Instance& solution,
+                       const SymbolTable& symbols) {
+  if (!IsSolution(setting, source, target, solution, symbols)) return false;
+  std::vector<Fact> facts = solution.AllFacts();
+  for (size_t i = 0; i < facts.size(); ++i) {
+    if (target.Contains(facts[i])) continue;
+    Instance candidate = WithoutFact(solution, facts, i);
+    if (IsSolution(setting, source, target, candidate, symbols)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace pdx

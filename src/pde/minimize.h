@@ -1,0 +1,36 @@
+#ifndef PDX_PDE_MINIMIZE_H_
+#define PDX_PDE_MINIMIZE_H_
+
+#include "base/status.h"
+#include "pde/setting.h"
+#include "relational/instance.h"
+#include "relational/value.h"
+
+namespace pdx {
+
+// Shrinks a solution to a ⊆-minimal one: returns J* ⊆ `solution` such
+// that J* is still a solution for (I, J) and no proper subset of J*
+// containing J is. Greedy: repeatedly drop a removable fact until fixpoint
+// (quadratically many solution checks; fine at library scale).
+//
+// Lemma 2 guarantees small solutions exist inside any solution; this
+// utility materializes one, which is what a target peer actually wants to
+// persist after an exchange (no redundant imported facts).
+//
+// Preconditions: `solution` verifies against Definition 2 (checked;
+// kFailedPrecondition otherwise).
+StatusOr<Instance> MinimizeSolution(const PdeSetting& setting,
+                                    const Instance& source,
+                                    const Instance& target,
+                                    const Instance& solution,
+                                    const SymbolTable& symbols);
+
+// True if removing any single fact of `solution` outside J breaks
+// solutionhood (i.e. the solution is ⊆-minimal).
+bool IsMinimalSolution(const PdeSetting& setting, const Instance& source,
+                       const Instance& target, const Instance& solution,
+                       const SymbolTable& symbols);
+
+}  // namespace pdx
+
+#endif  // PDX_PDE_MINIMIZE_H_

@@ -1,0 +1,32 @@
+#include "pde/multi_pde.h"
+
+#include "base/string_util.h"
+
+namespace pdx {
+
+StatusOr<PdeSetting> MergeMultiPde(
+    const std::vector<PeerSpec>& peers,
+    const std::vector<RelationSchema>& target_relations,
+    SymbolTable* symbols) {
+  if (peers.empty()) {
+    return InvalidArgumentError("multi-PDE needs at least one source peer");
+  }
+  std::vector<RelationSchema> merged_sources;
+  std::vector<std::string> st_parts;
+  std::vector<std::string> ts_parts;
+  std::vector<std::string> t_parts;
+  for (const PeerSpec& peer : peers) {
+    merged_sources.insert(merged_sources.end(), peer.source_relations.begin(),
+                          peer.source_relations.end());
+    st_parts.push_back(peer.sigma_st);
+    ts_parts.push_back(peer.sigma_ts);
+    t_parts.push_back(peer.sigma_t);
+  }
+  // PdeSetting::Create rejects duplicate relation names, enforcing the
+  // pairwise-disjointness requirement on S_1, ..., S_n.
+  return PdeSetting::Create(merged_sources, target_relations,
+                            StrJoin(st_parts, "\n"), StrJoin(ts_parts, "\n"),
+                            StrJoin(t_parts, "\n"), symbols);
+}
+
+}  // namespace pdx

@@ -1,0 +1,35 @@
+#ifndef PDX_PDE_MULTI_PDE_H_
+#define PDX_PDE_MULTI_PDE_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "pde/setting.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace pdx {
+
+// One source peer of a multi-PDE setting: its schema S_m and its
+// constraints (Σ_{s_m t}, Σ_{t s_m}, Σ_{t_m}) against the shared target.
+struct PeerSpec {
+  std::vector<RelationSchema> source_relations;
+  std::string sigma_st;
+  std::string sigma_ts;
+  std::string sigma_t;
+};
+
+// Builds the single PDE setting that simulates a multi-PDE setting
+// (Section 2): S = S_1 ∪ ... ∪ S_n (names must be pairwise disjoint),
+// Σ_st/Σ_ts/Σ_t are the unions of the per-peer sets. J' is a solution for
+// ((I_1,...,I_n), J) in the multi-PDE iff it is a solution for
+// (I_1 ∪ ... ∪ I_n, J) in the merged setting.
+StatusOr<PdeSetting> MergeMultiPde(
+    const std::vector<PeerSpec>& peers,
+    const std::vector<RelationSchema>& target_relations,
+    SymbolTable* symbols);
+
+}  // namespace pdx
+
+#endif  // PDX_PDE_MULTI_PDE_H_

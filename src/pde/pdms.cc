@@ -1,0 +1,78 @@
+#include "pde/pdms.h"
+
+#include "base/string_util.h"
+#include "chase/chase.h"
+
+namespace pdx {
+
+std::string PdmsDescription::ToString() const {
+  std::vector<std::string> lines;
+  for (const StorageDescription& d : storage_descriptions) {
+    lines.push_back(StrCat(d.local_relation, d.is_equality ? " = " : " ⊆ ",
+                           d.peer_relation));
+  }
+  for (const std::string& m : peer_mappings) {
+    lines.push_back(StrCat("mapping: ", m));
+  }
+  return StrJoin(lines, "\n");
+}
+
+PdmsDescription BuildPdms(const PdeSetting& setting,
+                          const SymbolTable& symbols) {
+  PdmsDescription pdms;
+  const Schema& schema = setting.schema();
+  for (RelationId r = 0; r < schema.relation_count(); ++r) {
+    StorageDescription d;
+    d.peer_relation = schema.relation_name(r);
+    d.local_relation = StrCat(d.peer_relation, "*");
+    d.is_equality = setting.is_source(r);
+    pdms.storage_descriptions.push_back(std::move(d));
+  }
+  for (const Tgd& tgd : setting.st_tgds()) {
+    pdms.peer_mappings.push_back(tgd.ToString(schema, symbols));
+  }
+  for (const Tgd& tgd : setting.ts_tgds()) {
+    pdms.peer_mappings.push_back(tgd.ToString(schema, symbols));
+  }
+  for (const DisjunctiveTgd& tgd : setting.ts_disjunctive_tgds()) {
+    pdms.peer_mappings.push_back(tgd.ToString(schema, symbols));
+  }
+  for (const Tgd& tgd : setting.target_tgds()) {
+    pdms.peer_mappings.push_back(tgd.ToString(schema, symbols));
+  }
+  for (const Egd& egd : setting.target_egds()) {
+    pdms.peer_mappings.push_back(egd.ToString(schema, symbols));
+  }
+  return pdms;
+}
+
+bool IsConsistentPdmsInstance(const PdeSetting& setting,
+                              const Instance& i_star, const Instance& j_star,
+                              const Instance& i, const Instance& k,
+                              const SymbolTable& symbols) {
+  (void)symbols;
+  // Equality storage descriptions: I* = I.
+  if (!i_star.FactsEqual(i)) return false;
+  // Containment storage descriptions: J* ⊆ K.
+  if (!j_star.IsSubsetOf(k)) return false;
+  // Peer mappings on the combined instance (I, K).
+  Instance combined = setting.CombineInstances(i, k);
+  for (const Tgd& tgd : setting.st_tgds()) {
+    if (!SatisfiesTgd(combined, tgd)) return false;
+  }
+  for (const Tgd& tgd : setting.ts_tgds()) {
+    if (!SatisfiesTgd(combined, tgd)) return false;
+  }
+  for (const DisjunctiveTgd& tgd : setting.ts_disjunctive_tgds()) {
+    if (!SatisfiesDisjunctiveTgd(combined, tgd)) return false;
+  }
+  for (const Tgd& tgd : setting.target_tgds()) {
+    if (!SatisfiesTgd(combined, tgd)) return false;
+  }
+  for (const Egd& egd : setting.target_egds()) {
+    if (!SatisfiesEgd(combined, egd)) return false;
+  }
+  return true;
+}
+
+}  // namespace pdx

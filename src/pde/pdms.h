@@ -1,0 +1,49 @@
+#ifndef PDX_PDE_PDMS_H_
+#define PDX_PDE_PDMS_H_
+
+#include <string>
+#include <vector>
+
+#include "pde/setting.h"
+#include "relational/instance.h"
+#include "relational/value.h"
+
+namespace pdx {
+
+// The PDMS view of a PDE setting (Section 2, "Relationship to PDMS"):
+// every PDE setting P corresponds to a PDMS N(P) with two peers where
+//   * each source relation S_i gets a local replica S_i* and an *equality*
+//     storage description S_i* = S_i (source data are immutable);
+//   * each target relation T_j gets a local replica T_j* and a
+//     *containment* storage description T_j* ⊆ T_j (target data may grow);
+//   * the peer mappings are exactly Σ_st ∪ Σ_ts ∪ Σ_t.
+struct StorageDescription {
+  std::string local_relation;  // e.g. "E*"
+  std::string peer_relation;   // e.g. "E"
+  bool is_equality = false;    // true: '='; false: '⊆'
+};
+
+struct PdmsDescription {
+  std::vector<StorageDescription> storage_descriptions;
+  std::vector<std::string> peer_mappings;  // rendered dependencies
+
+  std::string ToString() const;
+};
+
+// Builds N(P) for a setting.
+PdmsDescription BuildPdms(const PdeSetting& setting,
+                          const SymbolTable& symbols);
+
+// Checks the Section 2 correspondence concretely: the data instance
+// assigns I* and J* to the local sources; the candidate global instance
+// assigns I to the source peer and K to the target peer. Consistency means
+// I* = I, J* ⊆ K, and (I, K) satisfies all peer mappings. By construction
+// this holds iff K is a solution for (I*, J*) in the PDE setting.
+bool IsConsistentPdmsInstance(const PdeSetting& setting,
+                              const Instance& i_star, const Instance& j_star,
+                              const Instance& i, const Instance& k,
+                              const SymbolTable& symbols);
+
+}  // namespace pdx
+
+#endif  // PDX_PDE_PDMS_H_

@@ -1,0 +1,151 @@
+#include "pde/repairs.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <unordered_set>
+
+#include "pde/certain_answers.h"
+
+namespace pdx {
+
+namespace {
+
+// Canonical key for a subset of J's facts (sorted fact list).
+std::vector<Fact> SortedFacts(const Instance& instance) {
+  std::vector<Fact> facts = instance.AllFacts();
+  std::sort(facts.begin(), facts.end());
+  return facts;
+}
+
+Instance FromFacts(const Schema* schema, const std::vector<Fact>& facts,
+                   size_t skip_index) {
+  Instance instance(schema);
+  for (size_t i = 0; i < facts.size(); ++i) {
+    if (i != skip_index) instance.AddFact(facts[i]);
+  }
+  return instance;
+}
+
+}  // namespace
+
+StatusOr<std::vector<Instance>> ComputeSubsetRepairs(
+    const PdeSetting& setting, const Instance& source, const Instance& target,
+    SymbolTable* symbols, const RepairOptions& options) {
+  PDX_RETURN_IF_ERROR(setting.ValidateSourceInstance(source));
+  PDX_RETURN_IF_ERROR(setting.ValidateTargetInstance(target));
+
+  auto is_solvable = [&](const Instance& j) -> StatusOr<bool> {
+    PDX_ASSIGN_OR_RETURN(
+        GenericSolveResult result,
+        GenericExistsSolution(setting, source, j, symbols, options.solver));
+    if (result.outcome == SolveOutcome::kBudgetExhausted) {
+      return ResourceExhaustedError(
+          "solver budget exhausted during repair search");
+    }
+    return result.outcome == SolveOutcome::kSolutionFound;
+  };
+
+  // Fast path: J itself solvable.
+  PDX_ASSIGN_OR_RETURN(bool j_solvable, is_solvable(target));
+  if (j_solvable) {
+    return std::vector<Instance>{target};
+  }
+
+  // Top-down lattice BFS over subsets of J: expand unsolvable nodes by
+  // removing one fact; collect solvable nodes; filter to ⊆-maximal ones.
+  std::vector<Instance> solvable_nodes;
+  std::deque<Instance> frontier;
+  frontier.push_back(target);
+  std::unordered_set<uint64_t> seen;
+  seen.insert(target.CanonicalFingerprint());
+  int64_t examined = 0;
+  while (!frontier.empty()) {
+    Instance node = std::move(frontier.front());
+    frontier.pop_front();
+    std::vector<Fact> facts = SortedFacts(node);
+    for (size_t i = 0; i < facts.size(); ++i) {
+      Instance child = FromFacts(&setting.schema(), facts, i);
+      if (!seen.insert(child.CanonicalFingerprint()).second) continue;
+      if (++examined > options.max_subsets_examined) {
+        return ResourceExhaustedError(
+            "subset budget exhausted during repair search");
+      }
+      PDX_ASSIGN_OR_RETURN(bool solvable, is_solvable(child));
+      if (solvable) {
+        solvable_nodes.push_back(std::move(child));
+      } else {
+        frontier.push_back(std::move(child));
+      }
+    }
+  }
+
+  // Keep only ⊆-maximal solvable subsets.
+  std::vector<Instance> repairs;
+  for (size_t i = 0; i < solvable_nodes.size(); ++i) {
+    bool maximal = true;
+    for (size_t j = 0; j < solvable_nodes.size() && maximal; ++j) {
+      if (i == j) continue;
+      if (solvable_nodes[i].fact_count() < solvable_nodes[j].fact_count() &&
+          solvable_nodes[i].IsSubsetOf(solvable_nodes[j])) {
+        maximal = false;
+      }
+    }
+    if (!maximal) continue;
+    // Dedup equal sets (reachable along multiple removal orders; the
+    // `seen` filter already covers exact duplicates, so this is belt and
+    // suspenders for fingerprint collisions).
+    bool duplicate = false;
+    for (const Instance& existing : repairs) {
+      if (existing.FactsEqual(solvable_nodes[i])) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) repairs.push_back(solvable_nodes[i]);
+  }
+  return repairs;
+}
+
+StatusOr<RepairCertainAnswersResult> ComputeRepairCertainAnswers(
+    const PdeSetting& setting, const Instance& source, const Instance& target,
+    const UnionQuery& query, SymbolTable* symbols,
+    const RepairOptions& options) {
+  PDX_ASSIGN_OR_RETURN(
+      std::vector<Instance> repairs,
+      ComputeSubsetRepairs(setting, source, target, symbols, options));
+
+  RepairCertainAnswersResult result;
+  result.repair_count = static_cast<int64_t>(repairs.size());
+  result.boolean_value = true;  // vacuous over zero repairs
+  bool first = true;
+  std::set<Tuple> certain;
+  for (const Instance& repair : repairs) {
+    PDX_ASSIGN_OR_RETURN(
+        CertainAnswersResult per_repair,
+        ComputeCertainAnswers(setting, source, repair, query, symbols,
+                              options.solver));
+    PDX_CHECK(!per_repair.no_solution)
+        << "a repair is solvable by construction";
+    if (query.IsBoolean()) {
+      result.boolean_value = result.boolean_value && per_repair.boolean_value;
+      continue;
+    }
+    std::set<Tuple> answers(per_repair.answers.begin(),
+                            per_repair.answers.end());
+    if (first) {
+      certain = std::move(answers);
+      first = false;
+    } else {
+      std::set<Tuple> intersection;
+      std::set_intersection(
+          certain.begin(), certain.end(), answers.begin(), answers.end(),
+          std::inserter(intersection, intersection.begin()));
+      certain = std::move(intersection);
+    }
+  }
+  result.answers.assign(certain.begin(), certain.end());
+  return result;
+}
+
+}  // namespace pdx

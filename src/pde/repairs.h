@@ -1,0 +1,65 @@
+#ifndef PDX_PDE_REPAIRS_H_
+#define PDX_PDE_REPAIRS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/status.h"
+#include "logic/conjunctive_query.h"
+#include "pde/generic_solver.h"
+#include "pde/setting.h"
+#include "relational/instance.h"
+#include "relational/tuple.h"
+#include "relational/value.h"
+
+namespace pdx {
+
+// The alternative semantics sketched in the paper's conclusions (after
+// Bertossi & Bravo [5]): when (I, J) has *no* solution, the target peer
+// may still exchange data by retracting part of its own instance. A
+// *subset repair* of J is a ⊆-maximal J_r ⊆ J such that (I, J_r) admits a
+// solution. Solvability is downward closed in J (shrinking J only weakens
+// the J ⊆ J' requirement), so maximal repairable subsets are well defined
+// and J itself is the unique repair whenever (I, J) is solvable.
+//
+// Query answering under this semantics is *more* expensive than plain PDE
+// certain answers (the paper quotes Π₂ᵖ- vs coNP-completeness for [5]'s
+// variant); the implementation is accordingly a doubly exponential-ish
+// search, intended for the same small-instance regime as the generic
+// solver, with budgets.
+
+struct RepairOptions {
+  GenericSolverOptions solver;
+  // Cap on distinct subsets of J examined during the lattice search.
+  int64_t max_subsets_examined = 100'000;
+};
+
+// Computes all subset repairs of J for (I, J). If (I, J) is solvable the
+// result is exactly {J}. Fails with kResourceExhausted when a budget is
+// hit (the repair set would be unreliable).
+StatusOr<std::vector<Instance>> ComputeSubsetRepairs(
+    const PdeSetting& setting, const Instance& source, const Instance& target,
+    SymbolTable* symbols, const RepairOptions& options = RepairOptions());
+
+struct RepairCertainAnswersResult {
+  // Number of subset repairs the answers range over.
+  int64_t repair_count = 0;
+  // t is certain-under-repairs iff t ∈ q(J') for every solution J' of
+  // every repair (I, J_r).
+  std::vector<Tuple> answers;
+  bool boolean_value = false;
+};
+
+// Certain answers under the repair semantics. Unlike plain PDE certain
+// answers this is total: it never reports "no solution" (the empty subset
+// of J is always repair-candidate, and (I, ∅) with Σ_t = ∅ may still be
+// unsolvable — in that degenerate case there are zero repairs and
+// certainty is vacuous, reported via repair_count == 0).
+StatusOr<RepairCertainAnswersResult> ComputeRepairCertainAnswers(
+    const PdeSetting& setting, const Instance& source, const Instance& target,
+    const UnionQuery& query, SymbolTable* symbols,
+    const RepairOptions& options = RepairOptions());
+
+}  // namespace pdx
+
+#endif  // PDX_PDE_REPAIRS_H_

@@ -1,0 +1,176 @@
+#include "pde/setting_file.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "base/string_util.h"
+#include "relational/instance_io.h"
+
+namespace pdx {
+
+namespace {
+
+struct Sections {
+  std::vector<RelationSchema> source;
+  std::vector<RelationSchema> target;
+  std::string st;
+  std::string ts;
+  std::string t;
+};
+
+Status ParseRelationLine(std::string_view line,
+                         std::vector<RelationSchema>* out) {
+  size_t slash = line.find('/');
+  if (slash == std::string_view::npos) {
+    return InvalidArgumentError(
+        StrCat("expected 'Name/arity' in schema section, got '", line, "'"));
+  }
+  std::string name(StripWhitespace(line.substr(0, slash)));
+  std::string arity_text(StripWhitespace(line.substr(slash + 1)));
+  if (name.empty() || arity_text.empty()) {
+    return InvalidArgumentError(
+        StrCat("malformed relation declaration '", line, "'"));
+  }
+  int arity = 0;
+  for (char c : arity_text) {
+    if (c < '0' || c > '9') {
+      return InvalidArgumentError(
+          StrCat("non-numeric arity in '", line, "'"));
+    }
+    arity = arity * 10 + (c - '0');
+  }
+  out->push_back(RelationSchema{std::move(name), arity});
+  return OkStatus();
+}
+
+std::string_view StripComment(std::string_view line) {
+  size_t hash = line.find('#');
+  if (hash != std::string_view::npos) line = line.substr(0, hash);
+  return StripWhitespace(line);
+}
+
+}  // namespace
+
+StatusOr<PdeSetting> ParseSettingFile(std::string_view text,
+                                      SymbolTable* symbols) {
+  PDX_CHECK(symbols != nullptr);
+  Sections sections;
+  enum class Section { kNone, kSource, kTarget, kSt, kTs, kT };
+  Section current = Section::kNone;
+  for (const std::string& raw_line : StrSplit(text, '\n')) {
+    std::string_view line = StripComment(raw_line);
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      if (line == "[source]") {
+        current = Section::kSource;
+      } else if (line == "[target]") {
+        current = Section::kTarget;
+      } else if (line == "[st]") {
+        current = Section::kSt;
+      } else if (line == "[ts]") {
+        current = Section::kTs;
+      } else if (line == "[t]") {
+        current = Section::kT;
+      } else {
+        return InvalidArgumentError(
+            StrCat("unknown section header ", line));
+      }
+      continue;
+    }
+    switch (current) {
+      case Section::kNone:
+        return InvalidArgumentError(
+            StrCat("content before any section header: '", line, "'"));
+      case Section::kSource:
+        PDX_RETURN_IF_ERROR(ParseRelationLine(line, &sections.source));
+        break;
+      case Section::kTarget:
+        PDX_RETURN_IF_ERROR(ParseRelationLine(line, &sections.target));
+        break;
+      case Section::kSt:
+        sections.st += std::string(line) + "\n";
+        break;
+      case Section::kTs:
+        sections.ts += std::string(line) + "\n";
+        break;
+      case Section::kT:
+        sections.t += std::string(line) + "\n";
+        break;
+    }
+  }
+  if (sections.source.empty()) {
+    return InvalidArgumentError("setting file declares no source relations");
+  }
+  if (sections.target.empty()) {
+    return InvalidArgumentError("setting file declares no target relations");
+  }
+  return PdeSetting::Create(sections.source, sections.target, sections.st,
+                            sections.ts, sections.t, symbols);
+}
+
+namespace {
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return NotFoundError(StrCat("cannot open ", path));
+  }
+  std::ostringstream content;
+  content << file.rdbuf();
+  return content.str();
+}
+
+}  // namespace
+
+StatusOr<PdeSetting> LoadSettingFile(const std::string& path,
+                                     SymbolTable* symbols) {
+  PDX_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  return ParseSettingFile(text, symbols);
+}
+
+StatusOr<Instance> LoadInstanceFile(const std::string& path,
+                                    const Schema& schema,
+                                    SymbolTable* symbols) {
+  PDX_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  return ParseInstance(text, schema, symbols);
+}
+
+std::string SettingToFileText(const PdeSetting& setting,
+                              const SymbolTable& symbols) {
+  const Schema& schema = setting.schema();
+  std::ostringstream out;
+  out << "[source]\n";
+  for (RelationId r = 0; r < schema.relation_count(); ++r) {
+    if (setting.is_source(r)) {
+      out << schema.relation_name(r) << "/" << schema.arity(r) << "\n";
+    }
+  }
+  out << "[target]\n";
+  for (RelationId r = 0; r < schema.relation_count(); ++r) {
+    if (setting.is_target(r)) {
+      out << schema.relation_name(r) << "/" << schema.arity(r) << "\n";
+    }
+  }
+  out << "[st]\n";
+  for (const Tgd& tgd : setting.st_tgds()) {
+    out << tgd.ToString(schema, symbols) << ".\n";
+  }
+  out << "[ts]\n";
+  for (const Tgd& tgd : setting.ts_tgds()) {
+    out << tgd.ToString(schema, symbols) << ".\n";
+  }
+  for (const DisjunctiveTgd& tgd : setting.ts_disjunctive_tgds()) {
+    out << tgd.ToString(schema, symbols) << ".\n";
+  }
+  out << "[t]\n";
+  for (const Tgd& tgd : setting.target_tgds()) {
+    out << tgd.ToString(schema, symbols) << ".\n";
+  }
+  for (const Egd& egd : setting.target_egds()) {
+    out << egd.ToString(schema, symbols) << ".\n";
+  }
+  return out.str();
+}
+
+}  // namespace pdx

@@ -1,0 +1,53 @@
+#ifndef PDX_PDE_SETTING_FILE_H_
+#define PDX_PDE_SETTING_FILE_H_
+
+#include <string>
+#include <string_view>
+
+#include "base/status.h"
+#include "pde/setting.h"
+#include "relational/instance.h"
+#include "relational/value.h"
+
+namespace pdx {
+
+// A textual on-disk format for a whole PDE setting, used by the pdxcli
+// tool and convenient for tests. Sections are introduced by a header line
+// and hold relation declarations or dependency programs:
+//
+//   # comments run to end of line anywhere
+//   [source]
+//   E/2
+//   D/2
+//   [target]
+//   H/2
+//   [st]
+//   E(x,z) & E(z,y) -> H(x,y).
+//   [ts]
+//   H(x,y) -> E(x,y).
+//   [t]
+//   H(x,y) & H(x,z) -> y = z.
+//
+// [source] and [target] are required (possibly empty is rejected:
+// each peer needs at least one relation); [st], [ts], [t] are optional.
+StatusOr<PdeSetting> ParseSettingFile(std::string_view text,
+                                      SymbolTable* symbols);
+
+// Reads `path` and parses it with ParseSettingFile.
+StatusOr<PdeSetting> LoadSettingFile(const std::string& path,
+                                     SymbolTable* symbols);
+
+// Reads `path` and parses it as an instance over `schema` (the fact
+// format of relational/instance_io.h).
+StatusOr<Instance> LoadInstanceFile(const std::string& path,
+                                    const Schema& schema,
+                                    SymbolTable* symbols);
+
+// Renders a setting back into the file format (modulo comments); the
+// output re-parses to an equivalent setting.
+std::string SettingToFileText(const PdeSetting& setting,
+                              const SymbolTable& symbols);
+
+}  // namespace pdx
+
+#endif  // PDX_PDE_SETTING_FILE_H_

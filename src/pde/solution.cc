@@ -1,0 +1,69 @@
+#include "pde/solution.h"
+
+#include "base/string_util.h"
+#include "chase/chase.h"
+
+namespace pdx {
+
+SolutionCheck CheckSolution(const PdeSetting& setting, const Instance& source,
+                            const Instance& target, const Instance& j_prime,
+                            const SymbolTable& symbols) {
+  SolutionCheck check;
+  const Schema& schema = setting.schema();
+
+  if (!setting.ValidateTargetInstance(j_prime).ok()) {
+    check.is_solution = false;
+    check.violations.push_back(
+        "candidate solution populates source relations");
+  }
+  if (!target.IsSubsetOf(j_prime)) {
+    check.is_solution = false;
+    check.violations.push_back("J is not contained in J'");
+  }
+
+  Instance combined = setting.CombineInstances(source, j_prime);
+  for (const Tgd& tgd : setting.st_tgds()) {
+    if (!SatisfiesTgd(combined, tgd)) {
+      check.is_solution = false;
+      check.violations.push_back(
+          StrCat("violated Σst tgd: ", tgd.ToString(schema, symbols)));
+    }
+  }
+  for (const Tgd& tgd : setting.ts_tgds()) {
+    if (!SatisfiesTgd(combined, tgd)) {
+      check.is_solution = false;
+      check.violations.push_back(
+          StrCat("violated Σts tgd: ", tgd.ToString(schema, symbols)));
+    }
+  }
+  for (const DisjunctiveTgd& tgd : setting.ts_disjunctive_tgds()) {
+    if (!SatisfiesDisjunctiveTgd(combined, tgd)) {
+      check.is_solution = false;
+      check.violations.push_back(StrCat("violated Σts disjunctive tgd: ",
+                                        tgd.ToString(schema, symbols)));
+    }
+  }
+  for (const Tgd& tgd : setting.target_tgds()) {
+    if (!SatisfiesTgd(j_prime, tgd)) {
+      check.is_solution = false;
+      check.violations.push_back(
+          StrCat("violated Σt tgd: ", tgd.ToString(schema, symbols)));
+    }
+  }
+  for (const Egd& egd : setting.target_egds()) {
+    if (!SatisfiesEgd(j_prime, egd)) {
+      check.is_solution = false;
+      check.violations.push_back(
+          StrCat("violated Σt egd: ", egd.ToString(schema, symbols)));
+    }
+  }
+  return check;
+}
+
+bool IsSolution(const PdeSetting& setting, const Instance& source,
+                const Instance& target, const Instance& j_prime,
+                const SymbolTable& symbols) {
+  return CheckSolution(setting, source, target, j_prime, symbols).is_solution;
+}
+
+}  // namespace pdx

@@ -1,0 +1,33 @@
+#ifndef PDX_PDE_SOLUTION_H_
+#define PDX_PDE_SOLUTION_H_
+
+#include <string>
+#include <vector>
+
+#include "pde/setting.h"
+#include "relational/instance.h"
+
+namespace pdx {
+
+// Result of checking Definition 2 for a candidate solution.
+struct SolutionCheck {
+  bool is_solution = true;
+  std::vector<std::string> violations;  // human-readable, empty when valid
+};
+
+// Checks whether `j_prime` is a solution for (I, J) in `setting`
+// (Definition 2): J ⊆ J', (I, J') ⊨ Σ_st ∪ Σ_ts, and J' ⊨ Σ_t.
+// All three instances are over the setting's combined schema; `source` and
+// `target` are the given (I, J); `j_prime` is target-side only.
+SolutionCheck CheckSolution(const PdeSetting& setting, const Instance& source,
+                            const Instance& target, const Instance& j_prime,
+                            const SymbolTable& symbols);
+
+// Convenience wrapper returning only the verdict.
+bool IsSolution(const PdeSetting& setting, const Instance& source,
+                const Instance& target, const Instance& j_prime,
+                const SymbolTable& symbols);
+
+}  // namespace pdx
+
+#endif  // PDX_PDE_SOLUTION_H_

@@ -1,0 +1,205 @@
+#include "relational/instance.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "base/string_util.h"
+
+namespace pdx {
+
+Instance::Instance(const Schema* schema) : schema_(schema) {
+  PDX_CHECK(schema != nullptr);
+  int n = schema->relation_count();
+  tuples_.resize(n);
+  dedup_.resize(n);
+  index_.resize(n);
+  for (int r = 0; r < n; ++r) {
+    index_[r].resize(schema->arity(r));
+  }
+}
+
+bool Instance::AddFact(RelationId relation, Tuple tuple) {
+  PDX_CHECK_GE(relation, 0);
+  PDX_CHECK_LT(relation, static_cast<RelationId>(tuples_.size()));
+  PDX_CHECK_EQ(static_cast<int>(tuple.size()), schema_->arity(relation))
+      << "arity mismatch inserting into " << schema_->relation_name(relation);
+  auto [it, inserted] = dedup_[relation].emplace(
+      std::move(tuple), static_cast<int>(tuples_[relation].size()));
+  if (!inserted) return false;
+  const Tuple& stored = it->first;
+  int idx = it->second;
+  tuples_[relation].push_back(stored);
+  for (int pos = 0; pos < static_cast<int>(stored.size()); ++pos) {
+    index_[relation][pos][stored[pos].packed()].push_back(idx);
+  }
+  ++fact_count_;
+  return true;
+}
+
+bool Instance::Contains(RelationId relation, const Tuple& tuple) const {
+  PDX_CHECK_GE(relation, 0);
+  PDX_CHECK_LT(relation, static_cast<RelationId>(tuples_.size()));
+  return dedup_[relation].count(tuple) > 0;
+}
+
+const std::vector<int>* Instance::TuplesWithValueAt(RelationId relation,
+                                                    int position,
+                                                    Value value) const {
+  PDX_CHECK_GE(relation, 0);
+  PDX_CHECK_LT(relation, static_cast<RelationId>(index_.size()));
+  PDX_CHECK_GE(position, 0);
+  PDX_CHECK_LT(position, static_cast<int>(index_[relation].size()));
+  const auto& by_value = index_[relation][position];
+  auto it = by_value.find(value.packed());
+  if (it == by_value.end()) return nullptr;
+  return &it->second;
+}
+
+void Instance::ForEachFact(const std::function<void(const Fact&)>& fn) const {
+  Fact fact;
+  for (RelationId r = 0; r < static_cast<RelationId>(tuples_.size()); ++r) {
+    fact.relation = r;
+    for (const Tuple& t : tuples_[r]) {
+      fact.tuple = t;
+      fn(fact);
+    }
+  }
+}
+
+std::vector<Fact> Instance::AllFacts() const {
+  std::vector<Fact> facts;
+  facts.reserve(fact_count_);
+  ForEachFact([&facts](const Fact& f) { facts.push_back(f); });
+  return facts;
+}
+
+std::vector<Value> Instance::ActiveDomain() const {
+  std::unordered_set<uint64_t> seen;
+  std::vector<Value> domain;
+  ForEachFact([&](const Fact& f) {
+    for (const Value& v : f.tuple) {
+      if (seen.insert(v.packed()).second) domain.push_back(v);
+    }
+  });
+  return domain;
+}
+
+std::vector<Value> Instance::Nulls() const {
+  std::vector<Value> nulls;
+  for (const Value& v : ActiveDomain()) {
+    if (v.is_null()) nulls.push_back(v);
+  }
+  return nulls;
+}
+
+bool Instance::HasNulls() const {
+  bool found = false;
+  ForEachFact([&found](const Fact& f) {
+    if (found) return;
+    for (const Value& v : f.tuple) {
+      if (v.is_null()) {
+        found = true;
+        return;
+      }
+    }
+  });
+  return found;
+}
+
+bool Instance::IsSubsetOf(const Instance& other) const {
+  if (fact_count_ > other.fact_count_) return false;
+  for (RelationId r = 0; r < static_cast<RelationId>(tuples_.size()); ++r) {
+    for (const Tuple& t : tuples_[r]) {
+      if (!other.Contains(r, t)) return false;
+    }
+  }
+  return true;
+}
+
+bool Instance::FactsEqual(const Instance& other) const {
+  return fact_count_ == other.fact_count_ && IsSubsetOf(other);
+}
+
+void Instance::UnionWith(const Instance& other) {
+  other.ForEachFact([this](const Fact& f) { AddFact(f); });
+}
+
+void Instance::Substitute(Value from, Value to) {
+  if (from == to) return;
+  // Rebuild: egd steps are rare relative to tgd steps and instance sizes
+  // in the solvers are moderate; a full rebuild keeps the index exact.
+  std::vector<std::vector<Tuple>> old = std::move(tuples_);
+  int n = schema_->relation_count();
+  tuples_.assign(n, {});
+  dedup_.assign(n, {});
+  index_.assign(n, {});
+  for (int r = 0; r < n; ++r) index_[r].resize(schema_->arity(r));
+  fact_count_ = 0;
+  for (RelationId r = 0; r < static_cast<RelationId>(old.size()); ++r) {
+    for (Tuple& t : old[r]) {
+      for (Value& v : t) {
+        if (v == from) v = to;
+      }
+      AddFact(r, std::move(t));
+    }
+  }
+}
+
+namespace {
+
+uint64_t MixFingerprint(uint64_t h, uint64_t x) {
+  x *= 0x9e3779b97f4a7c15ull;
+  x ^= x >> 29;
+  x *= 0xbf58476d1ce4e5b9ull;
+  return (h ^ x) * 0x100000001b3ull;
+}
+
+}  // namespace
+
+uint64_t Instance::CanonicalFingerprint() const {
+  std::vector<Fact> facts = AllFacts();
+  std::sort(facts.begin(), facts.end(), [](const Fact& a, const Fact& b) {
+    // Sort with nulls compared only by "nullness" first, then renamed ids
+    // are not yet known; use a two-phase approach: sort by (relation,
+    // value kinds, constant ids with nulls last). This yields a canonical
+    // order whenever null *positions* differ; ties among facts differing
+    // only in null identity are broken by null id, which can produce
+    // different-but-equivalent orders in rare symmetric cases. That only
+    // weakens memoization, never correctness.
+    if (a.relation != b.relation) return a.relation < b.relation;
+    for (size_t i = 0; i < a.tuple.size(); ++i) {
+      const Value& va = a.tuple[i];
+      const Value& vb = b.tuple[i];
+      if (va.is_null() != vb.is_null()) return vb.is_null();
+      if (va.is_constant() && va != vb) return va < vb;
+    }
+    return a.tuple < b.tuple;
+  });
+  std::unordered_map<uint64_t, uint32_t> null_rename;
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (const Fact& f : facts) {
+    h = MixFingerprint(h, static_cast<uint64_t>(f.relation) + 1);
+    for (const Value& v : f.tuple) {
+      if (v.is_constant()) {
+        h = MixFingerprint(h, v.packed() * 2 + 1);
+      } else {
+        auto [it, inserted] = null_rename.emplace(
+            v.packed(), static_cast<uint32_t>(null_rename.size()));
+        h = MixFingerprint(h, uint64_t{it->second} * 2);
+      }
+    }
+  }
+  return h;
+}
+
+std::string Instance::ToString(const SymbolTable& symbols) const {
+  std::vector<std::string> lines;
+  lines.reserve(fact_count_);
+  ForEachFact([&](const Fact& f) {
+    lines.push_back(StrCat(FactToString(f, *schema_, symbols), "."));
+  });
+  std::sort(lines.begin(), lines.end());
+  return StrJoin(lines, "\n");
+}
+
+}  // namespace pdx

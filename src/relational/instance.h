@@ -1,0 +1,113 @@
+#ifndef PDX_RELATIONAL_INSTANCE_H_
+#define PDX_RELATIONAL_INSTANCE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "base/status.h"
+#include "relational/schema.h"
+#include "relational/tuple.h"
+#include "relational/value.h"
+
+namespace pdx {
+
+// A finite database instance over a Schema, with a positional inverted
+// index to accelerate homomorphism search and chase trigger enumeration.
+//
+// An Instance may contain labeled nulls (e.g. mid-chase or in canonical
+// instances); "ground" instances are simply instances whose values are all
+// constants. The Instance does not own the Schema; the Schema must outlive
+// the Instance.
+class Instance {
+ public:
+  explicit Instance(const Schema* schema);
+
+  // Copyable: solvers clone states during search.
+  Instance(const Instance&) = default;
+  Instance& operator=(const Instance&) = default;
+  Instance(Instance&&) = default;
+  Instance& operator=(Instance&&) = default;
+
+  const Schema& schema() const { return *schema_; }
+
+  // Inserts R(t). Returns true if the fact was new. Arity mismatches are
+  // internal errors (callers validate user input at parse time).
+  bool AddFact(RelationId relation, Tuple tuple);
+  bool AddFact(const Fact& fact) { return AddFact(fact.relation, fact.tuple); }
+
+  bool Contains(RelationId relation, const Tuple& tuple) const;
+  bool Contains(const Fact& fact) const {
+    return Contains(fact.relation, fact.tuple);
+  }
+
+  // All tuples of one relation, in insertion order.
+  const std::vector<Tuple>& tuples(RelationId relation) const {
+    PDX_CHECK_GE(relation, 0);
+    PDX_CHECK_LT(relation, static_cast<RelationId>(tuples_.size()));
+    return tuples_[relation];
+  }
+
+  // Indexes (into tuples(relation)) of tuples holding `value` at `position`,
+  // or nullptr if none. The pointer is invalidated by any mutation.
+  const std::vector<int>* TuplesWithValueAt(RelationId relation, int position,
+                                            Value value) const;
+
+  // Total number of facts across all relations.
+  size_t fact_count() const { return fact_count_; }
+  bool empty() const { return fact_count_ == 0; }
+
+  // Invokes `fn` for every fact.
+  void ForEachFact(const std::function<void(const Fact&)>& fn) const;
+
+  // All facts as a vector (convenience for tests and printing).
+  std::vector<Fact> AllFacts() const;
+
+  // The set of values occurring in the instance (active domain).
+  std::vector<Value> ActiveDomain() const;
+
+  // The nulls occurring in the instance.
+  std::vector<Value> Nulls() const;
+  bool HasNulls() const;
+
+  // True if every fact of this instance is a fact of `other`.
+  bool IsSubsetOf(const Instance& other) const;
+
+  // Set equality of facts (schemas must describe the same relations).
+  bool FactsEqual(const Instance& other) const;
+
+  // Inserts every fact of `other` (over the same schema) into this.
+  void UnionWith(const Instance& other);
+
+  // Replaces every occurrence of `from` by `to`, deduplicating the result.
+  // Used by egd chase steps (from is always a labeled null there).
+  void Substitute(Value from, Value to);
+
+  // Order-insensitive structural fingerprint, invariant under the *names*
+  // of nulls: nulls are canonically renamed by first occurrence in the
+  // sorted fact sequence. Two instances with equal fingerprints are
+  // isomorphic-over-constants with overwhelming probability; used for
+  // search-state memoization (collisions only cost completeness of the
+  // memo, never soundness of answers, and are astronomically unlikely).
+  uint64_t CanonicalFingerprint() const;
+
+  // Multi-line rendering "R(a,b)." per fact, sorted, for goldens/debugging.
+  std::string ToString(const SymbolTable& symbols) const;
+
+ private:
+  const Schema* schema_;
+  size_t fact_count_ = 0;
+  // Per relation: dense tuple store + dedup map + per-position inverted
+  // index (index_[relation][position][value.packed()] = tuple indexes).
+  std::vector<std::vector<Tuple>> tuples_;
+  std::vector<std::unordered_map<Tuple, int, TupleHash>> dedup_;
+  std::vector<std::vector<std::unordered_map<uint64_t, std::vector<int>>>>
+      index_;
+};
+
+}  // namespace pdx
+
+#endif  // PDX_RELATIONAL_INSTANCE_H_

@@ -1,0 +1,35 @@
+#include "relational/instance_diff.h"
+
+#include <algorithm>
+
+#include "base/string_util.h"
+
+namespace pdx {
+
+InstanceDiff DiffInstances(const Instance& before, const Instance& after) {
+  InstanceDiff diff;
+  after.ForEachFact([&](const Fact& f) {
+    if (!before.Contains(f)) diff.added.push_back(f);
+  });
+  before.ForEachFact([&](const Fact& f) {
+    if (!after.Contains(f)) diff.removed.push_back(f);
+  });
+  std::sort(diff.added.begin(), diff.added.end());
+  std::sort(diff.removed.begin(), diff.removed.end());
+  return diff;
+}
+
+std::string DiffToString(const InstanceDiff& diff, const Schema& schema,
+                         const SymbolTable& symbols) {
+  std::vector<std::string> lines;
+  lines.reserve(diff.added.size() + diff.removed.size());
+  for (const Fact& f : diff.removed) {
+    lines.push_back(StrCat("- ", FactToString(f, schema, symbols), "."));
+  }
+  for (const Fact& f : diff.added) {
+    lines.push_back(StrCat("+ ", FactToString(f, schema, symbols), "."));
+  }
+  return StrJoin(lines, "\n");
+}
+
+}  // namespace pdx

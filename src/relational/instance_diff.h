@@ -1,0 +1,32 @@
+#ifndef PDX_RELATIONAL_INSTANCE_DIFF_H_
+#define PDX_RELATIONAL_INSTANCE_DIFF_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/instance.h"
+#include "relational/tuple.h"
+#include "relational/value.h"
+
+namespace pdx {
+
+// Set difference of two instances over the same schema.
+struct InstanceDiff {
+  std::vector<Fact> added;    // in `after` but not `before`
+  std::vector<Fact> removed;  // in `before` but not `after`
+
+  bool empty() const { return added.empty() && removed.empty(); }
+};
+
+// Computes after \ before and before \ after (facts compared exactly;
+// nulls by identity). Used e.g. to show what an exchange imported into
+// the target.
+InstanceDiff DiffInstances(const Instance& before, const Instance& after);
+
+// Renders a unified-diff-style listing: "+ R(a,b)." / "- S(c).", sorted.
+std::string DiffToString(const InstanceDiff& diff, const Schema& schema,
+                         const SymbolTable& symbols);
+
+}  // namespace pdx
+
+#endif  // PDX_RELATIONAL_INSTANCE_DIFF_H_

@@ -1,0 +1,141 @@
+#include "relational/instance_io.h"
+
+#include <cctype>
+#include <string>
+#include <unordered_map>
+
+#include "base/string_util.h"
+
+namespace pdx {
+
+namespace {
+
+// Minimal hand-rolled scanner for the fact syntax. Kept separate from the
+// dependency-language parser (logic/parser.*) because instances allow a
+// wider constant lexicon (numbers, quoted strings) and null labels.
+class FactScanner {
+ public:
+  explicit FactScanner(std::string_view text) : text_(text) {}
+
+  void SkipSpaceAndComments() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        return;
+      }
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpaceAndComments();
+    return pos_ >= text_.size();
+  }
+
+  bool Consume(char c) {
+    SkipSpaceAndComments();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  // An identifier, number, quoted string, or `_`-label.
+  StatusOr<std::string> ReadToken() {
+    SkipSpaceAndComments();
+    if (pos_ >= text_.size()) {
+      return InvalidArgumentError("unexpected end of instance text");
+    }
+    char c = text_[pos_];
+    if (c == '\'' || c == '"') {
+      char quote = c;
+      size_t start = ++pos_;
+      while (pos_ < text_.size() && text_[pos_] != quote) ++pos_;
+      if (pos_ >= text_.size()) {
+        return InvalidArgumentError("unterminated quoted value");
+      }
+      std::string token(text_.substr(start, pos_ - start));
+      ++pos_;
+      return token;
+    }
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_')) {
+      return InvalidArgumentError(
+          StrCat("unexpected character '", std::string(1, c), "' at offset ",
+                 pos_));
+    }
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_' || text_[pos_] == '.')) {
+      // '.' inside a token only for decimal-looking constants: stop at
+      // '.' unless surrounded by digits.
+      if (text_[pos_] == '.') {
+        bool digit_before =
+            pos_ > start &&
+            std::isdigit(static_cast<unsigned char>(text_[pos_ - 1]));
+        bool digit_after =
+            pos_ + 1 < text_.size() &&
+            std::isdigit(static_cast<unsigned char>(text_[pos_ + 1]));
+        if (!(digit_before && digit_after)) break;
+      }
+      ++pos_;
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  size_t offset() const { return pos_; }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Instance> ParseInstance(std::string_view text, const Schema& schema,
+                                 SymbolTable* symbols) {
+  PDX_CHECK(symbols != nullptr);
+  Instance instance(&schema);
+  FactScanner scanner(text);
+  std::unordered_map<std::string, Value> null_labels;
+  while (!scanner.AtEnd()) {
+    PDX_ASSIGN_OR_RETURN(std::string name, scanner.ReadToken());
+    PDX_ASSIGN_OR_RETURN(RelationId relation, schema.FindRelation(name));
+    if (!scanner.Consume('(')) {
+      return InvalidArgumentError(
+          StrCat("expected '(' after relation ", name));
+    }
+    Tuple tuple;
+    if (!scanner.Consume(')')) {
+      while (true) {
+        PDX_ASSIGN_OR_RETURN(std::string token, scanner.ReadToken());
+        if (!token.empty() && token[0] == '_') {
+          auto [it, inserted] = null_labels.emplace(token, Value());
+          if (inserted) it->second = symbols->FreshNull();
+          tuple.push_back(it->second);
+        } else {
+          tuple.push_back(symbols->InternConstant(token));
+        }
+        if (scanner.Consume(')')) break;
+        if (!scanner.Consume(',')) {
+          return InvalidArgumentError(
+              StrCat("expected ',' or ')' in fact for ", name));
+        }
+      }
+    }
+    if (static_cast<int>(tuple.size()) != schema.arity(relation)) {
+      return InvalidArgumentError(
+          StrCat("fact for ", name, " has ", tuple.size(),
+                 " values, expected ", schema.arity(relation)));
+    }
+    instance.AddFact(relation, std::move(tuple));
+    scanner.Consume('.');  // Trailing periods are optional separators.
+  }
+  return instance;
+}
+
+}  // namespace pdx

@@ -1,0 +1,27 @@
+#ifndef PDX_RELATIONAL_INSTANCE_IO_H_
+#define PDX_RELATIONAL_INSTANCE_IO_H_
+
+#include <string_view>
+
+#include "base/status.h"
+#include "relational/instance.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace pdx {
+
+// Parses a textual instance, e.g.:
+//
+//   E(a, b). E(b, c).
+//   H(a, _x).            # `_`-prefixed values are labeled nulls
+//   # comments run to end of line
+//
+// Relation names must exist in `schema` with matching arity. Constants are
+// interned into `symbols`; each distinct `_`-label becomes one fresh null
+// (fresh per call, so labels do not collide across calls).
+StatusOr<Instance> ParseInstance(std::string_view text, const Schema& schema,
+                                 SymbolTable* symbols);
+
+}  // namespace pdx
+
+#endif  // PDX_RELATIONAL_INSTANCE_IO_H_

@@ -1,0 +1,20 @@
+#include "relational/tuple.h"
+
+#include "base/string_util.h"
+
+namespace pdx {
+
+std::string TupleToString(const Tuple& tuple, const SymbolTable& symbols) {
+  std::vector<std::string> parts;
+  parts.reserve(tuple.size());
+  for (const Value& v : tuple) parts.push_back(symbols.ValueToString(v));
+  return StrCat("(", StrJoin(parts, ","), ")");
+}
+
+std::string FactToString(const Fact& fact, const Schema& schema,
+                         const SymbolTable& symbols) {
+  return StrCat(schema.relation_name(fact.relation),
+                TupleToString(fact.tuple, symbols));
+}
+
+}  // namespace pdx

@@ -1,0 +1,61 @@
+#ifndef PDX_RELATIONAL_TUPLE_H_
+#define PDX_RELATIONAL_TUPLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace pdx {
+
+// A tuple of values. Arity is implicit (checked against the schema when
+// inserted into an Instance).
+using Tuple = std::vector<Value>;
+
+// A tuple tagged with the relation it belongs to: R(t).
+struct Fact {
+  RelationId relation = -1;
+  Tuple tuple;
+
+  bool operator==(const Fact& other) const {
+    return relation == other.relation && tuple == other.tuple;
+  }
+  bool operator<(const Fact& other) const {
+    if (relation != other.relation) return relation < other.relation;
+    return tuple < other.tuple;
+  }
+};
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const {
+    uint64_t h = 0x9e3779b97f4a7c15ull;
+    for (const Value& v : t) {
+      uint64_t x = v.packed();
+      x ^= x >> 30;
+      x *= 0xbf58476d1ce4e5b9ull;
+      x ^= x >> 27;
+      h = h * 0x100000001b3ull ^ x;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+struct FactHash {
+  size_t operator()(const Fact& f) const {
+    return TupleHash()(f.tuple) * 31 + static_cast<size_t>(f.relation);
+  }
+};
+
+// Renders "R(a,b,_N0)" using the schema for the relation name and the
+// symbol table for values.
+std::string FactToString(const Fact& fact, const Schema& schema,
+                         const SymbolTable& symbols);
+
+// Renders "(a,b,_N0)".
+std::string TupleToString(const Tuple& tuple, const SymbolTable& symbols);
+
+}  // namespace pdx
+
+#endif  // PDX_RELATIONAL_TUPLE_H_

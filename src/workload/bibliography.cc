@@ -1,0 +1,90 @@
+#include "workload/bibliography.h"
+
+#include "base/string_util.h"
+#include "pde/multi_pde.h"
+
+namespace pdx {
+
+StatusOr<PdeSetting> MakeBibliographySetting(SymbolTable* symbols) {
+  std::vector<PeerSpec> peers = {
+      // DBLP: authoritative for years.
+      {{{"DblpPaper", 3}, {"DblpAuthor", 2}},
+       "DblpPaper(p,t,y) -> Pub(p,t) & PubYear(p,y).\n"
+       "DblpAuthor(p,a) -> PubAuthor(p,a).",
+       "PubYear(p,y) -> exists t: DblpPaper(p,t,y).",
+       "PubYear(p,y) & PubYear(p,y2) -> y = y2."},
+      // ArXiv: contributes without restrictions.
+      {{{"ArxivPreprint", 2}, {"ArxivAuthor", 2}},
+       "ArxivPreprint(p,t) -> Pub(p,t).\n"
+       "ArxivAuthor(p,a) -> PubAuthor(p,a).",
+       "", ""},
+  };
+  return MergeMultiPde(
+      peers, {{"Pub", 2}, {"PubYear", 2}, {"PubAuthor", 2}}, symbols);
+}
+
+BibliographyWorkload MakeBibliographyWorkload(
+    const PdeSetting& setting, const BibliographyWorkloadOptions& opts,
+    Rng* rng, SymbolTable* symbols) {
+  const Schema& schema = setting.schema();
+  RelationId dblp_paper = schema.FindRelation("DblpPaper").value();
+  RelationId dblp_author = schema.FindRelation("DblpAuthor").value();
+  RelationId arxiv_preprint = schema.FindRelation("ArxivPreprint").value();
+  RelationId arxiv_author = schema.FindRelation("ArxivAuthor").value();
+  RelationId pub_year = schema.FindRelation("PubYear").value();
+
+  BibliographyWorkload workload{setting.EmptyInstance(),
+                                setting.EmptyInstance()};
+
+  auto paper_id = [&](int i) {
+    return symbols->InternConstant(StrCat("paper", i));
+  };
+  auto title = [&](int i) {
+    return symbols->InternConstant(StrCat("title", i));
+  };
+  auto person = [&](uint32_t i) {
+    return symbols->InternConstant(StrCat("person", i));
+  };
+  auto year = [&](int y) {
+    return symbols->InternConstant(StrCat(1990 + y));
+  };
+
+  std::vector<Value> dblp_ids;
+  for (int i = 0; i < opts.dblp_papers; ++i) {
+    Value id = paper_id(i);
+    dblp_ids.push_back(id);
+    workload.source.AddFact(dblp_paper,
+                            {id, title(i), year(rng->UniformInt(30))});
+    for (int a = 0; a < opts.authors_per_paper; ++a) {
+      workload.source.AddFact(dblp_author,
+                              {id, person(rng->UniformInt(40))});
+    }
+  }
+  // ArXiv preprints: the first `overlap` share ids/titles with DBLP.
+  for (int i = 0; i < opts.arxiv_papers; ++i) {
+    int shared = i < opts.overlap ? i : opts.dblp_papers + i;
+    Value id = paper_id(shared);
+    workload.source.AddFact(arxiv_preprint, {id, title(shared)});
+    for (int a = 0; a < opts.authors_per_paper; ++a) {
+      workload.source.AddFact(arxiv_author,
+                              {id, person(rng->UniformInt(40))});
+    }
+  }
+
+  if (opts.inject_year_conflict && !dblp_ids.empty()) {
+    // Same paper, second edition with another year: the egd will fail.
+    workload.source.AddFact(
+        dblp_paper, {dblp_ids[0], symbols->InternConstant("title0_reprint"),
+                     symbols->InternConstant("2099")});
+  }
+
+  for (int i = 0; i < opts.unbacked_catalog_years; ++i) {
+    // A catalog year DBLP does not back (fresh paper id).
+    workload.target.AddFact(
+        pub_year, {symbols->InternConstant(StrCat("localpaper", i)),
+                   symbols->InternConstant("1900")});
+  }
+  return workload;
+}
+
+}  // namespace pdx

@@ -1,0 +1,62 @@
+#ifndef PDX_WORKLOAD_BIBLIOGRAPHY_H_
+#define PDX_WORKLOAD_BIBLIOGRAPHY_H_
+
+#include "base/status.h"
+#include "pde/setting.h"
+#include "relational/instance.h"
+#include "relational/value.h"
+#include "workload/random.h"
+
+namespace pdx {
+
+// A multi-PDE scenario: two source peers with different authority feed one
+// library catalog (Section 2's multi-PDE construction, merged into a
+// single setting).
+//
+//   Peer DBLP (authoritative for publication years):
+//     sources:  DblpPaper(id, title, year), DblpAuthor(id, person)
+//     Σ_st:     DblpPaper(p,t,y) -> Pub(p,t) & PubYear(p,y)
+//               DblpAuthor(p,a)  -> PubAuthor(p,a)
+//     Σ_ts:     PubYear(p,y) -> exists t: DblpPaper(p,t,y)
+//               (the catalog accepts years only if DBLP backs them)
+//     Σ_t:      PubYear(p,y) & PubYear(p,y2) -> y = y2
+//               (publication year is functional)
+//
+//   Peer ArXiv (contributes, no restrictions):
+//     sources:  ArxivPreprint(id, title), ArxivAuthor(id, person)
+//     Σ_st:     ArxivPreprint(p,t) -> Pub(p,t)
+//               ArxivAuthor(p,a)   -> PubAuthor(p,a)
+//
+// The target egd makes the setting leave C_tract, so this scenario
+// exercises the generic solver and the repair machinery on a realistic
+// shape.
+StatusOr<PdeSetting> MakeBibliographySetting(SymbolTable* symbols);
+
+struct BibliographyWorkloadOptions {
+  int dblp_papers = 20;
+  int arxiv_papers = 10;
+  // Preprints that are also DBLP papers (same id, same title).
+  int overlap = 5;
+  int authors_per_paper = 2;
+  // Adds a second DBLP row for one paper with a *different* year. The
+  // chase then derives two PubYear facts for that paper and the egd fails:
+  // (I, J) becomes unsolvable for every J, i.e. it has zero repairs.
+  bool inject_year_conflict = false;
+  // Pre-existing catalog entries with a year DBLP does not back: the
+  // target's own data violates Σ_ts permanently (repairable by dropping
+  // them).
+  int unbacked_catalog_years = 0;
+};
+
+struct BibliographyWorkload {
+  Instance source;
+  Instance target;
+};
+
+BibliographyWorkload MakeBibliographyWorkload(
+    const PdeSetting& setting, const BibliographyWorkloadOptions& opts,
+    Rng* rng, SymbolTable* symbols);
+
+}  // namespace pdx
+
+#endif  // PDX_WORKLOAD_BIBLIOGRAPHY_H_

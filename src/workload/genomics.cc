@@ -1,0 +1,73 @@
+#include "workload/genomics.h"
+
+#include "base/string_util.h"
+
+namespace pdx {
+
+StatusOr<PdeSetting> MakeGenomicsSetting(SymbolTable* symbols) {
+  return PdeSetting::Create(
+      {{"SPProtein", 3}, {"SPAnnotation", 2}},
+      {{"Protein", 2}, {"Organism", 2}, {"Annotation", 3}},
+      "SPProtein(a,n,o) -> Protein(a,n) & Organism(a,o).\n"
+      "SPAnnotation(a,g) -> exists e: Annotation(a,g,e).",
+      "Protein(a,n) -> exists o: SPProtein(a,n,o).\n"
+      "Annotation(a,g,e) -> exists n,o: SPProtein(a,n,o) & SPAnnotation(a,g).",
+      "", symbols);
+}
+
+GenomicsWorkload MakeGenomicsWorkload(const PdeSetting& setting,
+                                      const GenomicsWorkloadOptions& opts,
+                                      Rng* rng, SymbolTable* symbols) {
+  const Schema& schema = setting.schema();
+  RelationId sp_protein = schema.FindRelation("SPProtein").value();
+  RelationId sp_annotation = schema.FindRelation("SPAnnotation").value();
+  RelationId protein = schema.FindRelation("Protein").value();
+  RelationId annotation = schema.FindRelation("Annotation").value();
+
+  GenomicsWorkload workload{setting.EmptyInstance(), setting.EmptyInstance()};
+
+  std::vector<Value> accessions;
+  std::vector<std::pair<Value, Value>> source_annotations;
+  const char* organisms[] = {"human", "mouse", "yeast", "ecoli", "fly"};
+  for (int i = 0; i < opts.proteins; ++i) {
+    Value acc = symbols->InternConstant(StrCat("P", 10000 + i));
+    Value name = symbols->InternConstant(StrCat("protein_", i));
+    Value organism = symbols->InternConstant(
+        organisms[rng->UniformInt(5)]);
+    accessions.push_back(acc);
+    workload.source.AddFact(sp_protein, {acc, name, organism});
+    for (int a = 0; a < opts.annotations_per_protein; ++a) {
+      Value go = symbols->InternConstant(
+          StrCat("GO_", rng->UniformInt(100)));
+      workload.source.AddFact(sp_annotation, {acc, go});
+      source_annotations.emplace_back(acc, go);
+    }
+  }
+
+  // Pre-existing, source-backed target annotations (consistent J data).
+  Value curated = symbols->InternConstant("curated");
+  for (int i = 0;
+       i < opts.backed_target_annotations &&
+       i < static_cast<int>(source_annotations.size());
+       ++i) {
+    const auto& [acc, go] = source_annotations[rng->UniformInt(
+        static_cast<uint32_t>(source_annotations.size()))];
+    workload.target.AddFact(annotation, {acc, go, curated});
+  }
+
+  // Unbacked target data: annotations (and a protein) Swiss-Prot does not
+  // know about; these violate Σ_ts permanently.
+  for (int i = 0; i < opts.unbacked_target_annotations; ++i) {
+    Value acc = symbols->InternConstant(StrCat("LOCAL", i));
+    Value go = symbols->InternConstant(StrCat("GO_LOCAL_", i));
+    workload.target.AddFact(annotation, {acc, go, curated});
+    if (i == 0) {
+      workload.target.AddFact(
+          protein, {acc, symbols->InternConstant("local_protein")});
+    }
+  }
+
+  return workload;
+}
+
+}  // namespace pdx

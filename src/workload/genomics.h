@@ -1,0 +1,58 @@
+#ifndef PDX_WORKLOAD_GENOMICS_H_
+#define PDX_WORKLOAD_GENOMICS_H_
+
+#include "base/status.h"
+#include "pde/setting.h"
+#include "relational/instance.h"
+#include "relational/value.h"
+#include "workload/random.h"
+
+namespace pdx {
+
+// The paper's motivating scenario (Section 1): an authoritative genomic
+// source peer (Swiss-Prot-like) exchanging data with a university target
+// peer that restricts what it accepts. The real Swiss-Prot data are
+// proprietary-ish and irrelevant to the algorithms, so this generator
+// produces a synthetic equivalent exercising the same constraint shapes:
+//
+//   Source:  SPProtein(acc, name, organism)
+//            SPAnnotation(acc, goterm)
+//   Target:  Protein(acc, name)
+//            Organism(acc, organism)
+//            Annotation(acc, goterm, evidence)
+//
+//   Σ_st:  SPProtein(a,n,o)  -> Protein(a,n) & Organism(a,o)
+//          SPAnnotation(a,g) -> ∃e Annotation(a,g,e)
+//   Σ_ts:  Protein(a,n)      -> ∃o SPProtein(a,n,o)
+//          Annotation(a,g,e) -> ∃n,o SPProtein(a,n,o) & SPAnnotation(a,g)
+//
+// The ts-tgds say the university only keeps proteins and annotations that
+// Swiss-Prot backs. Both ts-tgds are single-literal with distinct
+// variables, so the setting is in C_tract via conditions 1 + 2.1.
+StatusOr<PdeSetting> MakeGenomicsSetting(SymbolTable* symbols);
+
+struct GenomicsWorkloadOptions {
+  int proteins = 50;
+  int annotations_per_protein = 2;
+  // Number of pre-existing target-side annotations NOT backed by the
+  // source. Any value > 0 makes (I, J) unsolvable — the university already
+  // holds data it should not accept, modelling the "no solution" case.
+  int unbacked_target_annotations = 0;
+  // Number of target-side annotations copied from the source (consistent
+  // pre-existing data).
+  int backed_target_annotations = 5;
+};
+
+struct GenomicsWorkload {
+  Instance source;
+  Instance target;
+};
+
+// Generates a synthetic (I, J) pair for the genomics setting.
+GenomicsWorkload MakeGenomicsWorkload(const PdeSetting& setting,
+                                      const GenomicsWorkloadOptions& opts,
+                                      Rng* rng, SymbolTable* symbols);
+
+}  // namespace pdx
+
+#endif  // PDX_WORKLOAD_GENOMICS_H_

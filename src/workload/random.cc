@@ -1,0 +1,2 @@
+// Rng is header-only; this file anchors the target in the build.
+#include "workload/random.h"

@@ -1,0 +1,39 @@
+#ifndef PDX_WORKLOAD_RANDOM_H_
+#define PDX_WORKLOAD_RANDOM_H_
+
+#include <cstdint>
+
+namespace pdx {
+
+// A small deterministic PRNG (splitmix64) for workload generation.
+// Deterministic across platforms so tests and benchmarks are reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9e3779b97f4a7c15ull) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform integer in [0, bound); bound must be positive.
+  uint32_t UniformInt(uint32_t bound) {
+    return static_cast<uint32_t>(Next() % bound);
+  }
+
+  // Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace pdx
+
+#endif  // PDX_WORKLOAD_RANDOM_H_

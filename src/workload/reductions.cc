@@ -1,0 +1,158 @@
+#include "workload/reductions.h"
+
+#include "base/string_util.h"
+#include "logic/parser.h"
+
+namespace pdx {
+
+namespace {
+
+// Interns "a1".."ak" (the fresh clique slots) and returns them.
+std::vector<Value> CliqueSlots(int k, SymbolTable* symbols) {
+  std::vector<Value> slots;
+  slots.reserve(k);
+  for (int i = 1; i <= k; ++i) {
+    slots.push_back(symbols->InternConstant(StrCat("a", i)));
+  }
+  return slots;
+}
+
+// Interns "v0".."v{n-1}" for graph nodes.
+std::vector<Value> NodeValues(int n, SymbolTable* symbols) {
+  std::vector<Value> nodes;
+  nodes.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    nodes.push_back(symbols->InternConstant(StrCat("v", i)));
+  }
+  return nodes;
+}
+
+// Adds E(u,v) and E(v,u) for every edge of g.
+void AddSymmetricEdges(const Graph& g, const std::vector<Value>& nodes,
+                       RelationId e, Instance* instance) {
+  for (const auto& [u, v] : g.edges) {
+    instance->AddFact(e, {nodes[u], nodes[v]});
+    instance->AddFact(e, {nodes[v], nodes[u]});
+  }
+}
+
+}  // namespace
+
+StatusOr<PdeSetting> MakeCliqueSetting(SymbolTable* symbols) {
+  return PdeSetting::Create(
+      {{"D", 2}, {"S", 2}, {"E", 2}}, {{"P", 4}},
+      "D(x,y) -> exists z,w: P(x,z,y,w).",
+      "P(x,z,y,w) -> E(z,w).\n"
+      "P(x,z,y,w) & P(x,z2,y2,w2) -> S(z,z2).\n"
+      "P(x,z,y,w) & P(y,z2,y2,w2) -> S(w,z2).",
+      "", symbols);
+}
+
+Instance MakeCliqueSourceInstance(const PdeSetting& setting, const Graph& g,
+                                  int k, SymbolTable* symbols) {
+  Instance instance = setting.EmptyInstance();
+  RelationId d = setting.schema().FindRelation("D").value();
+  RelationId s = setting.schema().FindRelation("S").value();
+  RelationId e = setting.schema().FindRelation("E").value();
+  std::vector<Value> slots = CliqueSlots(k, symbols);
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < k; ++j) {
+      if (i != j) instance.AddFact(d, {slots[i], slots[j]});
+    }
+  }
+  std::vector<Value> nodes = NodeValues(g.node_count, symbols);
+  for (const Value& v : nodes) instance.AddFact(s, {v, v});
+  AddSymmetricEdges(g, nodes, e, &instance);
+  return instance;
+}
+
+StatusOr<UnionQuery> MakeCliqueCertainQuery(const PdeSetting& setting,
+                                            SymbolTable* symbols) {
+  return ParseUnionQuery("q() :- P(x,x,x,x).", setting.schema(), symbols);
+}
+
+StatusOr<PdeSetting> MakeEgdBoundarySetting(SymbolTable* symbols) {
+  return PdeSetting::Create(
+      {{"D", 2}, {"E", 2}}, {{"P", 4}},
+      "D(x,y) -> exists z,w: P(x,z,y,w).",
+      "P(x,z,y,w) -> E(z,w).",
+      "P(x,z,y,w) & P(x,z2,y2,w2) -> z = z2.\n"
+      "P(x,z,y,w) & P(y,z2,y2,w2) -> w = z2.",
+      symbols);
+}
+
+Instance MakeEgdBoundarySourceInstance(const PdeSetting& setting,
+                                       const Graph& g, int k,
+                                       SymbolTable* symbols) {
+  Instance instance = setting.EmptyInstance();
+  RelationId d = setting.schema().FindRelation("D").value();
+  RelationId e = setting.schema().FindRelation("E").value();
+  std::vector<Value> slots = CliqueSlots(k, symbols);
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < k; ++j) {
+      if (i != j) instance.AddFact(d, {slots[i], slots[j]});
+    }
+  }
+  std::vector<Value> nodes = NodeValues(g.node_count, symbols);
+  AddSymmetricEdges(g, nodes, e, &instance);
+  return instance;
+}
+
+StatusOr<PdeSetting> MakeTargetTgdBoundarySetting(SymbolTable* symbols) {
+  return PdeSetting::Create(
+      {{"D", 2}, {"S", 2}, {"E", 2}}, {{"P", 4}, {"Sp", 2}},
+      "S(z,w) -> Sp(z,w).\n"
+      "D(x,y) -> exists z,w: P(x,z,y,w).",
+      "Sp(z,z2) -> S(z,z2).\n"
+      "P(x,z,y,w) -> E(z,w).",
+      "P(x,z,y,w) & P(x,z2,y2,w2) -> Sp(z,z2).\n"
+      "P(x,z,y,w) & P(y,z2,y2,w2) -> Sp(w,z2).",
+      symbols);
+}
+
+Instance MakeTargetTgdBoundarySourceInstance(const PdeSetting& setting,
+                                             const Graph& g, int k,
+                                             SymbolTable* symbols) {
+  Instance instance = setting.EmptyInstance();
+  RelationId d = setting.schema().FindRelation("D").value();
+  RelationId s = setting.schema().FindRelation("S").value();
+  RelationId e = setting.schema().FindRelation("E").value();
+  std::vector<Value> slots = CliqueSlots(k, symbols);
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < k; ++j) {
+      if (i != j) instance.AddFact(d, {slots[i], slots[j]});
+    }
+  }
+  std::vector<Value> nodes = NodeValues(g.node_count, symbols);
+  for (const Value& v : nodes) instance.AddFact(s, {v, v});
+  AddSymmetricEdges(g, nodes, e, &instance);
+  return instance;
+}
+
+StatusOr<PdeSetting> MakeThreeColSetting(SymbolTable* symbols) {
+  return PdeSetting::Create(
+      {{"E", 2}, {"R", 1}, {"G", 1}, {"B", 1}}, {{"Ep", 2}, {"C", 2}},
+      "E(x,y) -> exists u: C(x,u).\n"
+      "E(x,y) -> Ep(x,y).",
+      "Ep(x,y) & C(x,u) & C(y,v) -> "
+      "(R(u) & B(v)) | (R(u) & G(v)) | (B(u) & G(v)) | "
+      "(B(u) & R(v)) | (G(u) & R(v)) | (G(u) & B(v)).",
+      "", symbols);
+}
+
+Instance MakeThreeColSourceInstance(const PdeSetting& setting, const Graph& g,
+                                    SymbolTable* symbols) {
+  Instance instance = setting.EmptyInstance();
+  RelationId e = setting.schema().FindRelation("E").value();
+  RelationId r = setting.schema().FindRelation("R").value();
+  RelationId gg = setting.schema().FindRelation("G").value();
+  RelationId b = setting.schema().FindRelation("B").value();
+  std::vector<Value> nodes = NodeValues(g.node_count, symbols);
+  AddSymmetricEdges(g, nodes, e, &instance);
+  instance.AddFact(r, {symbols->InternConstant("red")});
+  instance.AddFact(gg, {symbols->InternConstant("green")});
+  instance.AddFact(b, {symbols->InternConstant("blue")});
+  return instance;
+}
+
+}  // namespace pdx

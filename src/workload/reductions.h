@@ -1,0 +1,88 @@
+#ifndef PDX_WORKLOAD_REDUCTIONS_H_
+#define PDX_WORKLOAD_REDUCTIONS_H_
+
+#include "base/status.h"
+#include "logic/conjunctive_query.h"
+#include "pde/setting.h"
+#include "relational/instance.h"
+#include "relational/value.h"
+#include "workload/graph_gen.h"
+
+namespace pdx {
+
+// ---------------------------------------------------------------------------
+// Theorem 3: the CLIQUE reduction.
+//
+// Source schema: D/2 (inequality over k fresh elements), S/2 (the equality
+// relation on V), E/2 (the edge relation, stored symmetrically).
+// Target schema: P/4. Σ_t = ∅.
+//
+//   Σ_st:  D(x,y) -> ∃z,w P(x,z,y,w)
+//   Σ_ts:  P(x,z,y,w) -> E(z,w)
+//          P(x,z,y,w) & P(x,z2,y2,w2)  -> S(z,z2)
+//          P(x,z,y,w) & P(y,z2,y2,w2)  -> S(w,z2)
+//
+// The third ts-tgd (tying the w associated with y in one tuple to the z
+// associated with y in its own tuples) is required for the reduction to be
+// correct as an if-and-only-if; the paper's prose states only the first
+// two but describes exactly this association semantics ("an element of
+// a_1..a_k cannot be associated with two distinct nodes"). Tests validate
+// the equivalence against a brute-force clique oracle. Like the paper's
+// setting, this one satisfies condition 1 of Definition 9 but violates
+// both 2.1 and 2.2, and its relation-level dependency graph is acyclic.
+// ---------------------------------------------------------------------------
+
+// Builds the CLIQUE PDE setting.
+StatusOr<PdeSetting> MakeCliqueSetting(SymbolTable* symbols);
+
+// Builds the source instance I(G, k): D = inequality on fresh a_1..a_k,
+// S = {(v,v) : v ∈ V}, E = edges of G in both directions.
+Instance MakeCliqueSourceInstance(const PdeSetting& setting, const Graph& g,
+                                  int k, SymbolTable* symbols);
+
+// The Boolean query q = ∃x P(x,x,x,x) whose certain answer is coNP-hard
+// (false iff G has a k-clique, for the instance above).
+StatusOr<UnionQuery> MakeCliqueCertainQuery(const PdeSetting& setting,
+                                            SymbolTable* symbols);
+
+// ---------------------------------------------------------------------------
+// Section 4 tightness: minimal relaxations of C_tract that are NP-hard.
+// ---------------------------------------------------------------------------
+
+// Variant (a): Σ_st / Σ_ts satisfy conditions 1 and 2.1, but Σ_t contains
+// egds enforcing the association uniqueness:
+//   Σ_st:  D(x,y) -> ∃z,w P(x,z,y,w)
+//   Σ_t:   P(x,z,y,w) & P(x,z2,y2,w2) -> z = z2
+//          P(x,z,y,w) & P(y,z2,y2,w2) -> w = z2
+//   Σ_ts:  P(x,z,y,w) -> E(z,w)
+// Source schema D/2, E/2 (no S needed: egds equate directly).
+StatusOr<PdeSetting> MakeEgdBoundarySetting(SymbolTable* symbols);
+Instance MakeEgdBoundarySourceInstance(const PdeSetting& setting,
+                                       const Graph& g, int k,
+                                       SymbolTable* symbols);
+
+// Variant (b): Σ_st / Σ_ts satisfy conditions 1 and 2.1, but Σ_t contains
+// full tgds routing the uniqueness check through a target copy S' of S:
+//   Σ_st:  S(z,w) -> Sp(z,w);  D(x,y) -> ∃z,w P(x,z,y,w)
+//   Σ_t:   P(x,z,y,w) & P(x,z2,y2,w2) -> Sp(z,z2)
+//          P(x,z,y,w) & P(y,z2,y2,w2) -> Sp(w,z2)
+//   Σ_ts:  Sp(z,z2) -> S(z,z2);  P(x,z,y,w) -> E(z,w)
+StatusOr<PdeSetting> MakeTargetTgdBoundarySetting(SymbolTable* symbols);
+Instance MakeTargetTgdBoundarySourceInstance(const PdeSetting& setting,
+                                             const Graph& g, int k,
+                                             SymbolTable* symbols);
+
+// Variant (c): disjunction in a ts-tgd head crosses the boundary even with
+// conditions 1 and 2.2 satisfied and Σ_t = ∅ (the 3-COLORABILITY setting):
+//   Σ_st:  E(x,y) -> ∃u C(x,u);   E(x,y) -> Ep(x,y)
+//   Σ_ts:  Ep(x,y) & C(x,u) & C(y,v) ->
+//            (R(u) & B(v)) | (R(u) & G(v)) | (B(u) & G(v)) |
+//            (B(u) & R(v)) | (G(u) & R(v)) | (G(u) & B(v))
+// Source: E/2, R/1, G/1, B/1; target: Ep/2, C/2.
+StatusOr<PdeSetting> MakeThreeColSetting(SymbolTable* symbols);
+Instance MakeThreeColSourceInstance(const PdeSetting& setting, const Graph& g,
+                                    SymbolTable* symbols);
+
+}  // namespace pdx
+
+#endif  // PDX_WORKLOAD_REDUCTIONS_H_

@@ -1,0 +1,235 @@
+#include "workload/setting_gen.h"
+
+#include <vector>
+
+#include "base/string_util.h"
+
+namespace pdx {
+
+namespace {
+
+std::vector<RelationSchema> MakeRelations(const char* prefix, int count,
+                                          int max_arity, Rng* rng) {
+  std::vector<RelationSchema> relations;
+  relations.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    relations.push_back(RelationSchema{
+        StrCat(prefix, i),
+        1 + static_cast<int>(rng->UniformInt(static_cast<uint32_t>(max_arity)))});
+  }
+  return relations;
+}
+
+// Renders an atom string for relation `rel` using a term chooser callback.
+template <typename TermFn>
+std::string RenderAtom(const RelationSchema& rel, TermFn&& term) {
+  std::vector<std::string> terms;
+  terms.reserve(rel.arity);
+  for (int i = 0; i < rel.arity; ++i) terms.push_back(term());
+  return StrCat(rel.name, "(", StrJoin(terms, ","), ")");
+}
+
+}  // namespace
+
+StatusOr<GeneratedSetting> MakeRandomLavSetting(const SettingGenOptions& opts,
+                                                Rng* rng,
+                                                SymbolTable* symbols) {
+  std::vector<RelationSchema> sources =
+      MakeRelations("S", opts.source_relations, opts.max_arity, rng);
+  std::vector<RelationSchema> targets =
+      MakeRelations("T", opts.target_relations, opts.max_arity, rng);
+
+  std::vector<std::string> st_lines;
+  for (int t = 0; t < opts.st_tgd_count; ++t) {
+    int body_atoms =
+        1 + static_cast<int>(rng->UniformInt(
+                static_cast<uint32_t>(opts.max_body_atoms)));
+    int var_pool = 0;
+    std::vector<std::string> body;
+    for (int a = 0; a < body_atoms; ++a) {
+      const RelationSchema& rel =
+          sources[rng->UniformInt(static_cast<uint32_t>(sources.size()))];
+      body.push_back(RenderAtom(rel, [&] {
+        // Reuse an earlier variable half the time to create joins.
+        if (var_pool > 0 && rng->Bernoulli(0.5)) {
+          return StrCat("x", rng->UniformInt(static_cast<uint32_t>(var_pool)));
+        }
+        return StrCat("x", var_pool++);
+      }));
+    }
+    const RelationSchema& head_rel =
+        targets[rng->UniformInt(static_cast<uint32_t>(targets.size()))];
+    int existential = 0;
+    std::string head = RenderAtom(head_rel, [&] {
+      if (var_pool > 0 && rng->Bernoulli(0.6)) {
+        return StrCat("x", rng->UniformInt(static_cast<uint32_t>(var_pool)));
+      }
+      return StrCat("e", existential++);  // implicitly existential
+    });
+    st_lines.push_back(StrCat(StrJoin(body, " & "), " -> ", head, "."));
+  }
+
+  std::vector<std::string> ts_lines;
+  for (int t = 0; t < opts.ts_tgd_count; ++t) {
+    // LAV: single target literal with pairwise-distinct variables.
+    const RelationSchema& body_rel =
+        targets[rng->UniformInt(static_cast<uint32_t>(targets.size()))];
+    int var_pool = 0;
+    std::string body = RenderAtom(body_rel, [&] { return StrCat("x",
+                                                                var_pool++); });
+    int head_atoms =
+        1 + static_cast<int>(rng->UniformInt(
+                static_cast<uint32_t>(opts.max_body_atoms)));
+    std::vector<std::string> head;
+    int existential = 0;
+    for (int a = 0; a < head_atoms; ++a) {
+      const RelationSchema& rel =
+          sources[rng->UniformInt(static_cast<uint32_t>(sources.size()))];
+      head.push_back(RenderAtom(rel, [&] {
+        if (rng->Bernoulli(0.6)) {
+          return StrCat("x", rng->UniformInt(static_cast<uint32_t>(var_pool)));
+        }
+        return StrCat("e", existential++);
+      }));
+    }
+    ts_lines.push_back(StrCat(body, " -> ", StrJoin(head, " & "), "."));
+  }
+
+  std::string sigma_st = StrJoin(st_lines, "\n");
+  std::string sigma_ts = StrJoin(ts_lines, "\n");
+  PDX_ASSIGN_OR_RETURN(
+      PdeSetting setting,
+      PdeSetting::Create(sources, targets, sigma_st, sigma_ts, "", symbols));
+  GeneratedSetting generated(std::move(setting));
+  generated.sigma_st = std::move(sigma_st);
+  generated.sigma_ts = std::move(sigma_ts);
+  return generated;
+}
+
+StatusOr<GeneratedSetting> MakeRandomFullStSetting(
+    const SettingGenOptions& opts, Rng* rng, SymbolTable* symbols) {
+  std::vector<RelationSchema> sources =
+      MakeRelations("S", opts.source_relations, opts.max_arity, rng);
+  std::vector<RelationSchema> targets =
+      MakeRelations("T", opts.target_relations, opts.max_arity, rng);
+
+  std::vector<std::string> st_lines;
+  for (int t = 0; t < opts.st_tgd_count; ++t) {
+    int body_atoms =
+        1 + static_cast<int>(rng->UniformInt(
+                static_cast<uint32_t>(opts.max_body_atoms)));
+    int var_pool = 0;
+    std::vector<std::string> body;
+    for (int a = 0; a < body_atoms; ++a) {
+      const RelationSchema& rel =
+          sources[rng->UniformInt(static_cast<uint32_t>(sources.size()))];
+      body.push_back(RenderAtom(rel, [&] {
+        if (var_pool > 0 && rng->Bernoulli(0.5)) {
+          return StrCat("x", rng->UniformInt(static_cast<uint32_t>(var_pool)));
+        }
+        return StrCat("x", var_pool++);
+      }));
+    }
+    const RelationSchema& head_rel =
+        targets[rng->UniformInt(static_cast<uint32_t>(targets.size()))];
+    // Full tgd: head terms only from body variables.
+    std::string head = RenderAtom(head_rel, [&] {
+      return StrCat("x", rng->UniformInt(static_cast<uint32_t>(var_pool)));
+    });
+    st_lines.push_back(StrCat(StrJoin(body, " & "), " -> ", head, "."));
+  }
+
+  std::vector<std::string> ts_lines;
+  for (int t = 0; t < opts.ts_tgd_count; ++t) {
+    int body_atoms =
+        1 + static_cast<int>(rng->UniformInt(
+                static_cast<uint32_t>(opts.max_body_atoms)));
+    int var_pool = 0;
+    std::vector<std::string> body;
+    for (int a = 0; a < body_atoms; ++a) {
+      const RelationSchema& rel =
+          targets[rng->UniformInt(static_cast<uint32_t>(targets.size()))];
+      body.push_back(RenderAtom(rel, [&] {
+        if (var_pool > 0 && rng->Bernoulli(0.4)) {
+          return StrCat("x", rng->UniformInt(static_cast<uint32_t>(var_pool)));
+        }
+        return StrCat("x", var_pool++);
+      }));
+    }
+    int head_atoms =
+        1 + static_cast<int>(rng->UniformInt(
+                static_cast<uint32_t>(opts.max_body_atoms)));
+    std::vector<std::string> head;
+    int existential = 0;
+    for (int a = 0; a < head_atoms; ++a) {
+      const RelationSchema& rel =
+          sources[rng->UniformInt(static_cast<uint32_t>(sources.size()))];
+      head.push_back(RenderAtom(rel, [&] {
+        if (rng->Bernoulli(0.6)) {
+          return StrCat("x", rng->UniformInt(static_cast<uint32_t>(var_pool)));
+        }
+        return StrCat("e", existential++);
+      }));
+    }
+    ts_lines.push_back(
+        StrCat(StrJoin(body, " & "), " -> ", StrJoin(head, " & "), "."));
+  }
+
+  std::string sigma_st = StrJoin(st_lines, "\n");
+  std::string sigma_ts = StrJoin(ts_lines, "\n");
+  PDX_ASSIGN_OR_RETURN(
+      PdeSetting setting,
+      PdeSetting::Create(sources, targets, sigma_st, sigma_ts, "", symbols));
+  GeneratedSetting generated(std::move(setting));
+  generated.sigma_st = std::move(sigma_st);
+  generated.sigma_ts = std::move(sigma_ts);
+  return generated;
+}
+
+namespace {
+
+Instance MakeRandomInstanceForSide(const PdeSetting& setting, bool source_side,
+                                   int facts, int constant_pool, Rng* rng,
+                                   SymbolTable* symbols) {
+  Instance instance = setting.EmptyInstance();
+  std::vector<RelationId> relations;
+  for (RelationId r = 0; r < setting.schema().relation_count(); ++r) {
+    if (setting.is_source(r) == source_side) relations.push_back(r);
+  }
+  if (relations.empty()) return instance;
+  std::vector<Value> pool;
+  pool.reserve(constant_pool);
+  for (int i = 0; i < constant_pool; ++i) {
+    pool.push_back(symbols->InternConstant(StrCat("c", i)));
+  }
+  for (int f = 0; f < facts; ++f) {
+    RelationId r =
+        relations[rng->UniformInt(static_cast<uint32_t>(relations.size()))];
+    Tuple tuple;
+    tuple.reserve(setting.schema().arity(r));
+    for (int i = 0; i < setting.schema().arity(r); ++i) {
+      tuple.push_back(pool[rng->UniformInt(static_cast<uint32_t>(
+          pool.size()))]);
+    }
+    instance.AddFact(r, std::move(tuple));
+  }
+  return instance;
+}
+
+}  // namespace
+
+Instance MakeRandomSourceInstance(const PdeSetting& setting, int facts,
+                                  int constant_pool, Rng* rng,
+                                  SymbolTable* symbols) {
+  return MakeRandomInstanceForSide(setting, /*source_side=*/true, facts,
+                                   constant_pool, rng, symbols);
+}
+
+Instance MakeRandomTargetInstance(const PdeSetting& setting, int facts,
+                                  int constant_pool, Rng* rng,
+                                  SymbolTable* symbols) {
+  return MakeRandomInstanceForSide(setting, /*source_side=*/false, facts,
+                                   constant_pool, rng, symbols);
+}
+
+}  // namespace pdx

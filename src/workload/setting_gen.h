@@ -1,0 +1,61 @@
+#ifndef PDX_WORKLOAD_SETTING_GEN_H_
+#define PDX_WORKLOAD_SETTING_GEN_H_
+
+#include <string>
+
+#include "base/status.h"
+#include "pde/setting.h"
+#include "relational/instance.h"
+#include "relational/value.h"
+#include "workload/random.h"
+
+namespace pdx {
+
+// Parameters for random C_tract setting generation.
+struct SettingGenOptions {
+  int source_relations = 3;
+  int target_relations = 3;
+  int max_arity = 3;        // arities drawn from [1, max_arity]
+  int st_tgd_count = 3;
+  int ts_tgd_count = 3;
+  int max_body_atoms = 2;   // for st-tgds (and ts heads)
+};
+
+// A generated setting together with the textual programs used to build it
+// (useful for debugging failed property tests).
+struct GeneratedSetting {
+  PdeSetting setting;
+  std::string sigma_st;
+  std::string sigma_ts;
+
+  explicit GeneratedSetting(PdeSetting s) : setting(std::move(s)) {}
+};
+
+// Generates a random setting whose Σ_ts tgds are LAV dependencies (single
+// target literal, no repeated variables): conditions 1 and 2.1 of
+// Definition 9 hold by construction (Corollary 2 territory).
+StatusOr<GeneratedSetting> MakeRandomLavSetting(const SettingGenOptions& opts,
+                                                Rng* rng,
+                                                SymbolTable* symbols);
+
+// Generates a random setting whose Σ_st tgds are full (no existential
+// variables) while Σ_ts tgds are arbitrary: condition 2.2 holds by
+// Corollary 1's argument (the only marked variables are ts-existentials,
+// which never occur in the LHS).
+StatusOr<GeneratedSetting> MakeRandomFullStSetting(
+    const SettingGenOptions& opts, Rng* rng, SymbolTable* symbols);
+
+// Populates the source relations of `setting` with `facts` random facts
+// over a pool of `constant_pool` constants (named "c0", "c1", ...).
+Instance MakeRandomSourceInstance(const PdeSetting& setting, int facts,
+                                  int constant_pool, Rng* rng,
+                                  SymbolTable* symbols);
+
+// Populates the target relations similarly (for non-empty J scenarios).
+Instance MakeRandomTargetInstance(const PdeSetting& setting, int facts,
+                                  int constant_pool, Rng* rng,
+                                  SymbolTable* symbols);
+
+}  // namespace pdx
+
+#endif  // PDX_WORKLOAD_SETTING_GEN_H_

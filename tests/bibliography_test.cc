@@ -1,0 +1,116 @@
+#include "workload/bibliography.h"
+
+#include "gtest/gtest.h"
+#include "logic/parser.h"
+#include "pde/certain_answers.h"
+#include "pde/generic_solver.h"
+#include "pde/repairs.h"
+#include "pde/solution.h"
+#include "tests/test_util.h"
+
+namespace pdx {
+namespace {
+
+using testing_util::Unwrap;
+
+TEST(BibliographyTest, SettingShape) {
+  SymbolTable symbols;
+  PdeSetting setting = Unwrap(MakeBibliographySetting(&symbols));
+  EXPECT_EQ(setting.source_relation_count(), 4);
+  EXPECT_EQ(setting.target_relation_count(), 3);
+  EXPECT_EQ(setting.st_tgds().size(), 4u);
+  EXPECT_EQ(setting.ts_tgds().size(), 1u);
+  EXPECT_EQ(setting.target_egds().size(), 1u);
+  // The target egd takes it out of C_tract even though Σ_st/Σ_ts are tame.
+  EXPECT_TRUE(setting.ctract_report().condition1);
+  EXPECT_FALSE(setting.InCtract());
+  EXPECT_TRUE(setting.TargetTgdsWeaklyAcyclic());
+}
+
+TEST(BibliographyTest, CleanWorkloadIsSolvable) {
+  SymbolTable symbols;
+  PdeSetting setting = Unwrap(MakeBibliographySetting(&symbols));
+  Rng rng(11);
+  BibliographyWorkloadOptions opts;
+  opts.dblp_papers = 5;
+  opts.arxiv_papers = 3;
+  opts.overlap = 2;
+  BibliographyWorkload workload =
+      MakeBibliographyWorkload(setting, opts, &rng, &symbols);
+  GenericSolveResult result = Unwrap(GenericExistsSolution(
+      setting, workload.source, workload.target, &symbols));
+  ASSERT_EQ(result.outcome, SolveOutcome::kSolutionFound);
+  EXPECT_TRUE(IsSolution(setting, workload.source, workload.target,
+                         *result.solution, symbols));
+  // Every paper known to either peer appears in the catalog.
+  RelationId pub = setting.schema().FindRelation("Pub").value();
+  EXPECT_EQ(result.solution->tuples(pub).size(),
+            5u + 1u);  // 5 DBLP papers + 1 non-overlapping preprint
+}
+
+TEST(BibliographyTest, YearConflictIsUnsolvableAndUnrepairable) {
+  SymbolTable symbols;
+  PdeSetting setting = Unwrap(MakeBibliographySetting(&symbols));
+  Rng rng(11);
+  BibliographyWorkloadOptions opts;
+  opts.dblp_papers = 3;
+  opts.arxiv_papers = 0;
+  opts.overlap = 0;
+  opts.inject_year_conflict = true;
+  BibliographyWorkload workload =
+      MakeBibliographyWorkload(setting, opts, &rng, &symbols);
+  GenericSolveResult result = Unwrap(GenericExistsSolution(
+      setting, workload.source, workload.target, &symbols));
+  EXPECT_EQ(result.outcome, SolveOutcome::kNoSolution);
+  // The conflict comes from the *source*, so no subset of J repairs it:
+  // zero repairs (certainty under repairs is vacuous).
+  std::vector<Instance> repairs = Unwrap(ComputeSubsetRepairs(
+      setting, workload.source, workload.target, &symbols));
+  EXPECT_TRUE(repairs.empty());
+}
+
+TEST(BibliographyTest, UnbackedCatalogYearsAreRepairable) {
+  SymbolTable symbols;
+  PdeSetting setting = Unwrap(MakeBibliographySetting(&symbols));
+  Rng rng(13);
+  BibliographyWorkloadOptions opts;
+  opts.dblp_papers = 3;
+  opts.arxiv_papers = 1;
+  opts.overlap = 0;
+  opts.unbacked_catalog_years = 2;
+  BibliographyWorkload workload =
+      MakeBibliographyWorkload(setting, opts, &rng, &symbols);
+  GenericSolveResult direct = Unwrap(GenericExistsSolution(
+      setting, workload.source, workload.target, &symbols));
+  EXPECT_EQ(direct.outcome, SolveOutcome::kNoSolution);
+  std::vector<Instance> repairs = Unwrap(ComputeSubsetRepairs(
+      setting, workload.source, workload.target, &symbols));
+  ASSERT_EQ(repairs.size(), 1u);
+  EXPECT_EQ(repairs[0].fact_count(), 0u);  // both unbacked years dropped
+}
+
+TEST(BibliographyTest, CertainAnswersAndLowerBoundAgreeHere) {
+  SymbolTable symbols;
+  PdeSetting setting = Unwrap(MakeBibliographySetting(&symbols));
+  Rng rng(17);
+  BibliographyWorkloadOptions opts;
+  opts.dblp_papers = 3;
+  opts.arxiv_papers = 2;
+  opts.overlap = 1;
+  opts.authors_per_paper = 1;
+  BibliographyWorkload workload =
+      MakeBibliographyWorkload(setting, opts, &rng, &symbols);
+  UnionQuery q = Unwrap(ParseUnionQuery("q(p,t) :- Pub(p,t).",
+                                        setting.schema(), &symbols));
+  CertainAnswersResult exact = Unwrap(ComputeCertainAnswers(
+      setting, workload.source, workload.target, q, &symbols));
+  CertainLowerBoundResult lower = Unwrap(ComputeCertainAnswersLowerBound(
+      setting, workload.source, workload.target, q, &symbols));
+  ASSERT_FALSE(exact.no_solution);
+  // The lower bound must be a subset of the exact answers; in this
+  // scenario Σ_st forces all Pub facts, so they coincide.
+  EXPECT_EQ(lower.answers, exact.answers);
+}
+
+}  // namespace
+}  // namespace pdx

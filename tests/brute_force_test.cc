@@ -1,0 +1,202 @@
+// Ground-truth cross-validation: on tiny inputs, compare the generic
+// solver against an exhaustive enumeration of candidate target instances.
+// This covers settings *outside* condition 1 of Definition 9, where the
+// Theorem 5 homomorphism algorithm is inapplicable and no other oracle
+// exists in the suite.
+//
+// Solutions may require values outside adom(I, J) (witnesses of
+// existential variables); any such value can be renamed to a fresh
+// constant, so the enumeration draws from adom plus a small reserve of
+// fresh constants. The reserve (2) exceeds the number of existential
+// witnesses any minimal solution of these tiny inputs can need.
+
+#include <functional>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "pde/generic_solver.h"
+#include "pde/solution.h"
+#include "tests/test_util.h"
+#include "workload/random.h"
+
+namespace pdx {
+namespace {
+
+using testing_util::ParseOrDie;
+using testing_util::Unwrap;
+
+// Enumerates every target instance J' ⊇ J with at most `max_extra` facts
+// beyond J, over the value pool, and reports whether any is a solution.
+bool BruteForceHasSolution(const PdeSetting& setting, const Instance& source,
+                           const Instance& target,
+                           const std::vector<Value>& pool, int max_extra,
+                           const SymbolTable& symbols) {
+  // Candidate facts: every target relation × every tuple over the pool.
+  std::vector<Fact> candidates;
+  for (RelationId r = 0; r < setting.schema().relation_count(); ++r) {
+    if (!setting.is_target(r)) continue;
+    int arity = setting.schema().arity(r);
+    std::vector<int> index(arity, 0);
+    while (true) {
+      Tuple tuple;
+      for (int i = 0; i < arity; ++i) tuple.push_back(pool[index[i]]);
+      if (!target.Contains(r, tuple)) {
+        candidates.push_back(Fact{r, std::move(tuple)});
+      }
+      int pos = arity - 1;
+      while (pos >= 0 &&
+             ++index[pos] == static_cast<int>(pool.size())) {
+        index[pos--] = 0;
+      }
+      if (pos < 0) break;
+    }
+  }
+  // Enumerate subsets of size <= max_extra (combinations, smallest first).
+  std::vector<int> chosen;
+  std::function<bool(int, int)> search = [&](int start, int remaining) {
+    Instance j_prime = target;
+    for (int c : chosen) j_prime.AddFact(candidates[c]);
+    if (IsSolution(setting, source, target, j_prime, symbols)) return true;
+    if (remaining == 0) return false;
+    for (int c = start; c < static_cast<int>(candidates.size()); ++c) {
+      chosen.push_back(c);
+      if (search(c + 1, remaining - 1)) return true;
+      chosen.pop_back();
+    }
+    return false;
+  };
+  return search(0, max_extra);
+}
+
+struct BruteForceCase {
+  const char* name;
+  const char* sigma_st;
+  const char* sigma_ts;
+  const char* sigma_t;
+};
+
+// Settings chosen to violate condition 1 or otherwise sit outside the
+// reach of the homomorphism algorithm.
+constexpr BruteForceCase kCases[] = {
+    // Condition 1 violated: marked variable z repeated in the ts LHS.
+    {"RepeatedMarkedVariable",
+     "E(x,y) -> exists z: T1(x,z) & T2(z,y).",
+     "T1(x,z) & T2(z,y) -> E(x,y).", ""},
+    // Condition 1 violated + a join on the marked position.
+    {"MarkedJoin",
+     "E(x,y) -> exists z: T1(x,z) & T2(z,x).",
+     "T1(x,z) & T2(z,y) -> E(x,y).", ""},
+    // Target egd interacting with ts checks.
+    {"EgdPlusTs",
+     "E(x,y) -> exists z: T1(x,z).",
+     "T1(x,z) -> E(x,z).",
+     "T1(x,y) & T1(x,z) -> y = z."},
+    // Target tgd cascade with ts restriction.
+    {"TargetCascade",
+     "E(x,y) -> T1(x,y).",
+     "T2(x,y) -> E(x,y).",
+     "T1(x,y) -> T2(y,x)."},
+};
+
+class BruteForceTest
+    : public ::testing::TestWithParam<std::tuple<BruteForceCase, uint64_t>> {
+};
+
+TEST_P(BruteForceTest, GenericSolverMatchesExhaustiveSearch) {
+  const auto& [test_case, seed] = GetParam();
+  SymbolTable symbols;
+  auto setting = PdeSetting::Create({{"E", 2}}, {{"T1", 2}, {"T2", 2}},
+                                    test_case.sigma_st, test_case.sigma_ts,
+                                    test_case.sigma_t, &symbols);
+  ASSERT_TRUE(setting.ok()) << setting.status().ToString();
+
+  // Tiny random source instance over 2 constants (the exhaustive search
+  // below is exponential in the candidate-fact count, so the domain must
+  // stay minimal while max_extra stays generous enough for any minimal
+  // solution: 2 edges x 2 facts each).
+  Rng rng(seed);
+  Instance source = setting->EmptyInstance();
+  RelationId e = setting->schema().FindRelation("E").value();
+  std::vector<Value> pool;
+  for (int i = 0; i < 2; ++i) {
+    pool.push_back(symbols.InternConstant("c" + std::to_string(i)));
+  }
+  int edges = 1 + rng.UniformInt(2);
+  for (int i = 0; i < edges; ++i) {
+    source.AddFact(e, {pool[rng.UniformInt(2)], pool[rng.UniformInt(2)]});
+  }
+  // Fresh-constant reserve for existential witnesses.
+  pool.push_back(symbols.InternConstant("fresh0"));
+  pool.push_back(symbols.InternConstant("fresh1"));
+
+  Instance target = setting->EmptyInstance();
+  bool expected = BruteForceHasSolution(*setting, source, target, pool,
+                                        /*max_extra=*/4, symbols);
+
+  GenericSolverOptions options;
+  options.max_nodes = 500'000;
+  GenericSolveResult result = Unwrap(GenericExistsSolution(
+      *setting, source, target, &symbols, options));
+  ASSERT_NE(result.outcome, SolveOutcome::kBudgetExhausted);
+  EXPECT_EQ(result.outcome == SolveOutcome::kSolutionFound, expected)
+      << "setting " << test_case.name << " seed " << seed << "\nI:\n"
+      << source.ToString(symbols);
+  if (result.outcome == SolveOutcome::kSolutionFound) {
+    EXPECT_TRUE(
+        IsSolution(*setting, source, target, *result.solution, symbols));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, BruteForceTest,
+    ::testing::Combine(::testing::ValuesIn(kCases),
+                       ::testing::Range(uint64_t{1}, uint64_t{11})),
+    [](const ::testing::TestParamInfo<std::tuple<BruteForceCase, uint64_t>>&
+           info) {
+      return std::string(std::get<0>(info.param).name) + "Seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// With a pre-existing target instance J, the J ⊆ J' requirement interacts
+// with the egd; cross-validate that path too.
+class BruteForceWithTargetTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BruteForceWithTargetTest, GenericSolverMatchesExhaustiveSearch) {
+  SymbolTable symbols;
+  auto setting = PdeSetting::Create(
+      {{"E", 2}}, {{"T1", 2}, {"T2", 2}},
+      "E(x,y) -> exists z: T1(x,z).",
+      "T1(x,z) -> E(x,z).",
+      "T1(x,y) & T1(x,z) -> y = z.", &symbols);
+  ASSERT_TRUE(setting.ok());
+  Rng rng(GetParam());
+  std::vector<Value> pool;
+  for (int i = 0; i < 2; ++i) {
+    pool.push_back(symbols.InternConstant("c" + std::to_string(i)));
+  }
+  Instance source = setting->EmptyInstance();
+  RelationId e = setting->schema().FindRelation("E").value();
+  RelationId t1 = setting->schema().FindRelation("T1").value();
+  for (int i = 0; i < 2; ++i) {
+    source.AddFact(e, {pool[rng.UniformInt(2)], pool[rng.UniformInt(2)]});
+  }
+  Instance target = setting->EmptyInstance();
+  target.AddFact(t1, {pool[rng.UniformInt(2)], pool[rng.UniformInt(2)]});
+  pool.push_back(symbols.InternConstant("fresh0"));
+  pool.push_back(symbols.InternConstant("fresh1"));
+
+  bool expected = BruteForceHasSolution(*setting, source, target, pool, 3,
+                                        symbols);
+  GenericSolveResult result = Unwrap(
+      GenericExistsSolution(*setting, source, target, &symbols));
+  ASSERT_NE(result.outcome, SolveOutcome::kBudgetExhausted);
+  EXPECT_EQ(result.outcome == SolveOutcome::kSolutionFound, expected)
+      << "seed " << GetParam() << "\nI:\n" << source.ToString(symbols)
+      << "\nJ:\n" << target.ToString(symbols);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BruteForceWithTargetTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{16}));
+
+}  // namespace
+}  // namespace pdx

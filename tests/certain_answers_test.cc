@@ -1,0 +1,216 @@
+#include "pde/certain_answers.h"
+
+#include <set>
+
+#include "gtest/gtest.h"
+#include "logic/parser.h"
+#include "tests/test_util.h"
+#include "workload/reductions.h"
+
+namespace pdx {
+namespace {
+
+using testing_util::MakeExample1Setting;
+using testing_util::ParseOrDie;
+using testing_util::Unwrap;
+
+class CertainAnswersTest : public ::testing::Test {
+ protected:
+  CertainAnswersTest() : setting_(MakeExample1Setting(&symbols_)) {}
+
+  UnionQuery Query(const char* text) {
+    return Unwrap(ParseUnionQuery(text, setting_.schema(), &symbols_),
+                  "query");
+  }
+
+  CertainAnswersResult Certain(const Instance& source,
+                               const Instance& target,
+                               const UnionQuery& query) {
+    return Unwrap(ComputeCertainAnswers(setting_, source, target, query,
+                                        &symbols_),
+                  "ComputeCertainAnswers");
+  }
+
+  SymbolTable symbols_;
+  PdeSetting setting_;
+};
+
+// The paper's example after Definition 4:
+// certain(∃x,y,z H(x,y) ∧ H(y,z), ({E(a,a)}, ∅)) = true.
+TEST_F(CertainAnswersTest, PaperExampleTrueCase) {
+  Instance source = ParseOrDie(setting_, "E(a,a).", &symbols_);
+  UnionQuery q = Query("q() :- H(x,y) & H(y,z).");
+  CertainAnswersResult result =
+      Certain(source, setting_.EmptyInstance(), q);
+  EXPECT_FALSE(result.no_solution);
+  EXPECT_TRUE(result.boolean_value);
+}
+
+// certain(q, ({E(a,b), E(b,c), E(a,c)}, ∅)) = false: the solution
+// {H(a,c)} has no H-path of length 2.
+TEST_F(CertainAnswersTest, PaperExampleFalseCase) {
+  Instance source =
+      ParseOrDie(setting_, "E(a,b). E(b,c). E(a,c).", &symbols_);
+  UnionQuery q = Query("q() :- H(x,y) & H(y,z).");
+  CertainAnswersResult result =
+      Certain(source, setting_.EmptyInstance(), q);
+  EXPECT_FALSE(result.no_solution);
+  EXPECT_FALSE(result.boolean_value);
+}
+
+TEST_F(CertainAnswersTest, VacuouslyCertainWhenNoSolution) {
+  Instance source = ParseOrDie(setting_, "E(a,b). E(b,c).", &symbols_);
+  UnionQuery q = Query("q() :- H(x,y).");
+  CertainAnswersResult result =
+      Certain(source, setting_.EmptyInstance(), q);
+  EXPECT_TRUE(result.no_solution);
+  EXPECT_TRUE(result.boolean_value);
+}
+
+TEST_F(CertainAnswersTest, NonBooleanAnswersIntersectAcrossSolutions) {
+  // All solutions contain H(a,c) (forced by Σ_st via a->b->c), but H(a,b)
+  // holds only in some solutions.
+  Instance source =
+      ParseOrDie(setting_, "E(a,b). E(b,c). E(a,c).", &symbols_);
+  UnionQuery q = Query("q(x,y) :- H(x,y).");
+  CertainAnswersResult result =
+      Certain(source, setting_.EmptyInstance(), q);
+  Value a = symbols_.InternConstant("a");
+  Value c = symbols_.InternConstant("c");
+  ASSERT_EQ(result.answers.size(), 1u);
+  EXPECT_EQ(result.answers[0], (Tuple{a, c}));
+}
+
+TEST_F(CertainAnswersTest, PreExistingTargetFactsAreCertain) {
+  Instance source =
+      ParseOrDie(setting_, "E(a,b). E(b,c). E(a,c).", &symbols_);
+  Instance target = ParseOrDie(setting_, "H(a,b).", &symbols_);
+  UnionQuery q = Query("q(x,y) :- H(x,y).");
+  CertainAnswersResult result = Certain(source, target, q);
+  EXPECT_EQ(result.answers.size(), 2u);  // H(a,b) from J, H(a,c) forced
+}
+
+TEST_F(CertainAnswersTest, RejectsQueriesOverSourceRelations) {
+  Instance source = ParseOrDie(setting_, "E(a,a).", &symbols_);
+  UnionQuery q = Query("q(x) :- E(x,x).");
+  auto result = ComputeCertainAnswers(setting_, source,
+                                      setting_.EmptyInstance(), q, &symbols_);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CertainAnswersTest, DataExchangeFastPath) {
+  SymbolTable symbols;
+  auto setting = Unwrap(PdeSetting::Create(
+      {{"E", 2}}, {{"H", 2}},
+      "E(x,y) -> exists z: H(x,z).", "", "", &symbols));
+  Instance source = testing_util::ParseOrDie(setting, "E(a,b).", &symbols);
+  UnionQuery q = Unwrap(
+      ParseUnionQuery("q(x) :- H(x,y).", setting.schema(), &symbols));
+  CertainAnswersResult result = Unwrap(ComputeCertainAnswers(
+      setting, source, setting.EmptyInstance(), q, &symbols));
+  EXPECT_TRUE(result.used_data_exchange_fast_path);
+  Value a = symbols.InternConstant("a");
+  ASSERT_EQ(result.answers.size(), 1u);
+  EXPECT_EQ(result.answers[0], (Tuple{a}));
+
+  // q2 asks for the (null) second column: nothing is certain.
+  UnionQuery q2 = Unwrap(
+      ParseUnionQuery("q(y) :- H(x,y).", setting.schema(), &symbols));
+  CertainAnswersResult result2 = Unwrap(ComputeCertainAnswers(
+      setting, source, setting.EmptyInstance(), q2, &symbols));
+  EXPECT_TRUE(result2.answers.empty());
+}
+
+// Theorem 3's coNP query: certain(∃x P(x,x,x,x)) is false iff G has a
+// k-clique.
+TEST_F(CertainAnswersTest, CliqueCertainQueryTracksCliqueExistence) {
+  SymbolTable symbols;
+  PdeSetting setting = Unwrap(MakeCliqueSetting(&symbols));
+  UnionQuery q = Unwrap(MakeCliqueCertainQuery(setting, &symbols));
+
+  Instance with_clique =
+      MakeCliqueSourceInstance(setting, CompleteGraph(3), 3, &symbols);
+  CertainAnswersResult yes = Unwrap(ComputeCertainAnswers(
+      setting, with_clique, setting.EmptyInstance(), q, &symbols));
+  EXPECT_FALSE(yes.no_solution);
+  EXPECT_FALSE(yes.boolean_value);  // some solution avoids P(x,x,x,x)
+
+  Instance without_clique =
+      MakeCliqueSourceInstance(setting, PathGraph(4), 3, &symbols);
+  CertainAnswersResult no = Unwrap(ComputeCertainAnswers(
+      setting, without_clique, setting.EmptyInstance(), q, &symbols));
+  EXPECT_TRUE(no.no_solution);
+  EXPECT_TRUE(no.boolean_value);  // vacuously certain
+}
+
+TEST_F(CertainAnswersTest, LowerBoundIsSoundOnPaperExamples) {
+  Instance source =
+      ParseOrDie(setting_, "E(a,b). E(b,c). E(a,c).", &symbols_);
+  UnionQuery q = Query("q(x,y) :- H(x,y).");
+  CertainAnswersResult exact =
+      Certain(source, setting_.EmptyInstance(), q);
+  CertainLowerBoundResult lower =
+      testing_util::Unwrap(ComputeCertainAnswersLowerBound(
+          setting_, source, setting_.EmptyInstance(), q, &symbols_));
+  // Here Σ_st is full, so J_can is exactly the least solution core and
+  // the bound is tight.
+  EXPECT_EQ(lower.answers, exact.answers);
+
+  UnionQuery boolean_q = Query("q() :- H(x,y) & H(y,z).");
+  CertainLowerBoundResult lb_true =
+      testing_util::Unwrap(ComputeCertainAnswersLowerBound(
+          setting_, ParseOrDie(setting_, "E(a,a).", &symbols_),
+          setting_.EmptyInstance(), boolean_q, &symbols_));
+  EXPECT_TRUE(lb_true.boolean_value);
+}
+
+// Property sweep: the PTIME lower bound never claims a non-certain answer.
+TEST_F(CertainAnswersTest, LowerBoundSubsetOfExactOnRandomInstances) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    SymbolTable symbols;
+    auto setting = testing_util::Unwrap(PdeSetting::Create(
+        {{"E", 2}}, {{"H", 2}},
+        "E(x,y) -> exists z: H(x,z).",
+        "H(x,y) -> E(x,y).", "", &symbols));
+    // Random small E graphs.
+    Instance source = setting.EmptyInstance();
+    RelationId e = setting.schema().FindRelation("E").value();
+    Rng rng(seed);
+    for (int i = 0; i < 6; ++i) {
+      source.AddFact(e, {symbols.InternConstant(
+                             "c" + std::to_string(rng.UniformInt(4))),
+                         symbols.InternConstant(
+                             "c" + std::to_string(rng.UniformInt(4)))});
+    }
+    UnionQuery q = testing_util::Unwrap(
+        ParseUnionQuery("q(x,y) :- H(x,y).", setting.schema(), &symbols));
+    auto exact = ComputeCertainAnswers(setting, source,
+                                       setting.EmptyInstance(), q, &symbols);
+    ASSERT_TRUE(exact.ok());
+    auto lower = ComputeCertainAnswersLowerBound(
+        setting, source, setting.EmptyInstance(), q, &symbols);
+    ASSERT_TRUE(lower.ok());
+    if (exact->no_solution) continue;  // vacuous; bound trivially sound
+    std::set<Tuple> exact_set(exact->answers.begin(), exact->answers.end());
+    for (const Tuple& t : lower->answers) {
+      EXPECT_TRUE(exact_set.count(t) > 0)
+          << "lower bound produced a non-certain answer on seed " << seed;
+    }
+  }
+}
+
+TEST_F(CertainAnswersTest, BudgetExhaustionSurfacesAsError) {
+  Instance source =
+      ParseOrDie(setting_, "E(a,b). E(b,c). E(a,c).", &symbols_);
+  GenericSolverOptions options;
+  options.max_nodes = 1;
+  UnionQuery q = Query("q() :- H(x,y).");
+  auto result = ComputeCertainAnswers(
+      setting_, source, setting_.EmptyInstance(), q, &symbols_, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace pdx

@@ -1,0 +1,201 @@
+#include "chase/chase.h"
+
+#include "gtest/gtest.h"
+#include "logic/parser.h"
+
+namespace pdx {
+namespace {
+
+class ChaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(schema_.AddRelation("E", 2).ok());
+    ASSERT_TRUE(schema_.AddRelation("H", 2).ok());
+    ASSERT_TRUE(schema_.AddRelation("F", 2).ok());
+    e_ = schema_.FindRelation("E").value();
+    h_ = schema_.FindRelation("H").value();
+    f_ = schema_.FindRelation("F").value();
+    a_ = symbols_.InternConstant("a");
+    b_ = symbols_.InternConstant("b");
+    c_ = symbols_.InternConstant("c");
+  }
+
+  std::vector<Tgd> ParseTgds(const char* text) {
+    auto deps = ParseDependencies(text, schema_, &symbols_);
+    EXPECT_TRUE(deps.ok()) << deps.status().ToString();
+    return std::move(deps).value().tgds;
+  }
+
+  std::vector<Egd> ParseEgds(const char* text) {
+    auto deps = ParseDependencies(text, schema_, &symbols_);
+    EXPECT_TRUE(deps.ok()) << deps.status().ToString();
+    return std::move(deps).value().egds;
+  }
+
+  Schema schema_;
+  SymbolTable symbols_;
+  RelationId e_ = 0, h_ = 0, f_ = 0;
+  Value a_, b_, c_;
+};
+
+TEST_F(ChaseTest, FullTgdComputesCompositionClosure) {
+  Instance start(&schema_);
+  start.AddFact(e_, {a_, b_});
+  start.AddFact(e_, {b_, c_});
+  ChaseResult result =
+      Chase(start, ParseTgds("E(x,z) & E(z,y) -> H(x,y)."), &symbols_);
+  EXPECT_EQ(result.outcome, ChaseOutcome::kSuccess);
+  EXPECT_TRUE(result.instance.Contains(h_, {a_, c_}));
+  EXPECT_EQ(result.instance.tuples(h_).size(), 1u);
+  EXPECT_EQ(result.nulls_created, 0);
+  EXPECT_EQ(result.steps, 1);
+}
+
+TEST_F(ChaseTest, ExistentialsCreateFreshNulls) {
+  Instance start(&schema_);
+  start.AddFact(e_, {a_, b_});
+  ChaseResult result =
+      Chase(start, ParseTgds("E(x,y) -> exists z: H(y,z)."), &symbols_);
+  EXPECT_EQ(result.outcome, ChaseOutcome::kSuccess);
+  EXPECT_EQ(result.nulls_created, 1);
+  ASSERT_EQ(result.instance.tuples(h_).size(), 1u);
+  const Tuple& t = result.instance.tuples(h_)[0];
+  EXPECT_EQ(t[0], b_);
+  EXPECT_TRUE(t[1].is_null());
+}
+
+TEST_F(ChaseTest, RestrictedChaseDoesNotFireSatisfiedTriggers) {
+  Instance start(&schema_);
+  start.AddFact(e_, {a_, b_});
+  start.AddFact(h_, {b_, c_});  // already witnesses the existential
+  ChaseResult result =
+      Chase(start, ParseTgds("E(x,y) -> exists z: H(y,z)."), &symbols_);
+  EXPECT_EQ(result.outcome, ChaseOutcome::kSuccess);
+  EXPECT_EQ(result.steps, 0);
+  EXPECT_EQ(result.nulls_created, 0);
+}
+
+TEST_F(ChaseTest, CascadingTgdsReachFixpoint) {
+  Instance start(&schema_);
+  start.AddFact(e_, {a_, b_});
+  ChaseResult result = Chase(
+      start, ParseTgds("E(x,y) -> H(x,y). H(x,y) -> F(x,y)."), &symbols_);
+  EXPECT_EQ(result.outcome, ChaseOutcome::kSuccess);
+  EXPECT_TRUE(result.instance.Contains(f_, {a_, b_}));
+  EXPECT_EQ(result.steps, 2);
+}
+
+TEST_F(ChaseTest, EgdMergesNullIntoConstant) {
+  Instance start(&schema_);
+  Value n = symbols_.FreshNull();
+  start.AddFact(h_, {a_, b_});
+  start.AddFact(h_, {a_, n});
+  ChaseResult result =
+      Chase(start, {}, ParseEgds("H(x,y) & H(x,z) -> y = z."), &symbols_);
+  EXPECT_EQ(result.outcome, ChaseOutcome::kSuccess);
+  EXPECT_EQ(result.instance.fact_count(), 1u);
+  EXPECT_TRUE(result.instance.Contains(h_, {a_, b_}));
+}
+
+TEST_F(ChaseTest, EgdMergesNullIntoNull) {
+  Instance start(&schema_);
+  Value n1 = symbols_.FreshNull();
+  Value n2 = symbols_.FreshNull();
+  start.AddFact(h_, {a_, n1});
+  start.AddFact(h_, {a_, n2});
+  ChaseResult result =
+      Chase(start, {}, ParseEgds("H(x,y) & H(x,z) -> y = z."), &symbols_);
+  EXPECT_EQ(result.outcome, ChaseOutcome::kSuccess);
+  EXPECT_EQ(result.instance.fact_count(), 1u);
+}
+
+TEST_F(ChaseTest, EgdFailsOnDistinctConstants) {
+  Instance start(&schema_);
+  start.AddFact(h_, {a_, b_});
+  start.AddFact(h_, {a_, c_});
+  ChaseResult result =
+      Chase(start, {}, ParseEgds("H(x,y) & H(x,z) -> y = z."), &symbols_);
+  EXPECT_EQ(result.outcome, ChaseOutcome::kFailed);
+  EXPECT_FALSE(result.failure.empty());
+}
+
+TEST_F(ChaseTest, TgdAndEgdInteract) {
+  // E copies into H; the egd then enforces key-ness of H's first column.
+  Instance start(&schema_);
+  Value n = symbols_.FreshNull();
+  start.AddFact(e_, {a_, b_});
+  start.AddFact(h_, {a_, n});
+  ChaseResult result =
+      Chase(start, ParseTgds("E(x,y) -> H(x,y)."),
+            ParseEgds("H(x,y) & H(x,z) -> y = z."), &symbols_);
+  EXPECT_EQ(result.outcome, ChaseOutcome::kSuccess);
+  EXPECT_EQ(result.instance.tuples(h_).size(), 1u);
+  EXPECT_TRUE(result.instance.Contains(h_, {a_, b_}));
+}
+
+TEST_F(ChaseTest, NonTerminatingChaseHitsBudget) {
+  Instance start(&schema_);
+  start.AddFact(h_, {a_, b_});
+  ChaseOptions options;
+  options.max_steps = 100;
+  ChaseResult result = Chase(
+      start, ParseTgds("H(x,y) -> exists z: H(y,z)."), {}, &symbols_,
+      options);
+  EXPECT_EQ(result.outcome, ChaseOutcome::kBudgetExhausted);
+  EXPECT_EQ(result.steps, 100);
+}
+
+TEST_F(ChaseTest, WeaklyAcyclicChaseTerminatesWellUnderBudget) {
+  Instance start(&schema_);
+  for (int i = 0; i < 20; ++i) {
+    start.AddFact(e_, {symbols_.InternConstant("x" + std::to_string(i)),
+                       symbols_.InternConstant("x" + std::to_string(i + 1))});
+  }
+  ChaseResult result = Chase(
+      start,
+      ParseTgds("E(x,y) -> exists z: H(x,z). H(x,z) -> F(x,z)."),
+      &symbols_);
+  EXPECT_EQ(result.outcome, ChaseOutcome::kSuccess);
+  EXPECT_EQ(result.nulls_created, 20);
+  EXPECT_EQ(result.instance.tuples(h_).size(), 20u);
+  EXPECT_EQ(result.instance.tuples(f_).size(), 20u);
+}
+
+TEST_F(ChaseTest, SatisfactionChecks) {
+  Instance instance(&schema_);
+  instance.AddFact(e_, {a_, b_});
+  instance.AddFact(h_, {a_, b_});
+  EXPECT_TRUE(SatisfiesTgd(instance, ParseTgds("E(x,y) -> H(x,y).")[0]));
+  EXPECT_FALSE(SatisfiesTgd(instance, ParseTgds("E(x,y) -> H(y,x).")[0]));
+  EXPECT_TRUE(SatisfiesEgd(
+      instance, ParseEgds("H(x,y) & H(x,z) -> y = z.")[0]));
+  instance.AddFact(h_, {a_, c_});
+  EXPECT_FALSE(SatisfiesEgd(
+      instance, ParseEgds("H(x,y) & H(x,z) -> y = z.")[0]));
+}
+
+TEST_F(ChaseTest, DisjunctiveSatisfaction) {
+  auto deps = ParseDependencies("H(x,y) -> (E(x,y)) | (F(x,y)).", schema_,
+                                &symbols_);
+  ASSERT_TRUE(deps.ok());
+  const DisjunctiveTgd& tgd = deps->disjunctive_tgds[0];
+  Instance instance(&schema_);
+  instance.AddFact(h_, {a_, b_});
+  EXPECT_FALSE(SatisfiesDisjunctiveTgd(instance, tgd));
+  instance.AddFact(f_, {a_, b_});
+  EXPECT_TRUE(SatisfiesDisjunctiveTgd(instance, tgd));
+}
+
+TEST_F(ChaseTest, SatisfiesAllAggregates) {
+  auto deps = ParseDependencies(
+      "E(x,y) -> H(x,y). H(x,y) & H(x,z) -> y = z.", schema_, &symbols_);
+  ASSERT_TRUE(deps.ok());
+  Instance instance(&schema_);
+  instance.AddFact(e_, {a_, b_});
+  EXPECT_FALSE(SatisfiesAll(instance, *deps));
+  instance.AddFact(h_, {a_, b_});
+  EXPECT_TRUE(SatisfiesAll(instance, *deps));
+}
+
+}  // namespace
+}  // namespace pdx

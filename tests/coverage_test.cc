@@ -1,0 +1,149 @@
+// Targeted coverage of subtle interaction paths that the per-module suites
+// do not reach: egd merges repairing transient Σ_ts violations inside the
+// generic solver, unions of conjunctive queries in certain answers,
+// three-peer multi-PDE merges, and null-carrying target instances.
+
+#include <set>
+
+#include "gtest/gtest.h"
+#include "logic/parser.h"
+#include "pde/certain_answers.h"
+#include "pde/generic_solver.h"
+#include "pde/multi_pde.h"
+#include "pde/solution.h"
+#include "tests/test_util.h"
+
+namespace pdx {
+namespace {
+
+using testing_util::ParseOrDie;
+using testing_util::Unwrap;
+
+// The "fixable then fixed" path: a Σ_ts violation involving a null is not
+// permanent because a Σ_t egd later merges the null into a constant,
+// turning the violated trigger into a satisfied one. A solver that pruned
+// null-involving Σ_ts violations eagerly would wrongly report kNoSolution
+// on the fresh-null branch (the other branches still find the solution;
+// the enumerate_all check below would then under-enumerate).
+TEST(CoverageTest, EgdMergeRepairsTransientTsViolation) {
+  SymbolTable symbols;
+  auto setting = Unwrap(PdeSetting::Create(
+      {{"E", 2}}, {{"K", 2}, {"H", 2}},
+      "E(x,y) -> exists z: K(x,z).\n"
+      "E(x,y) -> H(x,y).",
+      "K(x,z) -> E(x,z).",
+      "K(x,z) & H(x,y) -> z = y.", &symbols));
+  Instance source = ParseOrDie(setting, "E(a,b).", &symbols);
+  GenericSolverOptions options;
+  options.enumerate_all = true;
+  GenericSolveResult result = Unwrap(GenericExistsSolution(
+      setting, source, setting.EmptyInstance(), &symbols, options));
+  ASSERT_EQ(result.outcome, SolveOutcome::kSolutionFound);
+  // Every branch (z = b directly, and z = fresh-null merged to b by the
+  // egd) converges on the same single solution {H(a,b), K(a,b)}.
+  ASSERT_EQ(result.solutions.size(), 1u);
+  EXPECT_EQ(result.solutions[0].ToString(symbols), "H(a,b).\nK(a,b).");
+  EXPECT_TRUE(IsSolution(setting, source, setting.EmptyInstance(),
+                         result.solutions[0], symbols));
+}
+
+TEST(CoverageTest, UnionQueriesInCertainAnswers) {
+  SymbolTable symbols;
+  auto setting = Unwrap(PdeSetting::Create(
+      {{"E", 2}}, {{"H", 2}, {"F", 2}},
+      "E(x,z) & E(z,y) -> H(x,y).\n"
+      "E(x,x) -> F(x,x).",
+      "H(x,y) -> E(x,y).\n"
+      "F(x,y) -> E(x,y).",
+      "", &symbols));
+  Instance source =
+      ParseOrDie(setting, "E(a,b). E(b,c). E(a,c). E(d,d).", &symbols);
+  UnionQuery q = Unwrap(ParseUnionQuery(
+      "q(x) :- H(x,y).\nq(x) :- F(x,y).", setting.schema(), &symbols));
+  CertainAnswersResult result = Unwrap(ComputeCertainAnswers(
+      setting, source, setting.EmptyInstance(), q, &symbols));
+  ASSERT_FALSE(result.no_solution);
+  // Certain: a (from forced H(a,c)) and d (from forced F(d,d)).
+  Value a = symbols.InternConstant("a");
+  Value d = symbols.InternConstant("d");
+  std::set<Tuple> answers(result.answers.begin(), result.answers.end());
+  EXPECT_EQ(answers.size(), 2u);
+  EXPECT_TRUE(answers.count(Tuple{a}) > 0);
+  EXPECT_TRUE(answers.count(Tuple{d}) > 0);
+}
+
+TEST(CoverageTest, ThreePeerMultiPde) {
+  SymbolTable symbols;
+  std::vector<PeerSpec> peers = {
+      {{{"A", 1}}, "A(x) -> T(x).", "", ""},
+      {{{"B", 1}}, "B(x) -> T(x).", "T(x) -> B(x).", ""},
+      {{{"C", 1}}, "C(x) -> T(x).", "", ""},
+  };
+  PdeSetting merged = Unwrap(MergeMultiPde(peers, {{"T", 1}}, &symbols));
+  EXPECT_EQ(merged.source_relation_count(), 3);
+  // Peer B's Σ_ts makes B the gatekeeper: everything in T must be in B.
+  Instance no = ParseOrDie(merged, "A(x1). B(x2). C(x3).", &symbols);
+  GenericSolveResult blocked = Unwrap(GenericExistsSolution(
+      merged, no, merged.EmptyInstance(), &symbols));
+  EXPECT_EQ(blocked.outcome, SolveOutcome::kNoSolution);
+
+  Instance yes = ParseOrDie(
+      merged, "A(x1). B(x1). B(x2). B(x3). C(x3).", &symbols);
+  GenericSolveResult ok = Unwrap(GenericExistsSolution(
+      merged, yes, merged.EmptyInstance(), &symbols));
+  ASSERT_EQ(ok.outcome, SolveOutcome::kSolutionFound);
+  EXPECT_TRUE(
+      IsSolution(merged, yes, merged.EmptyInstance(), *ok.solution, symbols));
+}
+
+// The paper's J is null-free, but Definition 2 does not require that; the
+// engine accepts a target instance carrying labeled nulls, which then act
+// as plain (unknown-but-fixed) values.
+TEST(CoverageTest, NullCarryingTargetInstance) {
+  SymbolTable symbols;
+  PdeSetting setting = testing_util::MakeExample1Setting(&symbols);
+  Instance source =
+      ParseOrDie(setting, "E(a,b). E(b,c). E(a,c).", &symbols);
+  // J contains H(a, _n): Σ_ts requires E(a, _n) — the null matches no
+  // source constant, so the pair is unsolvable.
+  Instance target = ParseOrDie(setting, "H(a,_n).", &symbols);
+  GenericSolveResult result = Unwrap(GenericExistsSolution(
+      setting, source, target, &symbols));
+  EXPECT_EQ(result.outcome, SolveOutcome::kNoSolution);
+}
+
+// Marked positions are computed from existential variables only; constants
+// in Σ_st heads do not mark, so a ts-tgd reading a constant-fed position
+// keeps condition 1 intact.
+TEST(CoverageTest, ConstantsInStHeadsDoNotMark) {
+  SymbolTable symbols;
+  auto setting = Unwrap(PdeSetting::Create(
+      {{"E", 2}}, {{"H", 2}},
+      "E(x,y) -> H(x,'tagged').",
+      // x appears twice in the LHS but at unmarked positions.
+      "H(x,y) & H(x,z) -> E(x,x).", "", &symbols));
+  const CtractReport& report = setting.ctract_report();
+  EXPECT_TRUE(report.condition1);
+  EXPECT_TRUE(report.condition2_2);  // no marked variables at all
+  EXPECT_TRUE(setting.InCtract());
+}
+
+// Certain answers of a query whose body spans two target relations.
+TEST(CoverageTest, MultiRelationQueryBody) {
+  SymbolTable symbols;
+  auto setting = Unwrap(PdeSetting::Create(
+      {{"E", 2}}, {{"H", 2}, {"F", 2}},
+      "E(x,y) -> H(x,y) & F(y,x).",
+      "H(x,y) -> E(x,y).", "", &symbols));
+  Instance source = ParseOrDie(setting, "E(a,b).", &symbols);
+  UnionQuery q = Unwrap(ParseUnionQuery("q(x) :- H(x,y) & F(y,x).",
+                                        setting.schema(), &symbols));
+  CertainAnswersResult result = Unwrap(ComputeCertainAnswers(
+      setting, source, setting.EmptyInstance(), q, &symbols));
+  Value a = symbols.InternConstant("a");
+  ASSERT_EQ(result.answers.size(), 1u);
+  EXPECT_EQ(result.answers[0], (Tuple{a}));
+}
+
+}  // namespace
+}  // namespace pdx

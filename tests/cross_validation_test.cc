@@ -1,0 +1,150 @@
+// Property-based cross-validation: on randomly generated C_tract settings
+// and instances, the polynomial ExistsSolution algorithm (Figure 3) must
+// agree with the sound-and-complete generic search solver, and any witness
+// either solver produces must verify against Definition 2.
+
+#include "gtest/gtest.h"
+#include "pde/ctract_solver.h"
+#include "pde/generic_solver.h"
+#include "pde/solution.h"
+#include "tests/test_util.h"
+#include "workload/setting_gen.h"
+
+namespace pdx {
+namespace {
+
+using testing_util::Unwrap;
+
+enum class GenKind { kLavTs, kFullSt };
+
+struct CrossValidationParam {
+  GenKind kind;
+  uint64_t seed;
+  int facts;
+};
+
+class CrossValidationTest
+    : public ::testing::TestWithParam<CrossValidationParam> {};
+
+TEST_P(CrossValidationTest, SolversAgreeOnRandomCtractSettings) {
+  const CrossValidationParam& param = GetParam();
+  Rng rng(param.seed);
+  SymbolTable symbols;
+  SettingGenOptions opts;
+  opts.max_arity = 2;
+  opts.st_tgd_count = 2;
+  opts.ts_tgd_count = 2;
+  StatusOr<GeneratedSetting> generated =
+      param.kind == GenKind::kLavTs
+          ? MakeRandomLavSetting(opts, &rng, &symbols)
+          : MakeRandomFullStSetting(opts, &rng, &symbols);
+  ASSERT_TRUE(generated.ok()) << generated.status().ToString();
+  const PdeSetting& setting = generated->setting;
+  ASSERT_TRUE(setting.InCtract())
+      << "generator must produce C_tract settings:\nΣst:\n"
+      << generated->sigma_st << "\nΣts:\n" << generated->sigma_ts;
+
+  Instance source = MakeRandomSourceInstance(setting, param.facts,
+                                             /*constant_pool=*/4, &rng,
+                                             &symbols);
+  Instance target = setting.EmptyInstance();
+
+  CtractSolveResult fast =
+      Unwrap(CtractExistsSolution(setting, source, target, &symbols),
+             "CtractExistsSolution");
+
+  GenericSolverOptions solver_options;
+  solver_options.max_nodes = 200'000;
+  GenericSolveResult slow = Unwrap(
+      GenericExistsSolution(setting, source, target, &symbols,
+                            solver_options),
+      "GenericExistsSolution");
+  if (slow.outcome == SolveOutcome::kBudgetExhausted) {
+    GTEST_SKIP() << "generic solver budget exhausted on this seed";
+  }
+
+  EXPECT_EQ(fast.has_solution,
+            slow.outcome == SolveOutcome::kSolutionFound)
+      << "solver disagreement on seed " << param.seed << "\nΣst:\n"
+      << generated->sigma_st << "\nΣts:\n" << generated->sigma_ts
+      << "\nI:\n" << source.ToString(symbols);
+
+  if (fast.has_solution) {
+    EXPECT_TRUE(IsSolution(setting, source, target, *fast.solution, symbols))
+        << "Ctract witness failed verification on seed " << param.seed;
+  }
+  if (slow.outcome == SolveOutcome::kSolutionFound) {
+    EXPECT_TRUE(IsSolution(setting, source, target, *slow.solution, symbols))
+        << "generic witness failed verification on seed " << param.seed;
+  }
+}
+
+std::vector<CrossValidationParam> MakeParams() {
+  std::vector<CrossValidationParam> params;
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    params.push_back({GenKind::kLavTs, seed, 6});
+    params.push_back({GenKind::kFullSt, seed, 6});
+  }
+  for (uint64_t seed = 100; seed <= 110; ++seed) {
+    params.push_back({GenKind::kLavTs, seed, 12});
+    params.push_back({GenKind::kFullSt, seed, 12});
+  }
+  return params;
+}
+
+std::string ParamName(
+    const ::testing::TestParamInfo<CrossValidationParam>& info) {
+  return std::string(info.param.kind == GenKind::kLavTs ? "LavTs"
+                                                        : "FullSt") +
+         "Seed" + std::to_string(info.param.seed) + "Facts" +
+         std::to_string(info.param.facts);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCtract, CrossValidationTest,
+                         ::testing::ValuesIn(MakeParams()), ParamName);
+
+// Non-empty target instances exercise the J ⊆ J' requirement.
+class CrossValidationWithTargetTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CrossValidationWithTargetTest, SolversAgreeWithNonEmptyJ) {
+  Rng rng(GetParam());
+  SymbolTable symbols;
+  SettingGenOptions opts;
+  opts.max_arity = 2;
+  opts.st_tgd_count = 2;
+  opts.ts_tgd_count = 2;
+  GeneratedSetting generated =
+      Unwrap(MakeRandomLavSetting(opts, &rng, &symbols));
+  const PdeSetting& setting = generated.setting;
+  Instance source =
+      MakeRandomSourceInstance(setting, 5, 4, &rng, &symbols);
+  Instance target =
+      MakeRandomTargetInstance(setting, 3, 4, &rng, &symbols);
+
+  CtractSolveResult fast = Unwrap(
+      CtractExistsSolution(setting, source, target, &symbols));
+  GenericSolverOptions solver_options;
+  solver_options.max_nodes = 200'000;
+  GenericSolveResult slow = Unwrap(GenericExistsSolution(
+      setting, source, target, &symbols, solver_options));
+  if (slow.outcome == SolveOutcome::kBudgetExhausted) {
+    GTEST_SKIP() << "generic solver budget exhausted on this seed";
+  }
+  EXPECT_EQ(fast.has_solution,
+            slow.outcome == SolveOutcome::kSolutionFound)
+      << "seed " << GetParam() << "\nΣst:\n" << generated.sigma_st
+      << "\nΣts:\n" << generated.sigma_ts << "\nI:\n"
+      << source.ToString(symbols) << "\nJ:\n" << target.ToString(symbols);
+  if (fast.has_solution) {
+    EXPECT_TRUE(target.IsSubsetOf(*fast.solution));
+    EXPECT_TRUE(
+        IsSolution(setting, source, target, *fast.solution, symbols));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossValidationWithTargetTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{21}));
+
+}  // namespace
+}  // namespace pdx

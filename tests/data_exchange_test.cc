@@ -1,0 +1,127 @@
+#include "pde/data_exchange.h"
+
+#include "gtest/gtest.h"
+#include "logic/parser.h"
+#include "pde/solution.h"
+#include "tests/test_util.h"
+
+namespace pdx {
+namespace {
+
+using testing_util::ParseOrDie;
+using testing_util::Unwrap;
+
+TEST(DataExchangeTest, SolutionsAlwaysExistWithoutTargetConstraints) {
+  // The paper's contrast (Section 2): in data exchange with Σ_t = ∅ a
+  // solution always exists; peer data exchange loses that property.
+  SymbolTable symbols;
+  auto setting = Unwrap(PdeSetting::Create(
+      {{"E", 2}}, {{"H", 2}},
+      "E(x,z) & E(z,y) -> H(x,y).", "", "", &symbols));
+  Instance source = ParseOrDie(setting, "E(a,b). E(b,c).", &symbols);
+  DataExchangeResult result = Unwrap(
+      SolveDataExchange(setting, source, setting.EmptyInstance(), &symbols));
+  EXPECT_TRUE(result.has_solution);
+  EXPECT_TRUE(IsSolution(setting, source, setting.EmptyInstance(),
+                         *result.universal_solution, symbols));
+}
+
+TEST(DataExchangeTest, UniversalSolutionCarriesNullsForExistentials) {
+  SymbolTable symbols;
+  auto setting = Unwrap(PdeSetting::Create(
+      {{"E", 2}}, {{"H", 2}},
+      "E(x,y) -> exists z: H(x,z).", "", "", &symbols));
+  Instance source = ParseOrDie(setting, "E(a,b).", &symbols);
+  DataExchangeResult result = Unwrap(
+      SolveDataExchange(setting, source, setting.EmptyInstance(), &symbols));
+  ASSERT_TRUE(result.has_solution);
+  EXPECT_TRUE(result.universal_solution->HasNulls());
+  EXPECT_EQ(result.nulls_created, 1);
+}
+
+TEST(DataExchangeTest, EgdFailureMeansNoSolution) {
+  SymbolTable symbols;
+  auto setting = Unwrap(PdeSetting::Create(
+      {{"E", 2}}, {{"H", 2}},
+      "E(x,y) -> H(x,y).", "",
+      "H(x,y) & H(x,z) -> y = z.", &symbols));
+  Instance source = ParseOrDie(setting, "E(a,b). E(a,c).", &symbols);
+  DataExchangeResult result = Unwrap(
+      SolveDataExchange(setting, source, setting.EmptyInstance(), &symbols));
+  EXPECT_FALSE(result.has_solution);
+}
+
+TEST(DataExchangeTest, TargetTgdsChaseThrough) {
+  SymbolTable symbols;
+  auto setting = Unwrap(PdeSetting::Create(
+      {{"E", 2}}, {{"H", 2}, {"F", 2}},
+      "E(x,y) -> H(x,y).", "",
+      "H(x,y) -> exists z: F(y,z).", &symbols));
+  Instance source = ParseOrDie(setting, "E(a,b).", &symbols);
+  DataExchangeResult result = Unwrap(
+      SolveDataExchange(setting, source, setting.EmptyInstance(), &symbols));
+  ASSERT_TRUE(result.has_solution);
+  RelationId f = setting.schema().FindRelation("F").value();
+  EXPECT_EQ(result.universal_solution->tuples(f).size(), 1u);
+}
+
+TEST(DataExchangeTest, RejectsPdeSettings) {
+  SymbolTable symbols;
+  auto setting = Unwrap(PdeSetting::Create(
+      {{"E", 2}}, {{"H", 2}},
+      "E(x,y) -> H(x,y).", "H(x,y) -> E(x,y).", "", &symbols));
+  Instance source = ParseOrDie(setting, "E(a,b).", &symbols);
+  auto result =
+      SolveDataExchange(setting, source, setting.EmptyInstance(), &symbols);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DataExchangeTest, CertainAnswersViaUniversalSolution) {
+  SymbolTable symbols;
+  auto setting = Unwrap(PdeSetting::Create(
+      {{"E", 2}}, {{"H", 2}},
+      "E(x,z) & E(z,y) -> H(x,y).", "", "", &symbols));
+  Instance source = ParseOrDie(setting, "E(a,b). E(b,c).", &symbols);
+  UnionQuery q = Unwrap(
+      ParseUnionQuery("q(x,y) :- H(x,y).", setting.schema(), &symbols));
+  std::vector<Tuple> answers = Unwrap(DataExchangeCertainAnswers(
+      setting, source, setting.EmptyInstance(), q, &symbols));
+  Value a = symbols.InternConstant("a");
+  Value c = symbols.InternConstant("c");
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(answers[0], (Tuple{a, c}));
+}
+
+TEST(DataExchangeTest, CertainAnswersDropNullJoins) {
+  SymbolTable symbols;
+  auto setting = Unwrap(PdeSetting::Create(
+      {{"E", 2}}, {{"H", 2}},
+      "E(x,y) -> exists z: H(x,z).", "", "", &symbols));
+  Instance source = ParseOrDie(setting, "E(a,b). E(c,d).", &symbols);
+  // Second columns are distinct nulls: q(x,y) :- H(x,z) & H(y,z) should
+  // certify only the reflexive pairs.
+  UnionQuery q = Unwrap(ParseUnionQuery("q(x,y) :- H(x,z) & H(y,z).",
+                                        setting.schema(), &symbols));
+  std::vector<Tuple> answers = Unwrap(DataExchangeCertainAnswers(
+      setting, source, setting.EmptyInstance(), q, &symbols));
+  EXPECT_EQ(answers.size(), 2u);  // (a,a) and (c,c)
+}
+
+TEST(DataExchangeTest, CertainAnswersFailCleanlyWithoutSolution) {
+  SymbolTable symbols;
+  auto setting = Unwrap(PdeSetting::Create(
+      {{"E", 2}}, {{"H", 2}},
+      "E(x,y) -> H(x,y).", "",
+      "H(x,y) & H(x,z) -> y = z.", &symbols));
+  Instance source = ParseOrDie(setting, "E(a,b). E(a,c).", &symbols);
+  UnionQuery q = Unwrap(
+      ParseUnionQuery("q(x,y) :- H(x,y).", setting.schema(), &symbols));
+  auto answers = DataExchangeCertainAnswers(
+      setting, source, setting.EmptyInstance(), q, &symbols);
+  EXPECT_FALSE(answers.ok());
+  EXPECT_EQ(answers.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace pdx

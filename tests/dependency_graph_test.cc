@@ -1,0 +1,171 @@
+#include "logic/dependency_graph.h"
+
+#include "gtest/gtest.h"
+#include "chase/chase.h"
+#include "logic/parser.h"
+
+namespace pdx {
+namespace {
+
+class DependencyGraphTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(schema_.AddRelation("E", 2).ok());
+    ASSERT_TRUE(schema_.AddRelation("H", 2).ok());
+    ASSERT_TRUE(schema_.AddRelation("A", 1).ok());
+    ASSERT_TRUE(schema_.AddRelation("B", 1).ok());
+  }
+
+  std::vector<Tgd> Parse(const char* text) {
+    auto deps = ParseDependencies(text, schema_, &symbols_);
+    EXPECT_TRUE(deps.ok()) << deps.status().ToString();
+    return std::move(deps).value().tgds;
+  }
+
+  Schema schema_;
+  SymbolTable symbols_;
+};
+
+TEST_F(DependencyGraphTest, FullTgdsAreWeaklyAcyclic) {
+  // No existential variables: no special edges at all.
+  EXPECT_TRUE(IsWeaklyAcyclic(
+      Parse("E(x,y) -> H(x,y). H(x,y) -> E(y,x)."), schema_));
+}
+
+TEST_F(DependencyGraphTest, SelfFeedingExistentialIsNotWeaklyAcyclic) {
+  // The classic non-terminating tgd: H(x,y) -> exists z: H(y,z).
+  // Position H.1 feeds H.0 (ordinary via y) and H.1 gets a special edge
+  // from H.1's source... the cycle goes through the special edge.
+  EXPECT_FALSE(IsWeaklyAcyclic(Parse("H(x,y) -> exists z: H(y,z)."),
+                               schema_));
+}
+
+TEST_F(DependencyGraphTest, AcyclicInclusionDependenciesAreWeaklyAcyclic) {
+  // A -> exists y: H(x,y); H feeds E; nothing feeds back into A.
+  EXPECT_TRUE(IsWeaklyAcyclic(
+      Parse("A(x) -> exists y: H(x,y). H(x,y) -> E(x,y)."), schema_));
+}
+
+TEST_F(DependencyGraphTest, CycleWithoutSpecialEdgeIsWeaklyAcyclic) {
+  // E and H copy into each other (full tgds): an ordinary cycle only.
+  EXPECT_TRUE(IsWeaklyAcyclic(
+      Parse("E(x,y) -> H(x,y). H(x,y) -> E(x,y)."), schema_));
+}
+
+TEST_F(DependencyGraphTest, SpecialEdgeInsideCycleDetected) {
+  // E's second column feeds H's first (via the swap), H's first generates
+  // a fresh value into E's second: the special edge H.0 -> E.1 closes a
+  // cycle with the ordinary edge E.1 -> H.0.
+  EXPECT_FALSE(IsWeaklyAcyclic(
+      Parse("E(x,y) -> H(y,x). H(x,y) -> exists z: E(x,z)."), schema_));
+}
+
+TEST_F(DependencyGraphTest, FreshValueIntoUnreadColumnIsWeaklyAcyclic) {
+  // H generates a fresh value into E's second column, but only E's first
+  // column flows back into H: no cycle through the special edge.
+  EXPECT_TRUE(IsWeaklyAcyclic(
+      Parse("E(x,y) -> H(x,y). H(x,y) -> exists z: E(x,z)."), schema_));
+}
+
+TEST_F(DependencyGraphTest, RanksCountSpecialEdgesAlongPaths) {
+  // A -> exists y: H(x,y)  (special A.0 -> H.1, ordinary A.0 -> H.0)
+  // H -> exists z: E(y,z)  (special H.0,H.1 -> E.1, ordinary H.1 -> E.0)
+  PositionDependencyGraph graph(
+      Parse("A(x) -> exists y: H(x,y). H(x,y) -> exists z: E(y,z)."),
+      schema_);
+  ASSERT_TRUE(graph.IsWeaklyAcyclic());
+  std::vector<int> ranks = graph.PositionRanks();
+  int e1 = graph.PositionId(schema_.FindRelation("E").value(), 1);
+  int h1 = graph.PositionId(schema_.FindRelation("H").value(), 1);
+  int a0 = graph.PositionId(schema_.FindRelation("A").value(), 0);
+  EXPECT_EQ(ranks[a0], 0);
+  EXPECT_EQ(ranks[h1], 1);
+  EXPECT_EQ(ranks[e1], 2);
+  EXPECT_EQ(graph.MaxRank(), 2);
+}
+
+TEST_F(DependencyGraphTest, MaxRankIsMinusOneWhenNotWeaklyAcyclic) {
+  PositionDependencyGraph graph(Parse("H(x,y) -> exists z: H(y,z)."),
+                                schema_);
+  EXPECT_EQ(graph.MaxRank(), -1);
+  EXPECT_TRUE(graph.PositionRanks().empty());
+}
+
+TEST_F(DependencyGraphTest, EmptySetIsWeaklyAcyclic) {
+  EXPECT_TRUE(IsWeaklyAcyclic({}, schema_));
+  PositionDependencyGraph graph({}, schema_);
+  EXPECT_EQ(graph.MaxRank(), 0);
+}
+
+TEST_F(DependencyGraphTest, PositionNames) {
+  PositionDependencyGraph graph({}, schema_);
+  RelationId h = schema_.FindRelation("H").value();
+  EXPECT_EQ(graph.PositionName(graph.PositionId(h, 1), schema_), "H.1");
+}
+
+TEST_F(DependencyGraphTest, ChaseBoundForFullTgds) {
+  // Full tgds invent no values: the value bound is the domain itself.
+  ChaseBound bound = EstimateChaseBound(
+      Parse("E(x,y) -> H(x,y). H(x,y) -> E(y,x)."), schema_, 10);
+  EXPECT_TRUE(bound.weakly_acyclic);
+  EXPECT_EQ(bound.max_rank, 0);
+  EXPECT_EQ(bound.value_bound, 10);
+  // Facts over E/2, H/2, A/1, B/1 with 10 values: 2*100 + 2*10.
+  EXPECT_EQ(bound.fact_bound, 220);
+}
+
+TEST_F(DependencyGraphTest, ChaseBoundGrowsWithRank) {
+  ChaseBound rank1 = EstimateChaseBound(
+      Parse("A(x) -> exists y: H(x,y)."), schema_, 10);
+  ChaseBound rank2 = EstimateChaseBound(
+      Parse("A(x) -> exists y: H(x,y). H(x,y) -> exists z: E(y,z)."),
+      schema_, 10);
+  EXPECT_EQ(rank1.max_rank, 1);
+  EXPECT_EQ(rank2.max_rank, 2);
+  EXPECT_GT(rank2.value_bound, rank1.value_bound);
+}
+
+TEST_F(DependencyGraphTest, ChaseBoundUndefinedWithoutWeakAcyclicity) {
+  ChaseBound bound = EstimateChaseBound(
+      Parse("H(x,y) -> exists z: H(y,z)."), schema_, 10);
+  EXPECT_FALSE(bound.weakly_acyclic);
+  EXPECT_EQ(bound.max_rank, -1);
+}
+
+TEST_F(DependencyGraphTest, ChaseBoundIsSoundOnActualChases) {
+  // Property check: real chase results stay within the static bound.
+  std::vector<Tgd> tgds =
+      Parse("A(x) -> exists y: H(x,y). H(x,y) -> exists z: E(y,z). "
+            "E(x,y) -> B(x).");
+  ASSERT_TRUE(IsWeaklyAcyclic(tgds, schema_));
+  // Build instances of growing size and compare.
+  for (int n : {2, 5, 10, 20}) {
+    Instance start(&schema_);
+    RelationId a = schema_.FindRelation("A").value();
+    for (int i = 0; i < n; ++i) {
+      start.AddFact(a, {symbols_.InternConstant("c" + std::to_string(i))});
+    }
+    ChaseBound bound = EstimateChaseBound(tgds, schema_, n);
+    ChaseResult chased = Chase(start, tgds, &symbols_);
+    ASSERT_EQ(chased.outcome, ChaseOutcome::kSuccess);
+    EXPECT_LE(static_cast<double>(chased.instance.fact_count()),
+              bound.fact_bound);
+    EXPECT_LE(static_cast<double>(chased.instance.ActiveDomain().size()),
+              bound.value_bound);
+  }
+}
+
+TEST_F(DependencyGraphTest, RelationGraphAcyclicity) {
+  // E -> H only: acyclic.
+  EXPECT_TRUE(
+      IsRelationGraphAcyclic(Parse("E(x,y) -> H(x,y)."), schema_));
+  // E -> H and H -> E: a relation-level cycle.
+  EXPECT_FALSE(IsRelationGraphAcyclic(
+      Parse("E(x,y) -> H(x,y). H(x,y) -> E(x,y)."), schema_));
+  // Self-loop.
+  EXPECT_FALSE(
+      IsRelationGraphAcyclic(Parse("H(x,y) -> H(y,x)."), schema_));
+}
+
+}  // namespace
+}  // namespace pdx

@@ -1,0 +1,108 @@
+#include "logic/dependency.h"
+
+#include "gtest/gtest.h"
+#include "logic/parser.h"
+
+namespace pdx {
+namespace {
+
+class DependencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(schema_.AddRelation("E", 2).ok());
+    ASSERT_TRUE(schema_.AddRelation("H", 2).ok());
+    ASSERT_TRUE(schema_.AddRelation("U", 1).ok());
+  }
+
+  Tgd Parse(const char* text) {
+    auto tgd = ParseTgd(text, schema_, &symbols_);
+    EXPECT_TRUE(tgd.ok()) << tgd.status().ToString();
+    return std::move(tgd).value();
+  }
+
+  Schema schema_;
+  SymbolTable symbols_;
+};
+
+TEST_F(DependencyTest, FullTgdClassification) {
+  EXPECT_TRUE(Parse("E(x,y) -> H(x,y).").IsFull());
+  EXPECT_TRUE(Parse("E(x,y) & E(y,z) -> H(x,z) & H(z,x).").IsFull());
+  EXPECT_FALSE(Parse("E(x,y) -> exists z: H(x,z).").IsFull());
+}
+
+TEST_F(DependencyTest, LavClassification) {
+  // Single body atom, distinct variables: LAV.
+  EXPECT_TRUE(Parse("H(x,y) -> E(x,y).").IsLav());
+  EXPECT_TRUE(Parse("H(x,y) -> exists z: E(x,z) & E(z,y).").IsLav());
+  // Repeated variable in the body atom: not LAV.
+  EXPECT_FALSE(Parse("H(x,x) -> E(x,x).").IsLav());
+  // Two body atoms: not LAV.
+  EXPECT_FALSE(Parse("H(x,y) & H(y,z) -> E(x,z).").IsLav());
+  // Constant in the body atom: not LAV.
+  EXPECT_FALSE(Parse("H(x,'c') -> E(x,x).").IsLav());
+}
+
+TEST_F(DependencyTest, GavClassification) {
+  EXPECT_TRUE(Parse("E(x,z) & E(z,y) -> H(x,y).").IsGav());
+  EXPECT_FALSE(Parse("E(x,y) -> H(x,y) & H(y,x).").IsGav());
+  EXPECT_FALSE(Parse("E(x,y) -> exists z: H(x,z).").IsGav());
+}
+
+TEST_F(DependencyTest, ValidateTgdCatchesBadStructure) {
+  Tgd tgd = Parse("E(x,y) -> H(x,y).");
+  Tgd broken = tgd;
+  broken.existential.pop_back();
+  EXPECT_FALSE(ValidateTgd(broken, schema_).ok());
+
+  broken = tgd;
+  broken.head.clear();
+  EXPECT_FALSE(ValidateTgd(broken, schema_).ok());
+
+  broken = tgd;
+  broken.head[0].terms[0] = Term::Var(99);
+  EXPECT_FALSE(ValidateTgd(broken, schema_).ok());
+}
+
+TEST_F(DependencyTest, ValidateEgdCatchesBadVariables) {
+  auto egd = ParseEgd("H(x,y) & H(x,z) -> y = z.", schema_, &symbols_);
+  ASSERT_TRUE(egd.ok());
+  Egd broken = *egd;
+  broken.left_var = 99;
+  EXPECT_FALSE(ValidateEgd(broken, schema_).ok());
+}
+
+TEST_F(DependencyTest, AtomsWithin) {
+  Tgd tgd = Parse("E(x,y) -> H(x,y).");
+  std::vector<bool> only_e = {true, false, false};
+  std::vector<bool> only_h = {false, true, false};
+  EXPECT_TRUE(AtomsWithin(tgd.body, only_e));
+  EXPECT_FALSE(AtomsWithin(tgd.body, only_h));
+  EXPECT_TRUE(AtomsWithin(tgd.head, only_h));
+}
+
+TEST_F(DependencyTest, DependencySetAccounting) {
+  auto deps = ParseDependencies(
+      "E(x,y) -> H(x,y).\n"
+      "H(x,y) & H(x,z) -> y = z.\n"
+      "H(x,y) -> (U(x)) | (U(y)).",
+      schema_, &symbols_);
+  ASSERT_TRUE(deps.ok());
+  EXPECT_FALSE(deps->empty());
+  EXPECT_EQ(deps->size(), 3u);
+  EXPECT_EQ(deps->tgds.size(), 1u);
+  EXPECT_EQ(deps->egds.size(), 1u);
+  EXPECT_EQ(deps->disjunctive_tgds.size(), 1u);
+}
+
+TEST_F(DependencyTest, ToStringRendersReadably) {
+  Tgd tgd = Parse("H(x,y) -> exists z: E(x,z) & E(z,y).");
+  EXPECT_EQ(tgd.ToString(schema_, symbols_),
+            "H(x,y) -> exists z: E(x,z) & E(z,y)");
+  auto egd = ParseEgd("H(x,y) & H(x,z) -> y = z.", schema_, &symbols_);
+  ASSERT_TRUE(egd.ok());
+  EXPECT_EQ(egd->ToString(schema_, symbols_),
+            "H(x,y) & H(x,z) -> y = z");
+}
+
+}  // namespace
+}  // namespace pdx

@@ -1,0 +1,82 @@
+#include "pde/exact_views.h"
+
+#include "gtest/gtest.h"
+#include "pde/ctract_solver.h"
+#include "pde/generic_solver.h"
+#include "tests/test_util.h"
+
+namespace pdx {
+namespace {
+
+using testing_util::ParseOrDie;
+using testing_util::Unwrap;
+
+TEST(ExactViewsTest, BuildsSoundAndExactDirections) {
+  SymbolTable symbols;
+  PdeSetting setting = Unwrap(MakeExactViewSetting(
+      {{"Emp", 2}, {"Dept", 2}}, {{"WorksFor", 2}},
+      {{"Emp(e,d) & Dept(d,m)", "WorksFor(e,m)"}}, &symbols));
+  EXPECT_EQ(setting.st_tgds().size(), 1u);
+  EXPECT_EQ(setting.ts_tgds().size(), 1u);
+  // The exactness direction has an existential (the join variable d).
+  EXPECT_FALSE(setting.ts_tgds()[0].IsFull());
+}
+
+TEST(ExactViewsTest, LavExactViewsLandInCtract) {
+  SymbolTable symbols;
+  // φ is a single source atom: LAV with exact views (Section 2's example).
+  PdeSetting setting = Unwrap(MakeExactViewSetting(
+      {{"S", 2}}, {{"V", 2}},
+      {{"S(x,y)", "V(y,x)"}}, &symbols));
+  EXPECT_TRUE(setting.InCtract());
+}
+
+TEST(ExactViewsTest, ExactnessRejectsExtraTargetData) {
+  SymbolTable symbols;
+  PdeSetting setting = Unwrap(MakeExactViewSetting(
+      {{"S", 2}}, {{"V", 2}},
+      {{"S(x,y)", "V(x,y)"}}, &symbols));
+  Instance source = ParseOrDie(setting, "S(a,b).", &symbols);
+  // V(b,a) is not in the view of the source: no solution containing it.
+  Instance bad_target = ParseOrDie(setting, "V(b,a).", &symbols);
+  auto result = Unwrap(CtractExistsSolution(setting, source, bad_target,
+                                            &symbols));
+  EXPECT_FALSE(result.has_solution);
+  // The consistent target is fine and the solution is exactly the view.
+  auto good = Unwrap(CtractExistsSolution(setting, source,
+                                          setting.EmptyInstance(),
+                                          &symbols));
+  ASSERT_TRUE(good.has_solution);
+  EXPECT_EQ(good.solution->ToString(symbols), "V(a,b).");
+}
+
+TEST(ExactViewsTest, JoinViewRequiresJoinWitnessInSource) {
+  SymbolTable symbols;
+  PdeSetting setting = Unwrap(MakeExactViewSetting(
+      {{"Emp", 2}, {"Dept", 2}}, {{"WorksFor", 2}},
+      {{"Emp(e,d) & Dept(d,m)", "WorksFor(e,m)"}}, &symbols));
+  Instance source =
+      ParseOrDie(setting, "Emp(ann,sales). Dept(sales,max).", &symbols);
+  // WorksFor(ann,max) is exactly the view: solvable.
+  auto yes = Unwrap(GenericExistsSolution(
+      setting, source, ParseOrDie(setting, "WorksFor(ann,max).", &symbols),
+      &symbols));
+  EXPECT_EQ(yes.outcome, SolveOutcome::kSolutionFound);
+  // WorksFor(ann,eve) has no witnessing department: unsolvable.
+  auto no = Unwrap(GenericExistsSolution(
+      setting, source, ParseOrDie(setting, "WorksFor(ann,eve).", &symbols),
+      &symbols));
+  EXPECT_EQ(no.outcome, SolveOutcome::kNoSolution);
+}
+
+TEST(ExactViewsTest, RejectsEmptyInput) {
+  SymbolTable symbols;
+  EXPECT_FALSE(
+      MakeExactViewSetting({{"S", 1}}, {{"V", 1}}, {}, &symbols).ok());
+  EXPECT_FALSE(MakeExactViewSetting({{"S", 1}}, {{"V", 1}},
+                                    {{"", "V(x)"}}, &symbols)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace pdx

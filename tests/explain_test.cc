@@ -1,0 +1,103 @@
+#include "pde/explain.h"
+
+#include "gtest/gtest.h"
+#include "pde/generic_solver.h"
+#include "tests/test_util.h"
+#include "workload/genomics.h"
+
+namespace pdx {
+namespace {
+
+using testing_util::MakeExample1Setting;
+using testing_util::ParseOrDie;
+using testing_util::Unwrap;
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  ExplainTest() : setting_(MakeExample1Setting(&symbols_)) {}
+
+  SymbolTable symbols_;
+  PdeSetting setting_;
+};
+
+TEST_F(ExplainTest, PinpointsTheOffendingTargetFact) {
+  Instance source =
+      ParseOrDie(setting_, "E(a,b). E(b,c). E(a,c).", &symbols_);
+  // H(c,a) is the only unsupported fact among three.
+  Instance target =
+      ParseOrDie(setting_, "H(a,b). H(b,c). H(c,a).", &symbols_);
+  Instance conflict = Unwrap(
+      FindMinimalTargetConflict(setting_, source, target, &symbols_));
+  EXPECT_EQ(conflict.ToString(symbols_), "H(c,a).");
+}
+
+TEST_F(ExplainTest, MinimalityWithMultipleCulprits) {
+  Instance source = ParseOrDie(setting_, "E(a,b).", &symbols_);
+  // Both H(b,a) and H(a,a) are individually unsupported: the minimal
+  // conflict is a single fact (either one).
+  Instance target = ParseOrDie(setting_, "H(b,a). H(a,a).", &symbols_);
+  Instance conflict = Unwrap(
+      FindMinimalTargetConflict(setting_, source, target, &symbols_));
+  EXPECT_EQ(conflict.fact_count(), 1u);
+}
+
+TEST_F(ExplainTest, RejectsSolvablePairs) {
+  Instance source = ParseOrDie(setting_, "E(a,a).", &symbols_);
+  auto result = FindMinimalTargetConflict(
+      setting_, source, setting_.EmptyInstance(), &symbols_);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ExplainTest, RedirectsSourceSideConflicts) {
+  // (I, ∅) already unsolvable: the target-side explainer refuses and the
+  // source-side one finds the 2-path without its closing edge.
+  Instance source = ParseOrDie(
+      setting_, "E(a,b). E(b,c). E(d,d).", &symbols_);
+  Instance empty = setting_.EmptyInstance();
+  auto target_side =
+      FindMinimalTargetConflict(setting_, source, empty, &symbols_);
+  EXPECT_FALSE(target_side.ok());
+
+  Instance conflict = Unwrap(
+      FindMinimalSourceConflict(setting_, source, empty, &symbols_));
+  // Minimal: exactly the 2-path a->b->c (E(d,d) is innocent).
+  EXPECT_EQ(conflict.ToString(symbols_), "E(a,b).\nE(b,c).");
+}
+
+TEST_F(ExplainTest, SourceConflictIsActuallyMinimal) {
+  Instance source = ParseOrDie(
+      setting_, "E(a,b). E(b,c). E(c,d). E(d,e).", &symbols_);
+  Instance empty = setting_.EmptyInstance();
+  Instance conflict = Unwrap(
+      FindMinimalSourceConflict(setting_, source, empty, &symbols_));
+  // Any single 2-path suffices; minimality means exactly 2 facts.
+  EXPECT_EQ(conflict.fact_count(), 2u);
+  // And it must itself be unsolvable.
+  GenericSolveResult check = Unwrap(GenericExistsSolution(
+      setting_, conflict, empty, &symbols_));
+  EXPECT_EQ(check.outcome, SolveOutcome::kNoSolution);
+}
+
+TEST_F(ExplainTest, GenomicsUnbackedAnnotationExplained) {
+  SymbolTable symbols;
+  PdeSetting setting = Unwrap(MakeGenomicsSetting(&symbols));
+  Rng rng(5);
+  GenomicsWorkloadOptions opts;
+  opts.proteins = 4;
+  opts.annotations_per_protein = 1;
+  opts.backed_target_annotations = 2;
+  opts.unbacked_target_annotations = 1;
+  GenomicsWorkload workload =
+      MakeGenomicsWorkload(setting, opts, &rng, &symbols);
+  Instance conflict = Unwrap(FindMinimalTargetConflict(
+      setting, workload.source, workload.target, &symbols));
+  // The explanation names only the unbacked local facts (1 annotation + 1
+  // local protein were injected; either alone suffices).
+  EXPECT_EQ(conflict.fact_count(), 1u);
+  std::string rendered = conflict.ToString(symbols);
+  EXPECT_NE(rendered.find("LOCAL"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pdx

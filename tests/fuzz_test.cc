@@ -1,0 +1,107 @@
+// Robustness sweeps: randomly mangled inputs must produce error Statuses,
+// never crashes, and valid inputs must survive mutation-and-reparse loops.
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "logic/parser.h"
+#include "pde/setting_file.h"
+#include "relational/instance_io.h"
+#include "workload/random.h"
+
+namespace pdx {
+namespace {
+
+// Characters the parsers care about, over-weighted with structure.
+constexpr char kAlphabet[] =
+    "abcxyzEHPq0129_,&|()'->:=.# \n\tEEHH(((--->>exists";
+
+std::string RandomText(Rng* rng, int length) {
+  std::string text;
+  text.reserve(length);
+  for (int i = 0; i < length; ++i) {
+    text.push_back(
+        kAlphabet[rng->UniformInt(sizeof(kAlphabet) - 1)]);
+  }
+  return text;
+}
+
+class FuzzTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(schema_.AddRelation("E", 2).ok());
+    ASSERT_TRUE(schema_.AddRelation("H", 2).ok());
+    ASSERT_TRUE(schema_.AddRelation("P", 4).ok());
+  }
+
+  Schema schema_;
+  SymbolTable symbols_;
+};
+
+TEST_P(FuzzTest, DependencyParserNeverCrashes) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string text = RandomText(&rng, 1 + rng.UniformInt(80));
+    // Must return; outcome (ok or error) is unconstrained.
+    auto result = ParseDependencies(text, schema_, &symbols_);
+    (void)result;
+  }
+}
+
+TEST_P(FuzzTest, QueryParserNeverCrashes) {
+  Rng rng(GetParam() + 1000);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string text = RandomText(&rng, 1 + rng.UniformInt(60));
+    auto result = ParseUnionQuery(text, schema_, &symbols_);
+    (void)result;
+  }
+}
+
+TEST_P(FuzzTest, InstanceParserNeverCrashes) {
+  Rng rng(GetParam() + 2000);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string text = RandomText(&rng, 1 + rng.UniformInt(60));
+    auto result = ParseInstance(text, schema_, &symbols_);
+    (void)result;
+  }
+}
+
+TEST_P(FuzzTest, SettingFileParserNeverCrashes) {
+  Rng rng(GetParam() + 3000);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string text =
+        "[source]\nE/2\n[target]\nH/2\n" + RandomText(&rng, 80);
+    SymbolTable symbols;
+    auto result = ParseSettingFile(text, &symbols);
+    (void)result;
+  }
+}
+
+TEST_P(FuzzTest, MutatedValidDependencySurvives) {
+  Rng rng(GetParam() + 4000);
+  const std::string valid =
+      "E(x,z) & E(z,y) -> H(x,y). H(x,y) -> exists w: E(x,w).";
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = valid;
+    int mutations = 1 + rng.UniformInt(4);
+    for (int m = 0; m < mutations; ++m) {
+      size_t pos = rng.UniformInt(static_cast<uint32_t>(mutated.size()));
+      mutated[pos] = kAlphabet[rng.UniformInt(sizeof(kAlphabet) - 1)];
+    }
+    auto result = ParseDependencies(mutated, schema_, &symbols_);
+    if (result.ok()) {
+      // If it still parses, the result must render and reparse.
+      for (const Tgd& tgd : result->tgds) {
+        std::string rendered = tgd.ToString(schema_, symbols_) + ".";
+        EXPECT_TRUE(ParseTgd(rendered, schema_, &symbols_).ok())
+            << "render/reparse broke on: " << rendered;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{9}));
+
+}  // namespace
+}  // namespace pdx

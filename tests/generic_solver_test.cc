@@ -1,0 +1,183 @@
+#include "pde/generic_solver.h"
+
+#include "gtest/gtest.h"
+#include "pde/solution.h"
+#include "tests/test_util.h"
+#include "workload/reductions.h"
+
+namespace pdx {
+namespace {
+
+using testing_util::MakeExample1Setting;
+using testing_util::MakePathSetting;
+using testing_util::ParseOrDie;
+using testing_util::Unwrap;
+
+class GenericSolverTest : public ::testing::Test {
+ protected:
+  GenericSolverTest() : setting_(MakeExample1Setting(&symbols_)) {}
+
+  GenericSolveResult Solve(const Instance& source, const Instance& target) {
+    return Unwrap(
+        GenericExistsSolution(setting_, source, target, &symbols_),
+        "GenericExistsSolution");
+  }
+
+  SymbolTable symbols_;
+  PdeSetting setting_;
+};
+
+TEST_F(GenericSolverTest, Example1NoSolution) {
+  Instance source = ParseOrDie(setting_, "E(a,b). E(b,c).", &symbols_);
+  GenericSolveResult result = Solve(source, setting_.EmptyInstance());
+  EXPECT_EQ(result.outcome, SolveOutcome::kNoSolution);
+  EXPECT_FALSE(result.solution.has_value());
+}
+
+TEST_F(GenericSolverTest, Example1UniqueSolution) {
+  Instance source = ParseOrDie(setting_, "E(a,a).", &symbols_);
+  GenericSolveResult result = Solve(source, setting_.EmptyInstance());
+  ASSERT_EQ(result.outcome, SolveOutcome::kSolutionFound);
+  EXPECT_TRUE(IsSolution(setting_, source, setting_.EmptyInstance(),
+                         *result.solution, symbols_));
+  EXPECT_EQ(result.solution->ToString(symbols_), "H(a,a).");
+}
+
+TEST_F(GenericSolverTest, Example1FindsVerifiedSolution) {
+  Instance source =
+      ParseOrDie(setting_, "E(a,b). E(b,c). E(a,c).", &symbols_);
+  GenericSolveResult result = Solve(source, setting_.EmptyInstance());
+  ASSERT_EQ(result.outcome, SolveOutcome::kSolutionFound);
+  EXPECT_TRUE(IsSolution(setting_, source, setting_.EmptyInstance(),
+                         *result.solution, symbols_));
+}
+
+TEST_F(GenericSolverTest, EnumeratesMinimalSolutions) {
+  Instance source =
+      ParseOrDie(setting_, "E(a,b). E(b,c). E(a,c).", &symbols_);
+  GenericSolverOptions options;
+  options.enumerate_all = true;
+  GenericSolveResult result = Unwrap(GenericExistsSolution(
+      setting_, source, setting_.EmptyInstance(), &symbols_, options));
+  ASSERT_EQ(result.outcome, SolveOutcome::kSolutionFound);
+  // The unique minimal solution is {H(a,c)} (the only Σ_st requirement).
+  ASSERT_EQ(result.solutions.size(), 1u);
+  EXPECT_EQ(result.solutions[0].ToString(symbols_), "H(a,c).");
+}
+
+TEST_F(GenericSolverTest, RespectsExistingTargetData) {
+  Instance source =
+      ParseOrDie(setting_, "E(a,b). E(b,c). E(a,c).", &symbols_);
+  Instance target = ParseOrDie(setting_, "H(a,b).", &symbols_);
+  GenericSolveResult result = Solve(source, target);
+  ASSERT_EQ(result.outcome, SolveOutcome::kSolutionFound);
+  EXPECT_TRUE(target.IsSubsetOf(*result.solution));
+  EXPECT_TRUE(
+      IsSolution(setting_, source, target, *result.solution, symbols_));
+
+  // H(b,a) can never be repaired: (b,a) is not an edge.
+  Instance bad_target = ParseOrDie(setting_, "H(b,a).", &symbols_);
+  EXPECT_EQ(Solve(source, bad_target).outcome, SolveOutcome::kNoSolution);
+}
+
+TEST_F(GenericSolverTest, HandlesTsExistentialsViaSourceWitnesses) {
+  SymbolTable symbols;
+  PdeSetting setting = MakePathSetting(&symbols);
+  Instance source = ParseOrDie(setting, "E(a,b). E(b,c).", &symbols);
+  GenericSolveResult result = Unwrap(GenericExistsSolution(
+      setting, source, setting.EmptyInstance(), &symbols));
+  ASSERT_EQ(result.outcome, SolveOutcome::kSolutionFound);
+  EXPECT_TRUE(IsSolution(setting, source, setting.EmptyInstance(),
+                         *result.solution, symbols));
+}
+
+TEST_F(GenericSolverTest, TargetEgdsMergeNulls) {
+  SymbolTable symbols;
+  // Σ_st invents a null for H's second column; the key egd then forces all
+  // of a's H-successors to coincide; Σ_ts requires the merged value to be
+  // an E-successor of a.
+  auto setting = Unwrap(PdeSetting::Create(
+      {{"E", 2}}, {{"H", 2}},
+      "E(x,y) -> exists z: H(x,z).",
+      "H(x,y) -> E(x,y).",
+      "H(x,y) & H(x,z) -> y = z.", &symbols));
+  Instance source = ParseOrDie(setting, "E(a,b).", &symbols);
+  GenericSolveResult result = Unwrap(GenericExistsSolution(
+      setting, source, setting.EmptyInstance(), &symbols));
+  ASSERT_EQ(result.outcome, SolveOutcome::kSolutionFound);
+  EXPECT_TRUE(IsSolution(setting, source, setting.EmptyInstance(),
+                         *result.solution, symbols));
+  EXPECT_EQ(result.solution->ToString(symbols), "H(a,b).");
+
+  // Two E-successors: the egd would force b = c on any solution covering
+  // both... but H only needs *some* value per x, and b or c both work.
+  Instance source2 = ParseOrDie(setting, "E(a,b). E(a,c).", &symbols);
+  GenericSolveResult result2 = Unwrap(GenericExistsSolution(
+      setting, source2, setting.EmptyInstance(), &symbols));
+  EXPECT_EQ(result2.outcome, SolveOutcome::kSolutionFound);
+}
+
+TEST_F(GenericSolverTest, EgdConstantClashMeansNoSolution) {
+  SymbolTable symbols;
+  auto setting = Unwrap(PdeSetting::Create(
+      {{"E", 2}}, {{"H", 2}},
+      "E(x,y) -> H(x,y).", "",
+      "H(x,y) & H(x,z) -> y = z.", &symbols));
+  Instance source = ParseOrDie(setting, "E(a,b). E(a,c).", &symbols);
+  GenericSolveResult result = Unwrap(GenericExistsSolution(
+      setting, source, setting.EmptyInstance(), &symbols));
+  EXPECT_EQ(result.outcome, SolveOutcome::kNoSolution);
+}
+
+TEST_F(GenericSolverTest, WeaklyAcyclicTargetTgdsChaseThrough) {
+  SymbolTable symbols;
+  auto setting = Unwrap(PdeSetting::Create(
+      {{"E", 2}}, {{"H", 2}, {"F", 2}},
+      "E(x,y) -> H(x,y).", "",
+      "H(x,y) -> exists z: F(y,z).", &symbols));
+  Instance source = ParseOrDie(setting, "E(a,b).", &symbols);
+  GenericSolveResult result = Unwrap(GenericExistsSolution(
+      setting, source, setting.EmptyInstance(), &symbols));
+  ASSERT_EQ(result.outcome, SolveOutcome::kSolutionFound);
+  EXPECT_TRUE(IsSolution(setting, source, setting.EmptyInstance(),
+                         *result.solution, symbols));
+}
+
+TEST_F(GenericSolverTest, BudgetExhaustionIsReported) {
+  Instance source =
+      ParseOrDie(setting_, "E(a,b). E(b,c). E(a,c).", &symbols_);
+  GenericSolverOptions options;
+  options.max_nodes = 1;
+  GenericSolveResult result = Unwrap(GenericExistsSolution(
+      setting_, source, setting_.EmptyInstance(), &symbols_, options));
+  EXPECT_EQ(result.outcome, SolveOutcome::kBudgetExhausted);
+}
+
+TEST_F(GenericSolverTest, DisjunctiveTsConstraintsRespected) {
+  SymbolTable symbols;
+  PdeSetting setting = Unwrap(MakeThreeColSetting(&symbols));
+  // A triangle is 3-colorable.
+  Instance triangle =
+      MakeThreeColSourceInstance(setting, CompleteGraph(3), &symbols);
+  GenericSolveResult yes = Unwrap(GenericExistsSolution(
+      setting, triangle, setting.EmptyInstance(), &symbols));
+  ASSERT_EQ(yes.outcome, SolveOutcome::kSolutionFound);
+  EXPECT_TRUE(IsSolution(setting, triangle, setting.EmptyInstance(),
+                         *yes.solution, symbols));
+  // K4 is not 3-colorable.
+  Instance k4 =
+      MakeThreeColSourceInstance(setting, CompleteGraph(4), &symbols);
+  GenericSolveResult no = Unwrap(GenericExistsSolution(
+      setting, k4, setting.EmptyInstance(), &symbols));
+  EXPECT_EQ(no.outcome, SolveOutcome::kNoSolution);
+}
+
+TEST_F(GenericSolverTest, EmptyInputsTriviallySolvable) {
+  GenericSolveResult result =
+      Solve(setting_.EmptyInstance(), setting_.EmptyInstance());
+  ASSERT_EQ(result.outcome, SolveOutcome::kSolutionFound);
+  EXPECT_EQ(result.solution->fact_count(), 0u);
+}
+
+}  // namespace
+}  // namespace pdx

@@ -1,0 +1,78 @@
+#include "workload/genomics.h"
+
+#include "gtest/gtest.h"
+#include "pde/ctract_solver.h"
+#include "pde/generic_solver.h"
+#include "pde/solution.h"
+#include "tests/test_util.h"
+
+namespace pdx {
+namespace {
+
+using testing_util::Unwrap;
+
+TEST(GenomicsTest, SettingIsInCtract) {
+  SymbolTable symbols;
+  PdeSetting setting = Unwrap(MakeGenomicsSetting(&symbols));
+  EXPECT_TRUE(setting.InCtract());
+  EXPECT_TRUE(setting.ctract_report().condition2_1);
+}
+
+TEST(GenomicsTest, ConsistentWorkloadHasSolution) {
+  SymbolTable symbols;
+  PdeSetting setting = Unwrap(MakeGenomicsSetting(&symbols));
+  Rng rng(42);
+  GenomicsWorkloadOptions opts;
+  opts.proteins = 10;
+  opts.unbacked_target_annotations = 0;
+  GenomicsWorkload workload =
+      MakeGenomicsWorkload(setting, opts, &rng, &symbols);
+  CtractSolveResult result = Unwrap(CtractExistsSolution(
+      setting, workload.source, workload.target, &symbols));
+  ASSERT_TRUE(result.has_solution);
+  EXPECT_TRUE(IsSolution(setting, workload.source, workload.target,
+                         *result.solution, symbols));
+  // The solution imports every Swiss-Prot protein.
+  RelationId protein = setting.schema().FindRelation("Protein").value();
+  EXPECT_EQ(result.solution->tuples(protein).size(), 10u);
+}
+
+TEST(GenomicsTest, UnbackedLocalDataMakesItUnsolvable) {
+  SymbolTable symbols;
+  PdeSetting setting = Unwrap(MakeGenomicsSetting(&symbols));
+  Rng rng(42);
+  GenomicsWorkloadOptions opts;
+  opts.proteins = 10;
+  opts.unbacked_target_annotations = 2;
+  GenomicsWorkload workload =
+      MakeGenomicsWorkload(setting, opts, &rng, &symbols);
+  CtractSolveResult result = Unwrap(CtractExistsSolution(
+      setting, workload.source, workload.target, &symbols));
+  EXPECT_FALSE(result.has_solution);
+}
+
+TEST(GenomicsTest, SolversAgreeOnSmallWorkloads) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    SymbolTable symbols;
+    PdeSetting setting = Unwrap(MakeGenomicsSetting(&symbols));
+    Rng rng(seed);
+    GenomicsWorkloadOptions opts;
+    opts.proteins = 4;
+    opts.annotations_per_protein = 1;
+    opts.backed_target_annotations = 2;
+    opts.unbacked_target_annotations = seed % 2 == 0 ? 1 : 0;
+    GenomicsWorkload workload =
+        MakeGenomicsWorkload(setting, opts, &rng, &symbols);
+    CtractSolveResult fast = Unwrap(CtractExistsSolution(
+        setting, workload.source, workload.target, &symbols));
+    GenericSolveResult slow = Unwrap(GenericExistsSolution(
+        setting, workload.source, workload.target, &symbols));
+    ASSERT_NE(slow.outcome, SolveOutcome::kBudgetExhausted);
+    EXPECT_EQ(fast.has_solution,
+              slow.outcome == SolveOutcome::kSolutionFound)
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace pdx

@@ -1,0 +1,149 @@
+#include "logic/implication.h"
+
+#include "gtest/gtest.h"
+#include "logic/parser.h"
+
+namespace pdx {
+namespace {
+
+class ImplicationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(schema_.AddRelation("E", 2).ok());
+    ASSERT_TRUE(schema_.AddRelation("H", 2).ok());
+    ASSERT_TRUE(schema_.AddRelation("F", 2).ok());
+  }
+
+  ConjunctiveQuery Query(const char* text) {
+    auto q = ParseQuery(text, schema_, &symbols_);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return std::move(q).value();
+  }
+
+  DependencySet Deps(const char* text) {
+    auto deps = ParseDependencies(text, schema_, &symbols_);
+    EXPECT_TRUE(deps.ok()) << deps.status().ToString();
+    return std::move(deps).value();
+  }
+
+  Schema schema_;
+  SymbolTable symbols_;
+};
+
+// ---- Chandra-Merlin containment ----------------------------------------
+
+TEST_F(ImplicationTest, MoreRestrictiveQueryIsContained) {
+  // Triangles are contained in paths of length 2.
+  ConjunctiveQuery triangle = Query("q(x) :- E(x,y) & E(y,z) & E(z,x).");
+  ConjunctiveQuery path = Query("q(x) :- E(x,y) & E(y,z).");
+  EXPECT_TRUE(*IsContainedIn(triangle, path, schema_));
+  EXPECT_FALSE(*IsContainedIn(path, triangle, schema_));
+}
+
+TEST_F(ImplicationTest, EquivalentQueriesContainEachOther) {
+  ConjunctiveQuery q1 = Query("q(x,y) :- E(x,y).");
+  ConjunctiveQuery q2 = Query("q(a,b) :- E(a,b) & E(a,b).");
+  EXPECT_TRUE(*IsContainedIn(q1, q2, schema_));
+  EXPECT_TRUE(*IsContainedIn(q2, q1, schema_));
+}
+
+TEST_F(ImplicationTest, SelfLoopContainedInEdge) {
+  ConjunctiveQuery loop = Query("q(x) :- E(x,x).");
+  ConjunctiveQuery edge = Query("q(x) :- E(x,y).");
+  EXPECT_TRUE(*IsContainedIn(loop, edge, schema_));
+  EXPECT_FALSE(*IsContainedIn(edge, loop, schema_));
+}
+
+TEST_F(ImplicationTest, HeadVariablesMustAlign) {
+  // Same bodies, different projections: q(x) vs q(y) over E(x,y).
+  ConjunctiveQuery source_end = Query("q(x) :- E(x,y).");
+  ConjunctiveQuery target_end = Query("q(y) :- E(x,y).");
+  EXPECT_FALSE(*IsContainedIn(source_end, target_end, schema_));
+}
+
+TEST_F(ImplicationTest, ConstantsRestrictContainment) {
+  ConjunctiveQuery with_constant = Query("q(x) :- E('a', x).");
+  ConjunctiveQuery general = Query("q(x) :- E(y, x).");
+  EXPECT_TRUE(*IsContainedIn(with_constant, general, schema_));
+  EXPECT_FALSE(*IsContainedIn(general, with_constant, schema_));
+}
+
+TEST_F(ImplicationTest, ContainmentRejectsArityMismatch) {
+  ConjunctiveQuery unary = Query("q(x) :- E(x,y).");
+  ConjunctiveQuery binary = Query("q(x,y) :- E(x,y).");
+  EXPECT_FALSE(IsContainedIn(unary, binary, schema_).ok());
+}
+
+// ---- Dependency implication via the chase -------------------------------
+
+TEST_F(ImplicationTest, TransitivityStyleImplication) {
+  // Σ: E ⊆ H and H transitive ⇒ E(x,y) & E(y,z) -> H(x,z).
+  DependencySet sigma =
+      Deps("E(x,y) -> H(x,y). H(x,y) & H(y,z) -> H(x,z).");
+  auto candidate =
+      ParseTgd("E(x,y) & E(y,z) -> H(x,z).", schema_, &symbols_);
+  ASSERT_TRUE(candidate.ok());
+  EXPECT_TRUE(*ImpliesTgd(sigma, *candidate, schema_, &symbols_));
+
+  auto not_implied = ParseTgd("E(x,y) -> H(y,x).", schema_, &symbols_);
+  ASSERT_TRUE(not_implied.ok());
+  EXPECT_FALSE(*ImpliesTgd(sigma, *not_implied, schema_, &symbols_));
+}
+
+TEST_F(ImplicationTest, ExistentialHeadsWitnessedByChase) {
+  DependencySet sigma = Deps("E(x,y) -> exists z: H(y,z).");
+  auto candidate =
+      ParseTgd("E(x,y) & E(y,w) -> exists u: H(w,u).", schema_, &symbols_);
+  ASSERT_TRUE(candidate.ok());
+  EXPECT_TRUE(*ImpliesTgd(sigma, *candidate, schema_, &symbols_));
+}
+
+TEST_F(ImplicationTest, EgdImplication) {
+  // Key on H propagated through a copy tgd: Σ = {E ⊆ H, key(H)} implies
+  // key-like behaviour on E... through H.
+  DependencySet sigma =
+      Deps("E(x,y) -> H(x,y). H(x,y) & H(x,z) -> y = z.");
+  auto implied =
+      ParseEgd("E(x,y) & E(x,z) -> y = z.", schema_, &symbols_);
+  ASSERT_TRUE(implied.ok());
+  EXPECT_TRUE(*ImpliesEgd(sigma, *implied, schema_, &symbols_));
+
+  auto not_implied =
+      ParseEgd("E(x,y) & E(z,y) -> x = z.", schema_, &symbols_);
+  ASSERT_TRUE(not_implied.ok());
+  EXPECT_FALSE(*ImpliesEgd(sigma, *not_implied, schema_, &symbols_));
+}
+
+TEST_F(ImplicationTest, TrivialImplications) {
+  DependencySet sigma = Deps("E(x,y) -> H(x,y).");
+  // Every dependency implies itself.
+  EXPECT_TRUE(*ImpliesTgd(sigma, sigma.tgds[0], schema_, &symbols_));
+  // A weaker head is implied.
+  auto weaker =
+      ParseTgd("E(x,y) -> exists u: H(x,u).", schema_, &symbols_);
+  ASSERT_TRUE(weaker.ok());
+  EXPECT_TRUE(*ImpliesTgd(sigma, *weaker, schema_, &symbols_));
+}
+
+TEST_F(ImplicationTest, RequiresWeaklyAcyclicSigma) {
+  DependencySet sigma = Deps("H(x,y) -> exists z: H(y,z).");
+  auto candidate = ParseTgd("E(x,y) -> H(x,y).", schema_, &symbols_);
+  ASSERT_TRUE(candidate.ok());
+  auto result = ImpliesTgd(sigma, *candidate, schema_, &symbols_);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ImplicationTest, VacuousImplicationWhenBodyUnsatisfiable) {
+  // Σ forces H's columns equal to a constant pair that clashes with the
+  // candidate's constants: chase failure ⇒ vacuously implied.
+  DependencySet sigma =
+      Deps("H(x,y) -> F(x,'c0'). F(x,y) & F(x,z) -> y = z.");
+  auto candidate = ParseTgd("H(x,y) & F(x,'c1') -> E(x,x).", schema_,
+                            &symbols_);
+  ASSERT_TRUE(candidate.ok());
+  EXPECT_TRUE(*ImpliesTgd(sigma, *candidate, schema_, &symbols_));
+}
+
+}  // namespace
+}  // namespace pdx

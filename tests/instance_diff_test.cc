@@ -1,0 +1,73 @@
+#include "relational/instance_diff.h"
+
+#include "gtest/gtest.h"
+
+namespace pdx {
+namespace {
+
+class InstanceDiffTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(schema_.AddRelation("E", 2).ok());
+    ASSERT_TRUE(schema_.AddRelation("U", 1).ok());
+    a_ = symbols_.InternConstant("a");
+    b_ = symbols_.InternConstant("b");
+    c_ = symbols_.InternConstant("c");
+  }
+
+  Schema schema_;
+  SymbolTable symbols_;
+  Value a_, b_, c_;
+};
+
+TEST_F(InstanceDiffTest, EmptyDiffForEqualInstances) {
+  Instance x(&schema_);
+  x.AddFact(0, {a_, b_});
+  Instance y = x;
+  InstanceDiff diff = DiffInstances(x, y);
+  EXPECT_TRUE(diff.empty());
+  EXPECT_EQ(DiffToString(diff, schema_, symbols_), "");
+}
+
+TEST_F(InstanceDiffTest, ReportsAddedAndRemoved) {
+  Instance before(&schema_);
+  before.AddFact(0, {a_, b_});
+  before.AddFact(1, {c_});
+  Instance after(&schema_);
+  after.AddFact(0, {a_, b_});
+  after.AddFact(0, {b_, c_});
+  InstanceDiff diff = DiffInstances(before, after);
+  ASSERT_EQ(diff.added.size(), 1u);
+  ASSERT_EQ(diff.removed.size(), 1u);
+  EXPECT_EQ(diff.added[0].relation, 0);
+  EXPECT_EQ(diff.removed[0].relation, 1);
+  EXPECT_EQ(DiffToString(diff, schema_, symbols_),
+            "- U(c).\n+ E(b,c).");
+}
+
+TEST_F(InstanceDiffTest, NullsCompareByIdentity) {
+  Value n1 = symbols_.FreshNull();
+  Value n2 = symbols_.FreshNull();
+  Instance before(&schema_);
+  before.AddFact(0, {a_, n1});
+  Instance after(&schema_);
+  after.AddFact(0, {a_, n2});
+  InstanceDiff diff = DiffInstances(before, after);
+  EXPECT_EQ(diff.added.size(), 1u);
+  EXPECT_EQ(diff.removed.size(), 1u);
+}
+
+TEST_F(InstanceDiffTest, DiffIsSorted) {
+  Instance before(&schema_);
+  Instance after(&schema_);
+  after.AddFact(0, {c_, a_});
+  after.AddFact(0, {a_, c_});
+  after.AddFact(1, {b_});
+  InstanceDiff diff = DiffInstances(before, after);
+  ASSERT_EQ(diff.added.size(), 3u);
+  EXPECT_TRUE(diff.added[0] < diff.added[1]);
+  EXPECT_TRUE(diff.added[1] < diff.added[2]);
+}
+
+}  // namespace
+}  // namespace pdx

@@ -1,0 +1,162 @@
+#include "hom/instance_hom.h"
+
+#include <algorithm>
+
+#include "gtest/gtest.h"
+
+namespace pdx {
+namespace {
+
+class InstanceHomTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(schema_.AddRelation("E", 2).ok());
+    a_ = symbols_.InternConstant("a");
+    b_ = symbols_.InternConstant("b");
+    c_ = symbols_.InternConstant("c");
+  }
+
+  Schema schema_;
+  SymbolTable symbols_;
+  Value a_, b_, c_;
+};
+
+TEST_F(InstanceHomTest, BlocksGroupConnectedNulls) {
+  Instance instance(&schema_);
+  Value n1 = symbols_.FreshNull();
+  Value n2 = symbols_.FreshNull();
+  Value n3 = symbols_.FreshNull();
+  instance.AddFact(0, {n1, n2});  // n1 - n2 connected
+  instance.AddFact(0, {n2, a_});  // joins the same component
+  instance.AddFact(0, {n3, n3});  // its own component
+  instance.AddFact(0, {a_, b_});  // null-free block
+  instance.AddFact(0, {b_, c_});  // null-free block
+
+  std::vector<Block> blocks = DecomposeIntoBlocks(instance);
+  ASSERT_EQ(blocks.size(), 3u);
+  // Identify blocks by null count.
+  std::vector<size_t> fact_counts;
+  std::vector<size_t> null_counts;
+  for (const Block& block : blocks) {
+    fact_counts.push_back(block.facts.size());
+    null_counts.push_back(block.nulls.size());
+  }
+  std::sort(null_counts.begin(), null_counts.end());
+  EXPECT_EQ(null_counts, (std::vector<size_t>{0, 1, 2}));
+  size_t total_facts = 0;
+  for (size_t n : fact_counts) total_facts += n;
+  EXPECT_EQ(total_facts, instance.fact_count());
+}
+
+TEST_F(InstanceHomTest, EmptyInstanceHasNoBlocks) {
+  Instance instance(&schema_);
+  EXPECT_TRUE(DecomposeIntoBlocks(instance).empty());
+}
+
+TEST_F(InstanceHomTest, NullFreeInstanceIsOneBlock) {
+  Instance instance(&schema_);
+  instance.AddFact(0, {a_, b_});
+  instance.AddFact(0, {b_, c_});
+  std::vector<Block> blocks = DecomposeIntoBlocks(instance);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_TRUE(blocks[0].nulls.empty());
+  EXPECT_EQ(blocks[0].facts.size(), 2u);
+}
+
+TEST_F(InstanceHomTest, HomomorphismMapsNullsToValues) {
+  // Source: E(n1, n2), E(n2, n1) — a 2-cycle pattern.
+  Instance source(&schema_);
+  Value n1 = symbols_.FreshNull();
+  Value n2 = symbols_.FreshNull();
+  source.AddFact(0, {n1, n2});
+  source.AddFact(0, {n2, n1});
+  // Target: a real 2-cycle a <-> b.
+  Instance target(&schema_);
+  target.AddFact(0, {a_, b_});
+  target.AddFact(0, {b_, a_});
+  auto h = FindInstanceHomomorphism(source, target);
+  ASSERT_TRUE(h.has_value());
+  Instance image = ApplyAssignment(source, *h);
+  EXPECT_TRUE(image.IsSubsetOf(target));
+  EXPECT_FALSE(image.HasNulls());
+}
+
+TEST_F(InstanceHomTest, NoHomomorphismWhenPatternCannotEmbed) {
+  // Source requires a self-loop-like identification... a 2-cycle cannot
+  // map into a directed path.
+  Instance source(&schema_);
+  Value n1 = symbols_.FreshNull();
+  Value n2 = symbols_.FreshNull();
+  source.AddFact(0, {n1, n2});
+  source.AddFact(0, {n2, n1});
+  Instance target(&schema_);
+  target.AddFact(0, {a_, b_});
+  target.AddFact(0, {b_, c_});
+  EXPECT_FALSE(FindInstanceHomomorphism(source, target).has_value());
+}
+
+TEST_F(InstanceHomTest, ConstantsMustMapToThemselves) {
+  Instance source(&schema_);
+  Value n = symbols_.FreshNull();
+  source.AddFact(0, {a_, n});
+  Instance target(&schema_);
+  target.AddFact(0, {b_, c_});  // no fact with a in first position
+  EXPECT_FALSE(FindInstanceHomomorphism(source, target).has_value());
+  target.AddFact(0, {a_, c_});
+  auto h = FindInstanceHomomorphism(source, target);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->at(n.packed()), c_);
+}
+
+TEST_F(InstanceHomTest, NullFreeFactsRequireExactPresence) {
+  Instance source(&schema_);
+  source.AddFact(0, {a_, b_});
+  Instance target(&schema_);
+  target.AddFact(0, {b_, a_});
+  EXPECT_FALSE(FindInstanceHomomorphism(source, target).has_value());
+  target.AddFact(0, {a_, b_});
+  EXPECT_TRUE(FindInstanceHomomorphism(source, target).has_value());
+}
+
+TEST_F(InstanceHomTest, BlocksFactorizeTheSearch) {
+  // Two independent blocks, each mappable: combined assignment covers both.
+  Instance source(&schema_);
+  Value n1 = symbols_.FreshNull();
+  Value n2 = symbols_.FreshNull();
+  source.AddFact(0, {a_, n1});
+  source.AddFact(0, {b_, n2});
+  Instance target(&schema_);
+  target.AddFact(0, {a_, c_});
+  target.AddFact(0, {b_, c_});
+  auto h = FindInstanceHomomorphism(source, target);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->size(), 2u);
+  EXPECT_EQ(h->at(n1.packed()), c_);
+  EXPECT_EQ(h->at(n2.packed()), c_);
+}
+
+TEST_F(InstanceHomTest, ApplyAssignmentKeepsUnassignedNulls) {
+  Instance source(&schema_);
+  Value n1 = symbols_.FreshNull();
+  Value n2 = symbols_.FreshNull();
+  source.AddFact(0, {n1, n2});
+  NullAssignment partial;
+  partial[n1.packed()] = a_;
+  Instance image = ApplyAssignment(source, partial);
+  EXPECT_TRUE(image.Contains(0, {a_, n2}));
+}
+
+TEST_F(InstanceHomTest, HomomorphismMayMapNullsToNulls) {
+  Instance source(&schema_);
+  Value n1 = symbols_.FreshNull();
+  source.AddFact(0, {a_, n1});
+  Instance target(&schema_);
+  Value n2 = symbols_.FreshNull();
+  target.AddFact(0, {a_, n2});
+  auto h = FindInstanceHomomorphism(source, target);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->at(n1.packed()), n2);
+}
+
+}  // namespace
+}  // namespace pdx

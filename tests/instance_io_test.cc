@@ -1,0 +1,85 @@
+#include "relational/instance_io.h"
+
+#include "gtest/gtest.h"
+
+namespace pdx {
+namespace {
+
+class InstanceIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(schema_.AddRelation("E", 2).ok());
+    ASSERT_TRUE(schema_.AddRelation("U", 1).ok());
+  }
+
+  Schema schema_;
+  SymbolTable symbols_;
+};
+
+TEST_F(InstanceIoTest, ParsesFactsWithPeriods) {
+  auto instance = ParseInstance("E(a,b). E(b,c). U(a).", schema_, &symbols_);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_EQ(instance->fact_count(), 3u);
+  EXPECT_EQ(instance->ToString(symbols_), "E(a,b).\nE(b,c).\nU(a).");
+}
+
+TEST_F(InstanceIoTest, PeriodsAreOptional) {
+  auto instance = ParseInstance("E(a,b) E(b,c)", schema_, &symbols_);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_EQ(instance->fact_count(), 2u);
+}
+
+TEST_F(InstanceIoTest, CommentsAndWhitespace) {
+  auto instance = ParseInstance(
+      "# a comment\n  E(a,b).   # trailing\n\nU(c).", schema_, &symbols_);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_EQ(instance->fact_count(), 2u);
+}
+
+TEST_F(InstanceIoTest, NullLabelsShareWithinOneParse) {
+  auto instance = ParseInstance("E(a,_x). E(_x,b). E(_y,c).", schema_,
+                                &symbols_);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_EQ(instance->Nulls().size(), 2u);
+}
+
+TEST_F(InstanceIoTest, NullLabelsFreshAcrossParses) {
+  auto first = ParseInstance("E(a,_x).", schema_, &symbols_);
+  auto second = ParseInstance("E(b,_x).", schema_, &symbols_);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(first->Nulls()[0], second->Nulls()[0]);
+}
+
+TEST_F(InstanceIoTest, QuotedAndNumericConstants) {
+  auto instance = ParseInstance("E('hello world', 42).", schema_, &symbols_);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_EQ(instance->ToString(symbols_), "E(hello world,42).");
+}
+
+TEST_F(InstanceIoTest, RejectsUnknownRelation) {
+  auto instance = ParseInstance("Z(a).", schema_, &symbols_);
+  EXPECT_FALSE(instance.ok());
+  EXPECT_EQ(instance.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(InstanceIoTest, RejectsArityMismatch) {
+  auto instance = ParseInstance("E(a).", schema_, &symbols_);
+  EXPECT_FALSE(instance.ok());
+  EXPECT_EQ(instance.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(InstanceIoTest, RejectsMalformedText) {
+  EXPECT_FALSE(ParseInstance("E a,b).", schema_, &symbols_).ok());
+  EXPECT_FALSE(ParseInstance("E(a,b", schema_, &symbols_).ok());
+  EXPECT_FALSE(ParseInstance("E(a b)", schema_, &symbols_).ok());
+}
+
+TEST_F(InstanceIoTest, EmptyTextYieldsEmptyInstance) {
+  auto instance = ParseInstance("  # nothing\n", schema_, &symbols_);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_TRUE(instance->empty());
+}
+
+}  // namespace
+}  // namespace pdx

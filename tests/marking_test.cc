@@ -1,0 +1,165 @@
+#include "logic/marking.h"
+
+#include "gtest/gtest.h"
+#include "logic/parser.h"
+#include "pde/setting.h"
+#include "workload/reductions.h"
+
+namespace pdx {
+namespace {
+
+// The Section 4 warm-up example:
+//   Σ_st: S(x1,x2) -> exists y: T(x1,y)
+//   Σ_ts: T(x1,x2) -> exists w: S(w,x2)
+// Marked position: T.1. Marked variables of the ts-tgd: x2 and w.
+TEST(MarkingTest, PaperWarmupExample) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddRelation("S", 2).ok());
+  ASSERT_TRUE(schema.AddRelation("T", 2).ok());
+  SymbolTable symbols;
+  auto st = ParseTgd("S(x1,x2) -> exists y: T(x1,y).", schema, &symbols);
+  auto ts = ParseTgd("T(x1,x2) -> exists w: S(w,x2).", schema, &symbols);
+  ASSERT_TRUE(st.ok());
+  ASSERT_TRUE(ts.ok());
+
+  auto marked_positions = ComputeMarkedPositions({*st}, schema);
+  RelationId t = schema.FindRelation("T").value();
+  RelationId s = schema.FindRelation("S").value();
+  EXPECT_FALSE(marked_positions[t][0]);
+  EXPECT_TRUE(marked_positions[t][1]);
+  EXPECT_FALSE(marked_positions[s][0]);
+  EXPECT_FALSE(marked_positions[s][1]);
+
+  std::vector<bool> marked = ComputeMarkedVariables(*ts, marked_positions);
+  int marked_count = 0;
+  for (VariableId v = 0; v < ts->var_count; ++v) {
+    if (!marked[v]) continue;
+    ++marked_count;
+    EXPECT_TRUE(ts->var_names[v] == "x2" || ts->var_names[v] == "w")
+        << "unexpected marked variable " << ts->var_names[v];
+  }
+  EXPECT_EQ(marked_count, 2);
+}
+
+// The CLIQUE setting (Theorem 3): marked positions are P.1 and P.3; the
+// setting satisfies condition 1 but violates both 2.1 and 2.2.
+TEST(MarkingTest, CliqueSettingClassification) {
+  SymbolTable symbols;
+  auto setting = MakeCliqueSetting(&symbols);
+  ASSERT_TRUE(setting.ok());
+  auto marked_positions =
+      ComputeMarkedPositions(setting->st_tgds(), setting->schema());
+  RelationId p = setting->schema().FindRelation("P").value();
+  EXPECT_FALSE(marked_positions[p][0]);
+  EXPECT_TRUE(marked_positions[p][1]);
+  EXPECT_FALSE(marked_positions[p][2]);
+  EXPECT_TRUE(marked_positions[p][3]);
+
+  const CtractReport& report = setting->ctract_report();
+  EXPECT_TRUE(report.condition1);
+  EXPECT_FALSE(report.condition2_1);
+  EXPECT_FALSE(report.condition2_2);
+  EXPECT_FALSE(report.in_ctract());
+  EXPECT_TRUE(report.theorem5_applicable());
+  EXPECT_FALSE(setting->InCtract());
+}
+
+// LAV target-to-source dependencies: conditions 1 and 2.1 (Corollary 2).
+TEST(MarkingTest, LavTsSettingIsInCtract) {
+  SymbolTable symbols;
+  auto setting = PdeSetting::Create(
+      {{"E", 2}}, {{"H", 2}},
+      "E(x,y) -> exists z: H(x,z).",
+      "H(x,y) -> exists z: E(x,z) & E(z,y).", "", &symbols);
+  ASSERT_TRUE(setting.ok());
+  const CtractReport& report = setting->ctract_report();
+  EXPECT_TRUE(report.condition1);
+  EXPECT_TRUE(report.condition2_1);
+  EXPECT_TRUE(report.in_ctract());
+  EXPECT_TRUE(setting->InCtract());
+}
+
+// Full source-to-target tgds: condition 2.2 holds whatever Σ_ts is
+// (Corollary 1).
+TEST(MarkingTest, FullStSettingIsInCtract) {
+  SymbolTable symbols;
+  auto setting = PdeSetting::Create(
+      {{"E", 2}, {"S", 2}}, {{"H", 2}},
+      "E(x,z) & E(z,y) -> H(x,y).",
+      // Multi-literal LHS with joins, existentials in the head:
+      "H(x,y) & H(y,z) -> exists u,v: E(x,u) & S(u,v).", "", &symbols);
+  ASSERT_TRUE(setting.ok());
+  const CtractReport& report = setting->ctract_report();
+  EXPECT_TRUE(report.condition1);
+  EXPECT_FALSE(report.condition2_1);  // two LHS literals
+  EXPECT_TRUE(report.condition2_2);
+  EXPECT_TRUE(setting->InCtract());
+}
+
+// A marked variable repeated in the LHS violates condition 1 (the
+// situation in the Lemma 5 counterexample discussion).
+TEST(MarkingTest, RepeatedMarkedVariableViolatesCondition1) {
+  SymbolTable symbols;
+  auto setting = PdeSetting::Create(
+      {{"E", 2}}, {{"T1", 2}, {"T2", 2}},
+      "E(x,y) -> exists z: T1(x,z) & T2(z,y).",
+      // z is marked (T1.1 and T2.0 are marked) and occurs twice.
+      "T1(x,z) & T2(z,y) -> E(x,y).", "", &symbols);
+  ASSERT_TRUE(setting.ok());
+  const CtractReport& report = setting->ctract_report();
+  EXPECT_FALSE(report.condition1);
+  EXPECT_FALSE(report.in_ctract());
+  EXPECT_FALSE(report.theorem5_applicable());
+  ASSERT_FALSE(report.violations.empty());
+}
+
+// The 3-COL setting satisfies conditions 1 and 2.2 (its marked variables
+// only ever appear alone in unary RHS atoms).
+TEST(MarkingTest, ThreeColSettingSatisfiesConditions1And22) {
+  SymbolTable symbols;
+  auto setting = MakeThreeColSetting(&symbols);
+  ASSERT_TRUE(setting.ok());
+  const CtractReport& report = setting->ctract_report();
+  EXPECT_TRUE(report.condition1);
+  EXPECT_TRUE(report.condition2_2);
+  // Not in C_tract overall: the setting carries disjunctive ts-tgds.
+  EXPECT_FALSE(setting->InCtract());
+}
+
+// Egd/target-tgd boundary settings: Σ_st and Σ_ts satisfy conditions 1 and
+// 2.1, so only Σ_t pushes them outside the tractable class.
+TEST(MarkingTest, BoundarySettingsSatisfyConditions1And21) {
+  SymbolTable symbols;
+  auto egd_setting = MakeEgdBoundarySetting(&symbols);
+  ASSERT_TRUE(egd_setting.ok());
+  EXPECT_TRUE(egd_setting->ctract_report().condition1);
+  EXPECT_TRUE(egd_setting->ctract_report().condition2_1);
+  EXPECT_TRUE(egd_setting->HasTargetConstraints());
+  EXPECT_FALSE(egd_setting->InCtract());
+
+  SymbolTable symbols2;
+  auto tgd_setting = MakeTargetTgdBoundarySetting(&symbols2);
+  ASSERT_TRUE(tgd_setting.ok());
+  EXPECT_TRUE(tgd_setting->ctract_report().condition1);
+  EXPECT_TRUE(tgd_setting->ctract_report().condition2_1);
+  EXPECT_TRUE(tgd_setting->HasTargetConstraints());
+  EXPECT_FALSE(tgd_setting->InCtract());
+}
+
+// Marked variables co-occurring in an RHS conjunct *and* in an LHS conjunct
+// satisfy condition 2.2(a).
+TEST(MarkingTest, CoOccurrenceInLhsSatisfiesCondition22) {
+  SymbolTable symbols;
+  auto setting = PdeSetting::Create(
+      {{"E", 2}}, {{"H", 2}},
+      "E(x,y) -> exists z,w: H(z,w).",
+      // z and w are both marked, co-occur in the RHS atom E(z,w) and in the
+      // LHS atom H(z,w).
+      "H(z,w) -> E(z,w).", "", &symbols);
+  ASSERT_TRUE(setting.ok());
+  EXPECT_TRUE(setting->ctract_report().condition2_2);
+  EXPECT_TRUE(setting->InCtract());
+}
+
+}  // namespace
+}  // namespace pdx

@@ -1,0 +1,101 @@
+#include "pde/minimize.h"
+
+#include "gtest/gtest.h"
+#include "pde/generic_solver.h"
+#include "pde/solution.h"
+#include "tests/test_util.h"
+#include "workload/setting_gen.h"
+
+namespace pdx {
+namespace {
+
+using testing_util::MakeExample1Setting;
+using testing_util::ParseOrDie;
+using testing_util::Unwrap;
+
+TEST(MinimizeTest, StripsRedundantFacts) {
+  SymbolTable symbols;
+  PdeSetting setting = MakeExample1Setting(&symbols);
+  Instance source = ParseOrDie(setting, "E(a,b). E(b,c). E(a,c).", &symbols);
+  Instance empty = setting.EmptyInstance();
+  // A valid but fat solution: all three edge-backed H facts.
+  Instance fat = ParseOrDie(setting, "H(a,b). H(b,c). H(a,c).", &symbols);
+  ASSERT_TRUE(IsSolution(setting, source, empty, fat, symbols));
+  ASSERT_FALSE(IsMinimalSolution(setting, source, empty, fat, symbols));
+
+  Instance minimal = Unwrap(
+      MinimizeSolution(setting, source, empty, fat, symbols));
+  EXPECT_EQ(minimal.ToString(symbols), "H(a,c).");
+  EXPECT_TRUE(IsMinimalSolution(setting, source, empty, minimal, symbols));
+}
+
+TEST(MinimizeTest, KeepsJFacts) {
+  SymbolTable symbols;
+  PdeSetting setting = MakeExample1Setting(&symbols);
+  Instance source = ParseOrDie(setting, "E(a,b). E(b,c). E(a,c).", &symbols);
+  Instance target = ParseOrDie(setting, "H(a,b).", &symbols);
+  Instance fat = ParseOrDie(setting, "H(a,b). H(b,c). H(a,c).", &symbols);
+  Instance minimal = Unwrap(
+      MinimizeSolution(setting, source, target, fat, symbols));
+  // H(a,b) must survive (it is in J); H(b,c) is droppable.
+  EXPECT_TRUE(target.IsSubsetOf(minimal));
+  EXPECT_EQ(minimal.fact_count(), 2u);
+}
+
+TEST(MinimizeTest, RejectsNonSolutions) {
+  SymbolTable symbols;
+  PdeSetting setting = MakeExample1Setting(&symbols);
+  Instance source = ParseOrDie(setting, "E(a,b). E(b,c).", &symbols);
+  Instance empty = setting.EmptyInstance();
+  auto result = MinimizeSolution(setting, source, empty, empty, symbols);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(MinimizeTest, AlreadyMinimalIsFixpoint) {
+  SymbolTable symbols;
+  PdeSetting setting = MakeExample1Setting(&symbols);
+  Instance source = ParseOrDie(setting, "E(a,a).", &symbols);
+  Instance empty = setting.EmptyInstance();
+  Instance solution = ParseOrDie(setting, "H(a,a).", &symbols);
+  Instance minimized = Unwrap(
+      MinimizeSolution(setting, source, empty, solution, symbols));
+  EXPECT_TRUE(minimized.FactsEqual(solution));
+}
+
+// Property sweep: minimizing the generic solver's witness on random
+// C_tract settings always yields a verified, minimal solution.
+class MinimizePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MinimizePropertyTest, MinimizedWitnessesAreMinimalSolutions) {
+  Rng rng(GetParam());
+  SymbolTable symbols;
+  SettingGenOptions opts;
+  opts.max_arity = 2;
+  opts.st_tgd_count = 2;
+  opts.ts_tgd_count = 2;
+  GeneratedSetting generated =
+      Unwrap(MakeRandomLavSetting(opts, &rng, &symbols));
+  const PdeSetting& setting = generated.setting;
+  Instance source = MakeRandomSourceInstance(setting, 6, 4, &rng, &symbols);
+  Instance target = setting.EmptyInstance();
+  GenericSolverOptions solver_options;
+  solver_options.max_nodes = 100'000;
+  auto solve = GenericExistsSolution(setting, source, target, &symbols,
+                                     solver_options);
+  ASSERT_TRUE(solve.ok());
+  if (solve->outcome != SolveOutcome::kSolutionFound) {
+    GTEST_SKIP() << "no solution on this seed";
+  }
+  Instance minimal = Unwrap(MinimizeSolution(setting, source, target,
+                                             *solve->solution, symbols));
+  EXPECT_TRUE(IsSolution(setting, source, target, minimal, symbols));
+  EXPECT_TRUE(IsMinimalSolution(setting, source, target, minimal, symbols));
+  EXPECT_LE(minimal.fact_count(), solve->solution->fact_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinimizePropertyTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{16}));
+
+}  // namespace
+}  // namespace pdx

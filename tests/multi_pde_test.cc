@@ -1,0 +1,86 @@
+#include "pde/multi_pde.h"
+
+#include "gtest/gtest.h"
+#include "pde/generic_solver.h"
+#include "pde/solution.h"
+#include "tests/test_util.h"
+
+namespace pdx {
+namespace {
+
+using testing_util::ParseOrDie;
+using testing_util::Unwrap;
+
+// Two source peers feeding one target: a merged setting must treat the
+// union of the source instances as one source (Section 2).
+TEST(MultiPdeTest, MergesTwoPeers) {
+  SymbolTable symbols;
+  std::vector<PeerSpec> peers = {
+      {{{"A", 2}}, "A(x,y) -> H(x,y).", "", ""},
+      {{{"B", 2}}, "B(x,y) -> H(y,x).", "H(x,y) -> B(y,x).", ""},
+  };
+  PdeSetting merged =
+      Unwrap(MergeMultiPde(peers, {{"H", 2}}, &symbols), "merge");
+  EXPECT_EQ(merged.source_relation_count(), 2);
+  EXPECT_EQ(merged.target_relation_count(), 1);
+  EXPECT_EQ(merged.st_tgds().size(), 2u);
+  EXPECT_EQ(merged.ts_tgds().size(), 1u);
+}
+
+TEST(MultiPdeTest, SolutionsRespectEveryPeer) {
+  SymbolTable symbols;
+  std::vector<PeerSpec> peers = {
+      {{{"A", 2}}, "A(x,y) -> H(x,y).", "H(x,y) -> A(x,y).", ""},
+      {{{"B", 2}}, "B(x,y) -> H(x,y).", "", ""},
+  };
+  PdeSetting merged = Unwrap(MergeMultiPde(peers, {{"H", 2}}, &symbols));
+
+  // Peer A contributes A(a,b); peer B contributes B(c,d). Σ_ts of peer A
+  // requires every H fact to be an A fact, so B's required H(c,d) is not
+  // allowed: no solution.
+  Instance source = ParseOrDie(merged, "A(a,b). B(c,d).", &symbols);
+  GenericSolveResult result = Unwrap(GenericExistsSolution(
+      merged, source, merged.EmptyInstance(), &symbols));
+  EXPECT_EQ(result.outcome, SolveOutcome::kNoSolution);
+
+  // If A also vouches for (c,d), everything is consistent.
+  Instance source2 = ParseOrDie(merged, "A(a,b). A(c,d). B(c,d).", &symbols);
+  GenericSolveResult result2 = Unwrap(GenericExistsSolution(
+      merged, source2, merged.EmptyInstance(), &symbols));
+  ASSERT_EQ(result2.outcome, SolveOutcome::kSolutionFound);
+  EXPECT_TRUE(IsSolution(merged, source2, merged.EmptyInstance(),
+                         *result2.solution, symbols));
+}
+
+TEST(MultiPdeTest, RejectsOverlappingSourceSchemas) {
+  SymbolTable symbols;
+  std::vector<PeerSpec> peers = {
+      {{{"A", 2}}, "", "", ""},
+      {{{"A", 2}}, "", "", ""},
+  };
+  EXPECT_FALSE(MergeMultiPde(peers, {{"H", 2}}, &symbols).ok());
+}
+
+TEST(MultiPdeTest, RejectsEmptyPeerList) {
+  SymbolTable symbols;
+  EXPECT_FALSE(MergeMultiPde({}, {{"H", 2}}, &symbols).ok());
+}
+
+TEST(MultiPdeTest, PerPeerTargetConstraintsAreUnioned) {
+  SymbolTable symbols;
+  std::vector<PeerSpec> peers = {
+      {{{"A", 2}}, "A(x,y) -> H(x,y).", "", "H(x,y) & H(x,z) -> y = z."},
+      {{{"B", 2}}, "B(x,y) -> H(x,y).", "", ""},
+  };
+  PdeSetting merged = Unwrap(MergeMultiPde(peers, {{"H", 2}}, &symbols));
+  EXPECT_EQ(merged.target_egds().size(), 1u);
+  // The egd (from peer A's Σ_t) rejects sources where A and B disagree on
+  // x's successor.
+  Instance source = ParseOrDie(merged, "A(a,b). B(a,c).", &symbols);
+  GenericSolveResult result = Unwrap(GenericExistsSolution(
+      merged, source, merged.EmptyInstance(), &symbols));
+  EXPECT_EQ(result.outcome, SolveOutcome::kNoSolution);
+}
+
+}  // namespace
+}  // namespace pdx

@@ -1,0 +1,107 @@
+#include "logic/normalize.h"
+
+#include "gtest/gtest.h"
+#include "chase/chase.h"
+#include "logic/parser.h"
+
+namespace pdx {
+namespace {
+
+class NormalizeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(schema_.AddRelation("E", 2).ok());
+    ASSERT_TRUE(schema_.AddRelation("H", 2).ok());
+    ASSERT_TRUE(schema_.AddRelation("F", 2).ok());
+  }
+
+  std::vector<Tgd> Parse(const char* text) {
+    auto deps = ParseDependencies(text, schema_, &symbols_);
+    EXPECT_TRUE(deps.ok()) << deps.status().ToString();
+    return std::move(deps).value().tgds;
+  }
+
+  Schema schema_;
+  SymbolTable symbols_;
+};
+
+TEST_F(NormalizeTest, SplitsFullHeads) {
+  std::vector<Tgd> split =
+      SplitFullTgdHeads(Parse("E(x,y) -> H(x,y) & F(y,x)."));
+  ASSERT_EQ(split.size(), 2u);
+  EXPECT_TRUE(split[0].IsGav());
+  EXPECT_TRUE(split[1].IsGav());
+  EXPECT_EQ(split[0].body, split[1].body);
+}
+
+TEST_F(NormalizeTest, DoesNotSplitExistentialHeads) {
+  // ∃z couples the two head atoms: splitting would weaken the dependency.
+  std::vector<Tgd> kept =
+      SplitFullTgdHeads(Parse("E(x,y) -> exists z: H(x,z) & F(z,y)."));
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].head.size(), 2u);
+}
+
+TEST_F(NormalizeTest, SplitPreservesChaseResult) {
+  std::vector<Tgd> original =
+      Parse("E(x,y) -> H(x,y) & F(y,x). E(x,y) & E(y,z) -> H(x,z).");
+  std::vector<Tgd> split = SplitFullTgdHeads(original);
+  EXPECT_EQ(split.size(), 3u);
+  Instance start(&schema_);
+  Value a = symbols_.InternConstant("a");
+  Value b = symbols_.InternConstant("b");
+  start.AddFact(0, {a, b});
+  start.AddFact(0, {b, a});
+  ChaseResult with_original = Chase(start, original, &symbols_);
+  ChaseResult with_split = Chase(start, split, &symbols_);
+  ASSERT_EQ(with_original.outcome, ChaseOutcome::kSuccess);
+  ASSERT_EQ(with_split.outcome, ChaseOutcome::kSuccess);
+  EXPECT_TRUE(with_original.instance.FactsEqual(with_split.instance));
+}
+
+TEST_F(NormalizeTest, DeduplicatesUpToRenaming) {
+  std::vector<Tgd> deduped = DeduplicateTgds(
+      Parse("E(x,y) -> H(x,y). E(a,b) -> H(a,b). E(x,y) -> H(y,x)."));
+  // First two are the same tgd with different variable names.
+  EXPECT_EQ(deduped.size(), 2u);
+}
+
+TEST_F(NormalizeTest, DedupDistinguishesExistentiality) {
+  std::vector<Tgd> deduped = DeduplicateTgds(
+      Parse("E(x,y) -> H(x,y). E(x,y) -> exists w: H(x,w)."));
+  EXPECT_EQ(deduped.size(), 2u);
+}
+
+TEST_F(NormalizeTest, PrunesImpliedTgds) {
+  std::vector<Tgd> tgds = Parse(
+      "E(x,y) -> H(x,y). H(x,y) -> F(x,y). E(x,y) -> F(x,y).");
+  auto pruned = PruneImpliedTgds(tgds, schema_, &symbols_);
+  ASSERT_TRUE(pruned.ok());
+  // The third is implied by composing the first two.
+  ASSERT_EQ(pruned->size(), 2u);
+  for (const Tgd& tgd : *pruned) {
+    EXPECT_EQ(tgd.head[0].relation,
+              tgd.body[0].relation == 0 ? 1 : 2);
+  }
+}
+
+TEST_F(NormalizeTest, PruneKeepsIrredundantSets) {
+  std::vector<Tgd> tgds =
+      Parse("E(x,y) -> H(x,y). H(x,y) -> E(x,y).");
+  auto pruned = PruneImpliedTgds(tgds, schema_, &symbols_);
+  ASSERT_TRUE(pruned.ok());
+  EXPECT_EQ(pruned->size(), 2u);
+}
+
+TEST_F(NormalizeTest, PruneRequiresWeakAcyclicity) {
+  // Pruning the second tgd chases with the first, which is not weakly
+  // acyclic on its own: the implication engine must refuse.
+  std::vector<Tgd> tgds =
+      Parse("H(x,y) -> exists z: H(y,z). E(x,y) -> H(x,y).");
+  auto pruned = PruneImpliedTgds(tgds, schema_, &symbols_);
+  EXPECT_FALSE(pruned.ok());
+  EXPECT_EQ(pruned.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace pdx

@@ -1,0 +1,180 @@
+#include "logic/parser.h"
+
+#include "gtest/gtest.h"
+
+namespace pdx {
+namespace {
+
+class ParserTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(schema_.AddRelation("E", 2).ok());
+    ASSERT_TRUE(schema_.AddRelation("H", 2).ok());
+    ASSERT_TRUE(schema_.AddRelation("P", 4).ok());
+    ASSERT_TRUE(schema_.AddRelation("R", 1).ok());
+    ASSERT_TRUE(schema_.AddRelation("G", 1).ok());
+  }
+
+  Schema schema_;
+  SymbolTable symbols_;
+};
+
+TEST_F(ParserTest, ParsesFullTgd) {
+  auto tgd = ParseTgd("E(x,z) & E(z,y) -> H(x,y).", schema_, &symbols_);
+  ASSERT_TRUE(tgd.ok());
+  EXPECT_EQ(tgd->body.size(), 2u);
+  EXPECT_EQ(tgd->head.size(), 1u);
+  EXPECT_EQ(tgd->var_count, 3);
+  EXPECT_TRUE(tgd->IsFull());
+  EXPECT_FALSE(tgd->IsLav());
+  EXPECT_TRUE(tgd->IsGav());
+}
+
+TEST_F(ParserTest, ParsesExplicitExistentials) {
+  auto tgd = ParseTgd("H(x,y) -> exists z: E(x,z) & E(z,y).", schema_,
+                      &symbols_);
+  ASSERT_TRUE(tgd.ok());
+  EXPECT_FALSE(tgd->IsFull());
+  int existential_count = 0;
+  for (bool e : tgd->existential) existential_count += e ? 1 : 0;
+  EXPECT_EQ(existential_count, 1);
+  EXPECT_TRUE(tgd->IsLav());
+}
+
+TEST_F(ParserTest, ImplicitExistentialsFromHeadOnlyVariables) {
+  auto tgd = ParseTgd("E(x,y) -> P(x,z,y,w).", schema_, &symbols_);
+  ASSERT_TRUE(tgd.ok());
+  int existential_count = 0;
+  for (bool e : tgd->existential) existential_count += e ? 1 : 0;
+  EXPECT_EQ(existential_count, 2);  // z and w
+}
+
+TEST_F(ParserTest, CommaIsConjunction) {
+  auto tgd = ParseTgd("E(x,z), E(z,y) -> H(x,y).", schema_, &symbols_);
+  ASSERT_TRUE(tgd.ok());
+  EXPECT_EQ(tgd->body.size(), 2u);
+}
+
+TEST_F(ParserTest, ParsesEgd) {
+  auto egd = ParseEgd("P(x,z,y,w) & P(x,z2,y2,w2) -> z = z2.", schema_,
+                      &symbols_);
+  ASSERT_TRUE(egd.ok());
+  EXPECT_EQ(egd->body.size(), 2u);
+  EXPECT_NE(egd->left_var, egd->right_var);
+}
+
+TEST_F(ParserTest, RejectsEgdWithUnboundVariable) {
+  EXPECT_FALSE(ParseEgd("E(x,y) -> x = q.", schema_, &symbols_).ok());
+}
+
+TEST_F(ParserTest, ParsesDisjunctiveTgd) {
+  auto deps = ParseDependencies(
+      "H(x,u) -> (R(u)) | (G(u)).", schema_, &symbols_);
+  ASSERT_TRUE(deps.ok());
+  EXPECT_EQ(deps->disjunctive_tgds.size(), 1u);
+  EXPECT_EQ(deps->disjunctive_tgds[0].head_disjuncts.size(), 2u);
+}
+
+TEST_F(ParserTest, ParsesConstantsInDependencies) {
+  auto tgd = ParseTgd("E(x,'root') -> H(x, 42).", schema_, &symbols_);
+  ASSERT_TRUE(tgd.ok());
+  EXPECT_TRUE(tgd->body[0].terms[1].is_constant());
+  EXPECT_TRUE(tgd->head[0].terms[1].is_constant());
+  bool found = false;
+  symbols_.LookupConstant("root", &found);
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ParserTest, ParsesMultipleStatements) {
+  auto deps = ParseDependencies(
+      "E(x,y) -> H(x,y).\n"
+      "H(x,y) -> exists z: E(x,z).\n"
+      "H(x,y) & H(x,z) -> y = z.",
+      schema_, &symbols_);
+  ASSERT_TRUE(deps.ok());
+  EXPECT_EQ(deps->tgds.size(), 2u);
+  EXPECT_EQ(deps->egds.size(), 1u);
+}
+
+TEST_F(ParserTest, CommentsAreIgnored) {
+  auto deps = ParseDependencies(
+      "# mapping from source to target\nE(x,y) -> H(x,y). # inline",
+      schema_, &symbols_);
+  ASSERT_TRUE(deps.ok());
+  EXPECT_EQ(deps->tgds.size(), 1u);
+}
+
+TEST_F(ParserTest, EmptyProgramIsEmptySet) {
+  auto deps = ParseDependencies("  \n# nothing\n", schema_, &symbols_);
+  ASSERT_TRUE(deps.ok());
+  EXPECT_TRUE(deps->empty());
+}
+
+TEST_F(ParserTest, RejectsUnknownRelation) {
+  EXPECT_FALSE(ParseTgd("Z(x) -> H(x,x).", schema_, &symbols_).ok());
+}
+
+TEST_F(ParserTest, RejectsArityMismatch) {
+  EXPECT_FALSE(ParseTgd("E(x) -> H(x,x).", schema_, &symbols_).ok());
+}
+
+TEST_F(ParserTest, RejectsExistentialInBody) {
+  EXPECT_FALSE(
+      ParseTgd("E(x,z) -> exists z: H(x,z).", schema_, &symbols_).ok());
+}
+
+TEST_F(ParserTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseTgd("E(x,y) H(x,y).", schema_, &symbols_).ok());
+  EXPECT_FALSE(ParseTgd("-> H(x,y).", schema_, &symbols_).ok());
+  EXPECT_FALSE(ParseTgd("E(x,y) ->", schema_, &symbols_).ok());
+}
+
+TEST_F(ParserTest, ParsesQuery) {
+  auto query = ParseQuery("q(x,y) :- H(x,z) & H(z,y).", schema_, &symbols_);
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->head_arity(), 2);
+  EXPECT_EQ(query->body.size(), 2u);
+  EXPECT_FALSE(query->IsBoolean());
+}
+
+TEST_F(ParserTest, ParsesBooleanQuery) {
+  auto query = ParseQuery("q() :- H(x,x).", schema_, &symbols_);
+  ASSERT_TRUE(query.ok());
+  EXPECT_TRUE(query->IsBoolean());
+}
+
+TEST_F(ParserTest, ParsesHeadlessBooleanQuery) {
+  auto query = ParseQuery("q :- H(x,y).", schema_, &symbols_);
+  ASSERT_TRUE(query.ok());
+  EXPECT_TRUE(query->IsBoolean());
+}
+
+TEST_F(ParserTest, RejectsHeadVariableNotInBody) {
+  EXPECT_FALSE(ParseQuery("q(w) :- H(x,y).", schema_, &symbols_).ok());
+}
+
+TEST_F(ParserTest, ParsesUnionQuery) {
+  auto query = ParseUnionQuery(
+      "q(x) :- H(x,x).\nq(x) :- E(x,x).", schema_, &symbols_);
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->disjuncts.size(), 2u);
+}
+
+TEST_F(ParserTest, RejectsUnionQueryWithMixedArity) {
+  EXPECT_FALSE(ParseUnionQuery("q(x) :- H(x,x).\nq() :- E(x,x).", schema_,
+                               &symbols_)
+                   .ok());
+}
+
+TEST_F(ParserTest, ToStringRoundTripsThroughParser) {
+  auto tgd = ParseTgd("H(x,y) -> exists z: E(x,z) & E(z,y).", schema_,
+                      &symbols_);
+  ASSERT_TRUE(tgd.ok());
+  std::string rendered = tgd->ToString(schema_, symbols_);
+  auto reparsed = ParseTgd(rendered + ".", schema_, &symbols_);
+  ASSERT_TRUE(reparsed.ok()) << "failed to reparse: " << rendered;
+  EXPECT_EQ(reparsed->ToString(schema_, symbols_), rendered);
+}
+
+}  // namespace
+}  // namespace pdx

@@ -1,0 +1,79 @@
+#include "pde/pdms.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace pdx {
+namespace {
+
+using testing_util::MakeExample1Setting;
+using testing_util::ParseOrDie;
+
+class PdmsTest : public ::testing::Test {
+ protected:
+  PdmsTest() : setting_(MakeExample1Setting(&symbols_)) {}
+
+  SymbolTable symbols_;
+  PdeSetting setting_;
+};
+
+TEST_F(PdmsTest, TranslationBuildsStorageDescriptions) {
+  PdmsDescription pdms = BuildPdms(setting_, symbols_);
+  ASSERT_EQ(pdms.storage_descriptions.size(), 2u);
+  // Source relations get equality descriptions (immutability), target
+  // relations containment descriptions (data may be added).
+  const StorageDescription& e = pdms.storage_descriptions[0];
+  EXPECT_EQ(e.local_relation, "E*");
+  EXPECT_EQ(e.peer_relation, "E");
+  EXPECT_TRUE(e.is_equality);
+  const StorageDescription& h = pdms.storage_descriptions[1];
+  EXPECT_EQ(h.local_relation, "H*");
+  EXPECT_FALSE(h.is_equality);
+  EXPECT_EQ(pdms.peer_mappings.size(), 2u);
+}
+
+TEST_F(PdmsTest, ToStringRendersMappings) {
+  PdmsDescription pdms = BuildPdms(setting_, symbols_);
+  std::string rendered = pdms.ToString();
+  EXPECT_NE(rendered.find("E* = E"), std::string::npos);
+  EXPECT_NE(rendered.find("H* ⊆ H"), std::string::npos);
+  EXPECT_NE(rendered.find("mapping:"), std::string::npos);
+}
+
+// The Section 2 correspondence: K is a solution for (I*, J*) iff the data
+// instance assignment is consistent with N(P).
+TEST_F(PdmsTest, ConsistencyMatchesSolutionhood) {
+  Instance i_star = ParseOrDie(setting_, "E(a,a).", &symbols_);
+  Instance j_star = setting_.EmptyInstance();
+  Instance k = ParseOrDie(setting_, "H(a,a).", &symbols_);
+  EXPECT_TRUE(IsConsistentPdmsInstance(setting_, i_star, j_star, i_star, k,
+                                       symbols_));
+  // The empty K is not consistent: the Σ_st mapping is violated.
+  EXPECT_FALSE(IsConsistentPdmsInstance(setting_, i_star, j_star, i_star,
+                                        setting_.EmptyInstance(),
+                                        symbols_));
+}
+
+TEST_F(PdmsTest, EqualityStorageDescriptionEnforced) {
+  Instance i_star = ParseOrDie(setting_, "E(a,a).", &symbols_);
+  Instance mutated = ParseOrDie(setting_, "E(a,a). E(a,b).", &symbols_);
+  Instance k = ParseOrDie(setting_, "H(a,a).", &symbols_);
+  // The source peer's instance deviates from its local store: not allowed.
+  EXPECT_FALSE(IsConsistentPdmsInstance(setting_, i_star,
+                                        setting_.EmptyInstance(), mutated, k,
+                                        symbols_));
+}
+
+TEST_F(PdmsTest, ContainmentStorageDescriptionEnforced) {
+  Instance i_star = ParseOrDie(setting_, "E(a,a).", &symbols_);
+  Instance j_star = ParseOrDie(setting_, "H(a,a).", &symbols_);
+  // K must contain J*: dropping it breaks the containment description.
+  EXPECT_FALSE(IsConsistentPdmsInstance(setting_, i_star, j_star, i_star,
+                                        setting_.EmptyInstance(),
+                                        symbols_));
+  EXPECT_TRUE(IsConsistentPdmsInstance(setting_, i_star, j_star, i_star,
+                                       j_star, symbols_));
+}
+
+}  // namespace
+}  // namespace pdx

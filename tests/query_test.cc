@@ -1,0 +1,111 @@
+#include "logic/conjunctive_query.h"
+
+#include "gtest/gtest.h"
+#include "logic/parser.h"
+
+namespace pdx {
+namespace {
+
+class QueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(schema_.AddRelation("E", 2).ok());
+    ASSERT_TRUE(schema_.AddRelation("H", 2).ok());
+    instance_ = std::make_unique<Instance>(&schema_);
+    a_ = symbols_.InternConstant("a");
+    b_ = symbols_.InternConstant("b");
+    c_ = symbols_.InternConstant("c");
+    e_ = schema_.FindRelation("E").value();
+    h_ = schema_.FindRelation("H").value();
+    instance_->AddFact(e_, {a_, b_});
+    instance_->AddFact(e_, {b_, c_});
+    instance_->AddFact(h_, {a_, c_});
+  }
+
+  ConjunctiveQuery Parse(const char* text) {
+    auto query = ParseQuery(text, schema_, &symbols_);
+    EXPECT_TRUE(query.ok()) << query.status().ToString();
+    return std::move(query).value();
+  }
+
+  Schema schema_;
+  SymbolTable symbols_;
+  std::unique_ptr<Instance> instance_;
+  Value a_, b_, c_;
+  RelationId e_ = 0, h_ = 0;
+};
+
+TEST_F(QueryTest, EvaluatesProjection) {
+  std::vector<Tuple> answers =
+      EvaluateQuery(Parse("q(x) :- E(x,y)."), *instance_);
+  EXPECT_EQ(answers.size(), 2u);  // a and b
+}
+
+TEST_F(QueryTest, EvaluatesJoin) {
+  std::vector<Tuple> answers =
+      EvaluateQuery(Parse("q(x,z) :- E(x,y) & E(y,z)."), *instance_);
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(answers[0], (Tuple{a_, c_}));
+}
+
+TEST_F(QueryTest, AnswersAreDeduplicated) {
+  instance_->AddFact(e_, {a_, c_});
+  std::vector<Tuple> answers =
+      EvaluateQuery(Parse("q(x) :- E(x,y)."), *instance_);
+  EXPECT_EQ(answers.size(), 2u);
+}
+
+TEST_F(QueryTest, BooleanQueryViaUnion) {
+  UnionQuery query;
+  query.disjuncts.push_back(Parse("q() :- H(x,y) & E(y,z)."));
+  EXPECT_FALSE(EvaluateBoolean(query, *instance_));
+  query.disjuncts.push_back(Parse("q() :- H(x,y)."));
+  EXPECT_TRUE(EvaluateBoolean(query, *instance_));
+}
+
+TEST_F(QueryTest, UnionCombinesDisjuncts) {
+  UnionQuery query;
+  query.disjuncts.push_back(Parse("q(x) :- E(x,y)."));
+  query.disjuncts.push_back(Parse("q(x) :- H(x,y)."));
+  std::vector<Tuple> answers = EvaluateUnionQuery(query, *instance_);
+  EXPECT_EQ(answers.size(), 2u);  // {a, b}; a appears in both disjuncts
+}
+
+TEST_F(QueryTest, NullFreeEvaluationDropsNullAnswers) {
+  Value n = symbols_.FreshNull();
+  instance_->AddFact(e_, {c_, n});
+  ConjunctiveQuery q = Parse("q(x,y) :- E(x,y).");
+  EXPECT_EQ(EvaluateQuery(q, *instance_).size(), 3u);
+  std::vector<Tuple> null_free = EvaluateQueryNullFree(q, *instance_);
+  EXPECT_EQ(null_free.size(), 2u);
+  for (const Tuple& t : null_free) {
+    for (const Value& v : t) EXPECT_TRUE(v.is_constant());
+  }
+}
+
+TEST_F(QueryTest, NullsJoinLikeOrdinaryValues) {
+  Value n = symbols_.FreshNull();
+  instance_->AddFact(e_, {c_, n});
+  instance_->AddFact(e_, {n, a_});
+  std::vector<Tuple> answers =
+      EvaluateQuery(Parse("q(x,z) :- E(x,y) & E(y,z)."), *instance_);
+  // a->b->c, b->c->n, c->n->a, n->a->b.
+  EXPECT_EQ(answers.size(), 4u);
+}
+
+TEST_F(QueryTest, ValidateUnionQueryChecksArity) {
+  UnionQuery query;
+  query.disjuncts.push_back(Parse("q(x) :- E(x,y)."));
+  query.disjuncts.push_back(Parse("q(x,y) :- E(x,y)."));
+  EXPECT_FALSE(ValidateUnionQuery(query, schema_).ok());
+}
+
+TEST_F(QueryTest, ConstantsInQueries) {
+  std::vector<Tuple> answers =
+      EvaluateQuery(Parse("q(x) :- E('a', x)."), *instance_);
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(answers[0][0], b_);
+}
+
+}  // namespace
+}  // namespace pdx

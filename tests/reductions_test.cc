@@ -1,0 +1,190 @@
+// End-to-end validation of the hardness reductions: solution existence
+// must coincide exactly with the brute-force combinatorial oracle on a
+// battery of small graphs.
+
+#include "workload/reductions.h"
+
+#include "gtest/gtest.h"
+#include "logic/dependency_graph.h"
+#include "pde/ctract_solver.h"
+#include "pde/generic_solver.h"
+#include "pde/solution.h"
+#include "tests/test_util.h"
+#include "workload/graph_gen.h"
+
+namespace pdx {
+namespace {
+
+using testing_util::Unwrap;
+
+struct GraphCase {
+  const char* name;
+  Graph graph;
+  int k;
+};
+
+std::vector<GraphCase> CliqueCases() {
+  Rng rng(7);
+  std::vector<GraphCase> cases;
+  cases.push_back({"Triangle_k3", CompleteGraph(3), 3});
+  cases.push_back({"Path4_k3", PathGraph(4), 3});
+  cases.push_back({"K4_k4", CompleteGraph(4), 4});
+  cases.push_back({"K4_k3", CompleteGraph(4), 3});
+  cases.push_back({"Path5_k2", PathGraph(5), 2});
+  cases.push_back({"Empty3_k2", Graph{3, {}}, 2});
+  cases.push_back({"ER_n6_p04_k3", ErdosRenyi(6, 0.4, &rng), 3});
+  cases.push_back({"ER_n6_p07_k3", ErdosRenyi(6, 0.7, &rng), 3});
+  cases.push_back({"Planted_n7_k3",
+                   PlantClique(ErdosRenyi(7, 0.2, &rng), 3, &rng), 3});
+  return cases;
+}
+
+class CliqueReductionTest
+    : public ::testing::TestWithParam<GraphCase> {};
+
+// Theorem 3: G has a k-clique iff a solution exists for (I(G,k), ∅).
+// Validated with both solvers (the CLIQUE setting satisfies condition 1,
+// so the Theorem 5 homomorphism algorithm is correct on it).
+TEST_P(CliqueReductionTest, SolutionExistenceEqualsCliqueExistence) {
+  const GraphCase& test_case = GetParam();
+  bool expected = HasClique(test_case.graph, test_case.k);
+
+  SymbolTable symbols;
+  PdeSetting setting = Unwrap(MakeCliqueSetting(&symbols));
+  Instance source = MakeCliqueSourceInstance(setting, test_case.graph,
+                                             test_case.k, &symbols);
+
+  CtractSolveResult hom_result = Unwrap(CtractExistsSolution(
+      setting, source, setting.EmptyInstance(), &symbols));
+  EXPECT_EQ(hom_result.has_solution, expected)
+      << "homomorphism solver disagrees with the clique oracle";
+  if (hom_result.has_solution) {
+    EXPECT_TRUE(IsSolution(setting, source, setting.EmptyInstance(),
+                           *hom_result.solution, symbols));
+  }
+
+  GenericSolverOptions options;
+  options.max_nodes = 2'000'000;
+  GenericSolveResult search_result = Unwrap(GenericExistsSolution(
+      setting, source, setting.EmptyInstance(), &symbols, options));
+  ASSERT_NE(search_result.outcome, SolveOutcome::kBudgetExhausted);
+  EXPECT_EQ(search_result.outcome == SolveOutcome::kSolutionFound, expected)
+      << "generic solver disagrees with the clique oracle";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Graphs, CliqueReductionTest, ::testing::ValuesIn(CliqueCases()),
+    [](const ::testing::TestParamInfo<GraphCase>& info) {
+      return std::string(info.param.name);
+    });
+
+class EgdBoundaryTest : public ::testing::TestWithParam<GraphCase> {};
+
+// Section 4, variant (a): one target egd makes SOL NP-hard although
+// Σ_st/Σ_ts satisfy conditions 1 and 2.1.
+TEST_P(EgdBoundaryTest, SolutionExistenceEqualsCliqueExistence) {
+  const GraphCase& test_case = GetParam();
+  bool expected = HasClique(test_case.graph, test_case.k);
+  SymbolTable symbols;
+  PdeSetting setting = Unwrap(MakeEgdBoundarySetting(&symbols));
+  Instance source = MakeEgdBoundarySourceInstance(
+      setting, test_case.graph, test_case.k, &symbols);
+  GenericSolverOptions options;
+  options.max_nodes = 2'000'000;
+  GenericSolveResult result = Unwrap(GenericExistsSolution(
+      setting, source, setting.EmptyInstance(), &symbols, options));
+  ASSERT_NE(result.outcome, SolveOutcome::kBudgetExhausted);
+  EXPECT_EQ(result.outcome == SolveOutcome::kSolutionFound, expected);
+  if (result.outcome == SolveOutcome::kSolutionFound) {
+    EXPECT_TRUE(IsSolution(setting, source, setting.EmptyInstance(),
+                           *result.solution, symbols));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Graphs, EgdBoundaryTest, ::testing::ValuesIn(CliqueCases()),
+    [](const ::testing::TestParamInfo<GraphCase>& info) {
+      return std::string(info.param.name);
+    });
+
+class TargetTgdBoundaryTest : public ::testing::TestWithParam<GraphCase> {};
+
+// Section 4, variant (b): one full target tgd (via the target copy Sp).
+TEST_P(TargetTgdBoundaryTest, SolutionExistenceEqualsCliqueExistence) {
+  const GraphCase& test_case = GetParam();
+  bool expected = HasClique(test_case.graph, test_case.k);
+  SymbolTable symbols;
+  PdeSetting setting = Unwrap(MakeTargetTgdBoundarySetting(&symbols));
+  Instance source = MakeTargetTgdBoundarySourceInstance(
+      setting, test_case.graph, test_case.k, &symbols);
+  GenericSolverOptions options;
+  options.max_nodes = 2'000'000;
+  GenericSolveResult result = Unwrap(GenericExistsSolution(
+      setting, source, setting.EmptyInstance(), &symbols, options));
+  ASSERT_NE(result.outcome, SolveOutcome::kBudgetExhausted);
+  EXPECT_EQ(result.outcome == SolveOutcome::kSolutionFound, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Graphs, TargetTgdBoundaryTest, ::testing::ValuesIn(CliqueCases()),
+    [](const ::testing::TestParamInfo<GraphCase>& info) {
+      return std::string(info.param.name);
+    });
+
+struct ColorCase {
+  const char* name;
+  Graph graph;
+};
+
+std::vector<ColorCase> ColorCases() {
+  Rng rng(11);
+  return {
+      {"Triangle", CompleteGraph(3)},
+      {"K4", CompleteGraph(4)},
+      {"Path5", PathGraph(5)},
+      {"ER_n5_p05", ErdosRenyi(5, 0.5, &rng)},
+      {"ER_n6_p06", ErdosRenyi(6, 0.6, &rng)},
+  };
+}
+
+class ThreeColBoundaryTest : public ::testing::TestWithParam<ColorCase> {};
+
+// Section 4, variant (c): the disjunctive ts-tgd setting solves iff the
+// graph is 3-colorable.
+TEST_P(ThreeColBoundaryTest, SolutionExistenceEquals3Colorability) {
+  const ColorCase& test_case = GetParam();
+  bool expected = Is3Colorable(test_case.graph);
+  SymbolTable symbols;
+  PdeSetting setting = Unwrap(MakeThreeColSetting(&symbols));
+  Instance source =
+      MakeThreeColSourceInstance(setting, test_case.graph, &symbols);
+  GenericSolverOptions options;
+  options.max_nodes = 2'000'000;
+  GenericSolveResult result = Unwrap(GenericExistsSolution(
+      setting, source, setting.EmptyInstance(), &symbols, options));
+  ASSERT_NE(result.outcome, SolveOutcome::kBudgetExhausted);
+  EXPECT_EQ(result.outcome == SolveOutcome::kSolutionFound, expected);
+  if (result.outcome == SolveOutcome::kSolutionFound) {
+    EXPECT_TRUE(IsSolution(setting, source, setting.EmptyInstance(),
+                           *result.solution, symbols));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Graphs, ThreeColBoundaryTest, ::testing::ValuesIn(ColorCases()),
+    [](const ::testing::TestParamInfo<ColorCase>& info) {
+      return std::string(info.param.name);
+    });
+
+// The dependency-graph remark after Theorem 3: the CLIQUE setting's
+// relation-level graph is acyclic, yet SOL is NP-hard.
+TEST(CliqueSettingStructureTest, RelationGraphIsAcyclic) {
+  SymbolTable symbols;
+  PdeSetting setting = Unwrap(MakeCliqueSetting(&symbols));
+  std::vector<Tgd> all = setting.st_tgds();
+  all.insert(all.end(), setting.ts_tgds().begin(), setting.ts_tgds().end());
+  EXPECT_TRUE(IsRelationGraphAcyclic(all, setting.schema()));
+}
+
+}  // namespace
+}  // namespace pdx

@@ -1,0 +1,116 @@
+#include "pde/setting_file.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace pdx {
+namespace {
+
+using testing_util::Unwrap;
+
+constexpr char kExample1[] = R"(
+# The paper's Example 1.
+[source]
+E/2
+[target]
+H/2
+[st]
+E(x,z) & E(z,y) -> H(x,y).
+[ts]
+H(x,y) -> E(x,y).
+)";
+
+TEST(SettingFileTest, ParsesFullFile) {
+  SymbolTable symbols;
+  PdeSetting setting = Unwrap(ParseSettingFile(kExample1, &symbols));
+  EXPECT_EQ(setting.source_relation_count(), 1);
+  EXPECT_EQ(setting.target_relation_count(), 1);
+  EXPECT_EQ(setting.st_tgds().size(), 1u);
+  EXPECT_EQ(setting.ts_tgds().size(), 1u);
+  EXPECT_TRUE(setting.InCtract());
+}
+
+TEST(SettingFileTest, SectionsMayComeInAnyOrderAndRepeat) {
+  SymbolTable symbols;
+  PdeSetting setting = Unwrap(ParseSettingFile(
+      "[target]\nH/2\n[source]\nE/2\n[st]\nE(x,y) -> H(x,y).\n"
+      "[source]\nD/1\n",
+      &symbols));
+  EXPECT_EQ(setting.source_relation_count(), 2);
+}
+
+TEST(SettingFileTest, TargetConstraintsSection) {
+  SymbolTable symbols;
+  PdeSetting setting = Unwrap(ParseSettingFile(
+      "[source]\nE/2\n[target]\nH/2\n[st]\nE(x,y) -> H(x,y).\n"
+      "[t]\nH(x,y) & H(x,z) -> y = z.\n",
+      &symbols));
+  EXPECT_EQ(setting.target_egds().size(), 1u);
+  EXPECT_TRUE(setting.HasTargetConstraints());
+}
+
+TEST(SettingFileTest, CommentsEverywhere) {
+  SymbolTable symbols;
+  PdeSetting setting = Unwrap(ParseSettingFile(
+      "# leading\n[source] # side\nE/2 # arity two\n[target]\nH/2\n"
+      "[st]\nE(x,y) -> H(x,y). # copy\n",
+      &symbols));
+  EXPECT_EQ(setting.st_tgds().size(), 1u);
+}
+
+TEST(SettingFileTest, RejectsMalformedInput) {
+  SymbolTable symbols;
+  // Content before any section.
+  EXPECT_FALSE(ParseSettingFile("E/2\n[source]\n", &symbols).ok());
+  // Unknown section.
+  EXPECT_FALSE(
+      ParseSettingFile("[source]\nE/2\n[bogus]\n", &symbols).ok());
+  // Missing arity.
+  EXPECT_FALSE(
+      ParseSettingFile("[source]\nE\n[target]\nH/2\n", &symbols).ok());
+  // Non-numeric arity.
+  EXPECT_FALSE(
+      ParseSettingFile("[source]\nE/two\n[target]\nH/2\n", &symbols).ok());
+  // No target section.
+  EXPECT_FALSE(ParseSettingFile("[source]\nE/2\n", &symbols).ok());
+  // Bad dependency.
+  EXPECT_FALSE(ParseSettingFile(
+                   "[source]\nE/2\n[target]\nH/2\n[st]\nE(x) -> H(x,x).\n",
+                   &symbols)
+                   .ok());
+}
+
+TEST(SettingFileTest, RoundTripsThroughFileText) {
+  SymbolTable symbols;
+  PdeSetting setting = Unwrap(ParseSettingFile(kExample1, &symbols));
+  std::string rendered = SettingToFileText(setting, symbols);
+  SymbolTable symbols2;
+  PdeSetting reparsed = Unwrap(ParseSettingFile(rendered, &symbols2));
+  EXPECT_EQ(reparsed.st_tgds().size(), setting.st_tgds().size());
+  EXPECT_EQ(reparsed.ts_tgds().size(), setting.ts_tgds().size());
+  EXPECT_EQ(SettingToFileText(reparsed, symbols2), rendered);
+}
+
+TEST(SettingFileTest, RoundTripsDisjunctiveAndEgds) {
+  SymbolTable symbols;
+  PdeSetting setting = Unwrap(ParseSettingFile(
+      "[source]\nE/2\nR/1\n[target]\nH/2\n"
+      "[st]\nE(x,y) -> exists u: H(x,u).\n"
+      "[ts]\nH(x,u) -> (R(u)) | (E(u,u)).\n",
+      &symbols));
+  std::string rendered = SettingToFileText(setting, symbols);
+  SymbolTable symbols2;
+  PdeSetting reparsed = Unwrap(ParseSettingFile(rendered, &symbols2));
+  EXPECT_EQ(reparsed.ts_disjunctive_tgds().size(), 1u);
+}
+
+TEST(SettingFileTest, LoadFromDiskAndMissingFile) {
+  SymbolTable symbols;
+  EXPECT_EQ(LoadSettingFile("/nonexistent/path.pdx", &symbols)
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace pdx

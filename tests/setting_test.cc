@@ -1,0 +1,121 @@
+#include "pde/setting.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace pdx {
+namespace {
+
+using testing_util::MakeExample1Setting;
+using testing_util::ParseOrDie;
+
+TEST(SettingTest, CreateBuildsCombinedSchema) {
+  SymbolTable symbols;
+  PdeSetting setting = MakeExample1Setting(&symbols);
+  EXPECT_EQ(setting.schema().relation_count(), 2);
+  EXPECT_EQ(setting.source_relation_count(), 1);
+  EXPECT_EQ(setting.target_relation_count(), 1);
+  RelationId e = setting.schema().FindRelation("E").value();
+  RelationId h = setting.schema().FindRelation("H").value();
+  EXPECT_TRUE(setting.is_source(e));
+  EXPECT_TRUE(setting.is_target(h));
+  EXPECT_EQ(setting.st_tgds().size(), 1u);
+  EXPECT_EQ(setting.ts_tgds().size(), 1u);
+  EXPECT_FALSE(setting.HasTargetConstraints());
+  EXPECT_FALSE(setting.IsDataExchange());
+}
+
+TEST(SettingTest, RejectsWrongSidedDependencies) {
+  SymbolTable symbols;
+  // Σ_st head over the source schema.
+  EXPECT_FALSE(PdeSetting::Create({{"E", 2}}, {{"H", 2}},
+                                  "E(x,y) -> E(y,x).", "", "", &symbols)
+                   .ok());
+  // Σ_ts body over the source schema.
+  EXPECT_FALSE(PdeSetting::Create({{"E", 2}}, {{"H", 2}}, "",
+                                  "E(x,y) -> E(y,x).", "", &symbols)
+                   .ok());
+  // Σ_t mentioning a source relation.
+  EXPECT_FALSE(PdeSetting::Create({{"E", 2}}, {{"H", 2}}, "", "",
+                                  "H(x,y) -> E(x,y).", &symbols)
+                   .ok());
+  // Egds are not allowed in Σ_st or Σ_ts.
+  EXPECT_FALSE(PdeSetting::Create({{"E", 2}}, {{"H", 2}},
+                                  "E(x,y) & E(x,z) -> y = z.", "", "",
+                                  &symbols)
+                   .ok());
+}
+
+TEST(SettingTest, RejectsOverlappingSchemas) {
+  SymbolTable symbols;
+  EXPECT_FALSE(
+      PdeSetting::Create({{"E", 2}}, {{"E", 2}}, "", "", "", &symbols).ok());
+}
+
+TEST(SettingTest, DataExchangeDetection) {
+  SymbolTable symbols;
+  auto setting = PdeSetting::Create({{"E", 2}}, {{"H", 2}},
+                                    "E(x,y) -> H(x,y).", "", "", &symbols);
+  ASSERT_TRUE(setting.ok());
+  EXPECT_TRUE(setting->IsDataExchange());
+}
+
+TEST(SettingTest, TargetWeakAcyclicityIsTracked) {
+  SymbolTable symbols;
+  auto acyclic = PdeSetting::Create(
+      {{"E", 2}}, {{"H", 2}, {"F", 2}}, "E(x,y) -> H(x,y).", "",
+      "H(x,y) -> exists z: F(y,z).", &symbols);
+  ASSERT_TRUE(acyclic.ok());
+  EXPECT_TRUE(acyclic->TargetTgdsWeaklyAcyclic());
+
+  SymbolTable symbols2;
+  auto cyclic = PdeSetting::Create(
+      {{"E", 2}}, {{"H", 2}}, "E(x,y) -> H(x,y).", "",
+      "H(x,y) -> exists z: H(y,z).", &symbols2);
+  ASSERT_TRUE(cyclic.ok());
+  EXPECT_FALSE(cyclic->TargetTgdsWeaklyAcyclic());
+}
+
+TEST(SettingTest, InstanceValidation) {
+  SymbolTable symbols;
+  PdeSetting setting = MakeExample1Setting(&symbols);
+  Instance source = ParseOrDie(setting, "E(a,b).", &symbols);
+  Instance target = ParseOrDie(setting, "H(a,b).", &symbols);
+  EXPECT_TRUE(setting.ValidateSourceInstance(source).ok());
+  EXPECT_FALSE(setting.ValidateSourceInstance(target).ok());
+  EXPECT_TRUE(setting.ValidateTargetInstance(target).ok());
+  EXPECT_FALSE(setting.ValidateTargetInstance(source).ok());
+  // Source instances must be ground.
+  Instance with_null = ParseOrDie(setting, "E(a,_n).", &symbols);
+  EXPECT_FALSE(setting.ValidateSourceInstance(with_null).ok());
+  EXPECT_TRUE(setting.ValidateTargetInstance(
+      ParseOrDie(setting, "H(a,_n).", &symbols)).ok());
+}
+
+TEST(SettingTest, CombineAndProject) {
+  SymbolTable symbols;
+  PdeSetting setting = MakeExample1Setting(&symbols);
+  Instance source = ParseOrDie(setting, "E(a,b).", &symbols);
+  Instance target = ParseOrDie(setting, "H(b,c).", &symbols);
+  Instance combined = setting.CombineInstances(source, target);
+  EXPECT_EQ(combined.fact_count(), 2u);
+  EXPECT_TRUE(setting.SourcePart(combined).FactsEqual(source));
+  EXPECT_TRUE(setting.TargetPart(combined).FactsEqual(target));
+}
+
+TEST(SettingTest, ToStringMentionsAllParts) {
+  SymbolTable symbols;
+  auto setting = PdeSetting::Create(
+      {{"E", 2}}, {{"H", 2}}, "E(x,y) -> H(x,y).", "H(x,y) -> E(x,y).",
+      "H(x,y) & H(x,z) -> y = z.", &symbols);
+  ASSERT_TRUE(setting.ok());
+  std::string rendered = setting->ToString(symbols);
+  EXPECT_NE(rendered.find("S = {E/2}"), std::string::npos);
+  EXPECT_NE(rendered.find("T = {H/2}"), std::string::npos);
+  EXPECT_NE(rendered.find("Σst"), std::string::npos);
+  EXPECT_NE(rendered.find("Σts"), std::string::npos);
+  EXPECT_NE(rendered.find("y = z"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pdx

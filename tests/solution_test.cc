@@ -1,0 +1,110 @@
+#include "pde/solution.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace pdx {
+namespace {
+
+using testing_util::MakeExample1Setting;
+using testing_util::ParseOrDie;
+
+class SolutionTest : public ::testing::Test {
+ protected:
+  SolutionTest() : setting_(MakeExample1Setting(&symbols_)) {}
+
+  SymbolTable symbols_;
+  PdeSetting setting_;
+};
+
+// Example 1, case 1: I = {E(a,b), E(b,c)}, J = ∅ has no solution; in
+// particular J' = {H(a,c)} fails Σ_ts because (a,c) is not an E-edge.
+TEST_F(SolutionTest, Example1NoSolutionCandidateFails) {
+  Instance source = ParseOrDie(setting_, "E(a,b). E(b,c).", &symbols_);
+  Instance empty = setting_.EmptyInstance();
+  Instance candidate = ParseOrDie(setting_, "H(a,c).", &symbols_);
+  SolutionCheck check =
+      CheckSolution(setting_, source, empty, candidate, symbols_);
+  EXPECT_FALSE(check.is_solution);
+  ASSERT_FALSE(check.violations.empty());
+  // The empty target also fails (Σ_st requires H(a,c)).
+  EXPECT_FALSE(IsSolution(setting_, source, empty, empty, symbols_));
+}
+
+// Example 1, case 2: I = {E(a,a)} has the unique solution {H(a,a)}.
+TEST_F(SolutionTest, Example1UniqueSolution) {
+  Instance source = ParseOrDie(setting_, "E(a,a).", &symbols_);
+  Instance empty = setting_.EmptyInstance();
+  Instance solution = ParseOrDie(setting_, "H(a,a).", &symbols_);
+  EXPECT_TRUE(IsSolution(setting_, source, empty, solution, symbols_));
+  EXPECT_FALSE(IsSolution(setting_, source, empty, empty, symbols_));
+}
+
+// Example 1, case 3: I = {E(a,b), E(b,c), E(a,c)} admits both {H(a,c)} and
+// {H(a,b), H(b,c), H(a,c)}.
+TEST_F(SolutionTest, Example1MultipleSolutions) {
+  Instance source =
+      ParseOrDie(setting_, "E(a,b). E(b,c). E(a,c).", &symbols_);
+  Instance empty = setting_.EmptyInstance();
+  EXPECT_TRUE(IsSolution(setting_, source, empty,
+                         ParseOrDie(setting_, "H(a,c).", &symbols_),
+                         symbols_));
+  EXPECT_TRUE(IsSolution(
+      setting_, source, empty,
+      ParseOrDie(setting_, "H(a,b). H(b,c). H(a,c).", &symbols_), symbols_));
+  // But H(b,a) is not allowed: (b,a) is not an edge.
+  EXPECT_FALSE(IsSolution(
+      setting_, source, empty,
+      ParseOrDie(setting_, "H(a,c). H(b,a).", &symbols_), symbols_));
+}
+
+TEST_F(SolutionTest, SolutionMustContainJ) {
+  Instance source =
+      ParseOrDie(setting_, "E(a,b). E(b,c). E(a,c).", &symbols_);
+  Instance target = ParseOrDie(setting_, "H(a,b).", &symbols_);
+  // {H(a,c)} satisfies the constraints but does not contain J.
+  SolutionCheck check = CheckSolution(
+      setting_, source, target, ParseOrDie(setting_, "H(a,c).", &symbols_),
+      symbols_);
+  EXPECT_FALSE(check.is_solution);
+  // Adding J's facts fixes it.
+  EXPECT_TRUE(IsSolution(
+      setting_, source, target,
+      ParseOrDie(setting_, "H(a,b). H(a,c).", &symbols_), symbols_));
+}
+
+TEST_F(SolutionTest, TargetEgdsAreChecked) {
+  SymbolTable symbols;
+  auto setting = PdeSetting::Create(
+      {{"E", 2}}, {{"H", 2}}, "E(x,y) -> H(x,y).", "",
+      "H(x,y) & H(x,z) -> y = z.", &symbols);
+  ASSERT_TRUE(setting.ok());
+  Instance source = ParseOrDie(*setting, "E(a,b).", &symbols);
+  Instance empty = setting->EmptyInstance();
+  EXPECT_TRUE(IsSolution(*setting, source, empty,
+                         ParseOrDie(*setting, "H(a,b).", &symbols), symbols));
+  SolutionCheck check = CheckSolution(
+      *setting, source, empty,
+      ParseOrDie(*setting, "H(a,b). H(a,c).", &symbols), symbols);
+  EXPECT_FALSE(check.is_solution);
+}
+
+TEST_F(SolutionTest, ViolationMessagesNameTheDependency) {
+  Instance source = ParseOrDie(setting_, "E(a,b). E(b,c).", &symbols_);
+  Instance empty = setting_.EmptyInstance();
+  SolutionCheck check =
+      CheckSolution(setting_, source, empty, empty, symbols_);
+  ASSERT_FALSE(check.violations.empty());
+  EXPECT_NE(check.violations[0].find("Σst"), std::string::npos);
+}
+
+TEST_F(SolutionTest, CandidateWithSourceFactsIsRejected) {
+  Instance source = ParseOrDie(setting_, "E(a,a).", &symbols_);
+  Instance empty = setting_.EmptyInstance();
+  Instance bad = ParseOrDie(setting_, "H(a,a). E(a,a).", &symbols_);
+  SolutionCheck check = CheckSolution(setting_, source, empty, bad, symbols_);
+  EXPECT_FALSE(check.is_solution);
+}
+
+}  // namespace
+}  // namespace pdx

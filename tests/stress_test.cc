@@ -1,0 +1,112 @@
+// Scale smoke tests: the polynomial paths must stay comfortable at sizes
+// two orders of magnitude beyond the unit tests. Each test is budgeted to
+// run in a few seconds in Release.
+
+#include "gtest/gtest.h"
+#include "chase/chase.h"
+#include "logic/datalog.h"
+#include "logic/parser.h"
+#include "pde/ctract_solver.h"
+#include "pde/solution.h"
+#include "tests/test_util.h"
+#include "workload/genomics.h"
+
+namespace pdx {
+namespace {
+
+using testing_util::Unwrap;
+
+TEST(StressTest, GenomicsExchangeAtScale) {
+  SymbolTable symbols;
+  PdeSetting setting = Unwrap(MakeGenomicsSetting(&symbols));
+  Rng rng(99);
+  GenomicsWorkloadOptions opts;
+  opts.proteins = 1500;
+  opts.annotations_per_protein = 2;
+  opts.backed_target_annotations = 300;
+  GenomicsWorkload workload =
+      MakeGenomicsWorkload(setting, opts, &rng, &symbols);
+  ASSERT_GT(workload.source.fact_count(), 4000u);
+  CtractSolveResult result = Unwrap(CtractExistsSolution(
+      setting, workload.source, workload.target, &symbols));
+  ASSERT_TRUE(result.has_solution);
+  // Spot-verify instead of full Definition 2 checking (which is itself
+  // quadratic in tests): the solution contains every protein and is
+  // block-bounded per Theorem 6.
+  RelationId protein = setting.schema().FindRelation("Protein").value();
+  EXPECT_EQ(result.solution->tuples(protein).size(),
+            static_cast<size_t>(opts.proteins));
+  EXPECT_LE(result.max_block_nulls, 2);
+}
+
+TEST(StressTest, IncrementalChaseAtScale) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddRelation("E", 2).ok());
+  ASSERT_TRUE(schema.AddRelation("H", 2).ok());
+  ASSERT_TRUE(schema.AddRelation("F", 2).ok());
+  SymbolTable symbols;
+  auto deps = ParseDependencies(
+      "E(x,y) -> exists z: H(y,z). H(x,y) -> F(x,y).", schema, &symbols);
+  ASSERT_TRUE(deps.ok());
+  Instance start(&schema);
+  Rng rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    start.AddFact(0, {symbols.InternConstant(
+                          "n" + std::to_string(rng.UniformInt(5000))),
+                      symbols.InternConstant(
+                          "n" + std::to_string(rng.UniformInt(5000)))});
+  }
+  ChaseResult result = Chase(start, deps->tgds, &symbols);
+  ASSERT_EQ(result.outcome, ChaseOutcome::kSuccess);
+  EXPECT_GT(result.instance.fact_count(), start.fact_count());
+  // One H per distinct E-target, one F per H.
+  EXPECT_EQ(result.instance.tuples(1).size(),
+            result.instance.tuples(2).size());
+}
+
+TEST(StressTest, DatalogClosureAtScale) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddRelation("E", 2).ok());
+  ASSERT_TRUE(schema.AddRelation("T", 2).ok());
+  SymbolTable symbols;
+  auto program = ParseDatalogProgram(
+      "T(x,y) :- E(x,y). T(x,z) :- T(x,y), E(y,z).", schema, &symbols);
+  ASSERT_TRUE(program.ok());
+  // A long path: closure is quadratic in its length.
+  Instance input(&schema);
+  int n = 300;
+  for (int i = 0; i + 1 < n; ++i) {
+    input.AddFact(0, {symbols.InternConstant("p" + std::to_string(i)),
+                      symbols.InternConstant("p" + std::to_string(i + 1))});
+  }
+  DatalogStats stats;
+  Instance closure = EvaluateDatalog(*program, input, &stats);
+  EXPECT_EQ(closure.tuples(1).size(),
+            static_cast<size_t>(n) * (n - 1) / 2);
+}
+
+TEST(StressTest, LargeInstanceIndexing) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddRelation("R", 3).ok());
+  SymbolTable symbols;
+  Instance instance(&schema);
+  Rng rng(13);
+  for (int i = 0; i < 100000; ++i) {
+    instance.AddFact(
+        0, {Value::Constant(rng.UniformInt(500)),
+            Value::Constant(rng.UniformInt(500)),
+            Value::Constant(rng.UniformInt(500))});
+  }
+  // Point lookups through the index stay instant at this size.
+  int hits = 0;
+  for (uint32_t v = 0; v < 500; ++v) {
+    const std::vector<int>* bucket =
+        instance.TuplesWithValueAt(0, 1, Value::Constant(v));
+    if (bucket != nullptr) hits += static_cast<int>(bucket->size());
+  }
+  EXPECT_EQ(static_cast<size_t>(hits), instance.fact_count());
+  EXPECT_EQ(instance.ActiveDomain().size(), 500u);
+}
+
+}  // namespace
+}  // namespace pdx

@@ -1,0 +1,57 @@
+#ifndef PDX_TESTS_TEST_UTIL_H_
+#define PDX_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <string_view>
+
+#include "gtest/gtest.h"
+#include "base/status.h"
+#include "pde/setting.h"
+#include "relational/instance.h"
+#include "relational/instance_io.h"
+#include "relational/value.h"
+
+namespace pdx {
+namespace testing_util {
+
+// Unwraps a StatusOr in a test, failing loudly with the status message.
+template <typename T>
+T Unwrap(StatusOr<T> status_or, const char* what = "StatusOr") {
+  EXPECT_TRUE(status_or.ok()) << what << ": " << status_or.status().ToString();
+  return std::move(status_or).value();
+}
+
+// Parses an instance over the setting's combined schema, aborting the test
+// on parse errors.
+inline Instance ParseOrDie(const PdeSetting& setting, std::string_view text,
+                           SymbolTable* symbols) {
+  return Unwrap(ParseInstance(text, setting.schema(), symbols), "instance");
+}
+
+// Builds the PDE setting of the paper's Example 1:
+//   S = {E/2}, T = {H/2},
+//   Σ_st: E(x,z) & E(z,y) -> H(x,y)
+//   Σ_ts: H(x,y) -> E(x,y)
+//   Σ_t = ∅.
+inline PdeSetting MakeExample1Setting(SymbolTable* symbols) {
+  return Unwrap(PdeSetting::Create({{"E", 2}}, {{"H", 2}},
+                                   "E(x,z) & E(z,y) -> H(x,y).",
+                                   "H(x,y) -> E(x,y).", "", symbols),
+                "example 1 setting");
+}
+
+// The path-of-length-two setting used throughout Section 2:
+//   Σ_st: E(x,z) & E(z,y) -> H(x,y)
+//   Σ_ts: H(x,y) -> exists z: E(x,z) & E(z,y)
+inline PdeSetting MakePathSetting(SymbolTable* symbols) {
+  return Unwrap(
+      PdeSetting::Create({{"E", 2}}, {{"H", 2}},
+                         "E(x,z) & E(z,y) -> H(x,y).",
+                         "H(x,y) -> exists z: E(x,z) & E(z,y).", "", symbols),
+      "path setting");
+}
+
+}  // namespace testing_util
+}  // namespace pdx
+
+#endif  // PDX_TESTS_TEST_UTIL_H_

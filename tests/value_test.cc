@@ -1,0 +1,80 @@
+#include "relational/value.h"
+
+#include <unordered_set>
+
+#include "gtest/gtest.h"
+
+namespace pdx {
+namespace {
+
+TEST(ValueTest, ConstantsAndNullsAreDistinctSpaces) {
+  Value c = Value::Constant(5);
+  Value n = Value::Null(5);
+  EXPECT_TRUE(c.is_constant());
+  EXPECT_FALSE(c.is_null());
+  EXPECT_TRUE(n.is_null());
+  EXPECT_EQ(c.id(), 5u);
+  EXPECT_EQ(n.id(), 5u);
+  EXPECT_NE(c, n);
+  EXPECT_NE(c.packed(), n.packed());
+}
+
+TEST(ValueTest, PackedRoundTrips) {
+  Value n = Value::Null(123456);
+  EXPECT_EQ(Value::FromPacked(n.packed()), n);
+  Value c = Value::Constant(987654);
+  EXPECT_EQ(Value::FromPacked(c.packed()), c);
+}
+
+TEST(ValueTest, HashSeparatesKinds) {
+  std::unordered_set<uint64_t> hashes;
+  ValueHash hash;
+  for (uint32_t i = 0; i < 100; ++i) {
+    hashes.insert(hash(Value::Constant(i)));
+    hashes.insert(hash(Value::Null(i)));
+  }
+  // All 200 values should hash distinctly (splitmix is injective on u64).
+  EXPECT_EQ(hashes.size(), 200u);
+}
+
+TEST(SymbolTableTest, InternIsIdempotent) {
+  SymbolTable symbols;
+  Value a1 = symbols.InternConstant("alpha");
+  Value a2 = symbols.InternConstant("alpha");
+  Value b = symbols.InternConstant("beta");
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+  EXPECT_EQ(symbols.constant_count(), 2u);
+}
+
+TEST(SymbolTableTest, LookupDoesNotIntern) {
+  SymbolTable symbols;
+  bool found = true;
+  symbols.LookupConstant("ghost", &found);
+  EXPECT_FALSE(found);
+  EXPECT_EQ(symbols.constant_count(), 0u);
+  Value v = symbols.InternConstant("ghost");
+  Value looked_up = symbols.LookupConstant("ghost", &found);
+  EXPECT_TRUE(found);
+  EXPECT_EQ(v, looked_up);
+}
+
+TEST(SymbolTableTest, FreshNullsAreDistinct) {
+  SymbolTable symbols;
+  Value n1 = symbols.FreshNull();
+  Value n2 = symbols.FreshNull();
+  EXPECT_NE(n1, n2);
+  EXPECT_TRUE(n1.is_null());
+  EXPECT_EQ(symbols.null_count(), 2u);
+}
+
+TEST(SymbolTableTest, ValueToString) {
+  SymbolTable symbols;
+  Value a = symbols.InternConstant("swissprot");
+  Value n = symbols.FreshNull();
+  EXPECT_EQ(symbols.ValueToString(a), "swissprot");
+  EXPECT_EQ(symbols.ValueToString(n), "_N0");
+}
+
+}  // namespace
+}  // namespace pdx

@@ -1,0 +1,123 @@
+#include "workload/graph_gen.h"
+
+#include <set>
+
+#include "gtest/gtest.h"
+#include "workload/random.h"
+#include "workload/setting_gen.h"
+
+namespace pdx {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    uint32_t v = rng.UniformInt(10);
+    EXPECT_LT(v, 10u);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(GraphGenTest, ErdosRenyiRespectsEdgeProbabilityBounds) {
+  Rng rng(5);
+  Graph empty = ErdosRenyi(10, 0.0, &rng);
+  EXPECT_TRUE(empty.edges.empty());
+  Graph full = ErdosRenyi(10, 1.0, &rng);
+  EXPECT_EQ(full.edges.size(), 45u);
+}
+
+TEST(GraphGenTest, PlantCliqueGuaranteesClique) {
+  Rng rng(9);
+  for (int trial = 0; trial < 5; ++trial) {
+    Graph g = PlantClique(ErdosRenyi(8, 0.1, &rng), 4, &rng);
+    EXPECT_TRUE(HasClique(g, 4));
+  }
+}
+
+TEST(GraphGenTest, HasCliqueOracle) {
+  EXPECT_TRUE(HasClique(CompleteGraph(5), 5));
+  EXPECT_FALSE(HasClique(CompleteGraph(4), 5));
+  EXPECT_TRUE(HasClique(PathGraph(5), 2));
+  EXPECT_FALSE(HasClique(PathGraph(5), 3));
+  EXPECT_TRUE(HasClique(Graph{3, {}}, 1));
+  EXPECT_FALSE(HasClique(Graph{0, {}}, 1));
+  EXPECT_TRUE(HasClique(Graph{0, {}}, 0));
+}
+
+TEST(GraphGenTest, Is3ColorableOracle) {
+  EXPECT_TRUE(Is3Colorable(CompleteGraph(3)));
+  EXPECT_FALSE(Is3Colorable(CompleteGraph(4)));
+  EXPECT_TRUE(Is3Colorable(PathGraph(10)));
+  EXPECT_TRUE(Is3Colorable(Graph{0, {}}));
+}
+
+TEST(GraphGenTest, HasEdgeIsSymmetric) {
+  Graph g = PathGraph(3);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+}
+
+TEST(SettingGenTest, LavSettingsAreAlwaysInCtract) {
+  SettingGenOptions opts;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    SymbolTable symbols;
+    auto generated = MakeRandomLavSetting(opts, &rng, &symbols);
+    ASSERT_TRUE(generated.ok()) << generated.status().ToString();
+    EXPECT_TRUE(generated->setting.InCtract())
+        << "seed " << seed << "\nΣst:\n" << generated->sigma_st
+        << "\nΣts:\n" << generated->sigma_ts;
+    for (const Tgd& tgd : generated->setting.ts_tgds()) {
+      EXPECT_TRUE(tgd.IsLav());
+    }
+  }
+}
+
+TEST(SettingGenTest, FullStSettingsAreAlwaysInCtract) {
+  SettingGenOptions opts;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    SymbolTable symbols;
+    auto generated = MakeRandomFullStSetting(opts, &rng, &symbols);
+    ASSERT_TRUE(generated.ok()) << generated.status().ToString();
+    EXPECT_TRUE(generated->setting.InCtract())
+        << "seed " << seed << "\nΣst:\n" << generated->sigma_st
+        << "\nΣts:\n" << generated->sigma_ts;
+    for (const Tgd& tgd : generated->setting.st_tgds()) {
+      EXPECT_TRUE(tgd.IsFull());
+    }
+  }
+}
+
+TEST(SettingGenTest, RandomInstancesPopulateTheRightSide) {
+  Rng rng(3);
+  SymbolTable symbols;
+  SettingGenOptions opts;
+  auto generated = MakeRandomLavSetting(opts, &rng, &symbols);
+  ASSERT_TRUE(generated.ok());
+  Instance source = MakeRandomSourceInstance(generated->setting, 10, 5,
+                                             &rng, &symbols);
+  EXPECT_TRUE(generated->setting.ValidateSourceInstance(source).ok());
+  Instance target = MakeRandomTargetInstance(generated->setting, 10, 5,
+                                             &rng, &symbols);
+  EXPECT_TRUE(generated->setting.ValidateTargetInstance(target).ok());
+}
+
+}  // namespace
+}  // namespace pdx
