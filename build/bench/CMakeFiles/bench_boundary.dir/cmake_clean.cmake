@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_boundary.dir/bench_boundary.cc.o"
+  "CMakeFiles/bench_boundary.dir/bench_boundary.cc.o.d"
+  "bench_boundary"
+  "bench_boundary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_boundary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

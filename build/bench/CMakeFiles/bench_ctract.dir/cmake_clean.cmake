@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ctract.dir/bench_ctract.cc.o"
+  "CMakeFiles/bench_ctract.dir/bench_ctract.cc.o.d"
+  "bench_ctract"
+  "bench_ctract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ctract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hom.dir/bench_hom.cc.o"
+  "CMakeFiles/bench_hom.dir/bench_hom.cc.o.d"
+  "bench_hom"
+  "bench_hom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

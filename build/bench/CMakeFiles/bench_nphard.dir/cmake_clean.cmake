@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nphard.dir/bench_nphard.cc.o"
+  "CMakeFiles/bench_nphard.dir/bench_nphard.cc.o.d"
+  "bench_nphard"
+  "bench_nphard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nphard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

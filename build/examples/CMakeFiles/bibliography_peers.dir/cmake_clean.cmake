@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bibliography_peers.dir/bibliography_peers.cpp.o"
+  "CMakeFiles/bibliography_peers.dir/bibliography_peers.cpp.o.d"
+  "bibliography_peers"
+  "bibliography_peers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bibliography_peers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/certain_answers_demo.dir/certain_answers_demo.cpp.o"
+  "CMakeFiles/certain_answers_demo.dir/certain_answers_demo.cpp.o.d"
+  "certain_answers_demo"
+  "certain_answers_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/certain_answers_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

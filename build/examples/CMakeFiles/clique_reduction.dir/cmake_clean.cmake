@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clique_reduction.dir/clique_reduction.cpp.o"
+  "CMakeFiles/clique_reduction.dir/clique_reduction.cpp.o.d"
+  "clique_reduction"
+  "clique_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clique_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

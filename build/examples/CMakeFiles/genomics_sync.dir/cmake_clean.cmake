@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genomics_sync.dir/genomics_sync.cpp.o"
+  "CMakeFiles/genomics_sync.dir/genomics_sync.cpp.o.d"
+  "genomics_sync"
+  "genomics_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genomics_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_peer.dir/multi_peer.cpp.o"
+  "CMakeFiles/multi_peer.dir/multi_peer.cpp.o.d"
+  "multi_peer"
+  "multi_peer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_peer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repair_semantics.dir/repair_semantics.cpp.o"
+  "CMakeFiles/repair_semantics.dir/repair_semantics.cpp.o.d"
+  "repair_semantics"
+  "repair_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repair_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

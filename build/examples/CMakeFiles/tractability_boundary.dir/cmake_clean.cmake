@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tractability_boundary.dir/tractability_boundary.cpp.o"
+  "CMakeFiles/tractability_boundary.dir/tractability_boundary.cpp.o.d"
+  "tractability_boundary"
+  "tractability_boundary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tractability_boundary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

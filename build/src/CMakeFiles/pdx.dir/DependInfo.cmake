@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/status.cc" "src/CMakeFiles/pdx.dir/base/status.cc.o" "gcc" "src/CMakeFiles/pdx.dir/base/status.cc.o.d"
+  "/root/repo/src/base/string_util.cc" "src/CMakeFiles/pdx.dir/base/string_util.cc.o" "gcc" "src/CMakeFiles/pdx.dir/base/string_util.cc.o.d"
+  "/root/repo/src/chase/chase.cc" "src/CMakeFiles/pdx.dir/chase/chase.cc.o" "gcc" "src/CMakeFiles/pdx.dir/chase/chase.cc.o.d"
+  "/root/repo/src/chase/solution_aware_chase.cc" "src/CMakeFiles/pdx.dir/chase/solution_aware_chase.cc.o" "gcc" "src/CMakeFiles/pdx.dir/chase/solution_aware_chase.cc.o.d"
+  "/root/repo/src/hom/core.cc" "src/CMakeFiles/pdx.dir/hom/core.cc.o" "gcc" "src/CMakeFiles/pdx.dir/hom/core.cc.o.d"
+  "/root/repo/src/hom/instance_hom.cc" "src/CMakeFiles/pdx.dir/hom/instance_hom.cc.o" "gcc" "src/CMakeFiles/pdx.dir/hom/instance_hom.cc.o.d"
+  "/root/repo/src/hom/matcher.cc" "src/CMakeFiles/pdx.dir/hom/matcher.cc.o" "gcc" "src/CMakeFiles/pdx.dir/hom/matcher.cc.o.d"
+  "/root/repo/src/logic/atom.cc" "src/CMakeFiles/pdx.dir/logic/atom.cc.o" "gcc" "src/CMakeFiles/pdx.dir/logic/atom.cc.o.d"
+  "/root/repo/src/logic/conjunctive_query.cc" "src/CMakeFiles/pdx.dir/logic/conjunctive_query.cc.o" "gcc" "src/CMakeFiles/pdx.dir/logic/conjunctive_query.cc.o.d"
+  "/root/repo/src/logic/datalog.cc" "src/CMakeFiles/pdx.dir/logic/datalog.cc.o" "gcc" "src/CMakeFiles/pdx.dir/logic/datalog.cc.o.d"
+  "/root/repo/src/logic/dependency.cc" "src/CMakeFiles/pdx.dir/logic/dependency.cc.o" "gcc" "src/CMakeFiles/pdx.dir/logic/dependency.cc.o.d"
+  "/root/repo/src/logic/dependency_graph.cc" "src/CMakeFiles/pdx.dir/logic/dependency_graph.cc.o" "gcc" "src/CMakeFiles/pdx.dir/logic/dependency_graph.cc.o.d"
+  "/root/repo/src/logic/implication.cc" "src/CMakeFiles/pdx.dir/logic/implication.cc.o" "gcc" "src/CMakeFiles/pdx.dir/logic/implication.cc.o.d"
+  "/root/repo/src/logic/marking.cc" "src/CMakeFiles/pdx.dir/logic/marking.cc.o" "gcc" "src/CMakeFiles/pdx.dir/logic/marking.cc.o.d"
+  "/root/repo/src/logic/normalize.cc" "src/CMakeFiles/pdx.dir/logic/normalize.cc.o" "gcc" "src/CMakeFiles/pdx.dir/logic/normalize.cc.o.d"
+  "/root/repo/src/logic/parser.cc" "src/CMakeFiles/pdx.dir/logic/parser.cc.o" "gcc" "src/CMakeFiles/pdx.dir/logic/parser.cc.o.d"
+  "/root/repo/src/pde/analysis.cc" "src/CMakeFiles/pdx.dir/pde/analysis.cc.o" "gcc" "src/CMakeFiles/pdx.dir/pde/analysis.cc.o.d"
+  "/root/repo/src/pde/certain_answers.cc" "src/CMakeFiles/pdx.dir/pde/certain_answers.cc.o" "gcc" "src/CMakeFiles/pdx.dir/pde/certain_answers.cc.o.d"
+  "/root/repo/src/pde/ctract_solver.cc" "src/CMakeFiles/pdx.dir/pde/ctract_solver.cc.o" "gcc" "src/CMakeFiles/pdx.dir/pde/ctract_solver.cc.o.d"
+  "/root/repo/src/pde/data_exchange.cc" "src/CMakeFiles/pdx.dir/pde/data_exchange.cc.o" "gcc" "src/CMakeFiles/pdx.dir/pde/data_exchange.cc.o.d"
+  "/root/repo/src/pde/exact_views.cc" "src/CMakeFiles/pdx.dir/pde/exact_views.cc.o" "gcc" "src/CMakeFiles/pdx.dir/pde/exact_views.cc.o.d"
+  "/root/repo/src/pde/explain.cc" "src/CMakeFiles/pdx.dir/pde/explain.cc.o" "gcc" "src/CMakeFiles/pdx.dir/pde/explain.cc.o.d"
+  "/root/repo/src/pde/generic_solver.cc" "src/CMakeFiles/pdx.dir/pde/generic_solver.cc.o" "gcc" "src/CMakeFiles/pdx.dir/pde/generic_solver.cc.o.d"
+  "/root/repo/src/pde/minimize.cc" "src/CMakeFiles/pdx.dir/pde/minimize.cc.o" "gcc" "src/CMakeFiles/pdx.dir/pde/minimize.cc.o.d"
+  "/root/repo/src/pde/multi_pde.cc" "src/CMakeFiles/pdx.dir/pde/multi_pde.cc.o" "gcc" "src/CMakeFiles/pdx.dir/pde/multi_pde.cc.o.d"
+  "/root/repo/src/pde/pdms.cc" "src/CMakeFiles/pdx.dir/pde/pdms.cc.o" "gcc" "src/CMakeFiles/pdx.dir/pde/pdms.cc.o.d"
+  "/root/repo/src/pde/repairs.cc" "src/CMakeFiles/pdx.dir/pde/repairs.cc.o" "gcc" "src/CMakeFiles/pdx.dir/pde/repairs.cc.o.d"
+  "/root/repo/src/pde/setting.cc" "src/CMakeFiles/pdx.dir/pde/setting.cc.o" "gcc" "src/CMakeFiles/pdx.dir/pde/setting.cc.o.d"
+  "/root/repo/src/pde/setting_file.cc" "src/CMakeFiles/pdx.dir/pde/setting_file.cc.o" "gcc" "src/CMakeFiles/pdx.dir/pde/setting_file.cc.o.d"
+  "/root/repo/src/pde/solution.cc" "src/CMakeFiles/pdx.dir/pde/solution.cc.o" "gcc" "src/CMakeFiles/pdx.dir/pde/solution.cc.o.d"
+  "/root/repo/src/relational/instance.cc" "src/CMakeFiles/pdx.dir/relational/instance.cc.o" "gcc" "src/CMakeFiles/pdx.dir/relational/instance.cc.o.d"
+  "/root/repo/src/relational/instance_diff.cc" "src/CMakeFiles/pdx.dir/relational/instance_diff.cc.o" "gcc" "src/CMakeFiles/pdx.dir/relational/instance_diff.cc.o.d"
+  "/root/repo/src/relational/instance_io.cc" "src/CMakeFiles/pdx.dir/relational/instance_io.cc.o" "gcc" "src/CMakeFiles/pdx.dir/relational/instance_io.cc.o.d"
+  "/root/repo/src/relational/schema.cc" "src/CMakeFiles/pdx.dir/relational/schema.cc.o" "gcc" "src/CMakeFiles/pdx.dir/relational/schema.cc.o.d"
+  "/root/repo/src/relational/tuple.cc" "src/CMakeFiles/pdx.dir/relational/tuple.cc.o" "gcc" "src/CMakeFiles/pdx.dir/relational/tuple.cc.o.d"
+  "/root/repo/src/relational/value.cc" "src/CMakeFiles/pdx.dir/relational/value.cc.o" "gcc" "src/CMakeFiles/pdx.dir/relational/value.cc.o.d"
+  "/root/repo/src/workload/bibliography.cc" "src/CMakeFiles/pdx.dir/workload/bibliography.cc.o" "gcc" "src/CMakeFiles/pdx.dir/workload/bibliography.cc.o.d"
+  "/root/repo/src/workload/genomics.cc" "src/CMakeFiles/pdx.dir/workload/genomics.cc.o" "gcc" "src/CMakeFiles/pdx.dir/workload/genomics.cc.o.d"
+  "/root/repo/src/workload/graph_gen.cc" "src/CMakeFiles/pdx.dir/workload/graph_gen.cc.o" "gcc" "src/CMakeFiles/pdx.dir/workload/graph_gen.cc.o.d"
+  "/root/repo/src/workload/random.cc" "src/CMakeFiles/pdx.dir/workload/random.cc.o" "gcc" "src/CMakeFiles/pdx.dir/workload/random.cc.o.d"
+  "/root/repo/src/workload/reductions.cc" "src/CMakeFiles/pdx.dir/workload/reductions.cc.o" "gcc" "src/CMakeFiles/pdx.dir/workload/reductions.cc.o.d"
+  "/root/repo/src/workload/setting_gen.cc" "src/CMakeFiles/pdx.dir/workload/setting_gen.cc.o" "gcc" "src/CMakeFiles/pdx.dir/workload/setting_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

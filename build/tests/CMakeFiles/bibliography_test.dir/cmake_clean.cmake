@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bibliography_test.dir/bibliography_test.cc.o"
+  "CMakeFiles/bibliography_test.dir/bibliography_test.cc.o.d"
+  "bibliography_test"
+  "bibliography_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bibliography_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

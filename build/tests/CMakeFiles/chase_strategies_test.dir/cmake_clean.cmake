@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chase_strategies_test.dir/chase_strategies_test.cc.o"
+  "CMakeFiles/chase_strategies_test.dir/chase_strategies_test.cc.o.d"
+  "chase_strategies_test"
+  "chase_strategies_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chase_strategies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

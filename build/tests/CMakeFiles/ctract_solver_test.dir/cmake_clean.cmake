@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctract_solver_test.dir/ctract_solver_test.cc.o"
+  "CMakeFiles/ctract_solver_test.dir/ctract_solver_test.cc.o.d"
+  "ctract_solver_test"
+  "ctract_solver_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctract_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

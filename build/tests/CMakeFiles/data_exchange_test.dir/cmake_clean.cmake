@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_exchange_test.dir/data_exchange_test.cc.o"
+  "CMakeFiles/data_exchange_test.dir/data_exchange_test.cc.o.d"
+  "data_exchange_test"
+  "data_exchange_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_exchange_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_views_test.dir/exact_views_test.cc.o"
+  "CMakeFiles/exact_views_test.dir/exact_views_test.cc.o.d"
+  "exact_views_test"
+  "exact_views_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_views_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

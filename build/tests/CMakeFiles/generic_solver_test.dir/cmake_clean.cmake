@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generic_solver_test.dir/generic_solver_test.cc.o"
+  "CMakeFiles/generic_solver_test.dir/generic_solver_test.cc.o.d"
+  "generic_solver_test"
+  "generic_solver_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generic_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instance_diff_test.dir/instance_diff_test.cc.o"
+  "CMakeFiles/instance_diff_test.dir/instance_diff_test.cc.o.d"
+  "instance_diff_test"
+  "instance_diff_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instance_diff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

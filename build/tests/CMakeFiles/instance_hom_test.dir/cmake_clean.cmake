@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instance_hom_test.dir/instance_hom_test.cc.o"
+  "CMakeFiles/instance_hom_test.dir/instance_hom_test.cc.o.d"
+  "instance_hom_test"
+  "instance_hom_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instance_hom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marking_test.dir/marking_test.cc.o"
+  "CMakeFiles/marking_test.dir/marking_test.cc.o.d"
+  "marking_test"
+  "marking_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

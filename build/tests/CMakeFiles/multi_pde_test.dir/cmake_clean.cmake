@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_pde_test.dir/multi_pde_test.cc.o"
+  "CMakeFiles/multi_pde_test.dir/multi_pde_test.cc.o.d"
+  "multi_pde_test"
+  "multi_pde_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_pde_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdms_test.dir/pdms_test.cc.o"
+  "CMakeFiles/pdms_test.dir/pdms_test.cc.o.d"
+  "pdms_test"
+  "pdms_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repairs_test.dir/repairs_test.cc.o"
+  "CMakeFiles/repairs_test.dir/repairs_test.cc.o.d"
+  "repairs_test"
+  "repairs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repairs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/setting_file_test.dir/setting_file_test.cc.o"
+  "CMakeFiles/setting_file_test.dir/setting_file_test.cc.o.d"
+  "setting_file_test"
+  "setting_file_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/setting_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/setting_test.dir/setting_test.cc.o"
+  "CMakeFiles/setting_test.dir/setting_test.cc.o.d"
+  "setting_test"
+  "setting_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/setting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

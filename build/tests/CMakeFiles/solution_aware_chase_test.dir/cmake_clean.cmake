@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solution_aware_chase_test.dir/solution_aware_chase_test.cc.o"
+  "CMakeFiles/solution_aware_chase_test.dir/solution_aware_chase_test.cc.o.d"
+  "solution_aware_chase_test"
+  "solution_aware_chase_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solution_aware_chase_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

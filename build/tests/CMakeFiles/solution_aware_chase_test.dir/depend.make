@@ -1,0 +1,2 @@
+# Empty dependencies file for solution_aware_chase_test.
+# This may be replaced when dependencies are built.

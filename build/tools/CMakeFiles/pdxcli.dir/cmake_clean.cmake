@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdxcli.dir/pdxcli.cc.o"
+  "CMakeFiles/pdxcli.dir/pdxcli.cc.o.d"
+  "pdxcli"
+  "pdxcli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdxcli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pdxcli.
+# This may be replaced when dependencies are built.

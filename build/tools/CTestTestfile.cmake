@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(pdxcli_check "/root/repo/build/tools/pdxcli" "check" "--setting" "/root/repo/data/example1.pdx")
+set_tests_properties(pdxcli_check PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(pdxcli_solve_triangle "/root/repo/build/tools/pdxcli" "solve" "--setting" "/root/repo/data/example1.pdx" "--source" "/root/repo/data/example1_triangle.facts")
+set_tests_properties(pdxcli_solve_triangle PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(pdxcli_solve_genomics "/root/repo/build/tools/pdxcli" "solve" "--setting" "/root/repo/data/genomics.pdx" "--source" "/root/repo/data/genomics_source.facts" "--target" "/root/repo/data/genomics_target.facts" "--minimize")
+set_tests_properties(pdxcli_solve_genomics PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(pdxcli_certain "/root/repo/build/tools/pdxcli" "certain" "--setting" "/root/repo/data/example1.pdx" "--source" "/root/repo/data/example1_triangle.facts" "--query" "q(x,y) :- H(x,y).")
+set_tests_properties(pdxcli_certain PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(pdxcli_chase "/root/repo/build/tools/pdxcli" "chase" "--setting" "/root/repo/data/example1.pdx" "--source" "/root/repo/data/example1_path.facts")
+set_tests_properties(pdxcli_chase PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(pdxcli_repairs "/root/repo/build/tools/pdxcli" "repairs" "--setting" "/root/repo/data/example1.pdx" "--source" "/root/repo/data/example1_path.facts" "--target" "/root/repo/data/example1_bad_target.facts")
+set_tests_properties(pdxcli_repairs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(pdxcli_explain "/root/repo/build/tools/pdxcli" "explain" "--setting" "/root/repo/data/example1.pdx" "--source" "/root/repo/data/example1_path.facts")
+set_tests_properties(pdxcli_explain PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;26;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(pdxcli_solve_diff "/root/repo/build/tools/pdxcli" "solve" "--setting" "/root/repo/data/genomics.pdx" "--source" "/root/repo/data/genomics_source.facts" "--target" "/root/repo/data/genomics_target.facts" "--diff")
+set_tests_properties(pdxcli_solve_diff PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;29;add_test;/root/repo/tools/CMakeLists.txt;0;")
