@@ -64,7 +64,7 @@ void BM_A1_ChaseNaive(benchmark::State& state) {
   AblationContext& ctx = Context();
   Instance start = ctx.RandomEdges(static_cast<int>(state.range(0)), 101);
   ChaseOptions options;
-  options.incremental = false;
+  options.strategy = ChaseStrategy::kRestrictedNaive;
   int64_t steps = 0;
   for (auto _ : state) {
     ChaseResult result = Chase(start, ctx.pipeline, {}, &ctx.symbols,
@@ -83,7 +83,7 @@ void BM_A1_ChaseIncremental(benchmark::State& state) {
   AblationContext& ctx = Context();
   Instance start = ctx.RandomEdges(static_cast<int>(state.range(0)), 101);
   ChaseOptions options;
-  options.incremental = true;
+  options.strategy = ChaseStrategy::kRestricted;
   int64_t steps = 0;
   for (auto _ : state) {
     ChaseResult result =

@@ -1,29 +1,52 @@
-// Experiment E1 (Lemma 1 / [8]): chase cost and chase length scale
-// polynomially in the instance size for weakly acyclic dependency sets.
-// Series reported:
-//   * standard chase over a 3-stage weakly acyclic pipeline,
-//   * chase with key egds merging invented nulls,
-//   * solution-aware chase length vs |K| (the Lemma 1 bound).
+// Chase engine A/B bench: runs the same workloads through the naive
+// full-rescan restricted chase and the delta-driven one, and writes the
+// results as machine-readable JSON (BENCH_chase.json) so the speedup is
+// trackable across commits.
+//
+// Per workload and strategy it reports wall time (best of `kRepeats`),
+// chase steps, result facts, and derived facts per second; per workload it
+// reports the naive/delta speedup. Strategies are also cross-checked for
+// fingerprint agreement, so a run doubles as a coarse correctness gate.
+//
+// Usage: bench_chase [output.json]   (default BENCH_chase.json in cwd)
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "chase/chase.h"
-#include "chase/solution_aware_chase.h"
 #include "logic/parser.h"
 #include "workload/random.h"
 
 namespace pdx {
 namespace {
 
-// Fixture state shared by the chase benchmarks: schema E/2, H/2, F/2.
-struct ChaseBenchContext {
+constexpr int kRepeats = 3;
+
+struct StrategyStats {
+  double wall_ms = 0;
+  int64_t steps = 0;
+  int64_t result_facts = 0;
+  double facts_per_sec = 0;
+  uint64_t fingerprint = 0;
+};
+
+struct WorkloadResult {
+  std::string name;
+  int64_t input_facts = 0;
+  StrategyStats naive;
+  StrategyStats delta;
+};
+
+struct BenchContext {
   Schema schema;
   SymbolTable symbols;
   std::vector<Tgd> pipeline_tgds;
   std::vector<Tgd> existential_tgds;
   std::vector<Egd> key_egds;
 
-  ChaseBenchContext() {
+  BenchContext() {
     PDX_CHECK(schema.AddRelation("E", 2).ok());
     PDX_CHECK(schema.AddRelation("H", 2).ok());
     PDX_CHECK(schema.AddRelation("F", 2).ok());
@@ -33,14 +56,15 @@ struct ChaseBenchContext {
         schema, &symbols);
     PDX_CHECK(deps.ok());
     pipeline_tgds = std::move(deps).value().tgds;
-    auto deps2 = ParseDependencies("E(x,y) -> exists z: H(x,z).", schema,
-                                   &symbols);
-    PDX_CHECK(deps2.ok());
-    existential_tgds = std::move(deps2).value().tgds;
-    auto deps3 =
+    auto deps_ex = ParseDependencies("E(x,y) -> exists z: H(x,z). "
+                                     "H(x,y) -> exists w: F(y,w).",
+                                     schema, &symbols);
+    PDX_CHECK(deps_ex.ok());
+    existential_tgds = std::move(deps_ex).value().tgds;
+    auto deps2 =
         ParseDependencies("H(x,y) & H(x,z) -> y = z.", schema, &symbols);
-    PDX_CHECK(deps3.ok());
-    key_egds = std::move(deps3).value().egds;
+    PDX_CHECK(deps2.ok());
+    key_egds = std::move(deps2).value().egds;
   }
 
   // A sparse random E-graph with `n` nodes and ~2n edges.
@@ -48,90 +72,131 @@ struct ChaseBenchContext {
     Rng rng(seed);
     Instance instance(&schema);
     for (int i = 0; i < 2 * n; ++i) {
-      Value u = symbols.InternConstant("n" + std::to_string(
-                                                 rng.UniformInt(n)));
-      Value v = symbols.InternConstant("n" + std::to_string(
-                                                 rng.UniformInt(n)));
+      Value u =
+          symbols.InternConstant("n" + std::to_string(rng.UniformInt(n)));
+      Value v =
+          symbols.InternConstant("n" + std::to_string(rng.UniformInt(n)));
       instance.AddFact(0, {u, v});
     }
     return instance;
   }
 };
 
-ChaseBenchContext& Context() {
-  static ChaseBenchContext* context = new ChaseBenchContext();
-  return *context;
-}
-
-void BM_ChaseWeaklyAcyclicPipeline(benchmark::State& state) {
-  ChaseBenchContext& ctx = Context();
-  Instance start = ctx.RandomEdges(static_cast<int>(state.range(0)), 17);
-  int64_t steps = 0;
-  int64_t result_size = 0;
-  for (auto _ : state) {
-    ChaseResult result = Chase(start, ctx.pipeline_tgds, &ctx.symbols);
+StrategyStats RunOne(BenchContext& ctx, const Instance& start,
+                     const std::vector<Tgd>& tgds,
+                     const std::vector<Egd>& egds, ChaseStrategy strategy) {
+  ChaseOptions options;
+  options.strategy = strategy;
+  options.max_steps = 10'000'000;
+  StrategyStats stats;
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    auto t0 = std::chrono::steady_clock::now();
+    ChaseResult result = Chase(start, tgds, egds, &ctx.symbols, options);
+    auto t1 = std::chrono::steady_clock::now();
     PDX_CHECK(result.outcome == ChaseOutcome::kSuccess);
-    steps = result.steps;
-    result_size = static_cast<int64_t>(result.instance.fact_count());
-    benchmark::DoNotOptimize(result.instance);
+    double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (rep == 0 || ms < stats.wall_ms) stats.wall_ms = ms;
+    stats.steps = result.steps;
+    stats.result_facts = static_cast<int64_t>(result.instance.fact_count());
+    if (rep == 0) stats.fingerprint = result.instance.CanonicalFingerprint();
   }
-  state.counters["input_facts"] =
+  // Throughput in derived facts (result minus input) per second.
+  double derived =
+      static_cast<double>(stats.result_facts) -
       static_cast<double>(start.fact_count());
-  state.counters["chase_steps"] = static_cast<double>(steps);
-  state.counters["result_facts"] = static_cast<double>(result_size);
+  stats.facts_per_sec =
+      stats.wall_ms > 0 ? derived / (stats.wall_ms / 1000.0) : 0;
+  return stats;
 }
-BENCHMARK(BM_ChaseWeaklyAcyclicPipeline)
-    ->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256)
-    ->Unit(benchmark::kMillisecond);
 
-void BM_ChaseWithKeyEgds(benchmark::State& state) {
-  ChaseBenchContext& ctx = Context();
-  Instance start = ctx.RandomEdges(static_cast<int>(state.range(0)), 23);
-  int64_t steps = 0;
-  for (auto _ : state) {
-    // The existential tgd invents one null per E-source node; the key egd
-    // then merges all of a node's H-successors into one.
-    ChaseResult result =
-        Chase(start, ctx.existential_tgds, ctx.key_egds, &ctx.symbols);
-    PDX_CHECK(result.outcome == ChaseOutcome::kSuccess);
-    steps = result.steps;
-    benchmark::DoNotOptimize(result.instance);
-  }
-  state.counters["input_facts"] = static_cast<double>(start.fact_count());
-  state.counters["chase_steps"] = static_cast<double>(steps);
+WorkloadResult RunWorkload(BenchContext& ctx, const std::string& name,
+                           const Instance& start,
+                           const std::vector<Tgd>& tgds,
+                           const std::vector<Egd>& egds) {
+  WorkloadResult result;
+  result.name = name;
+  result.input_facts = static_cast<int64_t>(start.fact_count());
+  result.naive =
+      RunOne(ctx, start, tgds, egds, ChaseStrategy::kRestrictedNaive);
+  result.delta = RunOne(ctx, start, tgds, egds, ChaseStrategy::kRestricted);
+  PDX_CHECK(result.naive.fingerprint == result.delta.fingerprint)
+      << "strategy disagreement on workload " << name;
+  std::fprintf(stderr,
+               "%-24s naive %9.2f ms (%6lld steps)   delta %9.2f ms "
+               "(%6lld steps)   speedup %5.2fx\n",
+               name.c_str(), result.naive.wall_ms,
+               static_cast<long long>(result.naive.steps),
+               result.delta.wall_ms,
+               static_cast<long long>(result.delta.steps),
+               result.naive.wall_ms / result.delta.wall_ms);
+  return result;
 }
-BENCHMARK(BM_ChaseWithKeyEgds)
-    ->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256)
-    ->Unit(benchmark::kMillisecond);
 
-void BM_SolutionAwareChaseLength(benchmark::State& state) {
-  ChaseBenchContext& ctx = Context();
-  int n = static_cast<int>(state.range(0));
-  Instance start = ctx.RandomEdges(n, 29);
-  // Build a solution by chasing normally first.
-  ChaseResult chased = Chase(start, ctx.pipeline_tgds, &ctx.symbols);
-  PDX_CHECK(chased.outcome == ChaseOutcome::kSuccess);
-  const Instance& solution = chased.instance;
-  int64_t steps = 0;
-  for (auto _ : state) {
-    ChaseResult result =
-        SolutionAwareChase(start, ctx.pipeline_tgds, {}, solution);
-    PDX_CHECK(result.outcome == ChaseOutcome::kSuccess);
-    steps = result.steps;
-    benchmark::DoNotOptimize(result.instance);
-  }
-  // Lemma 1: the chase length is polynomial in |K|; here every step adds a
-  // solution fact, so steps <= |solution| - |start|.
-  state.counters["K_facts"] = static_cast<double>(start.fact_count());
-  state.counters["chase_steps"] = static_cast<double>(steps);
-  state.counters["lemma1_bound"] =
-      static_cast<double>(solution.fact_count() - start.fact_count());
+void AppendStrategyJson(std::string* out, const char* key,
+                        const StrategyStats& stats) {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "      \"%s\": {\"wall_ms\": %.3f, \"chase_steps\": %lld, "
+                "\"result_facts\": %lld, \"facts_per_sec\": %.1f}",
+                key, stats.wall_ms, static_cast<long long>(stats.steps),
+                static_cast<long long>(stats.result_facts),
+                stats.facts_per_sec);
+  *out += buffer;
 }
-BENCHMARK(BM_SolutionAwareChaseLength)
-    ->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256)
-    ->Unit(benchmark::kMillisecond);
+
+std::string ToJson(const std::vector<WorkloadResult>& results) {
+  std::string out = "{\n  \"bench\": \"chase\",\n  \"repeats\": " +
+                    std::to_string(kRepeats) + ",\n  \"workloads\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const WorkloadResult& r = results[i];
+    char buffer[256];
+    std::snprintf(buffer, sizeof(buffer),
+                  "    {\n      \"name\": \"%s\",\n"
+                  "      \"input_facts\": %lld,\n",
+                  r.name.c_str(), static_cast<long long>(r.input_facts));
+    out += buffer;
+    AppendStrategyJson(&out, "naive", r.naive);
+    out += ",\n";
+    AppendStrategyJson(&out, "delta", r.delta);
+    std::snprintf(buffer, sizeof(buffer),
+                  ",\n      \"speedup\": %.2f\n    }",
+                  r.naive.wall_ms / r.delta.wall_ms);
+    out += buffer;
+    out += (i + 1 < results.size()) ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  BenchContext ctx;
+  std::vector<WorkloadResult> results;
+  // Weakly acyclic tgd pipeline at growing scale; the largest size is the
+  // headline number the README/DESIGN quote.
+  for (int n : {64, 128, 256, 512}) {
+    Instance start = ctx.RandomEdges(n, 17);
+    results.push_back(RunWorkload(ctx, "pipeline_n" + std::to_string(n),
+                                  start, ctx.pipeline_tgds, {}));
+  }
+  // Existential tgds with a key egd merging the invented nulls: exercises
+  // substitution invalidation (only rewritten relations re-scanned).
+  for (int n : {64, 128, 256}) {
+    Instance start = ctx.RandomEdges(n, 23);
+    results.push_back(RunWorkload(ctx, "existential_egd_n" + std::to_string(n),
+                                  start, ctx.existential_tgds, ctx.key_egds));
+  }
+
+  std::string path = argc > 1 ? argv[1] : "BENCH_chase.json";
+  std::string json = ToJson(results);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  PDX_CHECK(f != nullptr) << "cannot open " << path;
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+  return 0;
+}
 
 }  // namespace
 }  // namespace pdx
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return pdx::Main(argc, argv); }

@@ -40,6 +40,31 @@ bool FindViolatedEgdTrigger(const Instance& instance, const Egd& egd,
       });
 }
 
+// Like FindViolatedEgdTrigger, but only scans body matches touching the
+// delta (earlier matches were resolved when their facts were new).
+bool FindViolatedEgdTriggerDelta(const Instance& instance,
+                                 const DeltaView& delta, const Egd& egd,
+                                 Binding* out) {
+  return EnumerateMatchesDelta(
+      egd.body, egd.var_count, instance, delta, Binding::Empty(egd.var_count),
+      [&](const Binding& body_match) {
+        if (body_match.values[egd.left_var] ==
+            body_match.values[egd.right_var]) {
+          return true;
+        }
+        *out = body_match;
+        return false;
+      });
+}
+
+// True if some body atom could match inside the delta at all.
+bool TouchesDelta(const std::vector<Atom>& body, const DeltaView& delta) {
+  for (const Atom& atom : body) {
+    if (delta.dirty(atom.relation)) return true;
+  }
+  return false;
+}
+
 // Applies one tgd chase step for the trigger `binding`: extends the
 // binding with fresh nulls for existential variables and inserts the head
 // image. Returns the number of fresh nulls created.
@@ -85,44 +110,90 @@ uint64_t TriggerFingerprint(size_t tgd_index, const Tgd& tgd,
   return h;
 }
 
-// Applies target egds to fixpoint. Returns false on a constant/constant
-// clash (filling `result`); `merged` reports whether any substitution
-// happened (the incremental chase must then reset its watermarks).
+// Applies one egd substitution for the violated trigger (a, b), or fails
+// on a constant/constant clash. Shared by all egd loops.
+bool ApplyEgdStep(Value a, Value b, Instance* instance, SymbolTable* symbols,
+                  const ChaseOptions& options, ChaseResult* result) {
+  if (a.is_constant() && b.is_constant()) {
+    result->outcome = ChaseOutcome::kFailed;
+    result->failure = StrCat("egd equates distinct constants ",
+                             symbols->ValueToString(a), " and ",
+                             symbols->ValueToString(b));
+    ++result->steps;
+    return false;
+  }
+  if (a.is_null()) {
+    instance->Substitute(a, b);
+    result->merges[a.packed()] = b;
+  } else {
+    instance->Substitute(b, a);
+    result->merges[b.packed()] = a;
+  }
+  ++result->steps;
+  if (result->steps >= options.max_steps) {
+    result->outcome = ChaseOutcome::kBudgetExhausted;
+    return false;
+  }
+  return true;
+}
+
+// Applies target egds to fixpoint by full rescans. Returns false on a
+// constant/constant clash or budget exhaustion (filling `result`);
+// `merged` reports whether any substitution happened.
 bool RunEgdsToFixpoint(const std::vector<Egd>& egds, Instance* instance,
                        SymbolTable* symbols, const ChaseOptions& options,
                        ChaseResult* result, bool* merged) {
   for (const Egd& egd : egds) {
     Binding trigger = Binding::Empty(egd.var_count);
     while (FindViolatedEgdTrigger(*instance, egd, &trigger)) {
-      Value a = trigger.values[egd.left_var];
-      Value b = trigger.values[egd.right_var];
-      if (a.is_constant() && b.is_constant()) {
-        result->outcome = ChaseOutcome::kFailed;
-        result->failure = StrCat("egd equates distinct constants ",
-                                 symbols->ValueToString(a), " and ",
-                                 symbols->ValueToString(b));
-        ++result->steps;
+      if (!ApplyEgdStep(trigger.values[egd.left_var],
+                        trigger.values[egd.right_var], instance, symbols,
+                        options, result)) {
         return false;
-      }
-      if (a.is_null()) {
-        instance->Substitute(a, b);
-        result->merges[a.packed()] = b;
-      } else {
-        instance->Substitute(b, a);
-        result->merges[b.packed()] = a;
       }
       *merged = true;
-      ++result->steps;
-      if (result->steps >= options.max_steps) {
-        result->outcome = ChaseOutcome::kBudgetExhausted;
-        return false;
+    }
+  }
+  return true;
+}
+
+// Applies egds to fixpoint over the pending delta (everything beyond
+// `mark`). Each substitution rewrites only the relations containing the
+// merged null; those relations' rewrite counters advance, so the rebuilt
+// DeltaView treats exactly them as new again and cascading egd triggers
+// are re-examined without a global rescan. Returns false on clash or
+// budget exhaustion (filling `result`).
+bool RunEgdsDelta(const std::vector<Egd>& egds, Instance* instance,
+                  const InstanceWatermark& mark, SymbolTable* symbols,
+                  const ChaseOptions& options, ChaseResult* result) {
+  if (egds.empty()) return true;
+  bool fired = true;
+  while (fired) {
+    fired = false;
+    DeltaView delta(*instance, mark);
+    if (!delta.any()) return true;
+    for (const Egd& egd : egds) {
+      if (!TouchesDelta(egd.body, delta)) continue;
+      Binding trigger = Binding::Empty(egd.var_count);
+      while (FindViolatedEgdTriggerDelta(*instance, delta, egd, &trigger)) {
+        if (!ApplyEgdStep(trigger.values[egd.left_var],
+                          trigger.values[egd.right_var], instance, symbols,
+                          options, result)) {
+          return false;
+        }
+        fired = true;
+        // The substitution invalidated tuple indexes of the relations it
+        // rewrote; rebuild the view before scanning further.
+        delta = DeltaView(*instance, mark);
+        if (!TouchesDelta(egd.body, delta)) break;
       }
     }
   }
   return true;
 }
 
-// The classic scan-from-scratch restricted chase.
+// The classic scan-from-scratch restricted chase, kept as the
+// cross-validation baseline for the delta-driven default.
 ChaseResult ChaseRestrictedNaive(const Instance& start,
                                  const std::vector<Tgd>& tgds,
                                  const std::vector<Egd>& egds,
@@ -162,111 +233,77 @@ ChaseResult ChaseRestrictedNaive(const Instance& start,
   }
 }
 
-// Attempts to bind `atom` against `tuple` on top of `binding`; returns
-// false on clash. Shared by the semi-naive trigger scan.
-bool BindAtomToTuple(const Atom& atom, const Tuple& tuple, Binding* binding) {
-  for (size_t i = 0; i < atom.terms.size(); ++i) {
-    const Term& t = atom.terms[i];
-    if (t.is_constant()) {
-      if (t.constant() != tuple[i]) return false;
-    } else if (binding->bound[t.var()]) {
-      if (binding->values[t.var()] != tuple[i]) return false;
-    } else {
-      binding->Bind(t.var(), tuple[i]);
-    }
-  }
-  return true;
-}
-
-// Semi-naive restricted chase: per round, only triggers whose body touches
-// a fact added since the last round are scanned.
-ChaseResult ChaseRestrictedIncremental(const Instance& start,
-                                       const std::vector<Tgd>& tgds,
-                                       const std::vector<Egd>& egds,
-                                       SymbolTable* symbols,
-                                       const ChaseOptions& options) {
+// The delta-driven restricted chase: the fixpoint loop works off a
+// watermark into the instance; each round evaluates only triggers whose
+// body touches a fact beyond the watermark (semi-naive evaluation via
+// EnumerateMatchesDelta), then advances the watermark to the round's
+// frontier. Egd substitutions dirty only the relations they rewrote.
+ChaseResult ChaseRestrictedDelta(const Instance& start,
+                                 const std::vector<Tgd>& tgds,
+                                 const std::vector<Egd>& egds,
+                                 SymbolTable* symbols,
+                                 const ChaseOptions& options) {
   ChaseResult result(start);
   Instance& instance = result.instance;
-  int relation_count = instance.schema().relation_count();
-  // Per relation: number of tuples already scanned in earlier rounds.
-  std::vector<size_t> watermark(relation_count, 0);
-
+  // Everything is "new" before the first round, so round one degenerates
+  // to the full scan the naive chase would do — exactly once.
+  InstanceWatermark mark = InstanceWatermark::Origin(instance);
   while (true) {
     if (result.steps >= options.max_steps) {
       result.outcome = ChaseOutcome::kBudgetExhausted;
       return result;
     }
-    bool applied = false;
-    bool merged = false;
-    if (!RunEgdsToFixpoint(egds, &instance, symbols, options, &result,
-                           &merged)) {
+    if (!RunEgdsDelta(egds, &instance, mark, symbols, options, &result)) {
       return result;
     }
-    if (merged) {
-      // Substitution rewrote tuples and invalidated positions: rescan all.
-      watermark.assign(relation_count, 0);
-      applied = true;
-    }
-
-    // Snapshot the frontier: facts at index >= watermark are "new".
-    std::vector<size_t> frontier(relation_count);
-    for (RelationId r = 0; r < relation_count; ++r) {
-      frontier[r] = instance.tuples(r).size();
-    }
-
-    for (const Tgd& tgd : tgds) {
-      for (size_t pivot = 0; pivot < tgd.body.size(); ++pivot) {
-        const Atom& atom = tgd.body[pivot];
-        // Only tuples within this round's frontier are pivots; facts the
-        // round itself adds become pivots next round.
-        for (size_t idx = watermark[atom.relation];
-             idx < frontier[atom.relation] &&
-             idx < instance.tuples(atom.relation).size();
-             ++idx) {
-          Binding partial = Binding::Empty(tgd.var_count);
-          if (!BindAtomToTuple(atom, instance.tuples(atom.relation)[idx],
-                               &partial)) {
-            continue;
-          }
-          // Collect the violated triggers for this pivot, then apply them.
-          // (Applying while enumerating would mutate the instance under
-          // the matcher.)
-          std::vector<Binding> pending;
-          EnumerateMatches(tgd.body, tgd.var_count, instance, partial,
-                           [&](const Binding& body_match) {
-                             if (!HasMatch(tgd.head, tgd.var_count, instance,
-                                           body_match)) {
-                               pending.push_back(body_match);
-                             }
-                             return true;
-                           });
-          for (const Binding& trigger : pending) {
-            // Re-check: an earlier application may have satisfied it.
-            if (HasMatch(tgd.head, tgd.var_count, instance, trigger)) {
-              continue;
-            }
-            result.nulls_created +=
-                ApplyTgdStep(tgd, trigger, &instance, symbols);
-            ++result.steps;
-            applied = true;
-            if (result.steps >= options.max_steps) {
-              result.outcome = ChaseOutcome::kBudgetExhausted;
-              return result;
-            }
-          }
-        }
-      }
-    }
-    watermark = frontier;
-    if (!applied) {
+    DeltaView delta(instance, mark);
+    if (!delta.any()) {
+      // Nothing new since the last full round: every trigger has been
+      // examined against a state it still holds in. Fixpoint.
       result.outcome = ChaseOutcome::kSuccess;
       return result;
     }
+    // Facts present now are covered once this round's triggers have been
+    // evaluated; facts the round itself adds become the next delta.
+    InstanceWatermark frontier = instance.TakeWatermark();
+    for (const Tgd& tgd : tgds) {
+      if (!TouchesDelta(tgd.body, delta)) continue;
+      // Collect the violated triggers for this delta, then apply them.
+      // (Applying while enumerating would mutate the instance under the
+      // matcher.)
+      std::vector<Binding> pending;
+      EnumerateMatchesDelta(tgd.body, tgd.var_count, instance, delta,
+                            Binding::Empty(tgd.var_count),
+                            [&](const Binding& body_match) {
+                              if (!HasMatch(tgd.head, tgd.var_count, instance,
+                                            body_match)) {
+                                pending.push_back(body_match);
+                              }
+                              return true;
+                            });
+      for (const Binding& trigger : pending) {
+        // Re-check: an earlier application may have satisfied it.
+        if (HasMatch(tgd.head, tgd.var_count, instance, trigger)) {
+          continue;
+        }
+        result.nulls_created += ApplyTgdStep(tgd, trigger, &instance,
+                                             symbols);
+        ++result.steps;
+        if (result.steps >= options.max_steps) {
+          result.outcome = ChaseOutcome::kBudgetExhausted;
+          return result;
+        }
+      }
+    }
+    mark = std::move(frontier);
   }
 }
 
-// The oblivious chase: every body homomorphism of every tgd fires exactly
-// once, with fresh nulls for its existential variables.
+// The delta-driven oblivious chase: every body homomorphism of every tgd
+// fires exactly once, tracked by the trigger-fingerprint set. Only matches
+// touching the delta are enumerated per round; a match wholly over old
+// facts was enumerated (and fingerprinted) in the round its newest fact
+// arrived, so nothing is missed.
 ChaseResult ChaseOblivious(const Instance& start,
                            const std::vector<Tgd>& tgds,
                            const std::vector<Egd>& egds,
@@ -274,47 +311,48 @@ ChaseResult ChaseOblivious(const Instance& start,
   ChaseResult result(start);
   Instance& instance = result.instance;
   std::unordered_set<uint64_t> fired;
+  InstanceWatermark mark = InstanceWatermark::Origin(instance);
   while (true) {
     if (result.steps >= options.max_steps) {
       result.outcome = ChaseOutcome::kBudgetExhausted;
       return result;
     }
-    bool applied = false;
-    bool merged = false;
-    if (!RunEgdsToFixpoint(egds, &instance, symbols, options, &result,
-                           &merged)) {
+    if (!RunEgdsDelta(egds, &instance, mark, symbols, options, &result)) {
       return result;
     }
-    applied |= merged;
+    DeltaView delta(instance, mark);
+    if (!delta.any()) {
+      result.outcome = ChaseOutcome::kSuccess;
+      return result;
+    }
+    InstanceWatermark frontier = instance.TakeWatermark();
     for (size_t d = 0; d < tgds.size(); ++d) {
       const Tgd& tgd = tgds[d];
+      if (!TouchesDelta(tgd.body, delta)) continue;
       // Collect unfired triggers first (the instance must not change under
       // the matcher), then fire them.
       std::vector<Binding> pending;
-      EnumerateMatches(tgd.body, tgd.var_count, instance,
-                       Binding::Empty(tgd.var_count),
-                       [&](const Binding& body_match) {
-                         uint64_t fp = TriggerFingerprint(d, tgd, body_match);
-                         if (fired.insert(fp).second) {
-                           pending.push_back(body_match);
-                         }
-                         return true;
-                       });
+      EnumerateMatchesDelta(tgd.body, tgd.var_count, instance, delta,
+                            Binding::Empty(tgd.var_count),
+                            [&](const Binding& body_match) {
+                              uint64_t fp =
+                                  TriggerFingerprint(d, tgd, body_match);
+                              if (fired.insert(fp).second) {
+                                pending.push_back(body_match);
+                              }
+                              return true;
+                            });
       for (const Binding& trigger : pending) {
         result.nulls_created += ApplyTgdStep(tgd, trigger, &instance,
                                              symbols);
         ++result.steps;
-        applied = true;
         if (result.steps >= options.max_steps) {
           result.outcome = ChaseOutcome::kBudgetExhausted;
           return result;
         }
       }
     }
-    if (!applied) {
-      result.outcome = ChaseOutcome::kSuccess;
-      return result;
-    }
+    mark = std::move(frontier);
   }
 }
 
@@ -327,12 +365,10 @@ ChaseResult Chase(const Instance& start, const std::vector<Tgd>& tgds,
   switch (options.strategy) {
     case ChaseStrategy::kOblivious:
       return ChaseOblivious(start, tgds, egds, symbols, options);
-    case ChaseStrategy::kRestricted:
-      if (options.incremental) {
-        return ChaseRestrictedIncremental(start, tgds, egds, symbols,
-                                          options);
-      }
+    case ChaseStrategy::kRestrictedNaive:
       return ChaseRestrictedNaive(start, tgds, egds, symbols, options);
+    case ChaseStrategy::kRestricted:
+      return ChaseRestrictedDelta(start, tgds, egds, symbols, options);
   }
   ChaseResult result(start);
   result.outcome = ChaseOutcome::kBudgetExhausted;

@@ -7,16 +7,32 @@ namespace pdx {
 
 namespace {
 
-// Finds a violated trigger h for `tgd` in `instance` together with an
-// extension h' into `solution` witnessing the existential variables
-// (guaranteed to exist since solution ⊇ instance satisfies the tgd).
-// Returns true and fills `extended` with the full assignment.
-bool FindSolutionAwareTrigger(const Instance& instance,
-                              const Instance& solution, const Tgd& tgd,
-                              Binding* extended) {
-  return EnumerateMatches(
-      tgd.body, tgd.var_count, instance, Binding::Empty(tgd.var_count),
-      [&](const Binding& body_match) {
+// A violated trigger to fire: the body homomorphism found in the chased
+// instance plus its extension into `solution` witnessing the existential
+// variables.
+struct SolutionAwareTrigger {
+  Binding body;
+  Binding extended;
+};
+
+// True if some body atom's relation has new facts in `delta`.
+bool TouchesDelta(const std::vector<Atom>& body, const DeltaView& delta) {
+  for (const Atom& atom : body) {
+    if (delta.dirty(atom.relation)) return true;
+  }
+  return false;
+}
+
+// Collects the violated triggers for `tgd` whose body touches `delta`,
+// each extended into `solution` (guaranteed possible since
+// solution ⊇ instance satisfies the tgd).
+void CollectSolutionAwareTriggers(const Instance& instance,
+                                  const DeltaView& delta,
+                                  const Instance& solution, const Tgd& tgd,
+                                  std::vector<SolutionAwareTrigger>* out) {
+  EnumerateMatchesDelta(
+      tgd.body, tgd.var_count, instance, delta,
+      Binding::Empty(tgd.var_count), [&](const Binding& body_match) {
         if (HasMatch(tgd.head, tgd.var_count, instance, body_match)) {
           return true;  // satisfied trigger; keep searching
         }
@@ -24,12 +40,12 @@ bool FindSolutionAwareTrigger(const Instance& instance,
         bool witnessed = EnumerateMatches(
             tgd.head, tgd.var_count, solution, body_match,
             [&](const Binding& full) {
-              *extended = full;
+              out->push_back({body_match, full});
               return false;  // first witness suffices
             });
         PDX_CHECK(witnessed)
             << "solution-aware chase: the provided solution violates a tgd";
-        return false;  // stop: trigger found and extended
+        return true;  // keep collecting
       });
 }
 
@@ -44,75 +60,100 @@ ChaseResult SolutionAwareChase(const Instance& start,
       << "solution-aware chase requires start ⊆ solution";
   ChaseResult result(start);
   Instance& instance = result.instance;
+  // Delta-driven fixpoint: per round, only triggers touching facts added
+  // (or relations rewritten by an egd step) since the previous round are
+  // evaluated. Round one sees everything as new.
+  InstanceWatermark mark = InstanceWatermark::Origin(instance);
   while (true) {
     if (result.steps >= options.max_steps) {
       result.outcome = ChaseOutcome::kBudgetExhausted;
       return result;
     }
-    bool applied = false;
-    for (const Egd& egd : egds) {
-      while (true) {
-        Binding trigger = Binding::Empty(egd.var_count);
-        bool violated = !EnumerateMatches(
-            egd.body, egd.var_count, instance, Binding::Empty(egd.var_count),
-            [&](const Binding& body_match) {
-              if (body_match.values[egd.left_var] ==
-                  body_match.values[egd.right_var]) {
-                return true;
-              }
-              trigger = body_match;
-              return false;
-            });
-        // EnumerateMatches returns true iff stopped early (violation found).
-        violated = !violated;
-        if (!violated) break;
-        Value a = trigger.values[egd.left_var];
-        Value b = trigger.values[egd.right_var];
-        if (a.is_constant() && b.is_constant()) {
-          result.outcome = ChaseOutcome::kFailed;
-          result.failure = "egd equates distinct constants";
-          ++result.steps;
-          return result;
-        }
-        if (a.is_null()) {
-          instance.Substitute(a, b);
-          result.merges[a.packed()] = b;
-        } else {
-          instance.Substitute(b, a);
-          result.merges[b.packed()] = a;
-        }
-        ++result.steps;
-        applied = true;
-        if (result.steps >= options.max_steps) {
-          result.outcome = ChaseOutcome::kBudgetExhausted;
-          return result;
+    // Egds to fixpoint over the pending delta.
+    {
+      bool fired = true;
+      while (fired) {
+        fired = false;
+        DeltaView delta(instance, mark);
+        if (!delta.any()) break;
+        for (const Egd& egd : egds) {
+          if (!TouchesDelta(egd.body, delta)) continue;
+          while (true) {
+            Binding trigger = Binding::Empty(egd.var_count);
+            bool violated = EnumerateMatchesDelta(
+                egd.body, egd.var_count, instance, delta,
+                Binding::Empty(egd.var_count),
+                [&](const Binding& body_match) {
+                  if (body_match.values[egd.left_var] ==
+                      body_match.values[egd.right_var]) {
+                    return true;
+                  }
+                  trigger = body_match;
+                  return false;
+                });
+            if (!violated) break;
+            Value a = trigger.values[egd.left_var];
+            Value b = trigger.values[egd.right_var];
+            if (a.is_constant() && b.is_constant()) {
+              result.outcome = ChaseOutcome::kFailed;
+              result.failure = "egd equates distinct constants";
+              ++result.steps;
+              return result;
+            }
+            if (a.is_null()) {
+              instance.Substitute(a, b);
+              result.merges[a.packed()] = b;
+            } else {
+              instance.Substitute(b, a);
+              result.merges[b.packed()] = a;
+            }
+            ++result.steps;
+            fired = true;
+            if (result.steps >= options.max_steps) {
+              result.outcome = ChaseOutcome::kBudgetExhausted;
+              return result;
+            }
+            // The substitution rewrote relation stores; rebuild the view.
+            delta = DeltaView(instance, mark);
+            if (!TouchesDelta(egd.body, delta)) break;
+          }
         }
       }
     }
+    DeltaView delta(instance, mark);
+    if (!delta.any()) {
+      result.outcome = ChaseOutcome::kSuccess;
+      return result;
+    }
+    InstanceWatermark frontier = instance.TakeWatermark();
     for (const Tgd& tgd : tgds) {
-      Binding extended = Binding::Empty(tgd.var_count);
-      while (FindSolutionAwareTrigger(instance, solution, tgd, &extended)) {
+      if (!TouchesDelta(tgd.body, delta)) continue;
+      std::vector<SolutionAwareTrigger> pending;
+      CollectSolutionAwareTriggers(instance, delta, solution, tgd, &pending);
+      for (const SolutionAwareTrigger& trigger : pending) {
+        // Re-check on the body match: an earlier application this round
+        // may have satisfied it.
+        if (HasMatch(tgd.head, tgd.var_count, instance, trigger.body)) {
+          continue;
+        }
         for (const Atom& atom : tgd.head) {
           Tuple tuple;
           tuple.reserve(atom.terms.size());
           for (const Term& t : atom.terms) {
-            tuple.push_back(t.is_constant() ? t.constant()
-                                            : extended.values[t.var()]);
+            tuple.push_back(t.is_constant()
+                                ? t.constant()
+                                : trigger.extended.values[t.var()]);
           }
           instance.AddFact(atom.relation, std::move(tuple));
         }
         ++result.steps;
-        applied = true;
         if (result.steps >= options.max_steps) {
           result.outcome = ChaseOutcome::kBudgetExhausted;
           return result;
         }
       }
     }
-    if (!applied) {
-      result.outcome = ChaseOutcome::kSuccess;
-      return result;
-    }
+    mark = std::move(frontier);
   }
 }
 

@@ -14,6 +14,14 @@ struct SearchContext {
   const std::function<bool(const Binding&)>* fn;
   Binding binding;
   std::vector<bool> done;  // per atom: already matched on this path
+  // Optional per-atom exclusive upper bound on candidate tuple indexes
+  // (the semi-naive "old facts only" restriction); nullptr = unbounded.
+  const std::vector<size_t>* max_index = nullptr;
+
+  bool Admissible(int atom, int tuple_index) const {
+    return max_index == nullptr ||
+           static_cast<size_t>(tuple_index) < (*max_index)[atom];
+  }
 };
 
 // Estimated number of candidate tuples for `atom` under the current
@@ -124,6 +132,7 @@ bool Search(SearchContext* ctx, int remaining) {
   const std::vector<Tuple>& tuples = ctx->instance->tuples(atom.relation);
   std::vector<VariableId> trail;
   for (int idx : *candidates) {
+    if (!ctx->Admissible(chosen, idx)) continue;
     trail.clear();
     if (Unify(ctx, atom, tuples[idx], &trail)) {
       if (Search(ctx, remaining - 1)) {
@@ -151,6 +160,44 @@ bool EnumerateMatches(const std::vector<Atom>& atoms, int var_count,
   ctx.binding = partial;
   ctx.done.assign(atoms.size(), false);
   return Search(&ctx, static_cast<int>(atoms.size()));
+}
+
+bool EnumerateMatchesDelta(const std::vector<Atom>& atoms, int var_count,
+                           const Instance& instance, const DeltaView& delta,
+                           const Binding& partial,
+                           const std::function<bool(const Binding&)>& fn) {
+  PDX_CHECK_EQ(static_cast<int>(partial.bound.size()), var_count);
+  constexpr size_t kUnbounded = std::numeric_limits<size_t>::max();
+  for (size_t pivot = 0; pivot < atoms.size(); ++pivot) {
+    const Atom& pivot_atom = atoms[pivot];
+    size_t begin = delta.begin(pivot_atom.relation);
+    size_t end = delta.end(pivot_atom.relation);
+    if (begin >= end) continue;
+    // Atoms before the pivot may only use pre-delta facts, so each match
+    // is enumerated under exactly one pivot (its first delta atom).
+    std::vector<size_t> bounds(atoms.size(), kUnbounded);
+    for (size_t i = 0; i < pivot; ++i) {
+      bounds[i] = delta.begin(atoms[i].relation);
+    }
+    SearchContext ctx;
+    ctx.atoms = &atoms;
+    ctx.instance = &instance;
+    ctx.fn = &fn;
+    ctx.max_index = &bounds;
+    const std::vector<Tuple>& tuples = instance.tuples(pivot_atom.relation);
+    std::vector<VariableId> trail;
+    for (size_t idx = begin; idx < end && idx < tuples.size(); ++idx) {
+      ctx.binding = partial;
+      ctx.done.assign(atoms.size(), false);
+      ctx.done[pivot] = true;
+      trail.clear();
+      if (Unify(&ctx, pivot_atom, tuples[idx], &trail) &&
+          Search(&ctx, static_cast<int>(atoms.size()) - 1)) {
+        return true;
+      }
+    }
+  }
+  return false;
 }
 
 bool HasMatch(const std::vector<Atom>& atoms, int var_count,

@@ -46,6 +46,21 @@ bool EnumerateMatches(const std::vector<Atom>& atoms, int var_count,
                       const Instance& instance, const Binding& partial,
                       const std::function<bool(const Binding&)>& fn);
 
+// Delta-restricted enumeration (the semi-naive restriction): enumerates
+// only homomorphisms that match at least one body atom to a fact inside
+// `delta`, i.e. a fact added since the delta's watermark. Every such match
+// is produced exactly once: the *first* atom (in `atoms` order) mapped to
+// a delta fact acts as the pivot — it ranges over the delta, atoms before
+// it are confined to pre-delta facts, atoms after it are unrestricted.
+// Matches entirely over pre-delta facts are skipped; a caller that has
+// already processed them (the previous chase rounds) loses nothing.
+//
+// Callback and return semantics are identical to EnumerateMatches.
+bool EnumerateMatchesDelta(const std::vector<Atom>& atoms, int var_count,
+                           const Instance& instance, const DeltaView& delta,
+                           const Binding& partial,
+                           const std::function<bool(const Binding&)>& fn);
+
 // True if at least one homomorphism extending `partial` exists.
 bool HasMatch(const std::vector<Atom>& atoms, int var_count,
               const Instance& instance, const Binding& partial);

@@ -8,10 +8,9 @@
 
 namespace pdx {
 
-StatusOr<CtractSolveResult> CtractExistsSolution(const PdeSetting& setting,
-                                                 const Instance& source,
-                                                 const Instance& target,
-                                                 SymbolTable* symbols) {
+StatusOr<CtractSolveResult> CtractExistsSolution(
+    const PdeSetting& setting, const Instance& source, const Instance& target,
+    SymbolTable* symbols, const ChaseOptions& chase_options) {
   PDX_CHECK(symbols != nullptr);
   if (setting.HasTargetConstraints()) {
     return FailedPreconditionError(
@@ -35,7 +34,8 @@ StatusOr<CtractSolveResult> CtractExistsSolution(const PdeSetting& setting,
   // and heads over T, so the chase adds only target facts and terminates
   // after one pass over the (fixed) source triggers.
   Instance combined = setting.CombineInstances(source, target);
-  ChaseResult st_chase = Chase(combined, setting.st_tgds(), symbols);
+  ChaseResult st_chase =
+      Chase(combined, setting.st_tgds(), {}, symbols, chase_options);
   PDX_CHECK(st_chase.outcome == ChaseOutcome::kSuccess)
       << "Σ_st chase cannot fail or diverge";
   result.chase_steps += st_chase.steps;
@@ -44,7 +44,8 @@ StatusOr<CtractSolveResult> CtractExistsSolution(const PdeSetting& setting,
 
   // Step 2: (J_can, I_can) = chase of (J_can, ∅) with Σ_ts. Bodies over T
   // (fixed), heads over S: again a single-pass terminating chase.
-  ChaseResult ts_chase = Chase(j_can, setting.ts_tgds(), symbols);
+  ChaseResult ts_chase =
+      Chase(j_can, setting.ts_tgds(), {}, symbols, chase_options);
   PDX_CHECK(ts_chase.outcome == ChaseOutcome::kSuccess)
       << "Σ_ts chase cannot fail or diverge";
   result.chase_steps += ts_chase.steps;

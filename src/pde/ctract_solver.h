@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "base/status.h"
+#include "chase/chase.h"
 #include "pde/setting.h"
 #include "relational/instance.h"
 #include "relational/value.h"
@@ -44,10 +45,11 @@ struct CtractSolveResult {
 // `source` must be a ground source-side instance; `target` a target-side
 // instance (it may contain nulls; the paper's J is null-free but nothing
 // here requires that).
-StatusOr<CtractSolveResult> CtractExistsSolution(const PdeSetting& setting,
-                                                 const Instance& source,
-                                                 const Instance& target,
-                                                 SymbolTable* symbols);
+// `chase_options` selects the strategy for both chase phases (delta-driven
+// by default; cross-validation passes kRestrictedNaive to A/B the engines).
+StatusOr<CtractSolveResult> CtractExistsSolution(
+    const PdeSetting& setting, const Instance& source, const Instance& target,
+    SymbolTable* symbols, const ChaseOptions& chase_options = ChaseOptions());
 
 }  // namespace pdx
 

@@ -4,10 +4,9 @@
 
 namespace pdx {
 
-StatusOr<DataExchangeResult> SolveDataExchange(const PdeSetting& setting,
-                                               const Instance& source,
-                                               const Instance& target,
-                                               SymbolTable* symbols) {
+StatusOr<DataExchangeResult> SolveDataExchange(
+    const PdeSetting& setting, const Instance& source, const Instance& target,
+    SymbolTable* symbols, const ChaseOptions& chase_options) {
   PDX_CHECK(symbols != nullptr);
   if (!setting.IsDataExchange()) {
     return FailedPreconditionError(
@@ -20,7 +19,8 @@ StatusOr<DataExchangeResult> SolveDataExchange(const PdeSetting& setting,
   tgds.insert(tgds.end(), setting.target_tgds().begin(),
               setting.target_tgds().end());
   Instance combined = setting.CombineInstances(source, target);
-  ChaseResult chase = Chase(combined, tgds, setting.target_egds(), symbols);
+  ChaseResult chase =
+      Chase(combined, tgds, setting.target_egds(), symbols, chase_options);
 
   DataExchangeResult result;
   result.chase_steps = chase.steps;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "base/status.h"
+#include "chase/chase.h"
 #include "logic/conjunctive_query.h"
 #include "pde/setting.h"
 #include "relational/instance.h"
@@ -33,10 +34,11 @@ struct DataExchangeResult {
 // setting.IsDataExchange(); Σ_t's tgds should be weakly acyclic for the
 // polynomial guarantee (a chase budget guards the general case).
 // has_solution == false means the chase failed on a target egd.
-StatusOr<DataExchangeResult> SolveDataExchange(const PdeSetting& setting,
-                                               const Instance& source,
-                                               const Instance& target,
-                                               SymbolTable* symbols);
+// `chase_options` selects the chase strategy (delta-driven by default;
+// cross-validation passes kRestrictedNaive to A/B the two engines).
+StatusOr<DataExchangeResult> SolveDataExchange(
+    const PdeSetting& setting, const Instance& source, const Instance& target,
+    SymbolTable* symbols, const ChaseOptions& chase_options = ChaseOptions());
 
 // PTIME certain answers for a union of conjunctive queries over the target
 // schema, via the universal solution: evaluate naively, keep null-free

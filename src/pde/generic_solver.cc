@@ -4,6 +4,7 @@
 
 #include "chase/chase.h"
 #include "hom/matcher.h"
+#include "relational/snapshot.h"
 
 namespace pdx {
 
@@ -32,7 +33,10 @@ class Searcher {
         has_egds_(!setting.target_egds().empty()) {}
 
   GenericSolveResult Run(Instance start) {
-    Explore(std::move(start), 0);
+    // At the root everything is "new", so the first egd pass is a full
+    // scan; below the root, children only re-examine what they added.
+    InstanceWatermark origin = InstanceWatermark::Origin(start);
+    Explore(std::move(start), 0, origin);
     result_.nodes_explored = nodes_;
     if (budget_hit_ && !found_) {
       result_.outcome = SolveOutcome::kBudgetExhausted;
@@ -49,16 +53,19 @@ class Searcher {
 
  private:
   // Returns true to abort the entire search (first solution found in
-  // non-enumerating mode, or budget exhausted).
-  bool Explore(Instance k, int depth) {
+  // non-enumerating mode, or budget exhausted). `since` is the parent
+  // snapshot's watermark: everything `k` holds beyond it is what this
+  // branch added, and is the only place a new egd violation can hide
+  // (the parent ran its own egd fixpoint before branching).
+  bool Explore(Instance k, int depth, const InstanceWatermark& since) {
     if (nodes_ >= options_.max_nodes || depth > options_.max_depth) {
       budget_hit_ = true;
       return true;
     }
     ++nodes_;
 
-    // Deterministic phase: egd fixpoint.
-    if (!ApplyEgdFixpoint(&k)) return false;  // constant clash: dead
+    // Deterministic phase: egd fixpoint, delta-restricted.
+    if (!ApplyEgdFixpoint(&k, since)) return false;  // constant clash: dead
 
     // Memoization (after egds so equivalent states coincide).
     if (!visited_.insert(k.CanonicalFingerprint()).second) return false;
@@ -76,6 +83,8 @@ class Searcher {
     // Branch over witness assignments for the trigger's existential
     // variables: current active domain values, nulls introduced for
     // earlier variables of this same assignment, or one fresh null.
+    // Branches fork off a copy-on-write snapshot of the egd-normalized
+    // state, so each child costs O(relations touched), not O(instance).
     std::vector<Value> domain = k.ActiveDomain();
     std::vector<VariableId> exist_vars;
     for (VariableId v = 0; v < trigger.tgd->var_count; ++v) {
@@ -83,7 +92,8 @@ class Searcher {
         exist_vars.push_back(v);
       }
     }
-    return BranchOnAssignment(k, depth, *trigger.tgd, trigger.binding,
+    InstanceSnapshot snapshot(k);
+    return BranchOnAssignment(snapshot, depth, *trigger.tgd, trigger.binding,
                               exist_vars, 0, domain);
   }
 
@@ -91,12 +101,12 @@ class Searcher {
   // tries every current-domain value, every null invented for an earlier
   // variable of this assignment (those are appended to `domain` as we
   // recurse), and one fresh null.
-  bool BranchOnAssignment(const Instance& k, int depth, const Tgd& tgd,
-                          Binding binding,
+  bool BranchOnAssignment(const InstanceSnapshot& snapshot, int depth,
+                          const Tgd& tgd, Binding binding,
                           const std::vector<VariableId>& exist_vars, size_t i,
                           std::vector<Value>& domain) {
     if (i == exist_vars.size()) {
-      Instance k2 = k;
+      Instance k2 = snapshot.Branch();
       for (const Atom& atom : tgd.head) {
         Tuple tuple;
         tuple.reserve(atom.terms.size());
@@ -106,7 +116,7 @@ class Searcher {
         }
         k2.AddFact(atom.relation, std::move(tuple));
       }
-      return Explore(std::move(k2), depth + 1);
+      return Explore(std::move(k2), depth + 1, snapshot.watermark());
     }
     VariableId v = exist_vars[i];
     // Existing values (including nulls invented for earlier variables of
@@ -114,7 +124,7 @@ class Searcher {
     size_t domain_size = domain.size();
     for (size_t d = 0; d < domain_size; ++d) {
       binding.Bind(v, domain[d]);
-      if (BranchOnAssignment(k, depth, tgd, binding, exist_vars, i + 1,
+      if (BranchOnAssignment(snapshot, depth, tgd, binding, exist_vars, i + 1,
                              domain)) {
         return true;
       }
@@ -123,24 +133,28 @@ class Searcher {
     Value fresh = symbols_->FreshNull();
     binding.Bind(v, fresh);
     domain.push_back(fresh);
-    bool stop = BranchOnAssignment(k, depth, tgd, binding, exist_vars, i + 1,
-                                   domain);
+    bool stop = BranchOnAssignment(snapshot, depth, tgd, binding, exist_vars,
+                                   i + 1, domain);
     domain.pop_back();
     return stop;
   }
 
-  // Applies target egds to fixpoint. Returns false on constant/constant
-  // clash.
-  bool ApplyEgdFixpoint(Instance* k) {
+  // Applies target egds to fixpoint, scanning only triggers that touch
+  // facts beyond `since` (the parent state was already egd-clean).
+  // Substitutions dirty the relations they rewrite, which the rebuilt
+  // DeltaView picks up. Returns false on constant/constant clash.
+  bool ApplyEgdFixpoint(Instance* k, const InstanceWatermark& since) {
     bool changed = true;
     while (changed) {
       changed = false;
+      DeltaView delta(*k, since);
+      if (!delta.any()) return true;
       for (const Egd& egd : setting_.target_egds()) {
         while (true) {
           Binding trigger = Binding::Empty(egd.var_count);
-          bool violated = EnumerateMatches(
-              egd.body, egd.var_count, *k, Binding::Empty(egd.var_count),
-              [&](const Binding& match) {
+          bool violated = EnumerateMatchesDelta(
+              egd.body, egd.var_count, *k, delta,
+              Binding::Empty(egd.var_count), [&](const Binding& match) {
                 if (match.values[egd.left_var] ==
                     match.values[egd.right_var]) {
                   return true;  // keep searching
@@ -158,6 +172,8 @@ class Searcher {
             k->Substitute(b, a);
           }
           changed = true;
+          // Substitution moved tuple indexes; rebuild before rescanning.
+          delta = DeltaView(*k, since);
         }
       }
     }

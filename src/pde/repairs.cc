@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "pde/certain_answers.h"
+#include "relational/snapshot.h"
 
 namespace pdx {
 
@@ -16,15 +17,6 @@ std::vector<Fact> SortedFacts(const Instance& instance) {
   std::vector<Fact> facts = instance.AllFacts();
   std::sort(facts.begin(), facts.end());
   return facts;
-}
-
-Instance FromFacts(const Schema* schema, const std::vector<Fact>& facts,
-                   size_t skip_index) {
-  Instance instance(schema);
-  for (size_t i = 0; i < facts.size(); ++i) {
-    if (i != skip_index) instance.AddFact(facts[i]);
-  }
-  return instance;
 }
 
 }  // namespace
@@ -64,8 +56,12 @@ StatusOr<std::vector<Instance>> ComputeSubsetRepairs(
     Instance node = std::move(frontier.front());
     frontier.pop_front();
     std::vector<Fact> facts = SortedFacts(node);
+    // Children branch off a copy-on-write snapshot of the node: each child
+    // shares every relation store except the one it removed a fact from.
+    InstanceSnapshot snapshot(node);
     for (size_t i = 0; i < facts.size(); ++i) {
-      Instance child = FromFacts(&setting.schema(), facts, i);
+      Instance child = snapshot.Branch();
+      PDX_CHECK(child.RemoveFact(facts[i]));
       if (!seen.insert(child.CanonicalFingerprint()).second) continue;
       if (++examined > options.max_subsets_examined) {
         return ResourceExhaustedError(

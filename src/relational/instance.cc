@@ -7,59 +7,126 @@
 
 namespace pdx {
 
+InstanceWatermark InstanceWatermark::Origin(const Instance& instance) {
+  InstanceWatermark mark;
+  int n = instance.schema().relation_count();
+  mark.counts.assign(n, 0);
+  mark.rewrites.resize(n);
+  for (RelationId r = 0; r < n; ++r) mark.rewrites[r] = instance.rewrites(r);
+  return mark;
+}
+
 Instance::Instance(const Schema* schema) : schema_(schema) {
   PDX_CHECK(schema != nullptr);
   int n = schema->relation_count();
-  tuples_.resize(n);
-  dedup_.resize(n);
-  index_.resize(n);
+  stores_.reserve(n);
   for (int r = 0; r < n; ++r) {
-    index_[r].resize(schema->arity(r));
+    auto store = std::make_shared<RelationStore>();
+    store->index.resize(schema->arity(r));
+    stores_.push_back(std::move(store));
   }
+}
+
+Instance::RelationStore& Instance::Mutable(RelationId relation) {
+  std::shared_ptr<RelationStore>& store = stores_[relation];
+  if (store.use_count() > 1) {
+    store = std::make_shared<RelationStore>(*store);
+  }
+  return *store;
 }
 
 bool Instance::AddFact(RelationId relation, Tuple tuple) {
   PDX_CHECK_GE(relation, 0);
-  PDX_CHECK_LT(relation, static_cast<RelationId>(tuples_.size()));
+  PDX_CHECK_LT(relation, static_cast<RelationId>(stores_.size()));
   PDX_CHECK_EQ(static_cast<int>(tuple.size()), schema_->arity(relation))
       << "arity mismatch inserting into " << schema_->relation_name(relation);
-  auto [it, inserted] = dedup_[relation].emplace(
-      std::move(tuple), static_cast<int>(tuples_[relation].size()));
-  if (!inserted) return false;
+  if (stores_[relation]->dedup.count(tuple) > 0) return false;
+  RelationStore& store = Mutable(relation);
+  auto [it, inserted] = store.dedup.emplace(
+      std::move(tuple), static_cast<int>(store.tuples.size()));
+  PDX_DCHECK(inserted);
   const Tuple& stored = it->first;
   int idx = it->second;
-  tuples_[relation].push_back(stored);
+  store.tuples.push_back(stored);
   for (int pos = 0; pos < static_cast<int>(stored.size()); ++pos) {
-    index_[relation][pos][stored[pos].packed()].push_back(idx);
+    store.index[pos][stored[pos].packed()].push_back(idx);
   }
   ++fact_count_;
   return true;
 }
 
+bool Instance::RemoveFact(RelationId relation, const Tuple& tuple) {
+  PDX_CHECK_GE(relation, 0);
+  PDX_CHECK_LT(relation, static_cast<RelationId>(stores_.size()));
+  if (stores_[relation]->dedup.count(tuple) == 0) return false;
+  RelationStore& store = Mutable(relation);
+  auto it = store.dedup.find(tuple);
+  int idx = it->second;
+  int last = static_cast<int>(store.tuples.size()) - 1;
+  // Drop the removed tuple's index entries.
+  for (int pos = 0; pos < static_cast<int>(tuple.size()); ++pos) {
+    auto& by_value = store.index[pos];
+    auto bucket_it = by_value.find(tuple[pos].packed());
+    PDX_DCHECK(bucket_it != by_value.end());
+    std::vector<int>& bucket = bucket_it->second;
+    bucket.erase(std::find(bucket.begin(), bucket.end(), idx));
+    if (bucket.empty()) by_value.erase(bucket_it);
+  }
+  if (idx != last) {
+    // Move the last tuple into the hole and repoint its entries.
+    Tuple moved = std::move(store.tuples[last]);
+    for (int pos = 0; pos < static_cast<int>(moved.size()); ++pos) {
+      for (int& entry : store.index[pos][moved[pos].packed()]) {
+        if (entry == last) entry = idx;
+      }
+    }
+    store.dedup.find(moved)->second = idx;
+    store.tuples[idx] = std::move(moved);
+  }
+  store.tuples.pop_back();
+  store.dedup.erase(it);
+  // Indexes shifted: delta consumers must re-scan this relation.
+  ++store.rewrites;
+  --fact_count_;
+  return true;
+}
+
 bool Instance::Contains(RelationId relation, const Tuple& tuple) const {
   PDX_CHECK_GE(relation, 0);
-  PDX_CHECK_LT(relation, static_cast<RelationId>(tuples_.size()));
-  return dedup_[relation].count(tuple) > 0;
+  PDX_CHECK_LT(relation, static_cast<RelationId>(stores_.size()));
+  return stores_[relation]->dedup.count(tuple) > 0;
 }
 
 const std::vector<int>* Instance::TuplesWithValueAt(RelationId relation,
                                                     int position,
                                                     Value value) const {
   PDX_CHECK_GE(relation, 0);
-  PDX_CHECK_LT(relation, static_cast<RelationId>(index_.size()));
+  PDX_CHECK_LT(relation, static_cast<RelationId>(stores_.size()));
   PDX_CHECK_GE(position, 0);
-  PDX_CHECK_LT(position, static_cast<int>(index_[relation].size()));
-  const auto& by_value = index_[relation][position];
+  PDX_CHECK_LT(position, static_cast<int>(stores_[relation]->index.size()));
+  const auto& by_value = stores_[relation]->index[position];
   auto it = by_value.find(value.packed());
   if (it == by_value.end()) return nullptr;
   return &it->second;
 }
 
+InstanceWatermark Instance::TakeWatermark() const {
+  InstanceWatermark mark;
+  int n = static_cast<int>(stores_.size());
+  mark.counts.resize(n);
+  mark.rewrites.resize(n);
+  for (int r = 0; r < n; ++r) {
+    mark.counts[r] = stores_[r]->tuples.size();
+    mark.rewrites[r] = stores_[r]->rewrites;
+  }
+  return mark;
+}
+
 void Instance::ForEachFact(const std::function<void(const Fact&)>& fn) const {
   Fact fact;
-  for (RelationId r = 0; r < static_cast<RelationId>(tuples_.size()); ++r) {
+  for (RelationId r = 0; r < static_cast<RelationId>(stores_.size()); ++r) {
     fact.relation = r;
-    for (const Tuple& t : tuples_[r]) {
+    for (const Tuple& t : stores_[r]->tuples) {
       fact.tuple = t;
       fn(fact);
     }
@@ -108,8 +175,9 @@ bool Instance::HasNulls() const {
 
 bool Instance::IsSubsetOf(const Instance& other) const {
   if (fact_count_ > other.fact_count_) return false;
-  for (RelationId r = 0; r < static_cast<RelationId>(tuples_.size()); ++r) {
-    for (const Tuple& t : tuples_[r]) {
+  for (RelationId r = 0; r < static_cast<RelationId>(stores_.size()); ++r) {
+    if (stores_[r] == other.stores_[r]) continue;  // shared: trivially ⊆
+    for (const Tuple& t : stores_[r]->tuples) {
       if (!other.Contains(r, t)) return false;
     }
   }
@@ -126,17 +194,29 @@ void Instance::UnionWith(const Instance& other) {
 
 void Instance::Substitute(Value from, Value to) {
   if (from == to) return;
-  // Rebuild: egd steps are rare relative to tgd steps and instance sizes
-  // in the solvers are moderate; a full rebuild keeps the index exact.
-  std::vector<std::vector<Tuple>> old = std::move(tuples_);
-  int n = schema_->relation_count();
-  tuples_.assign(n, {});
-  dedup_.assign(n, {});
-  index_.assign(n, {});
-  for (int r = 0; r < n; ++r) index_[r].resize(schema_->arity(r));
-  fact_count_ = 0;
-  for (RelationId r = 0; r < static_cast<RelationId>(old.size()); ++r) {
-    for (Tuple& t : old[r]) {
+  for (RelationId r = 0; r < static_cast<RelationId>(stores_.size()); ++r) {
+    // Skip relations not containing `from` (checked via the inverted
+    // index) so their stores — and any watermarks into them — survive.
+    bool contains = false;
+    for (const auto& by_value : stores_[r]->index) {
+      auto it = by_value.find(from.packed());
+      if (it != by_value.end() && !it->second.empty()) {
+        contains = true;
+        break;
+      }
+    }
+    if (!contains) continue;
+    // Rebuild this relation: egd steps are rare relative to tgd steps and
+    // a full per-relation rebuild keeps the index exact.
+    RelationStore& store = Mutable(r);
+    std::vector<Tuple> old = std::move(store.tuples);
+    fact_count_ -= old.size();
+    uint64_t rewrites = store.rewrites;
+    store.tuples.clear();
+    store.dedup.clear();
+    store.index.assign(schema_->arity(r), {});
+    store.rewrites = rewrites + 1;
+    for (Tuple& t : old) {
       for (Value& v : t) {
         if (v == from) v = to;
       }
@@ -200,6 +280,29 @@ std::string Instance::ToString(const SymbolTable& symbols) const {
   });
   std::sort(lines.begin(), lines.end());
   return StrJoin(lines, "\n");
+}
+
+DeltaView::DeltaView(const Instance& instance, const InstanceWatermark& mark)
+    : instance_(&instance) {
+  int n = instance.schema().relation_count();
+  PDX_CHECK_EQ(static_cast<int>(mark.counts.size()), n);
+  begin_.resize(n);
+  end_.resize(n);
+  for (RelationId r = 0; r < n; ++r) {
+    end_[r] = instance.tuples(r).size();
+    // A rewrite shuffled tuple indexes: the recorded count no longer
+    // addresses a stable prefix, so the whole relation is new again.
+    begin_[r] = instance.rewrites(r) == mark.rewrites[r]
+                    ? std::min(mark.counts[r], end_[r])
+                    : 0;
+  }
+}
+
+bool DeltaView::any() const {
+  for (size_t r = 0; r < begin_.size(); ++r) {
+    if (begin_[r] < end_[r]) return true;
+  }
+  return false;
 }
 
 }  // namespace pdx

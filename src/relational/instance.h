@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -15,6 +16,20 @@
 
 namespace pdx {
 
+class Instance;
+
+// A monotone position in an Instance's mutation history: per-relation tuple
+// counts plus per-relation rewrite counters (a relation's counter advances
+// whenever Substitute rewrites its tuples in place, which shuffles tuple
+// indexes). Taken via Instance::TakeWatermark(); consumed by DeltaView.
+struct InstanceWatermark {
+  std::vector<size_t> counts;
+  std::vector<uint64_t> rewrites;
+
+  // The watermark "before anything": every current fact counts as new.
+  static InstanceWatermark Origin(const Instance& instance);
+};
+
 // A finite database instance over a Schema, with a positional inverted
 // index to accelerate homomorphism search and chase trigger enumeration.
 //
@@ -22,11 +37,16 @@ namespace pdx {
 // instances); "ground" instances are simply instances whose values are all
 // constants. The Instance does not own the Schema; the Schema must outlive
 // the Instance.
+//
+// Copying an Instance is O(#relations), not O(#facts): each relation's
+// tuple store (tuples + dedup map + inverted index) is a copy-on-write
+// shared block, cloned lazily the first time either copy mutates that
+// relation. Search-based solvers rely on this to branch states in O(1).
 class Instance {
  public:
   explicit Instance(const Schema* schema);
 
-  // Copyable: solvers clone states during search.
+  // Copyable: solvers clone states during search (cheap, copy-on-write).
   Instance(const Instance&) = default;
   Instance& operator=(const Instance&) = default;
   Instance(Instance&&) = default;
@@ -39,6 +59,15 @@ class Instance {
   bool AddFact(RelationId relation, Tuple tuple);
   bool AddFact(const Fact& fact) { return AddFact(fact.relation, fact.tuple); }
 
+  // Removes R(t) if present (swap-with-last; O(arity × index bucket), not
+  // O(relation)). Returns true if the fact existed. Counts as a rewrite of
+  // the relation: tuple indexes shift, so watermarks into it are dirtied.
+  // Repair search uses this to branch subset states off a snapshot cheaply.
+  bool RemoveFact(RelationId relation, const Tuple& tuple);
+  bool RemoveFact(const Fact& fact) {
+    return RemoveFact(fact.relation, fact.tuple);
+  }
+
   bool Contains(RelationId relation, const Tuple& tuple) const;
   bool Contains(const Fact& fact) const {
     return Contains(fact.relation, fact.tuple);
@@ -47,8 +76,8 @@ class Instance {
   // All tuples of one relation, in insertion order.
   const std::vector<Tuple>& tuples(RelationId relation) const {
     PDX_CHECK_GE(relation, 0);
-    PDX_CHECK_LT(relation, static_cast<RelationId>(tuples_.size()));
-    return tuples_[relation];
+    PDX_CHECK_LT(relation, static_cast<RelationId>(stores_.size()));
+    return stores_[relation]->tuples;
   }
 
   // Indexes (into tuples(relation)) of tuples holding `value` at `position`,
@@ -59,6 +88,18 @@ class Instance {
   // Total number of facts across all relations.
   size_t fact_count() const { return fact_count_; }
   bool empty() const { return fact_count_ == 0; }
+
+  // The current watermark: facts added (and relations rewritten) after this
+  // point are visible to a DeltaView built against it.
+  InstanceWatermark TakeWatermark() const;
+
+  // How many times Substitute has rewritten `relation` in place. A tuple
+  // index recorded before a rewrite does not address the same fact after.
+  uint64_t rewrites(RelationId relation) const {
+    PDX_CHECK_GE(relation, 0);
+    PDX_CHECK_LT(relation, static_cast<RelationId>(stores_.size()));
+    return stores_[relation]->rewrites;
+  }
 
   // Invokes `fn` for every fact.
   void ForEachFact(const std::function<void(const Fact&)>& fn) const;
@@ -83,7 +124,10 @@ class Instance {
   void UnionWith(const Instance& other);
 
   // Replaces every occurrence of `from` by `to`, deduplicating the result.
-  // Used by egd chase steps (from is always a labeled null there).
+  // Used by egd chase steps (from is always a labeled null there). Only
+  // relations actually containing `from` are rebuilt (and have their
+  // rewrite counter advanced); all others keep their stores untouched, so
+  // delta-driven callers re-scan only the rewritten relations.
   void Substitute(Value from, Value to);
 
   // Order-insensitive structural fingerprint, invariant under the *names*
@@ -98,14 +142,55 @@ class Instance {
   std::string ToString(const SymbolTable& symbols) const;
 
  private:
+  // One relation's storage: dense tuple store + dedup map + per-position
+  // inverted index (index[position][value.packed()] = tuple indexes).
+  // Shared copy-on-write between Instance copies.
+  struct RelationStore {
+    std::vector<Tuple> tuples;
+    std::unordered_map<Tuple, int, TupleHash> dedup;
+    std::vector<std::unordered_map<uint64_t, std::vector<int>>> index;
+    uint64_t rewrites = 0;
+  };
+
+  // The store for `relation`, cloned first if currently shared.
+  RelationStore& Mutable(RelationId relation);
+
   const Schema* schema_;
   size_t fact_count_ = 0;
-  // Per relation: dense tuple store + dedup map + per-position inverted
-  // index (index_[relation][position][value.packed()] = tuple indexes).
-  std::vector<std::vector<Tuple>> tuples_;
-  std::vector<std::unordered_map<Tuple, int, TupleHash>> dedup_;
-  std::vector<std::vector<std::unordered_map<uint64_t, std::vector<int>>>>
-      index_;
+  std::vector<std::shared_ptr<RelationStore>> stores_;
+};
+
+// The facts of an instance added since a watermark, as per-relation index
+// ranges into Instance::tuples(). Relations rewritten since the watermark
+// (Substitute advanced their rewrite counter) count as entirely new. The
+// view captures the instance's extent at construction: facts added later
+// fall outside it and belong to the next delta. Index ranges are stable
+// under AddFact but invalidated by Substitute on the same relation.
+class DeltaView {
+ public:
+  DeltaView(const Instance& instance, const InstanceWatermark& mark);
+
+  // Everything currently in `instance` is new (first chase round).
+  static DeltaView All(const Instance& instance) {
+    return DeltaView(instance, InstanceWatermark::Origin(instance));
+  }
+
+  // The delta of `relation` is tuples(relation)[begin, end).
+  size_t begin(RelationId relation) const { return begin_[relation]; }
+  size_t end(RelationId relation) const { return end_[relation]; }
+  bool dirty(RelationId relation) const {
+    return begin_[relation] < end_[relation];
+  }
+
+  // True if any relation has new facts.
+  bool any() const;
+
+  const Instance& instance() const { return *instance_; }
+
+ private:
+  const Instance* instance_;
+  std::vector<size_t> begin_;
+  std::vector<size_t> end_;
 };
 
 }  // namespace pdx

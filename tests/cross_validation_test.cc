@@ -5,6 +5,7 @@
 
 #include "gtest/gtest.h"
 #include "pde/ctract_solver.h"
+#include "pde/data_exchange.h"
 #include "pde/generic_solver.h"
 #include "pde/solution.h"
 #include "tests/test_util.h"
@@ -144,6 +145,88 @@ TEST_P(CrossValidationWithTargetTest, SolversAgreeWithNonEmptyJ) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CrossValidationWithTargetTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{21}));
+
+// The chase strategy must be invisible to end-to-end solving: the C_tract
+// solver (two chase phases) and the data exchange pipeline must return the
+// same answers — and the same canonical instances — whether their chases
+// run delta-driven or naively.
+class ChaseStrategyCrossValidationTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChaseStrategyCrossValidationTest, CtractAgreesAcrossStrategies) {
+  uint64_t seed = GetParam();
+  Rng rng(seed);
+  SymbolTable symbols;
+  SettingGenOptions opts;
+  opts.max_arity = 2;
+  opts.st_tgd_count = 2;
+  opts.ts_tgd_count = 2;
+  GeneratedSetting generated =
+      Unwrap(seed % 2 == 0 ? MakeRandomLavSetting(opts, &rng, &symbols)
+                           : MakeRandomFullStSetting(opts, &rng, &symbols));
+  const PdeSetting& setting = generated.setting;
+  Instance source = MakeRandomSourceInstance(setting, 8, 4, &rng, &symbols);
+  Instance target = MakeRandomTargetInstance(setting, 3, 4, &rng, &symbols);
+
+  ChaseOptions naive_options;
+  naive_options.strategy = ChaseStrategy::kRestrictedNaive;
+  ChaseOptions delta_options;
+  delta_options.strategy = ChaseStrategy::kRestricted;
+
+  CtractSolveResult naive = Unwrap(CtractExistsSolution(
+      setting, source, target, &symbols, naive_options));
+  CtractSolveResult delta = Unwrap(CtractExistsSolution(
+      setting, source, target, &symbols, delta_options));
+
+  EXPECT_EQ(naive.has_solution, delta.has_solution)
+      << "strategy disagreement on seed " << seed << "\nΣst:\n"
+      << generated.sigma_st << "\nΣts:\n" << generated.sigma_ts;
+  if (naive.has_solution && delta.has_solution) {
+    ASSERT_TRUE(naive.solution.has_value());
+    ASSERT_TRUE(delta.solution.has_value());
+    EXPECT_EQ(naive.solution->CanonicalFingerprint(),
+              delta.solution->CanonicalFingerprint())
+        << "seed " << seed;
+    EXPECT_TRUE(
+        IsSolution(setting, source, target, *delta.solution, symbols));
+  }
+}
+
+TEST_P(ChaseStrategyCrossValidationTest, DataExchangeAgreesAcrossStrategies) {
+  uint64_t seed = GetParam();
+  Rng rng(seed);
+  SymbolTable symbols;
+  // A data exchange setting (Σ_ts = ∅) with target tgds and a key egd, so
+  // both chase engines exercise the tgd/egd interleaving end to end.
+  PdeSetting setting = Unwrap(PdeSetting::Create(
+      {{"E", 2}}, {{"H", 2}, {"F", 2}},
+      "E(x,y) -> exists z: H(x,z). E(x,y) & E(y,z) -> H(x,z).", "",
+      "H(x,y) -> F(x,y). H(x,y) & H(x,z) -> y = z.", &symbols));
+  Instance source = MakeRandomSourceInstance(setting, 10, 5, &rng, &symbols);
+  Instance target = setting.EmptyInstance();
+
+  ChaseOptions naive_options;
+  naive_options.strategy = ChaseStrategy::kRestrictedNaive;
+  ChaseOptions delta_options;
+  delta_options.strategy = ChaseStrategy::kRestricted;
+
+  DataExchangeResult naive = Unwrap(SolveDataExchange(
+      setting, source, target, &symbols, naive_options));
+  DataExchangeResult delta = Unwrap(SolveDataExchange(
+      setting, source, target, &symbols, delta_options));
+
+  EXPECT_EQ(naive.has_solution, delta.has_solution) << "seed " << seed;
+  if (naive.has_solution && delta.has_solution) {
+    ASSERT_TRUE(naive.universal_solution.has_value());
+    ASSERT_TRUE(delta.universal_solution.has_value());
+    EXPECT_EQ(naive.universal_solution->CanonicalFingerprint(),
+              delta.universal_solution->CanonicalFingerprint())
+        << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaseStrategyCrossValidationTest,
                          ::testing::Range(uint64_t{1}, uint64_t{21}));
 
 }  // namespace

@@ -1,0 +1,182 @@
+// Copy-on-write semantics of Instance and InstanceSnapshot: a branch may
+// be mutated arbitrarily (AddFact, RemoveFact, Substitute) without any
+// effect on its parent or sibling branches, and DeltaSince exposes exactly
+// what a branch changed.
+
+#include "gtest/gtest.h"
+#include "relational/snapshot.h"
+#include "relational/value.h"
+
+namespace pdx {
+namespace {
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(schema_.AddRelation("R", 2).ok());
+    ASSERT_TRUE(schema_.AddRelation("S", 1).ok());
+    a_ = symbols_.InternConstant("a");
+    b_ = symbols_.InternConstant("b");
+    c_ = symbols_.InternConstant("c");
+  }
+
+  Instance Base() {
+    Instance instance(&schema_);
+    instance.AddFact(0, {a_, b_});
+    instance.AddFact(0, {b_, c_});
+    instance.AddFact(1, {a_});
+    return instance;
+  }
+
+  Schema schema_;
+  SymbolTable symbols_;
+  Value a_, b_, c_;
+};
+
+TEST_F(SnapshotTest, BranchAddDoesNotLeakIntoParent) {
+  Instance parent = Base();
+  InstanceSnapshot snapshot(parent);
+  Instance branch = snapshot.Branch();
+  EXPECT_TRUE(branch.AddFact(0, {c_, a_}));
+  EXPECT_TRUE(branch.AddFact(1, {b_}));
+
+  EXPECT_EQ(parent.fact_count(), 3u);
+  EXPECT_EQ(snapshot.get().fact_count(), 3u);
+  EXPECT_EQ(branch.fact_count(), 5u);
+  EXPECT_FALSE(parent.Contains(0, {c_, a_}));
+  EXPECT_FALSE(snapshot.get().Contains(1, {b_}));
+}
+
+TEST_F(SnapshotTest, ParentMutationDoesNotLeakIntoBranch) {
+  Instance parent = Base();
+  InstanceSnapshot snapshot(parent);
+  Instance branch = snapshot.Branch();
+  EXPECT_TRUE(parent.AddFact(1, {c_}));
+
+  EXPECT_FALSE(branch.Contains(1, {c_}));
+  EXPECT_FALSE(snapshot.get().Contains(1, {c_}));
+  EXPECT_EQ(branch.fact_count(), 3u);
+}
+
+TEST_F(SnapshotTest, SiblingBranchesAreIndependent) {
+  Instance parent = Base();
+  InstanceSnapshot snapshot(parent);
+  Instance left = snapshot.Branch();
+  Instance right = snapshot.Branch();
+  left.AddFact(0, {a_, a_});
+  right.AddFact(0, {c_, c_});
+
+  EXPECT_TRUE(left.Contains(0, {a_, a_}));
+  EXPECT_FALSE(left.Contains(0, {c_, c_}));
+  EXPECT_TRUE(right.Contains(0, {c_, c_}));
+  EXPECT_FALSE(right.Contains(0, {a_, a_}));
+  EXPECT_EQ(snapshot.get().fact_count(), 3u);
+}
+
+TEST_F(SnapshotTest, BranchRemoveFactDoesNotLeakIntoParent) {
+  Instance parent = Base();
+  InstanceSnapshot snapshot(parent);
+  Instance branch = snapshot.Branch();
+  EXPECT_TRUE(branch.RemoveFact(0, {a_, b_}));
+  EXPECT_FALSE(branch.RemoveFact(0, {a_, b_}));  // already gone
+
+  EXPECT_TRUE(parent.Contains(0, {a_, b_}));
+  EXPECT_TRUE(snapshot.get().Contains(0, {a_, b_}));
+  EXPECT_EQ(branch.fact_count(), 2u);
+  EXPECT_EQ(parent.fact_count(), 3u);
+  // The branch's inverted index survived the swap-with-last removal.
+  const std::vector<int>* hits = branch.TuplesWithValueAt(0, 0, b_);
+  ASSERT_NE(hits, nullptr);
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ(branch.tuples(0)[(*hits)[0]], (Tuple{b_, c_}));
+}
+
+TEST_F(SnapshotTest, BranchSubstituteDoesNotLeakIntoParent) {
+  Instance parent(&schema_);
+  Value null = symbols_.FreshNull();
+  parent.AddFact(0, {a_, null});
+  parent.AddFact(1, {null});
+  InstanceSnapshot snapshot(parent);
+  Instance branch = snapshot.Branch();
+  branch.Substitute(null, b_);
+
+  EXPECT_TRUE(branch.Contains(0, {a_, b_}));
+  EXPECT_TRUE(branch.Contains(1, {b_}));
+  EXPECT_TRUE(parent.Contains(0, {a_, null}));
+  EXPECT_TRUE(parent.Contains(1, {null}));
+  EXPECT_FALSE(parent.Contains(1, {b_}));
+  // Substitute counts as a rewrite of the touched relations — in the
+  // branch only.
+  EXPECT_GT(branch.rewrites(0), parent.rewrites(0));
+  EXPECT_GT(branch.rewrites(1), parent.rewrites(1));
+}
+
+TEST_F(SnapshotTest, SubstituteSkipsUntouchedRelations) {
+  Instance parent = Base();
+  Value null = symbols_.FreshNull();
+  parent.AddFact(1, {null});
+  uint64_t r_rewrites = parent.rewrites(0);
+  parent.Substitute(null, b_);
+  // R never contained the null: its store and rewrite counter are intact.
+  EXPECT_EQ(parent.rewrites(0), r_rewrites);
+  EXPECT_GT(parent.rewrites(1), 0u);
+}
+
+TEST_F(SnapshotTest, DeltaSinceSeesExactlyTheBranchAdditions) {
+  Instance parent = Base();
+  InstanceSnapshot snapshot(parent);
+  Instance branch = snapshot.Branch();
+  branch.AddFact(0, {c_, a_});
+  branch.AddFact(0, {c_, b_});
+
+  DeltaView delta = snapshot.DeltaSince(branch);
+  EXPECT_TRUE(delta.any());
+  EXPECT_TRUE(delta.dirty(0));
+  EXPECT_FALSE(delta.dirty(1));
+  EXPECT_EQ(delta.end(0) - delta.begin(0), 2u);
+  EXPECT_EQ(branch.tuples(0)[delta.begin(0)], (Tuple{c_, a_}));
+
+  // An untouched branch has an empty delta.
+  Instance idle = snapshot.Branch();
+  EXPECT_FALSE(snapshot.DeltaSince(idle).any());
+}
+
+TEST_F(SnapshotTest, DeltaSinceTreatsRewrittenRelationAsAllNew) {
+  Instance parent(&schema_);
+  Value null = symbols_.FreshNull();
+  parent.AddFact(0, {a_, null});
+  parent.AddFact(0, {b_, c_});
+  InstanceSnapshot snapshot(parent);
+  Instance branch = snapshot.Branch();
+  branch.Substitute(null, c_);
+
+  DeltaView delta = snapshot.DeltaSince(branch);
+  EXPECT_TRUE(delta.dirty(0));
+  EXPECT_EQ(delta.begin(0), 0u);
+  EXPECT_EQ(delta.end(0), branch.tuples(0).size());
+}
+
+TEST_F(SnapshotTest, CopyIsCheapAndStillIsolated) {
+  // Plain Instance copies go through the same copy-on-write machinery.
+  Instance parent = Base();
+  Instance copy = parent;
+  copy.AddFact(1, {b_});
+  EXPECT_FALSE(parent.Contains(1, {b_}));
+  EXPECT_TRUE(copy.Contains(1, {b_}));
+  EXPECT_TRUE(parent.IsSubsetOf(copy));
+  EXPECT_FALSE(copy.IsSubsetOf(parent));
+}
+
+TEST_F(SnapshotTest, FingerprintUnaffectedBySharing) {
+  Instance parent = Base();
+  InstanceSnapshot snapshot(parent);
+  Instance branch = snapshot.Branch();
+  EXPECT_EQ(parent.CanonicalFingerprint(), branch.CanonicalFingerprint());
+  branch.AddFact(1, {c_});
+  EXPECT_NE(parent.CanonicalFingerprint(), branch.CanonicalFingerprint());
+  EXPECT_EQ(parent.CanonicalFingerprint(),
+            snapshot.get().CanonicalFingerprint());
+}
+
+}  // namespace
+}  // namespace pdx

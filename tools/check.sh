@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build and run the full test suite, first
+# plain, then under AddressSanitizer + UBSan (the copy-on-write instance
+# stores make ASan coverage non-optional: an aliasing bug between a branch
+# and its snapshot is exactly what it catches).
+#
+# Usage: tools/check.sh [--plain-only|--sanitize-only]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+mode="${1:-all}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+run_suite() {
+  local build_dir="$1"; shift
+  cmake -B "$build_dir" -S . "$@"
+  cmake --build "$build_dir" -j "$jobs"
+  ctest --test-dir "$build_dir" --output-on-failure -j "$jobs" --timeout 600
+}
+
+if [[ "$mode" != "--sanitize-only" ]]; then
+  echo "== plain build =="
+  run_suite build
+fi
+
+if [[ "$mode" != "--plain-only" ]]; then
+  echo "== address+undefined sanitizer build =="
+  run_suite build-asan "-DPDX_SANITIZE=address;undefined" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+fi
+
+echo "check.sh: all suites passed"
