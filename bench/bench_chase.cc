@@ -1,12 +1,17 @@
 // Chase engine A/B bench: runs the same workloads through the naive
-// full-rescan restricted chase and the delta-driven one, and writes the
-// results as machine-readable JSON (BENCH_chase.json) so the speedup is
-// trackable across commits.
+// full-rescan restricted chase (Substitute-based egd steps) and the
+// delta-driven one (union-find egd merges in the value layer), and writes
+// the results as machine-readable JSON (BENCH_chase.json) so the speedup
+// is trackable across commits.
 //
 // Per workload and strategy it reports wall time (best of `kRepeats`),
-// chase steps, result facts, and derived facts per second; per workload it
-// reports the naive/delta speedup. Strategies are also cross-checked for
-// fingerprint agreement, so a run doubles as a coarse correctness gate.
+// chase steps, resolved result facts, and derived facts per second; per
+// workload it reports the naive/delta speedup. Strategies are also
+// cross-checked for resolved-fingerprint agreement, so a run doubles as a
+// coarse correctness gate. The egd_heavy workloads are the A/B for the
+// union-find value layer: every invented null is merged by a key egd, so
+// the naive engine pays a relation rebuild per merge while the delta
+// engine pays one union plus re-examination of the dirty tuples.
 //
 // Usage: bench_chase [output.json]   (default BENCH_chase.json in cwd)
 
@@ -15,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/json_writer.h"
 #include "chase/chase.h"
 #include "logic/parser.h"
 #include "workload/random.h"
@@ -45,6 +51,8 @@ struct BenchContext {
   std::vector<Tgd> pipeline_tgds;
   std::vector<Tgd> existential_tgds;
   std::vector<Egd> key_egds;
+  std::vector<Tgd> egd_heavy_tgds;
+  std::vector<Egd> egd_heavy_egds;
 
   BenchContext() {
     PDX_CHECK(schema.AddRelation("E", 2).ok());
@@ -65,13 +73,29 @@ struct BenchContext {
         ParseDependencies("H(x,y) & H(x,z) -> y = z.", schema, &symbols);
     PDX_CHECK(deps2.ok());
     key_egds = std::move(deps2).value().egds;
+    // Egd-heavy: the existential shared across the two head atoms forces
+    // one fresh null per E-edge (no single H-fact can satisfy two edges'
+    // triggers), and the two key egds then merge them in cascades — an
+    // H-merge on x dirties the F-facts of x's neighbors and vice versa —
+    // until each connected component keeps one null. Nearly every chase
+    // step is a merge, which the naive engine pays as a Substitute
+    // rebuild of H and F.
+    auto deps3 = ParseDependencies(
+        "E(x,y) -> exists z: H(x,z) & F(y,z).", schema, &symbols);
+    PDX_CHECK(deps3.ok());
+    egd_heavy_tgds = std::move(deps3).value().tgds;
+    auto deps4 = ParseDependencies(
+        "H(x,y) & H(x,z) -> y = z. F(x,y) & F(x,z) -> y = z.", schema,
+        &symbols);
+    PDX_CHECK(deps4.ok());
+    egd_heavy_egds = std::move(deps4).value().egds;
   }
 
-  // A sparse random E-graph with `n` nodes and ~2n edges.
-  Instance RandomEdges(int n, uint64_t seed) {
+  // A random E-graph with `n` nodes and ~`edges_per_node * n` edges.
+  Instance RandomEdges(int n, int edges_per_node, uint64_t seed) {
     Rng rng(seed);
     Instance instance(&schema);
-    for (int i = 0; i < 2 * n; ++i) {
+    for (int i = 0; i < edges_per_node * n; ++i) {
       Value u =
           symbols.InternConstant("n" + std::to_string(rng.UniformInt(n)));
       Value v =
@@ -97,7 +121,10 @@ StrategyStats RunOne(BenchContext& ctx, const Instance& start,
     double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
     if (rep == 0 || ms < stats.wall_ms) stats.wall_ms = ms;
     stats.steps = result.steps;
-    stats.result_facts = static_cast<int64_t>(result.instance.fact_count());
+    // Resolved counts/fingerprints so the Substitute-based and union-find
+    // engines are compared on the same (materialized-equivalent) view.
+    stats.result_facts =
+        static_cast<int64_t>(result.instance.ResolvedFactCount());
     if (rep == 0) stats.fingerprint = result.instance.CanonicalFingerprint();
   }
   // Throughput in derived facts (result minus input) per second.
@@ -132,40 +159,34 @@ WorkloadResult RunWorkload(BenchContext& ctx, const std::string& name,
   return result;
 }
 
-void AppendStrategyJson(std::string* out, const char* key,
-                        const StrategyStats& stats) {
-  char buffer[256];
-  std::snprintf(buffer, sizeof(buffer),
-                "      \"%s\": {\"wall_ms\": %.3f, \"chase_steps\": %lld, "
-                "\"result_facts\": %lld, \"facts_per_sec\": %.1f}",
-                key, stats.wall_ms, static_cast<long long>(stats.steps),
-                static_cast<long long>(stats.result_facts),
-                stats.facts_per_sec);
-  *out += buffer;
+void WriteStrategy(JsonWriter& w, const char* key,
+                   const StrategyStats& stats) {
+  w.Key(key).BeginObject();
+  w.Key("wall_ms").Double(stats.wall_ms, 3);
+  w.Key("chase_steps").Int(stats.steps);
+  w.Key("result_facts").Int(stats.result_facts);
+  w.Key("facts_per_sec").Double(stats.facts_per_sec, 1);
+  w.EndObject();
 }
 
 std::string ToJson(const std::vector<WorkloadResult>& results) {
-  std::string out = "{\n  \"bench\": \"chase\",\n  \"repeats\": " +
-                    std::to_string(kRepeats) + ",\n  \"workloads\": [\n";
-  for (size_t i = 0; i < results.size(); ++i) {
-    const WorkloadResult& r = results[i];
-    char buffer[256];
-    std::snprintf(buffer, sizeof(buffer),
-                  "    {\n      \"name\": \"%s\",\n"
-                  "      \"input_facts\": %lld,\n",
-                  r.name.c_str(), static_cast<long long>(r.input_facts));
-    out += buffer;
-    AppendStrategyJson(&out, "naive", r.naive);
-    out += ",\n";
-    AppendStrategyJson(&out, "delta", r.delta);
-    std::snprintf(buffer, sizeof(buffer),
-                  ",\n      \"speedup\": %.2f\n    }",
-                  r.naive.wall_ms / r.delta.wall_ms);
-    out += buffer;
-    out += (i + 1 < results.size()) ? ",\n" : "\n";
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench").String("chase");
+  w.Key("repeats").Int(kRepeats);
+  w.Key("workloads").BeginArray();
+  for (const WorkloadResult& r : results) {
+    w.BeginObject();
+    w.Key("name").String(r.name);
+    w.Key("input_facts").Int(r.input_facts);
+    WriteStrategy(w, "naive", r.naive);
+    WriteStrategy(w, "delta", r.delta);
+    w.Key("speedup").Double(r.naive.wall_ms / r.delta.wall_ms, 2);
+    w.EndObject();
   }
-  out += "  ]\n}\n";
-  return out;
+  w.EndArray();
+  w.EndObject();
+  return std::move(w).Take();
 }
 
 int Main(int argc, char** argv) {
@@ -174,16 +195,23 @@ int Main(int argc, char** argv) {
   // Weakly acyclic tgd pipeline at growing scale; the largest size is the
   // headline number the README/DESIGN quote.
   for (int n : {64, 128, 256, 512}) {
-    Instance start = ctx.RandomEdges(n, 17);
+    Instance start = ctx.RandomEdges(n, 2, 17);
     results.push_back(RunWorkload(ctx, "pipeline_n" + std::to_string(n),
                                   start, ctx.pipeline_tgds, {}));
   }
-  // Existential tgds with a key egd merging the invented nulls: exercises
-  // substitution invalidation (only rewritten relations re-scanned).
+  // Existential tgds with a key egd merging the invented nulls.
   for (int n : {64, 128, 256}) {
-    Instance start = ctx.RandomEdges(n, 23);
+    Instance start = ctx.RandomEdges(n, 2, 23);
     results.push_back(RunWorkload(ctx, "existential_egd_n" + std::to_string(n),
                                   start, ctx.existential_tgds, ctx.key_egds));
+  }
+  // Egd-heavy A/B for the union-find value layer: dense graph, one null
+  // per edge and per H-fact, two key egds merging nearly all of them.
+  for (int n : {64, 128, 256}) {
+    Instance start = ctx.RandomEdges(n, 4, 29);
+    results.push_back(RunWorkload(ctx, "egd_heavy_n" + std::to_string(n),
+                                  start, ctx.egd_heavy_tgds,
+                                  ctx.egd_heavy_egds));
   }
 
   std::string path = argc > 1 ? argv[1] : "BENCH_chase.json";

@@ -1,0 +1,147 @@
+#ifndef PDX_BENCH_JSON_WRITER_H_
+#define PDX_BENCH_JSON_WRITER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+
+namespace pdx {
+
+// Minimal streaming JSON emitter for the bench executables' machine-
+// readable outputs (BENCH_*.json). Pretty-prints with two-space indents so
+// the files stay diffable in review. No escaping beyond the characters
+// bench names can contain (quotes, backslashes, control characters are
+// escaped; nothing else is needed, and inputs are program-controlled).
+//
+//   JsonWriter w;
+//   w.BeginObject();
+//   w.Key("bench").String("chase");
+//   w.Key("workloads").BeginArray();
+//   ...
+//   w.EndArray().EndObject();
+//   std::string json = std::move(w).Take();
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject() { return Open('{'); }
+  JsonWriter& EndObject() { return Close('}'); }
+  JsonWriter& BeginArray() { return Open('['); }
+  JsonWriter& EndArray() { return Close(']'); }
+
+  JsonWriter& Key(const std::string& key) {
+    Separate();
+    out_ += '"';
+    Escape(key);
+    out_ += "\": ";
+    after_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& String(const std::string& value) {
+    Separate();
+    out_ += '"';
+    Escape(value);
+    out_ += '"';
+    return *this;
+  }
+
+  JsonWriter& Int(int64_t value) {
+    Separate();
+    out_ += std::to_string(value);
+    return *this;
+  }
+
+  JsonWriter& Uint(uint64_t value) {
+    Separate();
+    out_ += std::to_string(value);
+    return *this;
+  }
+
+  // Fixed-point rendering; `decimals` defaults to the millisecond-ish
+  // precision the benches report.
+  JsonWriter& Double(double value, int decimals = 3) {
+    Separate();
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+    out_ += buffer;
+    return *this;
+  }
+
+  JsonWriter& Bool(bool value) {
+    Separate();
+    out_ += value ? "true" : "false";
+    return *this;
+  }
+
+  // The finished document (all containers must be closed).
+  std::string Take() && {
+    PDX_CHECK(first_at_depth_.empty()) << "unclosed JSON container";
+    out_ += '\n';
+    return std::move(out_);
+  }
+
+ private:
+  JsonWriter& Open(char c) {
+    Separate();
+    out_ += c;
+    first_at_depth_.push_back(true);
+    return *this;
+  }
+
+  JsonWriter& Close(char c) {
+    PDX_CHECK(!first_at_depth_.empty()) << "unbalanced JSON container";
+    bool empty = first_at_depth_.back();
+    first_at_depth_.pop_back();
+    if (!empty) {
+      out_ += '\n';
+      Indent();
+    }
+    out_ += c;
+    return *this;
+  }
+
+  // Emits the comma/newline/indent due before a new value or key. Values
+  // directly following their key stay on the key's line.
+  void Separate() {
+    if (after_key_) {
+      after_key_ = false;
+      return;
+    }
+    if (first_at_depth_.empty()) return;  // top-level first token
+    if (!first_at_depth_.back()) out_ += ',';
+    first_at_depth_.back() = false;
+    out_ += '\n';
+    Indent();
+  }
+
+  void Indent() { out_.append(2 * first_at_depth_.size(), ' '); }
+
+  void Escape(const std::string& s) {
+    for (char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\t': out_ += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buffer[8];
+            std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+            out_ += buffer;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+  }
+
+  std::string out_;
+  std::vector<bool> first_at_depth_;
+  bool after_key_ = false;
+};
+
+}  // namespace pdx
+
+#endif  // PDX_BENCH_JSON_WRITER_H_

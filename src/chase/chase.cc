@@ -1,6 +1,7 @@
 #include "chase/chase.h"
 
 #include <unordered_set>
+#include <utility>
 
 #include "base/string_util.h"
 #include "hom/matcher.h"
@@ -110,8 +111,49 @@ uint64_t TriggerFingerprint(size_t tgd_index, const Tgd& tgd,
   return h;
 }
 
+// The oblivious chase's once-per-trigger ledger, scoped by value
+// generation: every fingerprint is additionally indexed under the null
+// roots its binding used. When an egd merge absorbs a class, its roots are
+// *retired* — bindings over them can never be produced again (the matcher
+// now resolves those values to the winning root) — so every fingerprint of
+// that generation is dropped wholesale. Long egd-heavy chases therefore
+// hold only the fingerprints valid under the current resolution instead of
+// the full firing history. (Triggers over the merged values refire with
+// their post-merge binding, exactly as they did when Substitute rewrote
+// the values out of existence.)
+class TriggerLedger {
+ public:
+  // Returns true if the trigger is new and must fire.
+  bool Insert(uint64_t fp, const Tgd& tgd, const Binding& binding) {
+    if (!fired_.insert(fp).second) return false;
+    for (VariableId v = 0; v < tgd.var_count; ++v) {
+      if (binding.bound[v] && binding.values[v].is_null()) {
+        by_root_[binding.values[v].packed()].push_back(fp);
+      }
+    }
+    return true;
+  }
+
+  // Drops every fingerprint whose binding referenced a retired root.
+  void RetireRoots(const std::vector<Value>& retired) {
+    for (const Value& v : retired) {
+      auto it = by_root_.find(v.packed());
+      if (it == by_root_.end()) continue;
+      for (uint64_t fp : it->second) fired_.erase(fp);
+      by_root_.erase(it);
+    }
+  }
+
+  size_t size() const { return fired_.size(); }
+
+ private:
+  std::unordered_set<uint64_t> fired_;
+  std::unordered_map<uint64_t, std::vector<uint64_t>> by_root_;
+};
+
 // Applies one egd substitution for the violated trigger (a, b), or fails
-// on a constant/constant clash. Shared by all egd loops.
+// on a constant/constant clash. Used by the Substitute-based naive
+// baseline; the delta engines use RunEgdsToFixpointDelta instead.
 bool ApplyEgdStep(Value a, Value b, Instance* instance, SymbolTable* symbols,
                   const ChaseOptions& options, ChaseResult* result) {
   if (a.is_constant() && b.is_constant()) {
@@ -137,9 +179,9 @@ bool ApplyEgdStep(Value a, Value b, Instance* instance, SymbolTable* symbols,
   return true;
 }
 
-// Applies target egds to fixpoint by full rescans. Returns false on a
-// constant/constant clash or budget exhaustion (filling `result`);
-// `merged` reports whether any substitution happened.
+// Applies target egds to fixpoint by full rescans (naive baseline).
+// Returns false on a constant/constant clash or budget exhaustion (filling
+// `result`); `merged` reports whether any substitution happened.
 bool RunEgdsToFixpoint(const std::vector<Egd>& egds, Instance* instance,
                        SymbolTable* symbols, const ChaseOptions& options,
                        ChaseResult* result, bool* merged) {
@@ -157,43 +199,9 @@ bool RunEgdsToFixpoint(const std::vector<Egd>& egds, Instance* instance,
   return true;
 }
 
-// Applies egds to fixpoint over the pending delta (everything beyond
-// `mark`). Each substitution rewrites only the relations containing the
-// merged null; those relations' rewrite counters advance, so the rebuilt
-// DeltaView treats exactly them as new again and cascading egd triggers
-// are re-examined without a global rescan. Returns false on clash or
-// budget exhaustion (filling `result`).
-bool RunEgdsDelta(const std::vector<Egd>& egds, Instance* instance,
-                  const InstanceWatermark& mark, SymbolTable* symbols,
-                  const ChaseOptions& options, ChaseResult* result) {
-  if (egds.empty()) return true;
-  bool fired = true;
-  while (fired) {
-    fired = false;
-    DeltaView delta(*instance, mark);
-    if (!delta.any()) return true;
-    for (const Egd& egd : egds) {
-      if (!TouchesDelta(egd.body, delta)) continue;
-      Binding trigger = Binding::Empty(egd.var_count);
-      while (FindViolatedEgdTriggerDelta(*instance, delta, egd, &trigger)) {
-        if (!ApplyEgdStep(trigger.values[egd.left_var],
-                          trigger.values[egd.right_var], instance, symbols,
-                          options, result)) {
-          return false;
-        }
-        fired = true;
-        // The substitution invalidated tuple indexes of the relations it
-        // rewrote; rebuild the view before scanning further.
-        delta = DeltaView(*instance, mark);
-        if (!TouchesDelta(egd.body, delta)) break;
-      }
-    }
-  }
-  return true;
-}
-
-// The classic scan-from-scratch restricted chase, kept as the
-// cross-validation baseline for the delta-driven default.
+// The classic scan-from-scratch restricted chase with Substitute-based egd
+// steps, kept as the cross-validation baseline (and A/B rival) for the
+// delta-driven union-find default.
 ChaseResult ChaseRestrictedNaive(const Instance& start,
                                  const std::vector<Tgd>& tgds,
                                  const std::vector<Egd>& egds,
@@ -233,11 +241,30 @@ ChaseResult ChaseRestrictedNaive(const Instance& start,
   }
 }
 
+// Copies an egd fixpoint outcome into a ChaseResult. Returns false if the
+// chase must stop (clash or budget).
+bool AbsorbEgdOutcome(const EgdFixpointOutcome& egd_out, ChaseResult* result) {
+  result->steps += egd_out.steps;
+  if (egd_out.failed) {
+    result->outcome = ChaseOutcome::kFailed;
+    result->failure = egd_out.failure;
+    return false;
+  }
+  if (egd_out.budget_exhausted) {
+    result->outcome = ChaseOutcome::kBudgetExhausted;
+    return false;
+  }
+  return true;
+}
+
 // The delta-driven restricted chase: the fixpoint loop works off a
 // watermark into the instance; each round evaluates only triggers whose
 // body touches a fact beyond the watermark (semi-naive evaluation via
-// EnumerateMatchesDelta), then advances the watermark to the round's
-// frontier. Egd substitutions dirty only the relations they rewrote.
+// EnumerateMatchesDelta) or a tuple dirtied by an egd merge, then advances
+// the watermark to the round's frontier. Egd steps are union-find merges
+// in the instance's value layer: O(α) unions that never rewrite tuples,
+// so watermarks stay valid and only the dirty equivalence classes are
+// re-examined.
 ChaseResult ChaseRestrictedDelta(const Instance& start,
                                  const std::vector<Tgd>& tgds,
                                  const std::vector<Egd>& egds,
@@ -248,15 +275,19 @@ ChaseResult ChaseRestrictedDelta(const Instance& start,
   // Everything is "new" before the first round, so round one degenerates
   // to the full scan the naive chase would do — exactly once.
   InstanceWatermark mark = InstanceWatermark::Origin(instance);
+  // Per-relation indexes of pre-watermark tuples dirtied by this round's
+  // merges; the tgd phase re-examines them alongside the additive delta.
+  std::vector<std::vector<int>> extras;
   while (true) {
     if (result.steps >= options.max_steps) {
       result.outcome = ChaseOutcome::kBudgetExhausted;
       return result;
     }
-    if (!RunEgdsDelta(egds, &instance, mark, symbols, options, &result)) {
-      return result;
-    }
-    DeltaView delta(instance, mark);
+    EgdFixpointOutcome egd_out = RunEgdsToFixpointDelta(
+        egds, &instance, mark, options.max_steps - result.steps, symbols,
+        &extras);
+    if (!AbsorbEgdOutcome(egd_out, &result)) return result;
+    DeltaView delta(instance, mark, extras);
     if (!delta.any()) {
       // Nothing new since the last full round: every trigger has been
       // examined against a state it still holds in. Fixpoint.
@@ -296,31 +327,38 @@ ChaseResult ChaseRestrictedDelta(const Instance& start,
       }
     }
     mark = std::move(frontier);
+    extras.clear();
   }
 }
 
 // The delta-driven oblivious chase: every body homomorphism of every tgd
-// fires exactly once, tracked by the trigger-fingerprint set. Only matches
-// touching the delta are enumerated per round; a match wholly over old
-// facts was enumerated (and fingerprinted) in the round its newest fact
-// arrived, so nothing is missed.
+// fires exactly once, tracked by the generation-scoped TriggerLedger. Only
+// matches touching the delta (additive or merge-dirtied) are enumerated
+// per round; a match wholly over old, unmerged facts was enumerated (and
+// fingerprinted) in the round its newest fact arrived, so nothing is
+// missed.
 ChaseResult ChaseOblivious(const Instance& start,
                            const std::vector<Tgd>& tgds,
                            const std::vector<Egd>& egds,
                            SymbolTable* symbols, const ChaseOptions& options) {
   ChaseResult result(start);
   Instance& instance = result.instance;
-  std::unordered_set<uint64_t> fired;
+  TriggerLedger fired;
   InstanceWatermark mark = InstanceWatermark::Origin(instance);
+  std::vector<std::vector<int>> extras;
   while (true) {
     if (result.steps >= options.max_steps) {
       result.outcome = ChaseOutcome::kBudgetExhausted;
       return result;
     }
-    if (!RunEgdsDelta(egds, &instance, mark, symbols, options, &result)) {
-      return result;
-    }
-    DeltaView delta(instance, mark);
+    EgdFixpointOutcome egd_out = RunEgdsToFixpointDelta(
+        egds, &instance, mark, options.max_steps - result.steps, symbols,
+        &extras);
+    if (!AbsorbEgdOutcome(egd_out, &result)) return result;
+    // Merged-away roots can never appear in a binding again: drop their
+    // fingerprint generation.
+    fired.RetireRoots(egd_out.retired);
+    DeltaView delta(instance, mark, extras);
     if (!delta.any()) {
       result.outcome = ChaseOutcome::kSuccess;
       return result;
@@ -337,7 +375,7 @@ ChaseResult ChaseOblivious(const Instance& start,
                             [&](const Binding& body_match) {
                               uint64_t fp =
                                   TriggerFingerprint(d, tgd, body_match);
-                              if (fired.insert(fp).second) {
+                              if (fired.Insert(fp, tgd, body_match)) {
                                 pending.push_back(body_match);
                               }
                               return true;
@@ -353,10 +391,71 @@ ChaseResult ChaseOblivious(const Instance& start,
       }
     }
     mark = std::move(frontier);
+    extras.clear();
   }
 }
 
 }  // namespace
+
+EgdFixpointOutcome RunEgdsToFixpointDelta(
+    const std::vector<Egd>& egds, Instance* instance,
+    const InstanceWatermark& mark, int64_t max_steps,
+    const SymbolTable* symbols, std::vector<std::vector<int>>* extras) {
+  EgdFixpointOutcome out;
+  if (egds.empty()) return out;
+  int n = instance->schema().relation_count();
+  if (extras->empty()) extras->resize(n);
+  // Pass 1 pivots on the additive delta beyond `mark` (plus any extras the
+  // caller already accumulated). A merge changes the resolved content of
+  // exactly the tuples holding the losing class, so any trigger it newly
+  // violates must bind one of them: pass k+1 pivots only on the tuples
+  // pass k dirtied, until no merge fires.
+  std::vector<std::vector<int>> frontier;
+  bool first_pass = true;
+  while (true) {
+    DeltaView delta =
+        first_pass ? DeltaView(*instance, mark, *extras)
+                   : DeltaView(*instance, instance->TakeWatermark(), frontier);
+    std::vector<std::vector<int>> pass_dirty(n);
+    bool merged_any = false;
+    for (const Egd& egd : egds) {
+      if (!TouchesDelta(egd.body, delta)) continue;
+      Binding trigger = Binding::Empty(egd.var_count);
+      // Merges never invalidate tuple indexes, so the view stays valid
+      // across the whole pass; the matcher consults the live resolver.
+      while (FindViolatedEgdTriggerDelta(*instance, delta, egd, &trigger)) {
+        Instance::MergeResult merge = instance->MergeValues(
+            trigger.values[egd.left_var], trigger.values[egd.right_var]);
+        ++out.steps;
+        if (merge.conflict) {
+          out.failed = true;
+          out.failure =
+              symbols != nullptr
+                  ? StrCat("egd equates distinct constants ",
+                           symbols->ValueToString(merge.winner), " and ",
+                           symbols->ValueToString(merge.loser))
+                  : "egd equates distinct constants";
+          return out;
+        }
+        PDX_DCHECK(merge.merged);  // trigger guaranteed resolved-distinct
+        for (const auto& [relation, idx] : merge.dirty) {
+          (*extras)[relation].push_back(idx);
+          pass_dirty[relation].push_back(idx);
+        }
+        out.retired.insert(out.retired.end(), merge.reassigned.begin(),
+                           merge.reassigned.end());
+        merged_any = true;
+        if (out.steps >= max_steps) {
+          out.budget_exhausted = true;
+          return out;
+        }
+      }
+    }
+    if (!merged_any) return out;
+    first_pass = false;
+    frontier = std::move(pass_dirty);
+  }
+}
 
 ChaseResult Chase(const Instance& start, const std::vector<Tgd>& tgds,
                   const std::vector<Egd>& egds, SymbolTable* symbols,

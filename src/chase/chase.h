@@ -25,13 +25,19 @@ enum class ChaseStrategy {
   // a body homomorphism only if no head extension already exists, and the
   // fixpoint is computed over a worklist of dirty (relation, watermark)
   // pairs — each round only evaluates triggers whose body touches a fact
-  // added (or a relation rewritten by an egd) since the previous round.
-  // Changes performance only, never the chase result (cross-validated in
-  // chase_strategies_test and orders of magnitude faster at scale per
-  // bench_chase), so it is the default.
+  // added since the previous round or dirtied by an egd merge. Egd steps
+  // are union-find merges in the instance's value layer
+  // (Instance::MergeValues): O(α) unions that mark only the dirty
+  // equivalence classes, never rewriting tuples or invalidating
+  // watermarks. Changes performance only, never the chase result
+  // (cross-validated in chase_strategies_test and cross_validation_test,
+  // orders of magnitude faster at scale per bench_chase), so it is the
+  // default.
   kRestricted,
   // The restricted chase re-scanning the whole instance to find each
-  // trigger. Kept as the cross-validation baseline and for A/B benches.
+  // trigger and applying egds via Substitute's eager relation rebuild.
+  // Kept as the cross-validation baseline and for A/B benches against the
+  // union-find value layer.
   kRestrictedNaive,
   // The oblivious chase, delta-driven: every body homomorphism fires
   // exactly once (tracked by a trigger-fingerprint set), whether or not a
@@ -56,16 +62,20 @@ struct ChaseResult {
   int64_t steps = 0;       // number of chase steps applied
   int64_t nulls_created = 0;
   std::string failure;     // human-readable description when kFailed
-  // Egd merge log: each substituted null, keyed by Value::packed(), maps
-  // to the value it was replaced by (which may itself have been merged
-  // later; Resolve() follows the chain).
+  // Egd merge log of the Substitute-based engine (kRestrictedNaive): each
+  // substituted null, keyed by Value::packed(), maps to the value it was
+  // replaced by (which may itself have been merged later; Resolve()
+  // follows the chain). The union-find engines leave this empty — their
+  // merges live in instance.resolver(), which Resolve() also consults.
   std::unordered_map<uint64_t, Value> merges;
 
   explicit ChaseResult(Instance i) : instance(std::move(i)) {}
 
-  // Follows the merge chain: the final value a given input value denotes
-  // in `instance`. Identity for values never substituted.
+  // The final value a given input value denotes in `instance`: resolves
+  // through the instance's value layer, then follows the Substitute merge
+  // chain. Identity for values never merged.
   Value Resolve(Value v) const {
+    v = instance.ResolveValue(v);
     auto it = merges.find(v.packed());
     while (it != merges.end()) {
       v = it->second;
@@ -91,6 +101,34 @@ ChaseResult Chase(const Instance& start, const std::vector<Tgd>& tgds,
 ChaseResult Chase(const Instance& start, const std::vector<Tgd>& tgds,
                   SymbolTable* symbols,
                   const ChaseOptions& options = ChaseOptions());
+
+// Outcome of a union-find egd fixpoint (see RunEgdsToFixpointDelta).
+struct EgdFixpointOutcome {
+  bool failed = false;             // constant/constant clash
+  bool budget_exhausted = false;   // max_steps merges applied
+  std::string failure;             // set when failed
+  int64_t steps = 0;               // merges applied
+  // Values whose resolution changed across all merges (the losing
+  // classes): the oblivious chase retires trigger fingerprints indexed
+  // under these roots.
+  std::vector<Value> retired;
+};
+
+// Applies `egds` to fixpoint over the delta of `instance` beyond `mark`
+// using union-find merges (Instance::MergeValues). The first pass pivots
+// on the facts added since `mark`; since any trigger newly violated by a
+// merge must touch a tuple whose resolved content that merge changed,
+// each subsequent pass pivots only on the tuples the previous pass
+// dirtied, until no merge fires. All dirty tuple indexes are accumulated
+// into `extras` (one vector per relation, appended, possibly with
+// duplicates) so the caller's tgd round can re-examine exactly those
+// tuples. `symbols` is only used to render the failure message and may be
+// null. Shared by the delta chase engines, the solution-aware chase and
+// the pde solvers' branch-local fixpoints.
+EgdFixpointOutcome RunEgdsToFixpointDelta(
+    const std::vector<Egd>& egds, Instance* instance,
+    const InstanceWatermark& mark, int64_t max_steps,
+    const SymbolTable* symbols, std::vector<std::vector<int>>* extras);
 
 // True if `instance` satisfies the tgd / egd under standard first-order
 // semantics (nulls behave as ordinary values).

@@ -61,66 +61,32 @@ ChaseResult SolutionAwareChase(const Instance& start,
   ChaseResult result(start);
   Instance& instance = result.instance;
   // Delta-driven fixpoint: per round, only triggers touching facts added
-  // (or relations rewritten by an egd step) since the previous round are
+  // (or tuples dirtied by an egd merge) since the previous round are
   // evaluated. Round one sees everything as new.
   InstanceWatermark mark = InstanceWatermark::Origin(instance);
+  std::vector<std::vector<int>> extras;
   while (true) {
     if (result.steps >= options.max_steps) {
       result.outcome = ChaseOutcome::kBudgetExhausted;
       return result;
     }
-    // Egds to fixpoint over the pending delta.
-    {
-      bool fired = true;
-      while (fired) {
-        fired = false;
-        DeltaView delta(instance, mark);
-        if (!delta.any()) break;
-        for (const Egd& egd : egds) {
-          if (!TouchesDelta(egd.body, delta)) continue;
-          while (true) {
-            Binding trigger = Binding::Empty(egd.var_count);
-            bool violated = EnumerateMatchesDelta(
-                egd.body, egd.var_count, instance, delta,
-                Binding::Empty(egd.var_count),
-                [&](const Binding& body_match) {
-                  if (body_match.values[egd.left_var] ==
-                      body_match.values[egd.right_var]) {
-                    return true;
-                  }
-                  trigger = body_match;
-                  return false;
-                });
-            if (!violated) break;
-            Value a = trigger.values[egd.left_var];
-            Value b = trigger.values[egd.right_var];
-            if (a.is_constant() && b.is_constant()) {
-              result.outcome = ChaseOutcome::kFailed;
-              result.failure = "egd equates distinct constants";
-              ++result.steps;
-              return result;
-            }
-            if (a.is_null()) {
-              instance.Substitute(a, b);
-              result.merges[a.packed()] = b;
-            } else {
-              instance.Substitute(b, a);
-              result.merges[b.packed()] = a;
-            }
-            ++result.steps;
-            fired = true;
-            if (result.steps >= options.max_steps) {
-              result.outcome = ChaseOutcome::kBudgetExhausted;
-              return result;
-            }
-            // The substitution rewrote relation stores; rebuild the view.
-            delta = DeltaView(instance, mark);
-            if (!TouchesDelta(egd.body, delta)) break;
-          }
-        }
-      }
+    // Egds to fixpoint over the pending delta: union-find merges in the
+    // instance's value layer, which leave tuple indexes (and thus the
+    // round's watermark) intact and report the dirty tuples into `extras`.
+    EgdFixpointOutcome egd_out = RunEgdsToFixpointDelta(
+        egds, &instance, mark, options.max_steps - result.steps,
+        /*symbols=*/nullptr, &extras);
+    result.steps += egd_out.steps;
+    if (egd_out.failed) {
+      result.outcome = ChaseOutcome::kFailed;
+      result.failure = egd_out.failure;
+      return result;
     }
-    DeltaView delta(instance, mark);
+    if (egd_out.budget_exhausted) {
+      result.outcome = ChaseOutcome::kBudgetExhausted;
+      return result;
+    }
+    DeltaView delta(instance, mark, extras);
     if (!delta.any()) {
       result.outcome = ChaseOutcome::kSuccess;
       return result;
@@ -154,6 +120,7 @@ ChaseResult SolutionAwareChase(const Instance& start,
       }
     }
     mark = std::move(frontier);
+    extras.clear();
   }
 }
 

@@ -14,6 +14,11 @@ struct SearchContext {
   const std::function<bool(const Binding&)>* fn;
   Binding binding;
   std::vector<bool> done;  // per atom: already matched on this path
+  // Resolve-on-read: non-null when the instance has egd merges. Raw tuple
+  // values are resolved to class roots before unification, and index
+  // lookups expand over the class members' buckets. Bindings therefore
+  // always hold resolved values.
+  const ValueResolver* resolver = nullptr;
   // Optional per-atom exclusive upper bound on candidate tuple indexes
   // (the semi-naive "old facts only" restriction); nullptr = unbounded.
   const std::vector<size_t>* max_index = nullptr;
@@ -24,6 +29,22 @@ struct SearchContext {
   }
 };
 
+// The bound value of `atom`'s term at `pos` under the current binding, if
+// any. Bound/constant values are already resolved.
+bool BoundValueAt(const SearchContext& ctx, const Atom& atom, int pos,
+                  Value* out) {
+  const Term& t = atom.terms[pos];
+  if (t.is_constant()) {
+    *out = t.constant();
+    return true;
+  }
+  if (ctx.binding.bound[t.var()]) {
+    *out = ctx.binding.values[t.var()];
+    return true;
+  }
+  return false;
+}
+
 // Estimated number of candidate tuples for `atom` under the current
 // binding: the smallest index bucket over bound/constant positions, or the
 // relation size if nothing is bound yet.
@@ -31,18 +52,16 @@ size_t CandidateCount(const SearchContext& ctx, const Atom& atom) {
   const Instance& inst = *ctx.instance;
   size_t best = inst.tuples(atom.relation).size();
   for (int pos = 0; pos < static_cast<int>(atom.terms.size()); ++pos) {
-    const Term& t = atom.terms[pos];
     Value v;
-    if (t.is_constant()) {
-      v = t.constant();
-    } else if (ctx.binding.bound[t.var()]) {
-      v = ctx.binding.values[t.var()];
+    if (!BoundValueAt(ctx, atom, pos, &v)) continue;
+    size_t count;
+    if (ctx.resolver == nullptr) {
+      const std::vector<int>* bucket =
+          inst.TuplesWithValueAt(atom.relation, pos, v);
+      count = bucket == nullptr ? 0 : bucket->size();
     } else {
-      continue;
+      count = inst.CountTuplesWithResolvedValueAt(atom.relation, pos, v);
     }
-    const std::vector<int>* bucket = inst.TuplesWithValueAt(atom.relation,
-                                                            pos, v);
-    size_t count = bucket == nullptr ? 0 : bucket->size();
     best = std::min(best, count);
   }
   return best;
@@ -50,37 +69,51 @@ size_t CandidateCount(const SearchContext& ctx, const Atom& atom) {
 
 // The candidate tuple list for `atom`: the smallest applicable index
 // bucket, or all tuples of the relation. Returns indexes into
-// instance.tuples(atom.relation); `all` is an out-param scratch vector used
-// when no position is bound.
+// instance.tuples(atom.relation); `scratch` is out-param storage used when
+// no position is bound or when a merged class spans several buckets.
 const std::vector<int>* Candidates(const SearchContext& ctx, const Atom& atom,
-                                   std::vector<int>* all) {
+                                   std::vector<int>* scratch) {
   const Instance& inst = *ctx.instance;
-  const std::vector<int>* best = nullptr;
-  size_t best_count = std::numeric_limits<size_t>::max();
   static const std::vector<int> kEmpty;
-  for (int pos = 0; pos < static_cast<int>(atom.terms.size()); ++pos) {
-    const Term& t = atom.terms[pos];
-    Value v;
-    if (t.is_constant()) {
-      v = t.constant();
-    } else if (ctx.binding.bound[t.var()]) {
-      v = ctx.binding.values[t.var()];
-    } else {
-      continue;
+  if (ctx.resolver == nullptr) {
+    const std::vector<int>* best = nullptr;
+    size_t best_count = std::numeric_limits<size_t>::max();
+    for (int pos = 0; pos < static_cast<int>(atom.terms.size()); ++pos) {
+      Value v;
+      if (!BoundValueAt(ctx, atom, pos, &v)) continue;
+      const std::vector<int>* bucket =
+          inst.TuplesWithValueAt(atom.relation, pos, v);
+      if (bucket == nullptr) return &kEmpty;
+      if (bucket->size() < best_count) {
+        best = bucket;
+        best_count = bucket->size();
+      }
     }
-    const std::vector<int>* bucket =
-        inst.TuplesWithValueAt(atom.relation, pos, v);
-    if (bucket == nullptr) return &kEmpty;
-    if (bucket->size() < best_count) {
-      best = bucket;
-      best_count = bucket->size();
+    if (best != nullptr) return best;
+  } else {
+    int best_pos = -1;
+    Value best_value;
+    size_t best_count = std::numeric_limits<size_t>::max();
+    for (int pos = 0; pos < static_cast<int>(atom.terms.size()); ++pos) {
+      Value v;
+      if (!BoundValueAt(ctx, atom, pos, &v)) continue;
+      size_t count = inst.CountTuplesWithResolvedValueAt(atom.relation, pos, v);
+      if (count == 0) return &kEmpty;
+      if (count < best_count) {
+        best_pos = pos;
+        best_value = v;
+        best_count = count;
+      }
+    }
+    if (best_pos >= 0) {
+      return inst.TuplesWithResolvedValueAt(atom.relation, best_pos,
+                                            best_value, scratch);
     }
   }
-  if (best != nullptr) return best;
   size_t n = inst.tuples(atom.relation).size();
-  all->resize(n);
-  for (size_t i = 0; i < n; ++i) (*all)[i] = static_cast<int>(i);
-  return all;
+  scratch->resize(n);
+  for (size_t i = 0; i < n; ++i) (*scratch)[i] = static_cast<int>(i);
+  return scratch;
 }
 
 // Attempts to unify `atom` with `tuple` under the current binding.
@@ -89,15 +122,17 @@ bool Unify(SearchContext* ctx, const Atom& atom, const Tuple& tuple,
            std::vector<VariableId>* trail) {
   for (int pos = 0; pos < static_cast<int>(atom.terms.size()); ++pos) {
     const Term& t = atom.terms[pos];
+    Value tv = tuple[pos];
+    if (ctx->resolver != nullptr) tv = ctx->resolver->Resolve(tv);
     if (t.is_constant()) {
-      if (tuple[pos] != t.constant()) return false;
+      if (tv != t.constant()) return false;
       continue;
     }
     VariableId v = t.var();
     if (ctx->binding.bound[v]) {
-      if (ctx->binding.values[v] != tuple[pos]) return false;
+      if (ctx->binding.values[v] != tv) return false;
     } else {
-      ctx->binding.Bind(v, tuple[pos]);
+      ctx->binding.Bind(v, tv);
       trail->push_back(v);
     }
   }
@@ -147,6 +182,23 @@ bool Search(SearchContext* ctx, int remaining) {
   return false;
 }
 
+// The instance's resolver if it has merges, else nullptr (raw fast path).
+const ValueResolver* ResolverFor(const Instance& instance) {
+  return instance.has_merges() ? &instance.resolver() : nullptr;
+}
+
+// Bindings always hold resolved values: resolve whatever the caller bound.
+Binding ResolvePartial(const Instance& instance, const Binding& partial) {
+  if (!instance.has_merges()) return partial;
+  Binding resolved = partial;
+  for (size_t v = 0; v < resolved.bound.size(); ++v) {
+    if (resolved.bound[v]) {
+      resolved.values[v] = instance.ResolveValue(resolved.values[v]);
+    }
+  }
+  return resolved;
+}
+
 }  // namespace
 
 bool EnumerateMatches(const std::vector<Atom>& atoms, int var_count,
@@ -157,8 +209,9 @@ bool EnumerateMatches(const std::vector<Atom>& atoms, int var_count,
   ctx.atoms = &atoms;
   ctx.instance = &instance;
   ctx.fn = &fn;
-  ctx.binding = partial;
+  ctx.binding = ResolvePartial(instance, partial);
   ctx.done.assign(atoms.size(), false);
+  ctx.resolver = ResolverFor(instance);
   return Search(&ctx, static_cast<int>(atoms.size()));
 }
 
@@ -168,6 +221,7 @@ bool EnumerateMatchesDelta(const std::vector<Atom>& atoms, int var_count,
                            const std::function<bool(const Binding&)>& fn) {
   PDX_CHECK_EQ(static_cast<int>(partial.bound.size()), var_count);
   constexpr size_t kUnbounded = std::numeric_limits<size_t>::max();
+  const Binding start = ResolvePartial(instance, partial);
   for (size_t pivot = 0; pivot < atoms.size(); ++pivot) {
     const Atom& pivot_atom = atoms[pivot];
     size_t begin = delta.begin(pivot_atom.relation);
@@ -184,10 +238,40 @@ bool EnumerateMatchesDelta(const std::vector<Atom>& atoms, int var_count,
     ctx.instance = &instance;
     ctx.fn = &fn;
     ctx.max_index = &bounds;
+    ctx.resolver = ResolverFor(instance);
     const std::vector<Tuple>& tuples = instance.tuples(pivot_atom.relation);
     std::vector<VariableId> trail;
     for (size_t idx = begin; idx < end && idx < tuples.size(); ++idx) {
-      ctx.binding = partial;
+      ctx.binding = start;
+      ctx.done.assign(atoms.size(), false);
+      ctx.done[pivot] = true;
+      trail.clear();
+      if (Unify(&ctx, pivot_atom, tuples[idx], &trail) &&
+          Search(&ctx, static_cast<int>(atoms.size()) - 1)) {
+        return true;
+      }
+    }
+  }
+  // Merge-dirtied extras: pre-existing tuples whose resolved content
+  // changed. Any match newly enabled by a merge must bind some atom to
+  // such a tuple, so pivoting each atom over the extras (with the other
+  // atoms unrestricted) is complete. A match touching several extras (or
+  // an extra plus an additive-delta fact) can be enumerated more than
+  // once; consumers are idempotent.
+  for (size_t pivot = 0; pivot < atoms.size(); ++pivot) {
+    const Atom& pivot_atom = atoms[pivot];
+    const std::vector<int>& extra = delta.extras(pivot_atom.relation);
+    if (extra.empty()) continue;
+    SearchContext ctx;
+    ctx.atoms = &atoms;
+    ctx.instance = &instance;
+    ctx.fn = &fn;
+    ctx.resolver = ResolverFor(instance);
+    const std::vector<Tuple>& tuples = instance.tuples(pivot_atom.relation);
+    std::vector<VariableId> trail;
+    for (int idx : extra) {
+      PDX_DCHECK(static_cast<size_t>(idx) < tuples.size());
+      ctx.binding = start;
       ctx.done.assign(atoms.size(), false);
       ctx.done[pivot] = true;
       trail.clear();

@@ -35,6 +35,12 @@ struct Binding {
 // ordinary values (the standard naive-evaluation semantics used by the
 // chase and by monotone query evaluation).
 //
+// Matching is resolve-on-read against the instance's value layer: raw
+// tuple values are resolved to their equivalence-class roots before
+// unification (see Instance::resolver()), so bindings reported to `fn`
+// always hold resolved values — as do the values of `partial`, which are
+// resolved on entry.
+//
 // `fn` is invoked once per complete match; returning false stops the
 // enumeration. EnumerateMatches returns true iff enumeration was stopped by
 // `fn` (i.e. "found and accepted early").
@@ -54,6 +60,13 @@ bool EnumerateMatches(const std::vector<Atom>& atoms, int var_count,
 // it are confined to pre-delta facts, atoms after it are unrestricted.
 // Matches entirely over pre-delta facts are skipped; a caller that has
 // already processed them (the previous chase rounds) loses nothing.
+//
+// If the delta carries merge-dirtied extras (DeltaView::extras), matches
+// binding an atom to a dirtied pre-existing tuple are also enumerated —
+// these pivots leave the other atoms unrestricted, so a match touching
+// both an extra and an additive fact may be reported more than once;
+// callers must be idempotent (chase triggers are: they re-check before
+// firing).
 //
 // Callback and return semantics are identical to EnumerateMatches.
 bool EnumerateMatchesDelta(const std::vector<Atom>& atoms, int var_count,

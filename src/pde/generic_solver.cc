@@ -1,5 +1,6 @@
 #include "pde/generic_solver.h"
 
+#include <limits>
 #include <unordered_set>
 
 #include "chase/chase.h"
@@ -139,45 +140,18 @@ class Searcher {
     return stop;
   }
 
-  // Applies target egds to fixpoint, scanning only triggers that touch
-  // facts beyond `since` (the parent state was already egd-clean).
-  // Substitutions dirty the relations they rewrite, which the rebuilt
-  // DeltaView picks up. Returns false on constant/constant clash.
+  // Applies target egds to fixpoint as union-find merges in k's value
+  // layer, scanning only triggers that touch facts beyond `since` (the
+  // parent state was already egd-clean) or tuples a merge dirtied. The
+  // dirty extras are not needed afterwards: the trigger search below this
+  // point is a full resolved scan. Returns false on constant/constant
+  // clash.
   bool ApplyEgdFixpoint(Instance* k, const InstanceWatermark& since) {
-    bool changed = true;
-    while (changed) {
-      changed = false;
-      DeltaView delta(*k, since);
-      if (!delta.any()) return true;
-      for (const Egd& egd : setting_.target_egds()) {
-        while (true) {
-          Binding trigger = Binding::Empty(egd.var_count);
-          bool violated = EnumerateMatchesDelta(
-              egd.body, egd.var_count, *k, delta,
-              Binding::Empty(egd.var_count), [&](const Binding& match) {
-                if (match.values[egd.left_var] ==
-                    match.values[egd.right_var]) {
-                  return true;  // keep searching
-                }
-                trigger = match;
-                return false;  // stop: violated trigger
-              });
-          if (!violated) break;
-          Value a = trigger.values[egd.left_var];
-          Value b = trigger.values[egd.right_var];
-          if (a.is_constant() && b.is_constant()) return false;
-          if (a.is_null()) {
-            k->Substitute(a, b);
-          } else {
-            k->Substitute(b, a);
-          }
-          changed = true;
-          // Substitution moved tuple indexes; rebuild before rescanning.
-          delta = DeltaView(*k, since);
-        }
-      }
-    }
-    return true;
+    std::vector<std::vector<int>> extras;
+    EgdFixpointOutcome out = RunEgdsToFixpointDelta(
+        setting_.target_egds(), k, since,
+        std::numeric_limits<int64_t>::max(), symbols_, &extras);
+    return !out.failed;
   }
 
   TsStatus CheckTsConstraints(const Instance& k) {

@@ -35,11 +35,23 @@ Instance::RelationStore& Instance::Mutable(RelationId relation) {
   return *store;
 }
 
+Tuple Instance::ResolveTuple(const Tuple& t) const {
+  if (resolver_.trivial()) return t;
+  Tuple resolved = t;
+  for (Value& v : resolved) v = resolver_.Resolve(v);
+  return resolved;
+}
+
 bool Instance::AddFact(RelationId relation, Tuple tuple) {
   PDX_CHECK_GE(relation, 0);
   PDX_CHECK_LT(relation, static_cast<RelationId>(stores_.size()));
   PDX_CHECK_EQ(static_cast<int>(tuple.size()), schema_->arity(relation))
       << "arity mismatch inserting into " << schema_->relation_name(relation);
+  // Resolve-on-write: new facts always enter in resolved form, so only
+  // tuples inserted *before* a merge can hold stale values.
+  if (!resolver_.trivial()) {
+    for (Value& v : tuple) v = resolver_.Resolve(v);
+  }
   if (stores_[relation]->dedup.count(tuple) > 0) return false;
   RelationStore& store = Mutable(relation);
   auto [it, inserted] = store.dedup.emplace(
@@ -55,46 +67,75 @@ bool Instance::AddFact(RelationId relation, Tuple tuple) {
   return true;
 }
 
+int Instance::FindResolvedTupleIndex(RelationId relation,
+                                     const Tuple& resolved) const {
+  const RelationStore& store = *stores_[relation];
+  auto it = store.dedup.find(resolved);
+  if (it != store.dedup.end()) return it->second;
+  if (resolver_.trivial() || resolved.empty()) return -1;
+  // A pre-merge raw tuple may resolve to `resolved` without being stored
+  // verbatim: probe the class-aware bucket of position 0.
+  std::vector<int> scratch;
+  const std::vector<int>* bucket =
+      TuplesWithResolvedValueAt(relation, 0, resolved[0], &scratch);
+  if (bucket == nullptr) return -1;
+  for (int idx : *bucket) {
+    if (ResolveTuple(store.tuples[idx]) == resolved) return idx;
+  }
+  return -1;
+}
+
 bool Instance::RemoveFact(RelationId relation, const Tuple& tuple) {
   PDX_CHECK_GE(relation, 0);
   PDX_CHECK_LT(relation, static_cast<RelationId>(stores_.size()));
-  if (stores_[relation]->dedup.count(tuple) == 0) return false;
-  RelationStore& store = Mutable(relation);
-  auto it = store.dedup.find(tuple);
-  int idx = it->second;
-  int last = static_cast<int>(store.tuples.size()) - 1;
-  // Drop the removed tuple's index entries.
-  for (int pos = 0; pos < static_cast<int>(tuple.size()); ++pos) {
-    auto& by_value = store.index[pos];
-    auto bucket_it = by_value.find(tuple[pos].packed());
-    PDX_DCHECK(bucket_it != by_value.end());
-    std::vector<int>& bucket = bucket_it->second;
-    bucket.erase(std::find(bucket.begin(), bucket.end(), idx));
-    if (bucket.empty()) by_value.erase(bucket_it);
-  }
-  if (idx != last) {
-    // Move the last tuple into the hole and repoint its entries.
-    Tuple moved = std::move(store.tuples[last]);
-    for (int pos = 0; pos < static_cast<int>(moved.size()); ++pos) {
-      for (int& entry : store.index[pos][moved[pos].packed()]) {
-        if (entry == last) entry = idx;
-      }
+  Tuple resolved = ResolveTuple(tuple);
+  bool removed = false;
+  // Under merges several raw tuples may resolve to the same fact: remove
+  // them all so the resolved view no longer contains it.
+  int idx;
+  while ((idx = FindResolvedTupleIndex(relation, resolved)) >= 0) {
+    RelationStore& store = Mutable(relation);
+    Tuple raw = store.tuples[idx];
+    auto it = store.dedup.find(raw);
+    PDX_DCHECK(it != store.dedup.end());
+    int last = static_cast<int>(store.tuples.size()) - 1;
+    // Drop the removed tuple's index entries.
+    for (int pos = 0; pos < static_cast<int>(raw.size()); ++pos) {
+      auto& by_value = store.index[pos];
+      auto bucket_it = by_value.find(raw[pos].packed());
+      PDX_DCHECK(bucket_it != by_value.end());
+      std::vector<int>& bucket = bucket_it->second;
+      bucket.erase(std::find(bucket.begin(), bucket.end(), idx));
+      if (bucket.empty()) by_value.erase(bucket_it);
     }
-    store.dedup.find(moved)->second = idx;
-    store.tuples[idx] = std::move(moved);
+    if (idx != last) {
+      // Move the last tuple into the hole and repoint its entries.
+      Tuple moved = std::move(store.tuples[last]);
+      for (int pos = 0; pos < static_cast<int>(moved.size()); ++pos) {
+        for (int& entry : store.index[pos][moved[pos].packed()]) {
+          if (entry == last) entry = idx;
+        }
+      }
+      store.dedup.find(moved)->second = idx;
+      store.tuples[idx] = std::move(moved);
+    }
+    store.tuples.pop_back();
+    store.dedup.erase(it);
+    // Indexes shifted: delta consumers must re-scan this relation.
+    ++store.rewrites;
+    --fact_count_;
+    removed = true;
   }
-  store.tuples.pop_back();
-  store.dedup.erase(it);
-  // Indexes shifted: delta consumers must re-scan this relation.
-  ++store.rewrites;
-  --fact_count_;
-  return true;
+  return removed;
 }
 
 bool Instance::Contains(RelationId relation, const Tuple& tuple) const {
   PDX_CHECK_GE(relation, 0);
   PDX_CHECK_LT(relation, static_cast<RelationId>(stores_.size()));
-  return stores_[relation]->dedup.count(tuple) > 0;
+  if (resolver_.trivial()) {
+    return stores_[relation]->dedup.count(tuple) > 0;
+  }
+  return FindResolvedTupleIndex(relation, ResolveTuple(tuple)) >= 0;
 }
 
 const std::vector<int>* Instance::TuplesWithValueAt(RelationId relation,
@@ -108,6 +149,72 @@ const std::vector<int>* Instance::TuplesWithValueAt(RelationId relation,
   auto it = by_value.find(value.packed());
   if (it == by_value.end()) return nullptr;
   return &it->second;
+}
+
+size_t Instance::CountTuplesWithResolvedValueAt(RelationId relation,
+                                                int position,
+                                                Value value) const {
+  Value root = resolver_.Resolve(value);
+  const std::vector<Value>* members = resolver_.ClassMembers(root);
+  if (members == nullptr) {
+    const std::vector<int>* bucket =
+        TuplesWithValueAt(relation, position, root);
+    return bucket == nullptr ? 0 : bucket->size();
+  }
+  size_t total = 0;
+  for (const Value& m : *members) {
+    const std::vector<int>* bucket = TuplesWithValueAt(relation, position, m);
+    if (bucket != nullptr) total += bucket->size();
+  }
+  return total;
+}
+
+const std::vector<int>* Instance::TuplesWithResolvedValueAt(
+    RelationId relation, int position, Value value,
+    std::vector<int>* scratch) const {
+  Value root = resolver_.Resolve(value);
+  const std::vector<Value>* members = resolver_.ClassMembers(root);
+  if (members == nullptr) {
+    return TuplesWithValueAt(relation, position, root);
+  }
+  scratch->clear();
+  for (const Value& m : *members) {
+    const std::vector<int>* bucket = TuplesWithValueAt(relation, position, m);
+    if (bucket != nullptr) {
+      scratch->insert(scratch->end(), bucket->begin(), bucket->end());
+    }
+  }
+  return scratch->empty() ? nullptr : scratch;
+}
+
+Instance::MergeResult Instance::MergeValues(Value a, Value b) {
+  MergeResult out;
+  ValueResolver::UnionResult u = resolver_.Union(a, b);
+  out.conflict = u.conflict;
+  out.winner = u.winner;
+  out.loser = u.loser;
+  if (!u.merged) return out;
+  out.merged = true;
+  out.reassigned = std::move(u.reassigned);
+  // The tuples whose resolved content changed are exactly those holding a
+  // member of the losing class at some position; the inverted index finds
+  // them without touching the stores.
+  int n = static_cast<int>(stores_.size());
+  for (RelationId r = 0; r < n; ++r) {
+    const RelationStore& store = *stores_[r];
+    size_t first = out.dirty.size();
+    for (const auto& by_value : store.index) {
+      for (const Value& m : out.reassigned) {
+        auto it = by_value.find(m.packed());
+        if (it == by_value.end()) continue;
+        for (int idx : it->second) out.dirty.emplace_back(r, idx);
+      }
+    }
+    std::sort(out.dirty.begin() + first, out.dirty.end());
+    out.dirty.erase(std::unique(out.dirty.begin() + first, out.dirty.end()),
+                    out.dirty.end());
+  }
+  return out;
 }
 
 InstanceWatermark Instance::TakeWatermark() const {
@@ -124,13 +231,34 @@ InstanceWatermark Instance::TakeWatermark() const {
 
 void Instance::ForEachFact(const std::function<void(const Fact&)>& fn) const {
   Fact fact;
+  if (resolver_.trivial()) {
+    for (RelationId r = 0; r < static_cast<RelationId>(stores_.size()); ++r) {
+      fact.relation = r;
+      for (const Tuple& t : stores_[r]->tuples) {
+        fact.tuple = t;
+        fn(fact);
+      }
+    }
+    return;
+  }
+  // Resolve-on-read: distinct raw tuples can collapse onto one resolved
+  // fact, so deduplicate per relation.
+  std::unordered_set<Tuple, TupleHash> seen;
   for (RelationId r = 0; r < static_cast<RelationId>(stores_.size()); ++r) {
     fact.relation = r;
+    seen.clear();
     for (const Tuple& t : stores_[r]->tuples) {
-      fact.tuple = t;
-      fn(fact);
+      fact.tuple = ResolveTuple(t);
+      if (seen.insert(fact.tuple).second) fn(fact);
     }
   }
+}
+
+size_t Instance::ResolvedFactCount() const {
+  if (resolver_.trivial()) return fact_count_;
+  size_t count = 0;
+  ForEachFact([&count](const Fact&) { ++count; });
+  return count;
 }
 
 std::vector<Fact> Instance::AllFacts() const {
@@ -174,18 +302,31 @@ bool Instance::HasNulls() const {
 }
 
 bool Instance::IsSubsetOf(const Instance& other) const {
-  if (fact_count_ > other.fact_count_) return false;
-  for (RelationId r = 0; r < static_cast<RelationId>(stores_.size()); ++r) {
-    if (stores_[r] == other.stores_[r]) continue;  // shared: trivially ⊆
-    for (const Tuple& t : stores_[r]->tuples) {
-      if (!other.Contains(r, t)) return false;
+  if (resolver_.trivial() && other.resolver_.trivial()) {
+    if (fact_count_ > other.fact_count_) return false;
+    for (RelationId r = 0; r < static_cast<RelationId>(stores_.size()); ++r) {
+      if (stores_[r] == other.stores_[r]) continue;  // shared: trivially ⊆
+      for (const Tuple& t : stores_[r]->tuples) {
+        if (!other.Contains(r, t)) return false;
+      }
     }
+    return true;
   }
-  return true;
+  // Merged on either side: raw counts overstate the resolved views, so
+  // compare fact-by-fact on resolved tuples.
+  bool subset = true;
+  ForEachFact([&](const Fact& f) {
+    if (subset && !other.Contains(f)) subset = false;
+  });
+  return subset;
 }
 
 bool Instance::FactsEqual(const Instance& other) const {
-  return fact_count_ == other.fact_count_ && IsSubsetOf(other);
+  if (resolver_.trivial() && other.resolver_.trivial()) {
+    return fact_count_ == other.fact_count_ && IsSubsetOf(other);
+  }
+  return ResolvedFactCount() == other.ResolvedFactCount() &&
+         IsSubsetOf(other);
 }
 
 void Instance::UnionWith(const Instance& other) {
@@ -223,6 +364,12 @@ void Instance::Substitute(Value from, Value to) {
       AddFact(r, std::move(t));
     }
   }
+}
+
+Instance Instance::CompactResolved() const {
+  Instance compact(schema_);
+  ForEachFact([&compact](const Fact& f) { compact.AddFact(f); });
+  return compact;
 }
 
 namespace {
@@ -298,9 +445,33 @@ DeltaView::DeltaView(const Instance& instance, const InstanceWatermark& mark)
   }
 }
 
+DeltaView::DeltaView(const Instance& instance, const InstanceWatermark& mark,
+                     const std::vector<std::vector<int>>& extras)
+    : DeltaView(instance, mark) {
+  if (extras.empty()) return;
+  int n = instance.schema().relation_count();
+  PDX_CHECK_EQ(static_cast<int>(extras.size()), n);
+  extras_.resize(n);
+  for (RelationId r = 0; r < n; ++r) {
+    for (int idx : extras[r]) {
+      // Tuples already inside [begin, end) are pivoted via the range.
+      if (static_cast<size_t>(idx) < begin_[r]) extras_[r].push_back(idx);
+    }
+    std::sort(extras_[r].begin(), extras_[r].end());
+    extras_[r].erase(std::unique(extras_[r].begin(), extras_[r].end()),
+                     extras_[r].end());
+  }
+}
+
+const std::vector<int>& DeltaView::extras(RelationId relation) const {
+  static const std::vector<int> kEmpty;
+  if (extras_.empty()) return kEmpty;
+  return extras_[relation];
+}
+
 bool DeltaView::any() const {
   for (size_t r = 0; r < begin_.size(); ++r) {
-    if (begin_[r] < end_[r]) return true;
+    if (dirty(static_cast<RelationId>(r))) return true;
   }
   return false;
 }

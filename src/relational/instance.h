@@ -7,12 +7,14 @@
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "base/status.h"
 #include "relational/schema.h"
 #include "relational/tuple.h"
 #include "relational/value.h"
+#include "relational/value_resolver.h"
 
 namespace pdx {
 
@@ -20,8 +22,10 @@ class Instance;
 
 // A monotone position in an Instance's mutation history: per-relation tuple
 // counts plus per-relation rewrite counters (a relation's counter advances
-// whenever Substitute rewrites its tuples in place, which shuffles tuple
-// indexes). Taken via Instance::TakeWatermark(); consumed by DeltaView.
+// whenever Substitute or RemoveFact rewrites its tuples in place, which
+// shuffles tuple indexes). Taken via Instance::TakeWatermark(); consumed by
+// DeltaView. Union-find merges (MergeValues) do NOT advance counters: they
+// leave tuple indexes stable and report the dirty tuples explicitly.
 struct InstanceWatermark {
   std::vector<size_t> counts;
   std::vector<uint64_t> rewrites;
@@ -42,6 +46,19 @@ struct InstanceWatermark {
 // tuple store (tuples + dedup map + inverted index) is a copy-on-write
 // shared block, cloned lazily the first time either copy mutates that
 // relation. Search-based solvers rely on this to branch states in O(1).
+//
+// Value resolution layer: alongside its stores, an Instance carries a
+// ValueResolver — a union-find over values fed by egd merges
+// (MergeValues). Tuples keep the raw values they were inserted with;
+// every read-side API (Contains, ForEachFact, AllFacts, ActiveDomain,
+// fingerprints, ToString, the matcher via the resolved index accessors)
+// presents the *resolved* view, in which each value stands for its class
+// root and raw tuples that collapse onto the same resolved tuple count
+// once. This makes an egd merge a near-O(1) union instead of Substitute's
+// full relation rebuild, and it never invalidates tuple indexes. The
+// resolver snapshots copy-on-write exactly like the relation stores, so
+// branches never alias resolver state. Substitute remains available as
+// the eager alternative (used by ChaseStrategy::kRestrictedNaive).
 class Instance {
  public:
   explicit Instance(const Schema* schema);
@@ -54,91 +71,164 @@ class Instance {
 
   const Schema& schema() const { return *schema_; }
 
-  // Inserts R(t). Returns true if the fact was new. Arity mismatches are
-  // internal errors (callers validate user input at parse time).
+  // Inserts R(t), with `tuple` resolved first. Returns true if the raw
+  // store gained a tuple (under merges, a resolved duplicate of a
+  // pre-merge raw tuple may still be stored; the resolved views collapse
+  // it). Arity mismatches are internal errors (callers validate user
+  // input at parse time).
   bool AddFact(RelationId relation, Tuple tuple);
   bool AddFact(const Fact& fact) { return AddFact(fact.relation, fact.tuple); }
 
-  // Removes R(t) if present (swap-with-last; O(arity × index bucket), not
-  // O(relation)). Returns true if the fact existed. Counts as a rewrite of
-  // the relation: tuple indexes shift, so watermarks into it are dirtied.
-  // Repair search uses this to branch subset states off a snapshot cheaply.
+  // Removes every raw tuple resolving to R(resolve(t)) if present
+  // (swap-with-last; O(arity × index bucket), not O(relation)). Returns
+  // true if the fact existed. Counts as a rewrite of the relation: tuple
+  // indexes shift, so watermarks into it are dirtied. Repair search uses
+  // this to branch subset states off a snapshot cheaply.
   bool RemoveFact(RelationId relation, const Tuple& tuple);
   bool RemoveFact(const Fact& fact) {
     return RemoveFact(fact.relation, fact.tuple);
   }
 
+  // Resolved membership: true if some stored tuple resolves to
+  // resolve(tuple).
   bool Contains(RelationId relation, const Tuple& tuple) const;
   bool Contains(const Fact& fact) const {
     return Contains(fact.relation, fact.tuple);
   }
 
-  // All tuples of one relation, in insertion order.
+  // All raw tuples of one relation, in insertion order. Under merges a
+  // tuple's values may be stale: resolve-on-read via ResolveValue /
+  // ResolveTuple before comparing values across tuples.
   const std::vector<Tuple>& tuples(RelationId relation) const {
     PDX_CHECK_GE(relation, 0);
     PDX_CHECK_LT(relation, static_cast<RelationId>(stores_.size()));
     return stores_[relation]->tuples;
   }
 
-  // Indexes (into tuples(relation)) of tuples holding `value` at `position`,
-  // or nullptr if none. The pointer is invalidated by any mutation.
+  // Indexes (into tuples(relation)) of tuples holding raw `value` at
+  // `position`, or nullptr if none. The pointer is invalidated by any
+  // store mutation. Class-blind: see TuplesWithResolvedValueAt.
   const std::vector<int>* TuplesWithValueAt(RelationId relation, int position,
                                             Value value) const;
 
-  // Total number of facts across all relations.
+  // Number of tuples whose value at `position` *resolves* to
+  // resolve(value) (the sum of the index buckets of the class members).
+  size_t CountTuplesWithResolvedValueAt(RelationId relation, int position,
+                                        Value value) const;
+
+  // Indexes of tuples whose value at `position` resolves to
+  // resolve(value). Returns a pointer into the index when the class is a
+  // singleton (no copy); otherwise fills and returns `scratch`. Returns
+  // nullptr if no tuple matches.
+  const std::vector<int>* TuplesWithResolvedValueAt(
+      RelationId relation, int position, Value value,
+      std::vector<int>* scratch) const;
+
+  // --- Value resolution -----------------------------------------------
+
+  // The value layer: resolves egd-merged values to their class roots.
+  const ValueResolver& resolver() const { return resolver_; }
+
+  // True if any merge was ever applied (raw and resolved views may differ).
+  bool has_merges() const { return !resolver_.trivial(); }
+
+  Value ResolveValue(Value v) const { return resolver_.Resolve(v); }
+  Tuple ResolveTuple(const Tuple& t) const;
+
+  struct MergeResult {
+    // False if the values were already equal (no-op) or on conflict.
+    bool merged = false;
+    // True if the merge would equate two distinct constants (egd failure).
+    bool conflict = false;
+    Value winner;  // surviving root (valid on merged or conflict)
+    Value loser;   // absorbed root (valid on merged or conflict)
+    // Values whose resolution changed (the losing class).
+    std::vector<Value> reassigned;
+    // Tuples whose resolved content changed: every (relation, tuple index)
+    // holding a reassigned value, deduplicated and sorted. Delta-driven
+    // callers re-examine exactly these instead of whole relations.
+    std::vector<std::pair<RelationId, int>> dirty;
+  };
+
+  // Merges the equivalence classes of `a` and `b` in O(α)-ish time
+  // (union + dirty-tuple lookup via the inverted index): the egd chase
+  // step. Constants win unions; two distinct constants report a conflict
+  // and change nothing. Stores are untouched — tuple indexes, watermarks
+  // and index buckets all stay valid.
+  MergeResult MergeValues(Value a, Value b);
+
+  // --- Whole-instance views (resolved) --------------------------------
+
+  // Total number of raw stored tuples across all relations. Under merges
+  // this may overcount the resolved view; see ResolvedFactCount.
   size_t fact_count() const { return fact_count_; }
   bool empty() const { return fact_count_ == 0; }
+
+  // Number of distinct resolved facts. Equal to fact_count() when the
+  // instance has no merges (O(1)); otherwise one resolved scan (O(n)).
+  size_t ResolvedFactCount() const;
 
   // The current watermark: facts added (and relations rewritten) after this
   // point are visible to a DeltaView built against it.
   InstanceWatermark TakeWatermark() const;
 
-  // How many times Substitute has rewritten `relation` in place. A tuple
-  // index recorded before a rewrite does not address the same fact after.
+  // How many times Substitute/RemoveFact has rewritten `relation` in
+  // place. A tuple index recorded before a rewrite does not address the
+  // same fact after. MergeValues never advances this.
   uint64_t rewrites(RelationId relation) const {
     PDX_CHECK_GE(relation, 0);
     PDX_CHECK_LT(relation, static_cast<RelationId>(stores_.size()));
     return stores_[relation]->rewrites;
   }
 
-  // Invokes `fn` for every fact.
+  // Invokes `fn` for every resolved fact, each distinct fact once.
   void ForEachFact(const std::function<void(const Fact&)>& fn) const;
 
-  // All facts as a vector (convenience for tests and printing).
+  // All resolved facts as a vector (convenience for tests and printing).
   std::vector<Fact> AllFacts() const;
 
-  // The set of values occurring in the instance (active domain).
+  // The set of resolved values occurring in the instance (active domain).
   std::vector<Value> ActiveDomain() const;
 
-  // The nulls occurring in the instance.
+  // The nulls occurring in the resolved instance (class roots only).
   std::vector<Value> Nulls() const;
   bool HasNulls() const;
 
-  // True if every fact of this instance is a fact of `other`.
+  // True if every resolved fact of this instance is a resolved fact of
+  // `other`.
   bool IsSubsetOf(const Instance& other) const;
 
-  // Set equality of facts (schemas must describe the same relations).
+  // Set equality of resolved facts (schemas must describe the same
+  // relations).
   bool FactsEqual(const Instance& other) const;
 
-  // Inserts every fact of `other` (over the same schema) into this.
+  // Inserts every resolved fact of `other` (over the same schema) into
+  // this.
   void UnionWith(const Instance& other);
 
-  // Replaces every occurrence of `from` by `to`, deduplicating the result.
-  // Used by egd chase steps (from is always a labeled null there). Only
-  // relations actually containing `from` are rebuilt (and have their
-  // rewrite counter advanced); all others keep their stores untouched, so
-  // delta-driven callers re-scan only the rewritten relations.
+  // Replaces every occurrence of `from` by `to` in the raw stores,
+  // deduplicating the result (eager materialization; rebuilds only the
+  // relations containing `from` and advances their rewrite counters).
+  // Kept for the naive baseline chase and for callers that need raw
+  // stores canonical; the delta engines use MergeValues instead.
   void Substitute(Value from, Value to);
 
-  // Order-insensitive structural fingerprint, invariant under the *names*
-  // of nulls: nulls are canonically renamed by first occurrence in the
-  // sorted fact sequence. Two instances with equal fingerprints are
-  // isomorphic-over-constants with overwhelming probability; used for
-  // search-state memoization (collisions only cost completeness of the
-  // memo, never soundness of answers, and are astronomically unlikely).
+  // A plain instance holding this instance's resolved facts with a
+  // trivial resolver: the materialization of the resolve-on-read view.
+  // Its fingerprint, facts and ToString agree with this instance's.
+  Instance CompactResolved() const;
+
+  // Order-insensitive structural fingerprint of the *resolved* view,
+  // invariant under the *names* of nulls: nulls are canonically renamed by
+  // first occurrence in the sorted fact sequence. Two instances with equal
+  // fingerprints are isomorphic-over-constants with overwhelming
+  // probability; used for search-state memoization (collisions only cost
+  // completeness of the memo, never soundness of answers, and are
+  // astronomically unlikely).
   uint64_t CanonicalFingerprint() const;
 
-  // Multi-line rendering "R(a,b)." per fact, sorted, for goldens/debugging.
+  // Multi-line rendering "R(a,b)." per resolved fact, sorted, for
+  // goldens/debugging.
   std::string ToString(const SymbolTable& symbols) const;
 
  private:
@@ -155,34 +245,58 @@ class Instance {
   // The store for `relation`, cloned first if currently shared.
   RelationStore& Mutable(RelationId relation);
 
+  // Index (into tuples(relation)) of one stored tuple resolving to the
+  // already-resolved `resolved`, or -1. Exact when the resolver is
+  // trivial; otherwise probes the class-aware bucket of position 0.
+  int FindResolvedTupleIndex(RelationId relation,
+                             const Tuple& resolved) const;
+
   const Schema* schema_;
   size_t fact_count_ = 0;
   std::vector<std::shared_ptr<RelationStore>> stores_;
+  ValueResolver resolver_;
 };
 
-// The facts of an instance added since a watermark, as per-relation index
-// ranges into Instance::tuples(). Relations rewritten since the watermark
-// (Substitute advanced their rewrite counter) count as entirely new. The
-// view captures the instance's extent at construction: facts added later
-// fall outside it and belong to the next delta. Index ranges are stable
-// under AddFact but invalidated by Substitute on the same relation.
+// The facts of an instance that are *pending* relative to a watermark, as
+// per-relation data over Instance::tuples():
+//   * index ranges [begin, end) of tuples added since the watermark
+//     (relations rewritten in place since the watermark count as entirely
+//     new), plus
+//   * optional `extras`: indexes of pre-existing tuples whose resolved
+//     content a MergeValues call changed — the dirty equivalence classes.
+// The view captures the instance's extent at construction: facts added
+// later fall outside it and belong to the next delta. Index ranges are
+// stable under AddFact and MergeValues but invalidated by Substitute /
+// RemoveFact on the same relation.
 class DeltaView {
  public:
   DeltaView(const Instance& instance, const InstanceWatermark& mark);
+
+  // With merge-dirtied extras (per relation, from MergeResult::dirty).
+  // Extras are copied, deduped and clipped against [begin, end) so a tuple
+  // already inside the range is not pivoted twice.
+  DeltaView(const Instance& instance, const InstanceWatermark& mark,
+            const std::vector<std::vector<int>>& extras);
 
   // Everything currently in `instance` is new (first chase round).
   static DeltaView All(const Instance& instance) {
     return DeltaView(instance, InstanceWatermark::Origin(instance));
   }
 
-  // The delta of `relation` is tuples(relation)[begin, end).
+  // The additive delta of `relation` is tuples(relation)[begin, end).
   size_t begin(RelationId relation) const { return begin_[relation]; }
   size_t end(RelationId relation) const { return end_[relation]; }
+
+  // Pre-existing tuples of `relation` dirtied by merges (sorted, unique,
+  // all < begin(relation)). Empty when no extras were supplied.
+  const std::vector<int>& extras(RelationId relation) const;
+
   bool dirty(RelationId relation) const {
-    return begin_[relation] < end_[relation];
+    return begin_[relation] < end_[relation] ||
+           !extras(relation).empty();
   }
 
-  // True if any relation has new facts.
+  // True if any relation has pending facts.
   bool any() const;
 
   const Instance& instance() const { return *instance_; }
@@ -191,6 +305,7 @@ class DeltaView {
   const Instance* instance_;
   std::vector<size_t> begin_;
   std::vector<size_t> end_;
+  std::vector<std::vector<int>> extras_;  // empty, or one entry per relation
 };
 
 }  // namespace pdx

@@ -1,0 +1,113 @@
+#ifndef PDX_RELATIONAL_VALUE_RESOLVER_H_
+#define PDX_RELATIONAL_VALUE_RESOLVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace pdx {
+
+// Union-find over values, specialized for egd chase steps: labeled nulls
+// may be merged with each other or with constants; constants are always
+// class roots (an egd that would merge two distinct constants is a chase
+// failure, surfaced as a conflict instead of a union).
+//
+// The resolver is the *value layer* of an Instance: tuples keep the raw
+// values they were inserted with, and readers resolve each value to its
+// class root on the fly ("resolve-on-read"). This makes an egd merge a
+// near-O(1) union instead of Substitute's full relation rebuild.
+//
+// Representation: a flat parent map (value -> current root) plus per-root
+// member lists. Union relinks every member of the losing class directly to
+// the winning root — eager path compression — so Resolve() is a single
+// hash probe and never chases chains. Union-by-size bounds total relink
+// work at O(n log n) across any merge sequence; member lists double as the
+// set of values whose resolution a merge changed, which Instance uses to
+// mark exactly the dirty tuples.
+//
+// Copying a ValueResolver is O(1): state is a copy-on-write block shared
+// between copies (mirroring Instance's relation stores), cloned lazily on
+// the first Union of either copy. Snapshots and branches therefore never
+// alias resolver state.
+class ValueResolver {
+ public:
+  ValueResolver() = default;
+
+  // Copyable in O(1); the first mutation of either copy clones the state.
+  ValueResolver(const ValueResolver&) = default;
+  ValueResolver& operator=(const ValueResolver&) = default;
+  ValueResolver(ValueResolver&&) = default;
+  ValueResolver& operator=(ValueResolver&&) = default;
+
+  // True if no union was ever applied: every value resolves to itself.
+  bool trivial() const { return state_ == nullptr || state_->parent.empty(); }
+
+  // The root of `v`'s equivalence class (identity for unmerged values).
+  Value Resolve(Value v) const {
+    if (state_ == nullptr) return v;
+    auto it = state_->parent.find(v.packed());
+    return it == state_->parent.end() ? v : it->second;
+  }
+
+  bool SameClass(Value a, Value b) const {
+    return Resolve(a) == Resolve(b);
+  }
+
+  // The members of `root`'s class (including the root itself), or nullptr
+  // for singleton classes. `root` must already be a class root. The pointer
+  // is invalidated by the next Union on this resolver.
+  const std::vector<Value>* ClassMembers(Value root) const {
+    if (state_ == nullptr) return nullptr;
+    auto it = state_->members.find(root.packed());
+    return it == state_->members.end() ? nullptr : &it->second;
+  }
+
+  struct UnionResult {
+    // False if the two values were already in one class (no-op) or the
+    // union was a constant/constant conflict.
+    bool merged = false;
+    // True if both roots were distinct constants: the egd failure case.
+    bool conflict = false;
+    Value winner;  // surviving root (valid on merged or conflict)
+    Value loser;   // absorbed root (valid on merged or conflict)
+    // The values whose resolution just changed: every member of the losing
+    // class (including `loser` itself).
+    std::vector<Value> reassigned;
+  };
+
+  // Merges the classes of `a` and `b`. Constants win unions (they must
+  // stay roots: a null equated with a constant *denotes* that constant);
+  // between null roots the larger class wins, bounding total relinking.
+  UnionResult Union(Value a, Value b);
+
+  // Number of successful unions ever applied.
+  uint64_t version() const { return state_ == nullptr ? 0 : state_->version; }
+
+  // Number of non-singleton classes currently tracked.
+  size_t class_count() const {
+    return state_ == nullptr ? 0 : state_->members.size();
+  }
+
+ private:
+  struct State {
+    // value -> its class root; only values that lost a union appear (roots
+    // and untouched values are absent, resolving to themselves).
+    std::unordered_map<uint64_t, Value> parent;
+    // root -> all values of the class, including the root; only classes of
+    // size >= 2 appear.
+    std::unordered_map<uint64_t, std::vector<Value>> members;
+    uint64_t version = 0;
+  };
+
+  // The state, cloned first if currently shared with another resolver.
+  State& MutableState();
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace pdx
+
+#endif  // PDX_RELATIONAL_VALUE_RESOLVER_H_

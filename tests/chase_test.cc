@@ -93,8 +93,11 @@ TEST_F(ChaseTest, EgdMergesNullIntoConstant) {
   ChaseResult result =
       Chase(start, {}, ParseEgds("H(x,y) & H(x,z) -> y = z."), &symbols_);
   EXPECT_EQ(result.outcome, ChaseOutcome::kSuccess);
-  EXPECT_EQ(result.instance.fact_count(), 1u);
+  // The merge is a union in the value layer: the raw store keeps both
+  // tuples, the resolved view collapses them onto H(a,b).
+  EXPECT_EQ(result.instance.ResolvedFactCount(), 1u);
   EXPECT_TRUE(result.instance.Contains(h_, {a_, b_}));
+  EXPECT_EQ(result.Resolve(n), b_);
 }
 
 TEST_F(ChaseTest, EgdMergesNullIntoNull) {
@@ -106,7 +109,8 @@ TEST_F(ChaseTest, EgdMergesNullIntoNull) {
   ChaseResult result =
       Chase(start, {}, ParseEgds("H(x,y) & H(x,z) -> y = z."), &symbols_);
   EXPECT_EQ(result.outcome, ChaseOutcome::kSuccess);
-  EXPECT_EQ(result.instance.fact_count(), 1u);
+  EXPECT_EQ(result.instance.ResolvedFactCount(), 1u);
+  EXPECT_EQ(result.Resolve(n1), result.Resolve(n2));
 }
 
 TEST_F(ChaseTest, EgdFailsOnDistinctConstants) {
@@ -129,8 +133,10 @@ TEST_F(ChaseTest, TgdAndEgdInteract) {
       Chase(start, ParseTgds("E(x,y) -> H(x,y)."),
             ParseEgds("H(x,y) & H(x,z) -> y = z."), &symbols_);
   EXPECT_EQ(result.outcome, ChaseOutcome::kSuccess);
-  EXPECT_EQ(result.instance.tuples(h_).size(), 1u);
+  // Resolved view: E(a,b) plus the single merged H(a,b).
+  EXPECT_EQ(result.instance.ResolvedFactCount(), 2u);
   EXPECT_TRUE(result.instance.Contains(h_, {a_, b_}));
+  EXPECT_EQ(result.Resolve(n), b_);
 }
 
 TEST_F(ChaseTest, NonTerminatingChaseHitsBudget) {

@@ -3,7 +3,11 @@
 // agree with the sound-and-complete generic search solver, and any witness
 // either solver produces must verify against Definition 2.
 
+#include <unordered_set>
+
 #include "gtest/gtest.h"
+#include "hom/instance_hom.h"
+#include "logic/parser.h"
 #include "pde/ctract_solver.h"
 #include "pde/data_exchange.h"
 #include "pde/generic_solver.h"
@@ -228,6 +232,107 @@ TEST_P(ChaseStrategyCrossValidationTest, DataExchangeAgreesAcrossStrategies) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaseStrategyCrossValidationTest,
                          ::testing::Range(uint64_t{1}, uint64_t{21}));
+
+// Egd-heavy chase cross-validation: on randomized instances whose every
+// invented null is hit by a key egd, the union-find engine (kRestricted)
+// and the Substitute-based baseline (kRestrictedNaive) must agree on the
+// outcome, produce homomorphically equivalent results, and hash to the
+// same resolved fingerprint — and the union-find result's resolve-on-read
+// view must match its own materialization.
+class EgdHeavyChaseCrossValidationTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EgdHeavyChaseCrossValidationTest, EnginesAgreeOnEgdHeavyChases) {
+  uint64_t seed = GetParam();
+  Rng rng(seed);
+  SymbolTable symbols;
+  Schema schema;
+  ASSERT_TRUE(schema.AddRelation("E", 2).ok());
+  ASSERT_TRUE(schema.AddRelation("H", 2).ok());
+  ASSERT_TRUE(schema.AddRelation("F", 2).ok());
+  RelationId e = 0, h = 1;
+
+  // The shared existential across the two head atoms forces one null per
+  // E-edge; the key egds then merge them in cascades across H and F.
+  auto deps = ParseDependencies(
+      "E(x,y) -> exists z: H(x,z) & F(y,z). "
+      "H(x,y) & H(x,z) -> y = z. "
+      "F(x,y) & F(x,z) -> y = z.",
+      schema, &symbols);
+  ASSERT_TRUE(deps.ok()) << deps.status().ToString();
+
+  Instance start(&schema);
+  int nodes = 3 + static_cast<int>(rng.UniformInt(5));
+  int edges = nodes * (1 + static_cast<int>(rng.UniformInt(3)));
+  auto node = [&](int i) {
+    return symbols.InternConstant("n" + std::to_string(i));
+  };
+  for (int i = 0; i < edges; ++i) {
+    start.AddFact(e, {node(static_cast<int>(rng.UniformInt(nodes))),
+                      node(static_cast<int>(rng.UniformInt(nodes)))});
+  }
+  // Pre-seed some H-facts: nulls join the merge cascades; constants make
+  // constant/constant egd failures reachable, which both engines must
+  // report identically.
+  int seeded = static_cast<int>(rng.UniformInt(4));
+  for (int i = 0; i < seeded; ++i) {
+    Value key = node(static_cast<int>(rng.UniformInt(nodes)));
+    Value payload = rng.UniformInt(3) == 0
+                        ? node(static_cast<int>(rng.UniformInt(nodes)))
+                        : symbols.FreshNull();
+    start.AddFact(h, {key, payload});
+  }
+
+  ChaseOptions naive_options;
+  naive_options.strategy = ChaseStrategy::kRestrictedNaive;
+  ChaseOptions delta_options;
+  delta_options.strategy = ChaseStrategy::kRestricted;
+  ChaseResult naive =
+      Chase(start, deps->tgds, deps->egds, &symbols, naive_options);
+  ChaseResult delta =
+      Chase(start, deps->tgds, deps->egds, &symbols, delta_options);
+
+  ASSERT_EQ(naive.outcome, delta.outcome)
+      << "engine disagreement on seed " << seed << "\nI:\n"
+      << start.ToString(symbols);
+  if (delta.outcome != ChaseOutcome::kSuccess) return;
+
+  EXPECT_EQ(naive.instance.CanonicalFingerprint(),
+            delta.instance.CanonicalFingerprint())
+      << "resolved fingerprints diverge on seed " << seed << "\nnaive:\n"
+      << naive.instance.ToString(symbols) << "\ndelta:\n"
+      << delta.instance.ToString(symbols);
+
+  // Homomorphic equivalence in both directions (fingerprint equality
+  // already implies isomorphism w.h.p.; this checks it constructively).
+  EXPECT_TRUE(
+      FindInstanceHomomorphism(naive.instance, delta.instance).has_value())
+      << "no homomorphism naive -> delta on seed " << seed;
+  EXPECT_TRUE(
+      FindInstanceHomomorphism(delta.instance, naive.instance).has_value())
+      << "no homomorphism delta -> naive on seed " << seed;
+
+  // Both results actually satisfy the dependencies they were chased with.
+  EXPECT_TRUE(SatisfiesAll(naive.instance, *deps)) << "seed " << seed;
+  EXPECT_TRUE(SatisfiesAll(delta.instance, *deps)) << "seed " << seed;
+
+  // The union-find instance's live resolve-on-read view must agree with
+  // its own materialization, and expose only class roots.
+  Instance compact = delta.instance.CompactResolved();
+  EXPECT_FALSE(compact.has_merges());
+  EXPECT_EQ(compact.CanonicalFingerprint(),
+            delta.instance.CanonicalFingerprint());
+  EXPECT_EQ(compact.fact_count(), delta.instance.ResolvedFactCount());
+  std::unordered_set<uint64_t> roots;
+  for (Value v : delta.instance.Nulls()) {
+    EXPECT_EQ(delta.instance.ResolveValue(v), v)
+        << "resolved view exposed a non-root null on seed " << seed;
+    EXPECT_TRUE(roots.insert(v.packed()).second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EgdHeavyChaseCrossValidationTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{41}));
 
 }  // namespace
 }  // namespace pdx

@@ -167,6 +167,111 @@ TEST_F(SnapshotTest, CopyIsCheapAndStillIsolated) {
   EXPECT_FALSE(copy.IsSubsetOf(parent));
 }
 
+TEST_F(SnapshotTest, BranchMergeDoesNotLeakIntoParent) {
+  Instance parent(&schema_);
+  Value n1 = symbols_.FreshNull();
+  Value n2 = symbols_.FreshNull();
+  parent.AddFact(0, {a_, n1});
+  parent.AddFact(0, {a_, n2});
+  InstanceSnapshot snapshot(parent);
+  Instance branch = snapshot.Branch();
+
+  Instance::MergeResult merge = branch.MergeValues(n1, n2);
+  EXPECT_TRUE(merge.merged);
+  // Exactly the tuple holding the losing null is dirty.
+  ASSERT_EQ(merge.dirty.size(), 1u);
+  EXPECT_EQ(merge.dirty[0].first, 0);
+  EXPECT_EQ(branch.ResolvedFactCount(), 1u);
+  EXPECT_TRUE(branch.has_merges());
+
+  // The parent and the snapshot still see two distinct facts and a
+  // trivial resolver: the branch's union never aliased their state.
+  EXPECT_FALSE(parent.has_merges());
+  EXPECT_EQ(parent.ResolvedFactCount(), 2u);
+  EXPECT_EQ(parent.ResolveValue(n1), n1);
+  EXPECT_EQ(snapshot.get().ResolvedFactCount(), 2u);
+  EXPECT_EQ(snapshot.get().resolver().version(), 0u);
+}
+
+TEST_F(SnapshotTest, SiblingBranchesMergeIndependently) {
+  Instance parent(&schema_);
+  Value n = symbols_.FreshNull();
+  parent.AddFact(0, {a_, n});
+  InstanceSnapshot snapshot(parent);
+  Instance left = snapshot.Branch();
+  Instance right = snapshot.Branch();
+
+  EXPECT_TRUE(left.MergeValues(n, b_).merged);
+  EXPECT_TRUE(right.MergeValues(n, c_).merged);
+
+  EXPECT_TRUE(left.Contains(0, {a_, b_}));
+  EXPECT_FALSE(left.Contains(0, {a_, c_}));
+  EXPECT_TRUE(right.Contains(0, {a_, c_}));
+  EXPECT_FALSE(right.Contains(0, {a_, b_}));
+  EXPECT_EQ(parent.ResolveValue(n), n);
+  EXPECT_TRUE(parent.Contains(0, {a_, n}));
+}
+
+TEST_F(SnapshotTest, InterleavedMergesNeverAliasResolverState) {
+  Instance parent(&schema_);
+  Value n1 = symbols_.FreshNull();
+  Value n2 = symbols_.FreshNull();
+  Value n3 = symbols_.FreshNull();
+  parent.AddFact(0, {n1, n2});
+  parent.AddFact(1, {n3});
+  InstanceSnapshot snapshot(parent);
+  Instance branch = snapshot.Branch();
+
+  // Interleave unions across the parent and the branch; each side must
+  // see exactly its own merge history.
+  EXPECT_TRUE(parent.MergeValues(n1, a_).merged);
+  EXPECT_TRUE(branch.MergeValues(n1, n2).merged);
+  EXPECT_TRUE(parent.MergeValues(n2, b_).merged);
+  EXPECT_TRUE(branch.MergeValues(n3, c_).merged);
+
+  EXPECT_EQ(parent.ResolveValue(n1), a_);
+  EXPECT_EQ(parent.ResolveValue(n2), b_);
+  EXPECT_EQ(parent.ResolveValue(n3), n3);
+  EXPECT_TRUE(branch.ResolveValue(n1).is_null());
+  EXPECT_EQ(branch.ResolveValue(n1), branch.ResolveValue(n2));
+  EXPECT_EQ(branch.ResolveValue(n3), c_);
+  EXPECT_EQ(snapshot.get().resolver().version(), 0u);
+}
+
+TEST_F(SnapshotTest, MergeDoesNotDirtyWatermarksOrRewrites) {
+  Instance instance(&schema_);
+  Value n = symbols_.FreshNull();
+  instance.AddFact(0, {a_, n});
+  instance.AddFact(0, {a_, b_});
+  uint64_t rewrites = instance.rewrites(0);
+  InstanceWatermark mark = instance.TakeWatermark();
+
+  Instance::MergeResult merge = instance.MergeValues(n, b_);
+  EXPECT_TRUE(merge.merged);
+  EXPECT_EQ(merge.winner, b_);  // constants win unions
+
+  // Unlike Substitute, a merge leaves tuple indexes and watermarks valid:
+  // no rewrite, no additive delta.
+  EXPECT_EQ(instance.rewrites(0), rewrites);
+  DeltaView plain(instance, mark);
+  EXPECT_FALSE(plain.any());
+
+  // The dirty tuples the merge reported expose the change to delta-driven
+  // callers via the extras channel.
+  std::vector<std::vector<int>> extras(2);
+  for (const auto& [relation, index] : merge.dirty) {
+    extras[relation].push_back(index);
+  }
+  DeltaView with_extras(instance, mark, extras);
+  EXPECT_TRUE(with_extras.any());
+  EXPECT_TRUE(with_extras.dirty(0));
+  ASSERT_EQ(with_extras.extras(0).size(), 1u);
+  const Tuple& raw = instance.tuples(0)[with_extras.extras(0)[0]];
+  EXPECT_EQ(raw, (Tuple{a_, n}));  // raw store keeps the stale value
+  EXPECT_EQ(instance.ResolveTuple(raw), (Tuple{a_, b_}));
+  EXPECT_EQ(instance.ResolvedFactCount(), 1u);
+}
+
 TEST_F(SnapshotTest, FingerprintUnaffectedBySharing) {
   Instance parent = Base();
   InstanceSnapshot snapshot(parent);

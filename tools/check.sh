@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
-# Tier-1 verification: configure, build and run the full test suite, first
-# plain, then under AddressSanitizer + UBSan (the copy-on-write instance
-# stores make ASan coverage non-optional: an aliasing bug between a branch
-# and its snapshot is exactly what it catches).
+# Tier-1 verification: configure, build and run the tier-1 test suite
+# (`ctest -L tier1`), first plain, then under AddressSanitizer + UBSan
+# (the copy-on-write instance stores and the union-find value layer make
+# ASan coverage non-optional: an aliasing bug between a branch and its
+# snapshot — stores or resolver — is exactly what it catches).
+#
+# Also available as a build target: `cmake --build build --target check`.
 #
 # Usage: tools/check.sh [--plain-only|--sanitize-only]
 set -euo pipefail
@@ -16,7 +19,8 @@ run_suite() {
   local build_dir="$1"; shift
   cmake -B "$build_dir" -S . "$@"
   cmake --build "$build_dir" -j "$jobs"
-  ctest --test-dir "$build_dir" --output-on-failure -j "$jobs" --timeout 600
+  ctest --test-dir "$build_dir" -L tier1 --output-on-failure -j "$jobs" \
+    --timeout 600
 }
 
 if [[ "$mode" != "--sanitize-only" ]]; then
