@@ -45,6 +45,21 @@ struct WorkloadResult {
   StrategyStats delta;
 };
 
+// One num_threads point of the thread-scaling dimension (delta strategy
+// only; the naive engine has no parallel path).
+struct ThreadPoint {
+  int threads = 0;
+  double wall_ms = 0;
+  int64_t steps = 0;
+  double speedup_vs_1t = 0;
+};
+
+struct ThreadScalingResult {
+  std::string name;
+  int64_t input_facts = 0;
+  std::vector<ThreadPoint> points;
+};
+
 struct BenchContext {
   Schema schema;
   SymbolTable symbols;
@@ -108,9 +123,11 @@ struct BenchContext {
 
 StrategyStats RunOne(BenchContext& ctx, const Instance& start,
                      const std::vector<Tgd>& tgds,
-                     const std::vector<Egd>& egds, ChaseStrategy strategy) {
+                     const std::vector<Egd>& egds, ChaseStrategy strategy,
+                     int num_threads = 1) {
   ChaseOptions options;
   options.strategy = strategy;
+  options.num_threads = num_threads;
   options.max_steps = 10'000'000;
   StrategyStats stats;
   for (int rep = 0; rep < kRepeats; ++rep) {
@@ -159,6 +176,45 @@ WorkloadResult RunWorkload(BenchContext& ctx, const std::string& name,
   return result;
 }
 
+// The thread-scaling dimension: the same workload, delta strategy, at
+// 1/2/4/8 worker threads. Every point is cross-checked against the
+// 1-thread run for identical fingerprints and step counts — the parallel
+// path must change wall time only. On merge-heavy workloads the pooled
+// path also switches the egd fixpoint from find-one-then-rescan to
+// batched collect-then-apply, so multi-thread points can beat 1-thread
+// even on a single core.
+ThreadScalingResult RunThreadScaling(BenchContext& ctx,
+                                     const std::string& name,
+                                     const Instance& start,
+                                     const std::vector<Tgd>& tgds,
+                                     const std::vector<Egd>& egds) {
+  ThreadScalingResult result;
+  result.name = name;
+  result.input_facts = static_cast<int64_t>(start.fact_count());
+  StrategyStats base;
+  for (int threads : {1, 2, 4, 8}) {
+    StrategyStats stats =
+        RunOne(ctx, start, tgds, egds, ChaseStrategy::kRestricted, threads);
+    if (threads == 1) {
+      base = stats;
+    } else {
+      PDX_CHECK(stats.fingerprint == base.fingerprint)
+          << "thread count changed the result on " << name;
+      PDX_CHECK(stats.steps == base.steps)
+          << "thread count changed the step count on " << name;
+    }
+    ThreadPoint point;
+    point.threads = threads;
+    point.wall_ms = stats.wall_ms;
+    point.steps = stats.steps;
+    point.speedup_vs_1t = stats.wall_ms > 0 ? base.wall_ms / stats.wall_ms : 0;
+    result.points.push_back(point);
+    std::fprintf(stderr, "%-24s %d threads %9.2f ms (speedup %5.2fx)\n",
+                 name.c_str(), threads, stats.wall_ms, point.speedup_vs_1t);
+  }
+  return result;
+}
+
 void WriteStrategy(JsonWriter& w, const char* key,
                    const StrategyStats& stats) {
   w.Key(key).BeginObject();
@@ -169,7 +225,8 @@ void WriteStrategy(JsonWriter& w, const char* key,
   w.EndObject();
 }
 
-std::string ToJson(const std::vector<WorkloadResult>& results) {
+std::string ToJson(const std::vector<WorkloadResult>& results,
+                   const std::vector<ThreadScalingResult>& scaling) {
   JsonWriter w;
   w.BeginObject();
   w.Key("bench").String("chase");
@@ -182,6 +239,24 @@ std::string ToJson(const std::vector<WorkloadResult>& results) {
     WriteStrategy(w, "naive", r.naive);
     WriteStrategy(w, "delta", r.delta);
     w.Key("speedup").Double(r.naive.wall_ms / r.delta.wall_ms, 2);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("thread_scaling").BeginArray();
+  for (const ThreadScalingResult& r : scaling) {
+    w.BeginObject();
+    w.Key("name").String(r.name);
+    w.Key("input_facts").Int(r.input_facts);
+    w.Key("points").BeginArray();
+    for (const ThreadPoint& p : r.points) {
+      w.BeginObject();
+      w.Key("threads").Int(p.threads);
+      w.Key("wall_ms").Double(p.wall_ms, 3);
+      w.Key("chase_steps").Int(p.steps);
+      w.Key("speedup_vs_1t").Double(p.speedup_vs_1t, 2);
+      w.EndObject();
+    }
+    w.EndArray();
     w.EndObject();
   }
   w.EndArray();
@@ -213,9 +288,22 @@ int Main(int argc, char** argv) {
                                   start, ctx.egd_heavy_tgds,
                                   ctx.egd_heavy_egds));
   }
+  // Thread scaling on the two headline workloads.
+  std::vector<ThreadScalingResult> scaling;
+  {
+    Instance start = ctx.RandomEdges(512, 2, 17);
+    scaling.push_back(RunThreadScaling(ctx, "pipeline_n512", start,
+                                       ctx.pipeline_tgds, {}));
+  }
+  {
+    Instance start = ctx.RandomEdges(256, 4, 29);
+    scaling.push_back(RunThreadScaling(ctx, "egd_heavy_n256", start,
+                                       ctx.egd_heavy_tgds,
+                                       ctx.egd_heavy_egds));
+  }
 
   std::string path = argc > 1 ? argv[1] : "BENCH_chase.json";
-  std::string json = ToJson(results);
+  std::string json = ToJson(results, scaling);
   std::FILE* f = std::fopen(path.c_str(), "w");
   PDX_CHECK(f != nullptr) << "cannot open " << path;
   std::fwrite(json.data(), 1, json.size(), f);

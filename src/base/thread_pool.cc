@@ -1,0 +1,100 @@
+#include "base/thread_pool.h"
+
+#include <algorithm>
+
+namespace pdx {
+
+ThreadPool::ThreadPool(int threads) {
+  int workers = std::max(0, threads - 1);
+  workers_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(static_cast<size_t>(i)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+int ThreadPool::HardwareConcurrency() {
+  unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+void ThreadPool::RunShards(Job* job, size_t start_shard) {
+  size_t count = job->shard_count;
+  const std::function<void(size_t)>& fn = *job->fn;
+  // Own shard first, then sweep the others (work-stealing): claiming via
+  // fetch_add makes overshoot past `end` harmless — the claim is simply
+  // discarded. The index space is fixed up front, so one sweep suffices.
+  for (size_t off = 0; off < count; ++off) {
+    Shard& shard = job->shards[(start_shard + off) % count];
+    while (true) {
+      size_t i = shard.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= shard.end) break;
+      fn(i);
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  uint64_t seen = 0;
+  while (true) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || job_seq_ != seen; });
+      if (stop_) return;
+      seen = job_seq_;
+      job = job_;
+    }
+    RunShards(job, (1 + worker_index) % job->shard_count);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --workers_active_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  size_t participants =
+      std::min<size_t>(static_cast<size_t>(size()), n);
+  if (participants <= 1 || workers_.empty()) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  Job job;
+  job.fn = &fn;
+  job.shard_count = participants;
+  job.shards = std::make_unique<Shard[]>(participants);
+  for (size_t s = 0; s < participants; ++s) {
+    job.shards[s].next.store(s * n / participants,
+                             std::memory_order_relaxed);
+    job.shards[s].end = (s + 1) * n / participants;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &job;
+    ++job_seq_;
+    // Every worker participates in every job (latecomers steal or find
+    // the shards drained); the join below waits for each to check out.
+    workers_active_ = workers_.size();
+  }
+  work_cv_.notify_all();
+  RunShards(&job, 0);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return workers_active_ == 0; });
+    job_ = nullptr;
+  }
+}
+
+}  // namespace pdx

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "base/string_util.h"
+#include "base/thread_pool.h"
 #include "hom/matcher.h"
 
 namespace pdx {
@@ -64,6 +65,49 @@ bool TouchesDelta(const std::vector<Atom>& body, const DeltaView& delta) {
     if (delta.dirty(atom.relation)) return true;
   }
   return false;
+}
+
+// Collects, in the deterministic order of EnumerateMatchesDelta, the body
+// matches for which `keep` returns true. With a pool, the delta partitions
+// are fanned across its workers — `keep` then runs concurrently against
+// the shared immutable instance and must be a pure read (HasMatch and
+// fingerprinting qualify) — and the per-partition buffers are concatenated
+// in partition order, which reproduces the sequential enumeration order
+// exactly. This is the collect half of every parallel chase phase; the
+// apply half stays sequential.
+std::vector<Binding> CollectDeltaMatches(
+    const std::vector<Atom>& atoms, int var_count, const Instance& instance,
+    const DeltaView& delta, ThreadPool* pool,
+    const std::function<bool(const Binding&)>& keep) {
+  std::vector<Binding> out;
+  if (pool == nullptr) {
+    EnumerateMatchesDelta(atoms, var_count, instance, delta,
+                          Binding::Empty(var_count),
+                          [&](const Binding& m) {
+                            if (keep(m)) out.push_back(m);
+                            return true;
+                          });
+    return out;
+  }
+  // A few partitions per participant so uneven pivot widths still balance
+  // via stealing.
+  std::vector<DeltaPartition> parts = PartitionDeltaMatches(
+      atoms, delta, static_cast<size_t>(pool->size()) * 4);
+  if (parts.empty()) return out;
+  std::vector<std::vector<Binding>> buffers(parts.size());
+  pool->ParallelFor(parts.size(), [&](size_t p) {
+    EnumerateMatchesDeltaPartition(atoms, var_count, instance, delta,
+                                   parts[p], Binding::Empty(var_count),
+                                   [&](const Binding& m) {
+                                     if (keep(m)) buffers[p].push_back(m);
+                                     return true;
+                                   });
+  });
+  for (std::vector<Binding>& buffer : buffers) {
+    out.insert(out.end(), std::make_move_iterator(buffer.begin()),
+               std::make_move_iterator(buffer.end()));
+  }
+  return out;
 }
 
 // Applies one tgd chase step for the trigger `binding`: extends the
@@ -133,6 +177,10 @@ class TriggerLedger {
     }
     return true;
   }
+
+  // True if the trigger already fired. A pure read: safe for concurrent
+  // worker-side filtering while no Insert runs (the collect phase).
+  bool Contains(uint64_t fp) const { return fired_.count(fp) > 0; }
 
   // Drops every fingerprint whose binding referenced a retired root.
   void RetireRoots(const std::vector<Value>& retired) {
@@ -265,11 +313,18 @@ bool AbsorbEgdOutcome(const EgdFixpointOutcome& egd_out, ChaseResult* result) {
 // in the instance's value layer: O(α) unions that never rewrite tuples,
 // so watermarks stay valid and only the dirty equivalence classes are
 // re-examined.
+//
+// With a pool, each tgd's trigger collection is fanned across the delta
+// partitions; the apply phase stays sequential in enumeration order, and
+// later tgds still see earlier tgds' additions, so the per-round state
+// sequence — and with it every fresh-null assignment — is bit-identical
+// to the single-threaded run.
 ChaseResult ChaseRestrictedDelta(const Instance& start,
                                  const std::vector<Tgd>& tgds,
                                  const std::vector<Egd>& egds,
                                  SymbolTable* symbols,
-                                 const ChaseOptions& options) {
+                                 const ChaseOptions& options,
+                                 ThreadPool* pool) {
   ChaseResult result(start);
   Instance& instance = result.instance;
   // Everything is "new" before the first round, so round one degenerates
@@ -278,6 +333,11 @@ ChaseResult ChaseRestrictedDelta(const Instance& start,
   // Per-relation indexes of pre-watermark tuples dirtied by this round's
   // merges; the tgd phase re-examines them alongside the additive delta.
   std::vector<std::vector<int>> extras;
+  // Dirty-tuple entries reported by merges since the last exact duplicate
+  // count: an upper bound on new resolved duplicates, so the O(n)
+  // ResolvedFactCount check runs only when compaction could plausibly
+  // trigger.
+  int64_t dirty_accum = 0;
   while (true) {
     if (result.steps >= options.max_steps) {
       result.outcome = ChaseOutcome::kBudgetExhausted;
@@ -285,8 +345,9 @@ ChaseResult ChaseRestrictedDelta(const Instance& start,
     }
     EgdFixpointOutcome egd_out = RunEgdsToFixpointDelta(
         egds, &instance, mark, options.max_steps - result.steps, symbols,
-        &extras);
+        &extras, pool);
     if (!AbsorbEgdOutcome(egd_out, &result)) return result;
+    dirty_accum += egd_out.dirtied;
     DeltaView delta(instance, mark, extras);
     if (!delta.any()) {
       // Nothing new since the last full round: every trigger has been
@@ -302,16 +363,11 @@ ChaseResult ChaseRestrictedDelta(const Instance& start,
       // Collect the violated triggers for this delta, then apply them.
       // (Applying while enumerating would mutate the instance under the
       // matcher.)
-      std::vector<Binding> pending;
-      EnumerateMatchesDelta(tgd.body, tgd.var_count, instance, delta,
-                            Binding::Empty(tgd.var_count),
-                            [&](const Binding& body_match) {
-                              if (!HasMatch(tgd.head, tgd.var_count, instance,
-                                            body_match)) {
-                                pending.push_back(body_match);
-                              }
-                              return true;
-                            });
+      std::vector<Binding> pending = CollectDeltaMatches(
+          tgd.body, tgd.var_count, instance, delta, pool,
+          [&](const Binding& body_match) {
+            return !HasMatch(tgd.head, tgd.var_count, instance, body_match);
+          });
       for (const Binding& trigger : pending) {
         // Re-check: an earlier application may have satisfied it.
         if (HasMatch(tgd.head, tgd.var_count, instance, trigger)) {
@@ -328,6 +384,30 @@ ChaseResult ChaseRestrictedDelta(const Instance& start,
     }
     mark = std::move(frontier);
     extras.clear();
+    // Auto-compaction: merges leave resolved-duplicate raw tuples behind.
+    // Once enough dirt has accumulated for the duplicate ratio to
+    // plausibly exceed the threshold, count exactly; if it does, swap in
+    // the compacted store (keeping the resolver, so earlier merge history
+    // still resolves) and restart the watermark. The extra rescan round
+    // fires nothing — satisfied triggers stay satisfied — so outcome,
+    // steps and fingerprint are unchanged.
+    if (options.compact_duplicate_ratio > 0 &&
+        options.compact_duplicate_ratio < 1 && instance.has_merges() &&
+        instance.fact_count() >= options.compact_min_facts &&
+        static_cast<double>(dirty_accum) >=
+            options.compact_duplicate_ratio *
+                static_cast<double>(instance.fact_count())) {
+      size_t duplicates =
+          instance.fact_count() - instance.ResolvedFactCount();
+      if (static_cast<double>(duplicates) >=
+          options.compact_duplicate_ratio *
+              static_cast<double>(instance.fact_count())) {
+        instance = instance.CompactResolved(/*keep_resolver=*/true);
+        mark = InstanceWatermark::Origin(instance);
+        ++result.compactions;
+      }
+      dirty_accum = 0;
+    }
   }
 }
 
@@ -340,7 +420,8 @@ ChaseResult ChaseRestrictedDelta(const Instance& start,
 ChaseResult ChaseOblivious(const Instance& start,
                            const std::vector<Tgd>& tgds,
                            const std::vector<Egd>& egds,
-                           SymbolTable* symbols, const ChaseOptions& options) {
+                           SymbolTable* symbols, const ChaseOptions& options,
+                           ThreadPool* pool) {
   ChaseResult result(start);
   Instance& instance = result.instance;
   TriggerLedger fired;
@@ -353,7 +434,7 @@ ChaseResult ChaseOblivious(const Instance& start,
     }
     EgdFixpointOutcome egd_out = RunEgdsToFixpointDelta(
         egds, &instance, mark, options.max_steps - result.steps, symbols,
-        &extras);
+        &extras, pool);
     if (!AbsorbEgdOutcome(egd_out, &result)) return result;
     // Merged-away roots can never appear in a binding again: drop their
     // fingerprint generation.
@@ -368,19 +449,20 @@ ChaseResult ChaseOblivious(const Instance& start,
       const Tgd& tgd = tgds[d];
       if (!TouchesDelta(tgd.body, delta)) continue;
       // Collect unfired triggers first (the instance must not change under
-      // the matcher), then fire them.
-      std::vector<Binding> pending;
-      EnumerateMatchesDelta(tgd.body, tgd.var_count, instance, delta,
-                            Binding::Empty(tgd.var_count),
-                            [&](const Binding& body_match) {
-                              uint64_t fp =
-                                  TriggerFingerprint(d, tgd, body_match);
-                              if (fired.Insert(fp, tgd, body_match)) {
-                                pending.push_back(body_match);
-                              }
-                              return true;
-                            });
+      // the matcher), then fire them. The ledger is only read during
+      // collection (workers filter against it concurrently); Insert runs
+      // in the sequential fire loop, which also collapses the repeats the
+      // extras overlap can produce.
+      std::vector<Binding> pending = CollectDeltaMatches(
+          tgd.body, tgd.var_count, instance, delta, pool,
+          [&](const Binding& body_match) {
+            return !fired.Contains(TriggerFingerprint(d, tgd, body_match));
+          });
       for (const Binding& trigger : pending) {
+        if (!fired.Insert(TriggerFingerprint(d, tgd, trigger), tgd,
+                          trigger)) {
+          continue;
+        }
         result.nulls_created += ApplyTgdStep(tgd, trigger, &instance,
                                              symbols);
         ++result.steps;
@@ -400,7 +482,8 @@ ChaseResult ChaseOblivious(const Instance& start,
 EgdFixpointOutcome RunEgdsToFixpointDelta(
     const std::vector<Egd>& egds, Instance* instance,
     const InstanceWatermark& mark, int64_t max_steps,
-    const SymbolTable* symbols, std::vector<std::vector<int>>* extras) {
+    const SymbolTable* symbols, std::vector<std::vector<int>>* extras,
+    ThreadPool* pool) {
   EgdFixpointOutcome out;
   if (egds.empty()) return out;
   int n = instance->schema().relation_count();
@@ -420,12 +503,11 @@ EgdFixpointOutcome RunEgdsToFixpointDelta(
     bool merged_any = false;
     for (const Egd& egd : egds) {
       if (!TouchesDelta(egd.body, delta)) continue;
-      Binding trigger = Binding::Empty(egd.var_count);
-      // Merges never invalidate tuple indexes, so the view stays valid
-      // across the whole pass; the matcher consults the live resolver.
-      while (FindViolatedEgdTriggerDelta(*instance, delta, egd, &trigger)) {
-        Instance::MergeResult merge = instance->MergeValues(
-            trigger.values[egd.left_var], trigger.values[egd.right_var]);
+      // Applies one merge, sharing the conflict / dirty / budget
+      // bookkeeping between the two collection disciplines below. Returns
+      // false when the fixpoint must stop (out is final).
+      auto apply_merge = [&](Value a, Value b) {
+        Instance::MergeResult merge = instance->MergeValues(a, b);
         ++out.steps;
         if (merge.conflict) {
           out.failed = true;
@@ -435,19 +517,53 @@ EgdFixpointOutcome RunEgdsToFixpointDelta(
                            symbols->ValueToString(merge.winner), " and ",
                            symbols->ValueToString(merge.loser))
                   : "egd equates distinct constants";
-          return out;
+          return false;
         }
-        PDX_DCHECK(merge.merged);  // trigger guaranteed resolved-distinct
+        PDX_DCHECK(merge.merged);
         for (const auto& [relation, idx] : merge.dirty) {
           (*extras)[relation].push_back(idx);
           pass_dirty[relation].push_back(idx);
         }
+        out.dirtied += static_cast<int64_t>(merge.dirty.size());
         out.retired.insert(out.retired.end(), merge.reassigned.begin(),
                            merge.reassigned.end());
         merged_any = true;
         if (out.steps >= max_steps) {
           out.budget_exhausted = true;
-          return out;
+          return false;
+        }
+        return true;
+      };
+      if (pool != nullptr) {
+        // Batched collect-then-apply: one parallel enumeration gathers
+        // every trigger violated under the pre-pass resolution, then the
+        // merges run sequentially, skipping pairs an earlier merge of the
+        // batch already equated. Triggers a merge newly enables are caught
+        // by the next pass's dirty frontier — the same closure the rescan
+        // discipline reaches, with the same number of successful merges
+        // (each union lowers the class count by exactly one); only the
+        // union order, i.e. which root survives, can differ.
+        std::vector<Binding> violated = CollectDeltaMatches(
+            egd.body, egd.var_count, *instance, delta, pool,
+            [&](const Binding& m) {
+              return m.values[egd.left_var] != m.values[egd.right_var];
+            });
+        for (const Binding& trigger : violated) {
+          Value a = instance->ResolveValue(trigger.values[egd.left_var]);
+          Value b = instance->ResolveValue(trigger.values[egd.right_var]);
+          if (a == b) continue;
+          if (!apply_merge(a, b)) return out;
+        }
+      } else {
+        Binding trigger = Binding::Empty(egd.var_count);
+        // Merges never invalidate tuple indexes, so the view stays valid
+        // across the whole pass; the matcher consults the live resolver.
+        while (FindViolatedEgdTriggerDelta(*instance, delta, egd,
+                                           &trigger)) {
+          if (!apply_merge(trigger.values[egd.left_var],
+                           trigger.values[egd.right_var])) {
+            return out;
+          }
         }
       }
     }
@@ -457,17 +573,41 @@ EgdFixpointOutcome RunEgdsToFixpointDelta(
   }
 }
 
+namespace {
+
+// 0 = hardware concurrency; anything else is taken literally.
+int ResolveThreadCount(const ChaseOptions& options) {
+  return options.num_threads <= 0 ? ThreadPool::HardwareConcurrency()
+                                  : options.num_threads;
+}
+
+}  // namespace
+
 ChaseResult Chase(const Instance& start, const std::vector<Tgd>& tgds,
                   const std::vector<Egd>& egds, SymbolTable* symbols,
                   const ChaseOptions& options) {
   PDX_CHECK(symbols != nullptr);
   switch (options.strategy) {
-    case ChaseStrategy::kOblivious:
-      return ChaseOblivious(start, tgds, egds, symbols, options);
+    case ChaseStrategy::kOblivious: {
+      int threads = ResolveThreadCount(options);
+      if (threads > 1) {
+        ThreadPool pool(threads);
+        return ChaseOblivious(start, tgds, egds, symbols, options, &pool);
+      }
+      return ChaseOblivious(start, tgds, egds, symbols, options, nullptr);
+    }
     case ChaseStrategy::kRestrictedNaive:
       return ChaseRestrictedNaive(start, tgds, egds, symbols, options);
-    case ChaseStrategy::kRestricted:
-      return ChaseRestrictedDelta(start, tgds, egds, symbols, options);
+    case ChaseStrategy::kRestricted: {
+      int threads = ResolveThreadCount(options);
+      if (threads > 1) {
+        ThreadPool pool(threads);
+        return ChaseRestrictedDelta(start, tgds, egds, symbols, options,
+                                    &pool);
+      }
+      return ChaseRestrictedDelta(start, tgds, egds, symbols, options,
+                                  nullptr);
+    }
   }
   ChaseResult result(start);
   result.outcome = ChaseOutcome::kBudgetExhausted;

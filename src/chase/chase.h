@@ -54,6 +54,25 @@ struct ChaseOptions {
   int64_t max_steps = 1'000'000;
 
   ChaseStrategy strategy = ChaseStrategy::kRestricted;
+
+  // Worker threads for delta trigger enumeration (kRestricted/kOblivious):
+  // 0 = hardware concurrency, 1 = today's fully sequential path. Any value
+  // > 1 switches trigger collection to partitioned parallel enumeration
+  // with a deterministic sequential apply phase, and the egd fixpoint to
+  // batched collect-then-apply passes. Results are identical at every
+  // setting — same outcome, steps, nulls_created and canonical fingerprint
+  // (see DESIGN.md "Parallel execution model").
+  int num_threads = 0;
+
+  // Auto-compaction of merge-heavy raw stores (kRestricted only): when the
+  // fraction of raw tuples that are duplicates under resolution exceeds
+  // this ratio — and the raw store holds at least compact_min_facts tuples
+  // — the chase swaps in CompactResolved(keep_resolver=true) and restarts
+  // its watermark (the extra rescan round fires nothing: satisfied
+  // triggers stay satisfied). Reclaims memory on long egd-heavy runs
+  // without changing any result. Set the ratio outside (0, 1) to disable.
+  double compact_duplicate_ratio = 0.5;
+  size_t compact_min_facts = 4096;
 };
 
 struct ChaseResult {
@@ -61,6 +80,7 @@ struct ChaseResult {
   Instance instance;       // the chased instance (final state even on failure)
   int64_t steps = 0;       // number of chase steps applied
   int64_t nulls_created = 0;
+  int64_t compactions = 0; // CompactResolved swaps (see ChaseOptions)
   std::string failure;     // human-readable description when kFailed
   // Egd merge log of the Substitute-based engine (kRestrictedNaive): each
   // substituted null, keyed by Value::packed(), maps to the value it was
@@ -108,11 +128,17 @@ struct EgdFixpointOutcome {
   bool budget_exhausted = false;   // max_steps merges applied
   std::string failure;             // set when failed
   int64_t steps = 0;               // merges applied
+  // Total dirty (relation, tuple) entries the merges reported: an upper
+  // bound on the resolved duplicates the fixpoint can have created, used
+  // by the chase's auto-compaction trigger.
+  int64_t dirtied = 0;
   // Values whose resolution changed across all merges (the losing
   // classes): the oblivious chase retires trigger fingerprints indexed
   // under these roots.
   std::vector<Value> retired;
 };
+
+class ThreadPool;
 
 // Applies `egds` to fixpoint over the delta of `instance` beyond `mark`
 // using union-find merges (Instance::MergeValues). The first pass pivots
@@ -125,10 +151,22 @@ struct EgdFixpointOutcome {
 // tuples. `symbols` is only used to render the failure message and may be
 // null. Shared by the delta chase engines, the solution-aware chase and
 // the pde solvers' branch-local fixpoints.
+//
+// With a non-null `pool`, each pass switches from find-one-then-rescan to
+// batched collect-then-apply: all violated triggers of a pass are
+// enumerated up front (fanned across the pool's workers against the
+// immutable pre-pass state) and their merges applied sequentially,
+// skipping triggers an earlier merge already resolved. Triggers a merge
+// newly enables are caught by the next pass's dirty frontier, so the
+// fixpoint closure — and the number of successful merges, since every
+// union lowers the class count by exactly one — is the same as the
+// sequential path's; only the union order (hence null-root identity)
+// may differ, which every resolved view is invariant under.
 EgdFixpointOutcome RunEgdsToFixpointDelta(
     const std::vector<Egd>& egds, Instance* instance,
     const InstanceWatermark& mark, int64_t max_steps,
-    const SymbolTable* symbols, std::vector<std::vector<int>>* extras);
+    const SymbolTable* symbols, std::vector<std::vector<int>>* extras,
+    ThreadPool* pool = nullptr);
 
 // True if `instance` satisfies the tgd / egd under standard first-order
 // semantics (nulls behave as ordinary values).

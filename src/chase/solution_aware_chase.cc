@@ -1,6 +1,9 @@
 #include "chase/solution_aware_chase.h"
 
+#include <memory>
+
 #include "base/string_util.h"
+#include "base/thread_pool.h"
 #include "hom/matcher.h"
 
 namespace pdx {
@@ -23,30 +26,65 @@ bool TouchesDelta(const std::vector<Atom>& body, const DeltaView& delta) {
   return false;
 }
 
+// The per-match collection step: skip satisfied triggers, extend violated
+// ones into `solution` (guaranteed possible since solution ⊇ instance
+// satisfies the tgd). Pure reads of `instance` and `solution`, so workers
+// may run it concurrently.
+void CollectOneTrigger(const Instance& instance, const Instance& solution,
+                       const Tgd& tgd, const Binding& body_match,
+                       std::vector<SolutionAwareTrigger>* out) {
+  if (HasMatch(tgd.head, tgd.var_count, instance, body_match)) {
+    return;  // satisfied trigger
+  }
+  // Violated in `instance`; find the witness inside `solution`.
+  bool witnessed = EnumerateMatches(
+      tgd.head, tgd.var_count, solution, body_match,
+      [&](const Binding& full) {
+        out->push_back({body_match, full});
+        return false;  // first witness suffices
+      });
+  PDX_CHECK(witnessed)
+      << "solution-aware chase: the provided solution violates a tgd";
+}
+
 // Collects the violated triggers for `tgd` whose body touches `delta`,
-// each extended into `solution` (guaranteed possible since
-// solution ⊇ instance satisfies the tgd).
+// each extended into `solution`. With a pool, the delta partitions are
+// fanned across the workers and the per-partition buffers concatenated in
+// partition order — the same trigger order the sequential enumeration
+// produces.
 void CollectSolutionAwareTriggers(const Instance& instance,
                                   const DeltaView& delta,
                                   const Instance& solution, const Tgd& tgd,
+                                  ThreadPool* pool,
                                   std::vector<SolutionAwareTrigger>* out) {
-  EnumerateMatchesDelta(
-      tgd.body, tgd.var_count, instance, delta,
-      Binding::Empty(tgd.var_count), [&](const Binding& body_match) {
-        if (HasMatch(tgd.head, tgd.var_count, instance, body_match)) {
-          return true;  // satisfied trigger; keep searching
-        }
-        // Violated in `instance`; find the witness inside `solution`.
-        bool witnessed = EnumerateMatches(
-            tgd.head, tgd.var_count, solution, body_match,
-            [&](const Binding& full) {
-              out->push_back({body_match, full});
-              return false;  // first witness suffices
-            });
-        PDX_CHECK(witnessed)
-            << "solution-aware chase: the provided solution violates a tgd";
-        return true;  // keep collecting
-      });
+  if (pool == nullptr) {
+    EnumerateMatchesDelta(tgd.body, tgd.var_count, instance, delta,
+                          Binding::Empty(tgd.var_count),
+                          [&](const Binding& body_match) {
+                            CollectOneTrigger(instance, solution, tgd,
+                                              body_match, out);
+                            return true;  // keep collecting
+                          });
+    return;
+  }
+  std::vector<DeltaPartition> parts = PartitionDeltaMatches(
+      tgd.body, delta, static_cast<size_t>(pool->size()) * 4);
+  if (parts.empty()) return;
+  std::vector<std::vector<SolutionAwareTrigger>> buffers(parts.size());
+  pool->ParallelFor(parts.size(), [&](size_t p) {
+    EnumerateMatchesDeltaPartition(tgd.body, tgd.var_count, instance, delta,
+                                   parts[p], Binding::Empty(tgd.var_count),
+                                   [&](const Binding& body_match) {
+                                     CollectOneTrigger(instance, solution,
+                                                       tgd, body_match,
+                                                       &buffers[p]);
+                                     return true;
+                                   });
+  });
+  for (std::vector<SolutionAwareTrigger>& buffer : buffers) {
+    out->insert(out->end(), std::make_move_iterator(buffer.begin()),
+                std::make_move_iterator(buffer.end()));
+  }
 }
 
 }  // namespace
@@ -60,6 +98,14 @@ ChaseResult SolutionAwareChase(const Instance& start,
       << "solution-aware chase requires start ⊆ solution";
   ChaseResult result(start);
   Instance& instance = result.instance;
+  // Same parallel discipline as the delta chase: collect in parallel,
+  // apply sequentially. num_threads 1 (or a one-core box) keeps the fully
+  // sequential path.
+  int threads = options.num_threads <= 0 ? ThreadPool::HardwareConcurrency()
+                                         : options.num_threads;
+  std::unique_ptr<ThreadPool> owned_pool =
+      threads > 1 ? std::make_unique<ThreadPool>(threads) : nullptr;
+  ThreadPool* pool = owned_pool.get();
   // Delta-driven fixpoint: per round, only triggers touching facts added
   // (or tuples dirtied by an egd merge) since the previous round are
   // evaluated. Round one sees everything as new.
@@ -75,7 +121,7 @@ ChaseResult SolutionAwareChase(const Instance& start,
     // round's watermark) intact and report the dirty tuples into `extras`.
     EgdFixpointOutcome egd_out = RunEgdsToFixpointDelta(
         egds, &instance, mark, options.max_steps - result.steps,
-        /*symbols=*/nullptr, &extras);
+        /*symbols=*/nullptr, &extras, pool);
     result.steps += egd_out.steps;
     if (egd_out.failed) {
       result.outcome = ChaseOutcome::kFailed;
@@ -95,7 +141,8 @@ ChaseResult SolutionAwareChase(const Instance& start,
     for (const Tgd& tgd : tgds) {
       if (!TouchesDelta(tgd.body, delta)) continue;
       std::vector<SolutionAwareTrigger> pending;
-      CollectSolutionAwareTriggers(instance, delta, solution, tgd, &pending);
+      CollectSolutionAwareTriggers(instance, delta, solution, tgd, pool,
+                                   &pending);
       for (const SolutionAwareTrigger& trigger : pending) {
         // Re-check on the body match: an earlier application this round
         // may have satisfied it.

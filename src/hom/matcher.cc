@@ -219,29 +219,84 @@ bool EnumerateMatchesDelta(const std::vector<Atom>& atoms, int var_count,
                            const Instance& instance, const DeltaView& delta,
                            const Binding& partial,
                            const std::function<bool(const Binding&)>& fn) {
+  // One partition per non-empty pivot: enumerating them in order is, by
+  // construction, the whole semi-naive enumeration (see
+  // PartitionDeltaMatches).
+  for (const DeltaPartition& part : PartitionDeltaMatches(atoms, delta, 1)) {
+    if (EnumerateMatchesDeltaPartition(atoms, var_count, instance, delta,
+                                       part, partial, fn)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<DeltaPartition> PartitionDeltaMatches(
+    const std::vector<Atom>& atoms, const DeltaView& delta,
+    size_t max_partitions) {
+  // Additive pivots come first (atoms before them are confined to
+  // pre-delta facts, so each match is enumerated under exactly one such
+  // pivot — its first delta atom), then the merge-dirtied extras pivots,
+  // mirroring EnumerateMatchesDelta's historical order.
+  size_t total = 0;
+  for (const Atom& atom : atoms) {
+    size_t begin = delta.begin(atom.relation);
+    size_t end = delta.end(atom.relation);
+    if (begin < end) total += end - begin;
+    total += delta.extras(atom.relation).size();
+  }
+  std::vector<DeltaPartition> parts;
+  if (total == 0) return parts;
+  if (max_partitions == 0) max_partitions = 1;
+  // Equal-width chunks of the combined pivot space; chunks never span
+  // pivots, so the count can exceed the cap by at most one per pivot.
+  size_t chunk = std::max<size_t>(1, (total + max_partitions - 1) /
+                                         max_partitions);
+  for (size_t pivot = 0; pivot < atoms.size(); ++pivot) {
+    size_t begin = delta.begin(atoms[pivot].relation);
+    size_t end = delta.end(atoms[pivot].relation);
+    for (size_t s = begin; s < end; s += chunk) {
+      parts.push_back({pivot, s, std::min(end, s + chunk), false});
+    }
+  }
+  for (size_t pivot = 0; pivot < atoms.size(); ++pivot) {
+    size_t count = delta.extras(atoms[pivot].relation).size();
+    for (size_t s = 0; s < count; s += chunk) {
+      parts.push_back({pivot, s, std::min(count, s + chunk), true});
+    }
+  }
+  return parts;
+}
+
+bool EnumerateMatchesDeltaPartition(
+    const std::vector<Atom>& atoms, int var_count, const Instance& instance,
+    const DeltaView& delta, const DeltaPartition& partition,
+    const Binding& partial, const std::function<bool(const Binding&)>& fn) {
   PDX_CHECK_EQ(static_cast<int>(partial.bound.size()), var_count);
   constexpr size_t kUnbounded = std::numeric_limits<size_t>::max();
   const Binding start = ResolvePartial(instance, partial);
-  for (size_t pivot = 0; pivot < atoms.size(); ++pivot) {
-    const Atom& pivot_atom = atoms[pivot];
-    size_t begin = delta.begin(pivot_atom.relation);
-    size_t end = delta.end(pivot_atom.relation);
-    if (begin >= end) continue;
-    // Atoms before the pivot may only use pre-delta facts, so each match
-    // is enumerated under exactly one pivot (its first delta atom).
-    std::vector<size_t> bounds(atoms.size(), kUnbounded);
+  const size_t pivot = partition.pivot;
+  PDX_CHECK_LT(pivot, atoms.size());
+  const Atom& pivot_atom = atoms[pivot];
+  const std::vector<Tuple>& tuples = instance.tuples(pivot_atom.relation);
+  SearchContext ctx;
+  ctx.atoms = &atoms;
+  ctx.instance = &instance;
+  ctx.fn = &fn;
+  ctx.resolver = ResolverFor(instance);
+  std::vector<size_t> bounds;
+  std::vector<VariableId> trail;
+  if (!partition.over_extras) {
+    // Additive pivot: atoms before it may only use pre-delta facts, so
+    // each match is enumerated under exactly one pivot (its first delta
+    // atom).
+    bounds.assign(atoms.size(), kUnbounded);
     for (size_t i = 0; i < pivot; ++i) {
       bounds[i] = delta.begin(atoms[i].relation);
     }
-    SearchContext ctx;
-    ctx.atoms = &atoms;
-    ctx.instance = &instance;
-    ctx.fn = &fn;
     ctx.max_index = &bounds;
-    ctx.resolver = ResolverFor(instance);
-    const std::vector<Tuple>& tuples = instance.tuples(pivot_atom.relation);
-    std::vector<VariableId> trail;
-    for (size_t idx = begin; idx < end && idx < tuples.size(); ++idx) {
+    for (size_t idx = partition.begin;
+         idx < partition.end && idx < tuples.size(); ++idx) {
       ctx.binding = start;
       ctx.done.assign(atoms.size(), false);
       ctx.done[pivot] = true;
@@ -251,6 +306,7 @@ bool EnumerateMatchesDelta(const std::vector<Atom>& atoms, int var_count,
         return true;
       }
     }
+    return false;
   }
   // Merge-dirtied extras: pre-existing tuples whose resolved content
   // changed. Any match newly enabled by a merge must bind some atom to
@@ -258,27 +314,18 @@ bool EnumerateMatchesDelta(const std::vector<Atom>& atoms, int var_count,
   // atoms unrestricted) is complete. A match touching several extras (or
   // an extra plus an additive-delta fact) can be enumerated more than
   // once; consumers are idempotent.
-  for (size_t pivot = 0; pivot < atoms.size(); ++pivot) {
-    const Atom& pivot_atom = atoms[pivot];
-    const std::vector<int>& extra = delta.extras(pivot_atom.relation);
-    if (extra.empty()) continue;
-    SearchContext ctx;
-    ctx.atoms = &atoms;
-    ctx.instance = &instance;
-    ctx.fn = &fn;
-    ctx.resolver = ResolverFor(instance);
-    const std::vector<Tuple>& tuples = instance.tuples(pivot_atom.relation);
-    std::vector<VariableId> trail;
-    for (int idx : extra) {
-      PDX_DCHECK(static_cast<size_t>(idx) < tuples.size());
-      ctx.binding = start;
-      ctx.done.assign(atoms.size(), false);
-      ctx.done[pivot] = true;
-      trail.clear();
-      if (Unify(&ctx, pivot_atom, tuples[idx], &trail) &&
-          Search(&ctx, static_cast<int>(atoms.size()) - 1)) {
-        return true;
-      }
+  const std::vector<int>& extra = delta.extras(pivot_atom.relation);
+  PDX_CHECK_LE(partition.end, extra.size());
+  for (size_t e = partition.begin; e < partition.end; ++e) {
+    int idx = extra[e];
+    PDX_DCHECK(static_cast<size_t>(idx) < tuples.size());
+    ctx.binding = start;
+    ctx.done.assign(atoms.size(), false);
+    ctx.done[pivot] = true;
+    trail.clear();
+    if (Unify(&ctx, pivot_atom, tuples[idx], &trail) &&
+        Search(&ctx, static_cast<int>(atoms.size()) - 1)) {
+      return true;
     }
   }
   return false;

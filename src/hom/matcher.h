@@ -74,6 +74,40 @@ bool EnumerateMatchesDelta(const std::vector<Atom>& atoms, int var_count,
                            const Binding& partial,
                            const std::function<bool(const Binding&)>& fn);
 
+// One slice of the work EnumerateMatchesDelta performs: the pivot atom
+// `pivot` ranges over a sub-range of the delta. When `over_extras` is
+// false, [begin, end) slices the additive tuple range
+// [delta.begin, delta.end) of the pivot's relation; otherwise it slices
+// positions of delta.extras(relation). Atoms before an additive pivot are
+// confined to pre-delta facts, exactly as in EnumerateMatchesDelta.
+struct DeltaPartition {
+  size_t pivot = 0;
+  size_t begin = 0;
+  size_t end = 0;
+  bool over_extras = false;
+};
+
+// Slices the work of EnumerateMatchesDelta(atoms, instance, delta) into at
+// most ~max_partitions independent partitions of comparable pivot width.
+// Enumerating the partitions one after another, in the returned order,
+// visits exactly the matches EnumerateMatchesDelta visits, in the same
+// order — so a parallel caller that concatenates per-partition results in
+// partition order reproduces the sequential enumeration bit for bit.
+// Deterministic: a pure function of (atoms, delta, max_partitions).
+std::vector<DeltaPartition> PartitionDeltaMatches(
+    const std::vector<Atom>& atoms, const DeltaView& delta,
+    size_t max_partitions);
+
+// Enumerates the matches of one partition. Callback and return semantics
+// are identical to EnumerateMatches; `instance` and `delta` must be the
+// ones the partition was built against and must not be mutated while any
+// partition of the same batch is being enumerated (workers share them
+// read-only).
+bool EnumerateMatchesDeltaPartition(
+    const std::vector<Atom>& atoms, int var_count, const Instance& instance,
+    const DeltaView& delta, const DeltaPartition& partition,
+    const Binding& partial, const std::function<bool(const Binding&)>& fn);
+
 // True if at least one homomorphism extending `partial` exists.
 bool HasMatch(const std::vector<Atom>& atoms, int var_count,
               const Instance& instance, const Binding& partial);

@@ -2,6 +2,7 @@
 
 #include <limits>
 #include <unordered_set>
+#include <utility>
 
 #include "chase/chase.h"
 #include "hom/matcher.h"
@@ -24,6 +25,14 @@ struct PendingTrigger {
   Binding binding;
 };
 
+// True if some body atom could match inside the delta at all.
+bool TouchesDelta(const std::vector<Atom>& body, const DeltaView& delta) {
+  for (const Atom& atom : body) {
+    if (delta.dirty(atom.relation)) return true;
+  }
+  return false;
+}
+
 class Searcher {
  public:
   Searcher(const PdeSetting& setting, SymbolTable* symbols,
@@ -31,11 +40,32 @@ class Searcher {
       : setting_(setting),
         symbols_(symbols),
         options_(options),
-        has_egds_(!setting.target_egds().empty()) {}
+        has_egds_(!setting.target_egds().empty()) {
+    // Fixed dependency order for candidate buckets and trigger selection:
+    // st tgds before target tgds (the historical scan order), ts checks
+    // after. Full tgds keep priority over existential ones at selection
+    // time via the full_pass loop.
+    for (const Tgd& tgd : setting_.st_tgds()) tgd_order_.push_back(&tgd);
+    for (const Tgd& tgd : setting_.target_tgds()) tgd_order_.push_back(&tgd);
+    tgd_cands_.resize(tgd_order_.size());
+    for (const Tgd& tgd : setting_.ts_tgds()) {
+      ts_deps_.push_back({&tgd.body, {&tgd.head}, tgd.var_count});
+    }
+    for (const DisjunctiveTgd& tgd : setting_.ts_disjunctive_tgds()) {
+      TsDep dep{&tgd.body, {}, tgd.var_count};
+      dep.heads.reserve(tgd.head_disjuncts.size());
+      for (const std::vector<Atom>& d : tgd.head_disjuncts) {
+        dep.heads.push_back(&d);
+      }
+      ts_deps_.push_back(std::move(dep));
+    }
+    ts_cands_.resize(ts_deps_.size());
+  }
 
   GenericSolveResult Run(Instance start) {
-    // At the root everything is "new", so the first egd pass is a full
-    // scan; below the root, children only re-examine what they added.
+    // At the root everything is "new", so the root's candidate discovery
+    // is the one full scan; below the root, children only discover what
+    // they added or merged.
     InstanceWatermark origin = InstanceWatermark::Origin(start);
     Explore(std::move(start), 0, origin);
     result_.nodes_explored = nodes_;
@@ -53,11 +83,78 @@ class Searcher {
   }
 
  private:
+  // One ts dependency in check form: body plus the admissible head options
+  // (a single head for plain tgds, one per disjunct otherwise).
+  struct TsDep {
+    const std::vector<Atom>* body;
+    std::vector<const std::vector<Atom>*> heads;
+    int var_count;
+  };
+
+  // A cached trigger: a body match discovered violated at some node of the
+  // current DFS path. `satisfied` marks candidates proven repaired at the
+  // current node or an ancestor of it within this subtree — satisfaction
+  // is monotone (facts only grow, merges only coarsen), so descendants
+  // skip them; the mark is undone on backtrack past the marking node.
+  struct Candidate {
+    Binding binding;
+    bool satisfied = false;
+  };
+
+  // Bucket snapshot taken at node entry and restored at node exit: the
+  // DFS append/truncate discipline that keeps buckets holding exactly the
+  // candidates discovered on the current root-to-node path.
+  struct Frame {
+    std::vector<size_t> tgd_sizes;
+    std::vector<size_t> ts_sizes;
+    size_t trail_size = 0;
+  };
+
+  Frame PushFrame() const {
+    Frame f;
+    f.tgd_sizes.reserve(tgd_cands_.size());
+    for (const auto& bucket : tgd_cands_) f.tgd_sizes.push_back(bucket.size());
+    f.ts_sizes.reserve(ts_cands_.size());
+    for (const auto& bucket : ts_cands_) f.ts_sizes.push_back(bucket.size());
+    f.trail_size = satisfied_trail_.size();
+    return f;
+  }
+
+  void PopFrame(const Frame& f) {
+    // Unmark before truncating: a trail entry may point at a candidate
+    // this node appended (about to be dropped) or at an ancestor's (kept,
+    // and possibly violated again on the next sibling branch).
+    while (satisfied_trail_.size() > f.trail_size) {
+      auto [bucket, idx] = satisfied_trail_.back();
+      satisfied_trail_.pop_back();
+      BucketAt(bucket)[idx].satisfied = false;
+    }
+    for (size_t t = 0; t < tgd_cands_.size(); ++t) {
+      tgd_cands_[t].resize(f.tgd_sizes[t]);
+    }
+    for (size_t j = 0; j < ts_cands_.size(); ++j) {
+      ts_cands_[j].resize(f.ts_sizes[j]);
+    }
+  }
+
+  // Buckets are addressed jointly in the trail: [0, #tgds) are tgd
+  // buckets, #tgds + j is ts bucket j.
+  std::vector<Candidate>& BucketAt(size_t bucket) {
+    return bucket < tgd_cands_.size()
+               ? tgd_cands_[bucket]
+               : ts_cands_[bucket - tgd_cands_.size()];
+  }
+
+  void MarkSatisfied(size_t bucket, size_t idx) {
+    BucketAt(bucket)[idx].satisfied = true;
+    satisfied_trail_.push_back({bucket, idx});
+  }
+
   // Returns true to abort the entire search (first solution found in
   // non-enumerating mode, or budget exhausted). `since` is the parent
   // snapshot's watermark: everything `k` holds beyond it is what this
-  // branch added, and is the only place a new egd violation can hide
-  // (the parent ran its own egd fixpoint before branching).
+  // branch added, and is the only place a new violation can hide (the
+  // parent discovered everything up to its own state).
   bool Explore(Instance k, int depth, const InstanceWatermark& since) {
     if (nodes_ >= options_.max_nodes || depth > options_.max_depth) {
       budget_hit_ = true;
@@ -65,17 +162,35 @@ class Searcher {
     }
     ++nodes_;
 
-    // Deterministic phase: egd fixpoint, delta-restricted.
-    if (!ApplyEgdFixpoint(&k, since)) return false;  // constant clash: dead
+    // Deterministic phase: egd fixpoint, delta-restricted. The merge
+    // extras feed candidate discovery below — a merge-enabled trigger
+    // binds a dirtied tuple, not necessarily an added fact.
+    std::vector<std::vector<int>> extras;
+    if (!ApplyEgdFixpoint(&k, since, &extras)) return false;  // clash: dead
 
     // Memoization (after egds so equivalent states coincide).
     if (!visited_.insert(k.CanonicalFingerprint()).second) return false;
 
-    TsStatus ts = CheckTsConstraints(k);
+    Frame frame = PushFrame();
+    bool stop = ExploreCore(std::move(k), depth, since, extras);
+    PopFrame(frame);
+    return stop;
+  }
+
+  bool ExploreCore(Instance k, int depth, const InstanceWatermark& since,
+                   const std::vector<std::vector<int>>& extras) {
+    // Incremental trigger maintenance: discover candidates the node's
+    // delta (branch additions + merge-dirtied tuples) can have created,
+    // then answer the ts check and the pending-trigger search from the
+    // cached candidates alone. No full-instance rescans.
+    DeltaView delta(k, since, extras);
+    if (!DiscoverCandidates(k, delta)) return false;  // permanent ts hit
+
+    TsStatus ts = CheckTsCached(k);
     if (ts == TsStatus::kViolatedPermanent) return false;
 
     PendingTrigger trigger;
-    if (!FindPendingTrigger(k, &trigger)) {
+    if (!FindPendingTriggerCached(k, &trigger)) {
       // Fixpoint of Σ_st ∪ Σ_t.
       if (ts != TsStatus::kSatisfied) return false;
       return RecordSolution(k);
@@ -143,91 +258,140 @@ class Searcher {
   // Applies target egds to fixpoint as union-find merges in k's value
   // layer, scanning only triggers that touch facts beyond `since` (the
   // parent state was already egd-clean) or tuples a merge dirtied. The
-  // dirty extras are not needed afterwards: the trigger search below this
-  // point is a full resolved scan. Returns false on constant/constant
-  // clash.
-  bool ApplyEgdFixpoint(Instance* k, const InstanceWatermark& since) {
-    std::vector<std::vector<int>> extras;
+  // dirty extras are handed back to the caller: they are the merge half
+  // of the node's delta, from which new trigger candidates are
+  // discovered. Returns false on constant/constant clash.
+  bool ApplyEgdFixpoint(Instance* k, const InstanceWatermark& since,
+                        std::vector<std::vector<int>>* extras) {
     EgdFixpointOutcome out = RunEgdsToFixpointDelta(
         setting_.target_egds(), k, since,
-        std::numeric_limits<int64_t>::max(), symbols_, &extras);
+        std::numeric_limits<int64_t>::max(), symbols_, extras);
     return !out.failed;
   }
 
-  TsStatus CheckTsConstraints(const Instance& k) {
-    TsStatus status = TsStatus::kSatisfied;
-    for (const Tgd& tgd : setting_.ts_tgds()) {
-      TsStatus s = CheckOneTs(k, tgd.body, {&tgd.head}, tgd.var_count);
-      if (s == TsStatus::kViolatedPermanent) return s;
-      if (s == TsStatus::kViolatedFixable) status = s;
-    }
-    for (const DisjunctiveTgd& tgd : setting_.ts_disjunctive_tgds()) {
-      std::vector<const std::vector<Atom>*> heads;
-      heads.reserve(tgd.head_disjuncts.size());
-      for (const std::vector<Atom>& d : tgd.head_disjuncts) {
-        heads.push_back(&d);
+  // A violated ts trigger is permanent — unrepairable by any later step —
+  // when its match resolves to constants only (facts never disappear and
+  // target facts only grow), or when Σ_t has no egds to merge its nulls.
+  bool IsPermanentViolation(const Instance& k, const Binding& match,
+                            int var_count) const {
+    if (!has_egds_) return true;
+    for (VariableId v = 0; v < var_count; ++v) {
+      if (match.bound[v] && k.ResolveValue(match.values[v]).is_null()) {
+        return false;
       }
-      TsStatus s = CheckOneTs(k, tgd.body, heads, tgd.var_count);
-      if (s == TsStatus::kViolatedPermanent) return s;
-      if (s == TsStatus::kViolatedFixable) status = s;
+    }
+    return true;
+  }
+
+  // Appends the candidates this node's delta can have created. A body
+  // match absent from every ancestor's delta cannot be newly violated
+  // here (its facts all predate `since`, so it was discovered — or
+  // filtered as satisfied — when its newest fact or dirtying merge
+  // arrived; satisfaction is monotone, so filtered stays satisfied).
+  // Satisfied tgd/ts triggers are dropped at discovery for the same
+  // monotonicity reason; violated ts triggers that are permanent kill the
+  // node: returns false in that case.
+  bool DiscoverCandidates(const Instance& k, const DeltaView& delta) {
+    for (size_t t = 0; t < tgd_order_.size(); ++t) {
+      const Tgd& tgd = *tgd_order_[t];
+      if (!TouchesDelta(tgd.body, delta)) continue;
+      EnumerateMatchesDelta(
+          tgd.body, tgd.var_count, k, delta, Binding::Empty(tgd.var_count),
+          [&](const Binding& match) {
+            ++result_.candidates_discovered;
+            if (!HasMatch(tgd.head, tgd.var_count, k, match)) {
+              tgd_cands_[t].push_back({match, false});
+            }
+            return true;
+          });
+    }
+    bool permanent = false;
+    for (size_t j = 0; j < ts_deps_.size() && !permanent; ++j) {
+      const TsDep& dep = ts_deps_[j];
+      if (!TouchesDelta(*dep.body, delta)) continue;
+      EnumerateMatchesDelta(
+          *dep.body, dep.var_count, k, delta, Binding::Empty(dep.var_count),
+          [&](const Binding& match) {
+            ++result_.candidates_discovered;
+            for (const std::vector<Atom>* head : dep.heads) {
+              if (HasMatch(*head, dep.var_count, k, match)) return true;
+            }
+            if (IsPermanentViolation(k, match, dep.var_count)) {
+              permanent = true;
+              return false;  // stop: the node is dead
+            }
+            ts_cands_[j].push_back({match, false});
+            return true;
+          });
+    }
+    return !permanent;
+  }
+
+  // The ts check over cached candidates: every stored candidate was
+  // violated-but-fixable when discovered; test whether an egd merge since
+  // then repaired it (mark and skip from now on), left it fixable, or
+  // ground it down to all constants (permanent: prune). Candidates from
+  // ancestor frames are visible here — exactly the triggers of the
+  // current path — and nothing else needs re-checking: satisfied ts
+  // triggers stay satisfied under additions and merges.
+  TsStatus CheckTsCached(const Instance& k) {
+    TsStatus status = TsStatus::kSatisfied;
+    for (size_t j = 0; j < ts_cands_.size(); ++j) {
+      const TsDep& dep = ts_deps_[j];
+      std::vector<Candidate>& bucket = ts_cands_[j];
+      for (size_t c = 0; c < bucket.size(); ++c) {
+        if (bucket[c].satisfied) continue;
+        ++result_.candidate_checks;
+        bool sat = false;
+        for (const std::vector<Atom>* head : dep.heads) {
+          if (HasMatch(*head, dep.var_count, k, bucket[c].binding)) {
+            sat = true;
+            break;
+          }
+        }
+        if (sat) {
+          MarkSatisfied(tgd_cands_.size() + j, c);
+          continue;
+        }
+        if (IsPermanentViolation(k, bucket[c].binding, dep.var_count)) {
+          return TsStatus::kViolatedPermanent;
+        }
+        status = TsStatus::kViolatedFixable;
+      }
     }
     return status;
   }
 
-  // Checks one (possibly disjunctive) ts dependency: every body match must
-  // extend into some head option. Source facts never change and target
-  // facts only grow, so a violated trigger whose body match uses only
-  // constants can never be repaired; triggers involving nulls may be
-  // repaired by a later egd merge (only possible when Σ_t has egds).
-  TsStatus CheckOneTs(const Instance& k, const std::vector<Atom>& body,
-                      const std::vector<const std::vector<Atom>*>& heads,
-                      int var_count) {
-    TsStatus status = TsStatus::kSatisfied;
-    EnumerateMatches(
-        body, var_count, k, Binding::Empty(var_count),
-        [&](const Binding& match) {
-          for (const std::vector<Atom>* head : heads) {
-            if (HasMatch(*head, var_count, k, match)) return true;
+  // Finds one violated Σ_st or Σ_t tgd trigger among the cached
+  // candidates. Returns false at fixpoint. Full tgds are scanned first:
+  // their steps are deterministic (no branching), so exhausting them
+  // before guessing existential witnesses both shrinks the tree and lets
+  // the Σ_ts pruning fire earlier. Candidates found satisfied are marked
+  // (with undo on backtrack), so along one DFS path each repaired
+  // candidate costs one test, not one per node.
+  bool FindPendingTriggerCached(const Instance& k, PendingTrigger* out) {
+    for (bool full_pass : {true, false}) {
+      for (size_t t = 0; t < tgd_order_.size(); ++t) {
+        const Tgd& tgd = *tgd_order_[t];
+        if (tgd.IsFull() != full_pass) continue;
+        std::vector<Candidate>& bucket = tgd_cands_[t];
+        for (size_t c = 0; c < bucket.size(); ++c) {
+          if (bucket[c].satisfied) continue;
+          ++result_.candidate_checks;
+          if (HasMatch(tgd.head, tgd.var_count, k, bucket[c].binding)) {
+            MarkSatisfied(t, c);
+            continue;
           }
-          // Violated trigger.
-          bool all_constants = true;
-          for (VariableId v = 0; v < var_count; ++v) {
-            if (match.bound[v] && match.values[v].is_null()) {
-              all_constants = false;
-              break;
+          out->tgd = &tgd;
+          // Re-resolve: the stored match may hold nulls merged away since
+          // discovery; head instantiation must use current roots.
+          out->binding = bucket[c].binding;
+          for (VariableId v = 0; v < tgd.var_count; ++v) {
+            if (out->binding.bound[v]) {
+              out->binding.values[v] = k.ResolveValue(out->binding.values[v]);
             }
           }
-          if (all_constants || !has_egds_) {
-            status = TsStatus::kViolatedPermanent;
-            return false;  // stop
-          }
-          status = TsStatus::kViolatedFixable;
-          return true;  // keep scanning; a permanent violation would win
-        });
-    return status;
-  }
-
-  // Finds one violated Σ_st or Σ_t tgd trigger. Returns false at fixpoint.
-  // Full tgds are scanned first: their steps are deterministic (no
-  // branching), so exhausting them before guessing existential witnesses
-  // both shrinks the tree and lets the Σ_ts pruning fire earlier.
-  bool FindPendingTrigger(const Instance& k, PendingTrigger* out) {
-    for (bool full_pass : {true, false}) {
-      for (const std::vector<Tgd>* tgds :
-           {&setting_.st_tgds(), &setting_.target_tgds()}) {
-        for (const Tgd& tgd : *tgds) {
-          if (tgd.IsFull() != full_pass) continue;
-          bool found = EnumerateMatches(
-              tgd.body, tgd.var_count, k, Binding::Empty(tgd.var_count),
-              [&](const Binding& match) {
-                if (HasMatch(tgd.head, tgd.var_count, k, match)) {
-                  return true;  // satisfied; keep searching
-                }
-                out->tgd = &tgd;
-                out->binding = match;
-                return false;
-              });
-          if (found) return true;
+          return true;
         }
       }
     }
@@ -258,6 +422,14 @@ class Searcher {
   bool found_ = false;
   std::unordered_set<uint64_t> visited_;
   std::unordered_set<uint64_t> solution_fps_;
+  // The violated-trigger cache: per-dependency candidate buckets
+  // maintained by the DFS frames (append at discovery, truncate on
+  // backtrack), plus the undo trail of satisfied marks.
+  std::vector<const Tgd*> tgd_order_;
+  std::vector<std::vector<Candidate>> tgd_cands_;
+  std::vector<TsDep> ts_deps_;
+  std::vector<std::vector<Candidate>> ts_cands_;
+  std::vector<std::pair<size_t, size_t>> satisfied_trail_;
   GenericSolveResult result_;
 };
 

@@ -40,6 +40,14 @@ struct GenericSolveResult {
   // intersecting a monotone query over this set yields the certain answers.
   std::vector<Instance> solutions;
   int64_t nodes_explored = 0;
+  // Instrumentation of the incremental violated-trigger cache that drives
+  // the search loop (no full-instance trigger rescans happen per node):
+  // body matches found by delta-driven discovery, and head-extension tests
+  // of cached candidates. Both scale with what each node adds (its delta
+  // and the triggers it affects), not with instance size — asserted in
+  // generic_solver_test.
+  int64_t candidates_discovered = 0;
+  int64_t candidate_checks = 0;
 };
 
 // Sound and complete decision procedure for SOL(P) on arbitrary settings

@@ -366,9 +366,12 @@ void Instance::Substitute(Value from, Value to) {
   }
 }
 
-Instance Instance::CompactResolved() const {
+Instance Instance::CompactResolved(bool keep_resolver) const {
   Instance compact(schema_);
+  // The facts ForEachFact hands out are already resolved, so installing
+  // the resolver afterwards leaves the stores canonical either way.
   ForEachFact([&compact](const Fact& f) { compact.AddFact(f); });
+  if (keep_resolver) compact.resolver_ = resolver_;
   return compact;
 }
 

@@ -213,10 +213,15 @@ class Instance {
   // stores canonical; the delta engines use MergeValues instead.
   void Substitute(Value from, Value to);
 
-  // A plain instance holding this instance's resolved facts with a
-  // trivial resolver: the materialization of the resolve-on-read view.
-  // Its fingerprint, facts and ToString agree with this instance's.
-  Instance CompactResolved() const;
+  // A plain instance holding this instance's resolved facts: the
+  // materialization of the resolve-on-read view, with raw duplicates
+  // collapsed. Its fingerprint, facts and ToString agree with this
+  // instance's. By default the result carries a trivial resolver (all
+  // merge history dropped); with `keep_resolver` it shares this
+  // instance's resolver state, so values merged before the compaction
+  // still resolve through it (ResolveValue / ChaseResult::Resolve keep
+  // working) — used by the chase's mid-run store compaction.
+  Instance CompactResolved(bool keep_resolver = false) const;
 
   // Order-insensitive structural fingerprint of the *resolved* view,
   // invariant under the *names* of nulls: nulls are canonically renamed by

@@ -1,0 +1,252 @@
+// Cross-validation of the parallel delta chase against the sequential
+// path: for num_threads ∈ {1, 2, 8} the chase must produce identical
+// results — same outcome, step count, nulls created and canonical
+// fingerprint — on randomized workloads covering the tgd pipeline, the
+// merge-heavy egd cascade, the oblivious engine, failing runs, the
+// solver-level verdict, and auto-compaction. These tests carry the
+// `parallel` ctest label and are additionally run under TSan by
+// tools/check.sh. Sizes are deliberately modest so the TSan pass stays
+// fast.
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "chase/chase.h"
+#include "logic/parser.h"
+#include "pde/data_exchange.h"
+#include "tests/test_util.h"
+#include "workload/random.h"
+
+namespace pdx {
+namespace {
+
+using testing_util::Unwrap;
+
+constexpr int kThreadCounts[] = {1, 2, 8};
+
+struct ParallelChaseTest : ::testing::Test {
+  Schema schema;
+  SymbolTable symbols;
+  std::vector<Tgd> pipeline_tgds;
+  std::vector<Tgd> egd_heavy_tgds;
+  std::vector<Egd> egd_heavy_egds;
+  std::vector<Tgd> copy_tgds;
+  std::vector<Egd> key_egds;
+
+  ParallelChaseTest() {
+    PDX_CHECK(schema.AddRelation("E", 2).ok());
+    PDX_CHECK(schema.AddRelation("H", 2).ok());
+    PDX_CHECK(schema.AddRelation("F", 2).ok());
+    // Same dependency shapes as bench_chase: a weakly acyclic pipeline
+    // with an existential tail, and the merge-heavy cascade where nearly
+    // every step is a union.
+    pipeline_tgds = Deps("E(x,z) & E(z,y) -> H(x,y)."
+                         "H(x,y) -> exists w: F(y,w).")
+                        .tgds;
+    auto heavy = Deps("E(x,y) -> exists z: H(x,z) & F(y,z).");
+    egd_heavy_tgds = heavy.tgds;
+    egd_heavy_egds =
+        Deps("H(x,y) & H(x,z) -> y = z. F(x,y) & F(x,z) -> y = z.").egds;
+    // Constant-copying tgd + key egd: clashes two constants whenever a
+    // node has two distinct successors, so dense random graphs fail.
+    copy_tgds = Deps("E(x,y) -> H(x,y).").tgds;
+    key_egds = Deps("H(x,y) & H(x,z) -> y = z.").egds;
+  }
+
+  DependencySet Deps(const std::string& text) {
+    return Unwrap(ParseDependencies(text, schema, &symbols), "deps");
+  }
+
+  Instance RandomEdges(int n, int edges_per_node, uint64_t seed) {
+    Rng rng(seed);
+    Instance instance(&schema);
+    for (int i = 0; i < edges_per_node * n; ++i) {
+      Value u =
+          symbols.InternConstant("n" + std::to_string(rng.UniformInt(n)));
+      Value v =
+          symbols.InternConstant("n" + std::to_string(rng.UniformInt(n)));
+      instance.AddFact(0, {u, v});
+    }
+    return instance;
+  }
+
+  ChaseResult Run(const Instance& start, const std::vector<Tgd>& tgds,
+                  const std::vector<Egd>& egds, int threads,
+                  ChaseStrategy strategy = ChaseStrategy::kRestricted) {
+    ChaseOptions options;
+    options.strategy = strategy;
+    options.num_threads = threads;
+    return Chase(start, tgds, egds, &symbols, options);
+  }
+
+  // Runs the workload at every thread count and asserts all observable
+  // results match the single-threaded reference exactly.
+  void ExpectThreadInvariant(const Instance& start,
+                             const std::vector<Tgd>& tgds,
+                             const std::vector<Egd>& egds,
+                             ChaseStrategy strategy, uint64_t seed) {
+    ChaseResult ref = Run(start, tgds, egds, /*threads=*/1, strategy);
+    uint64_t ref_fp = ref.instance.CanonicalFingerprint();
+    for (int threads : kThreadCounts) {
+      ChaseResult got = Run(start, tgds, egds, threads, strategy);
+      ASSERT_EQ(got.outcome, ref.outcome)
+          << "seed " << seed << " threads " << threads;
+      ASSERT_EQ(got.steps, ref.steps)
+          << "seed " << seed << " threads " << threads;
+      ASSERT_EQ(got.nulls_created, ref.nulls_created)
+          << "seed " << seed << " threads " << threads;
+      ASSERT_EQ(got.instance.CanonicalFingerprint(), ref_fp)
+          << "seed " << seed << " threads " << threads;
+      ASSERT_EQ(got.instance.ResolvedFactCount(),
+                ref.instance.ResolvedFactCount())
+          << "seed " << seed << " threads " << threads;
+    }
+  }
+};
+
+TEST_F(ParallelChaseTest, PipelineIsThreadInvariant) {
+  for (uint64_t seed : {17u, 18u, 19u}) {
+    Instance start = RandomEdges(48, 2, seed);
+    ExpectThreadInvariant(start, pipeline_tgds, {},
+                          ChaseStrategy::kRestricted, seed);
+  }
+}
+
+TEST_F(ParallelChaseTest, EgdHeavyIsThreadInvariant) {
+  for (uint64_t seed : {29u, 30u, 31u}) {
+    Instance start = RandomEdges(32, 3, seed);
+    ExpectThreadInvariant(start, egd_heavy_tgds, egd_heavy_egds,
+                          ChaseStrategy::kRestricted, seed);
+  }
+}
+
+TEST_F(ParallelChaseTest, ObliviousIsThreadInvariant) {
+  for (uint64_t seed : {41u, 42u}) {
+    Instance start = RandomEdges(24, 2, seed);
+    ExpectThreadInvariant(start, pipeline_tgds, {},
+                          ChaseStrategy::kOblivious, seed);
+    ExpectThreadInvariant(start, egd_heavy_tgds, egd_heavy_egds,
+                          ChaseStrategy::kOblivious, seed);
+  }
+}
+
+// Constant/constant clashes: the batched egd path may apply merges in a
+// different order than the sequential scan, but whether the closure holds
+// a clash is order-independent, so the verdict must agree. (Step counts
+// of failing runs are not comparable across orders and are not asserted.)
+TEST_F(ParallelChaseTest, FailingRunsAgreeOnOutcome) {
+  int failures = 0;
+  for (uint64_t seed = 50; seed < 58; ++seed) {
+    Instance start = RandomEdges(16, 2, seed);
+    ChaseResult ref = Run(start, copy_tgds, key_egds, /*threads=*/1);
+    if (ref.outcome == ChaseOutcome::kFailed) ++failures;
+    for (int threads : kThreadCounts) {
+      ChaseResult got = Run(start, copy_tgds, key_egds, threads);
+      ASSERT_EQ(got.outcome, ref.outcome)
+          << "seed " << seed << " threads " << threads;
+      if (ref.outcome == ChaseOutcome::kSuccess) {
+        ASSERT_EQ(got.instance.CanonicalFingerprint(),
+                  ref.instance.CanonicalFingerprint())
+            << "seed " << seed << " threads " << threads;
+      }
+    }
+  }
+  // Dense random graphs with a key egd over copied constants must clash
+  // on at least some seeds for this test to mean anything.
+  EXPECT_GT(failures, 0);
+}
+
+// Solver-level verdicts through SolveDataExchange: solution existence and
+// the universal solution itself must not depend on num_threads.
+TEST_F(ParallelChaseTest, DataExchangeVerdictsAreThreadInvariant) {
+  SymbolTable de_symbols;
+  PdeSetting setting = Unwrap(
+      PdeSetting::Create({{"E", 2}}, {{"H", 2}, {"F", 2}},
+                         "E(x,y) -> H(x,y). E(x,y) -> exists z: F(x,z).",
+                         "", "H(x,y) & H(x,z) -> y = z.", &de_symbols),
+      "de setting");
+  int with_solution = 0, without = 0;
+  for (uint64_t seed = 70; seed < 78; ++seed) {
+    Rng rng(seed);
+    Instance source = setting.EmptyInstance();
+    RelationId e_rel = setting.schema().FindRelation("E").value();
+    auto node = [&](const std::string& tag) {
+      return de_symbols.InternConstant("c" + tag);
+    };
+    // Even seeds: a functional random graph (one successor per node), so
+    // the key egd never clashes and a solution exists. Odd seeds: the
+    // same plus a forked node, so the copied constants must clash.
+    for (int i = 0; i < 12; ++i) {
+      source.AddFact(e_rel, {node(std::to_string(i)),
+                             node(std::to_string(rng.UniformInt(12)))});
+    }
+    if (seed % 2 == 1) {
+      source.AddFact(e_rel, {node("fork"), node("left")});
+      source.AddFact(e_rel, {node("fork"), node("right")});
+    }
+    ChaseOptions ref_options;
+    ref_options.num_threads = 1;
+    DataExchangeResult ref =
+        Unwrap(SolveDataExchange(setting, source, setting.EmptyInstance(),
+                                 &de_symbols, ref_options),
+               "SolveDataExchange");
+    (ref.has_solution ? with_solution : without)++;
+    for (int threads : kThreadCounts) {
+      ChaseOptions options;
+      options.num_threads = threads;
+      DataExchangeResult got =
+          Unwrap(SolveDataExchange(setting, source, setting.EmptyInstance(),
+                                   &de_symbols, options),
+                 "SolveDataExchange");
+      ASSERT_EQ(got.has_solution, ref.has_solution)
+          << "seed " << seed << " threads " << threads;
+      if (ref.has_solution) {
+        ASSERT_EQ(got.universal_solution->CanonicalFingerprint(),
+                  ref.universal_solution->CanonicalFingerprint())
+            << "seed " << seed << " threads " << threads;
+        ASSERT_EQ(got.nulls_created, ref.nulls_created)
+            << "seed " << seed << " threads " << threads;
+      }
+    }
+  }
+  // The seeds must exercise both verdicts.
+  EXPECT_GT(with_solution, 0);
+  EXPECT_GT(without, 0);
+}
+
+// Auto-compaction must fire on merge-heavy runs when the thresholds are
+// lowered, without changing any observable result, and merged values must
+// still resolve through the compacted instance.
+TEST_F(ParallelChaseTest, CompactionPreservesResults) {
+  Instance start = RandomEdges(32, 3, 91);
+  ChaseOptions plain;
+  plain.num_threads = 1;
+  plain.compact_duplicate_ratio = 0;  // outside (0,1): disabled
+  ChaseResult no_compact =
+      Chase(start, egd_heavy_tgds, egd_heavy_egds, &symbols, plain);
+  EXPECT_EQ(no_compact.compactions, 0);
+
+  for (int threads : kThreadCounts) {
+    ChaseOptions options;
+    options.num_threads = threads;
+    options.compact_duplicate_ratio = 0.2;
+    options.compact_min_facts = 32;
+    ChaseResult got =
+        Chase(start, egd_heavy_tgds, egd_heavy_egds, &symbols, options);
+    ASSERT_EQ(got.outcome, ChaseOutcome::kSuccess) << "threads " << threads;
+    EXPECT_GT(got.compactions, 0) << "threads " << threads;
+    ASSERT_EQ(got.instance.CanonicalFingerprint(),
+              no_compact.instance.CanonicalFingerprint())
+        << "threads " << threads;
+    ASSERT_EQ(got.steps, no_compact.steps) << "threads " << threads;
+    // Compaction drops resolved duplicates from the raw stores, and the
+    // resolved view is untouched.
+    EXPECT_LE(got.instance.fact_count(), no_compact.instance.fact_count());
+    ASSERT_EQ(got.instance.ResolvedFactCount(),
+              no_compact.instance.ResolvedFactCount());
+  }
+}
+
+}  // namespace
+}  // namespace pdx

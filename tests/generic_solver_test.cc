@@ -179,5 +179,44 @@ TEST_F(GenericSolverTest, EmptyInputsTriviallySolvable) {
   EXPECT_EQ(result.solution->fact_count(), 0u);
 }
 
+// The search loop maintains its trigger candidates incrementally off each
+// node's delta instead of rescanning the instance: on a copy setting over
+// an E-path of length N, the search walks ~N nodes, and both instrumented
+// quantities — body matches found by discovery and head-extension checks
+// of cached candidates — must stay linear in N. A full-rescan loop pays
+// Θ(N) matches per node, Θ(N²) total, which the bounds below reject by a
+// wide margin.
+TEST_F(GenericSolverTest, CandidateCacheScalesWithDeltaNotInstance) {
+  SymbolTable symbols;
+  PdeSetting setting = Unwrap(
+      PdeSetting::Create({{"E", 2}}, {{"H", 2}}, "E(x,y) -> H(x,y).",
+                         "H(x,y) -> E(x,y).", "", &symbols),
+      "copy setting");
+  auto solve_path = [&](int n) {
+    std::string text;
+    for (int i = 0; i < n; ++i) {
+      text += "E(n" + std::to_string(i) + ",n" + std::to_string(i + 1) +
+              "). ";
+    }
+    Instance source = ParseOrDie(setting, text, &symbols);
+    return Unwrap(GenericExistsSolution(setting, source,
+                                        setting.EmptyInstance(), &symbols));
+  };
+  for (int n : {20, 60}) {
+    GenericSolveResult result = solve_path(n);
+    ASSERT_EQ(result.outcome, SolveOutcome::kSolutionFound);
+    // One node per fired copy trigger (plus root and leaf bookkeeping).
+    EXPECT_LE(result.nodes_explored, n + 2);
+    // Discovery: the root finds the N violated st triggers; each child
+    // then discovers only the one ts trigger its new H-fact enables
+    // (immediately satisfied and filtered). Linear, not quadratic.
+    EXPECT_LE(result.candidates_discovered, 4 * n + 8) << "n = " << n;
+    // Selection: along the path each candidate is checked once when it is
+    // selected and once when it is found satisfied and marked — a rescan
+    // loop would pay ~n²/2 here (already > the bound at n = 20).
+    EXPECT_LE(result.candidate_checks, 4 * n + 8) << "n = " << n;
+  }
+}
+
 }  // namespace
 }  // namespace pdx

@@ -3,11 +3,14 @@
 # (`ctest -L tier1`), first plain, then under AddressSanitizer + UBSan
 # (the copy-on-write instance stores and the union-find value layer make
 # ASan coverage non-optional: an aliasing bug between a branch and its
-# snapshot — stores or resolver — is exactly what it catches).
+# snapshot — stores or resolver — is exactly what it catches), then the
+# `parallel`-labeled tests under ThreadSanitizer (TSan and ASan cannot
+# share a build tree, so the TSan pass builds only the two concurrency
+# tests in its own tree and runs just that label).
 #
 # Also available as a build target: `cmake --build build --target check`.
 #
-# Usage: tools/check.sh [--plain-only|--sanitize-only]
+# Usage: tools/check.sh [--plain-only|--sanitize-only|--tsan-only]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -23,15 +26,25 @@ run_suite() {
     --timeout 600
 }
 
-if [[ "$mode" != "--sanitize-only" ]]; then
+if [[ "$mode" == "all" || "$mode" == "--plain-only" ]]; then
   echo "== plain build =="
   run_suite build
 fi
 
-if [[ "$mode" != "--plain-only" ]]; then
+if [[ "$mode" == "all" || "$mode" == "--sanitize-only" ]]; then
   echo "== address+undefined sanitizer build =="
   run_suite build-asan "-DPDX_SANITIZE=address;undefined" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
+fi
+
+if [[ "$mode" == "all" || "$mode" == "--tsan-only" ]]; then
+  echo "== thread sanitizer build (parallel tests) =="
+  cmake -B build-tsan -S . -DPDX_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-tsan -j "$jobs" \
+    --target thread_pool_test chase_parallel_test
+  ctest --test-dir build-tsan -L parallel --output-on-failure -j "$jobs" \
+    --timeout 600
 fi
 
 echo "check.sh: all suites passed"

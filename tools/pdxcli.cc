@@ -2,7 +2,7 @@
 //
 // Usage:
 //   pdxcli check   --setting FILE
-//   pdxcli chase   --setting FILE --source FILE [--target FILE]
+//   pdxcli chase   --setting FILE --source FILE [--target FILE] [--threads N]
 //   pdxcli solve   --setting FILE --source FILE [--target FILE]
 //                  [--solver auto|ctract|generic] [--minimize]
 //   pdxcli certain --setting FILE --source FILE [--target FILE]
@@ -13,6 +13,7 @@
 // Setting files use the [source]/[target]/[st]/[ts]/[t] format of
 // pde/setting_file.h; instance files hold facts like "E(a,b).".
 
+#include <cstdlib>
 #include <iostream>
 #include <map>
 #include <string>
@@ -151,7 +152,12 @@ int RunChase(const CliArgs& args) {
     return 1;
   }
   Instance combined = setting->CombineInstances(*source, *target);
-  ChaseResult chased = Chase(combined, setting->st_tgds(), &symbols);
+  ChaseOptions chase_options;
+  if (auto it = args.flags.find("threads"); it != args.flags.end()) {
+    chase_options.num_threads = std::atoi(it->second.c_str());
+  }
+  ChaseResult chased =
+      Chase(combined, setting->st_tgds(), {}, &symbols, chase_options);
   if (chased.outcome != ChaseOutcome::kSuccess) {
     std::cerr << "chase did not complete: " << chased.failure << "\n";
     return 1;
