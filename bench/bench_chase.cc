@@ -20,9 +20,10 @@
 #include <string>
 #include <vector>
 
-#include "bench/json_writer.h"
 #include "chase/chase.h"
 #include "logic/parser.h"
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
 #include "workload/random.h"
 
 namespace pdx {
@@ -130,14 +131,29 @@ StrategyStats RunOne(BenchContext& ctx, const Instance& start,
   options.num_threads = num_threads;
   options.max_steps = 10'000'000;
   StrategyStats stats;
+  // The metrics registry is the authoritative step count: the JSON below
+  // reports the registry delta of pdx_chase_steps_total around each run,
+  // pinned equal to the engine's own count, so BENCH_chase.json and a
+  // --metrics-out dump can never disagree. (A PDX_OBS_NOOP build has no
+  // registry and falls back to the engine's count.)
+  static obs::Counter chase_steps =
+      obs::MetricsRegistry::Global().GetCounter("pdx_chase_steps_total");
   for (int rep = 0; rep < kRepeats; ++rep) {
+    int64_t steps_before = chase_steps.Value();
     auto t0 = std::chrono::steady_clock::now();
     ChaseResult result = Chase(start, tgds, egds, &ctx.symbols, options);
     auto t1 = std::chrono::steady_clock::now();
     PDX_CHECK(result.outcome == ChaseOutcome::kSuccess);
     double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
     if (rep == 0 || ms < stats.wall_ms) stats.wall_ms = ms;
+#ifndef PDX_OBS_NOOP
+    stats.steps = chase_steps.Value() - steps_before;
+    PDX_CHECK(stats.steps == result.steps)
+        << "registry steps diverged from ChaseResult::steps";
+#else
+    (void)steps_before;
     stats.steps = result.steps;
+#endif
     // Resolved counts/fingerprints so the Substitute-based and union-find
     // engines are compared on the same (materialized-equivalent) view.
     stats.result_facts =

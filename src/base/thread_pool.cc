@@ -2,7 +2,33 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace pdx {
+
+namespace {
+
+// Pool health metrics. Steal counts depend on scheduling, so they are
+// deliberately *not* part of the thread-invariance contract the chase
+// metrics carry — they exist to explain load imbalance, not results.
+struct PoolMetrics {
+  obs::Counter jobs, tasks, steals;
+  obs::Gauge inflight;
+  static PoolMetrics& Get() {
+    static PoolMetrics* m = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+      auto* metrics = new PoolMetrics();
+      metrics->jobs = reg.GetCounter("pdx_pool_jobs_total");
+      metrics->tasks = reg.GetCounter("pdx_pool_tasks_total");
+      metrics->steals = reg.GetCounter("pdx_pool_steals_total");
+      metrics->inflight = reg.GetGauge("pdx_pool_inflight_jobs");
+      return metrics;
+    }();
+    return *m;
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(int threads) {
   int workers = std::max(0, threads - 1);
@@ -32,14 +58,17 @@ void ThreadPool::RunShards(Job* job, size_t start_shard) {
   // Own shard first, then sweep the others (work-stealing): claiming via
   // fetch_add makes overshoot past `end` harmless — the claim is simply
   // discarded. The index space is fixed up front, so one sweep suffices.
+  int64_t steals = 0;
   for (size_t off = 0; off < count; ++off) {
     Shard& shard = job->shards[(start_shard + off) % count];
     while (true) {
       size_t i = shard.next.fetch_add(1, std::memory_order_relaxed);
       if (i >= shard.end) break;
+      if (off != 0) ++steals;
       fn(i);
     }
   }
+  if (steals != 0) PoolMetrics::Get().steals.Inc(steals);
 }
 
 void ThreadPool::WorkerLoop(size_t worker_index) {
@@ -65,12 +94,16 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
 void ThreadPool::ParallelFor(size_t n,
                              const std::function<void(size_t)>& fn) {
   if (n == 0) return;
+  PoolMetrics& metrics = PoolMetrics::Get();
+  metrics.jobs.Inc();
+  metrics.tasks.Inc(static_cast<int64_t>(n));
   size_t participants =
       std::min<size_t>(static_cast<size_t>(size()), n);
   if (participants <= 1 || workers_.empty()) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
+  metrics.inflight.Add(1);
   Job job;
   job.fn = &fn;
   job.shard_count = participants;
@@ -95,6 +128,7 @@ void ThreadPool::ParallelFor(size_t n,
     done_cv_.wait(lock, [&] { return workers_active_ == 0; });
     job_ = nullptr;
   }
+  metrics.inflight.Add(-1);
 }
 
 }  // namespace pdx

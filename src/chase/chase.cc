@@ -6,10 +6,47 @@
 #include "base/string_util.h"
 #include "base/thread_pool.h"
 #include "hom/matcher.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pdx {
 
 namespace {
+
+// Chase metrics on the process registry. Everything here is a
+// deterministic function of the chase inputs — identical at every
+// num_threads setting (obs_test pins this): the per-run totals are added
+// once at the Chase() wrapper, the per-match and per-merge counters are
+// incremented on the hot path (match counting runs inside pool workers,
+// exercising the registry's thread-local shards).
+struct ChaseMetrics {
+  obs::Counter runs;
+  obs::Counter steps;
+  obs::Counter nulls;
+  obs::Counter rounds;
+  obs::Counter tgd_matches;
+  obs::Counter egd_merges;
+  obs::Counter compactions;
+  obs::Histogram batch_triggers;  // violated triggers per dependency batch
+
+  static ChaseMetrics& Get() {
+    static ChaseMetrics* m = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+      auto* metrics = new ChaseMetrics();
+      metrics->runs = reg.GetCounter("pdx_chase_runs_total");
+      metrics->steps = reg.GetCounter("pdx_chase_steps_total");
+      metrics->nulls = reg.GetCounter("pdx_chase_nulls_created_total");
+      metrics->rounds = reg.GetCounter("pdx_chase_rounds_total");
+      metrics->tgd_matches = reg.GetCounter("pdx_chase_tgd_matches_total");
+      metrics->egd_merges = reg.GetCounter("pdx_chase_egd_merges_total");
+      metrics->compactions = reg.GetCounter("pdx_chase_compactions_total");
+      metrics->batch_triggers = reg.GetHistogram(
+          "pdx_chase_batch_triggers", {1, 4, 16, 64, 256, 1024, 4096});
+      return metrics;
+    }();
+    return *m;
+  }
+};
 
 // Finds one violated trigger for `tgd` in `instance`: a body homomorphism
 // with no head extension. Returns true and fills `binding` if found.
@@ -78,7 +115,8 @@ bool TouchesDelta(const std::vector<Atom>& body, const DeltaView& delta) {
 std::vector<Binding> CollectDeltaMatches(
     const std::vector<Atom>& atoms, int var_count, const Instance& instance,
     const DeltaView& delta, ThreadPool* pool,
-    const std::function<bool(const Binding&)>& keep) {
+    const std::function<bool(const Binding&)>& keep,
+    uint64_t parent_span = 0) {
   std::vector<Binding> out;
   if (pool == nullptr) {
     EnumerateMatchesDelta(atoms, var_count, instance, delta,
@@ -96,12 +134,20 @@ std::vector<Binding> CollectDeltaMatches(
   if (parts.empty()) return out;
   std::vector<std::vector<Binding>> buffers(parts.size());
   pool->ParallelFor(parts.size(), [&](size_t p) {
+    // One span per dependency × partition task, parented to the batch
+    // span of the issuing thread (the thread_local nesting stack does not
+    // cross into workers).
+    obs::Span part_span(obs::Tracer::Global(), "chase.collect_part",
+                        parent_span);
+    part_span.AttrInt("partition", static_cast<int64_t>(p));
     EnumerateMatchesDeltaPartition(atoms, var_count, instance, delta,
                                    parts[p], Binding::Empty(var_count),
                                    [&](const Binding& m) {
                                      if (keep(m)) buffers[p].push_back(m);
                                      return true;
                                    });
+    part_span.AttrInt("collected",
+                      static_cast<int64_t>(buffers[p].size()));
   });
   for (std::vector<Binding>& buffer : buffers) {
     out.insert(out.end(), std::make_move_iterator(buffer.begin()),
@@ -338,11 +384,17 @@ ChaseResult ChaseRestrictedDelta(const Instance& start,
   // ResolvedFactCount check runs only when compaction could plausibly
   // trigger.
   int64_t dirty_accum = 0;
+  ChaseMetrics& metrics = ChaseMetrics::Get();
+  int64_t round = 0;
   while (true) {
     if (result.steps >= options.max_steps) {
       result.outcome = ChaseOutcome::kBudgetExhausted;
       return result;
     }
+    obs::Span round_span(obs::Tracer::Global(), "chase.round");
+    round_span.AttrInt("round", round);
+    metrics.rounds.Inc();
+    ++round;
     EgdFixpointOutcome egd_out = RunEgdsToFixpointDelta(
         egds, &instance, mark, options.max_steps - result.steps, symbols,
         &extras, pool);
@@ -358,16 +410,23 @@ ChaseResult ChaseRestrictedDelta(const Instance& start,
     // Facts present now are covered once this round's triggers have been
     // evaluated; facts the round itself adds become the next delta.
     InstanceWatermark frontier = instance.TakeWatermark();
-    for (const Tgd& tgd : tgds) {
+    for (size_t d = 0; d < tgds.size(); ++d) {
+      const Tgd& tgd = tgds[d];
       if (!TouchesDelta(tgd.body, delta)) continue;
+      obs::Span tgd_span(obs::Tracer::Global(), "chase.tgd");
+      tgd_span.AttrInt("dep", static_cast<int64_t>(d));
       // Collect the violated triggers for this delta, then apply them.
       // (Applying while enumerating would mutate the instance under the
       // matcher.)
       std::vector<Binding> pending = CollectDeltaMatches(
           tgd.body, tgd.var_count, instance, delta, pool,
           [&](const Binding& body_match) {
+            metrics.tgd_matches.Inc();
             return !HasMatch(tgd.head, tgd.var_count, instance, body_match);
-          });
+          },
+          tgd_span.id());
+      metrics.batch_triggers.Observe(static_cast<int64_t>(pending.size()));
+      int64_t applied = 0;
       for (const Binding& trigger : pending) {
         // Re-check: an earlier application may have satisfied it.
         if (HasMatch(tgd.head, tgd.var_count, instance, trigger)) {
@@ -376,11 +435,14 @@ ChaseResult ChaseRestrictedDelta(const Instance& start,
         result.nulls_created += ApplyTgdStep(tgd, trigger, &instance,
                                              symbols);
         ++result.steps;
+        ++applied;
         if (result.steps >= options.max_steps) {
           result.outcome = ChaseOutcome::kBudgetExhausted;
           return result;
         }
       }
+      tgd_span.AttrInt("collected", static_cast<int64_t>(pending.size()))
+          .AttrInt("applied", applied);
     }
     mark = std::move(frontier);
     extras.clear();
@@ -402,6 +464,9 @@ ChaseResult ChaseRestrictedDelta(const Instance& start,
       if (static_cast<double>(duplicates) >=
           options.compact_duplicate_ratio *
               static_cast<double>(instance.fact_count())) {
+        obs::Span compact_span(obs::Tracer::Global(), "chase.compact");
+        compact_span.AttrInt("duplicates",
+                             static_cast<int64_t>(duplicates));
         instance = instance.CompactResolved(/*keep_resolver=*/true);
         mark = InstanceWatermark::Origin(instance);
         ++result.compactions;
@@ -427,11 +492,17 @@ ChaseResult ChaseOblivious(const Instance& start,
   TriggerLedger fired;
   InstanceWatermark mark = InstanceWatermark::Origin(instance);
   std::vector<std::vector<int>> extras;
+  ChaseMetrics& metrics = ChaseMetrics::Get();
+  int64_t round = 0;
   while (true) {
     if (result.steps >= options.max_steps) {
       result.outcome = ChaseOutcome::kBudgetExhausted;
       return result;
     }
+    obs::Span round_span(obs::Tracer::Global(), "chase.round");
+    round_span.AttrInt("round", round);
+    metrics.rounds.Inc();
+    ++round;
     EgdFixpointOutcome egd_out = RunEgdsToFixpointDelta(
         egds, &instance, mark, options.max_steps - result.steps, symbols,
         &extras, pool);
@@ -448,6 +519,8 @@ ChaseResult ChaseOblivious(const Instance& start,
     for (size_t d = 0; d < tgds.size(); ++d) {
       const Tgd& tgd = tgds[d];
       if (!TouchesDelta(tgd.body, delta)) continue;
+      obs::Span tgd_span(obs::Tracer::Global(), "chase.tgd");
+      tgd_span.AttrInt("dep", static_cast<int64_t>(d));
       // Collect unfired triggers first (the instance must not change under
       // the matcher), then fire them. The ledger is only read during
       // collection (workers filter against it concurrently); Insert runs
@@ -456,8 +529,11 @@ ChaseResult ChaseOblivious(const Instance& start,
       std::vector<Binding> pending = CollectDeltaMatches(
           tgd.body, tgd.var_count, instance, delta, pool,
           [&](const Binding& body_match) {
+            metrics.tgd_matches.Inc();
             return !fired.Contains(TriggerFingerprint(d, tgd, body_match));
-          });
+          },
+          tgd_span.id());
+      metrics.batch_triggers.Observe(static_cast<int64_t>(pending.size()));
       for (const Binding& trigger : pending) {
         if (!fired.Insert(TriggerFingerprint(d, tgd, trigger), tgd,
                           trigger)) {
@@ -486,6 +562,9 @@ EgdFixpointOutcome RunEgdsToFixpointDelta(
     ThreadPool* pool) {
   EgdFixpointOutcome out;
   if (egds.empty()) return out;
+  obs::Span fixpoint_span(obs::Tracer::Global(), "chase.egd_fixpoint");
+  obs::Counter& merge_counter = ChaseMetrics::Get().egd_merges;
+  int64_t passes = 0;
   int n = instance->schema().relation_count();
   if (extras->empty()) extras->resize(n);
   // Pass 1 pivots on the additive delta beyond `mark` (plus any extras the
@@ -496,6 +575,9 @@ EgdFixpointOutcome RunEgdsToFixpointDelta(
   std::vector<std::vector<int>> frontier;
   bool first_pass = true;
   while (true) {
+    obs::Span pass_span(obs::Tracer::Global(), "chase.egd_pass");
+    pass_span.AttrInt("pass", passes);
+    ++passes;
     DeltaView delta =
         first_pass ? DeltaView(*instance, mark, *extras)
                    : DeltaView(*instance, instance->TakeWatermark(), frontier);
@@ -520,6 +602,7 @@ EgdFixpointOutcome RunEgdsToFixpointDelta(
           return false;
         }
         PDX_DCHECK(merge.merged);
+        merge_counter.Inc();
         for (const auto& [relation, idx] : merge.dirty) {
           (*extras)[relation].push_back(idx);
           pass_dirty[relation].push_back(idx);
@@ -567,7 +650,10 @@ EgdFixpointOutcome RunEgdsToFixpointDelta(
         }
       }
     }
-    if (!merged_any) return out;
+    if (!merged_any) {
+      fixpoint_span.AttrInt("passes", passes).AttrInt("merges", out.steps);
+      return out;
+    }
     first_pass = false;
     frontier = std::move(pass_dirty);
   }
@@ -581,12 +667,18 @@ int ResolveThreadCount(const ChaseOptions& options) {
                                   : options.num_threads;
 }
 
-}  // namespace
+const char* StrategyName(ChaseStrategy strategy) {
+  switch (strategy) {
+    case ChaseStrategy::kOblivious: return "oblivious";
+    case ChaseStrategy::kRestrictedNaive: return "restricted_naive";
+    case ChaseStrategy::kRestricted: return "restricted";
+  }
+  return "unknown";
+}
 
-ChaseResult Chase(const Instance& start, const std::vector<Tgd>& tgds,
-                  const std::vector<Egd>& egds, SymbolTable* symbols,
-                  const ChaseOptions& options) {
-  PDX_CHECK(symbols != nullptr);
+ChaseResult ChaseDispatch(const Instance& start, const std::vector<Tgd>& tgds,
+                          const std::vector<Egd>& egds, SymbolTable* symbols,
+                          const ChaseOptions& options) {
   switch (options.strategy) {
     case ChaseStrategy::kOblivious: {
       int threads = ResolveThreadCount(options);
@@ -611,6 +703,28 @@ ChaseResult Chase(const Instance& start, const std::vector<Tgd>& tgds,
   }
   ChaseResult result(start);
   result.outcome = ChaseOutcome::kBudgetExhausted;
+  return result;
+}
+
+}  // namespace
+
+ChaseResult Chase(const Instance& start, const std::vector<Tgd>& tgds,
+                  const std::vector<Egd>& egds, SymbolTable* symbols,
+                  const ChaseOptions& options) {
+  PDX_CHECK(symbols != nullptr);
+  obs::Span run_span(obs::Tracer::Global(), "chase");
+  run_span.AttrStr("strategy", StrategyName(options.strategy))
+      .AttrInt("threads", ResolveThreadCount(options))
+      .AttrInt("tgds", static_cast<int64_t>(tgds.size()))
+      .AttrInt("egds", static_cast<int64_t>(egds.size()));
+  ChaseResult result = ChaseDispatch(start, tgds, egds, symbols, options);
+  run_span.AttrInt("steps", result.steps)
+      .AttrBool("failed", result.outcome == ChaseOutcome::kFailed);
+  ChaseMetrics& metrics = ChaseMetrics::Get();
+  metrics.runs.Inc();
+  metrics.steps.Inc(result.steps);
+  metrics.nulls.Inc(result.nulls_created);
+  metrics.compactions.Inc(result.compactions);
   return result;
 }
 

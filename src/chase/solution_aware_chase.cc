@@ -5,10 +5,30 @@
 #include "base/string_util.h"
 #include "base/thread_pool.h"
 #include "hom/matcher.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pdx {
 
 namespace {
+
+// The chase-family metrics (shared names with chase.cc: the registry
+// find-or-creates, so both files increment the same slots).
+struct SaMetrics {
+  obs::Counter runs, steps, rounds, tgd_matches;
+  static SaMetrics& Get() {
+    static SaMetrics* m = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+      auto* metrics = new SaMetrics();
+      metrics->runs = reg.GetCounter("pdx_chase_runs_total");
+      metrics->steps = reg.GetCounter("pdx_chase_steps_total");
+      metrics->rounds = reg.GetCounter("pdx_chase_rounds_total");
+      metrics->tgd_matches = reg.GetCounter("pdx_chase_tgd_matches_total");
+      return metrics;
+    }();
+    return *m;
+  }
+};
 
 // A violated trigger to fire: the body homomorphism found in the chased
 // instance plus its extension into `solution` witnessing the existential
@@ -36,6 +56,7 @@ void CollectOneTrigger(const Instance& instance, const Instance& solution,
   if (HasMatch(tgd.head, tgd.var_count, instance, body_match)) {
     return;  // satisfied trigger
   }
+  SaMetrics::Get().tgd_matches.Inc();
   // Violated in `instance`; find the witness inside `solution`.
   bool witnessed = EnumerateMatches(
       tgd.head, tgd.var_count, solution, body_match,
@@ -56,7 +77,8 @@ void CollectSolutionAwareTriggers(const Instance& instance,
                                   const DeltaView& delta,
                                   const Instance& solution, const Tgd& tgd,
                                   ThreadPool* pool,
-                                  std::vector<SolutionAwareTrigger>* out) {
+                                  std::vector<SolutionAwareTrigger>* out,
+                                  uint64_t parent_span = 0) {
   if (pool == nullptr) {
     EnumerateMatchesDelta(tgd.body, tgd.var_count, instance, delta,
                           Binding::Empty(tgd.var_count),
@@ -72,6 +94,9 @@ void CollectSolutionAwareTriggers(const Instance& instance,
   if (parts.empty()) return;
   std::vector<std::vector<SolutionAwareTrigger>> buffers(parts.size());
   pool->ParallelFor(parts.size(), [&](size_t p) {
+    obs::Span part_span(obs::Tracer::Global(), "chase.collect_part",
+                        parent_span);
+    part_span.AttrInt("partition", static_cast<int64_t>(p));
     EnumerateMatchesDeltaPartition(tgd.body, tgd.var_count, instance, delta,
                                    parts[p], Binding::Empty(tgd.var_count),
                                    [&](const Binding& body_match) {
@@ -80,6 +105,7 @@ void CollectSolutionAwareTriggers(const Instance& instance,
                                                        &buffers[p]);
                                      return true;
                                    });
+    part_span.AttrInt("collected", static_cast<int64_t>(buffers[p].size()));
   });
   for (std::vector<SolutionAwareTrigger>& buffer : buffers) {
     out->insert(out->end(), std::make_move_iterator(buffer.begin()),
@@ -87,13 +113,11 @@ void CollectSolutionAwareTriggers(const Instance& instance,
   }
 }
 
-}  // namespace
-
-ChaseResult SolutionAwareChase(const Instance& start,
-                               const std::vector<Tgd>& tgds,
-                               const std::vector<Egd>& egds,
-                               const Instance& solution,
-                               const ChaseOptions& options) {
+ChaseResult SolutionAwareChaseImpl(const Instance& start,
+                                   const std::vector<Tgd>& tgds,
+                                   const std::vector<Egd>& egds,
+                                   const Instance& solution,
+                                   const ChaseOptions& options) {
   PDX_CHECK(start.IsSubsetOf(solution))
       << "solution-aware chase requires start ⊆ solution";
   ChaseResult result(start);
@@ -111,7 +135,12 @@ ChaseResult SolutionAwareChase(const Instance& start,
   // evaluated. Round one sees everything as new.
   InstanceWatermark mark = InstanceWatermark::Origin(instance);
   std::vector<std::vector<int>> extras;
+  int64_t round = 0;
   while (true) {
+    obs::Span round_span(obs::Tracer::Global(), "chase.round");
+    round_span.AttrInt("round", round);
+    SaMetrics::Get().rounds.Inc();
+    ++round;
     if (result.steps >= options.max_steps) {
       result.outcome = ChaseOutcome::kBudgetExhausted;
       return result;
@@ -138,11 +167,15 @@ ChaseResult SolutionAwareChase(const Instance& start,
       return result;
     }
     InstanceWatermark frontier = instance.TakeWatermark();
-    for (const Tgd& tgd : tgds) {
+    for (size_t d = 0; d < tgds.size(); ++d) {
+      const Tgd& tgd = tgds[d];
       if (!TouchesDelta(tgd.body, delta)) continue;
+      obs::Span tgd_span(obs::Tracer::Global(), "chase.tgd");
+      tgd_span.AttrInt("dep", static_cast<int64_t>(d));
       std::vector<SolutionAwareTrigger> pending;
       CollectSolutionAwareTriggers(instance, delta, solution, tgd, pool,
-                                   &pending);
+                                   &pending, tgd_span.id());
+      tgd_span.AttrInt("collected", static_cast<int64_t>(pending.size()));
       for (const SolutionAwareTrigger& trigger : pending) {
         // Re-check on the body match: an earlier application this round
         // may have satisfied it.
@@ -169,6 +202,27 @@ ChaseResult SolutionAwareChase(const Instance& start,
     mark = std::move(frontier);
     extras.clear();
   }
+}
+
+}  // namespace
+
+ChaseResult SolutionAwareChase(const Instance& start,
+                               const std::vector<Tgd>& tgds,
+                               const std::vector<Egd>& egds,
+                               const Instance& solution,
+                               const ChaseOptions& options) {
+  obs::Span run_span(obs::Tracer::Global(), "chase");
+  run_span.AttrStr("strategy", "solution_aware")
+      .AttrInt("tgds", static_cast<int64_t>(tgds.size()))
+      .AttrInt("egds", static_cast<int64_t>(egds.size()));
+  ChaseResult result =
+      SolutionAwareChaseImpl(start, tgds, egds, solution, options);
+  run_span.AttrInt("steps", result.steps)
+      .AttrBool("failed", result.outcome == ChaseOutcome::kFailed);
+  SaMetrics& metrics = SaMetrics::Get();
+  metrics.runs.Inc();
+  metrics.steps.Inc(result.steps);
+  return result;
 }
 
 }  // namespace pdx

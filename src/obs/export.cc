@@ -1,0 +1,122 @@
+#include "obs/export.h"
+
+#include <cstdio>
+
+#include "base/string_util.h"
+#include "obs/json_writer.h"
+
+namespace pdx {
+namespace obs {
+
+namespace {
+
+// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. Anything else maps
+// to '_' so arbitrary registered names still export (golden-tested).
+std::string SanitizeMetricName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (size_t i = 0; i < name.size(); ++i) {
+    char c = name[i];
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+              c == ':' || (i > 0 && c >= '0' && c <= '9');
+    out += ok ? c : '_';
+  }
+  if (out.empty()) out.push_back('_');
+  return out;
+}
+
+const char* KindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+std::string ExportPrometheus(const std::vector<MetricSnapshot>& snapshot) {
+  std::string out;
+  for (const MetricSnapshot& metric : snapshot) {
+    std::string name = SanitizeMetricName(metric.name);
+    out += StrCat("# TYPE ", name, " ", KindName(metric.kind), "\n");
+    switch (metric.kind) {
+      case MetricKind::kCounter:
+      case MetricKind::kGauge:
+        out += StrCat(name, " ", metric.value, "\n");
+        break;
+      case MetricKind::kHistogram: {
+        // Buckets are stored one-slot-per-observation; Prometheus buckets
+        // are cumulative, so re-cumulate here.
+        int64_t cumulative = 0;
+        for (size_t b = 0; b < metric.hist.upper_bounds.size(); ++b) {
+          cumulative += metric.hist.bucket_counts[b];
+          out += StrCat(name, "_bucket{le=\"", metric.hist.upper_bounds[b],
+                        "\"} ", cumulative, "\n");
+        }
+        out += StrCat(name, "_bucket{le=\"+Inf\"} ", metric.hist.count, "\n");
+        out += StrCat(name, "_sum ", metric.hist.sum, "\n");
+        out += StrCat(name, "_count ", metric.hist.count, "\n");
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string ExportChromeTrace(const std::vector<SpanRecord>& spans) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("displayTimeUnit").String("ms");
+  w.Key("traceEvents").BeginArray();
+  for (const SpanRecord& span : spans) {
+    w.BeginObject();
+    w.Key("name").String(span.name);
+    w.Key("cat").String("pdx");
+    w.Key("ph").String("X");
+    // trace_event timestamps are microseconds; keep sub-µs precision.
+    w.Key("ts").Double(static_cast<double>(span.start_ns) / 1000.0, 3);
+    w.Key("dur").Double(static_cast<double>(span.dur_ns) / 1000.0, 3);
+    w.Key("pid").Int(1);
+    w.Key("tid").Int(span.tid);
+    w.Key("args").BeginObject();
+    w.Key("span_id").Uint(span.id);
+    w.Key("parent_id").Uint(span.parent);
+    for (const SpanAttr& attr : span.attrs) {
+      w.Key(attr.key);
+      switch (attr.kind) {
+        case SpanAttr::kInt: w.Int(attr.i); break;
+        case SpanAttr::kDouble: w.Double(attr.d, 6); break;
+        case SpanAttr::kBool: w.Bool(attr.b); break;
+        case SpanAttr::kString: w.String(attr.s); break;
+      }
+    }
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return std::move(w).Take();
+}
+
+Status WriteFileOrStdout(const std::string& path,
+                         const std::string& content) {
+  if (path == "-") {
+    std::fwrite(content.data(), 1, content.size(), stdout);
+    return Status::Ok();
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return InvalidArgumentError(StrCat("cannot open ", path, " for writing"));
+  }
+  size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  if (written != content.size()) {
+    return InternalError(StrCat("short write to ", path));
+  }
+  return Status::Ok();
+}
+
+}  // namespace obs
+}  // namespace pdx

@@ -1,0 +1,42 @@
+#ifndef PDX_OBS_EXPORT_H_
+#define PDX_OBS_EXPORT_H_
+
+// Exporters for the observability layer: Prometheus text exposition for
+// metric snapshots and Chrome trace_event JSON (chrome://tracing /
+// https://ui.perfetto.dev) for span records. Pure functions over the data
+// structs, so they work identically against live registries, test
+// fixtures, and the empty snapshots a PDX_OBS_NOOP build produces.
+//
+// Output is deterministic: snapshots arrive name-sorted from
+// MetricsRegistry::Snapshot(), spans in completion order from
+// Tracer::Drain(), and the exporters add no nondeterminism of their own —
+// golden-file tested in tests/obs_export_test.cc.
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace pdx {
+namespace obs {
+
+// Prometheus text exposition format (version 0.0.4): one `# TYPE` comment
+// per metric followed by its samples; histograms expand into cumulative
+// `_bucket{le="..."}` samples plus `_sum` and `_count`. Metric names are
+// sanitized to [a-zA-Z_:][a-zA-Z0-9_:]* (invalid characters become '_').
+std::string ExportPrometheus(const std::vector<MetricSnapshot>& snapshot);
+
+// Chrome trace_event JSON: one complete ("ph":"X") event per span, in the
+// given order, with timestamps in microseconds and span attributes (plus
+// the span/parent ids) under "args".
+std::string ExportChromeTrace(const std::vector<SpanRecord>& spans);
+
+// Writes `content` to `path` ("-" = stdout).
+Status WriteFileOrStdout(const std::string& path, const std::string& content);
+
+}  // namespace obs
+}  // namespace pdx
+
+#endif  // PDX_OBS_EXPORT_H_

@@ -1,5 +1,5 @@
-#ifndef PDX_BENCH_JSON_WRITER_H_
-#define PDX_BENCH_JSON_WRITER_H_
+#ifndef PDX_OBS_JSON_WRITER_H_
+#define PDX_OBS_JSON_WRITER_H_
 
 #include <cstdint>
 #include <cstdio>
@@ -10,11 +10,11 @@
 
 namespace pdx {
 
-// Minimal streaming JSON emitter for the bench executables' machine-
-// readable outputs (BENCH_*.json). Pretty-prints with two-space indents so
-// the files stay diffable in review. No escaping beyond the characters
-// bench names can contain (quotes, backslashes, control characters are
-// escaped; nothing else is needed, and inputs are program-controlled).
+// Minimal streaming JSON emitter shared by the obs exporters (Chrome
+// trace_event output) and the bench executables' machine-readable outputs
+// (BENCH_*.json). Pretty-prints with two-space indents so the files stay
+// diffable in review. Quotes, backslashes and control characters are
+// escaped; nothing else is needed, since inputs are program-controlled.
 //
 //   JsonWriter w;
 //   w.BeginObject();
@@ -144,4 +144,4 @@ class JsonWriter {
 
 }  // namespace pdx
 
-#endif  // PDX_BENCH_JSON_WRITER_H_
+#endif  // PDX_OBS_JSON_WRITER_H_

@@ -1,0 +1,171 @@
+#ifndef PDX_OBS_METRICS_H_
+#define PDX_OBS_METRICS_H_
+
+// Lock-cheap metrics registry: named counters, gauges and fixed-bucket
+// histograms shared process-wide via MetricsRegistry::Global() (separate
+// registries are instantiable for tests). Counter and histogram writes go
+// to a per-thread shard — one relaxed fetch_add on a slot only the owning
+// thread writes — so the parallel chase path never contends on a metric
+// cacheline; reads (Value / Snapshot) take the registry mutex and sum the
+// live shards plus the folded totals of exited threads. Gauges are single
+// atomics (set/add are rare, not hot-path).
+//
+// Handles are cheap value types that keep the backing registry alive, so
+// the idiomatic call site is a function-local static:
+//
+//   static obs::Counter steps =
+//       obs::MetricsRegistry::Global().GetCounter("pdx_chase_steps_total");
+//   steps.Inc(result.steps);
+//
+// Building with -DPDX_OBS_NOOP=ON compiles the whole layer down to empty
+// inline stubs: call sites stay unchanged and cost literally nothing.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pdx {
+namespace obs {
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+// Aggregated state of one histogram: per-bucket counts (one per upper
+// bound, plus a final overflow bucket), the running sum and total count.
+struct HistogramData {
+  std::vector<int64_t> upper_bounds;   // finite, strictly increasing
+  std::vector<int64_t> bucket_counts;  // upper_bounds.size() + 1 entries
+  int64_t sum = 0;
+  int64_t count = 0;
+};
+
+// One metric's aggregated value at snapshot time.
+struct MetricSnapshot {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  int64_t value = 0;   // counter / gauge
+  HistogramData hist;  // histogram only
+};
+
+#ifndef PDX_OBS_NOOP
+
+namespace internal {
+struct MetricsCore;
+}  // namespace internal
+
+class Counter {
+ public:
+  Counter() = default;
+  // Adds `n` (one relaxed atomic on the calling thread's shard slot).
+  void Inc(int64_t n = 1);
+  // Aggregated total across all threads, live and exited.
+  int64_t Value() const;
+
+ private:
+  friend class MetricsRegistry;
+  std::shared_ptr<internal::MetricsCore> core_;
+  uint32_t slot_ = 0;
+};
+
+class Gauge {
+ public:
+  Gauge() = default;
+  void Set(int64_t v);
+  void Add(int64_t n);
+  int64_t Value() const;
+
+ private:
+  friend class MetricsRegistry;
+  std::shared_ptr<internal::MetricsCore> core_;
+  uint32_t index_ = 0;
+};
+
+class Histogram {
+ public:
+  Histogram() = default;
+  // Records one observation: a relaxed fetch_add on the matching bucket
+  // slot plus one on the sum slot, both thread-local.
+  void Observe(int64_t v);
+  HistogramData Value() const;
+
+ private:
+  friend class MetricsRegistry;
+  std::shared_ptr<internal::MetricsCore> core_;
+  uint32_t slot_ = 0;          // first bucket slot; sum lives at the end
+  uint32_t bucket_count_ = 0;  // finite buckets + overflow
+  const std::vector<int64_t>* bounds_ = nullptr;  // owned by the core
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // The process-wide registry every pdx subsystem reports into. Never
+  // destroyed (avoids TLS-vs-static destruction-order hazards at exit).
+  static MetricsRegistry& Global();
+
+  // Finds or creates a metric. Re-registering an existing name returns a
+  // handle to the same metric; registering it under a different kind (or
+  // a histogram under different bounds) is an invariant violation.
+  Counter GetCounter(const std::string& name);
+  Gauge GetGauge(const std::string& name);
+  Histogram GetHistogram(const std::string& name,
+                         std::vector<int64_t> upper_bounds);
+
+  // All metrics, aggregated, sorted by name (stable export order).
+  std::vector<MetricSnapshot> Snapshot() const;
+
+  // Zeroes every metric (tests and benches measuring deltas from a clean
+  // slate). Registrations are kept.
+  void Reset();
+
+ private:
+  std::shared_ptr<internal::MetricsCore> core_;
+};
+
+#else  // PDX_OBS_NOOP: the whole layer is inert inline stubs.
+
+class Counter {
+ public:
+  void Inc(int64_t = 1) {}
+  int64_t Value() const { return 0; }
+};
+
+class Gauge {
+ public:
+  void Set(int64_t) {}
+  void Add(int64_t) {}
+  int64_t Value() const { return 0; }
+};
+
+class Histogram {
+ public:
+  void Observe(int64_t) {}
+  HistogramData Value() const { return {}; }
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global() {
+    static MetricsRegistry registry;
+    return registry;
+  }
+  Counter GetCounter(const std::string&) { return {}; }
+  Gauge GetGauge(const std::string&) { return {}; }
+  Histogram GetHistogram(const std::string&, std::vector<int64_t>) {
+    return {};
+  }
+  std::vector<MetricSnapshot> Snapshot() const { return {}; }
+  void Reset() {}
+};
+
+#endif  // PDX_OBS_NOOP
+
+}  // namespace obs
+}  // namespace pdx
+
+#endif  // PDX_OBS_METRICS_H_

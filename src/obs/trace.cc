@@ -1,0 +1,168 @@
+#include "obs/trace.h"
+
+#ifndef PDX_OBS_NOOP
+
+#include <chrono>
+#include <utility>
+
+namespace pdx {
+namespace obs {
+
+namespace {
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Small per-thread ordinal for trace rows (Chrome renders one lane per
+// tid; std::thread::id is neither small nor stable-looking).
+int ThisThreadOrdinal() {
+  static std::atomic<int> next{0};
+  thread_local int ordinal = next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+// The per-thread nesting stack. Shared across tracer instances: spans of
+// distinct tracers interleave on one thread only in tests, where the
+// nesting is still the natural one.
+thread_local std::vector<uint64_t> tls_span_stack;
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  // Leaked for the same reason as MetricsRegistry::Global().
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::Enable(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  ring_.reserve(capacity);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  next_ = 0;
+  dropped_ = 0;
+  base_ns_ = SteadyNowNs();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+std::vector<SpanRecord> Tracer::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  if (ring_.size() == capacity_) {
+    // Wrapped: the oldest record sits at the overwrite cursor.
+    for (size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(std::move(ring_[(next_ + i) % ring_.size()]));
+    }
+  } else {
+    out = std::move(ring_);
+  }
+  ring_.clear();
+  next_ = 0;
+  return out;
+}
+
+uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void Tracer::Record(SpanRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(record));
+    return;
+  }
+  ring_[next_] = std::move(record);
+  next_ = (next_ + 1) % capacity_;
+  ++dropped_;
+}
+
+int64_t Tracer::NowRelative() const { return SteadyNowNs() - base_ns_; }
+
+Span::Span(Tracer& tracer, const char* name) {
+  if (!tracer.enabled()) return;
+  uint64_t parent =
+      tls_span_stack.empty() ? 0 : tls_span_stack.back();
+  Start(tracer, name, parent, /*push_stack=*/true);
+}
+
+Span::Span(Tracer& tracer, const char* name, uint64_t parent) {
+  if (!tracer.enabled()) return;
+  Start(tracer, name, parent, /*push_stack=*/true);
+}
+
+void Span::Start(Tracer& tracer, const char* name, uint64_t parent,
+                 bool push_stack) {
+  tracer_ = &tracer;
+  record_.name = name;
+  record_.id = tracer.NextSpanId();
+  record_.parent = parent;
+  record_.tid = ThisThreadOrdinal();
+  record_.start_ns = tracer.NowRelative();
+  if (push_stack) {
+    tls_span_stack.push_back(record_.id);
+    pushed_ = true;
+  }
+}
+
+Span::~Span() {
+  if (tracer_ == nullptr) return;
+  if (pushed_) tls_span_stack.pop_back();
+  record_.dur_ns = tracer_->NowRelative() - record_.start_ns;
+  tracer_->Record(std::move(record_));
+}
+
+Span& Span::AttrInt(const char* key, int64_t v) {
+  if (tracer_ != nullptr) {
+    SpanAttr attr;
+    attr.key = key;
+    attr.kind = SpanAttr::kInt;
+    attr.i = v;
+    record_.attrs.push_back(std::move(attr));
+  }
+  return *this;
+}
+
+Span& Span::AttrDouble(const char* key, double v) {
+  if (tracer_ != nullptr) {
+    SpanAttr attr;
+    attr.key = key;
+    attr.kind = SpanAttr::kDouble;
+    attr.d = v;
+    record_.attrs.push_back(std::move(attr));
+  }
+  return *this;
+}
+
+Span& Span::AttrBool(const char* key, bool v) {
+  if (tracer_ != nullptr) {
+    SpanAttr attr;
+    attr.key = key;
+    attr.kind = SpanAttr::kBool;
+    attr.b = v;
+    record_.attrs.push_back(std::move(attr));
+  }
+  return *this;
+}
+
+Span& Span::AttrStr(const char* key, std::string v) {
+  if (tracer_ != nullptr) {
+    SpanAttr attr;
+    attr.key = key;
+    attr.kind = SpanAttr::kString;
+    attr.s = std::move(v);
+    record_.attrs.push_back(std::move(attr));
+  }
+  return *this;
+}
+
+}  // namespace obs
+}  // namespace pdx
+
+#endif  // PDX_OBS_NOOP

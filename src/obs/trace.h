@@ -1,0 +1,167 @@
+#ifndef PDX_OBS_TRACE_H_
+#define PDX_OBS_TRACE_H_
+
+// Structured tracing: RAII spans with parent/child nesting and typed
+// attributes, recorded into a bounded in-memory ring on span end. Off by
+// default at runtime — an inactive Span construction is one relaxed load —
+// and compiled out entirely under -DPDX_OBS_NOOP=ON.
+//
+// Span taxonomy (see DESIGN.md "Observability"): the chase emits `chase`,
+// `chase.round`, `chase.tgd`, `chase.collect_part`, `chase.egd_fixpoint`
+// and `chase.egd_pass`; the solvers emit `solve.generic` / `solve.node`
+// and `solve.ctract` / `ctract.st_chase` / `ctract.ts_chase` /
+// `ctract.block_check` — one span per phase of the paper's Fig. 3
+// algorithm. Parent/child linkage is per-thread (a thread_local span
+// stack); work fanned to pool workers passes the parent id explicitly.
+//
+//   Span span(Tracer::Global(), "chase.round");
+//   span.AttrInt("round", round);
+//   ...   // span ends (and is recorded) at scope exit
+//
+// Export with ExportChromeTrace(tracer.Drain()) — see obs/export.h.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#ifndef PDX_OBS_NOOP
+#include <atomic>
+#include <mutex>
+#endif
+
+namespace pdx {
+namespace obs {
+
+// One typed span attribute.
+struct SpanAttr {
+  enum Kind { kInt, kDouble, kBool, kString };
+  std::string key;
+  Kind kind = kInt;
+  int64_t i = 0;
+  double d = 0;
+  bool b = false;
+  std::string s;
+};
+
+// A completed span. Timestamps are nanoseconds relative to the tracer's
+// Enable() call (steady clock).
+struct SpanRecord {
+  std::string name;
+  uint64_t id = 0;
+  uint64_t parent = 0;  // 0 = root
+  int tid = 0;          // small per-thread ordinal, stable within a run
+  int64_t start_ns = 0;
+  int64_t dur_ns = 0;
+  std::vector<SpanAttr> attrs;
+};
+
+#ifndef PDX_OBS_NOOP
+
+class Tracer {
+ public:
+  Tracer() = default;
+  ~Tracer() = default;
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // The process-wide tracer (disabled until Enable is called).
+  static Tracer& Global();
+
+  // Starts recording into a fresh ring of `capacity` spans. When the ring
+  // is full the oldest record is overwritten and `dropped` grows.
+  void Enable(size_t capacity = 1 << 16);
+  void Disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Completed spans in completion order; clears the ring (recording
+  // continues if still enabled).
+  std::vector<SpanRecord> Drain();
+
+  // Spans overwritten because the ring was full since the last Enable.
+  uint64_t dropped() const;
+
+ private:
+  friend class Span;
+
+  void Record(SpanRecord record);
+  uint64_t NextSpanId() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+  int64_t NowRelative() const;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> next_id_{1};
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> ring_;  // guarded by mu_
+  size_t capacity_ = 0;           // guarded by mu_
+  size_t next_ = 0;               // overwrite cursor, guarded by mu_
+  uint64_t dropped_ = 0;          // guarded by mu_
+  int64_t base_ns_ = 0;           // steady-clock origin set by Enable
+};
+
+// RAII span: starts at construction, records into the tracer at
+// destruction. Inactive (a single branch) when the tracer is disabled.
+class Span {
+ public:
+  explicit Span(const char* name) : Span(Tracer::Global(), name) {}
+  Span(Tracer& tracer, const char* name);
+  // Explicit-parent form for work fanned across threads: the thread_local
+  // nesting stack does not cross threads, so pool workers name the batch
+  // span they run under.
+  Span(Tracer& tracer, const char* name, uint64_t parent);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  // 0 when inactive; pass to worker-side spans as the explicit parent.
+  uint64_t id() const { return record_.id; }
+
+  Span& AttrInt(const char* key, int64_t v);
+  Span& AttrDouble(const char* key, double v);
+  Span& AttrBool(const char* key, bool v);
+  Span& AttrStr(const char* key, std::string v);
+
+ private:
+  void Start(Tracer& tracer, const char* name, uint64_t parent,
+             bool push_stack);
+
+  Tracer* tracer_ = nullptr;  // null = inactive
+  bool pushed_ = false;
+  SpanRecord record_;
+};
+
+#else  // PDX_OBS_NOOP: spans and the tracer cost nothing at all.
+
+class Tracer {
+ public:
+  static Tracer& Global() {
+    static Tracer tracer;
+    return tracer;
+  }
+  void Enable(size_t = 0) {}
+  void Disable() {}
+  bool enabled() const { return false; }
+  std::vector<SpanRecord> Drain() { return {}; }
+  uint64_t dropped() const { return 0; }
+};
+
+class Span {
+ public:
+  explicit Span(const char*) {}
+  Span(Tracer&, const char*) {}
+  Span(Tracer&, const char*, uint64_t) {}
+  uint64_t id() const { return 0; }
+  Span& AttrInt(const char*, int64_t) { return *this; }
+  Span& AttrDouble(const char*, double) { return *this; }
+  Span& AttrBool(const char*, bool) { return *this; }
+  Span& AttrStr(const char*, std::string) { return *this; }
+};
+
+#endif  // PDX_OBS_NOOP
+
+}  // namespace obs
+}  // namespace pdx
+
+#endif  // PDX_OBS_TRACE_H_

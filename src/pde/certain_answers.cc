@@ -36,8 +36,11 @@ StatusOr<CertainAnswersResult> ComputeCertainAnswers(
   // Fast path: data exchange settings have a PTIME algorithm ([8]).
   if (setting.IsDataExchange()) {
     result.used_data_exchange_fast_path = true;
-    PDX_ASSIGN_OR_RETURN(DataExchangeResult de,
-                         SolveDataExchange(setting, source, target, symbols));
+    ChaseOptions chase_options;
+    chase_options.num_threads = options.num_threads;
+    PDX_ASSIGN_OR_RETURN(
+        DataExchangeResult de,
+        SolveDataExchange(setting, source, target, symbols, chase_options));
     if (!de.has_solution) {
       result.no_solution = true;
       result.boolean_value = true;  // vacuously certain

@@ -1,16 +1,41 @@
 #include "pde/generic_solver.h"
 
 #include <limits>
+#include <memory>
 #include <unordered_set>
 #include <utility>
 
+#include "base/thread_pool.h"
 #include "chase/chase.h"
 #include "hom/matcher.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "relational/snapshot.h"
 
 namespace pdx {
 
 namespace {
+
+// Search-effort metrics. The registry totals and the GenericSolveResult
+// fields are fed from the same per-run tallies (one bulk Inc per run), so
+// BENCH outputs and --metrics-out can never disagree about them.
+struct SolverMetrics {
+  obs::Counter runs, nodes, candidates_discovered, candidate_checks;
+  static SolverMetrics& Get() {
+    static SolverMetrics* m = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+      auto* metrics = new SolverMetrics();
+      metrics->runs = reg.GetCounter("pdx_solver_runs_total");
+      metrics->nodes = reg.GetCounter("pdx_solver_nodes_total");
+      metrics->candidates_discovered =
+          reg.GetCounter("pdx_solver_candidates_discovered_total");
+      metrics->candidate_checks =
+          reg.GetCounter("pdx_solver_candidate_checks_total");
+      return metrics;
+    }();
+    return *m;
+  }
+};
 
 enum class TsStatus {
   kSatisfied,
@@ -63,12 +88,24 @@ class Searcher {
   }
 
   GenericSolveResult Run(Instance start) {
+    obs::Span run_span(obs::Tracer::Global(), "solve.generic");
+    run_span.AttrBool("enumerate_all", options_.enumerate_all);
+    int threads = options_.num_threads <= 0
+                      ? ThreadPool::HardwareConcurrency()
+                      : options_.num_threads;
+    if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
     // At the root everything is "new", so the root's candidate discovery
     // is the one full scan; below the root, children only discover what
     // they added or merged.
     InstanceWatermark origin = InstanceWatermark::Origin(start);
     Explore(std::move(start), 0, origin);
     result_.nodes_explored = nodes_;
+    run_span.AttrInt("nodes", nodes_).AttrBool("found", found_);
+    SolverMetrics& metrics = SolverMetrics::Get();
+    metrics.runs.Inc();
+    metrics.nodes.Inc(nodes_);
+    metrics.candidates_discovered.Inc(result_.candidates_discovered);
+    metrics.candidate_checks.Inc(result_.candidate_checks);
     if (budget_hit_ && !found_) {
       result_.outcome = SolveOutcome::kBudgetExhausted;
     } else if (budget_hit_ && options_.enumerate_all) {
@@ -161,6 +198,8 @@ class Searcher {
       return true;
     }
     ++nodes_;
+    obs::Span node_span(obs::Tracer::Global(), "solve.node");
+    node_span.AttrInt("depth", depth);
 
     // Deterministic phase: egd fixpoint, delta-restricted. The merge
     // extras feed candidate discovery below — a merge-enabled trigger
@@ -265,7 +304,7 @@ class Searcher {
                         std::vector<std::vector<int>>* extras) {
     EgdFixpointOutcome out = RunEgdsToFixpointDelta(
         setting_.target_egds(), k, since,
-        std::numeric_limits<int64_t>::max(), symbols_, extras);
+        std::numeric_limits<int64_t>::max(), symbols_, extras, pool_.get());
     return !out.failed;
   }
 
@@ -431,6 +470,7 @@ class Searcher {
   std::vector<std::vector<Candidate>> ts_cands_;
   std::vector<std::pair<size_t, size_t>> satisfied_trail_;
   GenericSolveResult result_;
+  std::unique_ptr<ThreadPool> pool_;  // egd-fixpoint collection only
 };
 
 }  // namespace

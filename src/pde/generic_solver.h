@@ -29,6 +29,12 @@ struct GenericSolverOptions {
   // found at a search leaf is collected (deduplicated up to null renaming).
   // Used by certain-answer computation.
   bool enumerate_all = false;
+  // Threads for the per-node egd fixpoint's trigger collection (0 =
+  // hardware concurrency). The search itself is sequential and the solve
+  // outcome is independent of this knob; the trigger-cache counters below
+  // can shift slightly with it (the batched egd discipline dirties
+  // different tuples than the rescan discipline).
+  int num_threads = 1;
 };
 
 struct GenericSolveResult {

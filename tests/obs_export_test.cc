@@ -1,0 +1,187 @@
+// Golden-file tests for the obs exporters. The exporters are pure
+// functions over hand-constructible structs, so the expected outputs can
+// be pinned byte-for-byte: stable ordering, name sanitization, histogram
+// re-cumulation, JSON escaping, and fixed-point timestamp rendering are
+// all part of the contract (dashboards and chrome://tracing parse these).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace pdx {
+namespace {
+
+using obs::MetricKind;
+using obs::MetricSnapshot;
+using obs::SpanAttr;
+using obs::SpanRecord;
+
+MetricSnapshot Counter(const std::string& name, int64_t value) {
+  MetricSnapshot snap;
+  snap.name = name;
+  snap.kind = MetricKind::kCounter;
+  snap.value = value;
+  return snap;
+}
+
+TEST(ExportPrometheusTest, CountersAndGauges) {
+  MetricSnapshot gauge;
+  gauge.name = "pdx_pool_inflight_jobs";
+  gauge.kind = MetricKind::kGauge;
+  gauge.value = -3;
+  std::string out = obs::ExportPrometheus(
+      {Counter("pdx_chase_steps_total", 42), gauge});
+  EXPECT_EQ(out,
+            "# TYPE pdx_chase_steps_total counter\n"
+            "pdx_chase_steps_total 42\n"
+            "# TYPE pdx_pool_inflight_jobs gauge\n"
+            "pdx_pool_inflight_jobs -3\n");
+}
+
+TEST(ExportPrometheusTest, HistogramIsReCumulated) {
+  MetricSnapshot hist;
+  hist.name = "pdx_chase_batch_triggers";
+  hist.kind = MetricKind::kHistogram;
+  hist.hist.upper_bounds = {1, 4};
+  hist.hist.bucket_counts = {2, 1, 3};  // per-bucket, overflow last
+  hist.hist.sum = 55;
+  hist.hist.count = 6;
+  std::string out = obs::ExportPrometheus({hist});
+  EXPECT_EQ(out,
+            "# TYPE pdx_chase_batch_triggers histogram\n"
+            "pdx_chase_batch_triggers_bucket{le=\"1\"} 2\n"
+            "pdx_chase_batch_triggers_bucket{le=\"4\"} 3\n"
+            "pdx_chase_batch_triggers_bucket{le=\"+Inf\"} 6\n"
+            "pdx_chase_batch_triggers_sum 55\n"
+            "pdx_chase_batch_triggers_count 6\n");
+}
+
+TEST(ExportPrometheusTest, SanitizesInvalidNames) {
+  std::string out = obs::ExportPrometheus({
+      Counter("pdx pool depth!", 1),  // spaces and punctuation
+      Counter("9lives", 2),           // leading digit is invalid
+      Counter("", 3),                 // empty collapses to a bare underscore
+  });
+  EXPECT_EQ(out,
+            "# TYPE pdx_pool_depth_ counter\n"
+            "pdx_pool_depth_ 1\n"
+            "# TYPE _lives counter\n"
+            "_lives 2\n"
+            "# TYPE _ counter\n"
+            "_ 3\n");
+}
+
+TEST(ExportPrometheusTest, EmptySnapshotIsEmptyOutput) {
+  EXPECT_EQ(obs::ExportPrometheus({}), "");
+}
+
+SpanAttr IntAttr(const std::string& key, int64_t v) {
+  SpanAttr attr;
+  attr.key = key;
+  attr.kind = SpanAttr::kInt;
+  attr.i = v;
+  return attr;
+}
+
+TEST(ExportChromeTraceTest, EmptyTrace) {
+  EXPECT_EQ(obs::ExportChromeTrace({}),
+            "{\n"
+            "  \"displayTimeUnit\": \"ms\",\n"
+            "  \"traceEvents\": []\n"
+            "}\n");
+}
+
+TEST(ExportChromeTraceTest, CompleteEventsWithArgs) {
+  SpanRecord root;
+  root.name = "chase";
+  root.id = 1;
+  root.parent = 0;
+  root.tid = 0;
+  root.start_ns = 1000;
+  root.dur_ns = 9000;
+  SpanAttr ok;
+  ok.key = "failed";
+  ok.kind = SpanAttr::kBool;
+  ok.b = false;
+  SpanAttr ratio;
+  ratio.key = "ratio";
+  ratio.kind = SpanAttr::kDouble;
+  ratio.d = 0.5;
+  root.attrs = {ok, ratio};
+
+  SpanRecord round;
+  round.name = "chase.round";
+  round.id = 2;
+  round.parent = 1;
+  round.tid = 3;
+  round.start_ns = 1500;
+  round.dur_ns = 2500;
+  SpanAttr note;  // exercises key and value escaping
+  note.key = "note \"quoted\"";
+  note.kind = SpanAttr::kString;
+  note.s = "line\nbreak";
+  round.attrs = {IntAttr("round", 0), note};
+
+  // Spans arrive in completion order (round before root).
+  std::string out = obs::ExportChromeTrace({round, root});
+  EXPECT_EQ(out,
+            "{\n"
+            "  \"displayTimeUnit\": \"ms\",\n"
+            "  \"traceEvents\": [\n"
+            "    {\n"
+            "      \"name\": \"chase.round\",\n"
+            "      \"cat\": \"pdx\",\n"
+            "      \"ph\": \"X\",\n"
+            "      \"ts\": 1.500,\n"
+            "      \"dur\": 2.500,\n"
+            "      \"pid\": 1,\n"
+            "      \"tid\": 3,\n"
+            "      \"args\": {\n"
+            "        \"span_id\": 2,\n"
+            "        \"parent_id\": 1,\n"
+            "        \"round\": 0,\n"
+            "        \"note \\\"quoted\\\"\": \"line\\nbreak\"\n"
+            "      }\n"
+            "    },\n"
+            "    {\n"
+            "      \"name\": \"chase\",\n"
+            "      \"cat\": \"pdx\",\n"
+            "      \"ph\": \"X\",\n"
+            "      \"ts\": 1.000,\n"
+            "      \"dur\": 9.000,\n"
+            "      \"pid\": 1,\n"
+            "      \"tid\": 0,\n"
+            "      \"args\": {\n"
+            "        \"span_id\": 1,\n"
+            "        \"parent_id\": 0,\n"
+            "        \"failed\": false,\n"
+            "        \"ratio\": 0.500000\n"
+            "      }\n"
+            "    }\n"
+            "  ]\n"
+            "}\n");
+}
+
+TEST(WriteFileOrStdoutTest, WritesAndReportsErrors) {
+  std::string path = ::testing::TempDir() + "/obs_export_test_out.txt";
+  Status ok = obs::WriteFileOrStdout(path, "hello\n");
+  ASSERT_TRUE(ok.ok()) << ok.ToString();
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buffer[16] = {};
+  size_t n = std::fread(buffer, 1, sizeof(buffer), f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(std::string(buffer, n), "hello\n");
+
+  Status bad = obs::WriteFileOrStdout("/nonexistent-dir/nope/file", "x");
+  EXPECT_FALSE(bad.ok());
+}
+
+}  // namespace
+}  // namespace pdx

@@ -5,12 +5,19 @@
 # ASan coverage non-optional: an aliasing bug between a branch and its
 # snapshot — stores or resolver — is exactly what it catches), then the
 # `parallel`-labeled tests under ThreadSanitizer (TSan and ASan cannot
-# share a build tree, so the TSan pass builds only the two concurrency
+# share a build tree, so the TSan pass builds only the concurrency
 # tests in its own tree and runs just that label).
+#
+# The plain pass is followed by a pdxcli smoke stage: check/chase/solve on
+# the shipped Example 1 setting with --metrics-out/--trace-out, failing on
+# malformed exporter output, plus a -DPDX_OBS_NOOP=ON build gate proving
+# the library and CLI still compile with the observability layer stubbed
+# out (the stubs are all-inline, so nothing short of building exercises
+# them).
 #
 # Also available as a build target: `cmake --build build --target check`.
 #
-# Usage: tools/check.sh [--plain-only|--sanitize-only|--tsan-only]
+# Usage: tools/check.sh [--plain-only|--smoke-only|--sanitize-only|--tsan-only]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -31,6 +38,50 @@ if [[ "$mode" == "all" || "$mode" == "--plain-only" ]]; then
   run_suite build
 fi
 
+if [[ "$mode" == "all" || "$mode" == "--smoke-only" ]]; then
+  echo "== pdxcli smoke (exporters) =="
+  cmake -B build -S .
+  cmake --build build -j "$jobs" --target pdxcli
+  smoke_dir="$(mktemp -d)"
+  trap 'rm -rf "$smoke_dir"' EXIT
+
+  ./build/tools/pdxcli check --setting data/example1.pdx \
+    --metrics-out "$smoke_dir/check.prom" >/dev/null
+  ./build/tools/pdxcli chase --setting data/example1.pdx \
+    --source data/example1_path.facts --threads 2 \
+    --metrics-out "$smoke_dir/chase.prom" \
+    --trace-out "$smoke_dir/chase.trace.json" >/dev/null
+  ./build/tools/pdxcli solve --setting data/example1.pdx \
+    --source data/example1_path.facts --threads 2 \
+    --metrics-out "$smoke_dir/solve.prom" \
+    --trace-out "$smoke_dir/solve.trace.json" >/dev/null
+
+  # The Prometheus files must contain TYPE'd samples and the chase run must
+  # have moved the chase counters; the traces must be valid JSON with a
+  # traceEvents array.
+  for prom in check chase solve; do
+    grep -q '^# TYPE pdx_' "$smoke_dir/$prom.prom" ||
+      { echo "smoke: $prom.prom has no # TYPE lines" >&2; exit 1; }
+  done
+  grep -q '^pdx_chase_steps_total [1-9]' "$smoke_dir/chase.prom" ||
+    { echo "smoke: chase.prom did not count chase steps" >&2; exit 1; }
+  for trace in chase solve; do
+    grep -q '"traceEvents"' "$smoke_dir/$trace.trace.json" ||
+      { echo "smoke: $trace.trace.json has no traceEvents" >&2; exit 1; }
+    if command -v python3 >/dev/null 2>&1; then
+      python3 -m json.tool "$smoke_dir/$trace.trace.json" >/dev/null ||
+        { echo "smoke: $trace.trace.json is not valid JSON" >&2; exit 1; }
+    fi
+  done
+
+  echo "== PDX_OBS_NOOP build gate =="
+  cmake -B build-noop -S . -DPDX_OBS_NOOP=ON
+  cmake --build build-noop -j "$jobs" --target pdx pdxcli
+  # The stubbed CLI must still run; its exporters emit empty documents.
+  ./build-noop/tools/pdxcli check --setting data/example1.pdx \
+    --metrics-out "$smoke_dir/noop.prom" >/dev/null
+fi
+
 if [[ "$mode" == "all" || "$mode" == "--sanitize-only" ]]; then
   echo "== address+undefined sanitizer build =="
   run_suite build-asan "-DPDX_SANITIZE=address;undefined" \
@@ -42,7 +93,7 @@ if [[ "$mode" == "all" || "$mode" == "--tsan-only" ]]; then
   cmake -B build-tsan -S . -DPDX_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan -j "$jobs" \
-    --target thread_pool_test chase_parallel_test
+    --target thread_pool_test chase_parallel_test obs_test
   ctest --test-dir build-tsan -L parallel --output-on-failure -j "$jobs" \
     --timeout 600
 fi

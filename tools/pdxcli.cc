@@ -4,11 +4,18 @@
 //   pdxcli check   --setting FILE
 //   pdxcli chase   --setting FILE --source FILE [--target FILE] [--threads N]
 //   pdxcli solve   --setting FILE --source FILE [--target FILE]
-//                  [--solver auto|ctract|generic] [--minimize]
+//                  [--solver auto|ctract|generic] [--minimize] [--diff]
+//                  [--threads N]
 //   pdxcli certain --setting FILE --source FILE [--target FILE]
-//                  --query 'q(x) :- H(x,y).'
+//                  --query 'q(x) :- H(x,y).' [--threads N]
 //   pdxcli repairs --setting FILE --source FILE --target FILE
 //   pdxcli explain --setting FILE --source FILE [--target FILE]
+//
+// Every command also accepts --metrics-out FILE and --trace-out FILE
+// ("-" = stdout): the former dumps the metrics registry in Prometheus text
+// format after the run, the latter enables span tracing for the run's
+// duration and writes Chrome trace_event JSON (load it in chrome://tracing
+// or https://ui.perfetto.dev).
 //
 // Setting files use the [source]/[target]/[st]/[ts]/[t] format of
 // pde/setting_file.h; instance files hold facts like "E(a,b).".
@@ -22,6 +29,9 @@
 #include "base/string_util.h"
 #include "chase/chase.h"
 #include "hom/core.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "logic/parser.h"
 #include "pde/analysis.h"
 #include "pde/explain.h"
@@ -66,6 +76,62 @@ StatusOr<CliArgs> ParseArgs(int argc, char** argv) {
     args.flags[flag] = argv[++i];
   }
   return args;
+}
+
+// --metrics-out / --trace-out plumbing, applied uniformly to every
+// command: tracing is switched on before the command body runs and the
+// exports are written on the way out — also after failed runs, when the
+// partial metrics are exactly what one wants to look at.
+class ObsExports {
+ public:
+  explicit ObsExports(const CliArgs& args) {
+    if (auto it = args.flags.find("metrics-out"); it != args.flags.end()) {
+      metrics_path_ = it->second;
+    }
+    if (auto it = args.flags.find("trace-out"); it != args.flags.end()) {
+      trace_path_ = it->second;
+      obs::Tracer::Global().Enable();
+    }
+  }
+
+  // Writes the requested exports; returns 1 if any write failed.
+  int Write() {
+    int rc = 0;
+    if (!metrics_path_.empty()) {
+      Status status = obs::WriteFileOrStdout(
+          metrics_path_,
+          obs::ExportPrometheus(obs::MetricsRegistry::Global().Snapshot()));
+      if (!status.ok()) {
+        std::cerr << status.ToString() << "\n";
+        rc = 1;
+      }
+    }
+    if (!trace_path_.empty()) {
+      std::vector<obs::SpanRecord> spans = obs::Tracer::Global().Drain();
+      uint64_t dropped = obs::Tracer::Global().dropped();
+      obs::Tracer::Global().Disable();
+      if (dropped > 0) {
+        std::cerr << "warning: trace ring overflowed, " << dropped
+                  << " span(s) dropped\n";
+      }
+      Status status =
+          obs::WriteFileOrStdout(trace_path_, obs::ExportChromeTrace(spans));
+      if (!status.ok()) {
+        std::cerr << status.ToString() << "\n";
+        rc = 1;
+      }
+    }
+    return rc;
+  }
+
+ private:
+  std::string metrics_path_;
+  std::string trace_path_;
+};
+
+int ParseThreads(const CliArgs& args) {
+  auto it = args.flags.find("threads");
+  return it == args.flags.end() ? 1 : std::atoi(it->second.c_str());
 }
 
 StatusOr<PdeSetting> LoadSetting(const CliArgs& args, SymbolTable* symbols) {
@@ -153,9 +219,7 @@ int RunChase(const CliArgs& args) {
   }
   Instance combined = setting->CombineInstances(*source, *target);
   ChaseOptions chase_options;
-  if (auto it = args.flags.find("threads"); it != args.flags.end()) {
-    chase_options.num_threads = std::atoi(it->second.c_str());
-  }
+  chase_options.num_threads = ParseThreads(args);
   ChaseResult chased =
       Chase(combined, setting->st_tgds(), {}, &symbols, chase_options);
   if (chased.outcome != ChaseOutcome::kSuccess) {
@@ -205,7 +269,10 @@ int RunSolve(const CliArgs& args) {
   bool has_solution = false;
   std::optional<Instance> solution;
   if (use_ctract) {
-    auto result = CtractExistsSolution(*setting, *source, *target, &symbols);
+    ChaseOptions chase_options;
+    chase_options.num_threads = ParseThreads(args);
+    auto result = CtractExistsSolution(*setting, *source, *target, &symbols,
+                                       chase_options);
     if (!result.ok()) {
       std::cerr << result.status().ToString() << "\n";
       return 1;
@@ -216,8 +283,10 @@ int RunSolve(const CliArgs& args) {
               << result->block_count
               << " max-block-nulls=" << result->max_block_nulls << "\n";
   } else {
-    auto result = GenericExistsSolution(*setting, *source, *target,
-                                        &symbols);
+    GenericSolverOptions solver_options;
+    solver_options.num_threads = ParseThreads(args);
+    auto result = GenericExistsSolution(*setting, *source, *target, &symbols,
+                                        solver_options);
     if (!result.ok()) {
       std::cerr << result.status().ToString() << "\n";
       return 1;
@@ -289,8 +358,10 @@ int RunCertain(const CliArgs& args) {
     std::cerr << query.status().ToString() << "\n";
     return 1;
   }
+  GenericSolverOptions solver_options;
+  solver_options.num_threads = ParseThreads(args);
   auto result = ComputeCertainAnswers(*setting, *source, *target, *query,
-                                      &symbols);
+                                      &symbols, solver_options);
   if (!result.ok()) {
     std::cerr << result.status().ToString() << "\n";
     return 1;
@@ -379,23 +450,32 @@ int RunExplain(const CliArgs& args) {
   return 1;
 }
 
+int Dispatch(const CliArgs& args) {
+  if (args.command == "check") return RunCheck(args);
+  if (args.command == "chase") return RunChase(args);
+  if (args.command == "solve") return RunSolve(args);
+  if (args.command == "certain") return RunCertain(args);
+  if (args.command == "repairs") return RunRepairs(args);
+  if (args.command == "explain") return RunExplain(args);
+  std::cerr << "unknown command " << args.command << "\n";
+  return 2;
+}
+
 int Main(int argc, char** argv) {
   auto args = ParseArgs(argc, argv);
   if (!args.ok()) {
     std::cerr << args.status().ToString() << "\n"
-              << "usage: pdxcli check|chase|solve|certain --setting FILE "
-                 "[--source FILE] [--target FILE] [--solver auto|ctract|"
-                 "generic] [--query Q] [--minimize]\n";
+              << "usage: pdxcli check|chase|solve|certain|repairs|explain "
+                 "--setting FILE [--source FILE] [--target FILE] "
+                 "[--solver auto|ctract|generic] [--query Q] "
+                 "[--minimize] [--diff] [--threads N] "
+                 "[--metrics-out FILE] [--trace-out FILE]\n";
     return 2;
   }
-  if (args->command == "check") return RunCheck(*args);
-  if (args->command == "chase") return RunChase(*args);
-  if (args->command == "solve") return RunSolve(*args);
-  if (args->command == "certain") return RunCertain(*args);
-  if (args->command == "repairs") return RunRepairs(*args);
-  if (args->command == "explain") return RunExplain(*args);
-  std::cerr << "unknown command " << args->command << "\n";
-  return 2;
+  ObsExports exports(*args);
+  int rc = Dispatch(*args);
+  int export_rc = exports.Write();
+  return rc != 0 ? rc : export_rc;
 }
 
 }  // namespace
