@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "chase/chase.h"
+#include "hom/instance_hom.h"
 #include "logic/parser.h"
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
@@ -29,7 +30,7 @@
 namespace pdx {
 namespace {
 
-constexpr int kRepeats = 3;
+constexpr int kRepeats = 5;
 
 struct StrategyStats {
   double wall_ms = 0;
@@ -37,6 +38,11 @@ struct StrategyStats {
   int64_t result_facts = 0;
   double facts_per_sec = 0;
   uint64_t fingerprint = 0;
+  // Fingerprint after canonical null renumbering (computed outside the
+  // timed region): the cross-check that speculative runs — whose null
+  // identities are schedule-dependent — produced the same instance up to
+  // a bijective null renaming.
+  uint64_t canonical_fingerprint = 0;
 };
 
 struct WorkloadResult {
@@ -46,10 +52,11 @@ struct WorkloadResult {
   StrategyStats delta;
 };
 
-// One num_threads point of the thread-scaling dimension (delta strategy
-// only; the naive engine has no parallel path).
+// One (num_threads, speculative) point of the thread-scaling dimension
+// (delta strategy only; the naive engine has no parallel path).
 struct ThreadPoint {
   int threads = 0;
+  bool speculative = false;
   double wall_ms = 0;
   int64_t steps = 0;
   double speedup_vs_1t = 0;
@@ -59,6 +66,10 @@ struct ThreadScalingResult {
   std::string name;
   int64_t input_facts = 0;
   std::vector<ThreadPoint> points;
+  // Barrier wall time over speculative wall time at 8 threads (> 1 means
+  // speculative execution is faster there) — the headline ratio for the
+  // speculative axis.
+  double speculative_vs_barrier_8t = 0;
 };
 
 struct BenchContext {
@@ -122,13 +133,14 @@ struct BenchContext {
   }
 };
 
-StrategyStats RunOne(BenchContext& ctx, const Instance& start,
+StrategyStats RunOne(SymbolTable* symbols, const Instance& start,
                      const std::vector<Tgd>& tgds,
                      const std::vector<Egd>& egds, ChaseStrategy strategy,
-                     int num_threads = 1) {
+                     int num_threads = 1, bool speculative = false) {
   ChaseOptions options;
   options.strategy = strategy;
   options.num_threads = num_threads;
+  options.speculative = speculative;
   options.max_steps = 10'000'000;
   StrategyStats stats;
   // The metrics registry is the authoritative step count: the JSON below
@@ -141,7 +153,7 @@ StrategyStats RunOne(BenchContext& ctx, const Instance& start,
   for (int rep = 0; rep < kRepeats; ++rep) {
     int64_t steps_before = chase_steps.Value();
     auto t0 = std::chrono::steady_clock::now();
-    ChaseResult result = Chase(start, tgds, egds, &ctx.symbols, options);
+    ChaseResult result = Chase(start, tgds, egds, symbols, options);
     auto t1 = std::chrono::steady_clock::now();
     PDX_CHECK(result.outcome == ChaseOutcome::kSuccess);
     double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
@@ -158,7 +170,11 @@ StrategyStats RunOne(BenchContext& ctx, const Instance& start,
     // engines are compared on the same (materialized-equivalent) view.
     stats.result_facts =
         static_cast<int64_t>(result.instance.ResolvedFactCount());
-    if (rep == 0) stats.fingerprint = result.instance.CanonicalFingerprint();
+    if (rep == 0) {
+      stats.fingerprint = result.instance.CanonicalFingerprint();
+      stats.canonical_fingerprint =
+          CanonicalizeNulls(result.instance).CanonicalFingerprint();
+    }
   }
   // Throughput in derived facts (result minus input) per second.
   double derived =
@@ -177,8 +193,9 @@ WorkloadResult RunWorkload(BenchContext& ctx, const std::string& name,
   result.name = name;
   result.input_facts = static_cast<int64_t>(start.fact_count());
   result.naive =
-      RunOne(ctx, start, tgds, egds, ChaseStrategy::kRestrictedNaive);
-  result.delta = RunOne(ctx, start, tgds, egds, ChaseStrategy::kRestricted);
+      RunOne(&ctx.symbols, start, tgds, egds, ChaseStrategy::kRestrictedNaive);
+  result.delta =
+      RunOne(&ctx.symbols, start, tgds, egds, ChaseStrategy::kRestricted);
   PDX_CHECK(result.naive.fingerprint == result.delta.fingerprint)
       << "strategy disagreement on workload " << name;
   std::fprintf(stderr,
@@ -193,13 +210,16 @@ WorkloadResult RunWorkload(BenchContext& ctx, const std::string& name,
 }
 
 // The thread-scaling dimension: the same workload, delta strategy, at
-// 1/2/4/8 worker threads. Every point is cross-checked against the
-// 1-thread run for identical fingerprints and step counts — the parallel
-// path must change wall time only. On merge-heavy workloads the pooled
-// path also switches the egd fixpoint from find-one-then-rescan to
-// batched collect-then-apply, so multi-thread points can beat 1-thread
-// even on a single core.
-ThreadScalingResult RunThreadScaling(BenchContext& ctx,
+// 1/2/4/8 worker threads, barrier then speculative. Every barrier point
+// is cross-checked against the 1-thread run for identical fingerprints
+// and step counts — the parallel path must change wall time only. Every
+// speculative point must match the barrier base's step count and its
+// canonicalized fingerprint (speculative null identities are
+// schedule-dependent, so only renaming-invariant equality is meaningful).
+// On merge-heavy workloads the pooled path also switches the egd fixpoint
+// from find-one-then-rescan to batched collect-then-apply, so
+// multi-thread points can beat 1-thread even on a single core.
+ThreadScalingResult RunThreadScaling(SymbolTable* symbols,
                                      const std::string& name,
                                      const Instance& start,
                                      const std::vector<Tgd>& tgds,
@@ -208,26 +228,44 @@ ThreadScalingResult RunThreadScaling(BenchContext& ctx,
   result.name = name;
   result.input_facts = static_cast<int64_t>(start.fact_count());
   StrategyStats base;
-  for (int threads : {1, 2, 4, 8}) {
-    StrategyStats stats =
-        RunOne(ctx, start, tgds, egds, ChaseStrategy::kRestricted, threads);
-    if (threads == 1) {
-      base = stats;
-    } else {
-      PDX_CHECK(stats.fingerprint == base.fingerprint)
-          << "thread count changed the result on " << name;
-      PDX_CHECK(stats.steps == base.steps)
-          << "thread count changed the step count on " << name;
+  double barrier_8t_ms = 0, spec_8t_ms = 0;
+  for (bool speculative : {false, true}) {
+    for (int threads : {1, 2, 4, 8}) {
+      StrategyStats stats =
+          RunOne(symbols, start, tgds, egds, ChaseStrategy::kRestricted,
+                 threads, speculative);
+      if (!speculative && threads == 1) {
+        base = stats;
+      } else if (!speculative) {
+        PDX_CHECK(stats.fingerprint == base.fingerprint)
+            << "thread count changed the result on " << name;
+        PDX_CHECK(stats.steps == base.steps)
+            << "thread count changed the step count on " << name;
+      } else {
+        PDX_CHECK(stats.canonical_fingerprint == base.canonical_fingerprint)
+            << "speculative run not isomorphic to barrier base on " << name;
+        PDX_CHECK(stats.steps == base.steps)
+            << "speculative run changed the step count on " << name;
+      }
+      if (threads == 8) (speculative ? spec_8t_ms : barrier_8t_ms) = stats.wall_ms;
+      ThreadPoint point;
+      point.threads = threads;
+      point.speculative = speculative;
+      point.wall_ms = stats.wall_ms;
+      point.steps = stats.steps;
+      point.speedup_vs_1t =
+          stats.wall_ms > 0 ? base.wall_ms / stats.wall_ms : 0;
+      result.points.push_back(point);
+      std::fprintf(stderr, "%-24s %d threads %-11s %9.2f ms (speedup %5.2fx)\n",
+                   name.c_str(), threads,
+                   speculative ? "speculative" : "barrier", stats.wall_ms,
+                   point.speedup_vs_1t);
     }
-    ThreadPoint point;
-    point.threads = threads;
-    point.wall_ms = stats.wall_ms;
-    point.steps = stats.steps;
-    point.speedup_vs_1t = stats.wall_ms > 0 ? base.wall_ms / stats.wall_ms : 0;
-    result.points.push_back(point);
-    std::fprintf(stderr, "%-24s %d threads %9.2f ms (speedup %5.2fx)\n",
-                 name.c_str(), threads, stats.wall_ms, point.speedup_vs_1t);
   }
+  result.speculative_vs_barrier_8t =
+      spec_8t_ms > 0 ? barrier_8t_ms / spec_8t_ms : 0;
+  std::fprintf(stderr, "%-24s speculative vs barrier at 8 threads: %5.2fx\n",
+               name.c_str(), result.speculative_vs_barrier_8t);
   return result;
 }
 
@@ -267,12 +305,15 @@ std::string ToJson(const std::vector<WorkloadResult>& results,
     for (const ThreadPoint& p : r.points) {
       w.BeginObject();
       w.Key("threads").Int(p.threads);
+      w.Key("speculative").Bool(p.speculative);
       w.Key("wall_ms").Double(p.wall_ms, 3);
       w.Key("chase_steps").Int(p.steps);
       w.Key("speedup_vs_1t").Double(p.speedup_vs_1t, 2);
       w.EndObject();
     }
     w.EndArray();
+    w.Key("speculative_vs_barrier_8t")
+        .Double(r.speculative_vs_barrier_8t, 2);
     w.EndObject();
   }
   w.EndArray();
@@ -304,18 +345,54 @@ int Main(int argc, char** argv) {
                                   start, ctx.egd_heavy_tgds,
                                   ctx.egd_heavy_egds));
   }
-  // Thread scaling on the two headline workloads.
+  // Thread scaling on the two headline workloads, plus a wide
+  // disjoint-dependency workload where consecutive tgds touch disjoint
+  // relations, so the speculative engine's cross-dependency pipelining
+  // actually overlaps collect with apply (on the two headline workloads
+  // the dependencies share relations and pipelining never engages).
   std::vector<ThreadScalingResult> scaling;
   {
     Instance start = ctx.RandomEdges(512, 2, 17);
-    scaling.push_back(RunThreadScaling(ctx, "pipeline_n512", start,
+    scaling.push_back(RunThreadScaling(&ctx.symbols, "pipeline_n512", start,
                                        ctx.pipeline_tgds, {}));
   }
   {
     Instance start = ctx.RandomEdges(256, 4, 29);
-    scaling.push_back(RunThreadScaling(ctx, "egd_heavy_n256", start,
+    scaling.push_back(RunThreadScaling(&ctx.symbols, "egd_heavy_n256", start,
                                        ctx.egd_heavy_tgds,
                                        ctx.egd_heavy_egds));
+  }
+  {
+    // Heads keyed on (x,y): nearly every collected trigger fires, so the
+    // apply phase is insert-heavy — the case speculative instantiation
+    // (workers pre-build the head tuples) and pipelining (the next
+    // dependency's collect runs during this one's inserts) target. A
+    // head keyed on x alone would fire once per node and collect ~16
+    // triggers per fire, wasting the speculative instantiation.
+    Schema wide;
+    SymbolTable wide_symbols;
+    std::string rules;
+    for (int i = 0; i < 4; ++i) {
+      std::string a = "A" + std::to_string(i), b = "B" + std::to_string(i);
+      PDX_CHECK(wide.AddRelation(a, 2).ok());
+      PDX_CHECK(wide.AddRelation(b, 3).ok());
+      rules += a + "(x,z) & " + a + "(z,y) -> exists w: " + b + "(x,y,w). ";
+    }
+    auto deps = ParseDependencies(rules, wide, &wide_symbols);
+    PDX_CHECK(deps.ok());
+    Rng rng(37);
+    Instance start(&wide);
+    for (int group = 0; group < 4; ++group) {
+      for (int i = 0; i < 2048; ++i) {
+        Value u = wide_symbols.InternConstant(
+            "n" + std::to_string(rng.UniformInt(512)));
+        Value v = wide_symbols.InternConstant(
+            "n" + std::to_string(rng.UniformInt(512)));
+        start.AddFact(static_cast<RelationId>(2 * group), {u, v});
+      }
+    }
+    scaling.push_back(RunThreadScaling(&wide_symbols, "disjoint_4x_n512",
+                                       start, deps->tgds, {}));
   }
 
   std::string path = argc > 1 ? argv[1] : "BENCH_chase.json";

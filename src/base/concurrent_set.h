@@ -1,0 +1,91 @@
+#ifndef PDX_BASE_CONCURRENT_SET_H_
+#define PDX_BASE_CONCURRENT_SET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+
+namespace pdx {
+
+// A concurrent set of 64-bit fingerprints, sharded over independently
+// locked stripes so admission can run from many pool workers at once (the
+// oblivious chase's trigger ledger admits in the collect phase). Each
+// operation touches exactly one stripe, chosen by a mixed hash of the
+// fingerprint so sequential ids spread evenly; stripes are cache-line
+// aligned to keep their mutexes from false-sharing. Operations are
+// linearizable per fingerprint: of N racing Insert(fp) calls exactly one
+// returns true.
+//
+// Erase exists for generation-scoped retirement (TriggerLedger::
+// RetireRoots); the chase only calls it from the sequential apply phase,
+// but it is safe concurrently all the same.
+class ConcurrentFingerprintSet {
+ public:
+  ConcurrentFingerprintSet() : stripes_(new Stripe[kStripeCount]) {}
+
+  ConcurrentFingerprintSet(const ConcurrentFingerprintSet&) = delete;
+  ConcurrentFingerprintSet& operator=(const ConcurrentFingerprintSet&) =
+      delete;
+
+  // Inserts fp; true iff it was absent (the caller wins the admission).
+  bool Insert(uint64_t fp) {
+    Stripe& stripe = StripeFor(fp);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    return stripe.set.insert(fp).second;
+  }
+
+  bool Contains(uint64_t fp) const {
+    const Stripe& stripe = StripeFor(fp);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    return stripe.set.count(fp) != 0;
+  }
+
+  // Removes fp; true iff it was present.
+  bool Erase(uint64_t fp) {
+    Stripe& stripe = StripeFor(fp);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    return stripe.set.erase(fp) != 0;
+  }
+
+  // Total element count. Stripes are summed one at a time, so the value
+  // is exact only when no writers are concurrent.
+  size_t size() const {
+    size_t total = 0;
+    for (size_t s = 0; s < kStripeCount; ++s) {
+      std::lock_guard<std::mutex> lock(stripes_[s].mu);
+      total += stripes_[s].set.size();
+    }
+    return total;
+  }
+
+ private:
+  static constexpr size_t kStripeCount = 64;  // power of two
+
+  struct alignas(64) Stripe {
+    mutable std::mutex mu;
+    std::unordered_set<uint64_t> set;
+  };
+
+  static size_t StripeIndex(uint64_t fp) {
+    // splitmix64-style finalizer: trigger fingerprints are already mixed,
+    // but re-mixing makes the stripe choice robust to weak inputs too.
+    uint64_t x = fp;
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    return static_cast<size_t>(x) & (kStripeCount - 1);
+  }
+
+  Stripe& StripeFor(uint64_t fp) { return stripes_[StripeIndex(fp)]; }
+  const Stripe& StripeFor(uint64_t fp) const {
+    return stripes_[StripeIndex(fp)];
+  }
+
+  std::unique_ptr<Stripe[]> stripes_;
+};
+
+}  // namespace pdx
+
+#endif  // PDX_BASE_CONCURRENT_SET_H_

@@ -1,8 +1,10 @@
 #include "chase/chase.h"
 
+#include <memory>
 #include <unordered_set>
 #include <utility>
 
+#include "base/concurrent_set.h"
 #include "base/string_util.h"
 #include "base/thread_pool.h"
 #include "hom/matcher.h"
@@ -13,12 +15,15 @@ namespace pdx {
 
 namespace {
 
-// Chase metrics on the process registry. Everything here is a
-// deterministic function of the chase inputs — identical at every
-// num_threads setting (obs_test pins this): the per-run totals are added
-// once at the Chase() wrapper, the per-match and per-merge counters are
-// incremented on the hot path (match counting runs inside pool workers,
-// exercising the registry's thread-local shards).
+// Chase metrics on the process registry. Everything above the speculative
+// block is a deterministic function of the chase inputs — identical at
+// every num_threads setting (obs_test pins this): the per-run totals are
+// added once at the Chase() wrapper, the per-match and per-merge counters
+// are incremented on the hot path (match counting runs inside pool
+// workers, exercising the registry's thread-local shards). The speculative
+// counters move only under ChaseOptions::speculative and sit outside the
+// invariance contract: how many reserved null ids go unused depends on
+// partitioning and block-allocation accidents, not on the chase result.
 struct ChaseMetrics {
   obs::Counter runs;
   obs::Counter steps;
@@ -28,6 +33,10 @@ struct ChaseMetrics {
   obs::Counter egd_merges;
   obs::Counter compactions;
   obs::Histogram batch_triggers;  // violated triggers per dependency batch
+  // Speculative-mode extras (see RunTgdPhaseSpeculative).
+  obs::Counter spec_triggers;       // head instantiations done in workers
+  obs::Counter spec_nulls_retired;  // reserved null ids never inserted
+  obs::Counter pipeline_overlaps;   // collections overlapped with an apply
 
   static ChaseMetrics& Get() {
     static ChaseMetrics* m = [] {
@@ -42,6 +51,12 @@ struct ChaseMetrics {
       metrics->compactions = reg.GetCounter("pdx_chase_compactions_total");
       metrics->batch_triggers = reg.GetHistogram(
           "pdx_chase_batch_triggers", {1, 4, 16, 64, 256, 1024, 4096});
+      metrics->spec_triggers =
+          reg.GetCounter("pdx_chase_speculative_triggers_total");
+      metrics->spec_nulls_retired =
+          reg.GetCounter("pdx_chase_speculative_nulls_retired_total");
+      metrics->pipeline_overlaps =
+          reg.GetCounter("pdx_chase_pipeline_overlaps_total");
       return metrics;
     }();
     return *m;
@@ -211,29 +226,45 @@ uint64_t TriggerFingerprint(size_t tgd_index, const Tgd& tgd,
 // the full firing history. (Triggers over the merged values refire with
 // their post-merge binding, exactly as they did when Substitute rewrote
 // the values out of existence.)
+//
+// The fingerprint set is a sharded concurrent set, so admission can run
+// from pool workers during a speculative collect phase (Admit); the
+// by-root generation index stays sequential — it is only written from the
+// apply loop (RecordRoots / Insert) and read between rounds (RetireRoots).
 class TriggerLedger {
  public:
-  // Returns true if the trigger is new and must fire.
-  bool Insert(uint64_t fp, const Tgd& tgd, const Binding& binding) {
-    if (!fired_.insert(fp).second) return false;
+  // Claims the fingerprint; true iff this caller won it (the trigger is
+  // new and must fire exactly once). Safe from any thread.
+  bool Admit(uint64_t fp) { return fired_.Insert(fp); }
+
+  // Indexes an admitted fingerprint under the null roots of its binding so
+  // RetireRoots can drop the whole generation. Sequential (apply phase).
+  void RecordRoots(uint64_t fp, const Tgd& tgd, const Binding& binding) {
     for (VariableId v = 0; v < tgd.var_count; ++v) {
       if (binding.bound[v] && binding.values[v].is_null()) {
         by_root_[binding.values[v].packed()].push_back(fp);
       }
     }
+  }
+
+  // Sequential admission + indexing (the barrier-mode fire loop). Returns
+  // true if the trigger is new and must fire.
+  bool Insert(uint64_t fp, const Tgd& tgd, const Binding& binding) {
+    if (!Admit(fp)) return false;
+    RecordRoots(fp, tgd, binding);
     return true;
   }
 
-  // True if the trigger already fired. A pure read: safe for concurrent
-  // worker-side filtering while no Insert runs (the collect phase).
-  bool Contains(uint64_t fp) const { return fired_.count(fp) > 0; }
+  // True if the trigger already fired. Safe for concurrent worker-side
+  // filtering during the collect phase.
+  bool Contains(uint64_t fp) const { return fired_.Contains(fp); }
 
   // Drops every fingerprint whose binding referenced a retired root.
   void RetireRoots(const std::vector<Value>& retired) {
     for (const Value& v : retired) {
       auto it = by_root_.find(v.packed());
       if (it == by_root_.end()) continue;
-      for (uint64_t fp : it->second) fired_.erase(fp);
+      for (uint64_t fp : it->second) fired_.Erase(fp);
       by_root_.erase(it);
     }
   }
@@ -241,9 +272,361 @@ class TriggerLedger {
   size_t size() const { return fired_.size(); }
 
  private:
-  std::unordered_set<uint64_t> fired_;
+  ConcurrentFingerprintSet fired_;
   std::unordered_map<uint64_t, std::vector<uint64_t>> by_root_;
 };
+
+// --- Speculative parallel execution (ChaseOptions::speculative) --------
+//
+// In barrier mode, workers only *collect* triggers and the sequential
+// apply phase invents nulls and inserts, so results are bit-identical at
+// every thread count. Speculative mode moves head instantiation (and, for
+// the oblivious engine, ledger admission) into the workers and overlaps
+// collection of the next compatible dependency with the current apply
+// phase. The per-round trigger sets, apply order, outcome, steps,
+// nulls_created and every resolved-view property are unchanged — but
+// which null *ids* the existential witnesses get depends on which worker
+// instantiated them, so results equal the barrier mode's only up to a
+// bijective null renaming (CanonicalizeNulls in hom/instance_hom.h).
+
+// Relation read/write footprints of a tgd, for cross-dependency
+// pipelining. Collecting a tgd's triggers reads its body relations (the
+// matcher) and its head relations (the restricted violated-trigger filter
+// probes heads via HasMatch; kept in the read set for both engines);
+// applying a tgd writes its head relations. Collection of B may safely
+// overlap application of A iff A's writes are disjoint from B's reads:
+// the copy-on-write stores never move on append — only the written
+// relation's store changes — so every relation outside A's write set is
+// stable under concurrent readers, and B's trigger set is the same
+// whether it is collected before or after A's facts land.
+struct TgdFootprint {
+  std::vector<bool> reads;
+  std::vector<bool> writes;
+};
+
+std::vector<TgdFootprint> ComputeTgdFootprints(const std::vector<Tgd>& tgds,
+                                               int relation_count) {
+  std::vector<TgdFootprint> out(tgds.size());
+  for (size_t d = 0; d < tgds.size(); ++d) {
+    out[d].reads.assign(relation_count, false);
+    out[d].writes.assign(relation_count, false);
+    for (const Atom& atom : tgds[d].body) out[d].reads[atom.relation] = true;
+    for (const Atom& atom : tgds[d].head) {
+      out[d].reads[atom.relation] = true;
+      out[d].writes[atom.relation] = true;
+    }
+  }
+  return out;
+}
+
+bool PipelineCompatible(const TgdFootprint& applying,
+                        const TgdFootprint& collecting) {
+  for (size_t r = 0; r < applying.writes.size(); ++r) {
+    if (applying.writes[r] && collecting.reads[r]) return false;
+  }
+  return true;
+}
+
+// Speculatively collected triggers live in flat, partition-local
+// buffers rather than per-trigger objects: `rows` holds the binding
+// values (var_count per trigger, existential slots already filled with
+// nulls from the worker's private range) and `heads` the fully
+// instantiated head-atom values (head_width per trigger, atoms
+// concatenated in tgd.head order). Flat storage is what makes
+// speculation pay off — the worker's per-trigger cost is appending
+// values (no per-trigger heap objects, so the allocator never sees
+// cross-thread traffic), and the sequential apply phase becomes a
+// streaming scan in prefetch order instead of a pointer chase over
+// worker-allocated triggers.
+struct SpecBuffer {
+  std::vector<Value> rows;
+  std::vector<Value> heads;
+  std::vector<uint64_t> fps;  // admitted fingerprints (oblivious only)
+  size_t count = 0;
+};
+
+// Per-dependency constants of the speculative layout. Parser validation
+// guarantees existential variables never occur in the body, so every
+// complete body match binds exactly the non-existential variables: the
+// bound mask is the same for all of a dependency's triggers and the
+// number of fresh nulls per trigger is a constant. The apply phase
+// reuses one scratch Binding (mask preset to the body mask) and only
+// refreshes its values from the flat rows; the existential slots stay
+// masked off, which is what the restricted HasMatch re-check and the
+// oblivious root index both require.
+struct SpecLayout {
+  size_t head_width = 0;      // sum of head-atom arities
+  int fresh_per_trigger = 0;  // existential variables per trigger
+  std::vector<VariableId> existentials;
+  // Positions within a trigger's flat head row holding an existential
+  // variable, with the variable: the slots patched once the partition's
+  // exact null range is reserved.
+  std::vector<std::pair<size_t, VariableId>> head_null_slots;
+  Binding scratch;
+};
+
+SpecLayout MakeSpecLayout(const Tgd& tgd) {
+  SpecLayout out;
+  size_t pos = 0;
+  for (const Atom& atom : tgd.head) {
+    for (const Term& t : atom.terms) {
+      if (!t.is_constant() && tgd.existential[t.var()]) {
+        out.head_null_slots.emplace_back(pos, t.var());
+      }
+      ++pos;
+    }
+  }
+  out.head_width = pos;
+  out.scratch = Binding::Empty(tgd.var_count);
+  for (VariableId v = 0; v < tgd.var_count; ++v) {
+    if (tgd.existential[v]) {
+      out.existentials.push_back(v);
+    } else {
+      out.scratch.bound[v] = true;
+    }
+  }
+  out.fresh_per_trigger = static_cast<int>(out.existentials.size());
+  return out;
+}
+
+// Speculative collection of one dependency's pending triggers: the delta
+// partitions fan across the pool and each partition task instantiates the
+// heads of the matches it admits, drawing nulls from one exact-size
+// partition-local range. With a null ledger the admission filter is the restricted
+// engine's HasMatch probe; otherwise it is concurrent ledger admission
+// (exactly one partition wins each fingerprint, which also collapses the
+// duplicate matches the extras overlap can produce). The job either Run()s
+// with the caller participating, or Start()s on the workers alone to
+// overlap with the previous dependency's apply phase; Join() waits and
+// exposes the buffers in partition order — the sequential enumeration
+// order, so the apply order is schedule-invariant.
+class SpecCollectJob {
+ public:
+  SpecCollectJob(const Tgd* tgd, size_t dep_index, const SpecLayout* layout,
+                 const Instance* instance, const DeltaView* delta,
+                 SymbolTable* symbols, TriggerLedger* ledger,
+                 ThreadPool* pool, uint64_t parent_span, bool pipelined)
+      : tgd_(tgd),
+        dep_(dep_index),
+        layout_(layout),
+        instance_(instance),
+        delta_(delta),
+        symbols_(symbols),
+        ledger_(ledger),
+        pool_(pool),
+        parent_span_(parent_span),
+        pipelined_(pipelined) {
+    parts_ = PartitionDeltaMatches(tgd->body, *delta,
+                                   static_cast<size_t>(pool->size()) * 4);
+    buffers_.resize(parts_.size());
+  }
+
+  // Collects synchronously, the caller participating.
+  void Run() {
+    pool_->ParallelFor(parts_.size(),
+                       [this](size_t p) { RunPartition(p); });
+  }
+
+  // Starts collection on the pool's worker threads and returns; the
+  // caller may mutate any relation outside this tgd's read footprint
+  // until Join().
+  void Start() {
+    pool_->ParallelForAsync(parts_.size(),
+                            [this](size_t p) { RunPartition(p); });
+    started_async_ = true;
+  }
+
+  // Joins the workers (if Start()ed); the buffers stay owned by the job,
+  // so the job must outlive the apply scan that reads them.
+  const std::vector<SpecBuffer>& Join() {
+    if (started_async_) {
+      pool_->Wait();
+      started_async_ = false;
+    }
+    return buffers_;
+  }
+
+ private:
+  void RunPartition(size_t p) {
+    obs::Span part_span(obs::Tracer::Global(), "chase.collect_part",
+                        parent_span_);
+    part_span.AttrInt("partition", static_cast<int64_t>(p))
+        .AttrBool("speculative", true)
+        .AttrBool("pipelined", pipelined_);
+    ChaseMetrics& metrics = ChaseMetrics::Get();
+    SpecBuffer& buffer = buffers_[p];
+    const SpecLayout& layout = *layout_;
+    EnumerateMatchesDeltaPartition(
+        tgd_->body, tgd_->var_count, *instance_, *delta_, parts_[p],
+        Binding::Empty(tgd_->var_count), [&](const Binding& m) {
+          metrics.tgd_matches.Inc();
+          if (ledger_ != nullptr) {
+            uint64_t fp = TriggerFingerprint(dep_, *tgd_, m);
+            if (!ledger_->Admit(fp)) return true;
+            buffer.fps.push_back(fp);
+          } else if (HasMatch(tgd_->head, tgd_->var_count, *instance_, m)) {
+            return true;
+          }
+          const size_t row = buffer.rows.size();
+          buffer.rows.insert(buffer.rows.end(), m.values.begin(),
+                             m.values.end());
+          for (VariableId v : layout.existentials) PDX_DCHECK(!m.bound[v]);
+          // Existential row/head slots hold junk until the patch pass
+          // below fills them from the partition's exact null range.
+          for (const Atom& atom : tgd_->head) {
+            for (const Term& t : atom.terms) {
+              buffer.heads.push_back(t.is_constant()
+                                         ? t.constant()
+                                         : buffer.rows[row + t.var()]);
+            }
+          }
+          ++buffer.count;
+          return true;
+        });
+    // Reserve the partition's nulls in one exact fetch_add only now that
+    // the admitted count is known: block-sized draws would retire their
+    // unused tails, and the resulting holes in the null id space inflate
+    // every id-indexed structure downstream (the union-find resolver
+    // arrays most of all — sparse ids measurably slow the egd fixpoint).
+    const size_t fresh = layout.existentials.size();
+    if (buffer.count > 0 && fresh > 0) {
+      const uint32_t base = symbols_->ReserveNullRange(
+          static_cast<uint32_t>(buffer.count * fresh));
+      const size_t var_count = static_cast<size_t>(tgd_->var_count);
+      for (size_t t = 0; t < buffer.count; ++t) {
+        Value* row = buffer.rows.data() + t * var_count;
+        for (size_t e = 0; e < fresh; ++e) {
+          row[layout.existentials[e]] =
+              Value::Null(base + static_cast<uint32_t>(t * fresh + e));
+        }
+        Value* head = buffer.heads.data() + t * layout.head_width;
+        for (const auto& [pos, v] : layout.head_null_slots) {
+          head[pos] = row[v];
+        }
+      }
+    }
+    metrics.spec_triggers.Inc(static_cast<int64_t>(buffer.count));
+    part_span.AttrInt("collected", static_cast<int64_t>(buffer.count));
+  }
+
+  const Tgd* tgd_;
+  size_t dep_;
+  const SpecLayout* layout_;
+  const Instance* instance_;
+  const DeltaView* delta_;
+  SymbolTable* symbols_;
+  TriggerLedger* ledger_;  // nullptr => restricted HasMatch filter
+  ThreadPool* pool_;
+  uint64_t parent_span_;
+  bool pipelined_;
+  bool started_async_ = false;
+  std::vector<DeltaPartition> parts_;
+  std::vector<SpecBuffer> buffers_;
+};
+
+// One round's tgd phase in speculative mode, shared by the restricted
+// (ledger == nullptr) and oblivious engines: for each dependency touching
+// the delta, collect fully instantiated triggers (see SpecCollectJob),
+// then apply them sequentially in enumeration order — and while applying,
+// let the workers already collect the next active dependency whenever the
+// footprints permit (PipelineCompatible), instead of idling at a per-tgd
+// barrier. Returns false when the step budget was exhausted (`result` is
+// finalized).
+bool RunTgdPhaseSpeculative(const std::vector<Tgd>& tgds,
+                            const std::vector<TgdFootprint>& footprints,
+                            Instance* instance, const DeltaView& delta,
+                            SymbolTable* symbols, TriggerLedger* ledger,
+                            ThreadPool* pool, const ChaseOptions& options,
+                            ChaseResult* result) {
+  ChaseMetrics& metrics = ChaseMetrics::Get();
+  std::vector<size_t> active;
+  for (size_t d = 0; d < tgds.size(); ++d) {
+    if (TouchesDelta(tgds[d].body, delta)) active.push_back(d);
+  }
+  std::vector<SpecLayout> layouts;
+  layouts.reserve(active.size());
+  for (size_t d : active) layouts.push_back(MakeSpecLayout(tgds[d]));
+  std::unique_ptr<SpecCollectJob> ahead;
+  bool exhausted = false;
+  for (size_t i = 0; i < active.size() && !exhausted; ++i) {
+    size_t d = active[i];
+    const Tgd& tgd = tgds[d];
+    const SpecLayout& layout = layouts[i];
+    obs::Span tgd_span(obs::Tracer::Global(), "chase.tgd");
+    tgd_span.AttrInt("dep", static_cast<int64_t>(d));
+    // The job owns the flat trigger buffers the apply scan below reads,
+    // so it stays alive for the whole iteration.
+    std::unique_ptr<SpecCollectJob> current;
+    if (ahead != nullptr) {
+      // Collected while the previous dependency was applying.
+      current = std::move(ahead);
+    } else {
+      current = std::make_unique<SpecCollectJob>(
+          &tgd, d, &layout, instance, &delta, symbols, ledger, pool,
+          tgd_span.id(), /*pipelined=*/false);
+      current->Run();
+    }
+    const std::vector<SpecBuffer>& pending = current->Join();
+    size_t total = 0;
+    for (const SpecBuffer& buffer : pending) total += buffer.count;
+    metrics.batch_triggers.Observe(static_cast<int64_t>(total));
+    // Overlap the next active dependency's collection with this apply
+    // phase when its read footprint is disjoint from our writes.
+    if (i + 1 < active.size() &&
+        PipelineCompatible(footprints[d], footprints[active[i + 1]])) {
+      ahead = std::make_unique<SpecCollectJob>(
+          &tgds[active[i + 1]], active[i + 1], &layouts[i + 1], instance,
+          &delta, symbols, ledger, pool, tgd_span.id(), /*pipelined=*/true);
+      ahead->Start();
+      metrics.pipeline_overlaps.Inc();
+    }
+    Binding scratch = layout.scratch;
+    const size_t var_count = static_cast<size_t>(tgd.var_count);
+    int64_t applied = 0;
+    for (const SpecBuffer& buffer : pending) {
+      const Value* row = buffer.rows.data();
+      const Value* head = buffer.heads.data();
+      for (size_t t = 0; t < buffer.count;
+           ++t, row += var_count, head += layout.head_width) {
+        std::copy(row, row + var_count, scratch.values.begin());
+        if (ledger == nullptr) {
+          // Re-check: an earlier application may have satisfied it. The
+          // skipped trigger's speculative nulls are retired unused.
+          if (HasMatch(tgd.head, tgd.var_count, *instance, scratch)) {
+            metrics.spec_nulls_retired.Inc(layout.fresh_per_trigger);
+            continue;
+          }
+        } else {
+          // Admission already happened in the worker; only the
+          // generation index is still owed.
+          ledger->RecordRoots(buffer.fps[t], tgd, scratch);
+        }
+        const Value* cursor = head;
+        for (const Atom& atom : tgd.head) {
+          instance->AddFact(atom.relation,
+                            Tuple(cursor, cursor + atom.terms.size()));
+          cursor += atom.terms.size();
+        }
+        result->nulls_created += layout.fresh_per_trigger;
+        ++result->steps;
+        ++applied;
+        if (result->steps >= options.max_steps) {
+          result->outcome = ChaseOutcome::kBudgetExhausted;
+          exhausted = true;
+          break;
+        }
+      }
+      if (exhausted) break;
+    }
+    tgd_span.AttrInt("collected", static_cast<int64_t>(total))
+        .AttrInt("applied", applied);
+  }
+  // A collect-ahead may still be in flight when the budget cuts the apply
+  // loop short; its results are dropped, but the workers must check out
+  // before the round state goes away.
+  if (ahead != nullptr) ahead->Join();
+  return !exhausted;
+}
 
 // Applies one egd substitution for the violated trigger (a, b), or fails
 // on a constant/constant clash. Used by the Substitute-based naive
@@ -364,7 +747,10 @@ bool AbsorbEgdOutcome(const EgdFixpointOutcome& egd_out, ChaseResult* result) {
 // partitions; the apply phase stays sequential in enumeration order, and
 // later tgds still see earlier tgds' additions, so the per-round state
 // sequence — and with it every fresh-null assignment — is bit-identical
-// to the single-threaded run.
+// to the single-threaded run. Under ChaseOptions::speculative the workers
+// additionally instantiate heads and pipeline across dependencies
+// (RunTgdPhaseSpeculative); the result is then equal only up to a
+// bijective null renaming.
 ChaseResult ChaseRestrictedDelta(const Instance& start,
                                  const std::vector<Tgd>& tgds,
                                  const std::vector<Egd>& egds,
@@ -373,6 +759,12 @@ ChaseResult ChaseRestrictedDelta(const Instance& start,
                                  ThreadPool* pool) {
   ChaseResult result(start);
   Instance& instance = result.instance;
+  const bool speculative = options.speculative && pool != nullptr;
+  std::vector<TgdFootprint> footprints;
+  if (speculative) {
+    footprints =
+        ComputeTgdFootprints(tgds, instance.schema().relation_count());
+  }
   // Everything is "new" before the first round, so round one degenerates
   // to the full scan the naive chase would do — exactly once.
   InstanceWatermark mark = InstanceWatermark::Origin(instance);
@@ -410,39 +802,48 @@ ChaseResult ChaseRestrictedDelta(const Instance& start,
     // Facts present now are covered once this round's triggers have been
     // evaluated; facts the round itself adds become the next delta.
     InstanceWatermark frontier = instance.TakeWatermark();
-    for (size_t d = 0; d < tgds.size(); ++d) {
-      const Tgd& tgd = tgds[d];
-      if (!TouchesDelta(tgd.body, delta)) continue;
-      obs::Span tgd_span(obs::Tracer::Global(), "chase.tgd");
-      tgd_span.AttrInt("dep", static_cast<int64_t>(d));
-      // Collect the violated triggers for this delta, then apply them.
-      // (Applying while enumerating would mutate the instance under the
-      // matcher.)
-      std::vector<Binding> pending = CollectDeltaMatches(
-          tgd.body, tgd.var_count, instance, delta, pool,
-          [&](const Binding& body_match) {
-            metrics.tgd_matches.Inc();
-            return !HasMatch(tgd.head, tgd.var_count, instance, body_match);
-          },
-          tgd_span.id());
-      metrics.batch_triggers.Observe(static_cast<int64_t>(pending.size()));
-      int64_t applied = 0;
-      for (const Binding& trigger : pending) {
-        // Re-check: an earlier application may have satisfied it.
-        if (HasMatch(tgd.head, tgd.var_count, instance, trigger)) {
-          continue;
-        }
-        result.nulls_created += ApplyTgdStep(tgd, trigger, &instance,
-                                             symbols);
-        ++result.steps;
-        ++applied;
-        if (result.steps >= options.max_steps) {
-          result.outcome = ChaseOutcome::kBudgetExhausted;
-          return result;
-        }
+    if (speculative) {
+      if (!RunTgdPhaseSpeculative(tgds, footprints, &instance, delta,
+                                  symbols, /*ledger=*/nullptr, pool, options,
+                                  &result)) {
+        return result;
       }
-      tgd_span.AttrInt("collected", static_cast<int64_t>(pending.size()))
-          .AttrInt("applied", applied);
+    } else {
+      for (size_t d = 0; d < tgds.size(); ++d) {
+        const Tgd& tgd = tgds[d];
+        if (!TouchesDelta(tgd.body, delta)) continue;
+        obs::Span tgd_span(obs::Tracer::Global(), "chase.tgd");
+        tgd_span.AttrInt("dep", static_cast<int64_t>(d));
+        // Collect the violated triggers for this delta, then apply them.
+        // (Applying while enumerating would mutate the instance under the
+        // matcher.)
+        std::vector<Binding> pending = CollectDeltaMatches(
+            tgd.body, tgd.var_count, instance, delta, pool,
+            [&](const Binding& body_match) {
+              metrics.tgd_matches.Inc();
+              return !HasMatch(tgd.head, tgd.var_count, instance,
+                               body_match);
+            },
+            tgd_span.id());
+        metrics.batch_triggers.Observe(static_cast<int64_t>(pending.size()));
+        int64_t applied = 0;
+        for (const Binding& trigger : pending) {
+          // Re-check: an earlier application may have satisfied it.
+          if (HasMatch(tgd.head, tgd.var_count, instance, trigger)) {
+            continue;
+          }
+          result.nulls_created += ApplyTgdStep(tgd, trigger, &instance,
+                                               symbols);
+          ++result.steps;
+          ++applied;
+          if (result.steps >= options.max_steps) {
+            result.outcome = ChaseOutcome::kBudgetExhausted;
+            return result;
+          }
+        }
+        tgd_span.AttrInt("collected", static_cast<int64_t>(pending.size()))
+            .AttrInt("applied", applied);
+      }
     }
     mark = std::move(frontier);
     extras.clear();
@@ -490,6 +891,12 @@ ChaseResult ChaseOblivious(const Instance& start,
   ChaseResult result(start);
   Instance& instance = result.instance;
   TriggerLedger fired;
+  const bool speculative = options.speculative && pool != nullptr;
+  std::vector<TgdFootprint> footprints;
+  if (speculative) {
+    footprints =
+        ComputeTgdFootprints(tgds, instance.schema().relation_count());
+  }
   InstanceWatermark mark = InstanceWatermark::Origin(instance);
   std::vector<std::vector<int>> extras;
   ChaseMetrics& metrics = ChaseMetrics::Get();
@@ -516,35 +923,45 @@ ChaseResult ChaseOblivious(const Instance& start,
       return result;
     }
     InstanceWatermark frontier = instance.TakeWatermark();
-    for (size_t d = 0; d < tgds.size(); ++d) {
-      const Tgd& tgd = tgds[d];
-      if (!TouchesDelta(tgd.body, delta)) continue;
-      obs::Span tgd_span(obs::Tracer::Global(), "chase.tgd");
-      tgd_span.AttrInt("dep", static_cast<int64_t>(d));
-      // Collect unfired triggers first (the instance must not change under
-      // the matcher), then fire them. The ledger is only read during
-      // collection (workers filter against it concurrently); Insert runs
-      // in the sequential fire loop, which also collapses the repeats the
-      // extras overlap can produce.
-      std::vector<Binding> pending = CollectDeltaMatches(
-          tgd.body, tgd.var_count, instance, delta, pool,
-          [&](const Binding& body_match) {
-            metrics.tgd_matches.Inc();
-            return !fired.Contains(TriggerFingerprint(d, tgd, body_match));
-          },
-          tgd_span.id());
-      metrics.batch_triggers.Observe(static_cast<int64_t>(pending.size()));
-      for (const Binding& trigger : pending) {
-        if (!fired.Insert(TriggerFingerprint(d, tgd, trigger), tgd,
-                          trigger)) {
-          continue;
-        }
-        result.nulls_created += ApplyTgdStep(tgd, trigger, &instance,
-                                             symbols);
-        ++result.steps;
-        if (result.steps >= options.max_steps) {
-          result.outcome = ChaseOutcome::kBudgetExhausted;
-          return result;
+    if (speculative) {
+      // Admission happens in the workers (TriggerLedger::Admit through the
+      // concurrent fingerprint set); the apply loop only records roots and
+      // inserts the pre-instantiated heads.
+      if (!RunTgdPhaseSpeculative(tgds, footprints, &instance, delta,
+                                  symbols, &fired, pool, options, &result)) {
+        return result;
+      }
+    } else {
+      for (size_t d = 0; d < tgds.size(); ++d) {
+        const Tgd& tgd = tgds[d];
+        if (!TouchesDelta(tgd.body, delta)) continue;
+        obs::Span tgd_span(obs::Tracer::Global(), "chase.tgd");
+        tgd_span.AttrInt("dep", static_cast<int64_t>(d));
+        // Collect unfired triggers first (the instance must not change
+        // under the matcher), then fire them. The ledger is only read
+        // during collection (workers filter against it concurrently);
+        // Insert runs in the sequential fire loop, which also collapses
+        // the repeats the extras overlap can produce.
+        std::vector<Binding> pending = CollectDeltaMatches(
+            tgd.body, tgd.var_count, instance, delta, pool,
+            [&](const Binding& body_match) {
+              metrics.tgd_matches.Inc();
+              return !fired.Contains(TriggerFingerprint(d, tgd, body_match));
+            },
+            tgd_span.id());
+        metrics.batch_triggers.Observe(static_cast<int64_t>(pending.size()));
+        for (const Binding& trigger : pending) {
+          if (!fired.Insert(TriggerFingerprint(d, tgd, trigger), tgd,
+                            trigger)) {
+            continue;
+          }
+          result.nulls_created += ApplyTgdStep(tgd, trigger, &instance,
+                                               symbols);
+          ++result.steps;
+          if (result.steps >= options.max_steps) {
+            result.outcome = ChaseOutcome::kBudgetExhausted;
+            return result;
+          }
         }
       }
     }
@@ -715,6 +1132,7 @@ ChaseResult Chase(const Instance& start, const std::vector<Tgd>& tgds,
   obs::Span run_span(obs::Tracer::Global(), "chase");
   run_span.AttrStr("strategy", StrategyName(options.strategy))
       .AttrInt("threads", ResolveThreadCount(options))
+      .AttrBool("speculative", options.speculative)
       .AttrInt("tgds", static_cast<int64_t>(tgds.size()))
       .AttrInt("egds", static_cast<int64_t>(egds.size()));
   ChaseResult result = ChaseDispatch(start, tgds, egds, symbols, options);

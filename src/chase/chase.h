@@ -64,6 +64,23 @@ struct ChaseOptions {
   // (see DESIGN.md "Parallel execution model").
   int num_threads = 0;
 
+  // Speculative parallel execution (kRestricted/kOblivious with
+  // num_threads > 1; ignored otherwise). Workers instantiate tgd heads
+  // during the collect phase, drawing fresh nulls from private
+  // SymbolTable ranges (one exact ReserveNullRange per delta partition),
+  // so the sequential apply phase only
+  // re-checks and inserts; oblivious ledger admission moves into the
+  // workers (ConcurrentFingerprintSet); and collection of the next
+  // compatible dependency overlaps the current apply phase
+  // (cross-dependency pipelining). Outcome, steps, nulls_created, rounds
+  // and every resolved-view property stay invariant, but the *identities*
+  // of fresh nulls become schedule-dependent: results are equal to the
+  // barrier mode's only up to a bijective null renaming (checked via
+  // CanonicalizeNulls; see DESIGN.md "Speculative head instantiation").
+  // Off by default so the default configuration keeps bit-identical
+  // fingerprints across thread counts.
+  bool speculative = false;
+
   // Auto-compaction of merge-heavy raw stores (kRestricted only): when the
   // fraction of raw tuples that are duplicates under resolution exceeds
   // this ratio — and the raw store holds at least compact_min_facts tuples

@@ -156,6 +156,139 @@ std::optional<NullAssignment> FindInstanceHomomorphism(
   return combined;
 }
 
+namespace {
+
+inline uint64_t MixCanon(uint64_t h, uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  return (h ^ x) * 0x100000001b3ull;
+}
+
+size_t CountDistinct(std::vector<uint64_t> values) {
+  std::sort(values.begin(), values.end());
+  return static_cast<size_t>(
+      std::unique(values.begin(), values.end()) - values.begin());
+}
+
+// One color-refinement sweep to fixpoint: each round hashes, for every
+// null, the multiset of (fact signature, position) pairs it occurs in,
+// where a fact's signature covers its relation, its constants, and the
+// current colors of its nulls. The new color also folds in the old one,
+// so refinement only ever splits classes; the sweep stops when the class
+// count stabilizes.
+void RefineColors(const std::vector<Fact>& facts,
+                  const std::unordered_map<uint64_t, size_t>& index,
+                  std::vector<uint64_t>* color) {
+  const size_t n = color->size();
+  size_t classes = CountDistinct(*color);
+  for (size_t round = 0; round <= n; ++round) {
+    std::vector<std::vector<uint64_t>> occurrences(n);
+    for (const Fact& f : facts) {
+      uint64_t sig = MixCanon(0x9e3779b97f4a7c15ull,
+                              static_cast<uint64_t>(f.relation) + 1);
+      for (const Value& v : f.tuple) {
+        sig = MixCanon(sig, v.is_null()
+                                ? (*color)[index.at(v.packed())] * 2 + 1
+                                : v.packed() * 2);
+      }
+      for (size_t pos = 0; pos < f.tuple.size(); ++pos) {
+        const Value& v = f.tuple[pos];
+        if (!v.is_null()) continue;
+        occurrences[index.at(v.packed())].push_back(MixCanon(sig, pos + 1));
+      }
+    }
+    std::vector<uint64_t> next(n);
+    for (size_t i = 0; i < n; ++i) {
+      std::sort(occurrences[i].begin(), occurrences[i].end());
+      uint64_t h = MixCanon((*color)[i], 0x51);
+      for (uint64_t s : occurrences[i]) h = MixCanon(h, s);
+      next[i] = h;
+    }
+    size_t next_classes = CountDistinct(next);
+    *color = std::move(next);
+    if (next_classes == classes) break;
+    classes = next_classes;
+  }
+}
+
+}  // namespace
+
+Instance CanonicalizeNulls(const Instance& instance) {
+  std::vector<Fact> facts = instance.AllFacts();
+  std::unordered_map<uint64_t, size_t> index;  // packed null -> dense slot
+  for (const Fact& f : facts) {
+    for (const Value& v : f.tuple) {
+      if (v.is_null()) index.emplace(v.packed(), index.size());
+    }
+  }
+  const size_t n = index.size();
+  std::vector<uint64_t> color(n, 0x243f6a8885a308d3ull);
+  if (n > 0) {
+    RefineColors(facts, index, &color);
+    // Individualize residual symmetric classes: give one member of the
+    // smallest ambiguous class a fresh color and re-refine. Each round
+    // strictly grows the class count, so this terminates in <= n rounds.
+    // The member is chosen by smallest original id; when the class really
+    // is an automorphism orbit the choice cannot affect the result.
+    while (CountDistinct(color) < n) {
+      std::unordered_map<uint64_t, size_t> multiplicity;
+      for (uint64_t c : color) ++multiplicity[c];
+      uint64_t ambiguous = 0;
+      bool found = false;
+      for (const auto& [c, count] : multiplicity) {
+        if (count > 1 && (!found || c < ambiguous)) {
+          ambiguous = c;
+          found = true;
+        }
+      }
+      uint64_t chosen_key = 0;
+      size_t chosen_slot = 0;
+      bool first = true;
+      for (const auto& [packed, slot] : index) {
+        if (color[slot] != ambiguous) continue;
+        if (first || packed < chosen_key) {
+          chosen_key = packed;
+          chosen_slot = slot;
+          first = false;
+        }
+      }
+      color[chosen_slot] = MixCanon(color[chosen_slot], 0xd1b54a32d192ed03ull);
+      RefineColors(facts, index, &color);
+    }
+  }
+
+  // Total order on facts from the (now all-distinct) colors; renumber
+  // nulls by first occurrence in that order.
+  auto value_key = [&](const Value& v) {
+    return v.is_null()
+               ? std::make_pair(uint64_t{1}, color[index.at(v.packed())])
+               : std::make_pair(uint64_t{0}, v.packed());
+  };
+  std::sort(facts.begin(), facts.end(), [&](const Fact& a, const Fact& b) {
+    if (a.relation != b.relation) return a.relation < b.relation;
+    return std::lexicographical_compare(
+        a.tuple.begin(), a.tuple.end(), b.tuple.begin(), b.tuple.end(),
+        [&](const Value& x, const Value& y) {
+          return value_key(x) < value_key(y);
+        });
+  });
+  std::unordered_map<uint64_t, Value> rename;
+  uint32_t next_id = 0;
+  Instance out(&instance.schema());
+  for (const Fact& f : facts) {
+    Tuple mapped = f.tuple;
+    for (Value& v : mapped) {
+      if (!v.is_null()) continue;
+      auto [it, inserted] = rename.emplace(v.packed(), Value::Null(next_id));
+      if (inserted) ++next_id;
+      v = it->second;
+    }
+    out.AddFact(f.relation, std::move(mapped));
+  }
+  return out;
+}
+
 Instance ApplyAssignment(const Instance& source,
                          const NullAssignment& assignment) {
   Instance image(&source.schema());

@@ -45,6 +45,21 @@ std::optional<NullAssignment> FindInstanceHomomorphism(
 Instance ApplyAssignment(const Instance& source,
                          const NullAssignment& assignment);
 
+// Canonical renumbering of an instance's nulls: returns an instance with
+// the same resolved facts whose nulls are Value::Null(0..k-1), numbered in
+// an order determined by the facts' structure alone (color refinement over
+// the null co-occurrence structure, plus individualization of residual
+// symmetric classes). Instances equal up to a bijective renaming of nulls
+// canonicalize to literally equal fact sets, so comparing
+// CanonicalizeNulls(a).CanonicalFingerprint() against b's is a sound
+// isomorphism check that — unlike the raw CanonicalFingerprint(), whose
+// sort tie-breaks on original null ids — does not depend on which ids a
+// thread schedule happened to hand out. Completeness caveat: members of a
+// color class the refinement cannot split are individualized in original-
+// id order; for truly automorphic nulls (every case the chase produces)
+// the result is id-independent.
+Instance CanonicalizeNulls(const Instance& instance);
+
 }  // namespace pdx
 
 #endif  // PDX_HOM_INSTANCE_HOM_H_

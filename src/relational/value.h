@@ -1,6 +1,7 @@
 #ifndef PDX_RELATIONAL_VALUE_H_
 #define PDX_RELATIONAL_VALUE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -73,8 +74,18 @@ class SymbolTable {
   // Not copyable: ids would silently diverge between copies.
   SymbolTable(const SymbolTable&) = delete;
   SymbolTable& operator=(const SymbolTable&) = delete;
-  SymbolTable(SymbolTable&&) = default;
-  SymbolTable& operator=(SymbolTable&&) = default;
+  SymbolTable(SymbolTable&& other) noexcept
+      : ids_(std::move(other.ids_)),
+        names_(std::move(other.names_)),
+        next_null_id_(
+            other.next_null_id_.load(std::memory_order_relaxed)) {}
+  SymbolTable& operator=(SymbolTable&& other) noexcept {
+    ids_ = std::move(other.ids_);
+    names_ = std::move(other.names_);
+    next_null_id_.store(other.next_null_id_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    return *this;
+  }
 
   // Returns the constant for `name`, interning it on first use.
   Value InternConstant(std::string_view name);
@@ -83,11 +94,26 @@ class SymbolTable {
   // `found` may be null.
   Value LookupConstant(std::string_view name, bool* found) const;
 
-  // Allocates a labeled null never seen before in this universe.
-  Value FreshNull() { return Value::Null(next_null_id_++); }
+  // Allocates a labeled null never seen before in this universe. Safe to
+  // call from any thread: the id counter is a single relaxed fetch_add.
+  Value FreshNull() { return Value::Null(ReserveNullRange(1)); }
 
-  // Number of nulls allocated so far.
-  uint32_t null_count() const { return next_null_id_; }
+  // Reserves `count` consecutive null ids [first, first + count) for the
+  // caller's exclusive use and returns `first`. One lock-free fetch_add,
+  // so pool workers can draw private ranges concurrently (the speculative
+  // collect reserves one exact-size range per delta partition). Reserved
+  // ids that are never turned into facts are simply retired — null ids
+  // must be unique, not dense — but callers should keep retirement rare:
+  // holes inflate every id-indexed structure downstream.
+  uint32_t ReserveNullRange(uint32_t count) {
+    return next_null_id_.fetch_add(count, std::memory_order_relaxed);
+  }
+
+  // Upper bound on null ids handed out so far (including retired ids that
+  // never reached an instance).
+  uint32_t null_count() const {
+    return next_null_id_.load(std::memory_order_relaxed);
+  }
 
   // Renders a value: the constant's spelling, or "_N<k>" for nulls.
   std::string ValueToString(Value v) const;
@@ -97,7 +123,7 @@ class SymbolTable {
  private:
   std::unordered_map<std::string, uint32_t> ids_;
   std::vector<std::string> names_;
-  uint32_t next_null_id_ = 0;
+  std::atomic<uint32_t> next_null_id_{0};
 };
 
 }  // namespace pdx

@@ -11,6 +11,7 @@
 #include "logic/parser.h"
 #include "pde/setting_file.h"
 #include "relational/instance_io.h"
+#include "tests/test_util.h"
 #include "workload/random.h"
 
 namespace pdx {
@@ -155,6 +156,35 @@ TEST_P(FuzzTest, FuzzedChasesResolveSurvivingNullsToUniqueRoots) {
     ASSERT_EQ(naive.outcome, delta.outcome)
         << "engine disagreement, trial " << trial << "\nI:\n"
         << start.ToString(symbols_);
+
+    // A randomized parallel configuration of the same delta chase: thread
+    // count and speculative mode drawn per trial (speculative forced on
+    // under PDX_FORCE_SPECULATIVE, i.e. the TSan pass). The parallel run
+    // must agree with the sequential delta run on outcome; on success,
+    // per-round pending sets are schedule-invariant, so steps must match
+    // exactly and the results must be equal up to null renaming.
+    ChaseOptions parallel_options = delta_options;
+    const int kThreadChoices[] = {1, 2, 8};
+    parallel_options.num_threads = kThreadChoices[rng.UniformInt(3)];
+    parallel_options.speculative =
+        testing_util::ForceSpeculative() || rng.UniformInt(2) == 1;
+    ChaseResult parallel =
+        Chase(start, deps->tgds, deps->egds, &symbols_, parallel_options);
+    ASSERT_EQ(parallel.outcome, delta.outcome)
+        << "parallel disagreement, trial " << trial << " threads "
+        << parallel_options.num_threads << " speculative "
+        << parallel_options.speculative << "\nI:\n" << start.ToString(symbols_);
+    if (delta.outcome == ChaseOutcome::kSuccess) {
+      EXPECT_EQ(parallel.steps, delta.steps) << "trial " << trial;
+      EXPECT_EQ(parallel.nulls_created, delta.nulls_created)
+          << "trial " << trial;
+      EXPECT_EQ(testing_util::CanonicalizedFingerprint(parallel.instance),
+                testing_util::CanonicalizedFingerprint(delta.instance))
+          << "trial " << trial << " threads " << parallel_options.num_threads
+          << " speculative " << parallel_options.speculative << "\nI:\n"
+          << start.ToString(symbols_);
+    }
+
     if (delta.outcome != ChaseOutcome::kSuccess) continue;
 
     // Restricted-chase results are unique up to homomorphic equivalence,

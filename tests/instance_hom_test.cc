@@ -158,5 +158,117 @@ TEST_F(InstanceHomTest, HomomorphismMayMapNullsToNulls) {
   EXPECT_EQ(h->at(n1.packed()), n2);
 }
 
+// --- CanonicalizeNulls -------------------------------------------------
+
+class CanonicalizeNullsTest : public InstanceHomTest {
+ protected:
+  // Applies a bijective null renaming given as packed-id pairs.
+  Instance Rename(const Instance& instance,
+                  const std::vector<std::pair<Value, Value>>& pairs) {
+    NullAssignment renaming;
+    for (const auto& [from, to] : pairs) renaming[from.packed()] = to;
+    return ApplyAssignment(instance, renaming);
+  }
+};
+
+TEST_F(CanonicalizeNullsTest, InvariantUnderNullRenaming) {
+  Instance instance(&schema_);
+  Value n1 = symbols_.FreshNull();
+  Value n2 = symbols_.FreshNull();
+  Value n3 = symbols_.FreshNull();
+  instance.AddFact(0, {a_, n1});
+  instance.AddFact(0, {n1, n2});
+  instance.AddFact(0, {n2, n3});
+  instance.AddFact(0, {n3, b_});
+  // Rename through high, permuted ids: the canonical forms must be
+  // literally equal fact sets.
+  Instance renamed = Rename(instance, {{n1, Value::Null(901)},
+                                       {n2, Value::Null(77)},
+                                       {n3, Value::Null(500)}});
+  Instance canon_a = CanonicalizeNulls(instance);
+  Instance canon_b = CanonicalizeNulls(renamed);
+  EXPECT_EQ(canon_a.CanonicalFingerprint(), canon_b.CanonicalFingerprint());
+  EXPECT_TRUE(canon_a.IsSubsetOf(canon_b));
+  EXPECT_TRUE(canon_b.IsSubsetOf(canon_a));
+}
+
+TEST_F(CanonicalizeNullsTest, IsIdempotentAndPreservesStructure) {
+  Instance instance(&schema_);
+  Value n1 = symbols_.FreshNull();
+  Value n2 = symbols_.FreshNull();
+  instance.AddFact(0, {a_, n1});
+  instance.AddFact(0, {n1, n2});
+  instance.AddFact(0, {n2, n2});
+  Instance canon = CanonicalizeNulls(instance);
+  EXPECT_EQ(canon.ResolvedFactCount(), instance.ResolvedFactCount());
+  // The canonical form is isomorphic to the input: homomorphisms both ways.
+  EXPECT_TRUE(FindInstanceHomomorphism(instance, canon).has_value());
+  EXPECT_TRUE(FindInstanceHomomorphism(canon, instance).has_value());
+  Instance twice = CanonicalizeNulls(canon);
+  EXPECT_EQ(canon.CanonicalFingerprint(), twice.CanonicalFingerprint());
+}
+
+TEST_F(CanonicalizeNullsTest, SeparatesNonIsomorphicInstances) {
+  // Same relation, same fact count, same null count — but a loop is not a
+  // path, and refinement distinguishes the occurrence structures.
+  Instance loop(&schema_);
+  Value n1 = symbols_.FreshNull();
+  loop.AddFact(0, {n1, n1});
+  Instance edge(&schema_);
+  Value n2 = symbols_.FreshNull();
+  Value n3 = symbols_.FreshNull();
+  edge.AddFact(0, {n2, n3});
+  EXPECT_NE(CanonicalizeNulls(loop).CanonicalFingerprint(),
+            CanonicalizeNulls(edge).CanonicalFingerprint());
+}
+
+TEST_F(CanonicalizeNullsTest, SymmetricChainsNeedRefinementNotJustDegree) {
+  // Two disjoint chains a -> n1 -> n2 -> b and a -> n3 -> n4 -> c: every
+  // null has in-degree 1 and out-degree 1, so a single local-signature
+  // round cannot separate {n1, n3} — only propagating the b-vs-c endpoint
+  // color back through the chain does. A renamed-and-swapped copy must
+  // still canonicalize identically.
+  Instance instance(&schema_);
+  Value n1 = symbols_.FreshNull();
+  Value n2 = symbols_.FreshNull();
+  Value n3 = symbols_.FreshNull();
+  Value n4 = symbols_.FreshNull();
+  instance.AddFact(0, {a_, n1});
+  instance.AddFact(0, {n1, n2});
+  instance.AddFact(0, {n2, b_});
+  instance.AddFact(0, {a_, n3});
+  instance.AddFact(0, {n3, n4});
+  instance.AddFact(0, {n4, c_});
+  // Swap the chains' null ids so the id-order tie-break would pick the
+  // other chain first.
+  Instance swapped = Rename(instance, {{n1, Value::Null(800)},
+                                       {n2, Value::Null(801)},
+                                       {n3, Value::Null(100)},
+                                       {n4, Value::Null(101)}});
+  EXPECT_EQ(CanonicalizeNulls(instance).CanonicalFingerprint(),
+            CanonicalizeNulls(swapped).CanonicalFingerprint());
+  // And the two chains are genuinely distinguished: the canonical form is
+  // isomorphic to the original, not a collapse.
+  Instance canon = CanonicalizeNulls(instance);
+  EXPECT_EQ(canon.ResolvedFactCount(), instance.ResolvedFactCount());
+  EXPECT_TRUE(FindInstanceHomomorphism(canon, instance).has_value());
+}
+
+TEST_F(CanonicalizeNullsTest, AutomorphicNullsCanonicalizeStably) {
+  // A fully symmetric pair: E(a, n1), E(a, n2) has an automorphism
+  // swapping n1 and n2. Refinement cannot split them; individualization
+  // must still produce the same canonical form for both labelings.
+  Instance instance(&schema_);
+  Value n1 = symbols_.FreshNull();
+  Value n2 = symbols_.FreshNull();
+  instance.AddFact(0, {a_, n1});
+  instance.AddFact(0, {a_, n2});
+  Instance renamed = Rename(instance, {{n1, Value::Null(600)},
+                                       {n2, Value::Null(42)}});
+  EXPECT_EQ(CanonicalizeNulls(instance).CanonicalFingerprint(),
+            CanonicalizeNulls(renamed).CanonicalFingerprint());
+  EXPECT_EQ(CanonicalizeNulls(instance).ResolvedFactCount(), 2u);
+}
+
 }  // namespace
 }  // namespace pdx

@@ -1,11 +1,14 @@
 #ifndef PDX_TESTS_TEST_UTIL_H_
 #define PDX_TESTS_TEST_UTIL_H_
 
+#include <cstdint>
+#include <cstdlib>
 #include <string>
 #include <string_view>
 
 #include "gtest/gtest.h"
 #include "base/status.h"
+#include "hom/instance_hom.h"
 #include "pde/setting.h"
 #include "relational/instance.h"
 #include "relational/instance_io.h"
@@ -49,6 +52,39 @@ inline PdeSetting MakePathSetting(SymbolTable* symbols) {
                          "E(x,z) & E(z,y) -> H(x,y).",
                          "H(x,y) -> exists z: E(x,z) & E(z,y).", "", symbols),
       "path setting");
+}
+
+// Fingerprint after canonical null renumbering (CanonicalizeNulls in
+// hom/instance_hom.h): invariant under any bijective renaming of nulls,
+// which is exactly the equivalence speculative parallel chase results are
+// unique up to. Raw CanonicalFingerprint() tie-breaks its fact sort on
+// original null ids, so it can differ between isomorphic instances whose
+// nulls sit in symmetric positions — use this for cross-schedule
+// comparisons.
+inline uint64_t CanonicalizedFingerprint(const Instance& instance) {
+  return CanonicalizeNulls(instance).CanonicalFingerprint();
+}
+
+// Asserts `a` and `b` are homomorphically equivalent (maps both ways,
+// constants fixed) — the solution-equivalence of the paper's Lemmas 1–2.
+// Strictly weaker than isomorphism: hom-equivalent instances may have
+// different canonicalized fingerprints (one may contain redundant facts
+// the other folds away); assert CanonicalizedFingerprint equality when
+// isomorphism is meant.
+inline void AssertHomEquivalent(const Instance& a, const Instance& b,
+                                const std::string& context = "") {
+  EXPECT_TRUE(FindInstanceHomomorphism(a, b).has_value())
+      << "no homomorphism a -> b" << (context.empty() ? "" : ": ") << context;
+  EXPECT_TRUE(FindInstanceHomomorphism(b, a).has_value())
+      << "no homomorphism b -> a" << (context.empty() ? "" : ": ") << context;
+}
+
+// True when the environment forces speculative chase execution
+// (tools/check.sh sets PDX_FORCE_SPECULATIVE=1 for the TSan pass so every
+// parallel-labeled chase exercises the speculative path).
+inline bool ForceSpeculative() {
+  const char* env = std::getenv("PDX_FORCE_SPECULATIVE");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
 }
 
 }  // namespace testing_util

@@ -89,13 +89,19 @@ if [[ "$mode" == "all" || "$mode" == "--sanitize-only" ]]; then
 fi
 
 if [[ "$mode" == "all" || "$mode" == "--tsan-only" ]]; then
-  echo "== thread sanitizer build (parallel tests) =="
+  echo "== thread sanitizer build (parallel tests, speculative forced) =="
   cmake -B build-tsan -S . -DPDX_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan -j "$jobs" \
-    --target thread_pool_test chase_parallel_test obs_test
-  ctest --test-dir build-tsan -L parallel --output-on-failure -j "$jobs" \
-    --timeout 600
+    --target thread_pool_test trigger_ledger_test chase_parallel_test \
+    fuzz_test obs_test
+  # PDX_FORCE_SPECULATIVE=1 makes every parallel-labeled chase take the
+  # speculative path (worker-side head instantiation, concurrent ledger,
+  # cross-dependency pipelining) — the code TSan most needs to see; the
+  # barrier path is the default everywhere else and already sanitized by
+  # earlier PRs' runs.
+  PDX_FORCE_SPECULATIVE=1 ctest --test-dir build-tsan -L parallel \
+    --output-on-failure -j "$jobs" --timeout 600
 fi
 
 echo "check.sh: all suites passed"
