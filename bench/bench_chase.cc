@@ -6,7 +6,9 @@
 //
 // Per workload and strategy it reports wall time (best of `kRepeats`),
 // chase steps, resolved result facts, and derived facts per second; per
-// workload it reports the naive/delta speedup. Strategies are also
+// workload it reports the naive/delta speedup. A second axis
+// (compiled_vs_interpreted) A/Bs the dependency compiler of plan/ against
+// the retained interpreter at 1 thread on the largest workloads. Strategies are also
 // cross-checked for resolved-fingerprint agreement, so a run doubles as a
 // coarse correctness gate. The egd_heavy workloads are the A/B for the
 // union-find value layer: every invented null is merged by a key egd, so
@@ -136,11 +138,13 @@ struct BenchContext {
 StrategyStats RunOne(SymbolTable* symbols, const Instance& start,
                      const std::vector<Tgd>& tgds,
                      const std::vector<Egd>& egds, ChaseStrategy strategy,
-                     int num_threads = 1, bool speculative = false) {
+                     int num_threads = 1, bool speculative = false,
+                     bool compile_plans = true) {
   ChaseOptions options;
   options.strategy = strategy;
   options.num_threads = num_threads;
   options.speculative = speculative;
+  options.compile_plans = compile_plans;
   options.max_steps = 10'000'000;
   StrategyStats stats;
   // The metrics registry is the authoritative step count: the JSON below
@@ -206,6 +210,52 @@ WorkloadResult RunWorkload(BenchContext& ctx, const std::string& name,
                result.delta.wall_ms,
                static_cast<long long>(result.delta.steps),
                result.naive.wall_ms / result.delta.wall_ms);
+  return result;
+}
+
+// The compiled-vs-interpreted dimension: the delta strategy at 1 thread
+// with ChaseOptions::compile_plans off (the retained interpreter) and on
+// (the plan/ dependency compiler). Enumeration order — and hence fresh
+// null identities — is schedule-dependent between the two executors, so
+// the cross-check is renaming-invariant: identical canonicalized
+// fingerprints and step counts.
+struct CompiledVsInterpretedResult {
+  std::string name;
+  int64_t input_facts = 0;
+  StrategyStats interpreted;
+  StrategyStats compiled;
+  // compiled facts/sec over interpreted facts/sec (> 1 = compiler wins).
+  double speedup = 0;
+};
+
+CompiledVsInterpretedResult RunCompiledVsInterpreted(
+    SymbolTable* symbols, const std::string& name, const Instance& start,
+    const std::vector<Tgd>& tgds, const std::vector<Egd>& egds) {
+  CompiledVsInterpretedResult result;
+  result.name = name;
+  result.input_facts = static_cast<int64_t>(start.fact_count());
+  result.interpreted =
+      RunOne(symbols, start, tgds, egds, ChaseStrategy::kRestricted,
+             /*num_threads=*/1, /*speculative=*/false,
+             /*compile_plans=*/false);
+  result.compiled =
+      RunOne(symbols, start, tgds, egds, ChaseStrategy::kRestricted,
+             /*num_threads=*/1, /*speculative=*/false,
+             /*compile_plans=*/true);
+  PDX_CHECK(result.compiled.canonical_fingerprint ==
+            result.interpreted.canonical_fingerprint)
+      << "compiled chase not isomorphic to interpreted chase on " << name;
+  PDX_CHECK(result.compiled.steps == result.interpreted.steps)
+      << "compiled chase changed the step count on " << name;
+  result.speedup = result.interpreted.facts_per_sec > 0
+                       ? result.compiled.facts_per_sec /
+                             result.interpreted.facts_per_sec
+                       : 0;
+  std::fprintf(stderr,
+               "%-24s interpreted %9.2f ms   compiled %9.2f ms   "
+               "facts/sec speedup %5.2fx\n",
+               name.c_str(), result.interpreted.wall_ms,
+               result.compiled.wall_ms, result.speedup);
   return result;
 }
 
@@ -280,6 +330,7 @@ void WriteStrategy(JsonWriter& w, const char* key,
 }
 
 std::string ToJson(const std::vector<WorkloadResult>& results,
+                   const std::vector<CompiledVsInterpretedResult>& compiled,
                    const std::vector<ThreadScalingResult>& scaling) {
   JsonWriter w;
   w.BeginObject();
@@ -293,6 +344,17 @@ std::string ToJson(const std::vector<WorkloadResult>& results,
     WriteStrategy(w, "naive", r.naive);
     WriteStrategy(w, "delta", r.delta);
     w.Key("speedup").Double(r.naive.wall_ms / r.delta.wall_ms, 2);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("compiled_vs_interpreted").BeginArray();
+  for (const CompiledVsInterpretedResult& r : compiled) {
+    w.BeginObject();
+    w.Key("name").String(r.name);
+    w.Key("input_facts").Int(r.input_facts);
+    WriteStrategy(w, "interpreted", r.interpreted);
+    WriteStrategy(w, "compiled", r.compiled);
+    w.Key("speedup").Double(r.speedup, 2);
     w.EndObject();
   }
   w.EndArray();
@@ -345,6 +407,26 @@ int Main(int argc, char** argv) {
                                   start, ctx.egd_heavy_tgds,
                                   ctx.egd_heavy_egds));
   }
+  // Compiled-vs-interpreted at 1 thread on each workload family's largest
+  // size; pipeline_n512 is the headline point for the dependency compiler.
+  std::vector<CompiledVsInterpretedResult> compiled;
+  {
+    Instance start = ctx.RandomEdges(512, 2, 17);
+    compiled.push_back(RunCompiledVsInterpreted(
+        &ctx.symbols, "pipeline_n512", start, ctx.pipeline_tgds, {}));
+  }
+  {
+    Instance start = ctx.RandomEdges(256, 2, 23);
+    compiled.push_back(RunCompiledVsInterpreted(
+        &ctx.symbols, "existential_egd_n256", start, ctx.existential_tgds,
+        ctx.key_egds));
+  }
+  {
+    Instance start = ctx.RandomEdges(256, 4, 29);
+    compiled.push_back(RunCompiledVsInterpreted(
+        &ctx.symbols, "egd_heavy_n256", start, ctx.egd_heavy_tgds,
+        ctx.egd_heavy_egds));
+  }
   // Thread scaling on the two headline workloads, plus a wide
   // disjoint-dependency workload where consecutive tgds touch disjoint
   // relations, so the speculative engine's cross-dependency pipelining
@@ -396,7 +478,7 @@ int Main(int argc, char** argv) {
   }
 
   std::string path = argc > 1 ? argv[1] : "BENCH_chase.json";
-  std::string json = ToJson(results, scaling);
+  std::string json = ToJson(results, compiled, scaling);
   std::FILE* f = std::fopen(path.c_str(), "w");
   PDX_CHECK(f != nullptr) << "cannot open " << path;
   std::fwrite(json.data(), 1, json.size(), f);

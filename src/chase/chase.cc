@@ -10,6 +10,9 @@
 #include "hom/matcher.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "plan/compiler.h"
+#include "plan/ir.h"
+#include "plan/plan_cache.h"
 
 namespace pdx {
 
@@ -95,20 +98,25 @@ bool FindViolatedEgdTrigger(const Instance& instance, const Egd& egd,
 }
 
 // Like FindViolatedEgdTrigger, but only scans body matches touching the
-// delta (earlier matches were resolved when their facts were new).
+// delta (earlier matches were resolved when their facts were new). With a
+// non-null plan, enumeration runs through the compiled body program.
 bool FindViolatedEgdTriggerDelta(const Instance& instance,
                                  const DeltaView& delta, const Egd& egd,
-                                 Binding* out) {
-  return EnumerateMatchesDelta(
-      egd.body, egd.var_count, instance, delta, Binding::Empty(egd.var_count),
-      [&](const Binding& body_match) {
-        if (body_match.values[egd.left_var] ==
-            body_match.values[egd.right_var]) {
-          return true;
-        }
-        *out = body_match;
-        return false;
-      });
+                                 const plan::EgdPlan* plan, Binding* out) {
+  const auto fn = [&](const Binding& body_match) {
+    if (body_match.values[egd.left_var] ==
+        body_match.values[egd.right_var]) {
+      return true;
+    }
+    *out = body_match;
+    return false;
+  };
+  if (plan != nullptr) {
+    return EnumerateMatchesDeltaPlanned(plan->body, instance, delta,
+                                        Binding::Empty(egd.var_count), fn);
+  }
+  return EnumerateMatchesDelta(egd.body, egd.var_count, instance, delta,
+                               Binding::Empty(egd.var_count), fn);
 }
 
 // True if some body atom could match inside the delta at all.
@@ -129,17 +137,22 @@ bool TouchesDelta(const std::vector<Atom>& body, const DeltaView& delta) {
 // apply half stays sequential.
 std::vector<Binding> CollectDeltaMatches(
     const std::vector<Atom>& atoms, int var_count, const Instance& instance,
-    const DeltaView& delta, ThreadPool* pool,
+    const DeltaView& delta, ThreadPool* pool, const plan::BodyPlan* body_plan,
     const std::function<bool(const Binding&)>& keep,
     uint64_t parent_span = 0) {
   std::vector<Binding> out;
   if (pool == nullptr) {
-    EnumerateMatchesDelta(atoms, var_count, instance, delta,
-                          Binding::Empty(var_count),
-                          [&](const Binding& m) {
-                            if (keep(m)) out.push_back(m);
-                            return true;
-                          });
+    const auto collect = [&](const Binding& m) {
+      if (keep(m)) out.push_back(m);
+      return true;
+    };
+    if (body_plan != nullptr) {
+      EnumerateMatchesDeltaPlanned(*body_plan, instance, delta,
+                                   Binding::Empty(var_count), collect);
+    } else {
+      EnumerateMatchesDelta(atoms, var_count, instance, delta,
+                            Binding::Empty(var_count), collect);
+    }
     return out;
   }
   // A few partitions per participant so uneven pivot widths still balance
@@ -155,12 +168,20 @@ std::vector<Binding> CollectDeltaMatches(
     obs::Span part_span(obs::Tracer::Global(), "chase.collect_part",
                         parent_span);
     part_span.AttrInt("partition", static_cast<int64_t>(p));
-    EnumerateMatchesDeltaPartition(atoms, var_count, instance, delta,
-                                   parts[p], Binding::Empty(var_count),
-                                   [&](const Binding& m) {
-                                     if (keep(m)) buffers[p].push_back(m);
-                                     return true;
-                                   });
+    const auto collect = [&](const Binding& m) {
+      if (keep(m)) buffers[p].push_back(m);
+      return true;
+    };
+    if (body_plan != nullptr) {
+      EnumerateMatchesDeltaPartitionPlanned(*body_plan, instance, delta,
+                                            parts[p],
+                                            Binding::Empty(var_count),
+                                            collect);
+    } else {
+      EnumerateMatchesDeltaPartition(atoms, var_count, instance, delta,
+                                     parts[p], Binding::Empty(var_count),
+                                     collect);
+    }
     part_span.AttrInt("collected",
                       static_cast<int64_t>(buffers[p].size()));
   });
@@ -198,6 +219,41 @@ int ApplyTgdStep(const Tgd& tgd, const Binding& binding, Instance* instance,
     instance->AddFact(atom.relation, std::move(tuple));
   }
   return fresh;
+}
+
+// ApplyTgdStep through the fused apply template: fresh nulls drawn in the
+// template's existential order (ascending variable ids — the same order
+// the interpreted loop visits them), head rows built slot by slot.
+int ApplyTgdStepPlanned(const plan::ApplyTemplate& apply,
+                        const Binding& binding, Instance* instance,
+                        SymbolTable* symbols) {
+  Binding extended = binding;
+  for (VariableId v : apply.existentials) {
+    PDX_DCHECK(!extended.bound[v]);
+    extended.Bind(v, symbols->FreshNull());
+  }
+  size_t cursor = 0;
+  for (const plan::HeadAtom& atom : apply.head_atoms) {
+    Tuple tuple;
+    tuple.reserve(atom.arity);
+    for (int i = 0; i < atom.arity; ++i) {
+      const plan::HeadSlot& slot = apply.slots[cursor++];
+      tuple.push_back(slot.is_const ? slot.key : extended.values[slot.var]);
+    }
+    instance->AddFact(atom.relation, std::move(tuple));
+  }
+  return apply.fresh_per_trigger;
+}
+
+// The restricted engine's head-satisfaction probe, planned when a compiled
+// tgd plan is available (the plan's head program was compiled with the
+// universal variables pre-bound).
+bool HeadSatisfied(const Tgd& tgd, const plan::TgdPlan* plan,
+                   const Instance& instance, const Binding& body_match) {
+  if (plan != nullptr) {
+    return HasMatchPlanned(plan->head, instance, body_match);
+  }
+  return HasMatch(tgd.head, tgd.var_count, instance, body_match);
 }
 
 // Fingerprint of a fired trigger: tgd index plus the values assigned to
@@ -389,6 +445,20 @@ SpecLayout MakeSpecLayout(const Tgd& tgd) {
   return out;
 }
 
+// The compiled path's layout: every field except the scratch Binding is
+// already fused into the plan's ApplyTemplate (the template absorbed what
+// MakeSpecLayout re-derives from the AST).
+SpecLayout LayoutFromTemplate(const plan::ApplyTemplate& apply) {
+  SpecLayout out;
+  out.head_width = apply.head_width;
+  out.fresh_per_trigger = apply.fresh_per_trigger;
+  out.existentials = apply.existentials;
+  out.head_null_slots = apply.head_null_slots;
+  out.scratch = Binding::Empty(static_cast<int>(apply.body_bound.size()));
+  out.scratch.bound = apply.body_bound;
+  return out;
+}
+
 // Speculative collection of one dependency's pending triggers: the delta
 // partitions fan across the pool and each partition task instantiates the
 // heads of the matches it admits, drawing nulls from one exact-size
@@ -403,12 +473,14 @@ SpecLayout MakeSpecLayout(const Tgd& tgd) {
 class SpecCollectJob {
  public:
   SpecCollectJob(const Tgd* tgd, size_t dep_index, const SpecLayout* layout,
-                 const Instance* instance, const DeltaView* delta,
-                 SymbolTable* symbols, TriggerLedger* ledger,
-                 ThreadPool* pool, uint64_t parent_span, bool pipelined)
+                 const plan::TgdPlan* plan, const Instance* instance,
+                 const DeltaView* delta, SymbolTable* symbols,
+                 TriggerLedger* ledger, ThreadPool* pool,
+                 uint64_t parent_span, bool pipelined)
       : tgd_(tgd),
         dep_(dep_index),
         layout_(layout),
+        plan_(plan),
         instance_(instance),
         delta_(delta),
         symbols_(symbols),
@@ -456,33 +528,48 @@ class SpecCollectJob {
     ChaseMetrics& metrics = ChaseMetrics::Get();
     SpecBuffer& buffer = buffers_[p];
     const SpecLayout& layout = *layout_;
-    EnumerateMatchesDeltaPartition(
-        tgd_->body, tgd_->var_count, *instance_, *delta_, parts_[p],
-        Binding::Empty(tgd_->var_count), [&](const Binding& m) {
-          metrics.tgd_matches.Inc();
-          if (ledger_ != nullptr) {
-            uint64_t fp = TriggerFingerprint(dep_, *tgd_, m);
-            if (!ledger_->Admit(fp)) return true;
-            buffer.fps.push_back(fp);
-          } else if (HasMatch(tgd_->head, tgd_->var_count, *instance_, m)) {
-            return true;
+    const auto admit = [&](const Binding& m) {
+      metrics.tgd_matches.Inc();
+      if (ledger_ != nullptr) {
+        uint64_t fp = TriggerFingerprint(dep_, *tgd_, m);
+        if (!ledger_->Admit(fp)) return true;
+        buffer.fps.push_back(fp);
+      } else if (HeadSatisfied(*tgd_, plan_, *instance_, m)) {
+        return true;
+      }
+      const size_t row = buffer.rows.size();
+      buffer.rows.insert(buffer.rows.end(), m.values.begin(),
+                         m.values.end());
+      for (VariableId v : layout.existentials) PDX_DCHECK(!m.bound[v]);
+      // Existential row/head slots hold junk until the patch pass
+      // below fills them from the partition's exact null range.
+      if (plan_ != nullptr) {
+        for (const plan::HeadSlot& slot : plan_->apply.slots) {
+          buffer.heads.push_back(slot.is_const ? slot.key
+                                               : buffer.rows[row + slot.var]);
+        }
+      } else {
+        for (const Atom& atom : tgd_->head) {
+          for (const Term& t : atom.terms) {
+            buffer.heads.push_back(t.is_constant()
+                                       ? t.constant()
+                                       : buffer.rows[row + t.var()]);
           }
-          const size_t row = buffer.rows.size();
-          buffer.rows.insert(buffer.rows.end(), m.values.begin(),
-                             m.values.end());
-          for (VariableId v : layout.existentials) PDX_DCHECK(!m.bound[v]);
-          // Existential row/head slots hold junk until the patch pass
-          // below fills them from the partition's exact null range.
-          for (const Atom& atom : tgd_->head) {
-            for (const Term& t : atom.terms) {
-              buffer.heads.push_back(t.is_constant()
-                                         ? t.constant()
-                                         : buffer.rows[row + t.var()]);
-            }
-          }
-          ++buffer.count;
-          return true;
-        });
+        }
+      }
+      ++buffer.count;
+      return true;
+    };
+    if (plan_ != nullptr) {
+      EnumerateMatchesDeltaPartitionPlanned(plan_->body, *instance_, *delta_,
+                                            parts_[p],
+                                            Binding::Empty(tgd_->var_count),
+                                            admit);
+    } else {
+      EnumerateMatchesDeltaPartition(tgd_->body, tgd_->var_count, *instance_,
+                                     *delta_, parts_[p],
+                                     Binding::Empty(tgd_->var_count), admit);
+    }
     // Reserve the partition's nulls in one exact fetch_add only now that
     // the admitted count is known: block-sized draws would retire their
     // unused tails, and the resulting holes in the null id space inflate
@@ -512,6 +599,7 @@ class SpecCollectJob {
   const Tgd* tgd_;
   size_t dep_;
   const SpecLayout* layout_;
+  const plan::TgdPlan* plan_;  // nullptr => interpret
   const Instance* instance_;
   const DeltaView* delta_;
   SymbolTable* symbols_;
@@ -534,6 +622,7 @@ class SpecCollectJob {
 // finalized).
 bool RunTgdPhaseSpeculative(const std::vector<Tgd>& tgds,
                             const std::vector<TgdFootprint>& footprints,
+                            const plan::CompiledSetting* compiled,
                             Instance* instance, const DeltaView& delta,
                             SymbolTable* symbols, TriggerLedger* ledger,
                             ThreadPool* pool, const ChaseOptions& options,
@@ -543,9 +632,16 @@ bool RunTgdPhaseSpeculative(const std::vector<Tgd>& tgds,
   for (size_t d = 0; d < tgds.size(); ++d) {
     if (TouchesDelta(tgds[d].body, delta)) active.push_back(d);
   }
+  const auto plan_for = [&](size_t d) -> const plan::TgdPlan* {
+    return compiled != nullptr ? &compiled->tgds[d] : nullptr;
+  };
   std::vector<SpecLayout> layouts;
   layouts.reserve(active.size());
-  for (size_t d : active) layouts.push_back(MakeSpecLayout(tgds[d]));
+  for (size_t d : active) {
+    layouts.push_back(compiled != nullptr
+                          ? LayoutFromTemplate(compiled->tgds[d].apply)
+                          : MakeSpecLayout(tgds[d]));
+  }
   std::unique_ptr<SpecCollectJob> ahead;
   bool exhausted = false;
   for (size_t i = 0; i < active.size() && !exhausted; ++i) {
@@ -562,8 +658,8 @@ bool RunTgdPhaseSpeculative(const std::vector<Tgd>& tgds,
       current = std::move(ahead);
     } else {
       current = std::make_unique<SpecCollectJob>(
-          &tgd, d, &layout, instance, &delta, symbols, ledger, pool,
-          tgd_span.id(), /*pipelined=*/false);
+          &tgd, d, &layout, plan_for(d), instance, &delta, symbols, ledger,
+          pool, tgd_span.id(), /*pipelined=*/false);
       current->Run();
     }
     const std::vector<SpecBuffer>& pending = current->Join();
@@ -575,8 +671,9 @@ bool RunTgdPhaseSpeculative(const std::vector<Tgd>& tgds,
     if (i + 1 < active.size() &&
         PipelineCompatible(footprints[d], footprints[active[i + 1]])) {
       ahead = std::make_unique<SpecCollectJob>(
-          &tgds[active[i + 1]], active[i + 1], &layouts[i + 1], instance,
-          &delta, symbols, ledger, pool, tgd_span.id(), /*pipelined=*/true);
+          &tgds[active[i + 1]], active[i + 1], &layouts[i + 1],
+          plan_for(active[i + 1]), instance, &delta, symbols, ledger, pool,
+          tgd_span.id(), /*pipelined=*/true);
       ahead->Start();
       metrics.pipeline_overlaps.Inc();
     }
@@ -592,7 +689,7 @@ bool RunTgdPhaseSpeculative(const std::vector<Tgd>& tgds,
         if (ledger == nullptr) {
           // Re-check: an earlier application may have satisfied it. The
           // skipped trigger's speculative nulls are retired unused.
-          if (HasMatch(tgd.head, tgd.var_count, *instance, scratch)) {
+          if (HeadSatisfied(tgd, plan_for(d), *instance, scratch)) {
             metrics.spec_nulls_retired.Inc(layout.fresh_per_trigger);
             continue;
           }
@@ -756,9 +853,12 @@ ChaseResult ChaseRestrictedDelta(const Instance& start,
                                  const std::vector<Egd>& egds,
                                  SymbolTable* symbols,
                                  const ChaseOptions& options,
-                                 ThreadPool* pool) {
+                                 ThreadPool* pool,
+                                 const plan::CompiledSetting* compiled) {
   ChaseResult result(start);
   Instance& instance = result.instance;
+  const std::vector<plan::EgdPlan>* egd_plans =
+      compiled != nullptr ? &compiled->egds : nullptr;
   const bool speculative = options.speculative && pool != nullptr;
   std::vector<TgdFootprint> footprints;
   if (speculative) {
@@ -789,7 +889,7 @@ ChaseResult ChaseRestrictedDelta(const Instance& start,
     ++round;
     EgdFixpointOutcome egd_out = RunEgdsToFixpointDelta(
         egds, &instance, mark, options.max_steps - result.steps, symbols,
-        &extras, pool);
+        &extras, pool, egd_plans);
     if (!AbsorbEgdOutcome(egd_out, &result)) return result;
     dirty_accum += egd_out.dirtied;
     DeltaView delta(instance, mark, extras);
@@ -803,15 +903,17 @@ ChaseResult ChaseRestrictedDelta(const Instance& start,
     // evaluated; facts the round itself adds become the next delta.
     InstanceWatermark frontier = instance.TakeWatermark();
     if (speculative) {
-      if (!RunTgdPhaseSpeculative(tgds, footprints, &instance, delta,
-                                  symbols, /*ledger=*/nullptr, pool, options,
-                                  &result)) {
+      if (!RunTgdPhaseSpeculative(tgds, footprints, compiled, &instance,
+                                  delta, symbols, /*ledger=*/nullptr, pool,
+                                  options, &result)) {
         return result;
       }
     } else {
       for (size_t d = 0; d < tgds.size(); ++d) {
         const Tgd& tgd = tgds[d];
         if (!TouchesDelta(tgd.body, delta)) continue;
+        const plan::TgdPlan* plan =
+            compiled != nullptr ? &compiled->tgds[d] : nullptr;
         obs::Span tgd_span(obs::Tracer::Global(), "chase.tgd");
         tgd_span.AttrInt("dep", static_cast<int64_t>(d));
         // Collect the violated triggers for this delta, then apply them.
@@ -819,21 +921,24 @@ ChaseResult ChaseRestrictedDelta(const Instance& start,
         // matcher.)
         std::vector<Binding> pending = CollectDeltaMatches(
             tgd.body, tgd.var_count, instance, delta, pool,
+            plan != nullptr ? &plan->body : nullptr,
             [&](const Binding& body_match) {
               metrics.tgd_matches.Inc();
-              return !HasMatch(tgd.head, tgd.var_count, instance,
-                               body_match);
+              return !HeadSatisfied(tgd, plan, instance, body_match);
             },
             tgd_span.id());
         metrics.batch_triggers.Observe(static_cast<int64_t>(pending.size()));
         int64_t applied = 0;
         for (const Binding& trigger : pending) {
           // Re-check: an earlier application may have satisfied it.
-          if (HasMatch(tgd.head, tgd.var_count, instance, trigger)) {
+          if (HeadSatisfied(tgd, plan, instance, trigger)) {
             continue;
           }
-          result.nulls_created += ApplyTgdStep(tgd, trigger, &instance,
-                                               symbols);
+          result.nulls_created +=
+              plan != nullptr
+                  ? ApplyTgdStepPlanned(plan->apply, trigger, &instance,
+                                        symbols)
+                  : ApplyTgdStep(tgd, trigger, &instance, symbols);
           ++result.steps;
           ++applied;
           if (result.steps >= options.max_steps) {
@@ -887,10 +992,13 @@ ChaseResult ChaseOblivious(const Instance& start,
                            const std::vector<Tgd>& tgds,
                            const std::vector<Egd>& egds,
                            SymbolTable* symbols, const ChaseOptions& options,
-                           ThreadPool* pool) {
+                           ThreadPool* pool,
+                           const plan::CompiledSetting* compiled) {
   ChaseResult result(start);
   Instance& instance = result.instance;
   TriggerLedger fired;
+  const std::vector<plan::EgdPlan>* egd_plans =
+      compiled != nullptr ? &compiled->egds : nullptr;
   const bool speculative = options.speculative && pool != nullptr;
   std::vector<TgdFootprint> footprints;
   if (speculative) {
@@ -912,7 +1020,7 @@ ChaseResult ChaseOblivious(const Instance& start,
     ++round;
     EgdFixpointOutcome egd_out = RunEgdsToFixpointDelta(
         egds, &instance, mark, options.max_steps - result.steps, symbols,
-        &extras, pool);
+        &extras, pool, egd_plans);
     if (!AbsorbEgdOutcome(egd_out, &result)) return result;
     // Merged-away roots can never appear in a binding again: drop their
     // fingerprint generation.
@@ -927,14 +1035,17 @@ ChaseResult ChaseOblivious(const Instance& start,
       // Admission happens in the workers (TriggerLedger::Admit through the
       // concurrent fingerprint set); the apply loop only records roots and
       // inserts the pre-instantiated heads.
-      if (!RunTgdPhaseSpeculative(tgds, footprints, &instance, delta,
-                                  symbols, &fired, pool, options, &result)) {
+      if (!RunTgdPhaseSpeculative(tgds, footprints, compiled, &instance,
+                                  delta, symbols, &fired, pool, options,
+                                  &result)) {
         return result;
       }
     } else {
       for (size_t d = 0; d < tgds.size(); ++d) {
         const Tgd& tgd = tgds[d];
         if (!TouchesDelta(tgd.body, delta)) continue;
+        const plan::TgdPlan* plan =
+            compiled != nullptr ? &compiled->tgds[d] : nullptr;
         obs::Span tgd_span(obs::Tracer::Global(), "chase.tgd");
         tgd_span.AttrInt("dep", static_cast<int64_t>(d));
         // Collect unfired triggers first (the instance must not change
@@ -944,6 +1055,7 @@ ChaseResult ChaseOblivious(const Instance& start,
         // the repeats the extras overlap can produce.
         std::vector<Binding> pending = CollectDeltaMatches(
             tgd.body, tgd.var_count, instance, delta, pool,
+            plan != nullptr ? &plan->body : nullptr,
             [&](const Binding& body_match) {
               metrics.tgd_matches.Inc();
               return !fired.Contains(TriggerFingerprint(d, tgd, body_match));
@@ -955,8 +1067,11 @@ ChaseResult ChaseOblivious(const Instance& start,
                             trigger)) {
             continue;
           }
-          result.nulls_created += ApplyTgdStep(tgd, trigger, &instance,
-                                               symbols);
+          result.nulls_created +=
+              plan != nullptr
+                  ? ApplyTgdStepPlanned(plan->apply, trigger, &instance,
+                                        symbols)
+                  : ApplyTgdStep(tgd, trigger, &instance, symbols);
           ++result.steps;
           if (result.steps >= options.max_steps) {
             result.outcome = ChaseOutcome::kBudgetExhausted;
@@ -976,9 +1091,10 @@ EgdFixpointOutcome RunEgdsToFixpointDelta(
     const std::vector<Egd>& egds, Instance* instance,
     const InstanceWatermark& mark, int64_t max_steps,
     const SymbolTable* symbols, std::vector<std::vector<int>>* extras,
-    ThreadPool* pool) {
+    ThreadPool* pool, const std::vector<plan::EgdPlan>* egd_plans) {
   EgdFixpointOutcome out;
   if (egds.empty()) return out;
+  PDX_DCHECK(egd_plans == nullptr || egd_plans->size() == egds.size());
   obs::Span fixpoint_span(obs::Tracer::Global(), "chase.egd_fixpoint");
   obs::Counter& merge_counter = ChaseMetrics::Get().egd_merges;
   int64_t passes = 0;
@@ -1000,8 +1116,11 @@ EgdFixpointOutcome RunEgdsToFixpointDelta(
                    : DeltaView(*instance, instance->TakeWatermark(), frontier);
     std::vector<std::vector<int>> pass_dirty(n);
     bool merged_any = false;
-    for (const Egd& egd : egds) {
+    for (size_t e = 0; e < egds.size(); ++e) {
+      const Egd& egd = egds[e];
       if (!TouchesDelta(egd.body, delta)) continue;
+      const plan::EgdPlan* plan =
+          egd_plans != nullptr ? &(*egd_plans)[e] : nullptr;
       // Applies one merge, sharing the conflict / dirty / budget
       // bookkeeping between the two collection disciplines below. Returns
       // false when the fixpoint must stop (out is final).
@@ -1045,6 +1164,7 @@ EgdFixpointOutcome RunEgdsToFixpointDelta(
         // union order, i.e. which root survives, can differ.
         std::vector<Binding> violated = CollectDeltaMatches(
             egd.body, egd.var_count, *instance, delta, pool,
+            plan != nullptr ? &plan->body : nullptr,
             [&](const Binding& m) {
               return m.values[egd.left_var] != m.values[egd.right_var];
             });
@@ -1058,7 +1178,7 @@ EgdFixpointOutcome RunEgdsToFixpointDelta(
         Binding trigger = Binding::Empty(egd.var_count);
         // Merges never invalidate tuple indexes, so the view stays valid
         // across the whole pass; the matcher consults the live resolver.
-        while (FindViolatedEgdTriggerDelta(*instance, delta, egd,
+        while (FindViolatedEgdTriggerDelta(*instance, delta, egd, plan,
                                            &trigger)) {
           if (!apply_merge(trigger.values[egd.left_var],
                            trigger.values[egd.right_var])) {
@@ -1093,17 +1213,33 @@ const char* StrategyName(ChaseStrategy strategy) {
   return "unknown";
 }
 
+// True when this run executes through compiled plans: opted in (the
+// default), not globally forced off, and not the naive baseline engine.
+bool UsesPlans(const ChaseOptions& options) {
+  return options.compile_plans &&
+         options.strategy != ChaseStrategy::kRestrictedNaive &&
+         !plan::ForceInterpreter();
+}
+
 ChaseResult ChaseDispatch(const Instance& start, const std::vector<Tgd>& tgds,
                           const std::vector<Egd>& egds, SymbolTable* symbols,
                           const ChaseOptions& options) {
+  // One cache probe per run; re-chases of the same setting hit and reuse
+  // the plans compiled on first sight.
+  std::shared_ptr<const plan::CompiledSetting> compiled;
+  if (UsesPlans(options)) {
+    compiled = plan::PlanCache::Global().GetOrCompile(tgds, egds);
+  }
   switch (options.strategy) {
     case ChaseStrategy::kOblivious: {
       int threads = ResolveThreadCount(options);
       if (threads > 1) {
         ThreadPool pool(threads);
-        return ChaseOblivious(start, tgds, egds, symbols, options, &pool);
+        return ChaseOblivious(start, tgds, egds, symbols, options, &pool,
+                              compiled.get());
       }
-      return ChaseOblivious(start, tgds, egds, symbols, options, nullptr);
+      return ChaseOblivious(start, tgds, egds, symbols, options, nullptr,
+                            compiled.get());
     }
     case ChaseStrategy::kRestrictedNaive:
       return ChaseRestrictedNaive(start, tgds, egds, symbols, options);
@@ -1112,10 +1248,10 @@ ChaseResult ChaseDispatch(const Instance& start, const std::vector<Tgd>& tgds,
       if (threads > 1) {
         ThreadPool pool(threads);
         return ChaseRestrictedDelta(start, tgds, egds, symbols, options,
-                                    &pool);
+                                    &pool, compiled.get());
       }
       return ChaseRestrictedDelta(start, tgds, egds, symbols, options,
-                                  nullptr);
+                                  nullptr, compiled.get());
     }
   }
   ChaseResult result(start);
@@ -1133,6 +1269,7 @@ ChaseResult Chase(const Instance& start, const std::vector<Tgd>& tgds,
   run_span.AttrStr("strategy", StrategyName(options.strategy))
       .AttrInt("threads", ResolveThreadCount(options))
       .AttrBool("speculative", options.speculative)
+      .AttrBool("compiled", UsesPlans(options))
       .AttrInt("tgds", static_cast<int64_t>(tgds.size()))
       .AttrInt("egds", static_cast<int64_t>(egds.size()));
   ChaseResult result = ChaseDispatch(start, tgds, egds, symbols, options);

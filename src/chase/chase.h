@@ -81,6 +81,18 @@ struct ChaseOptions {
   // fingerprints across thread counts.
   bool speculative = false;
 
+  // Compile the setting into match/apply plans (plan/ir.h) and execute
+  // trigger enumeration, head filters and the egd fixpoint through them
+  // (kRestricted/kOblivious; kRestrictedNaive always interprets — it is
+  // the baseline). Plans are fetched from the process-wide PlanCache, so
+  // repeated chases of one setting compile it exactly once. The chase
+  // result's resolved view and canonical fingerprint are invariant;
+  // enumeration order (hence raw tuple order and fresh-null identities)
+  // may differ from the interpreter's. The PDX_FORCE_INTERPRETER
+  // environment variable overrides this to false process-wide
+  // (plan/compiler.h, ForceInterpreter).
+  bool compile_plans = true;
+
   // Auto-compaction of merge-heavy raw stores (kRestricted only): when the
   // fraction of raw tuples that are duplicates under resolution exceeds
   // this ratio — and the raw store holds at least compact_min_facts tuples
@@ -157,6 +169,10 @@ struct EgdFixpointOutcome {
 
 class ThreadPool;
 
+namespace plan {
+struct EgdPlan;
+}  // namespace plan
+
 // Applies `egds` to fixpoint over the delta of `instance` beyond `mark`
 // using union-find merges (Instance::MergeValues). The first pass pivots
 // on the facts added since `mark`; since any trigger newly violated by a
@@ -179,11 +195,16 @@ class ThreadPool;
 // union lowers the class count by exactly one — is the same as the
 // sequential path's; only the union order (hence null-root identity)
 // may differ, which every resolved view is invariant under.
+//
+// With non-null `egd_plans` (compiled plans indexed parallel to `egds`),
+// trigger enumeration executes through the dependency compiler's plans
+// instead of the interpreter; the fixpoint closure is unchanged.
 EgdFixpointOutcome RunEgdsToFixpointDelta(
     const std::vector<Egd>& egds, Instance* instance,
     const InstanceWatermark& mark, int64_t max_steps,
     const SymbolTable* symbols, std::vector<std::vector<int>>* extras,
-    ThreadPool* pool = nullptr);
+    ThreadPool* pool = nullptr,
+    const std::vector<plan::EgdPlan>* egd_plans = nullptr);
 
 // True if `instance` satisfies the tgd / egd under standard first-order
 // semantics (nulls behave as ordinary values).

@@ -7,6 +7,9 @@
 #include "hom/matcher.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "plan/compiler.h"
+#include "plan/ir.h"
+#include "plan/plan_cache.h"
 
 namespace pdx {
 
@@ -51,21 +54,31 @@ bool TouchesDelta(const std::vector<Atom>& body, const DeltaView& delta) {
 // The per-match collection step: skip satisfied triggers, extend violated
 // ones into `solution` (guaranteed possible since solution ⊇ instance
 // satisfies the tgd). Pure reads of `instance` and `solution`, so workers
-// may run it concurrently.
+// may run it concurrently. With a non-null plan, the satisfaction probe
+// and the witness search both execute the compiled head program (compiled
+// with the universal variables pre-bound — exactly this call shape).
 void CollectOneTrigger(const Instance& instance, const Instance& solution,
-                       const Tgd& tgd, const Binding& body_match,
+                       const Tgd& tgd, const plan::TgdPlan* plan,
+                       const Binding& body_match,
                        std::vector<SolutionAwareTrigger>* out) {
-  if (HasMatch(tgd.head, tgd.var_count, instance, body_match)) {
+  const bool satisfied =
+      plan != nullptr
+          ? HasMatchPlanned(plan->head, instance, body_match)
+          : HasMatch(tgd.head, tgd.var_count, instance, body_match);
+  if (satisfied) {
     return;  // satisfied trigger
   }
   SaMetrics::Get().tgd_matches.Inc();
   // Violated in `instance`; find the witness inside `solution`.
-  bool witnessed = EnumerateMatches(
-      tgd.head, tgd.var_count, solution, body_match,
-      [&](const Binding& full) {
-        out->push_back({body_match, full});
-        return false;  // first witness suffices
-      });
+  const auto witness = [&](const Binding& full) {
+    out->push_back({body_match, full});
+    return false;  // first witness suffices
+  };
+  bool witnessed =
+      plan != nullptr
+          ? EnumerateMatchesPlanned(plan->head, solution, body_match, witness)
+          : EnumerateMatches(tgd.head, tgd.var_count, solution, body_match,
+                             witness);
   PDX_CHECK(witnessed)
       << "solution-aware chase: the provided solution violates a tgd";
 }
@@ -78,17 +91,21 @@ void CollectOneTrigger(const Instance& instance, const Instance& solution,
 void CollectSolutionAwareTriggers(const Instance& instance,
                                   const DeltaView& delta,
                                   const Instance& solution, const Tgd& tgd,
-                                  ThreadPool* pool,
+                                  const plan::TgdPlan* plan, ThreadPool* pool,
                                   std::vector<SolutionAwareTrigger>* out,
                                   uint64_t parent_span = 0) {
   if (pool == nullptr) {
-    EnumerateMatchesDelta(tgd.body, tgd.var_count, instance, delta,
-                          Binding::Empty(tgd.var_count),
-                          [&](const Binding& body_match) {
-                            CollectOneTrigger(instance, solution, tgd,
-                                              body_match, out);
-                            return true;  // keep collecting
-                          });
+    const auto collect = [&](const Binding& body_match) {
+      CollectOneTrigger(instance, solution, tgd, plan, body_match, out);
+      return true;  // keep collecting
+    };
+    if (plan != nullptr) {
+      EnumerateMatchesDeltaPlanned(plan->body, instance, delta,
+                                   Binding::Empty(tgd.var_count), collect);
+    } else {
+      EnumerateMatchesDelta(tgd.body, tgd.var_count, instance, delta,
+                            Binding::Empty(tgd.var_count), collect);
+    }
     return;
   }
   std::vector<DeltaPartition> parts = PartitionDeltaMatches(
@@ -99,14 +116,21 @@ void CollectSolutionAwareTriggers(const Instance& instance,
     obs::Span part_span(obs::Tracer::Global(), "chase.collect_part",
                         parent_span);
     part_span.AttrInt("partition", static_cast<int64_t>(p));
-    EnumerateMatchesDeltaPartition(tgd.body, tgd.var_count, instance, delta,
-                                   parts[p], Binding::Empty(tgd.var_count),
-                                   [&](const Binding& body_match) {
-                                     CollectOneTrigger(instance, solution,
-                                                       tgd, body_match,
-                                                       &buffers[p]);
-                                     return true;
-                                   });
+    const auto collect = [&](const Binding& body_match) {
+      CollectOneTrigger(instance, solution, tgd, plan, body_match,
+                        &buffers[p]);
+      return true;
+    };
+    if (plan != nullptr) {
+      EnumerateMatchesDeltaPartitionPlanned(plan->body, instance, delta,
+                                            parts[p],
+                                            Binding::Empty(tgd.var_count),
+                                            collect);
+    } else {
+      EnumerateMatchesDeltaPartition(tgd.body, tgd.var_count, instance,
+                                     delta, parts[p],
+                                     Binding::Empty(tgd.var_count), collect);
+    }
     part_span.AttrInt("collected", static_cast<int64_t>(buffers[p].size()));
   });
   for (std::vector<SolutionAwareTrigger>& buffer : buffers) {
@@ -159,12 +183,14 @@ bool SaPipelineCompatible(const SaFootprint& applying,
 class SaCollectJob {
  public:
   SaCollectJob(const Instance* instance, const DeltaView* delta,
-               const Instance* solution, const Tgd* tgd, ThreadPool* pool,
+               const Instance* solution, const Tgd* tgd,
+               const plan::TgdPlan* plan, ThreadPool* pool,
                uint64_t parent_span, bool pipelined)
       : instance_(instance),
         delta_(delta),
         solution_(solution),
         tgd_(tgd),
+        plan_(plan),
         pool_(pool),
         parent_span_(parent_span),
         pipelined_(pipelined) {
@@ -203,15 +229,22 @@ class SaCollectJob {
                         parent_span_);
     part_span.AttrInt("partition", static_cast<int64_t>(p))
         .AttrBool("pipelined", pipelined_);
-    EnumerateMatchesDeltaPartition(tgd_->body, tgd_->var_count, *instance_,
-                                   *delta_, parts_[p],
-                                   Binding::Empty(tgd_->var_count),
-                                   [&](const Binding& body_match) {
-                                     CollectOneTrigger(*instance_, *solution_,
-                                                       *tgd_, body_match,
-                                                       &buffers_[p]);
-                                     return true;
-                                   });
+    const auto collect = [&](const Binding& body_match) {
+      CollectOneTrigger(*instance_, *solution_, *tgd_, plan_, body_match,
+                        &buffers_[p]);
+      return true;
+    };
+    if (plan_ != nullptr) {
+      EnumerateMatchesDeltaPartitionPlanned(plan_->body, *instance_, *delta_,
+                                            parts_[p],
+                                            Binding::Empty(tgd_->var_count),
+                                            collect);
+    } else {
+      EnumerateMatchesDeltaPartition(tgd_->body, tgd_->var_count, *instance_,
+                                     *delta_, parts_[p],
+                                     Binding::Empty(tgd_->var_count),
+                                     collect);
+    }
     part_span.AttrInt("collected", static_cast<int64_t>(buffers_[p].size()));
   }
 
@@ -219,6 +252,7 @@ class SaCollectJob {
   const DeltaView* delta_;
   const Instance* solution_;
   const Tgd* tgd_;
+  const plan::TgdPlan* plan_;  // nullptr => interpret
   ThreadPool* pool_;
   uint64_t parent_span_;
   bool pipelined_;
@@ -244,6 +278,14 @@ ChaseResult SolutionAwareChaseImpl(const Instance& start,
   std::unique_ptr<ThreadPool> owned_pool =
       threads > 1 ? std::make_unique<ThreadPool>(threads) : nullptr;
   ThreadPool* pool = owned_pool.get();
+  // Compiled plans, shared with the plain chase via the process cache.
+  std::shared_ptr<const plan::CompiledSetting> compiled;
+  if (options.compile_plans && !plan::ForceInterpreter()) {
+    compiled = plan::PlanCache::Global().GetOrCompile(tgds, egds);
+  }
+  const auto plan_for = [&](size_t d) -> const plan::TgdPlan* {
+    return compiled != nullptr ? &compiled->tgds[d] : nullptr;
+  };
   // ChaseOptions::speculative here enables only cross-dependency
   // pipelining (there is no null invention to speculate on).
   const bool pipelining = options.speculative && pool != nullptr;
@@ -271,7 +313,8 @@ ChaseResult SolutionAwareChaseImpl(const Instance& start,
     // round's watermark) intact and report the dirty tuples into `extras`.
     EgdFixpointOutcome egd_out = RunEgdsToFixpointDelta(
         egds, &instance, mark, options.max_steps - result.steps,
-        /*symbols=*/nullptr, &extras, pool);
+        /*symbols=*/nullptr, &extras, pool,
+        compiled != nullptr ? &compiled->egds : nullptr);
     result.steps += egd_out.steps;
     if (egd_out.failed) {
       result.outcome = ChaseOutcome::kFailed;
@@ -305,13 +348,14 @@ ChaseResult SolutionAwareChaseImpl(const Instance& start,
         pending = ahead->Join();
         ahead.reset();
       } else if (pipelining) {
-        SaCollectJob job(&instance, &delta, &solution, &tgd, pool,
-                         tgd_span.id(), /*pipelined=*/false);
+        SaCollectJob job(&instance, &delta, &solution, &tgd, plan_for(d),
+                         pool, tgd_span.id(), /*pipelined=*/false);
         job.Run();
         pending = job.Join();
       } else {
-        CollectSolutionAwareTriggers(instance, delta, solution, tgd, pool,
-                                     &pending, tgd_span.id());
+        CollectSolutionAwareTriggers(instance, delta, solution, tgd,
+                                     plan_for(d), pool, &pending,
+                                     tgd_span.id());
       }
       tgd_span.AttrInt("collected", static_cast<int64_t>(pending.size()));
       // Overlap the next active tgd's collection with this apply phase
@@ -319,26 +363,49 @@ ChaseResult SolutionAwareChaseImpl(const Instance& start,
       if (pipelining && i + 1 < active.size() &&
           SaPipelineCompatible(footprints[d], footprints[active[i + 1]])) {
         ahead = std::make_unique<SaCollectJob>(
-            &instance, &delta, &solution, &tgds[active[i + 1]], pool,
-            tgd_span.id(), /*pipelined=*/true);
+            &instance, &delta, &solution, &tgds[active[i + 1]],
+            plan_for(active[i + 1]), pool, tgd_span.id(),
+            /*pipelined=*/true);
         ahead->Start();
         SaMetrics::Get().pipeline_overlaps.Inc();
       }
+      const plan::TgdPlan* plan = plan_for(d);
       for (const SolutionAwareTrigger& trigger : pending) {
         // Re-check on the body match: an earlier application this round
         // may have satisfied it.
-        if (HasMatch(tgd.head, tgd.var_count, instance, trigger.body)) {
+        const bool satisfied =
+            plan != nullptr
+                ? HasMatchPlanned(plan->head, instance, trigger.body)
+                : HasMatch(tgd.head, tgd.var_count, instance, trigger.body);
+        if (satisfied) {
           continue;
         }
-        for (const Atom& atom : tgd.head) {
-          Tuple tuple;
-          tuple.reserve(atom.terms.size());
-          for (const Term& t : atom.terms) {
-            tuple.push_back(t.is_constant()
-                                ? t.constant()
-                                : trigger.extended.values[t.var()]);
+        if (plan != nullptr) {
+          // Head rows through the fused apply template; the witness
+          // binding supplies every slot, existentials included.
+          size_t cursor = 0;
+          for (const plan::HeadAtom& atom : plan->apply.head_atoms) {
+            Tuple tuple;
+            tuple.reserve(atom.arity);
+            for (int s = 0; s < atom.arity; ++s) {
+              const plan::HeadSlot& slot = plan->apply.slots[cursor++];
+              tuple.push_back(slot.is_const
+                                  ? slot.key
+                                  : trigger.extended.values[slot.var]);
+            }
+            instance.AddFact(atom.relation, std::move(tuple));
           }
-          instance.AddFact(atom.relation, std::move(tuple));
+        } else {
+          for (const Atom& atom : tgd.head) {
+            Tuple tuple;
+            tuple.reserve(atom.terms.size());
+            for (const Term& t : atom.terms) {
+              tuple.push_back(t.is_constant()
+                                  ? t.constant()
+                                  : trigger.extended.values[t.var()]);
+            }
+            instance.AddFact(atom.relation, std::move(tuple));
+          }
         }
         ++result.steps;
         if (result.steps >= options.max_steps) {
@@ -366,6 +433,8 @@ ChaseResult SolutionAwareChase(const Instance& start,
                                const ChaseOptions& options) {
   obs::Span run_span(obs::Tracer::Global(), "chase");
   run_span.AttrStr("strategy", "solution_aware")
+      .AttrBool("compiled",
+                options.compile_plans && !plan::ForceInterpreter())
       .AttrInt("tgds", static_cast<int64_t>(tgds.size()))
       .AttrInt("egds", static_cast<int64_t>(egds.size()));
   ChaseResult result =

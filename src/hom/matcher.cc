@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
+
+#include "plan/ir.h"
 
 namespace pdx {
 
@@ -340,6 +343,282 @@ bool HasMatch(const std::vector<Atom>& atoms, int var_count,
 bool HasMatch(const std::vector<Atom>& atoms, int var_count,
               const Instance& instance) {
   return HasMatch(atoms, var_count, instance, Binding::Empty(var_count));
+}
+
+// --- Plan-driven executor -----------------------------------------------
+
+namespace {
+
+// Per-depth reusable storage: index scratch for resolved-lane probes and
+// the unbind trail of the step's kBind ops. Owned by the PlanContext so
+// one allocation serves every pivot tuple and every backtrack.
+struct PlanFrame {
+  std::vector<int> scratch;
+  std::vector<VariableId> trail;
+};
+
+struct PlanContext {
+  const Instance* instance;
+  const std::function<bool(const Binding&)>* fn;
+  Binding binding;
+  const ValueResolver* resolver = nullptr;
+  std::vector<PlanFrame> frames;
+  // Additive-partition confinement: steps whose original atom index is
+  // below `additive_pivot` only admit tuples below delta->begin(relation),
+  // exactly like SearchContext::max_index. -1 = unrestricted.
+  const DeltaView* delta = nullptr;
+  int additive_pivot = -1;
+  // Partition-entry state, reused across pivot tuples.
+  Binding start;
+  std::vector<VariableId> pivot_trail;
+};
+
+// Contexts are leased from a per-thread pool indexed by nesting depth — a
+// planned enumeration's callback can itself run a planned head check
+// (CollectDeltaMatches's keep filter does), so plain thread_local reuse
+// would alias. All vectors keep their capacity across leases: steady-state
+// planned execution performs no heap allocation, which is a measurable
+// chunk of the compiled-vs-interpreted speedup on join-light workloads.
+struct PlanContextPool {
+  std::vector<std::unique_ptr<PlanContext>> contexts;
+  size_t depth = 0;
+};
+
+PlanContextPool& ThreadPlanPool() {
+  thread_local PlanContextPool pool;
+  return pool;
+}
+
+class PlanContextLease {
+ public:
+  PlanContextLease(const Instance& instance,
+                   const std::function<bool(const Binding&)>& fn) {
+    PlanContextPool& pool = ThreadPlanPool();
+    if (pool.depth == pool.contexts.size()) {
+      pool.contexts.push_back(std::make_unique<PlanContext>());
+    }
+    ctx_ = pool.contexts[pool.depth++].get();
+    ctx_->instance = &instance;
+    ctx_->fn = &fn;
+    ctx_->resolver = ResolverFor(instance);
+    ctx_->delta = nullptr;
+    ctx_->additive_pivot = -1;
+  }
+  ~PlanContextLease() { --ThreadPlanPool().depth; }
+  PlanContextLease(const PlanContextLease&) = delete;
+  PlanContextLease& operator=(const PlanContextLease&) = delete;
+
+  PlanContext* operator->() const { return ctx_; }
+  PlanContext* get() const { return ctx_; }
+
+ private:
+  PlanContext* ctx_;
+};
+
+// Binding assignment that reuses the destination's capacity, resolving
+// bound values when the instance has merges (the invariant ResolvePartial
+// maintains for the interpreter).
+void AssignResolvedPartial(const Instance& instance, const Binding& partial,
+                           Binding* out) {
+  *out = partial;
+  if (!instance.has_merges()) return;
+  for (size_t v = 0; v < out->bound.size(); ++v) {
+    if (out->bound[v]) out->values[v] = instance.ResolveValue(out->values[v]);
+  }
+}
+
+// Grow-only frame storage: shrinking would free the frames' scratch/trail
+// capacity, which is the whole point of pooling.
+void EnsureFrames(PlanContext* ctx, size_t n) {
+  if (ctx->frames.size() < n) ctx->frames.resize(n);
+}
+
+// Runs one step's unification program against a candidate tuple. kBind and
+// kCheckVar share the runtime-checked path (bind if unbound, else compare)
+// so a caller whose partial binding differs from the plan's compiled
+// assumption still executes correctly.
+bool RunOps(PlanContext* ctx, const std::vector<plan::SlotOp>& ops,
+            const Tuple& tuple, std::vector<VariableId>* trail) {
+  for (const plan::SlotOp& op : ops) {
+    Value tv = tuple[op.pos];
+    if (ctx->resolver != nullptr) tv = ctx->resolver->Resolve(tv);
+    if (op.kind == plan::SlotOp::kCheckConst) {
+      if (tv != op.key) return false;
+      continue;
+    }
+    if (ctx->binding.bound[op.var]) {
+      if (ctx->binding.values[op.var] != tv) return false;
+    } else {
+      ctx->binding.Bind(op.var, tv);
+      trail->push_back(op.var);
+    }
+  }
+  return true;
+}
+
+void UnbindTrail(PlanContext* ctx, const std::vector<VariableId>& trail) {
+  for (VariableId v : trail) ctx->binding.bound[v] = false;
+}
+
+// Executes steps[depth..] recursively. Returns true iff the callback
+// stopped the enumeration.
+bool RunSteps(PlanContext* ctx, const std::vector<plan::JoinStep>& steps,
+              size_t depth) {
+  if (depth == steps.size()) {
+    return !(*ctx->fn)(ctx->binding);
+  }
+  const plan::JoinStep& step = steps[depth];
+  PlanFrame& frame = ctx->frames[depth];
+  const std::vector<Tuple>& tuples = ctx->instance->tuples(step.relation);
+  // Pre-delta confinement (additive partitions only), keyed by the atom's
+  // original body index, not its execution position.
+  size_t limit = std::numeric_limits<size_t>::max();
+  if (ctx->additive_pivot >= 0 && step.atom_index < ctx->additive_pivot) {
+    limit = ctx->delta->begin(step.relation);
+  }
+  // Resolve the access path. A kProbeVar whose variable the caller left
+  // unbound degrades to a scan with the probed position handled as a
+  // runtime bind (the compiled ops skip it, trusting the probe).
+  plan::AccessPath::Kind kind = step.access.kind;
+  Value key;
+  bool bind_probe_pos = false;
+  if (kind == plan::AccessPath::kProbeVar) {
+    if (ctx->binding.bound[step.access.var]) {
+      key = ctx->binding.values[step.access.var];
+    } else {
+      kind = plan::AccessPath::kScan;
+      bind_probe_pos = true;
+    }
+  } else if (kind == plan::AccessPath::kProbeConst) {
+    key = step.access.key;
+  }
+  const std::vector<int>* candidates = nullptr;
+  if (kind != plan::AccessPath::kScan) {
+    if (ctx->resolver == nullptr) {
+      candidates =
+          ctx->instance->TuplesWithValueAt(step.relation, step.access.pos, key);
+    } else {
+      candidates = ctx->instance->TuplesWithResolvedValueAt(
+          step.relation, step.access.pos, key, &frame.scratch);
+    }
+    if (candidates == nullptr) return false;
+  }
+  const size_t scan_end = std::min(tuples.size(), limit);
+  const size_t count = candidates != nullptr ? candidates->size() : scan_end;
+  for (size_t i = 0; i < count; ++i) {
+    const size_t idx =
+        candidates != nullptr ? static_cast<size_t>((*candidates)[i]) : i;
+    if (idx >= limit) continue;
+    const Tuple& tuple = tuples[idx];
+    frame.trail.clear();
+    bool ok = RunOps(ctx, step.ops, tuple, &frame.trail);
+    if (ok && bind_probe_pos) {
+      Value tv = tuple[step.access.pos];
+      if (ctx->resolver != nullptr) tv = ctx->resolver->Resolve(tv);
+      if (ctx->binding.bound[step.access.var]) {
+        ok = ctx->binding.values[step.access.var] == tv;
+      } else {
+        ctx->binding.Bind(step.access.var, tv);
+        frame.trail.push_back(step.access.var);
+      }
+    }
+    if (ok && RunSteps(ctx, steps, depth + 1)) {
+      UnbindTrail(ctx, frame.trail);
+      return true;
+    }
+    UnbindTrail(ctx, frame.trail);
+  }
+  return false;
+}
+
+}  // namespace
+
+bool EnumerateMatchesPlanned(const plan::BodyPlan& plan,
+                             const Instance& instance, const Binding& partial,
+                             const std::function<bool(const Binding&)>& fn) {
+  PDX_CHECK_EQ(static_cast<int>(partial.bound.size()), plan.var_count);
+  PlanContextLease ctx(instance, fn);
+  AssignResolvedPartial(instance, partial, &ctx->binding);
+  EnsureFrames(ctx.get(), plan.full.size());
+  return RunSteps(ctx.get(), plan.full, 0);
+}
+
+bool EnumerateMatchesDeltaPlanned(
+    const plan::BodyPlan& plan, const Instance& instance,
+    const DeltaView& delta, const Binding& partial,
+    const std::function<bool(const Binding&)>& fn) {
+  // Mirrors EnumerateMatchesDelta's partition order exactly: one partition
+  // per non-empty additive pivot (in atom order), then per non-empty
+  // extras pivot.
+  for (size_t pivot = 0; pivot < plan.variants.size(); ++pivot) {
+    const RelationId rel = plan.variants[pivot].pivot_relation;
+    const size_t begin = delta.begin(rel);
+    const size_t end = delta.end(rel);
+    if (begin >= end) continue;
+    DeltaPartition part{pivot, begin, end, false};
+    if (EnumerateMatchesDeltaPartitionPlanned(plan, instance, delta, part,
+                                              partial, fn)) {
+      return true;
+    }
+  }
+  for (size_t pivot = 0; pivot < plan.variants.size(); ++pivot) {
+    const RelationId rel = plan.variants[pivot].pivot_relation;
+    const size_t count = delta.extras(rel).size();
+    if (count == 0) continue;
+    DeltaPartition part{pivot, 0, count, true};
+    if (EnumerateMatchesDeltaPartitionPlanned(plan, instance, delta, part,
+                                              partial, fn)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool EnumerateMatchesDeltaPartitionPlanned(
+    const plan::BodyPlan& plan, const Instance& instance,
+    const DeltaView& delta, const DeltaPartition& partition,
+    const Binding& partial, const std::function<bool(const Binding&)>& fn) {
+  PDX_CHECK_EQ(static_cast<int>(partial.bound.size()), plan.var_count);
+  PDX_CHECK_LT(partition.pivot, plan.variants.size());
+  const plan::DeltaVariant& variant = plan.variants[partition.pivot];
+  const std::vector<Tuple>& tuples = instance.tuples(variant.pivot_relation);
+  PlanContextLease ctx(instance, fn);
+  AssignResolvedPartial(instance, partial, &ctx->start);
+  EnsureFrames(ctx.get(), variant.rest.size());
+  if (!partition.over_extras) {
+    ctx->delta = &delta;
+    ctx->additive_pivot = variant.pivot;
+    for (size_t idx = partition.begin;
+         idx < partition.end && idx < tuples.size(); ++idx) {
+      ctx->binding = ctx->start;
+      ctx->pivot_trail.clear();
+      if (RunOps(ctx.get(), variant.pivot_ops, tuples[idx],
+                 &ctx->pivot_trail) &&
+          RunSteps(ctx.get(), variant.rest, 0)) {
+        return true;
+      }
+    }
+    return false;
+  }
+  const std::vector<int>& extra = delta.extras(variant.pivot_relation);
+  PDX_CHECK_LE(partition.end, extra.size());
+  for (size_t e = partition.begin; e < partition.end; ++e) {
+    const int idx = extra[e];
+    PDX_DCHECK(static_cast<size_t>(idx) < tuples.size());
+    ctx->binding = ctx->start;
+    ctx->pivot_trail.clear();
+    if (RunOps(ctx.get(), variant.pivot_ops, tuples[idx], &ctx->pivot_trail) &&
+        RunSteps(ctx.get(), variant.rest, 0)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool HasMatchPlanned(const plan::BodyPlan& plan, const Instance& instance,
+                     const Binding& partial) {
+  return EnumerateMatchesPlanned(plan, instance, partial,
+                                 [](const Binding&) { return false; });
 }
 
 }  // namespace pdx

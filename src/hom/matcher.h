@@ -116,6 +116,50 @@ bool HasMatch(const std::vector<Atom>& atoms, int var_count,
 bool HasMatch(const std::vector<Atom>& atoms, int var_count,
               const Instance& instance);
 
+namespace plan {
+struct BodyPlan;
+}  // namespace plan
+
+// --- Plan-driven entry points (the dependency compiler, plan/ir.h) ------
+//
+// Each mirrors its interpreted counterpart above, executing a compiled
+// BodyPlan instead of searching the atom list: the plan's static join
+// order, access paths and unification programs replace the per-node
+// fewest-candidates selection and per-call index probing. The enumerated
+// match *set* is identical to the interpreter's (per delta partition, per
+// pivot — the same pivot confinement semantics apply); the enumeration
+// *order* may differ, which every consumer tolerates (collect-then-apply
+// phases gather full pending sets, and result contracts are stated on
+// resolved views / canonical fingerprints). Bindings reported to `fn`
+// hold resolved values, exactly as in the interpreted paths. The partial
+// binding may bind any subset of variables: plans compiled under a
+// different assumed-bound set stay correct (kBind ops verify at runtime),
+// only access-path quality is tuned to the compiled assumption.
+
+// EnumerateMatches through `plan.full`.
+bool EnumerateMatchesPlanned(const plan::BodyPlan& plan,
+                             const Instance& instance, const Binding& partial,
+                             const std::function<bool(const Binding&)>& fn);
+
+// EnumerateMatchesDelta through the plan's pivot-rotation variants, in the
+// interpreter's pivot order (additive pivots first, then extras).
+bool EnumerateMatchesDeltaPlanned(
+    const plan::BodyPlan& plan, const Instance& instance,
+    const DeltaView& delta, const Binding& partial,
+    const std::function<bool(const Binding&)>& fn);
+
+// EnumerateMatchesDeltaPartition through `plan.variants[partition.pivot]`.
+// The partition must have been built (PartitionDeltaMatches) against the
+// same atom list the plan was compiled from.
+bool EnumerateMatchesDeltaPartitionPlanned(
+    const plan::BodyPlan& plan, const Instance& instance,
+    const DeltaView& delta, const DeltaPartition& partition,
+    const Binding& partial, const std::function<bool(const Binding&)>& fn);
+
+// HasMatch through `plan.full`.
+bool HasMatchPlanned(const plan::BodyPlan& plan, const Instance& instance,
+                     const Binding& partial);
+
 }  // namespace pdx
 
 #endif  // PDX_HOM_MATCHER_H_

@@ -10,6 +10,9 @@
 #include "hom/matcher.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "plan/compiler.h"
+#include "plan/ir.h"
+#include "plan/plan_cache.h"
 #include "relational/snapshot.h"
 
 namespace pdx {
@@ -85,11 +88,32 @@ class Searcher {
       ts_deps_.push_back(std::move(dep));
     }
     ts_cands_.resize(ts_deps_.size());
+    if (options_.compile_plans && !plan::ForceInterpreter()) {
+      // One cache probe per solve, keyed by the combined st+target setting
+      // in tgd_order_ order (so compiled_->tgds[t] pairs with
+      // tgd_order_[t]). Node re-chases never recompile; repeated solves of
+      // the same setting hit the process cache.
+      std::vector<Tgd> all_tgds;
+      all_tgds.reserve(tgd_order_.size());
+      for (const Tgd* tgd : tgd_order_) all_tgds.push_back(*tgd);
+      compiled_ =
+          plan::PlanCache::Global().GetOrCompile(all_tgds,
+                                                 setting_.target_egds());
+      // Σ_ts acts as checks, not chase rules: only the body programs are
+      // worth compiling (the head probes run against cached bindings with
+      // per-disjunct atom lists, which stay interpreted).
+      ts_body_plans_.reserve(ts_deps_.size());
+      for (const TsDep& dep : ts_deps_) {
+        ts_body_plans_.push_back(
+            plan::CompileBody(*dep.body, dep.var_count, {}));
+      }
+    }
   }
 
   GenericSolveResult Run(Instance start) {
     obs::Span run_span(obs::Tracer::Global(), "solve.generic");
-    run_span.AttrBool("enumerate_all", options_.enumerate_all);
+    run_span.AttrBool("enumerate_all", options_.enumerate_all)
+        .AttrBool("compiled", compiled_ != nullptr);
     int threads = options_.num_threads <= 0
                       ? ThreadPool::HardwareConcurrency()
                       : options_.num_threads;
@@ -304,7 +328,8 @@ class Searcher {
                         std::vector<std::vector<int>>* extras) {
     EgdFixpointOutcome out = RunEgdsToFixpointDelta(
         setting_.target_egds(), k, since,
-        std::numeric_limits<int64_t>::max(), symbols_, extras, pool_.get());
+        std::numeric_limits<int64_t>::max(), symbols_, extras, pool_.get(),
+        compiled_ != nullptr ? &compiled_->egds : nullptr);
     return !out.failed;
   }
 
@@ -334,34 +359,50 @@ class Searcher {
     for (size_t t = 0; t < tgd_order_.size(); ++t) {
       const Tgd& tgd = *tgd_order_[t];
       if (!TouchesDelta(tgd.body, delta)) continue;
-      EnumerateMatchesDelta(
-          tgd.body, tgd.var_count, k, delta, Binding::Empty(tgd.var_count),
-          [&](const Binding& match) {
-            ++result_.candidates_discovered;
-            if (!HasMatch(tgd.head, tgd.var_count, k, match)) {
-              tgd_cands_[t].push_back({match, false});
-            }
-            return true;
-          });
+      const plan::TgdPlan* plan =
+          compiled_ != nullptr ? &compiled_->tgds[t] : nullptr;
+      const auto discover = [&](const Binding& match) {
+        ++result_.candidates_discovered;
+        const bool satisfied =
+            plan != nullptr
+                ? HasMatchPlanned(plan->head, k, match)
+                : HasMatch(tgd.head, tgd.var_count, k, match);
+        if (!satisfied) {
+          tgd_cands_[t].push_back({match, false});
+        }
+        return true;
+      };
+      if (plan != nullptr) {
+        EnumerateMatchesDeltaPlanned(plan->body, k, delta,
+                                     Binding::Empty(tgd.var_count), discover);
+      } else {
+        EnumerateMatchesDelta(tgd.body, tgd.var_count, k, delta,
+                              Binding::Empty(tgd.var_count), discover);
+      }
     }
     bool permanent = false;
     for (size_t j = 0; j < ts_deps_.size() && !permanent; ++j) {
       const TsDep& dep = ts_deps_[j];
       if (!TouchesDelta(*dep.body, delta)) continue;
-      EnumerateMatchesDelta(
-          *dep.body, dep.var_count, k, delta, Binding::Empty(dep.var_count),
-          [&](const Binding& match) {
-            ++result_.candidates_discovered;
-            for (const std::vector<Atom>* head : dep.heads) {
-              if (HasMatch(*head, dep.var_count, k, match)) return true;
-            }
-            if (IsPermanentViolation(k, match, dep.var_count)) {
-              permanent = true;
-              return false;  // stop: the node is dead
-            }
-            ts_cands_[j].push_back({match, false});
-            return true;
-          });
+      const auto discover = [&](const Binding& match) {
+        ++result_.candidates_discovered;
+        for (const std::vector<Atom>* head : dep.heads) {
+          if (HasMatch(*head, dep.var_count, k, match)) return true;
+        }
+        if (IsPermanentViolation(k, match, dep.var_count)) {
+          permanent = true;
+          return false;  // stop: the node is dead
+        }
+        ts_cands_[j].push_back({match, false});
+        return true;
+      };
+      if (!ts_body_plans_.empty()) {
+        EnumerateMatchesDeltaPlanned(ts_body_plans_[j], k, delta,
+                                     Binding::Empty(dep.var_count), discover);
+      } else {
+        EnumerateMatchesDelta(*dep.body, dep.var_count, k, delta,
+                              Binding::Empty(dep.var_count), discover);
+      }
     }
     return !permanent;
   }
@@ -414,10 +455,16 @@ class Searcher {
         const Tgd& tgd = *tgd_order_[t];
         if (tgd.IsFull() != full_pass) continue;
         std::vector<Candidate>& bucket = tgd_cands_[t];
+        const plan::TgdPlan* plan =
+            compiled_ != nullptr ? &compiled_->tgds[t] : nullptr;
         for (size_t c = 0; c < bucket.size(); ++c) {
           if (bucket[c].satisfied) continue;
           ++result_.candidate_checks;
-          if (HasMatch(tgd.head, tgd.var_count, k, bucket[c].binding)) {
+          const bool satisfied =
+              plan != nullptr
+                  ? HasMatchPlanned(plan->head, k, bucket[c].binding)
+                  : HasMatch(tgd.head, tgd.var_count, k, bucket[c].binding);
+          if (satisfied) {
             MarkSatisfied(t, c);
             continue;
           }
@@ -471,6 +518,11 @@ class Searcher {
   std::vector<std::pair<size_t, size_t>> satisfied_trail_;
   GenericSolveResult result_;
   std::unique_ptr<ThreadPool> pool_;  // egd-fixpoint collection only
+  // Compiled plans: compiled_->tgds parallel to tgd_order_, compiled_->egds
+  // parallel to setting_.target_egds(); ts_body_plans_ parallel to
+  // ts_deps_. All empty/null when interpreting.
+  std::shared_ptr<const plan::CompiledSetting> compiled_;
+  std::vector<plan::BodyPlan> ts_body_plans_;
 };
 
 }  // namespace

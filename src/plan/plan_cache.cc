@@ -1,0 +1,94 @@
+#include "plan/plan_cache.h"
+
+#include <chrono>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace pdx {
+namespace plan {
+
+namespace {
+
+struct PlanMetrics {
+  obs::Counter compiled;
+  obs::Counter cache_hits;
+  obs::Counter cache_misses;
+  obs::Histogram compile_micros;
+
+  static PlanMetrics& Get() {
+    static PlanMetrics* m = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+      auto* metrics = new PlanMetrics();
+      metrics->compiled = reg.GetCounter("pdx_plan_compiled_total");
+      metrics->cache_hits = reg.GetCounter("pdx_plan_cache_hits_total");
+      metrics->cache_misses = reg.GetCounter("pdx_plan_cache_misses_total");
+      metrics->compile_micros = reg.GetHistogram(
+          "pdx_plan_compile_micros", {50, 100, 250, 500, 1000, 2500, 5000,
+                                      10000});
+      return metrics;
+    }();
+    return *m;
+  }
+};
+
+}  // namespace
+
+PlanCache& PlanCache::Global() {
+  static PlanCache* cache = new PlanCache();
+  return *cache;
+}
+
+std::shared_ptr<const CompiledSetting> PlanCache::GetOrCompile(
+    const std::vector<Tgd>& tgds, const std::vector<Egd>& egds) {
+  PlanMetrics& metrics = PlanMetrics::Get();
+  const uint64_t fp = SettingFingerprint(tgds, egds);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(fp);
+    if (it != cache_.end()) {
+      ++stats_.hits;
+      metrics.cache_hits.Inc();
+      return it->second;
+    }
+  }
+  // Compile outside the lock: compilation is pure, so two threads racing
+  // on the same fingerprint produce identical plans and the loser's copy
+  // is simply dropped.
+  obs::Span span(obs::Tracer::Global(), "compile_setting");
+  span.AttrInt("tgds", static_cast<int64_t>(tgds.size()))
+      .AttrInt("egds", static_cast<int64_t>(egds.size()))
+      .AttrInt("fingerprint", static_cast<int64_t>(fp));
+  const auto start = std::chrono::steady_clock::now();
+  std::shared_ptr<const CompiledSetting> compiled =
+      CompileSetting(tgds, egds);
+  const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  metrics.compile_micros.Observe(static_cast<int64_t>(micros));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = cache_.emplace(fp, std::move(compiled));
+  if (inserted) {
+    ++stats_.misses;
+    ++stats_.compiled;
+    metrics.cache_misses.Inc();
+    metrics.compiled.Inc();
+  } else {
+    ++stats_.hits;
+    metrics.cache_hits.Inc();
+  }
+  return it->second;
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+}  // namespace plan
+}  // namespace pdx

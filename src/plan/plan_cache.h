@@ -1,0 +1,58 @@
+#ifndef PDX_PLAN_PLAN_CACHE_H_
+#define PDX_PLAN_PLAN_CACHE_H_
+
+// Process-wide cache of compiled settings, keyed by structural
+// fingerprint (plan/compiler.h, SettingFingerprint). A fingerprint fully
+// determines the compiled plan bytes — plans are pure functions of the
+// hashed structure — so a hit is always sound to reuse, across chase
+// rounds, solver node re-chases and repeated pdxcli invocations alike.
+//
+// Observability: pdx_plan_compiled_total / pdx_plan_cache_{hits,misses}_total
+// counters, a pdx_plan_compile_micros histogram, and a "compile_setting"
+// span per miss — all compiled to no-ops under -DPDX_OBS_NOOP=ON.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "logic/dependency.h"
+#include "plan/compiler.h"
+#include "plan/ir.h"
+
+namespace pdx {
+namespace plan {
+
+class PlanCache {
+ public:
+  // The process-wide cache (never destroyed, like the metrics registry).
+  static PlanCache& Global();
+
+  // Returns the compiled plans for (tgds, egds), compiling on first sight.
+  // Plans inside the returned setting are indexed parallel to the input
+  // vectors. Thread-safe.
+  std::shared_ptr<const CompiledSetting> GetOrCompile(
+      const std::vector<Tgd>& tgds, const std::vector<Egd>& egds);
+
+  // Cumulative cache statistics (mirrors the pdx_plan_* counters; kept on
+  // the cache too so tests can assert without a metrics registry).
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t compiled = 0;
+  };
+  Stats stats() const;
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<const CompiledSetting>> cache_;
+  Stats stats_;
+};
+
+}  // namespace plan
+}  // namespace pdx
+
+#endif  // PDX_PLAN_PLAN_CACHE_H_

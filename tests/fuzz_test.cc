@@ -148,6 +148,10 @@ TEST_P(FuzzTest, FuzzedChasesResolveSurvivingNullsToUniqueRoots) {
     ChaseOptions delta_options;
     delta_options.strategy = ChaseStrategy::kRestricted;
     delta_options.max_steps = 5000;
+    // Compiled-plan toggle drawn per trial; every delta-engine
+    // configuration of this trial (sequential and parallel) uses the same
+    // lane, and the flipped lane is cross-validated below.
+    delta_options.compile_plans = rng.UniformInt(2) == 1;
     ChaseResult naive =
         Chase(start, deps->tgds, deps->egds, &symbols_, naive_options);
     ChaseResult delta =
@@ -183,6 +187,29 @@ TEST_P(FuzzTest, FuzzedChasesResolveSurvivingNullsToUniqueRoots) {
           << "trial " << trial << " threads " << parallel_options.num_threads
           << " speculative " << parallel_options.speculative << "\nI:\n"
           << start.ToString(symbols_);
+    }
+
+    // Plan-vs-interpreter cross-validation: the same sequential delta
+    // chase with compile_plans flipped. On these rule sets (bodies of at
+    // most two atoms) the compiled join order coincides with the
+    // interpreter's, so outcome, step count, null count and the
+    // canonicalized fingerprint must all agree.
+    ChaseOptions flipped_options = delta_options;
+    flipped_options.compile_plans = !delta_options.compile_plans;
+    ChaseResult flipped =
+        Chase(start, deps->tgds, deps->egds, &symbols_, flipped_options);
+    ASSERT_EQ(flipped.outcome, delta.outcome)
+        << "compiled/interpreted disagreement, trial " << trial
+        << " compile_plans " << flipped_options.compile_plans << "\nI:\n"
+        << start.ToString(symbols_);
+    if (delta.outcome == ChaseOutcome::kSuccess) {
+      EXPECT_EQ(flipped.steps, delta.steps) << "trial " << trial;
+      EXPECT_EQ(flipped.nulls_created, delta.nulls_created)
+          << "trial " << trial;
+      EXPECT_EQ(testing_util::CanonicalizedFingerprint(flipped.instance),
+                testing_util::CanonicalizedFingerprint(delta.instance))
+          << "compiled/interpreted fingerprint divergence, trial " << trial
+          << "\nI:\n" << start.ToString(symbols_);
     }
 
     if (delta.outcome != ChaseOutcome::kSuccess) continue;

@@ -1,0 +1,442 @@
+// Dependency compiler tests: IR goldens for the pass pipeline (atom
+// reordering, access-path selection, delta specialization, apply
+// templates), PlanCache behavior and its metrics, executor-vs-interpreter
+// match-set equality (including resolve-on-read under merges and the
+// semi-naive delta restriction), and the solver cache criterion — node
+// re-chases of one setting compile it exactly once per process.
+
+#include "plan/compiler.h"
+
+#include <set>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "chase/chase.h"
+#include "hom/matcher.h"
+#include "logic/parser.h"
+#include "obs/metrics.h"
+#include "pde/generic_solver.h"
+#include "pde/setting.h"
+#include "plan/ir.h"
+#include "plan/plan_cache.h"
+#include "tests/test_util.h"
+
+namespace pdx {
+namespace {
+
+using testing_util::Unwrap;
+
+class PlanCompilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(schema_.AddRelation("E", 2).ok());
+    ASSERT_TRUE(schema_.AddRelation("H", 2).ok());
+    ASSERT_TRUE(schema_.AddRelation("F", 2).ok());
+  }
+
+  std::vector<Tgd> ParseTgds(const char* text) {
+    auto deps = ParseDependencies(text, schema_, &symbols_);
+    EXPECT_TRUE(deps.ok()) << deps.status().ToString();
+    return std::move(deps).value().tgds;
+  }
+
+  Schema schema_;
+  SymbolTable symbols_;
+};
+
+// --- IR goldens ----------------------------------------------------------
+
+TEST_F(PlanCompilerTest, JoinOrderScansFirstAtomThenProbesSharedVariable) {
+  // E(x,z) & E(z,y): nothing bound initially, so the greedy order keeps
+  // atom 0 first (tie on bound-term count broken by original index) as a
+  // scan; atom 1 then has z bound and probes position 0 with it.
+  std::vector<Tgd> tgds = ParseTgds("E(x,z) & E(z,y) -> H(x,y).");
+  ASSERT_EQ(tgds.size(), 1u);
+  const Tgd& tgd = tgds[0];
+  plan::BodyPlan body = plan::CompileBody(tgd.body, tgd.var_count, {});
+
+  ASSERT_EQ(body.full.size(), 2u);
+  EXPECT_EQ(body.atom_count, 2);
+  EXPECT_EQ(body.var_count, tgd.var_count);
+  EXPECT_EQ(body.full[0].atom_index, 0);
+  EXPECT_EQ(body.full[0].access.kind, plan::AccessPath::kScan);
+  EXPECT_EQ(body.full[1].atom_index, 1);
+  EXPECT_EQ(body.full[1].access.kind, plan::AccessPath::kProbeVar);
+  EXPECT_EQ(body.full[1].access.pos, 0);
+  // The probe variable is the one atom 0 and atom 1 share: z, the second
+  // term of atom 0.
+  ASSERT_TRUE(tgd.body[0].terms[1].is_variable());
+  EXPECT_EQ(body.full[1].access.var, tgd.body[0].terms[1].var());
+  // The probed position is skipped in the step's unification program.
+  ASSERT_EQ(body.full[1].ops.size(), 1u);
+  EXPECT_EQ(body.full[1].ops[0].pos, 1);
+  EXPECT_EQ(body.full[1].ops[0].kind, plan::SlotOp::kBind);
+}
+
+TEST_F(PlanCompilerTest, ConstantTermsSelectProbeConstAndCheckConst) {
+  auto query = ParseQuery("q(x) :- E('a', x) & H(x, 'b').", schema_,
+                          &symbols_);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  plan::BodyPlan body =
+      plan::CompileBody(query->body, query->var_count, {});
+
+  // Both atoms have one bound (constant) term; the tie goes to atom 0,
+  // which probes its constant; atom 1 then has x bound — a bound-variable
+  // probe is preferred over its constant.
+  ASSERT_EQ(body.full.size(), 2u);
+  EXPECT_EQ(body.full[0].atom_index, 0);
+  EXPECT_EQ(body.full[0].access.kind, plan::AccessPath::kProbeConst);
+  EXPECT_EQ(body.full[0].access.pos, 0);
+  EXPECT_EQ(body.full[0].access.key, symbols_.InternConstant("a"));
+  EXPECT_EQ(body.full[1].atom_index, 1);
+  EXPECT_EQ(body.full[1].access.kind, plan::AccessPath::kProbeVar);
+  EXPECT_EQ(body.full[1].access.pos, 0);
+  // Atom 1's remaining op checks the constant 'b' at position 1.
+  ASSERT_EQ(body.full[1].ops.size(), 1u);
+  EXPECT_EQ(body.full[1].ops[0].kind, plan::SlotOp::kCheckConst);
+  EXPECT_EQ(body.full[1].ops[0].key, symbols_.InternConstant("b"));
+}
+
+TEST_F(PlanCompilerTest, DeltaSpecializationEmitsOneVariantPerAtom) {
+  std::vector<Tgd> tgds =
+      ParseTgds("E(x,z) & E(z,y) & H(y,w) -> F(x,w).");
+  const Tgd& tgd = tgds[0];
+  plan::BodyPlan body = plan::CompileBody(tgd.body, tgd.var_count, {});
+
+  ASSERT_EQ(body.variants.size(), tgd.body.size());
+  for (size_t i = 0; i < body.variants.size(); ++i) {
+    const plan::DeltaVariant& variant = body.variants[i];
+    EXPECT_EQ(variant.pivot, static_cast<int>(i));
+    EXPECT_EQ(variant.pivot_relation, tgd.body[i].relation);
+    // The pivot is unified up front; the rest joins the other atoms.
+    EXPECT_EQ(variant.rest.size(), tgd.body.size() - 1);
+    std::set<int> rest_atoms;
+    for (const plan::JoinStep& step : variant.rest) {
+      rest_atoms.insert(step.atom_index);
+    }
+    EXPECT_EQ(rest_atoms.size(), variant.rest.size());
+    EXPECT_EQ(rest_atoms.count(static_cast<int>(i)), 0u);
+  }
+}
+
+TEST_F(PlanCompilerTest, ApplyTemplateCapturesHeadShapeAndExistentials) {
+  std::vector<Tgd> tgds =
+      ParseTgds("E(x,y) -> exists z, w: H(x,z) & F(z,w).");
+  const Tgd& tgd = tgds[0];
+  plan::TgdPlan plan = plan::CompileTgd(tgd);
+  const plan::ApplyTemplate& apply = plan.apply;
+
+  EXPECT_EQ(apply.head_width, 4u);
+  EXPECT_EQ(apply.fresh_per_trigger, 2);
+  ASSERT_EQ(apply.existentials.size(), 2u);
+  // Ascending variable order — the interpreter invents fresh nulls in that
+  // order, and the speculative layouts rely on it.
+  EXPECT_LT(apply.existentials[0], apply.existentials[1]);
+  // Flat head row: H(x,z) F(z,w) -> slots 1 and 2 hold z, slot 3 holds w.
+  ASSERT_EQ(apply.slots.size(), 4u);
+  EXPECT_FALSE(apply.slots[0].is_const);
+  EXPECT_EQ(apply.slots[0].exist, -1);
+  EXPECT_EQ(apply.slots[1].exist, 0);
+  EXPECT_EQ(apply.slots[2].exist, 0);
+  EXPECT_EQ(apply.slots[3].exist, 1);
+  ASSERT_EQ(apply.head_null_slots.size(), 3u);
+  EXPECT_EQ(apply.head_null_slots[0].first, 1u);
+  EXPECT_EQ(apply.head_null_slots[1].first, 2u);
+  EXPECT_EQ(apply.head_null_slots[2].first, 3u);
+  ASSERT_EQ(apply.head_atoms.size(), 2u);
+  EXPECT_EQ(apply.head_atoms[0].relation, tgd.head[0].relation);
+  EXPECT_EQ(apply.head_atoms[0].arity, 2);
+  // body_bound marks exactly the universal variables.
+  ASSERT_EQ(apply.body_bound.size(), static_cast<size_t>(tgd.var_count));
+  for (int v = 0; v < tgd.var_count; ++v) {
+    EXPECT_EQ(apply.body_bound[v], !tgd.existential[v]) << "var " << v;
+  }
+}
+
+TEST_F(PlanCompilerTest, HeadPlanProbesWithUniversalVariablesBound) {
+  // The head plan backs the restricted engine's satisfaction check: it is
+  // compiled with the universal variables pre-bound, so the head atom
+  // probes one of them instead of scanning.
+  std::vector<Tgd> tgds = ParseTgds("E(x,y) -> H(x,y).");
+  plan::TgdPlan plan = plan::CompileTgd(tgds[0]);
+  ASSERT_EQ(plan.head.full.size(), 1u);
+  EXPECT_EQ(plan.head.full[0].access.kind, plan::AccessPath::kProbeVar);
+}
+
+TEST_F(PlanCompilerTest, DumpPlansRendersOrderAccessPathsAndVariants) {
+  std::vector<Tgd> tgds = ParseTgds("E(x,z) & E(z,y) -> H(x,y).");
+  auto compiled = plan::CompileSetting(tgds, {});
+  std::string dump =
+      plan::DumpPlans(*compiled, tgds, {}, schema_, symbols_);
+  EXPECT_NE(dump.find("E(x,z) & E(z,y) -> H(x,y)"), std::string::npos)
+      << dump;
+  EXPECT_NE(dump.find("scan"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("probe-var[0]=z"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("delta pivot atom#1"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("fingerprint"), std::string::npos) << dump;
+}
+
+TEST_F(PlanCompilerTest, FingerprintIsStructuralNotTextual) {
+  // Renaming variables and relations changes nothing the compiler reads
+  // as long as ids coincide; adding a constant does.
+  std::vector<Tgd> a = ParseTgds("E(x,z) & E(z,y) -> H(x,y).");
+  std::vector<Tgd> b = ParseTgds("E(u,v) & E(v,w) -> H(u,w).");
+  std::vector<Tgd> c = ParseTgds("E('a',z) & E(z,y) -> H('a',y).");
+  EXPECT_EQ(plan::SettingFingerprint(a, {}), plan::SettingFingerprint(b, {}));
+  EXPECT_NE(plan::SettingFingerprint(a, {}), plan::SettingFingerprint(c, {}));
+}
+
+// --- PlanCache -----------------------------------------------------------
+
+TEST_F(PlanCompilerTest, PlanCacheReturnsSharedPlansAndCountsHits) {
+  std::vector<Tgd> tgds =
+      ParseTgds("E(x,z) & E(z,y) & E(y,w) & H(w,u) -> F(x,u).");
+  obs::Counter hits = obs::MetricsRegistry::Global().GetCounter(
+      "pdx_plan_cache_hits_total");
+  obs::Counter compiled_total = obs::MetricsRegistry::Global().GetCounter(
+      "pdx_plan_compiled_total");
+
+  plan::PlanCache& cache = plan::PlanCache::Global();
+  plan::PlanCache::Stats before = cache.stats();
+  int64_t hits_before = hits.Value();
+  int64_t compiled_before = compiled_total.Value();
+
+  auto first = cache.GetOrCompile(tgds, {});
+  auto second = cache.GetOrCompile(tgds, {});
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first.get(), second.get())
+      << "same structural setting must share one compiled plan";
+
+  plan::PlanCache::Stats after = cache.stats();
+  EXPECT_EQ(after.compiled - before.compiled, 1);
+  EXPECT_EQ(after.hits - before.hits, 1);
+  EXPECT_EQ(compiled_total.Value() - compiled_before, 1);
+  EXPECT_EQ(hits.Value() - hits_before, 1);
+}
+
+// --- Executor vs interpreter --------------------------------------------
+
+using Row = std::vector<uint64_t>;
+
+std::set<Row> CollectInterpreted(const std::vector<Atom>& atoms,
+                                 int var_count, const Instance& instance,
+                                 const Binding& partial) {
+  std::set<Row> rows;
+  EnumerateMatches(atoms, var_count, instance, partial,
+                   [&](const Binding& b) {
+                     Row row;
+                     for (size_t v = 0; v < b.bound.size(); ++v) {
+                       row.push_back(b.bound[v] ? b.values[v].packed() : 0);
+                     }
+                     EXPECT_TRUE(rows.insert(row).second);
+                     return true;
+                   });
+  return rows;
+}
+
+std::set<Row> CollectPlanned(const plan::BodyPlan& plan,
+                             const Instance& instance,
+                             const Binding& partial) {
+  std::set<Row> rows;
+  EnumerateMatchesPlanned(plan, instance, partial, [&](const Binding& b) {
+    Row row;
+    for (size_t v = 0; v < b.bound.size(); ++v) {
+      row.push_back(b.bound[v] ? b.values[v].packed() : 0);
+    }
+    EXPECT_TRUE(rows.insert(row).second);
+    return true;
+  });
+  return rows;
+}
+
+TEST_F(PlanCompilerTest, ExecutorMatchesInterpreterOnMergedInstance) {
+  auto query = ParseQuery("q(x,y,w) :- E(x,y) & H(y,w).", schema_,
+                          &symbols_);
+  ASSERT_TRUE(query.ok());
+  Value a = symbols_.InternConstant("a");
+  Value b = symbols_.InternConstant("b");
+  Value c = symbols_.InternConstant("c");
+  Value n1 = symbols_.FreshNull();
+  Value n2 = symbols_.FreshNull();
+
+  Instance instance(&schema_);
+  instance.AddFact(0, {a, n1});
+  instance.AddFact(0, {a, b});
+  instance.AddFact(1, {n2, c});
+  instance.AddFact(1, {b, a});
+  // Merging n1 and n2 makes E(a,n1) join H(n2,c) only under
+  // resolve-on-read — the raw tuples never change.
+  ASSERT_TRUE(instance.MergeValues(n1, n2).merged);
+  ASSERT_TRUE(instance.has_merges());
+
+  plan::BodyPlan plan =
+      plan::CompileBody(query->body, query->var_count, {});
+  std::set<Row> interpreted = CollectInterpreted(
+      query->body, query->var_count, instance,
+      Binding::Empty(query->var_count));
+  std::set<Row> planned =
+      CollectPlanned(plan, instance, Binding::Empty(query->var_count));
+  EXPECT_EQ(interpreted, planned);
+  EXPECT_EQ(interpreted.size(), 2u);  // (a,n,c) with n = root, and (a,b,a)
+
+  // Partial bindings: x = a fixed, with the plan compiled for the
+  // unbound case — the runtime-checked kBind path must still filter.
+  Binding partial = Binding::Empty(query->var_count);
+  partial.Bind(0, a);
+  EXPECT_EQ(CollectInterpreted(query->body, query->var_count, instance,
+                               partial),
+            CollectPlanned(plan, instance, partial));
+}
+
+TEST_F(PlanCompilerTest, DeltaExecutorMatchesInterpreterPerPartition) {
+  auto query = ParseQuery("q(x,y,z) :- E(x,y) & E(y,z).", schema_,
+                          &symbols_);
+  ASSERT_TRUE(query.ok());
+  auto node = [&](int i) {
+    return symbols_.InternConstant("n" + std::to_string(i));
+  };
+  Instance instance(&schema_);
+  for (int i = 0; i < 6; ++i) {
+    instance.AddFact(0, {node(i), node((i + 1) % 6)});
+  }
+  InstanceWatermark mark = instance.TakeWatermark();
+  for (int i = 0; i < 6; ++i) {
+    instance.AddFact(0, {node(i), node((i + 2) % 6)});
+  }
+  DeltaView delta(instance, mark);
+
+  plan::BodyPlan plan =
+      plan::CompileBody(query->body, query->var_count, {});
+  Binding empty = Binding::Empty(query->var_count);
+
+  std::set<Row> interpreted;
+  EnumerateMatchesDelta(query->body, query->var_count, instance, delta,
+                        empty, [&](const Binding& b) {
+                          Row row;
+                          for (const Value& v : b.values) {
+                            row.push_back(v.packed());
+                          }
+                          interpreted.insert(row);
+                          return true;
+                        });
+  std::set<Row> planned;
+  EnumerateMatchesDeltaPlanned(plan, instance, delta, empty,
+                               [&](const Binding& b) {
+                                 Row row;
+                                 for (const Value& v : b.values) {
+                                   row.push_back(v.packed());
+                                 }
+                                 planned.insert(row);
+                                 return true;
+                               });
+  EXPECT_EQ(interpreted, planned);
+  EXPECT_FALSE(planned.empty());
+
+  // And per partition: each partition's match set agrees with the
+  // interpreter enumerating the same partition.
+  for (const DeltaPartition& part :
+       PartitionDeltaMatches(query->body, delta, 4)) {
+    std::set<Row> part_interpreted, part_planned;
+    EnumerateMatchesDeltaPartition(query->body, query->var_count, instance,
+                                   delta, part, empty,
+                                   [&](const Binding& b) {
+                                     Row row;
+                                     for (const Value& v : b.values) {
+                                       row.push_back(v.packed());
+                                     }
+                                     part_interpreted.insert(row);
+                                     return true;
+                                   });
+    EnumerateMatchesDeltaPartitionPlanned(plan, instance, delta, part,
+                                          empty, [&](const Binding& b) {
+                                            Row row;
+                                            for (const Value& v : b.values) {
+                                              row.push_back(v.packed());
+                                            }
+                                            part_planned.insert(row);
+                                            return true;
+                                          });
+    EXPECT_EQ(part_interpreted, part_planned);
+  }
+}
+
+TEST_F(PlanCompilerTest, ChaseResultsAgreeAcrossCompileToggle) {
+  // End-to-end: the same chase with compile_plans on and off reaches the
+  // same instance (same null identities — the compiled path preserves the
+  // interpreter's fresh-null order) on a tgd+egd interleaving.
+  auto deps = ParseDependencies(
+      "E(x,y) -> exists z: H(x,z) & F(y,z). "
+      "H(x,y) & H(x,z) -> y = z. "
+      "F(x,y) & F(x,z) -> y = z.",
+      schema_, &symbols_);
+  ASSERT_TRUE(deps.ok());
+  Value a = symbols_.InternConstant("a");
+  Value b = symbols_.InternConstant("b");
+  Value c = symbols_.InternConstant("c");
+  Instance start(&schema_);
+  start.AddFact(0, {a, b});
+  start.AddFact(0, {b, c});
+  start.AddFact(0, {a, c});
+
+  ChaseOptions interpreted_options;
+  interpreted_options.compile_plans = false;
+  ChaseOptions compiled_options;
+  compiled_options.compile_plans = true;
+  ChaseResult interpreted =
+      Chase(start, deps->tgds, deps->egds, &symbols_, interpreted_options);
+  ChaseResult compiled =
+      Chase(start, deps->tgds, deps->egds, &symbols_, compiled_options);
+  ASSERT_EQ(interpreted.outcome, ChaseOutcome::kSuccess);
+  ASSERT_EQ(compiled.outcome, ChaseOutcome::kSuccess);
+  EXPECT_EQ(interpreted.steps, compiled.steps);
+  EXPECT_EQ(interpreted.nulls_created, compiled.nulls_created);
+  EXPECT_EQ(testing_util::CanonicalizedFingerprint(interpreted.instance),
+            testing_util::CanonicalizedFingerprint(compiled.instance));
+}
+
+// --- Solver cache criterion ---------------------------------------------
+
+TEST_F(PlanCompilerTest, SolverNodeRechasesCompileEachSettingOnce) {
+  if (plan::ForceInterpreter()) {
+    GTEST_SKIP() << "PDX_FORCE_INTERPRETER disables plan compilation";
+  }
+  // A setting shaped to be structurally unique in this process (arity-3
+  // target relation), so its first solve is the one and only compile; the
+  // search explores multiple nodes, each re-chasing through the same
+  // plans, and repeated solves hit the cache without recompiling.
+  SymbolTable symbols;
+  PdeSetting setting = Unwrap(PdeSetting::Create(
+      {{"S", 2}}, {{"T", 3}},
+      "S(x,y) -> exists z: T(x,y,z).",
+      "T(x,y,z) -> S(x,y).",
+      "T(x,y,z) & T(x,y,w) -> z = w.", &symbols));
+  Instance source = testing_util::ParseOrDie(
+      setting, "S(a,b). S(b,c). S(c,a).", &symbols);
+  Instance target = setting.EmptyInstance();
+
+  obs::Counter compiled_total = obs::MetricsRegistry::Global().GetCounter(
+      "pdx_plan_compiled_total");
+  obs::Counter hits = obs::MetricsRegistry::Global().GetCounter(
+      "pdx_plan_cache_hits_total");
+
+  int64_t compiled_before = compiled_total.Value();
+  GenericSolveResult first = Unwrap(
+      GenericExistsSolution(setting, source, target, &symbols));
+  ASSERT_EQ(first.outcome, SolveOutcome::kSolutionFound);
+  ASSERT_GT(first.nodes_explored, 1);
+  int64_t compiled_first = compiled_total.Value() - compiled_before;
+  EXPECT_EQ(compiled_first, 1)
+      << "one solve must compile its setting exactly once, regardless of "
+         "node count";
+
+  int64_t hits_before = hits.Value();
+  GenericSolveResult second = Unwrap(
+      GenericExistsSolution(setting, source, target, &symbols));
+  EXPECT_EQ(second.outcome, first.outcome);
+  EXPECT_EQ(compiled_total.Value() - compiled_before, 1)
+      << "a repeated solve of the same setting must not recompile";
+  EXPECT_GE(hits.Value() - hits_before, 1);
+}
+
+}  // namespace
+}  // namespace pdx

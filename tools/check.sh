@@ -6,7 +6,9 @@
 # snapshot — stores or resolver — is exactly what it catches), then the
 # `parallel`-labeled tests under ThreadSanitizer (TSan and ASan cannot
 # share a build tree, so the TSan pass builds only the concurrency
-# tests in its own tree and runs just that label).
+# tests in its own tree and runs just that label). The sanitizer suites
+# run twice each: once on the default compiled-plan path and once with
+# PDX_FORCE_INTERPRETER=1 pinning the retained interpreter.
 #
 # The plain pass is followed by a pdxcli smoke stage: check/chase/solve on
 # the shipped Example 1 setting with --metrics-out/--trace-out, failing on
@@ -86,6 +88,13 @@ if [[ "$mode" == "all" || "$mode" == "--sanitize-only" ]]; then
   echo "== address+undefined sanitizer build =="
   run_suite build-asan "-DPDX_SANITIZE=address;undefined" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  # Same build, interpreter forced: PDX_FORCE_INTERPRETER=1 disables the
+  # compiled match/apply plans process-wide, so the retained interpreter —
+  # the cross-validation baseline — keeps its own sanitizer coverage now
+  # that the default path runs through plan/.
+  echo "== address+undefined sanitizer rerun (interpreter forced) =="
+  PDX_FORCE_INTERPRETER=1 ctest --test-dir build-asan -L tier1 \
+    --output-on-failure -j "$jobs" --timeout 600
 fi
 
 if [[ "$mode" == "all" || "$mode" == "--tsan-only" ]]; then
@@ -101,6 +110,12 @@ if [[ "$mode" == "all" || "$mode" == "--tsan-only" ]]; then
   # barrier path is the default everywhere else and already sanitized by
   # earlier PRs' runs.
   PDX_FORCE_SPECULATIVE=1 ctest --test-dir build-tsan -L parallel \
+    --output-on-failure -j "$jobs" --timeout 600
+  # And once more with plans disabled: the speculative engine's
+  # interpreter lane (worker-side interpreted matching) stays data-race
+  # clean even though compiled plans are the default.
+  PDX_FORCE_SPECULATIVE=1 PDX_FORCE_INTERPRETER=1 ctest \
+    --test-dir build-tsan -L parallel \
     --output-on-failure -j "$jobs" --timeout 600
 fi
 

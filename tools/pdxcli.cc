@@ -3,6 +3,7 @@
 // Usage:
 //   pdxcli check   --setting FILE
 //   pdxcli chase   --setting FILE --source FILE [--target FILE] [--threads N]
+//                  [--speculative] [--dump-plans]
 //   pdxcli solve   --setting FILE --source FILE [--target FILE]
 //                  [--solver auto|ctract|generic] [--minimize] [--diff]
 //                  [--threads N]
@@ -28,6 +29,7 @@
 
 #include "base/string_util.h"
 #include "chase/chase.h"
+#include "plan/compiler.h"
 #include "hom/core.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
@@ -66,7 +68,8 @@ StatusOr<CliArgs> ParseArgs(int argc, char** argv) {
       return InvalidArgumentError(StrCat("expected --flag, got ", flag));
     }
     flag = flag.substr(2);
-    if (flag == "minimize" || flag == "core" || flag == "diff") {
+    if (flag == "minimize" || flag == "core" || flag == "diff" ||
+        flag == "speculative" || flag == "dump-plans") {
       args.flags[flag] = "true";
       continue;
     }
@@ -220,6 +223,15 @@ int RunChase(const CliArgs& args) {
   Instance combined = setting->CombineInstances(*source, *target);
   ChaseOptions chase_options;
   chase_options.num_threads = ParseThreads(args);
+  chase_options.speculative = args.flags.count("speculative") > 0;
+  if (args.flags.count("dump-plans") > 0) {
+    // Show exactly what the chase below will execute: the compiled plans
+    // for Σ_st (this command chases with Σ_st only, no egds).
+    auto compiled = plan::CompileSetting(setting->st_tgds(), {});
+    std::cout << plan::DumpPlans(*compiled, setting->st_tgds(), {},
+                                 setting->schema(), symbols)
+              << "\n";
+  }
   ChaseResult chased =
       Chase(combined, setting->st_tgds(), {}, &symbols, chase_options);
   if (chased.outcome != ChaseOutcome::kSuccess) {
@@ -469,6 +481,7 @@ int Main(int argc, char** argv) {
                  "--setting FILE [--source FILE] [--target FILE] "
                  "[--solver auto|ctract|generic] [--query Q] "
                  "[--minimize] [--diff] [--threads N] "
+                 "[--speculative] [--dump-plans] "
                  "[--metrics-out FILE] [--trace-out FILE]\n";
     return 2;
   }
