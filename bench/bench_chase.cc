@@ -54,11 +54,11 @@ struct WorkloadResult {
   StrategyStats delta;
 };
 
-// One (num_threads, speculative) point of the thread-scaling dimension
+// One (num_threads, schedule) point of the thread-scaling dimension
 // (delta strategy only; the naive engine has no parallel path).
 struct ThreadPoint {
   int threads = 0;
-  bool speculative = false;
+  ChaseSchedule schedule = ChaseSchedule::kBarrier;
   double wall_ms = 0;
   int64_t steps = 0;
   double speedup_vs_1t = 0;
@@ -68,10 +68,11 @@ struct ThreadScalingResult {
   std::string name;
   int64_t input_facts = 0;
   std::vector<ThreadPoint> points;
-  // Barrier wall time over speculative wall time at 8 threads (> 1 means
-  // speculative execution is faster there) — the headline ratio for the
-  // speculative axis.
+  // Barrier wall time over speculative/dag wall time at 8 threads (> 1
+  // means the mode beats barrier there) — the headline ratios for the
+  // schedule axes.
   double speculative_vs_barrier_8t = 0;
+  double dag_vs_barrier_8t = 0;
 };
 
 struct BenchContext {
@@ -138,12 +139,13 @@ struct BenchContext {
 StrategyStats RunOne(SymbolTable* symbols, const Instance& start,
                      const std::vector<Tgd>& tgds,
                      const std::vector<Egd>& egds, ChaseStrategy strategy,
-                     int num_threads = 1, bool speculative = false,
+                     int num_threads = 1,
+                     ChaseSchedule schedule = ChaseSchedule::kBarrier,
                      bool compile_plans = true) {
   ChaseOptions options;
   options.strategy = strategy;
   options.num_threads = num_threads;
-  options.speculative = speculative;
+  options.schedule = schedule;
   options.compile_plans = compile_plans;
   options.max_steps = 10'000'000;
   StrategyStats stats;
@@ -236,11 +238,11 @@ CompiledVsInterpretedResult RunCompiledVsInterpreted(
   result.input_facts = static_cast<int64_t>(start.fact_count());
   result.interpreted =
       RunOne(symbols, start, tgds, egds, ChaseStrategy::kRestricted,
-             /*num_threads=*/1, /*speculative=*/false,
+             /*num_threads=*/1, ChaseSchedule::kBarrier,
              /*compile_plans=*/false);
   result.compiled =
       RunOne(symbols, start, tgds, egds, ChaseStrategy::kRestricted,
-             /*num_threads=*/1, /*speculative=*/false,
+             /*num_threads=*/1, ChaseSchedule::kBarrier,
              /*compile_plans=*/true);
   PDX_CHECK(result.compiled.canonical_fingerprint ==
             result.interpreted.canonical_fingerprint)
@@ -260,15 +262,16 @@ CompiledVsInterpretedResult RunCompiledVsInterpreted(
 }
 
 // The thread-scaling dimension: the same workload, delta strategy, at
-// 1/2/4/8 worker threads, barrier then speculative. Every barrier point
-// is cross-checked against the 1-thread run for identical fingerprints
-// and step counts — the parallel path must change wall time only. Every
-// speculative point must match the barrier base's step count and its
-// canonicalized fingerprint (speculative null identities are
-// schedule-dependent, so only renaming-invariant equality is meaningful).
-// On merge-heavy workloads the pooled path also switches the egd fixpoint
-// from find-one-then-rescan to batched collect-then-apply, so
-// multi-thread points can beat 1-thread even on a single core.
+// 1/2/4/8 worker threads, barrier then speculative then dag. Every
+// barrier point is cross-checked against the 1-thread run for identical
+// fingerprints and step counts — the parallel path must change wall time
+// only. Every speculative and dag point must match the barrier base's
+// step count and its canonicalized fingerprint (their null identities
+// are schedule-dependent, so only renaming-invariant equality is
+// meaningful). On merge-heavy workloads the pooled path also switches
+// the egd fixpoint from find-one-then-rescan to batched
+// collect-then-apply, so multi-thread points can beat 1-thread even on a
+// single core.
 ThreadScalingResult RunThreadScaling(SymbolTable* symbols,
                                      const std::string& name,
                                      const Instance& start,
@@ -278,44 +281,58 @@ ThreadScalingResult RunThreadScaling(SymbolTable* symbols,
   result.name = name;
   result.input_facts = static_cast<int64_t>(start.fact_count());
   StrategyStats base;
-  double barrier_8t_ms = 0, spec_8t_ms = 0;
-  for (bool speculative : {false, true}) {
+  double barrier_8t_ms = 0, spec_8t_ms = 0, dag_8t_ms = 0;
+  for (ChaseSchedule schedule :
+       {ChaseSchedule::kBarrier, ChaseSchedule::kSpeculative,
+        ChaseSchedule::kDag}) {
     for (int threads : {1, 2, 4, 8}) {
       StrategyStats stats =
           RunOne(symbols, start, tgds, egds, ChaseStrategy::kRestricted,
-                 threads, speculative);
-      if (!speculative && threads == 1) {
+                 threads, schedule);
+      bool barrier = schedule == ChaseSchedule::kBarrier;
+      if (barrier && threads == 1) {
         base = stats;
-      } else if (!speculative) {
+      } else if (barrier) {
         PDX_CHECK(stats.fingerprint == base.fingerprint)
             << "thread count changed the result on " << name;
         PDX_CHECK(stats.steps == base.steps)
             << "thread count changed the step count on " << name;
       } else {
         PDX_CHECK(stats.canonical_fingerprint == base.canonical_fingerprint)
-            << "speculative run not isomorphic to barrier base on " << name;
+            << ScheduleName(schedule)
+            << " run not isomorphic to barrier base on " << name;
         PDX_CHECK(stats.steps == base.steps)
-            << "speculative run changed the step count on " << name;
+            << ScheduleName(schedule) << " run changed the step count on "
+            << name;
       }
-      if (threads == 8) (speculative ? spec_8t_ms : barrier_8t_ms) = stats.wall_ms;
+      if (threads == 8) {
+        switch (schedule) {
+          case ChaseSchedule::kBarrier: barrier_8t_ms = stats.wall_ms; break;
+          case ChaseSchedule::kSpeculative: spec_8t_ms = stats.wall_ms; break;
+          case ChaseSchedule::kDag: dag_8t_ms = stats.wall_ms; break;
+        }
+      }
       ThreadPoint point;
       point.threads = threads;
-      point.speculative = speculative;
+      point.schedule = schedule;
       point.wall_ms = stats.wall_ms;
       point.steps = stats.steps;
       point.speedup_vs_1t =
           stats.wall_ms > 0 ? base.wall_ms / stats.wall_ms : 0;
       result.points.push_back(point);
       std::fprintf(stderr, "%-24s %d threads %-11s %9.2f ms (speedup %5.2fx)\n",
-                   name.c_str(), threads,
-                   speculative ? "speculative" : "barrier", stats.wall_ms,
-                   point.speedup_vs_1t);
+                   name.c_str(), threads, ScheduleName(schedule),
+                   stats.wall_ms, point.speedup_vs_1t);
     }
   }
   result.speculative_vs_barrier_8t =
       spec_8t_ms > 0 ? barrier_8t_ms / spec_8t_ms : 0;
-  std::fprintf(stderr, "%-24s speculative vs barrier at 8 threads: %5.2fx\n",
-               name.c_str(), result.speculative_vs_barrier_8t);
+  result.dag_vs_barrier_8t = dag_8t_ms > 0 ? barrier_8t_ms / dag_8t_ms : 0;
+  std::fprintf(stderr,
+               "%-24s at 8 threads vs barrier: speculative %5.2fx, "
+               "dag %5.2fx\n",
+               name.c_str(), result.speculative_vs_barrier_8t,
+               result.dag_vs_barrier_8t);
   return result;
 }
 
@@ -367,7 +384,7 @@ std::string ToJson(const std::vector<WorkloadResult>& results,
     for (const ThreadPoint& p : r.points) {
       w.BeginObject();
       w.Key("threads").Int(p.threads);
-      w.Key("speculative").Bool(p.speculative);
+      w.Key("schedule").String(ScheduleName(p.schedule));
       w.Key("wall_ms").Double(p.wall_ms, 3);
       w.Key("chase_steps").Int(p.steps);
       w.Key("speedup_vs_1t").Double(p.speedup_vs_1t, 2);
@@ -376,6 +393,7 @@ std::string ToJson(const std::vector<WorkloadResult>& results,
     w.EndArray();
     w.Key("speculative_vs_barrier_8t")
         .Double(r.speculative_vs_barrier_8t, 2);
+    w.Key("dag_vs_barrier_8t").Double(r.dag_vs_barrier_8t, 2);
     w.EndObject();
   }
   w.EndArray();

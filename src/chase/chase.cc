@@ -1,5 +1,8 @@
 #include "chase/chase.h"
 
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <unordered_set>
 #include <utility>
@@ -36,10 +39,14 @@ struct ChaseMetrics {
   obs::Counter egd_merges;
   obs::Counter compactions;
   obs::Histogram batch_triggers;  // violated triggers per dependency batch
-  // Speculative-mode extras (see RunTgdPhaseSpeculative).
+  // Speculative/scheduled-mode extras (see RunTgdPhaseScheduled). Like
+  // the speculative counters, sharded_inserts sits outside the invariance
+  // contract: whether a batch clears the sharding threshold depends on
+  // pool availability, not on the chase result.
   obs::Counter spec_triggers;       // head instantiations done in workers
   obs::Counter spec_nulls_retired;  // reserved null ids never inserted
   obs::Counter pipeline_overlaps;   // collections overlapped with an apply
+  obs::Counter sharded_inserts;     // tuples drained via AddFactSharded
 
   static ChaseMetrics& Get() {
     static ChaseMetrics* m = [] {
@@ -60,6 +67,8 @@ struct ChaseMetrics {
           reg.GetCounter("pdx_chase_speculative_nulls_retired_total");
       metrics->pipeline_overlaps =
           reg.GetCounter("pdx_chase_pipeline_overlaps_total");
+      metrics->sharded_inserts =
+          reg.GetCounter("pdx_chase_sharded_inserts_total");
       return metrics;
     }();
     return *m;
@@ -345,42 +354,180 @@ class TriggerLedger {
 // instantiated them, so results equal the barrier mode's only up to a
 // bijective null renaming (CanonicalizeNulls in hom/instance_hom.h).
 
-// Relation read/write footprints of a tgd, for cross-dependency
-// pipelining. Collecting a tgd's triggers reads its body relations (the
-// matcher) and its head relations (the restricted violated-trigger filter
-// probes heads via HasMatch; kept in the read set for both engines);
-// applying a tgd writes its head relations. Collection of B may safely
-// overlap application of A iff A's writes are disjoint from B's reads:
-// the copy-on-write stores never move on append — only the written
-// relation's store changes — so every relation outside A's write set is
-// stable under concurrent readers, and B's trigger set is the same
-// whether it is collected before or after A's facts land.
-struct TgdFootprint {
-  std::vector<bool> reads;
-  std::vector<bool> writes;
-};
+// Relation read/write footprints (plan::TgdFootprint, computed by
+// plan::ComputeTgdFootprints and cached on compiled settings) drive the
+// cross-dependency scheduler. Collecting a tgd's triggers reads its body
+// relations (the matcher) and its head relations (the restricted
+// violated-trigger filter probes heads via HasMatch; kept in the read set
+// for both engines); applying a tgd writes its head relations. Collection
+// of B may safely overlap application of A iff A's writes are disjoint
+// from B's reads: the copy-on-write stores never move on append — only
+// the written relation's store changes — so every relation outside A's
+// write set is stable under concurrent readers, and B's trigger set is
+// the same whether it is collected before or after A's facts land.
+using plan::TgdFootprint;
 
-std::vector<TgdFootprint> ComputeTgdFootprints(const std::vector<Tgd>& tgds,
-                                               int relation_count) {
-  std::vector<TgdFootprint> out(tgds.size());
-  for (size_t d = 0; d < tgds.size(); ++d) {
-    out[d].reads.assign(relation_count, false);
-    out[d].writes.assign(relation_count, false);
-    for (const Atom& atom : tgds[d].body) out[d].reads[atom.relation] = true;
-    for (const Atom& atom : tgds[d].head) {
-      out[d].reads[atom.relation] = true;
-      out[d].writes[atom.relation] = true;
-    }
-  }
-  return out;
-}
-
-bool PipelineCompatible(const TgdFootprint& applying,
-                        const TgdFootprint& collecting) {
-  for (size_t r = 0; r < applying.writes.size(); ++r) {
+bool FootprintsCompatible(const TgdFootprint& applying,
+                          const TgdFootprint& collecting) {
+  const size_t n = std::min(applying.writes.size(), collecting.reads.size());
+  for (size_t r = 0; r < n; ++r) {
     if (applying.writes[r] && collecting.reads[r]) return false;
   }
   return true;
+}
+
+// --- Sharded apply --------------------------------------------------
+//
+// The apply half of a batch, restructured as decide-then-insert: a
+// sequential decide pass (overlay probe or ledger admission — never a
+// physical index probe) fixes which triggers fire and invents their
+// fresh nulls in deterministic order, queueing the head tuples on
+// per-relation lists; then the insert pass drains one relation per pool
+// worker through Instance::AddFactSharded. Per-relation insert order is
+// the decide order and relation stores are disjoint, so the final raw
+// stores are byte-identical to draining inline — which is exactly what
+// happens without a pool (or while an async collect owns the workers:
+// the pool runs one job at a time).
+class ShardedInserts {
+ public:
+  explicit ShardedInserts(int relation_count)
+      : per_relation_(relation_count) {}
+
+  void Add(RelationId relation, Tuple tuple) {
+    per_relation_[relation].push_back(std::move(tuple));
+    ++total_;
+  }
+
+  size_t total() const { return total_; }
+
+  // Inserts everything queued and folds the deferred fact counts; passes
+  // with too little work (or no usable pool) insert inline — the result
+  // is identical either way. Returns the number of tuples the raw stores
+  // actually gained.
+  size_t Drain(Instance* instance, ThreadPool* pool, uint64_t parent_span) {
+    std::vector<RelationId> relations;
+    for (RelationId r = 0;
+         r < static_cast<RelationId>(per_relation_.size()); ++r) {
+      if (!per_relation_[r].empty()) relations.push_back(r);
+    }
+    size_t added = 0;
+    if (pool == nullptr || relations.size() < 2 ||
+        total_ < kMinFactsForSharding) {
+      for (RelationId r : relations) {
+        for (Tuple& tuple : per_relation_[r]) {
+          if (instance->AddFact(r, std::move(tuple))) ++added;
+        }
+        per_relation_[r].clear();
+      }
+      total_ = 0;
+      return added;
+    }
+    for (RelationId r : relations) instance->EnsureOwnedStore(r);
+    std::vector<size_t> shard_added(relations.size(), 0);
+    pool->ParallelFor(relations.size(), [&](size_t i) {
+      obs::Span shard_span(obs::Tracer::Global(), "chase.apply_shard",
+                           parent_span);
+      const RelationId r = relations[i];
+      size_t n = 0;
+      for (Tuple& tuple : per_relation_[r]) {
+        if (instance->AddFactSharded(r, std::move(tuple))) ++n;
+      }
+      shard_added[i] = n;
+      shard_span.AttrInt("relation", static_cast<int64_t>(r))
+          .AttrInt("inserted", static_cast<int64_t>(n));
+    });
+    for (size_t n : shard_added) added += n;
+    instance->CommitShardedFacts(added);
+    ChaseMetrics::Get().sharded_inserts.Inc(static_cast<int64_t>(total_));
+    for (RelationId r : relations) per_relation_[r].clear();
+    total_ = 0;
+    return added;
+  }
+
+ private:
+  // Below this, ParallelFor dispatch costs more than the inserts.
+  static constexpr size_t kMinFactsForSharding = 128;
+
+  std::vector<std::vector<Tuple>> per_relation_;
+  size_t total_ = 0;
+};
+
+// Runtime state of the overlay decide: the projection keys (onto the
+// head's universal variables) of the triggers this batch has fired so
+// far. Exact Tuples, not hashes — a collision would silently change
+// restricted-chase semantics, unlike the oblivious ledger where the
+// fingerprint risk is a documented trade. Only constructed for heads
+// plan::AnalyzeHeadOverlay proved exact.
+struct HeadOverlay {
+  const plan::HeadOverlayPlan* plan = nullptr;
+  std::unordered_set<Tuple, TupleHash> fired;
+
+  // True iff the trigger must fire: its head is not satisfied by this
+  // batch's earlier inserts (collect already filtered heads satisfied by
+  // the pre-batch state). Records the key on fire.
+  bool DecideFire(const Binding& binding) {
+    Tuple key;
+    key.reserve(plan->key.size());
+    for (VariableId v : plan->key) key.push_back(binding.values[v]);
+    return fired.insert(std::move(key)).second;
+  }
+};
+
+// The overlay plan a batch should decide with, or nullptr when the head
+// shape demands the physical re-check (non-exact) or the run is
+// sequential (`pool == nullptr`: the classic interleaved apply is already
+// optimal there and stays the reference discipline).
+const plan::HeadOverlayPlan* OverlayFor(const plan::TgdPlan* plan,
+                                        const plan::HeadOverlayPlan* local,
+                                        ThreadPool* pool) {
+  if (pool == nullptr) return nullptr;
+  const plan::HeadOverlayPlan* overlay =
+      plan != nullptr ? &plan->apply.overlay : local;
+  return overlay != nullptr && overlay->exact ? overlay : nullptr;
+}
+
+// Extends `binding` with sequentially drawn fresh nulls and queues the
+// head image on the per-relation insert lists. The deferred twin of
+// ApplyTgdStep/ApplyTgdStepPlanned; returns the fresh-null count.
+int QueueTgdStep(const Tgd& tgd, const plan::TgdPlan* plan,
+                 const Binding& binding, SymbolTable* symbols,
+                 ShardedInserts* inserts) {
+  Binding extended = binding;
+  if (plan != nullptr) {
+    const plan::ApplyTemplate& apply = plan->apply;
+    for (VariableId v : apply.existentials) {
+      extended.Bind(v, symbols->FreshNull());
+    }
+    size_t cursor = 0;
+    for (const plan::HeadAtom& atom : apply.head_atoms) {
+      Tuple tuple;
+      tuple.reserve(atom.arity);
+      for (int i = 0; i < atom.arity; ++i) {
+        const plan::HeadSlot& slot = apply.slots[cursor++];
+        tuple.push_back(slot.is_const ? slot.key
+                                      : extended.values[slot.var]);
+      }
+      inserts->Add(atom.relation, std::move(tuple));
+    }
+    return apply.fresh_per_trigger;
+  }
+  int fresh = 0;
+  for (VariableId v = 0; v < tgd.var_count; ++v) {
+    if (tgd.existential[v] && !extended.bound[v]) {
+      extended.Bind(v, symbols->FreshNull());
+      ++fresh;
+    }
+  }
+  for (const Atom& atom : tgd.head) {
+    Tuple tuple;
+    tuple.reserve(atom.terms.size());
+    for (const Term& t : atom.terms) {
+      tuple.push_back(t.is_constant() ? t.constant()
+                                      : extended.values[t.var()]);
+    }
+    inserts->Add(atom.relation, std::move(tuple));
+  }
+  return fresh;
 }
 
 // Speculatively collected triggers live in flat, partition-local
@@ -466,10 +613,11 @@ SpecLayout LayoutFromTemplate(const plan::ApplyTemplate& apply) {
 // engine's HasMatch probe; otherwise it is concurrent ledger admission
 // (exactly one partition wins each fingerprint, which also collapses the
 // duplicate matches the extras overlap can produce). The job either Run()s
-// with the caller participating, or Start()s on the workers alone to
-// overlap with the previous dependency's apply phase; Join() waits and
-// exposes the buffers in partition order — the sequential enumeration
-// order, so the apply order is schedule-invariant.
+// synchronously with the caller participating, or has its partitions
+// driven externally by the scheduler's combined lookahead batch
+// (RunPartition is safe from any pool worker); `buffers()` exposes the
+// results in partition order — the sequential enumeration order, so the
+// apply order is schedule-invariant.
 class SpecCollectJob {
  public:
   SpecCollectJob(const Tgd* tgd, size_t dep_index, const SpecLayout* layout,
@@ -499,26 +647,17 @@ class SpecCollectJob {
                        [this](size_t p) { RunPartition(p); });
   }
 
-  // Starts collection on the pool's worker threads and returns; the
-  // caller may mutate any relation outside this tgd's read footprint
-  // until Join().
-  void Start() {
-    pool_->ParallelForAsync(parts_.size(),
-                            [this](size_t p) { RunPartition(p); });
-    started_async_ = true;
-  }
+  size_t partition_count() const { return parts_.size(); }
 
-  // Joins the workers (if Start()ed); the buffers stay owned by the job,
-  // so the job must outlive the apply scan that reads them.
-  const std::vector<SpecBuffer>& Join() {
-    if (started_async_) {
-      pool_->Wait();
-      started_async_ = false;
-    }
-    return buffers_;
-  }
+  // The collected buffers, in partition order. Only valid once every
+  // partition has run (after Run(), or after the scheduler joined the
+  // async batch driving RunPartition); they stay owned by the job, so
+  // the job must outlive the apply scan that reads them.
+  const std::vector<SpecBuffer>& buffers() const { return buffers_; }
 
- private:
+  // One partition's work; reentrant across distinct `p`, so a combined
+  // lookahead batch can interleave partitions of several jobs on the
+  // pool's workers.
   void RunPartition(size_t p) {
     obs::Span part_span(obs::Tracer::Global(), "chase.collect_part",
                         parent_span_);
@@ -596,6 +735,7 @@ class SpecCollectJob {
     part_span.AttrInt("collected", static_cast<int64_t>(buffer.count));
   }
 
+ private:
   const Tgd* tgd_;
   size_t dep_;
   const SpecLayout* layout_;
@@ -607,27 +747,45 @@ class SpecCollectJob {
   ThreadPool* pool_;
   uint64_t parent_span_;
   bool pipelined_;
-  bool started_async_ = false;
   std::vector<DeltaPartition> parts_;
   std::vector<SpecBuffer> buffers_;
 };
 
-// One round's tgd phase in speculative mode, shared by the restricted
-// (ledger == nullptr) and oblivious engines: for each dependency touching
-// the delta, collect fully instantiated triggers (see SpecCollectJob),
-// then apply them sequentially in enumeration order — and while applying,
-// let the workers already collect the next active dependency whenever the
-// footprints permit (PipelineCompatible), instead of idling at a per-tgd
-// barrier. Returns false when the step budget was exhausted (`result` is
-// finalized).
-bool RunTgdPhaseSpeculative(const std::vector<Tgd>& tgds,
-                            const std::vector<TgdFootprint>& footprints,
-                            const plan::CompiledSetting* compiled,
-                            Instance* instance, const DeltaView& delta,
-                            SymbolTable* symbols, TriggerLedger* ledger,
-                            ThreadPool* pool, const ChaseOptions& options,
-                            ChaseResult* result) {
+// One round's tgd phase under the kSpeculative and kDag schedules, shared
+// by the restricted (ledger == nullptr) and oblivious engines: for each
+// dependency touching the delta, collect fully instantiated triggers (see
+// SpecCollectJob), then apply them sequentially in enumeration order.
+//
+// Scheduling is topological over the footprint DAG rather than one-ahead:
+// before applying dependency i, the scheduler gathers *every* not-yet-
+// collected dependency j > i whose read footprint is disjoint from the
+// writes of every dependency that will apply before it (positions [i, j)
+// — applied or not, their inserts land before j's buffers are consumed),
+// and starts their collections as one combined async batch on the pool's
+// workers (the pool runs one job at a time, so the batch interleaves all
+// their partitions). Independent tgd families thus run collect → apply
+// concurrently end-to-end instead of overlapping a single dependency.
+// Applies still happen in active-list order, which keeps steps and
+// nulls_created schedule-invariant.
+//
+// The apply discipline depends on the schedule. kSpeculative keeps PR 5's
+// physical HasMatch re-check with inline inserts. kDag decides overlay-
+// exact restricted heads via HeadOverlay (no index probe at all) and
+// queues their inserts on per-relation shards, drained in parallel when
+// the workers are free (ShardedInserts; oblivious batches shard
+// unconditionally — ledger admission needs no physical probe); non-exact
+// heads fall back to the speculative discipline. Returns false when the
+// step budget was exhausted (`result` is finalized).
+bool RunTgdPhaseScheduled(const std::vector<Tgd>& tgds,
+                          const std::vector<TgdFootprint>& footprints,
+                          const plan::CompiledSetting* compiled,
+                          const std::vector<plan::HeadOverlayPlan>* overlays,
+                          Instance* instance, const DeltaView& delta,
+                          SymbolTable* symbols, TriggerLedger* ledger,
+                          ThreadPool* pool, const ChaseOptions& options,
+                          ChaseSchedule schedule, ChaseResult* result) {
   ChaseMetrics& metrics = ChaseMetrics::Get();
+  const bool dag = schedule == ChaseSchedule::kDag;
   std::vector<size_t> active;
   for (size_t d = 0; d < tgds.size(); ++d) {
     if (TouchesDelta(tgds[d].body, delta)) active.push_back(d);
@@ -642,41 +800,98 @@ bool RunTgdPhaseSpeculative(const std::vector<Tgd>& tgds,
                           ? LayoutFromTemplate(compiled->tgds[d].apply)
                           : MakeSpecLayout(tgds[d]));
   }
-  std::unique_ptr<SpecCollectJob> ahead;
+  // The jobs own the flat trigger buffers the apply scans read; each is
+  // released once its dependency has applied.
+  std::vector<std::unique_ptr<SpecCollectJob>> jobs(active.size());
+  std::vector<bool> collected(active.size(), false);
+  // Active-list positions whose collections run in the current combined
+  // async batch; empty when no batch is in flight.
+  std::vector<size_t> inflight;
+  const auto make_job = [&](size_t i, bool pipelined, uint64_t parent) {
+    const size_t d = active[i];
+    return std::make_unique<SpecCollectJob>(
+        &tgds[d], d, &layouts[i], plan_for(d), instance, &delta, symbols,
+        ledger, pool, parent, pipelined);
+  };
+  const auto join_batch = [&] {
+    if (inflight.empty()) return;
+    pool->Wait();
+    for (size_t j : inflight) collected[j] = true;
+    inflight.clear();
+  };
+  // Starts the combined lookahead batch for the apply at position i.
+  const auto start_lookahead = [&](size_t i, uint64_t parent) {
+    if (!inflight.empty()) return;  // pool runs one async job at a time
+    for (size_t j = i + 1; j < active.size(); ++j) {
+      if (collected[j]) continue;
+      bool ready = true;
+      for (size_t k = i; k < j && ready; ++k) {
+        ready = FootprintsCompatible(footprints[active[k]],
+                                     footprints[active[j]]);
+      }
+      if (ready) inflight.push_back(j);
+    }
+    if (inflight.empty()) return;
+    auto units = std::make_shared<
+        std::vector<std::pair<SpecCollectJob*, size_t>>>();
+    for (size_t j : inflight) {
+      jobs[j] = make_job(j, /*pipelined=*/true, parent);
+      for (size_t p = 0; p < jobs[j]->partition_count(); ++p) {
+        units->emplace_back(jobs[j].get(), p);
+      }
+    }
+    metrics.pipeline_overlaps.Inc(static_cast<int64_t>(inflight.size()));
+    if (units->empty()) {
+      // Nothing to enumerate (empty partitions): collected trivially.
+      for (size_t j : inflight) collected[j] = true;
+      inflight.clear();
+      return;
+    }
+    pool->ParallelForAsync(units->size(), [units](size_t u) {
+      (*units)[u].first->RunPartition((*units)[u].second);
+    });
+  };
+  const int relation_count = instance->schema().relation_count();
   bool exhausted = false;
   for (size_t i = 0; i < active.size() && !exhausted; ++i) {
-    size_t d = active[i];
+    const size_t d = active[i];
     const Tgd& tgd = tgds[d];
     const SpecLayout& layout = layouts[i];
     obs::Span tgd_span(obs::Tracer::Global(), "chase.tgd");
-    tgd_span.AttrInt("dep", static_cast<int64_t>(d));
-    // The job owns the flat trigger buffers the apply scan below reads,
-    // so it stays alive for the whole iteration.
-    std::unique_ptr<SpecCollectJob> current;
-    if (ahead != nullptr) {
-      // Collected while the previous dependency was applying.
-      current = std::move(ahead);
-    } else {
-      current = std::make_unique<SpecCollectJob>(
-          &tgd, d, &layout, plan_for(d), instance, &delta, symbols, ledger,
-          pool, tgd_span.id(), /*pipelined=*/false);
-      current->Run();
+    tgd_span.AttrInt("dep", static_cast<int64_t>(d))
+        .AttrStr("schedule", ScheduleName(schedule));
+    const bool was_inflight =
+        std::find(inflight.begin(), inflight.end(), i) != inflight.end();
+    if (was_inflight || (!collected[i] && !inflight.empty())) {
+      // Either our own collection runs in the batch, or we must collect
+      // synchronously and the pool is busy: join the batch first.
+      join_batch();
     }
-    const std::vector<SpecBuffer>& pending = current->Join();
+    if (!collected[i]) {
+      jobs[i] = make_job(i, /*pipelined=*/false, tgd_span.id());
+      jobs[i]->Run();
+      collected[i] = true;
+    }
+    const std::vector<SpecBuffer>& pending = jobs[i]->buffers();
     size_t total = 0;
     for (const SpecBuffer& buffer : pending) total += buffer.count;
     metrics.batch_triggers.Observe(static_cast<int64_t>(total));
-    // Overlap the next active dependency's collection with this apply
-    // phase when its read footprint is disjoint from our writes.
-    if (i + 1 < active.size() &&
-        PipelineCompatible(footprints[d], footprints[active[i + 1]])) {
-      ahead = std::make_unique<SpecCollectJob>(
-          &tgds[active[i + 1]], active[i + 1], &layouts[i + 1],
-          plan_for(active[i + 1]), instance, &delta, symbols, ledger, pool,
-          tgd_span.id(), /*pipelined=*/true);
-      ahead->Start();
-      metrics.pipeline_overlaps.Inc();
-    }
+    // Launch the lookahead before applying so collections of every ready
+    // dependency overlap this apply phase.
+    start_lookahead(i, tgd_span.id());
+    // kDag decide-then-insert: overlay-exact restricted heads and all
+    // oblivious batches defer inserts to per-relation shards. The shards
+    // may only drain in parallel when no collect batch owns the workers.
+    const plan::HeadOverlayPlan* overlay_plan =
+        dag && ledger == nullptr
+            ? OverlayFor(plan_for(d),
+                         overlays != nullptr ? &(*overlays)[d] : nullptr,
+                         pool)
+            : nullptr;
+    const bool deferred = dag && (ledger != nullptr || overlay_plan);
+    HeadOverlay overlay;
+    overlay.plan = overlay_plan;
+    ShardedInserts inserts(deferred ? relation_count : 0);
     Binding scratch = layout.scratch;
     const size_t var_count = static_cast<size_t>(tgd.var_count);
     int64_t applied = 0;
@@ -687,9 +902,17 @@ bool RunTgdPhaseSpeculative(const std::vector<Tgd>& tgds,
            ++t, row += var_count, head += layout.head_width) {
         std::copy(row, row + var_count, scratch.values.begin());
         if (ledger == nullptr) {
-          // Re-check: an earlier application may have satisfied it. The
-          // skipped trigger's speculative nulls are retired unused.
-          if (HeadSatisfied(tgd, plan_for(d), *instance, scratch)) {
+          if (overlay_plan != nullptr) {
+            // Overlay decide: satisfied by this batch's earlier inserts
+            // iff an earlier trigger fired with the same projection (see
+            // plan::HeadOverlayPlan). The skipped trigger's speculative
+            // nulls are retired unused, as under the physical re-check.
+            if (!overlay.DecideFire(scratch)) {
+              metrics.spec_nulls_retired.Inc(layout.fresh_per_trigger);
+              continue;
+            }
+          } else if (HeadSatisfied(tgd, plan_for(d), *instance, scratch)) {
+            // Re-check: an earlier application may have satisfied it.
             metrics.spec_nulls_retired.Inc(layout.fresh_per_trigger);
             continue;
           }
@@ -700,8 +923,13 @@ bool RunTgdPhaseSpeculative(const std::vector<Tgd>& tgds,
         }
         const Value* cursor = head;
         for (const Atom& atom : tgd.head) {
-          instance->AddFact(atom.relation,
-                            Tuple(cursor, cursor + atom.terms.size()));
+          if (deferred) {
+            inserts.Add(atom.relation,
+                        Tuple(cursor, cursor + atom.terms.size()));
+          } else {
+            instance->AddFact(atom.relation,
+                              Tuple(cursor, cursor + atom.terms.size()));
+          }
           cursor += atom.terms.size();
         }
         result->nulls_created += layout.fresh_per_trigger;
@@ -715,13 +943,18 @@ bool RunTgdPhaseSpeculative(const std::vector<Tgd>& tgds,
       }
       if (exhausted) break;
     }
+    if (deferred) {
+      inserts.Drain(instance, inflight.empty() ? pool : nullptr,
+                    tgd_span.id());
+    }
     tgd_span.AttrInt("collected", static_cast<int64_t>(total))
         .AttrInt("applied", applied);
+    jobs[i].reset();
   }
-  // A collect-ahead may still be in flight when the budget cuts the apply
-  // loop short; its results are dropped, but the workers must check out
-  // before the round state goes away.
-  if (ahead != nullptr) ahead->Join();
+  // A lookahead batch may still be in flight when the budget cuts the
+  // apply loop short; its results are dropped, but the workers must check
+  // out before the round state goes away.
+  if (!inflight.empty()) pool->Wait();
   return !exhausted;
 }
 
@@ -859,11 +1092,24 @@ ChaseResult ChaseRestrictedDelta(const Instance& start,
   Instance& instance = result.instance;
   const std::vector<plan::EgdPlan>* egd_plans =
       compiled != nullptr ? &compiled->egds : nullptr;
-  const bool speculative = options.speculative && pool != nullptr;
+  // Sequential runs always take the barrier path (ResolveSchedule's
+  // choice only matters once a pool exists); the scheduled phases need
+  // the footprint DAG, and the pooled barrier apply needs the overlay
+  // plans (compiled settings carry both; the interpreter derives them
+  // here, once per run).
+  const ChaseSchedule schedule =
+      pool != nullptr ? ResolveSchedule(options) : ChaseSchedule::kBarrier;
+  const bool scheduled = schedule != ChaseSchedule::kBarrier;
   std::vector<TgdFootprint> footprints;
-  if (speculative) {
-    footprints =
-        ComputeTgdFootprints(tgds, instance.schema().relation_count());
+  if (scheduled && compiled == nullptr) {
+    footprints = plan::ComputeTgdFootprints(tgds);
+  }
+  std::vector<plan::HeadOverlayPlan> local_overlays;
+  if (pool != nullptr && compiled == nullptr) {
+    local_overlays.reserve(tgds.size());
+    for (const Tgd& tgd : tgds) {
+      local_overlays.push_back(plan::AnalyzeHeadOverlay(tgd));
+    }
   }
   // Everything is "new" before the first round, so round one degenerates
   // to the full scan the naive chase would do — exactly once.
@@ -902,10 +1148,12 @@ ChaseResult ChaseRestrictedDelta(const Instance& start,
     // Facts present now are covered once this round's triggers have been
     // evaluated; facts the round itself adds become the next delta.
     InstanceWatermark frontier = instance.TakeWatermark();
-    if (speculative) {
-      if (!RunTgdPhaseSpeculative(tgds, footprints, compiled, &instance,
-                                  delta, symbols, /*ledger=*/nullptr, pool,
-                                  options, &result)) {
+    if (scheduled) {
+      if (!RunTgdPhaseScheduled(
+              tgds, compiled != nullptr ? compiled->footprints : footprints,
+              compiled, compiled == nullptr ? &local_overlays : nullptr,
+              &instance, delta, symbols, /*ledger=*/nullptr, pool, options,
+              schedule, &result)) {
         return result;
       }
     } else {
@@ -929,21 +1177,52 @@ ChaseResult ChaseRestrictedDelta(const Instance& start,
             tgd_span.id());
         metrics.batch_triggers.Observe(static_cast<int64_t>(pending.size()));
         int64_t applied = 0;
-        for (const Binding& trigger : pending) {
-          // Re-check: an earlier application may have satisfied it.
-          if (HeadSatisfied(tgd, plan, instance, trigger)) {
-            continue;
+        // Pooled barrier apply, overlay-exact head: decide each trigger
+        // against the batch overlay (no physical probe), invent its nulls
+        // sequentially — same order as the interleaved loop below, so the
+        // run stays bit-identical — and queue the head tuples for the
+        // relation-sharded insert pass.
+        const plan::HeadOverlayPlan* overlay_plan = OverlayFor(
+            plan,
+            pool != nullptr && compiled == nullptr ? &local_overlays[d]
+                                                   : nullptr,
+            pool);
+        if (overlay_plan != nullptr) {
+          HeadOverlay overlay;
+          overlay.plan = overlay_plan;
+          ShardedInserts inserts(instance.schema().relation_count());
+          bool exhausted = false;
+          for (const Binding& trigger : pending) {
+            if (!overlay.DecideFire(trigger)) continue;
+            result.nulls_created +=
+                QueueTgdStep(tgd, plan, trigger, symbols, &inserts);
+            ++result.steps;
+            ++applied;
+            if (result.steps >= options.max_steps) {
+              result.outcome = ChaseOutcome::kBudgetExhausted;
+              exhausted = true;
+              break;
+            }
           }
-          result.nulls_created +=
-              plan != nullptr
-                  ? ApplyTgdStepPlanned(plan->apply, trigger, &instance,
-                                        symbols)
-                  : ApplyTgdStep(tgd, trigger, &instance, symbols);
-          ++result.steps;
-          ++applied;
-          if (result.steps >= options.max_steps) {
-            result.outcome = ChaseOutcome::kBudgetExhausted;
-            return result;
+          inserts.Drain(&instance, pool, tgd_span.id());
+          if (exhausted) return result;
+        } else {
+          for (const Binding& trigger : pending) {
+            // Re-check: an earlier application may have satisfied it.
+            if (HeadSatisfied(tgd, plan, instance, trigger)) {
+              continue;
+            }
+            result.nulls_created +=
+                plan != nullptr
+                    ? ApplyTgdStepPlanned(plan->apply, trigger, &instance,
+                                          symbols)
+                    : ApplyTgdStep(tgd, trigger, &instance, symbols);
+            ++result.steps;
+            ++applied;
+            if (result.steps >= options.max_steps) {
+              result.outcome = ChaseOutcome::kBudgetExhausted;
+              return result;
+            }
           }
         }
         tgd_span.AttrInt("collected", static_cast<int64_t>(pending.size()))
@@ -999,11 +1278,12 @@ ChaseResult ChaseOblivious(const Instance& start,
   TriggerLedger fired;
   const std::vector<plan::EgdPlan>* egd_plans =
       compiled != nullptr ? &compiled->egds : nullptr;
-  const bool speculative = options.speculative && pool != nullptr;
+  const ChaseSchedule schedule =
+      pool != nullptr ? ResolveSchedule(options) : ChaseSchedule::kBarrier;
+  const bool scheduled = schedule != ChaseSchedule::kBarrier;
   std::vector<TgdFootprint> footprints;
-  if (speculative) {
-    footprints =
-        ComputeTgdFootprints(tgds, instance.schema().relation_count());
+  if (scheduled && compiled == nullptr) {
+    footprints = plan::ComputeTgdFootprints(tgds);
   }
   InstanceWatermark mark = InstanceWatermark::Origin(instance);
   std::vector<std::vector<int>> extras;
@@ -1031,13 +1311,15 @@ ChaseResult ChaseOblivious(const Instance& start,
       return result;
     }
     InstanceWatermark frontier = instance.TakeWatermark();
-    if (speculative) {
+    if (scheduled) {
       // Admission happens in the workers (TriggerLedger::Admit through the
       // concurrent fingerprint set); the apply loop only records roots and
-      // inserts the pre-instantiated heads.
-      if (!RunTgdPhaseSpeculative(tgds, footprints, compiled, &instance,
-                                  delta, symbols, &fired, pool, options,
-                                  &result)) {
+      // inserts the pre-instantiated heads (sharded under kDag — oblivious
+      // needs no head probe, so every batch can defer its inserts).
+      if (!RunTgdPhaseScheduled(
+              tgds, compiled != nullptr ? compiled->footprints : footprints,
+              compiled, /*overlays=*/nullptr, &instance, delta, symbols,
+              &fired, pool, options, schedule, &result)) {
         return result;
       }
     } else {
@@ -1062,20 +1344,45 @@ ChaseResult ChaseOblivious(const Instance& start,
             },
             tgd_span.id());
         metrics.batch_triggers.Observe(static_cast<int64_t>(pending.size()));
-        for (const Binding& trigger : pending) {
-          if (!fired.Insert(TriggerFingerprint(d, tgd, trigger), tgd,
-                            trigger)) {
-            continue;
+        if (pool != nullptr) {
+          // Pooled barrier apply: ledger admission is the whole decide —
+          // no head probe — so every batch defers its inserts to the
+          // relation shards. Null order is the sequential fire order:
+          // bit-identical to the interleaved loop below.
+          ShardedInserts inserts(instance.schema().relation_count());
+          bool exhausted = false;
+          for (const Binding& trigger : pending) {
+            if (!fired.Insert(TriggerFingerprint(d, tgd, trigger), tgd,
+                              trigger)) {
+              continue;
+            }
+            result.nulls_created +=
+                QueueTgdStep(tgd, plan, trigger, symbols, &inserts);
+            ++result.steps;
+            if (result.steps >= options.max_steps) {
+              result.outcome = ChaseOutcome::kBudgetExhausted;
+              exhausted = true;
+              break;
+            }
           }
-          result.nulls_created +=
-              plan != nullptr
-                  ? ApplyTgdStepPlanned(plan->apply, trigger, &instance,
-                                        symbols)
-                  : ApplyTgdStep(tgd, trigger, &instance, symbols);
-          ++result.steps;
-          if (result.steps >= options.max_steps) {
-            result.outcome = ChaseOutcome::kBudgetExhausted;
-            return result;
+          inserts.Drain(&instance, pool, tgd_span.id());
+          if (exhausted) return result;
+        } else {
+          for (const Binding& trigger : pending) {
+            if (!fired.Insert(TriggerFingerprint(d, tgd, trigger), tgd,
+                              trigger)) {
+              continue;
+            }
+            result.nulls_created +=
+                plan != nullptr
+                    ? ApplyTgdStepPlanned(plan->apply, trigger, &instance,
+                                          symbols)
+                    : ApplyTgdStep(tgd, trigger, &instance, symbols);
+            ++result.steps;
+            if (result.steps >= options.max_steps) {
+              result.outcome = ChaseOutcome::kBudgetExhausted;
+              return result;
+            }
           }
         }
       }
@@ -1261,6 +1568,32 @@ ChaseResult ChaseDispatch(const Instance& start, const std::vector<Tgd>& tgds,
 
 }  // namespace
 
+const char* ScheduleName(ChaseSchedule schedule) {
+  switch (schedule) {
+    case ChaseSchedule::kBarrier: return "barrier";
+    case ChaseSchedule::kSpeculative: return "speculative";
+    case ChaseSchedule::kDag: return "dag";
+  }
+  return "unknown";
+}
+
+ChaseSchedule ResolveSchedule(const ChaseOptions& options) {
+  // The override is read once per process, like PDX_FORCE_INTERPRETER:
+  // sanitizer lanes pin a schedule for a whole test binary.
+  static const int forced = [] {
+    const char* env = std::getenv("PDX_FORCE_SCHEDULE");
+    if (env == nullptr || env[0] == '\0') return -1;
+    if (std::strcmp(env, "barrier") == 0) return 0;
+    if (std::strcmp(env, "speculative") == 0) return 1;
+    if (std::strcmp(env, "dag") == 0) return 2;
+    return -1;
+  }();
+  if (forced >= 0) return static_cast<ChaseSchedule>(forced);
+  if (options.schedule != ChaseSchedule::kBarrier) return options.schedule;
+  return options.speculative ? ChaseSchedule::kSpeculative
+                             : ChaseSchedule::kBarrier;
+}
+
 ChaseResult Chase(const Instance& start, const std::vector<Tgd>& tgds,
                   const std::vector<Egd>& egds, SymbolTable* symbols,
                   const ChaseOptions& options) {
@@ -1268,7 +1601,9 @@ ChaseResult Chase(const Instance& start, const std::vector<Tgd>& tgds,
   obs::Span run_span(obs::Tracer::Global(), "chase");
   run_span.AttrStr("strategy", StrategyName(options.strategy))
       .AttrInt("threads", ResolveThreadCount(options))
-      .AttrBool("speculative", options.speculative)
+      .AttrStr("schedule", ScheduleName(ResolveSchedule(options)))
+      .AttrBool("speculative",
+                ResolveSchedule(options) == ChaseSchedule::kSpeculative)
       .AttrBool("compiled", UsesPlans(options))
       .AttrInt("tgds", static_cast<int64_t>(tgds.size()))
       .AttrInt("egds", static_cast<int64_t>(egds.size()));

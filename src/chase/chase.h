@@ -46,6 +46,33 @@ enum class ChaseStrategy {
   kOblivious,
 };
 
+// How the tgd phase of one round is scheduled across pool workers
+// (kRestricted/kOblivious with num_threads > 1; sequential runs ignore it).
+enum class ChaseSchedule {
+  // Per-dependency barrier: collect-parallel, apply before the next
+  // dependency's collect starts. Fresh nulls are invented in the
+  // deterministic sequential apply order, so results are *bit-identical*
+  // across thread counts. The pooled apply still uses the overlay decide
+  // + relation-sharded insert fast path (DESIGN.md §4d) — decisions and
+  // insert order are sequential, only the store writes fan out.
+  kBarrier,
+  // PR 5's speculative mode: workers instantiate heads during collect
+  // (private null ranges), and collection of footprint-compatible
+  // dependencies overlaps the current apply via the topological
+  // scheduler. Results equal barrier's up to bijective null renaming.
+  kSpeculative,
+  // Footprint-DAG scheduling: the speculative collect machinery plus the
+  // sharded apply discipline — overlay decide for exact heads, physical
+  // re-check otherwise, per-relation parallel insert when no collect is
+  // in flight. The most parallel schedule; same canonical-equivalence
+  // contract as kSpeculative.
+  kDag,
+};
+
+// Printable name ("barrier"/"speculative"/"dag"), used by span attributes,
+// bench output and pdxcli --schedule.
+const char* ScheduleName(ChaseSchedule schedule);
+
 struct ChaseOptions {
   // Upper bound on the number of chase steps before giving up. Weakly
   // acyclic inputs terminate well under this for the sizes we run; the
@@ -79,7 +106,19 @@ struct ChaseOptions {
   // CanonicalizeNulls; see DESIGN.md "Speculative head instantiation").
   // Off by default so the default configuration keeps bit-identical
   // fingerprints across thread counts.
+  //
+  // Kept for source compatibility: `speculative = true` is shorthand for
+  // `schedule = ChaseSchedule::kSpeculative`. ResolveSchedule() defines
+  // the precedence.
   bool speculative = false;
+
+  // The tgd-phase schedule (see ChaseSchedule). kBarrier unless
+  // `speculative` asks for kSpeculative; the PDX_FORCE_SCHEDULE
+  // environment variable ("barrier" | "speculative" | "dag") overrides
+  // both process-wide, the way PDX_FORCE_INTERPRETER pins the
+  // interpreter — tools/check.sh's TSan lanes use it to pin the DAG
+  // path. See ResolveSchedule().
+  ChaseSchedule schedule = ChaseSchedule::kBarrier;
 
   // Compile the setting into match/apply plans (plan/ir.h) and execute
   // trigger enumeration, head filters and the egd fixpoint through them
@@ -133,6 +172,13 @@ struct ChaseResult {
     return v;
   }
 };
+
+// The schedule a run will actually use: the PDX_FORCE_SCHEDULE
+// environment variable ("barrier" | "speculative" | "dag"; read once per
+// process, unknown values ignored) wins, then an explicit
+// options.schedule != kBarrier, then the legacy `speculative` bool, else
+// kBarrier.
+ChaseSchedule ResolveSchedule(const ChaseOptions& options);
 
 // Runs the restricted (standard) chase of `start` with the given tgds and
 // egds, in the sense of [9]: a tgd fires for a body homomorphism only if no

@@ -83,6 +83,10 @@ std::string ExportChromeTrace(const std::vector<SpanRecord>& spans) {
     w.Key("args").BeginObject();
     w.Key("span_id").Uint(span.id);
     w.Key("parent_id").Uint(span.parent);
+    // rusage fields carry -1 when the tracer did not capture them (see
+    // SpanRecord); omitted then, so traces without rusage are unchanged.
+    if (span.cpu_ns >= 0) w.Key("cpu_ns").Int(span.cpu_ns);
+    if (span.ctx_switches >= 0) w.Key("ctx_switches").Int(span.ctx_switches);
     for (const SpanAttr& attr : span.attrs) {
       w.Key(attr.key);
       switch (attr.kind) {

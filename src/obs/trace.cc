@@ -2,8 +2,13 @@
 
 #ifndef PDX_OBS_NOOP
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
+
+#if defined(__linux__)
+#include <sys/resource.h>
+#endif
 
 namespace pdx {
 namespace obs {
@@ -29,7 +34,48 @@ int ThisThreadOrdinal() {
 // nesting is still the natural one.
 thread_local std::vector<uint64_t> tls_span_stack;
 
+// The calling thread's user+system CPU time (ns) and involuntary context
+// switch count. False where getrusage(RUSAGE_THREAD) is unavailable — the
+// caller leaves the SpanRecord fields at their -1 sentinels.
+bool ThreadUsage(int64_t* cpu_ns, int64_t* ctx_switches) {
+#if defined(__linux__)
+  struct rusage ru;
+  if (getrusage(RUSAGE_THREAD, &ru) != 0) return false;
+  *cpu_ns = (static_cast<int64_t>(ru.ru_utime.tv_sec) +
+             static_cast<int64_t>(ru.ru_stime.tv_sec)) *
+                1'000'000'000 +
+            (static_cast<int64_t>(ru.ru_utime.tv_usec) +
+             static_cast<int64_t>(ru.ru_stime.tv_usec)) *
+                1'000;
+  *ctx_switches = static_cast<int64_t>(ru.ru_nivcsw);
+  return true;
+#else
+  (void)cpu_ns;
+  (void)ctx_switches;
+  return false;
+#endif
+}
+
 }  // namespace
+
+// One recording thread's bounded span ring. Records are appended under
+// the ring's own mutex — uncontended in steady state, since exactly one
+// thread writes each ring and Drain()/dropped() only touch it at
+// collection points.
+struct Tracer::ThreadRing {
+  std::mutex mu;
+  std::vector<SpanRecord> ring;  // guarded by mu
+  size_t capacity = 0;           // fixed at registration
+  size_t next = 0;               // overwrite cursor, guarded by mu
+  uint64_t dropped = 0;          // guarded by mu
+};
+
+Tracer::Tracer() {
+  static std::atomic<uint64_t> next_uid{1};
+  uid_ = next_uid.fetch_add(1, std::memory_order_relaxed);
+}
+
+Tracer::~Tracer() = default;
 
 Tracer& Tracer::Global() {
   // Leaked for the same reason as MetricsRegistry::Global().
@@ -37,14 +83,13 @@ Tracer& Tracer::Global() {
   return *tracer;
 }
 
-void Tracer::Enable(size_t capacity) {
+void Tracer::Enable(size_t capacity, bool rusage) {
   std::lock_guard<std::mutex> lock(mu_);
-  ring_.clear();
-  ring_.reserve(capacity);
+  rings_.clear();  // threads re-register lazily under the new epoch
   capacity_ = capacity == 0 ? 1 : capacity;
-  next_ = 0;
-  dropped_ = 0;
   base_ns_ = SteadyNowNs();
+  rusage_.store(rusage, std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_release);
   enabled_.store(true, std::memory_order_relaxed);
 }
 
@@ -53,34 +98,79 @@ void Tracer::Disable() { enabled_.store(false, std::memory_order_relaxed); }
 std::vector<SpanRecord> Tracer::Drain() {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<SpanRecord> out;
-  out.reserve(ring_.size());
-  if (ring_.size() == capacity_) {
-    // Wrapped: the oldest record sits at the overwrite cursor.
-    for (size_t i = 0; i < ring_.size(); ++i) {
-      out.push_back(std::move(ring_[(next_ + i) % ring_.size()]));
+  for (const std::shared_ptr<ThreadRing>& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    if (ring->ring.size() == ring->capacity && !ring->ring.empty()) {
+      // Wrapped: the oldest record sits at the overwrite cursor.
+      for (size_t i = 0; i < ring->ring.size(); ++i) {
+        out.push_back(
+            std::move(ring->ring[(ring->next + i) % ring->ring.size()]));
+      }
+    } else {
+      for (SpanRecord& record : ring->ring) {
+        out.push_back(std::move(record));
+      }
     }
-  } else {
-    out = std::move(ring_);
+    ring->ring.clear();
+    ring->next = 0;
   }
-  ring_.clear();
-  next_ = 0;
+  // Each ring is already in completion order (spans record at scope
+  // exit); merge across threads by end timestamp. stable_sort keeps the
+  // per-ring order on ties.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const SpanRecord& a, const SpanRecord& b) {
+                     return a.start_ns + a.dur_ns < b.start_ns + b.dur_ns;
+                   });
   return out;
 }
 
 uint64_t Tracer::dropped() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return dropped_;
+  uint64_t total = 0;
+  for (const std::shared_ptr<ThreadRing>& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    total += ring->dropped;
+  }
+  return total;
+}
+
+Tracer::ThreadRing* Tracer::RingForThisThread() {
+  // Keyed by tracer uid (not address: tests stack-allocate tracers and
+  // addresses recur) and epoch (Enable invalidates old rings).
+  struct Cache {
+    uint64_t uid = 0;
+    uint64_t epoch = 0;
+    std::shared_ptr<ThreadRing> ring;
+  };
+  thread_local Cache cache;
+  uint64_t epoch = epoch_.load(std::memory_order_acquire);
+  if (cache.uid == uid_ && cache.epoch == epoch && cache.ring != nullptr) {
+    return cache.ring.get();
+  }
+  std::shared_ptr<ThreadRing> ring = std::make_shared<ThreadRing>();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    epoch = epoch_.load(std::memory_order_relaxed);
+    ring->capacity = capacity_ == 0 ? 1 : capacity_;
+    ring->ring.reserve(ring->capacity);
+    rings_.push_back(ring);
+  }
+  cache.uid = uid_;
+  cache.epoch = epoch;
+  cache.ring = std::move(ring);
+  return cache.ring.get();
 }
 
 void Tracer::Record(SpanRecord record) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (ring_.size() < capacity_) {
-    ring_.push_back(std::move(record));
+  ThreadRing* ring = RingForThisThread();
+  std::lock_guard<std::mutex> lock(ring->mu);
+  if (ring->ring.size() < ring->capacity) {
+    ring->ring.push_back(std::move(record));
     return;
   }
-  ring_[next_] = std::move(record);
-  next_ = (next_ + 1) % capacity_;
-  ++dropped_;
+  ring->ring[ring->next] = std::move(record);
+  ring->next = (ring->next + 1) % ring->capacity;
+  ++ring->dropped;
 }
 
 int64_t Tracer::NowRelative() const { return SteadyNowNs() - base_ns_; }
@@ -105,6 +195,9 @@ void Span::Start(Tracer& tracer, const char* name, uint64_t parent,
   record_.parent = parent;
   record_.tid = ThisThreadOrdinal();
   record_.start_ns = tracer.NowRelative();
+  if (tracer.rusage_enabled()) {
+    rusage_ = ThreadUsage(&cpu0_ns_, &ctx0_);
+  }
   if (push_stack) {
     tls_span_stack.push_back(record_.id);
     pushed_ = true;
@@ -115,6 +208,14 @@ Span::~Span() {
   if (tracer_ == nullptr) return;
   if (pushed_) tls_span_stack.pop_back();
   record_.dur_ns = tracer_->NowRelative() - record_.start_ns;
+  if (rusage_) {
+    int64_t cpu1 = 0;
+    int64_t ctx1 = 0;
+    if (ThreadUsage(&cpu1, &ctx1)) {
+      record_.cpu_ns = cpu1 - cpu0_ns_;
+      record_.ctx_switches = ctx1 - ctx0_;
+    }
+  }
   tracer_->Record(std::move(record_));
 }
 

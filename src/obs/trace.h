@@ -26,6 +26,7 @@
 
 #ifndef PDX_OBS_NOOP
 #include <atomic>
+#include <memory>
 #include <mutex>
 #endif
 
@@ -52,6 +53,15 @@ struct SpanRecord {
   int tid = 0;          // small per-thread ordinal, stable within a run
   int64_t start_ns = 0;
   int64_t dur_ns = 0;
+  // Per-span thread resource deltas, captured when the tracer was enabled
+  // with rusage=true on a platform with getrusage(RUSAGE_THREAD) (Linux).
+  // cpu_ns is user+system CPU time actually charged to the owning thread
+  // while the span was open; ctx_switches counts involuntary context
+  // switches. Both are -1 ("not captured") otherwise — wall-clock skew on
+  // a shard with cpu_ns << dur_ns is scheduler preemption, not work
+  // imbalance. Exporters emit them only when >= 0.
+  int64_t cpu_ns = -1;
+  int64_t ctx_switches = -1;
   std::vector<SpanAttr> attrs;
 };
 
@@ -59,8 +69,8 @@ struct SpanRecord {
 
 class Tracer {
  public:
-  Tracer() = default;
-  ~Tracer() = default;
+  Tracer();
+  ~Tracer();
 
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
@@ -68,21 +78,39 @@ class Tracer {
   // The process-wide tracer (disabled until Enable is called).
   static Tracer& Global();
 
-  // Starts recording into a fresh ring of `capacity` spans. When the ring
-  // is full the oldest record is overwritten and `dropped` grows.
-  void Enable(size_t capacity = 1 << 16);
+  // Starts recording. Each recording thread gets its own ring of
+  // `capacity` spans — Record() takes only that ring's (uncontended)
+  // mutex, so pool workers never serialize on a tracer-wide lock. When a
+  // thread's ring is full its oldest record is overwritten and `dropped`
+  // grows. With rusage=true, spans also capture per-thread CPU time and
+  // involuntary context-switch deltas (SpanRecord::cpu_ns/ctx_switches;
+  // Linux getrusage(RUSAGE_THREAD), -1 elsewhere).
+  void Enable(size_t capacity = 1 << 16, bool rusage = false);
   void Disable();
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  bool rusage_enabled() const {
+    return rusage_.load(std::memory_order_relaxed);
+  }
 
-  // Completed spans in completion order; clears the ring (recording
-  // continues if still enabled).
+  // Completed spans from every thread's ring, merged in completion order
+  // (end timestamp); clears the rings (recording continues if still
+  // enabled).
   std::vector<SpanRecord> Drain();
 
-  // Spans overwritten because the ring was full since the last Enable.
+  // Spans overwritten because a thread's ring was full since the last
+  // Enable, summed across threads.
   uint64_t dropped() const;
 
  private:
   friend class Span;
+
+  // One thread's span ring; defined in trace.cc.
+  struct ThreadRing;
+
+  // The calling thread's ring under this tracer's current epoch, from a
+  // thread_local cache keyed by (tracer uid, epoch) — the registry mutex
+  // is only taken on the first record after an Enable().
+  ThreadRing* RingForThisThread();
 
   void Record(SpanRecord record);
   uint64_t NextSpanId() {
@@ -91,13 +119,16 @@ class Tracer {
   int64_t NowRelative() const;
 
   std::atomic<bool> enabled_{false};
+  std::atomic<bool> rusage_{false};
   std::atomic<uint64_t> next_id_{1};
+  // Distinguishes tracer instances across address reuse, and invalidates
+  // thread-local ring caches when Enable() starts a new epoch.
+  uint64_t uid_ = 0;
+  std::atomic<uint64_t> epoch_{0};
   mutable std::mutex mu_;
-  std::vector<SpanRecord> ring_;  // guarded by mu_
-  size_t capacity_ = 0;           // guarded by mu_
-  size_t next_ = 0;               // overwrite cursor, guarded by mu_
-  uint64_t dropped_ = 0;          // guarded by mu_
-  int64_t base_ns_ = 0;           // steady-clock origin set by Enable
+  std::vector<std::shared_ptr<ThreadRing>> rings_;  // guarded by mu_
+  size_t capacity_ = 0;                             // guarded by mu_
+  int64_t base_ns_ = 0;  // steady-clock origin set by Enable
 };
 
 // RAII span: starts at construction, records into the tracer at
@@ -129,6 +160,9 @@ class Span {
 
   Tracer* tracer_ = nullptr;  // null = inactive
   bool pushed_ = false;
+  bool rusage_ = false;   // baselines below are valid
+  int64_t cpu0_ns_ = 0;   // thread CPU time at Start
+  int64_t ctx0_ = 0;      // involuntary context switches at Start
   SpanRecord record_;
 };
 
@@ -140,9 +174,10 @@ class Tracer {
     static Tracer tracer;
     return tracer;
   }
-  void Enable(size_t = 0) {}
+  void Enable(size_t = 0, bool = false) {}
   void Disable() {}
   bool enabled() const { return false; }
+  bool rusage_enabled() const { return false; }
   std::vector<SpanRecord> Drain() { return {}; }
   uint64_t dropped() const { return 0; }
 };

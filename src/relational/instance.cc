@@ -67,6 +67,33 @@ bool Instance::AddFact(RelationId relation, Tuple tuple) {
   return true;
 }
 
+void Instance::EnsureOwnedStore(RelationId relation) {
+  PDX_CHECK_GE(relation, 0);
+  PDX_CHECK_LT(relation, static_cast<RelationId>(stores_.size()));
+  Mutable(relation);
+}
+
+bool Instance::AddFactSharded(RelationId relation, Tuple tuple) {
+  PDX_DCHECK(stores_[relation].use_count() == 1)
+      << "AddFactSharded needs EnsureOwnedStore first";
+  PDX_CHECK_EQ(static_cast<int>(tuple.size()), schema_->arity(relation))
+      << "arity mismatch inserting into " << schema_->relation_name(relation);
+  if (!resolver_.trivial()) {
+    for (Value& v : tuple) v = resolver_.Resolve(v);
+  }
+  RelationStore& store = *stores_[relation];
+  auto [it, inserted] = store.dedup.emplace(
+      std::move(tuple), static_cast<int>(store.tuples.size()));
+  if (!inserted) return false;
+  const Tuple& stored = it->first;
+  int idx = it->second;
+  store.tuples.push_back(stored);
+  for (int pos = 0; pos < static_cast<int>(stored.size()); ++pos) {
+    store.index[pos][stored[pos].packed()].push_back(idx);
+  }
+  return true;
+}
+
 int Instance::FindResolvedTupleIndex(RelationId relation,
                                      const Tuple& resolved) const {
   const RelationStore& store = *stores_[relation];

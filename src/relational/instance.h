@@ -79,6 +79,31 @@ class Instance {
   bool AddFact(RelationId relation, Tuple tuple);
   bool AddFact(const Fact& fact) { return AddFact(fact.relation, fact.tuple); }
 
+  // --- Sharded apply (the chase's parallel insert phase) -------------
+  //
+  // The per-relation COW stores make relation-sharded insertion safe: two
+  // threads inserting into *different* relations touch disjoint
+  // RelationStores, and the resolver is only read (Resolve is a const
+  // lookup). The protocol is:
+  //
+  //   1. For every relation about to receive facts, the coordinating
+  //      thread calls EnsureOwnedStore(r) — unsharing the COW store up
+  //      front so no worker triggers a clone mid-insert.
+  //   2. Workers call AddFactSharded(r, t), each relation owned by
+  //      exactly one worker for the duration. No reads of the mutated
+  //      relations and no resolver mutation may happen concurrently
+  //      (snapshots taken *before* step 1 stay valid: they hold the
+  //      pre-clone stores).
+  //   3. After joining the workers, the coordinator folds the deferred
+  //      counts with CommitShardedFacts(total added).
+  //
+  // AddFactSharded is exactly AddFact minus the fact_count_ update (a
+  // plain member that workers must not race on); it returns true when the
+  // raw store gained a tuple so callers can accumulate per-shard counts.
+  void EnsureOwnedStore(RelationId relation);
+  bool AddFactSharded(RelationId relation, Tuple tuple);
+  void CommitShardedFacts(size_t added) { fact_count_ += added; }
+
   // Removes every raw tuple resolving to R(resolve(t)) if present
   // (swap-with-last; O(arity × index bucket), not O(relation)). Returns
   // true if the fact existed. Counts as a rewrite of the relation: tuple

@@ -1,22 +1,27 @@
 // Cross-validation of the parallel delta chase against the sequential
-// path: for num_threads ∈ {1, 2, 8}, in both barrier and speculative
-// mode, the chase must produce equivalent results on randomized workloads
-// covering the tgd pipeline, the merge-heavy egd cascade, the oblivious
-// engine, failing runs, the solver-level verdict, and auto-compaction.
-// Barrier mode (the default) is bit-identical — same canonical
-// fingerprint; speculative mode (worker-side head instantiation,
-// concurrent ledger admission, cross-dependency pipelining) hands out
-// schedule-dependent null ids, so its results are asserted equal under
-// canonical null renumbering (testing_util::CanonicalizedFingerprint)
-// while outcome, steps, nulls_created and the resolved fact count stay
-// exactly invariant. The canonicalization helpers themselves are
+// path over the full schedule matrix: schedule ∈ {barrier, speculative,
+// dag} × num_threads ∈ {1, 2, 8} × compile_plans ∈ {on, off}, the chase
+// must produce equivalent results on randomized workloads covering the
+// tgd pipeline, the merge-heavy egd cascade, the oblivious engine,
+// disjoint-footprint families, failing runs, the solver-level verdict,
+// and auto-compaction. Barrier mode (the default) is bit-identical at
+// fixed compile mode — same canonical fingerprint at every thread count;
+// speculative and dag (worker-side head instantiation, concurrent ledger
+// admission, footprint-DAG collect/apply overlap, sharded apply) hand
+// out schedule-dependent null ids, so their results are asserted equal
+// under canonical null renumbering
+// (testing_util::CanonicalizedFingerprint) while outcome, steps,
+// nulls_created and the resolved fact count stay exactly invariant
+// across the whole matrix. The canonicalization helpers themselves are
 // unit-tested below on hand-built instances (the refinement-level tests
 // live in instance_hom_test.cc).
 //
 // These tests carry the `parallel` ctest label and are additionally run
-// under TSan by tools/check.sh, which sets PDX_FORCE_SPECULATIVE=1 so the
-// speculative path is the one sanitized. Sizes are deliberately modest so
-// the TSan pass stays fast.
+// under TSan by tools/check.sh, which pins one schedule per lane
+// (PDX_FORCE_SPECULATIVE=1, PDX_FORCE_SCHEDULE=dag) so each sanitized
+// pass covers exactly that path — testing_util::SchedulesToTest()
+// narrows the matrix accordingly. Sizes are deliberately modest so the
+// TSan passes stay fast.
 
 #include <string>
 #include <vector>
@@ -36,13 +41,16 @@ using testing_util::CanonicalizedFingerprint;
 using testing_util::Unwrap;
 
 constexpr int kThreadCounts[] = {1, 2, 8};
+constexpr bool kCompileModes[] = {true, false};
 
-// Both execution modes by default; speculative only when the environment
-// forces it (the TSan pass — running the barrier assertions there would
-// just re-sanitize the already-covered path at double the cost).
-std::vector<bool> SpeculativeModes() {
-  if (testing_util::ForceSpeculative()) return {true};
-  return {false, true};
+using testing_util::SchedulesToTest;
+
+// Trace tag for one cell of the schedule matrix.
+std::string CellTag(uint64_t seed, int threads, ChaseSchedule schedule,
+                    bool compile) {
+  return "seed " + std::to_string(seed) + " threads " +
+         std::to_string(threads) + " " + ScheduleName(schedule) +
+         (compile ? " compiled" : " interpreted");
 }
 
 struct ParallelChaseTest : ::testing::Test {
@@ -94,42 +102,57 @@ struct ParallelChaseTest : ::testing::Test {
   ChaseResult Run(const Instance& start, const std::vector<Tgd>& tgds,
                   const std::vector<Egd>& egds, int threads,
                   ChaseStrategy strategy = ChaseStrategy::kRestricted,
-                  bool speculative = false) {
+                  ChaseSchedule schedule = ChaseSchedule::kBarrier,
+                  bool compile = true) {
     ChaseOptions options;
     options.strategy = strategy;
     options.num_threads = threads;
-    options.speculative = speculative;
+    options.schedule = schedule;
+    options.compile_plans = compile;
     return Chase(start, tgds, egds, &symbols, options);
   }
 
-  // Runs the workload at every thread count × execution mode and asserts
-  // all observable results match the single-threaded reference: exactly
-  // in barrier mode, up to canonical null renumbering in speculative
-  // mode (outcome, steps, nulls and the resolved fact count stay exact
-  // either way).
+  // Runs the workload over the full schedule × threads × compile matrix
+  // and asserts all observable results match the single-threaded barrier
+  // reference: exactly in barrier mode (bit-identity holds per compile
+  // mode — compiled and interpreted enumeration orders differ, so each
+  // gets its own exact reference), up to canonical null renumbering under
+  // speculative/dag (outcome, steps, nulls, the resolved fact count and
+  // the canonicalized fingerprint stay invariant across the whole
+  // matrix, compile modes included).
   void ExpectThreadInvariant(const Instance& start,
                              const std::vector<Tgd>& tgds,
                              const std::vector<Egd>& egds,
                              ChaseStrategy strategy, uint64_t seed) {
-    ChaseResult ref = Run(start, tgds, egds, /*threads=*/1, strategy);
-    uint64_t ref_fp = ref.instance.CanonicalFingerprint();
-    uint64_t ref_canonical = CanonicalizedFingerprint(ref.instance);
-    for (bool speculative : SpeculativeModes()) {
-      for (int threads : kThreadCounts) {
-        ChaseResult got =
-            Run(start, tgds, egds, threads, strategy, speculative);
-        SCOPED_TRACE("seed " + std::to_string(seed) + " threads " +
-                     std::to_string(threads) +
-                     (speculative ? " speculative" : " barrier"));
-        ASSERT_EQ(got.outcome, ref.outcome);
-        ASSERT_EQ(got.steps, ref.steps);
-        ASSERT_EQ(got.nulls_created, ref.nulls_created);
-        ASSERT_EQ(got.instance.ResolvedFactCount(),
-                  ref.instance.ResolvedFactCount());
-        if (speculative) {
-          ASSERT_EQ(CanonicalizedFingerprint(got.instance), ref_canonical);
-        } else {
-          ASSERT_EQ(got.instance.CanonicalFingerprint(), ref_fp);
+    ChaseResult ref0 = Run(start, tgds, egds, /*threads=*/1, strategy);
+    uint64_t ref_canonical = CanonicalizedFingerprint(ref0.instance);
+    for (bool compile : kCompileModes) {
+      ChaseResult ref =
+          Run(start, tgds, egds, /*threads=*/1, strategy,
+              ChaseSchedule::kBarrier, compile);
+      SCOPED_TRACE(std::string("reference, ") +
+                   (compile ? "compiled" : "interpreted") + ", seed " +
+                   std::to_string(seed));
+      ASSERT_EQ(ref.outcome, ref0.outcome);
+      ASSERT_EQ(ref.steps, ref0.steps);
+      ASSERT_EQ(ref.nulls_created, ref0.nulls_created);
+      ASSERT_EQ(CanonicalizedFingerprint(ref.instance), ref_canonical);
+      uint64_t ref_fp = ref.instance.CanonicalFingerprint();
+      for (ChaseSchedule schedule : SchedulesToTest()) {
+        for (int threads : kThreadCounts) {
+          ChaseResult got =
+              Run(start, tgds, egds, threads, strategy, schedule, compile);
+          SCOPED_TRACE(CellTag(seed, threads, schedule, compile));
+          ASSERT_EQ(got.outcome, ref.outcome);
+          ASSERT_EQ(got.steps, ref.steps);
+          ASSERT_EQ(got.nulls_created, ref.nulls_created);
+          ASSERT_EQ(got.instance.ResolvedFactCount(),
+                    ref.instance.ResolvedFactCount());
+          if (schedule == ChaseSchedule::kBarrier) {
+            ASSERT_EQ(got.instance.CanonicalFingerprint(), ref_fp);
+          } else {
+            ASSERT_EQ(CanonicalizedFingerprint(got.instance), ref_canonical);
+          }
         }
       }
     }
@@ -162,27 +185,29 @@ TEST_F(ParallelChaseTest, ObliviousIsThreadInvariant) {
   }
 }
 
-// A multi-dependency workload whose consecutive tgds have disjoint
-// relation footprints, so the cross-dependency pipeline actually overlaps
-// collection with application (E->H and F->... would conflict; E->H then
-// F->F' don't). Exercises the collect-ahead path rather than leaving it
-// to footprint luck in the other workloads.
+// A multi-dependency workload whose tgd families have pairwise disjoint
+// relation footprints (the shape of bench_chase's disjoint_4x), so the
+// footprint-DAG scheduler actually overlaps collection with application
+// across families and the sharded apply distributes inserts over four
+// target relations. Exercises the collect-ahead and shard paths rather
+// than leaving them to footprint luck in the other workloads.
 TEST_F(ParallelChaseTest, DisjointDependenciesPipelineIsThreadInvariant) {
   Schema wide;
   SymbolTable wide_symbols;
-  for (const char* name : {"A0", "B0", "A1", "B1", "A2", "B2"}) {
+  for (const char* name : {"A0", "B0", "A1", "B1", "A2", "B2", "A3", "B3"}) {
     PDX_CHECK(wide.AddRelation(name, 2).ok());
   }
   DependencySet deps = Unwrap(
       ParseDependencies("A0(x,y) & A0(y,z) -> exists w: B0(x,w)."
                         "A1(x,y) & A1(y,z) -> exists w: B1(x,w)."
-                        "A2(x,y) & A2(y,z) -> exists w: B2(x,w).",
+                        "A2(x,y) & A2(y,z) -> exists w: B2(x,w)."
+                        "A3(x,y) & A3(y,z) -> exists w: B3(x,w).",
                         wide, &wide_symbols),
       "wide deps");
   for (uint64_t seed : {7u, 8u}) {
     Rng rng(seed);
     Instance start(&wide);
-    for (RelationId r : {0, 2, 4}) {
+    for (RelationId r : {0, 2, 4, 6}) {
       for (int i = 0; i < 64; ++i) {
         Value u = wide_symbols.InternConstant("n" +
                                               std::to_string(rng.UniformInt(24)));
@@ -191,24 +216,31 @@ TEST_F(ParallelChaseTest, DisjointDependenciesPipelineIsThreadInvariant) {
         start.AddFact(r, {u, v});
       }
     }
-    ChaseOptions ref_options;
-    ref_options.num_threads = 1;
-    ChaseResult ref = Chase(start, deps.tgds, {}, &wide_symbols, ref_options);
-    ASSERT_EQ(ref.outcome, ChaseOutcome::kSuccess);
-    uint64_t ref_canonical = CanonicalizedFingerprint(ref.instance);
-    for (bool speculative : SpeculativeModes()) {
-      for (int threads : kThreadCounts) {
-        ChaseOptions options;
-        options.num_threads = threads;
-        options.speculative = speculative;
-        ChaseResult got = Chase(start, deps.tgds, {}, &wide_symbols, options);
-        SCOPED_TRACE("seed " + std::to_string(seed) + " threads " +
-                     std::to_string(threads) +
-                     (speculative ? " speculative" : " barrier"));
-        ASSERT_EQ(got.outcome, ref.outcome);
-        ASSERT_EQ(got.steps, ref.steps);
-        ASSERT_EQ(got.nulls_created, ref.nulls_created);
-        ASSERT_EQ(CanonicalizedFingerprint(got.instance), ref_canonical);
+    for (bool compile : kCompileModes) {
+      ChaseOptions ref_options;
+      ref_options.num_threads = 1;
+      ref_options.compile_plans = compile;
+      ChaseResult ref = Chase(start, deps.tgds, {}, &wide_symbols, ref_options);
+      ASSERT_EQ(ref.outcome, ChaseOutcome::kSuccess);
+      uint64_t ref_fp = ref.instance.CanonicalFingerprint();
+      uint64_t ref_canonical = CanonicalizedFingerprint(ref.instance);
+      for (ChaseSchedule schedule : SchedulesToTest()) {
+        for (int threads : kThreadCounts) {
+          ChaseOptions options;
+          options.num_threads = threads;
+          options.schedule = schedule;
+          options.compile_plans = compile;
+          ChaseResult got = Chase(start, deps.tgds, {}, &wide_symbols, options);
+          SCOPED_TRACE(CellTag(seed, threads, schedule, compile));
+          ASSERT_EQ(got.outcome, ref.outcome);
+          ASSERT_EQ(got.steps, ref.steps);
+          ASSERT_EQ(got.nulls_created, ref.nulls_created);
+          if (schedule == ChaseSchedule::kBarrier) {
+            ASSERT_EQ(got.instance.CanonicalFingerprint(), ref_fp);
+          } else {
+            ASSERT_EQ(CanonicalizedFingerprint(got.instance), ref_canonical);
+          }
+        }
       }
     }
   }
@@ -224,21 +256,26 @@ TEST_F(ParallelChaseTest, FailingRunsAgreeOnOutcome) {
     Instance start = RandomEdges(16, 2, seed);
     ChaseResult ref = Run(start, copy_tgds, key_egds, /*threads=*/1);
     if (ref.outcome == ChaseOutcome::kFailed) ++failures;
-    for (bool speculative : SpeculativeModes()) {
-      for (int threads : kThreadCounts) {
-        ChaseResult got = Run(start, copy_tgds, key_egds, threads,
-                              ChaseStrategy::kRestricted, speculative);
-        SCOPED_TRACE("seed " + std::to_string(seed) + " threads " +
-                     std::to_string(threads) +
-                     (speculative ? " speculative" : " barrier"));
-        ASSERT_EQ(got.outcome, ref.outcome);
-        if (ref.outcome == ChaseOutcome::kSuccess) {
-          if (speculative) {
-            ASSERT_EQ(CanonicalizedFingerprint(got.instance),
-                      CanonicalizedFingerprint(ref.instance));
-          } else {
-            ASSERT_EQ(got.instance.CanonicalFingerprint(),
-                      ref.instance.CanonicalFingerprint());
+    for (bool compile : kCompileModes) {
+      ChaseResult compile_ref =
+          Run(start, copy_tgds, key_egds, /*threads=*/1,
+              ChaseStrategy::kRestricted, ChaseSchedule::kBarrier, compile);
+      ASSERT_EQ(compile_ref.outcome, ref.outcome);
+      for (ChaseSchedule schedule : SchedulesToTest()) {
+        for (int threads : kThreadCounts) {
+          ChaseResult got =
+              Run(start, copy_tgds, key_egds, threads,
+                  ChaseStrategy::kRestricted, schedule, compile);
+          SCOPED_TRACE(CellTag(seed, threads, schedule, compile));
+          ASSERT_EQ(got.outcome, ref.outcome);
+          if (ref.outcome == ChaseOutcome::kSuccess) {
+            if (schedule == ChaseSchedule::kBarrier) {
+              ASSERT_EQ(got.instance.CanonicalFingerprint(),
+                        compile_ref.instance.CanonicalFingerprint());
+            } else {
+              ASSERT_EQ(CanonicalizedFingerprint(got.instance),
+                        CanonicalizedFingerprint(ref.instance));
+            }
           }
         }
       }
@@ -285,27 +322,25 @@ TEST_F(ParallelChaseTest, DataExchangeVerdictsAreThreadInvariant) {
                                  &de_symbols, ref_options),
                "SolveDataExchange");
     (ref.has_solution ? with_solution : without)++;
-    for (bool speculative : SpeculativeModes()) {
+    for (ChaseSchedule schedule : SchedulesToTest()) {
       for (int threads : kThreadCounts) {
         ChaseOptions options;
         options.num_threads = threads;
-        options.speculative = speculative;
+        options.schedule = schedule;
         DataExchangeResult got =
             Unwrap(SolveDataExchange(setting, source, setting.EmptyInstance(),
                                      &de_symbols, options),
                    "SolveDataExchange");
-        SCOPED_TRACE("seed " + std::to_string(seed) + " threads " +
-                     std::to_string(threads) +
-                     (speculative ? " speculative" : " barrier"));
+        SCOPED_TRACE(CellTag(seed, threads, schedule, /*compile=*/true));
         ASSERT_EQ(got.has_solution, ref.has_solution);
         if (ref.has_solution) {
           ASSERT_EQ(got.nulls_created, ref.nulls_created);
-          if (speculative) {
-            ASSERT_EQ(CanonicalizedFingerprint(*got.universal_solution),
-                      CanonicalizedFingerprint(*ref.universal_solution));
-          } else {
+          if (schedule == ChaseSchedule::kBarrier) {
             ASSERT_EQ(got.universal_solution->CanonicalFingerprint(),
                       ref.universal_solution->CanonicalFingerprint());
+          } else {
+            ASSERT_EQ(CanonicalizedFingerprint(*got.universal_solution),
+                      CanonicalizedFingerprint(*ref.universal_solution));
           }
         }
       }
@@ -328,26 +363,26 @@ TEST_F(ParallelChaseTest, CompactionPreservesResults) {
       Chase(start, egd_heavy_tgds, egd_heavy_egds, &symbols, plain);
   EXPECT_EQ(no_compact.compactions, 0);
 
-  for (bool speculative : SpeculativeModes()) {
+  for (ChaseSchedule schedule : SchedulesToTest()) {
     for (int threads : kThreadCounts) {
       ChaseOptions options;
       options.num_threads = threads;
-      options.speculative = speculative;
+      options.schedule = schedule;
       options.compact_duplicate_ratio = 0.2;
       options.compact_min_facts = 32;
       ChaseResult got =
           Chase(start, egd_heavy_tgds, egd_heavy_egds, &symbols, options);
-      SCOPED_TRACE(std::string("threads ") + std::to_string(threads) +
-                   (speculative ? " speculative" : " barrier"));
+      SCOPED_TRACE(std::string("threads ") + std::to_string(threads) + " " +
+                   ScheduleName(schedule));
       ASSERT_EQ(got.outcome, ChaseOutcome::kSuccess);
       EXPECT_GT(got.compactions, 0);
       ASSERT_EQ(got.steps, no_compact.steps);
-      if (speculative) {
-        ASSERT_EQ(CanonicalizedFingerprint(got.instance),
-                  CanonicalizedFingerprint(no_compact.instance));
-      } else {
+      if (schedule == ChaseSchedule::kBarrier) {
         ASSERT_EQ(got.instance.CanonicalFingerprint(),
                   no_compact.instance.CanonicalFingerprint());
+      } else {
+        ASSERT_EQ(CanonicalizedFingerprint(got.instance),
+                  CanonicalizedFingerprint(no_compact.instance));
       }
       // Compaction drops resolved duplicates from the raw stores, and the
       // resolved view is untouched.

@@ -254,19 +254,18 @@ TEST_P(ChaseStrategyCrossValidationTest, DataExchangeAgreesAcrossStrategies) {
   }
 
   // A randomized parallel configuration of the delta solve (thread count
-  // and speculative mode drawn per seed; speculative forced on under the
-  // TSan pass) must return the same verdict, and the same universal
+  // and schedule drawn per seed; narrowed to the pinned schedule under
+  // the TSan lanes) must return the same verdict, and the same universal
   // solution up to null renaming.
   ChaseOptions parallel_options = delta_options;
   const int kThreadChoices[] = {1, 2, 8};
   parallel_options.num_threads = kThreadChoices[rng.UniformInt(3)];
-  parallel_options.speculative =
-      testing_util::ForceSpeculative() || rng.UniformInt(2) == 1;
+  parallel_options.schedule = testing_util::DrawSchedule(rng.UniformInt(3));
   DataExchangeResult parallel = Unwrap(SolveDataExchange(
       setting, source, target, &symbols, parallel_options));
   EXPECT_EQ(parallel.has_solution, delta.has_solution)
       << "seed " << seed << " threads " << parallel_options.num_threads
-      << " speculative " << parallel_options.speculative;
+      << " schedule " << ScheduleName(parallel_options.schedule);
   if (parallel.has_solution && delta.has_solution) {
     ASSERT_TRUE(parallel.universal_solution.has_value());
     EXPECT_EQ(parallel.nulls_created, delta.nulls_created) << "seed " << seed;
@@ -274,7 +273,7 @@ TEST_P(ChaseStrategyCrossValidationTest, DataExchangeAgreesAcrossStrategies) {
         testing_util::CanonicalizedFingerprint(*parallel.universal_solution),
         testing_util::CanonicalizedFingerprint(*delta.universal_solution))
         << "seed " << seed << " threads " << parallel_options.num_threads
-        << " speculative " << parallel_options.speculative;
+        << " schedule " << ScheduleName(parallel_options.schedule);
   }
 }
 
@@ -346,27 +345,28 @@ TEST_P(EgdHeavyChaseCrossValidationTest, EnginesAgreeOnEgdHeavyChases) {
       << start.ToString(symbols);
 
   // A randomized parallel configuration of the delta chase (threads and
-  // speculative mode drawn per seed; speculative forced on under the TSan
-  // pass): same outcome always; on success, the same step count — pending
-  // sets are schedule-invariant — and the same result up to null renaming.
+  // schedule drawn per seed; narrowed to the pinned schedule under the
+  // TSan lanes): same outcome always; on success, the same step count —
+  // pending sets are schedule-invariant — and the same result up to null
+  // renaming.
   ChaseOptions parallel_options = delta_options;
   const int kThreadChoices[] = {1, 2, 8};
   parallel_options.num_threads = kThreadChoices[rng.UniformInt(3)];
-  parallel_options.speculative =
-      testing_util::ForceSpeculative() || rng.UniformInt(2) == 1;
+  parallel_options.schedule = testing_util::DrawSchedule(rng.UniformInt(3));
   ChaseResult parallel =
       Chase(start, deps->tgds, deps->egds, &symbols, parallel_options);
   ASSERT_EQ(parallel.outcome, delta.outcome)
       << "parallel disagreement on seed " << seed << " threads "
-      << parallel_options.num_threads << " speculative "
-      << parallel_options.speculative << "\nI:\n" << start.ToString(symbols);
+      << parallel_options.num_threads << " schedule "
+      << ScheduleName(parallel_options.schedule) << "\nI:\n"
+      << start.ToString(symbols);
   if (delta.outcome == ChaseOutcome::kSuccess) {
     EXPECT_EQ(parallel.steps, delta.steps) << "seed " << seed;
     EXPECT_EQ(parallel.nulls_created, delta.nulls_created) << "seed " << seed;
     EXPECT_EQ(testing_util::CanonicalizedFingerprint(parallel.instance),
               testing_util::CanonicalizedFingerprint(delta.instance))
         << "seed " << seed << " threads " << parallel_options.num_threads
-        << " speculative " << parallel_options.speculative;
+        << " schedule " << ScheduleName(parallel_options.schedule);
   }
 
   // Plan-vs-interpreter cross-validation: flipping compile_plans on the

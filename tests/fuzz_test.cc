@@ -162,22 +162,24 @@ TEST_P(FuzzTest, FuzzedChasesResolveSurvivingNullsToUniqueRoots) {
         << start.ToString(symbols_);
 
     // A randomized parallel configuration of the same delta chase: thread
-    // count and speculative mode drawn per trial (speculative forced on
-    // under PDX_FORCE_SPECULATIVE, i.e. the TSan pass). The parallel run
-    // must agree with the sequential delta run on outcome; on success,
+    // count and schedule (barrier/speculative/dag) drawn per trial
+    // (narrowed to the pinned schedule under PDX_FORCE_SPECULATIVE /
+    // PDX_FORCE_SCHEDULE, i.e. the TSan lanes). The parallel run must
+    // agree with the sequential delta run on outcome; on success,
     // per-round pending sets are schedule-invariant, so steps must match
     // exactly and the results must be equal up to null renaming.
     ChaseOptions parallel_options = delta_options;
     const int kThreadChoices[] = {1, 2, 8};
     parallel_options.num_threads = kThreadChoices[rng.UniformInt(3)];
-    parallel_options.speculative =
-        testing_util::ForceSpeculative() || rng.UniformInt(2) == 1;
+    parallel_options.schedule =
+        testing_util::DrawSchedule(rng.UniformInt(3));
     ChaseResult parallel =
         Chase(start, deps->tgds, deps->egds, &symbols_, parallel_options);
     ASSERT_EQ(parallel.outcome, delta.outcome)
         << "parallel disagreement, trial " << trial << " threads "
-        << parallel_options.num_threads << " speculative "
-        << parallel_options.speculative << "\nI:\n" << start.ToString(symbols_);
+        << parallel_options.num_threads << " schedule "
+        << ScheduleName(parallel_options.schedule) << "\nI:\n"
+        << start.ToString(symbols_);
     if (delta.outcome == ChaseOutcome::kSuccess) {
       EXPECT_EQ(parallel.steps, delta.steps) << "trial " << trial;
       EXPECT_EQ(parallel.nulls_created, delta.nulls_created)
@@ -185,8 +187,8 @@ TEST_P(FuzzTest, FuzzedChasesResolveSurvivingNullsToUniqueRoots) {
       EXPECT_EQ(testing_util::CanonicalizedFingerprint(parallel.instance),
                 testing_util::CanonicalizedFingerprint(delta.instance))
           << "trial " << trial << " threads " << parallel_options.num_threads
-          << " speculative " << parallel_options.speculative << "\nI:\n"
-          << start.ToString(symbols_);
+          << " schedule " << ScheduleName(parallel_options.schedule)
+          << "\nI:\n" << start.ToString(symbols_);
     }
 
     // Plan-vs-interpreter cross-validation: the same sequential delta

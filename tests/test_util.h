@@ -5,9 +5,11 @@
 #include <cstdlib>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "gtest/gtest.h"
 #include "base/status.h"
+#include "chase/chase.h"
 #include "hom/instance_hom.h"
 #include "pde/setting.h"
 #include "relational/instance.h"
@@ -85,6 +87,31 @@ inline void AssertHomEquivalent(const Instance& a, const Instance& b,
 inline bool ForceSpeculative() {
   const char* env = std::getenv("PDX_FORCE_SPECULATIVE");
   return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+// The schedules a parallel-invariance test should exercise. All three by
+// default. Under PDX_FORCE_SCHEDULE (which ResolveSchedule makes win
+// process-wide anyway) or the legacy PDX_FORCE_SPECULATIVE, only the
+// forced one — tools/check.sh's TSan lanes pin a schedule so the
+// sanitized runs cover exactly that path instead of re-running every mode
+// at triple cost.
+inline std::vector<ChaseSchedule> SchedulesToTest() {
+  if (const char* env = std::getenv("PDX_FORCE_SCHEDULE")) {
+    std::string_view forced(env);
+    if (forced == "barrier") return {ChaseSchedule::kBarrier};
+    if (forced == "speculative") return {ChaseSchedule::kSpeculative};
+    if (forced == "dag") return {ChaseSchedule::kDag};
+  }
+  if (ForceSpeculative()) return {ChaseSchedule::kSpeculative};
+  return {ChaseSchedule::kBarrier, ChaseSchedule::kSpeculative,
+          ChaseSchedule::kDag};
+}
+
+// Maps a random draw to a schedule for fuzz-style trials: uniform over
+// SchedulesToTest(), so a pinned TSan lane fuzzes only the pinned path.
+inline ChaseSchedule DrawSchedule(uint32_t draw) {
+  std::vector<ChaseSchedule> schedules = SchedulesToTest();
+  return schedules[draw % schedules.size()];
 }
 
 }  // namespace testing_util

@@ -103,10 +103,10 @@ if [[ "$mode" == "all" || "$mode" == "--tsan-only" ]]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan -j "$jobs" \
     --target thread_pool_test trigger_ledger_test chase_parallel_test \
-    fuzz_test obs_test
+    sharded_apply_test fuzz_test obs_test
   # PDX_FORCE_SPECULATIVE=1 makes every parallel-labeled chase take the
   # speculative path (worker-side head instantiation, concurrent ledger,
-  # cross-dependency pipelining) — the code TSan most needs to see; the
+  # cross-dependency pipelining) — code TSan most needs to see; the
   # barrier path is the default everywhere else and already sanitized by
   # earlier PRs' runs.
   PDX_FORCE_SPECULATIVE=1 ctest --test-dir build-tsan -L parallel \
@@ -116,6 +116,12 @@ if [[ "$mode" == "all" || "$mode" == "--tsan-only" ]]; then
   # clean even though compiled plans are the default.
   PDX_FORCE_SPECULATIVE=1 PDX_FORCE_INTERPRETER=1 ctest \
     --test-dir build-tsan -L parallel \
+    --output-on-failure -j "$jobs" --timeout 600
+  # The footprint-DAG schedule adds the relation-sharded apply fan-out and
+  # the combined collect-ahead batches on top of the speculative
+  # machinery; pin it for its own sanitized pass.
+  echo "== thread sanitizer rerun (dag schedule forced) =="
+  PDX_FORCE_SCHEDULE=dag ctest --test-dir build-tsan -L parallel \
     --output-on-failure -j "$jobs" --timeout 600
 fi
 

@@ -3,7 +3,8 @@
 // Usage:
 //   pdxcli check   --setting FILE
 //   pdxcli chase   --setting FILE --source FILE [--target FILE] [--threads N]
-//                  [--speculative] [--dump-plans]
+//                  [--schedule barrier|speculative|dag] [--speculative]
+//                  [--dump-plans]
 //   pdxcli solve   --setting FILE --source FILE [--target FILE]
 //                  [--solver auto|ctract|generic] [--minimize] [--diff]
 //                  [--threads N]
@@ -93,7 +94,10 @@ class ObsExports {
     }
     if (auto it = args.flags.find("trace-out"); it != args.flags.end()) {
       trace_path_ = it->second;
-      obs::Tracer::Global().Enable();
+      // rusage=true: per-span thread CPU / context-switch deltas, so
+      // shard skew in the trace distinguishes work imbalance from
+      // scheduler preemption.
+      obs::Tracer::Global().Enable(/*capacity=*/1 << 16, /*rusage=*/true);
     }
   }
 
@@ -135,6 +139,20 @@ class ObsExports {
 int ParseThreads(const CliArgs& args) {
   auto it = args.flags.find("threads");
   return it == args.flags.end() ? 1 : std::atoi(it->second.c_str());
+}
+
+// --schedule barrier|speculative|dag: the tgd-phase schedule for parallel
+// chases (see ChaseSchedule in chase/chase.h). Absent means barrier, the
+// bit-deterministic default; --speculative stays as shorthand for the
+// speculative schedule.
+StatusOr<ChaseSchedule> ParseSchedule(const CliArgs& args) {
+  auto it = args.flags.find("schedule");
+  if (it == args.flags.end()) return ChaseSchedule::kBarrier;
+  if (it->second == "barrier") return ChaseSchedule::kBarrier;
+  if (it->second == "speculative") return ChaseSchedule::kSpeculative;
+  if (it->second == "dag") return ChaseSchedule::kDag;
+  return InvalidArgumentError(StrCat("unknown --schedule ", it->second,
+                                     " (want barrier, speculative or dag)"));
 }
 
 StatusOr<PdeSetting> LoadSetting(const CliArgs& args, SymbolTable* symbols) {
@@ -224,6 +242,12 @@ int RunChase(const CliArgs& args) {
   ChaseOptions chase_options;
   chase_options.num_threads = ParseThreads(args);
   chase_options.speculative = args.flags.count("speculative") > 0;
+  auto schedule = ParseSchedule(args);
+  if (!schedule.ok()) {
+    std::cerr << schedule.status().ToString() << "\n";
+    return 2;
+  }
+  chase_options.schedule = *schedule;
   if (args.flags.count("dump-plans") > 0) {
     // Show exactly what the chase below will execute: the compiled plans
     // for Σ_st (this command chases with Σ_st only, no egds).
@@ -481,7 +505,8 @@ int Main(int argc, char** argv) {
                  "--setting FILE [--source FILE] [--target FILE] "
                  "[--solver auto|ctract|generic] [--query Q] "
                  "[--minimize] [--diff] [--threads N] "
-                 "[--speculative] [--dump-plans] "
+                 "[--schedule barrier|speculative|dag] [--speculative] "
+                 "[--dump-plans] "
                  "[--metrics-out FILE] [--trace-out FILE]\n";
     return 2;
   }
