@@ -15,15 +15,28 @@
 // the naive engine pays a relation rebuild per merge while the delta
 // engine pays one union plus re-examination of the dirty tuples.
 //
+// A third axis (bytecode_vs_tree) A/Bs the match-loop bytecode VM of
+// hom/match_vm.h against the recursive tree executor it replaced, on the
+// compiled delta strategy at 1 thread — step- and fingerprint-cross-checked
+// like compiled_vs_interpreted.
+//
 // Usage: bench_chase [output.json]   (default BENCH_chase.json in cwd)
+//        bench_chase --quick         (perf smoke gate: pipeline_n512 under
+//                                     both executors; exits nonzero if the
+//                                     VM is slower than the conservative
+//                                     facts/sec floor or the executors
+//                                     disagree)
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "chase/chase.h"
 #include "hom/instance_hom.h"
+#include "hom/match_vm.h"
 #include "logic/parser.h"
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
@@ -261,6 +274,56 @@ CompiledVsInterpretedResult RunCompiledVsInterpreted(
   return result;
 }
 
+// The bytecode-vs-tree dimension: the compiled delta strategy at 1 thread
+// under the recursive tree executor (PDX_FORCE_TREE_EXEC's baseline) and
+// the bytecode VM (the default). Both executors run the same compiled
+// plans and enumerate identical match sets per partition, so steps and
+// canonicalized fingerprints must agree exactly; only wall time may move.
+struct BytecodeVsTreeResult {
+  std::string name;
+  int64_t input_facts = 0;
+  StrategyStats tree;
+  StrategyStats bytecode;
+  // bytecode facts/sec over tree facts/sec (> 1 = the VM wins).
+  double speedup = 0;
+};
+
+BytecodeVsTreeResult RunBytecodeVsTree(SymbolTable* symbols,
+                                       const std::string& name,
+                                       const Instance& start,
+                                       const std::vector<Tgd>& tgds,
+                                       const std::vector<Egd>& egds) {
+  BytecodeVsTreeResult result;
+  result.name = name;
+  result.input_facts = static_cast<int64_t>(start.fact_count());
+  const bool saved_force = ForceTreeExec();
+  SetForceTreeExec(true);
+  result.tree = RunOne(symbols, start, tgds, egds, ChaseStrategy::kRestricted,
+                       /*num_threads=*/1, ChaseSchedule::kBarrier,
+                       /*compile_plans=*/true);
+  SetForceTreeExec(false);
+  result.bytecode =
+      RunOne(symbols, start, tgds, egds, ChaseStrategy::kRestricted,
+             /*num_threads=*/1, ChaseSchedule::kBarrier,
+             /*compile_plans=*/true);
+  SetForceTreeExec(saved_force);
+  PDX_CHECK(result.bytecode.canonical_fingerprint ==
+            result.tree.canonical_fingerprint)
+      << "bytecode chase not isomorphic to tree chase on " << name;
+  PDX_CHECK(result.bytecode.steps == result.tree.steps)
+      << "bytecode chase changed the step count on " << name;
+  result.speedup =
+      result.tree.facts_per_sec > 0
+          ? result.bytecode.facts_per_sec / result.tree.facts_per_sec
+          : 0;
+  std::fprintf(stderr,
+               "%-24s tree %9.2f ms   bytecode %9.2f ms   "
+               "facts/sec speedup %5.2fx\n",
+               name.c_str(), result.tree.wall_ms, result.bytecode.wall_ms,
+               result.speedup);
+  return result;
+}
+
 // The thread-scaling dimension: the same workload, delta strategy, at
 // 1/2/4/8 worker threads, barrier then speculative then dag. Every
 // barrier point is cross-checked against the 1-thread run for identical
@@ -348,11 +411,16 @@ void WriteStrategy(JsonWriter& w, const char* key,
 
 std::string ToJson(const std::vector<WorkloadResult>& results,
                    const std::vector<CompiledVsInterpretedResult>& compiled,
+                   const std::vector<BytecodeVsTreeResult>& bytecode,
                    const std::vector<ThreadScalingResult>& scaling) {
   JsonWriter w;
   w.BeginObject();
   w.Key("bench").String("chase");
   w.Key("repeats").Int(kRepeats);
+  // Honest-hardware annotation: the thread_scaling numbers below are only
+  // meaningful up to this core count (see ROADMAP.md on the 1-core CI box).
+  w.Key("nproc").Int(
+      static_cast<int64_t>(std::thread::hardware_concurrency()));
   w.Key("workloads").BeginArray();
   for (const WorkloadResult& r : results) {
     w.BeginObject();
@@ -371,6 +439,17 @@ std::string ToJson(const std::vector<WorkloadResult>& results,
     w.Key("input_facts").Int(r.input_facts);
     WriteStrategy(w, "interpreted", r.interpreted);
     WriteStrategy(w, "compiled", r.compiled);
+    w.Key("speedup").Double(r.speedup, 2);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("bytecode_vs_tree").BeginArray();
+  for (const BytecodeVsTreeResult& r : bytecode) {
+    w.BeginObject();
+    w.Key("name").String(r.name);
+    w.Key("input_facts").Int(r.input_facts);
+    WriteStrategy(w, "tree", r.tree);
+    WriteStrategy(w, "bytecode", r.bytecode);
     w.Key("speedup").Double(r.speedup, 2);
     w.EndObject();
   }
@@ -401,8 +480,38 @@ std::string ToJson(const std::vector<WorkloadResult>& results,
   return std::move(w).Take();
 }
 
+// Conservative facts/sec floor for the --quick perf smoke gate on
+// pipeline_n512 under the bytecode VM. The reference single-core box
+// measures ~3.0M facts/sec here, dipping to ~1.0M under heavy scheduler
+// contention; the floor sits far below both so noise or a debug-ish
+// build never trips it, while a real hot-path regression (e.g. the VM
+// silently falling back to the tree executor, or a quadratic index)
+// still does.
+constexpr double kQuickFactsPerSecFloor = 500'000.0;
+
 int Main(int argc, char** argv) {
   BenchContext ctx;
+  // Perf smoke gate (tools/check.sh): pipeline_n512 under the tree
+  // executor and the bytecode VM, step- and fingerprint-cross-checked by
+  // RunBytecodeVsTree, then gated on an absolute throughput floor.
+  if (argc > 1 && std::strcmp(argv[1], "--quick") == 0) {
+    Instance start = ctx.RandomEdges(512, 2, 17);
+    BytecodeVsTreeResult r = RunBytecodeVsTree(
+        &ctx.symbols, "pipeline_n512", start, ctx.pipeline_tgds, {});
+    if (r.bytecode.facts_per_sec < kQuickFactsPerSecFloor) {
+      std::fprintf(stderr,
+                   "FAIL: bytecode VM throughput %.0f facts/sec below the "
+                   "smoke floor %.0f on pipeline_n512\n",
+                   r.bytecode.facts_per_sec, kQuickFactsPerSecFloor);
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "quick gate OK: %.0f facts/sec (floor %.0f), bytecode vs "
+                 "tree speedup %.2fx\n",
+                 r.bytecode.facts_per_sec, kQuickFactsPerSecFloor,
+                 r.speedup);
+    return 0;
+  }
   std::vector<WorkloadResult> results;
   // Weakly acyclic tgd pipeline at growing scale; the largest size is the
   // headline number the README/DESIGN quote.
@@ -444,6 +553,27 @@ int Main(int argc, char** argv) {
     compiled.push_back(RunCompiledVsInterpreted(
         &ctx.symbols, "egd_heavy_n256", start, ctx.egd_heavy_tgds,
         ctx.egd_heavy_egds));
+  }
+  // Bytecode-vs-tree at 1 thread on the same three points as
+  // compiled_vs_interpreted; pipeline_n512 is the headline number for the
+  // match VM (and what --quick gates on).
+  std::vector<BytecodeVsTreeResult> bytecode;
+  {
+    Instance start = ctx.RandomEdges(512, 2, 17);
+    bytecode.push_back(RunBytecodeVsTree(&ctx.symbols, "pipeline_n512",
+                                         start, ctx.pipeline_tgds, {}));
+  }
+  {
+    Instance start = ctx.RandomEdges(256, 2, 23);
+    bytecode.push_back(RunBytecodeVsTree(&ctx.symbols, "existential_egd_n256",
+                                         start, ctx.existential_tgds,
+                                         ctx.key_egds));
+  }
+  {
+    Instance start = ctx.RandomEdges(256, 4, 29);
+    bytecode.push_back(RunBytecodeVsTree(&ctx.symbols, "egd_heavy_n256",
+                                         start, ctx.egd_heavy_tgds,
+                                         ctx.egd_heavy_egds));
   }
   // Thread scaling on the two headline workloads, plus a wide
   // disjoint-dependency workload where consecutive tgds touch disjoint
@@ -496,7 +626,7 @@ int Main(int argc, char** argv) {
   }
 
   std::string path = argc > 1 ? argv[1] : "BENCH_chase.json";
-  std::string json = ToJson(results, compiled, scaling);
+  std::string json = ToJson(results, compiled, bytecode, scaling);
   std::FILE* f = std::fopen(path.c_str(), "w");
   PDX_CHECK(f != nullptr) << "cannot open " << path;
   std::fwrite(json.data(), 1, json.size(), f);

@@ -1,6 +1,7 @@
 #include "chase/chase.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
@@ -144,15 +145,29 @@ bool TouchesDelta(const std::vector<Atom>& body, const DeltaView& delta) {
 // in partition order, which reproduces the sequential enumeration order
 // exactly. This is the collect half of every parallel chase phase; the
 // apply half stays sequential.
-std::vector<Binding> CollectDeltaMatches(
+// Collects into `out` with element reuse: the first `returned` entries of
+// `out` are this round's triggers; entries beyond that are retained
+// capacity from earlier rounds (never shrunk), so steady-state rounds
+// copy-assign into existing Binding buffers instead of re-allocating two
+// vectors per trigger. Callers keep one buffer alive across the round
+// loop and read only [0, returned).
+size_t CollectDeltaMatches(
     const std::vector<Atom>& atoms, int var_count, const Instance& instance,
     const DeltaView& delta, ThreadPool* pool, const plan::BodyPlan* body_plan,
     const std::function<bool(const Binding&)>& keep,
-    uint64_t parent_span = 0) {
-  std::vector<Binding> out;
+    std::vector<Binding>* out, uint64_t parent_span = 0) {
+  size_t used = 0;
+  const auto emit = [&](const Binding& m) {
+    if (used < out->size()) {
+      (*out)[used] = m;
+    } else {
+      out->push_back(m);
+    }
+    ++used;
+  };
   if (pool == nullptr) {
     const auto collect = [&](const Binding& m) {
-      if (keep(m)) out.push_back(m);
+      if (keep(m)) emit(m);
       return true;
     };
     if (body_plan != nullptr) {
@@ -162,13 +177,13 @@ std::vector<Binding> CollectDeltaMatches(
       EnumerateMatchesDelta(atoms, var_count, instance, delta,
                             Binding::Empty(var_count), collect);
     }
-    return out;
+    return used;
   }
   // A few partitions per participant so uneven pivot widths still balance
   // via stealing.
   std::vector<DeltaPartition> parts = PartitionDeltaMatches(
       atoms, delta, static_cast<size_t>(pool->size()) * 4);
-  if (parts.empty()) return out;
+  if (parts.empty()) return used;
   std::vector<std::vector<Binding>> buffers(parts.size());
   pool->ParallelFor(parts.size(), [&](size_t p) {
     // One span per dependency × partition task, parented to the batch
@@ -195,10 +210,9 @@ std::vector<Binding> CollectDeltaMatches(
                       static_cast<int64_t>(buffers[p].size()));
   });
   for (std::vector<Binding>& buffer : buffers) {
-    out.insert(out.end(), std::make_move_iterator(buffer.begin()),
-               std::make_move_iterator(buffer.end()));
+    for (Binding& m : buffer) emit(m);
   }
-  return out;
+  return used;
 }
 
 // Applies one tgd chase step for the trigger `binding`: extends the
@@ -236,6 +250,45 @@ int ApplyTgdStep(const Tgd& tgd, const Binding& binding, Instance* instance,
 int ApplyTgdStepPlanned(const plan::ApplyTemplate& apply,
                         const Binding& binding, Instance* instance,
                         SymbolTable* symbols) {
+  // Zero-allocation apply: fresh nulls land in a stack array parallel to
+  // apply.existentials (ascending variable order, same as the interpreted
+  // loop) and each head row is staged in a stack buffer for the span
+  // AddFact. Exotic shapes fall back to the Binding-extension path.
+  constexpr size_t kStack = 16;
+  const size_t n_exist = apply.existentials.size();
+  bool narrow = n_exist <= kStack;
+  for (const plan::HeadAtom& atom : apply.head_atoms) {
+    narrow = narrow && static_cast<size_t>(atom.arity) <= kStack;
+  }
+  if (narrow) {
+    Value fresh[kStack];
+    for (size_t i = 0; i < n_exist; ++i) {
+      PDX_DCHECK(!binding.bound[apply.existentials[i]]);
+      fresh[i] = symbols->FreshNull();
+    }
+    Value row[kStack];
+    size_t cursor = 0;
+    for (const plan::HeadAtom& atom : apply.head_atoms) {
+      for (int i = 0; i < atom.arity; ++i) {
+        const plan::HeadSlot& slot = apply.slots[cursor++];
+        if (slot.is_const) {
+          row[i] = slot.key;
+        } else if (binding.bound[slot.var]) {
+          row[i] = binding.values[slot.var];
+        } else {
+          // Existential: the list is tiny (fresh_per_trigger), so a
+          // linear scan beats any per-trigger map.
+          size_t e = 0;
+          while (e < n_exist && apply.existentials[e] != slot.var) ++e;
+          PDX_DCHECK(e < n_exist);
+          row[i] = e < n_exist ? fresh[e] : Value();
+        }
+      }
+      instance->AddFact(atom.relation, row,
+                        static_cast<size_t>(atom.arity));
+    }
+    return apply.fresh_per_trigger;
+  }
   Binding extended = binding;
   for (VariableId v : apply.existentials) {
     PDX_DCHECK(!extended.bound[v]);
@@ -1124,6 +1177,11 @@ ChaseResult ChaseRestrictedDelta(const Instance& start,
   int64_t dirty_accum = 0;
   ChaseMetrics& metrics = ChaseMetrics::Get();
   int64_t round = 0;
+  // Trigger buffer shared across rounds and dependencies: steady-state
+  // collects assign into retained Binding capacity (see
+  // CollectDeltaMatches) instead of re-allocating two vectors per
+  // trigger.
+  std::vector<Binding> pending;
   while (true) {
     if (result.steps >= options.max_steps) {
       result.outcome = ChaseOutcome::kBudgetExhausted;
@@ -1166,16 +1224,22 @@ ChaseResult ChaseRestrictedDelta(const Instance& start,
         tgd_span.AttrInt("dep", static_cast<int64_t>(d));
         // Collect the violated triggers for this delta, then apply them.
         // (Applying while enumerating would mutate the instance under the
-        // matcher.)
-        std::vector<Binding> pending = CollectDeltaMatches(
+        // matcher.) Body matches are counted locally and flushed to the
+        // registry once per batch: the keep filter is the hottest lambda
+        // in the engine and a sharded atomic per call is measurable.
+        // (Relaxed atomic: pooled collection invokes the filter from
+        // partition workers.)
+        std::atomic<int64_t> n_matches{0};
+        const size_t n_pending = CollectDeltaMatches(
             tgd.body, tgd.var_count, instance, delta, pool,
             plan != nullptr ? &plan->body : nullptr,
             [&](const Binding& body_match) {
-              metrics.tgd_matches.Inc();
+              n_matches.fetch_add(1, std::memory_order_relaxed);
               return !HeadSatisfied(tgd, plan, instance, body_match);
             },
-            tgd_span.id());
-        metrics.batch_triggers.Observe(static_cast<int64_t>(pending.size()));
+            &pending, tgd_span.id());
+        metrics.tgd_matches.Inc(n_matches.load(std::memory_order_relaxed));
+        metrics.batch_triggers.Observe(static_cast<int64_t>(n_pending));
         int64_t applied = 0;
         // Pooled barrier apply, overlay-exact head: decide each trigger
         // against the batch overlay (no physical probe), invent its nulls
@@ -1192,7 +1256,8 @@ ChaseResult ChaseRestrictedDelta(const Instance& start,
           overlay.plan = overlay_plan;
           ShardedInserts inserts(instance.schema().relation_count());
           bool exhausted = false;
-          for (const Binding& trigger : pending) {
+          for (size_t t = 0; t < n_pending; ++t) {
+            const Binding& trigger = pending[t];
             if (!overlay.DecideFire(trigger)) continue;
             result.nulls_created +=
                 QueueTgdStep(tgd, plan, trigger, symbols, &inserts);
@@ -1207,7 +1272,8 @@ ChaseResult ChaseRestrictedDelta(const Instance& start,
           inserts.Drain(&instance, pool, tgd_span.id());
           if (exhausted) return result;
         } else {
-          for (const Binding& trigger : pending) {
+          for (size_t t = 0; t < n_pending; ++t) {
+            const Binding& trigger = pending[t];
             // Re-check: an earlier application may have satisfied it.
             if (HeadSatisfied(tgd, plan, instance, trigger)) {
               continue;
@@ -1225,7 +1291,7 @@ ChaseResult ChaseRestrictedDelta(const Instance& start,
             }
           }
         }
-        tgd_span.AttrInt("collected", static_cast<int64_t>(pending.size()))
+        tgd_span.AttrInt("collected", static_cast<int64_t>(n_pending))
             .AttrInt("applied", applied);
       }
     }
@@ -1289,6 +1355,11 @@ ChaseResult ChaseOblivious(const Instance& start,
   std::vector<std::vector<int>> extras;
   ChaseMetrics& metrics = ChaseMetrics::Get();
   int64_t round = 0;
+  // Trigger buffer shared across rounds and dependencies: steady-state
+  // collects assign into retained Binding capacity (see
+  // CollectDeltaMatches) instead of re-allocating two vectors per
+  // trigger.
+  std::vector<Binding> pending;
   while (true) {
     if (result.steps >= options.max_steps) {
       result.outcome = ChaseOutcome::kBudgetExhausted;
@@ -1334,16 +1405,20 @@ ChaseResult ChaseOblivious(const Instance& start,
         // under the matcher), then fire them. The ledger is only read
         // during collection (workers filter against it concurrently);
         // Insert runs in the sequential fire loop, which also collapses
-        // the repeats the extras overlap can produce.
-        std::vector<Binding> pending = CollectDeltaMatches(
+        // the repeats the extras overlap can produce. As in the
+        // restricted loop, matches are counted locally and flushed to
+        // the registry once per batch.
+        std::atomic<int64_t> n_matches{0};
+        const size_t n_pending = CollectDeltaMatches(
             tgd.body, tgd.var_count, instance, delta, pool,
             plan != nullptr ? &plan->body : nullptr,
             [&](const Binding& body_match) {
-              metrics.tgd_matches.Inc();
+              n_matches.fetch_add(1, std::memory_order_relaxed);
               return !fired.Contains(TriggerFingerprint(d, tgd, body_match));
             },
-            tgd_span.id());
-        metrics.batch_triggers.Observe(static_cast<int64_t>(pending.size()));
+            &pending, tgd_span.id());
+        metrics.tgd_matches.Inc(n_matches.load(std::memory_order_relaxed));
+        metrics.batch_triggers.Observe(static_cast<int64_t>(n_pending));
         if (pool != nullptr) {
           // Pooled barrier apply: ledger admission is the whole decide —
           // no head probe — so every batch defers its inserts to the
@@ -1351,7 +1426,8 @@ ChaseResult ChaseOblivious(const Instance& start,
           // bit-identical to the interleaved loop below.
           ShardedInserts inserts(instance.schema().relation_count());
           bool exhausted = false;
-          for (const Binding& trigger : pending) {
+          for (size_t t = 0; t < n_pending; ++t) {
+            const Binding& trigger = pending[t];
             if (!fired.Insert(TriggerFingerprint(d, tgd, trigger), tgd,
                               trigger)) {
               continue;
@@ -1368,7 +1444,8 @@ ChaseResult ChaseOblivious(const Instance& start,
           inserts.Drain(&instance, pool, tgd_span.id());
           if (exhausted) return result;
         } else {
-          for (const Binding& trigger : pending) {
+          for (size_t t = 0; t < n_pending; ++t) {
+            const Binding& trigger = pending[t];
             if (!fired.Insert(TriggerFingerprint(d, tgd, trigger), tgd,
                               trigger)) {
               continue;
@@ -1413,6 +1490,9 @@ EgdFixpointOutcome RunEgdsToFixpointDelta(
   // violates must bind one of them: pass k+1 pivots only on the tuples
   // pass k dirtied, until no merge fires.
   std::vector<std::vector<int>> frontier;
+  // Violated-trigger buffer reused across passes and egds (pooled collect
+  // path) — same Binding-capacity reuse as the tgd phase's `pending`.
+  std::vector<Binding> violated;
   bool first_pass = true;
   while (true) {
     obs::Span pass_span(obs::Tracer::Global(), "chase.egd_pass");
@@ -1469,13 +1549,15 @@ EgdFixpointOutcome RunEgdsToFixpointDelta(
         // discipline reaches, with the same number of successful merges
         // (each union lowers the class count by exactly one); only the
         // union order, i.e. which root survives, can differ.
-        std::vector<Binding> violated = CollectDeltaMatches(
+        const size_t n_violated = CollectDeltaMatches(
             egd.body, egd.var_count, *instance, delta, pool,
             plan != nullptr ? &plan->body : nullptr,
             [&](const Binding& m) {
               return m.values[egd.left_var] != m.values[egd.right_var];
-            });
-        for (const Binding& trigger : violated) {
+            },
+            &violated);
+        for (size_t t = 0; t < n_violated; ++t) {
+          const Binding& trigger = violated[t];
           Value a = instance->ResolveValue(trigger.values[egd.left_var]);
           Value b = instance->ResolveValue(trigger.values[egd.right_var]);
           if (a == b) continue;

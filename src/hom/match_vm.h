@@ -1,0 +1,52 @@
+#ifndef PDX_HOM_MATCH_VM_H_
+#define PDX_HOM_MATCH_VM_H_
+
+// The register-style bytecode VM behind the planned match entry points: an
+// iterative executor for the linear programs plan/bytecode.h lowers from
+// compiled BodyPlans. One frame per join level (candidate cursor + trail
+// mark), no recursion, no virtual dispatch, and no heap allocation in
+// steady state (frames are pooled per thread, like the tree executor's
+// PlanContexts).
+//
+// The VM enumerates exactly the match set the tree executor enumerates,
+// including the delta-pivot confinement and the bind-or-check tolerance
+// for callers whose partial binding differs from the compiled assumption.
+// PDX_FORCE_TREE_EXEC=1 (or SetForceTreeExec) routes every planned call
+// back to the recursive tree executor, which stays as the cross-validated
+// baseline (tests/cross_validation_test.cc, tools/check.sh).
+
+#include <functional>
+
+#include "hom/matcher.h"
+#include "plan/ir.h"
+
+namespace pdx {
+
+// True when planned execution must use the tree executor instead of the
+// VM. Seeded from the PDX_FORCE_TREE_EXEC environment variable (non-empty
+// and not "0"); SetForceTreeExec overrides it at runtime (tests and
+// benchmarks toggle per leg).
+bool ForceTreeExec();
+void SetForceTreeExec(bool force);
+
+// EnumerateMatchesPlanned through plan.code (full program).
+bool VmEnumerateMatches(const plan::BodyPlan& plan, const Instance& instance,
+                        const Binding& partial,
+                        const std::function<bool(const Binding&)>& fn);
+
+// HasMatchPlanned through plan.code: existence only, stopping at the
+// first match. Single-level fully-bound plans (the chase's dominant
+// head-satisfaction shape on merge-free instances) collapse to one
+// dedup-set point lookup with no context lease or binding copy.
+bool VmHasMatch(const plan::BodyPlan& plan, const Instance& instance,
+                const Binding& partial);
+
+// EnumerateMatchesDeltaPartitionPlanned through the variant entry point.
+bool VmEnumerateMatchesDeltaPartition(
+    const plan::BodyPlan& plan, const Instance& instance,
+    const DeltaView& delta, const DeltaPartition& partition,
+    const Binding& partial, const std::function<bool(const Binding&)>& fn);
+
+}  // namespace pdx
+
+#endif  // PDX_HOM_MATCH_VM_H_

@@ -4,6 +4,7 @@
 #include <limits>
 #include <memory>
 
+#include "hom/match_vm.h"
 #include "plan/ir.h"
 
 namespace pdx {
@@ -59,9 +60,7 @@ size_t CandidateCount(const SearchContext& ctx, const Atom& atom) {
     if (!BoundValueAt(ctx, atom, pos, &v)) continue;
     size_t count;
     if (ctx.resolver == nullptr) {
-      const std::vector<int>* bucket =
-          inst.TuplesWithValueAt(atom.relation, pos, v);
-      count = bucket == nullptr ? 0 : bucket->size();
+      count = inst.TuplesWithValueAt(atom.relation, pos, v).size();
     } else {
       count = inst.CountTuplesWithResolvedValueAt(atom.relation, pos, v);
     }
@@ -73,26 +72,26 @@ size_t CandidateCount(const SearchContext& ctx, const Atom& atom) {
 // The candidate tuple list for `atom`: the smallest applicable index
 // bucket, or all tuples of the relation. Returns indexes into
 // instance.tuples(atom.relation); `scratch` is out-param storage used when
-// no position is bound or when a merged class spans several buckets.
-const std::vector<int>* Candidates(const SearchContext& ctx, const Atom& atom,
-                                   std::vector<int>* scratch) {
+// no position is bound (full-scan fallback).
+TupleIndexSpan Candidates(const SearchContext& ctx, const Atom& atom,
+                          std::vector<int32_t>* scratch) {
   const Instance& inst = *ctx.instance;
-  static const std::vector<int> kEmpty;
   if (ctx.resolver == nullptr) {
-    const std::vector<int>* best = nullptr;
+    TupleIndexSpan best;
     size_t best_count = std::numeric_limits<size_t>::max();
+    bool any_bound = false;
     for (int pos = 0; pos < static_cast<int>(atom.terms.size()); ++pos) {
       Value v;
       if (!BoundValueAt(ctx, atom, pos, &v)) continue;
-      const std::vector<int>* bucket =
-          inst.TuplesWithValueAt(atom.relation, pos, v);
-      if (bucket == nullptr) return &kEmpty;
-      if (bucket->size() < best_count) {
+      TupleIndexSpan bucket = inst.TuplesWithValueAt(atom.relation, pos, v);
+      if (bucket.empty()) return {};
+      any_bound = true;
+      if (bucket.size() < best_count) {
         best = bucket;
-        best_count = bucket->size();
+        best_count = bucket.size();
       }
     }
-    if (best != nullptr) return best;
+    if (any_bound) return best;
   } else {
     int best_pos = -1;
     Value best_value;
@@ -101,7 +100,7 @@ const std::vector<int>* Candidates(const SearchContext& ctx, const Atom& atom,
       Value v;
       if (!BoundValueAt(ctx, atom, pos, &v)) continue;
       size_t count = inst.CountTuplesWithResolvedValueAt(atom.relation, pos, v);
-      if (count == 0) return &kEmpty;
+      if (count == 0) return {};
       if (count < best_count) {
         best_pos = pos;
         best_value = v;
@@ -110,18 +109,18 @@ const std::vector<int>* Candidates(const SearchContext& ctx, const Atom& atom,
     }
     if (best_pos >= 0) {
       return inst.TuplesWithResolvedValueAt(atom.relation, best_pos,
-                                            best_value, scratch);
+                                            best_value);
     }
   }
   size_t n = inst.tuples(atom.relation).size();
   scratch->resize(n);
-  for (size_t i = 0; i < n; ++i) (*scratch)[i] = static_cast<int>(i);
-  return scratch;
+  for (size_t i = 0; i < n; ++i) (*scratch)[i] = static_cast<int32_t>(i);
+  return TupleIndexSpan(scratch->data(), scratch->size());
 }
 
 // Attempts to unify `atom` with `tuple` under the current binding.
 // On success, appends newly bound variables to `trail` and returns true.
-bool Unify(SearchContext* ctx, const Atom& atom, const Tuple& tuple,
+bool Unify(SearchContext* ctx, const Atom& atom, TupleView tuple,
            std::vector<VariableId>* trail) {
   for (int pos = 0; pos < static_cast<int>(atom.terms.size()); ++pos) {
     const Term& t = atom.terms[pos];
@@ -165,11 +164,11 @@ bool Search(SearchContext* ctx, int remaining) {
   PDX_DCHECK(chosen >= 0);
   const Atom& atom = (*ctx->atoms)[chosen];
   ctx->done[chosen] = true;
-  std::vector<int> scratch;
-  const std::vector<int>* candidates = Candidates(*ctx, atom, &scratch);
-  const std::vector<Tuple>& tuples = ctx->instance->tuples(atom.relation);
+  std::vector<int32_t> scratch;
+  const TupleIndexSpan candidates = Candidates(*ctx, atom, &scratch);
+  const TupleList tuples = ctx->instance->tuples(atom.relation);
   std::vector<VariableId> trail;
-  for (int idx : *candidates) {
+  for (int32_t idx : candidates) {
     if (!ctx->Admissible(chosen, idx)) continue;
     trail.clear();
     if (Unify(ctx, atom, tuples[idx], &trail)) {
@@ -281,7 +280,7 @@ bool EnumerateMatchesDeltaPartition(
   const size_t pivot = partition.pivot;
   PDX_CHECK_LT(pivot, atoms.size());
   const Atom& pivot_atom = atoms[pivot];
-  const std::vector<Tuple>& tuples = instance.tuples(pivot_atom.relation);
+  const TupleList tuples = instance.tuples(pivot_atom.relation);
   SearchContext ctx;
   ctx.atoms = &atoms;
   ctx.instance = &instance;
@@ -349,11 +348,11 @@ bool HasMatch(const std::vector<Atom>& atoms, int var_count,
 
 namespace {
 
-// Per-depth reusable storage: index scratch for resolved-lane probes and
-// the unbind trail of the step's kBind ops. Owned by the PlanContext so
-// one allocation serves every pivot tuple and every backtrack.
+// Per-depth reusable storage: the unbind trail of the step's kBind ops.
+// Owned by the PlanContext so one allocation serves every pivot tuple and
+// every backtrack. (Resolved-lane probes no longer need scratch: the
+// store's class-bucket cache owns the concatenated buckets.)
 struct PlanFrame {
-  std::vector<int> scratch;
   std::vector<VariableId> trail;
 };
 
@@ -438,7 +437,7 @@ void EnsureFrames(PlanContext* ctx, size_t n) {
 // so a caller whose partial binding differs from the plan's compiled
 // assumption still executes correctly.
 bool RunOps(PlanContext* ctx, const std::vector<plan::SlotOp>& ops,
-            const Tuple& tuple, std::vector<VariableId>* trail) {
+            TupleView tuple, std::vector<VariableId>* trail) {
   for (const plan::SlotOp& op : ops) {
     Value tv = tuple[op.pos];
     if (ctx->resolver != nullptr) tv = ctx->resolver->Resolve(tv);
@@ -469,7 +468,7 @@ bool RunSteps(PlanContext* ctx, const std::vector<plan::JoinStep>& steps,
   }
   const plan::JoinStep& step = steps[depth];
   PlanFrame& frame = ctx->frames[depth];
-  const std::vector<Tuple>& tuples = ctx->instance->tuples(step.relation);
+  const TupleList tuples = ctx->instance->tuples(step.relation);
   // Pre-delta confinement (additive partitions only), keyed by the atom's
   // original body index, not its execution position.
   size_t limit = std::numeric_limits<size_t>::max();
@@ -492,24 +491,24 @@ bool RunSteps(PlanContext* ctx, const std::vector<plan::JoinStep>& steps,
   } else if (kind == plan::AccessPath::kProbeConst) {
     key = step.access.key;
   }
-  const std::vector<int>* candidates = nullptr;
-  if (kind != plan::AccessPath::kScan) {
+  TupleIndexSpan candidates;
+  const bool scan = kind == plan::AccessPath::kScan;
+  if (!scan) {
     if (ctx->resolver == nullptr) {
       candidates =
           ctx->instance->TuplesWithValueAt(step.relation, step.access.pos, key);
     } else {
       candidates = ctx->instance->TuplesWithResolvedValueAt(
-          step.relation, step.access.pos, key, &frame.scratch);
+          step.relation, step.access.pos, key);
     }
-    if (candidates == nullptr) return false;
+    if (candidates.empty()) return false;
   }
   const size_t scan_end = std::min(tuples.size(), limit);
-  const size_t count = candidates != nullptr ? candidates->size() : scan_end;
+  const size_t count = scan ? scan_end : candidates.size();
   for (size_t i = 0; i < count; ++i) {
-    const size_t idx =
-        candidates != nullptr ? static_cast<size_t>((*candidates)[i]) : i;
+    const size_t idx = scan ? i : static_cast<size_t>(candidates[i]);
     if (idx >= limit) continue;
-    const Tuple& tuple = tuples[idx];
+    const TupleView tuple = tuples[idx];
     frame.trail.clear();
     bool ok = RunOps(ctx, step.ops, tuple, &frame.trail);
     if (ok && bind_probe_pos) {
@@ -537,6 +536,13 @@ bool EnumerateMatchesPlanned(const plan::BodyPlan& plan,
                              const Instance& instance, const Binding& partial,
                              const std::function<bool(const Binding&)>& fn) {
   PDX_CHECK_EQ(static_cast<int>(partial.bound.size()), plan.var_count);
+  // The bytecode VM is the default executor; PDX_FORCE_TREE_EXEC (or a
+  // runtime SetForceTreeExec) keeps the recursive tree walk below as the
+  // cross-validated baseline. Hand-built plans without lowered code always
+  // take the tree path.
+  if (!plan.code.code.empty() && !ForceTreeExec()) {
+    return VmEnumerateMatches(plan, instance, partial, fn);
+  }
   PlanContextLease ctx(instance, fn);
   AssignResolvedPartial(instance, partial, &ctx->binding);
   EnsureFrames(ctx.get(), plan.full.size());
@@ -580,8 +586,12 @@ bool EnumerateMatchesDeltaPartitionPlanned(
     const Binding& partial, const std::function<bool(const Binding&)>& fn) {
   PDX_CHECK_EQ(static_cast<int>(partial.bound.size()), plan.var_count);
   PDX_CHECK_LT(partition.pivot, plan.variants.size());
+  if (!plan.code.code.empty() && !ForceTreeExec()) {
+    return VmEnumerateMatchesDeltaPartition(plan, instance, delta, partition,
+                                            partial, fn);
+  }
   const plan::DeltaVariant& variant = plan.variants[partition.pivot];
-  const std::vector<Tuple>& tuples = instance.tuples(variant.pivot_relation);
+  const TupleList tuples = instance.tuples(variant.pivot_relation);
   PlanContextLease ctx(instance, fn);
   AssignResolvedPartial(instance, partial, &ctx->start);
   EnsureFrames(ctx.get(), variant.rest.size());
@@ -617,6 +627,12 @@ bool EnumerateMatchesDeltaPartitionPlanned(
 
 bool HasMatchPlanned(const plan::BodyPlan& plan, const Instance& instance,
                      const Binding& partial) {
+  // Same dispatch rule as EnumerateMatchesPlanned, but through the VM's
+  // dedicated existence entry point, which skips the std::function
+  // plumbing and point-looks-up fully bound single-atom plans.
+  if (!plan.code.code.empty() && !ForceTreeExec()) {
+    return VmHasMatch(plan, instance, partial);
+  }
   return EnumerateMatchesPlanned(plan, instance, partial,
                                  [](const Binding&) { return false; });
 }

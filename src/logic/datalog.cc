@@ -95,8 +95,8 @@ StatusOr<DatalogProgram> ParseDatalogProgram(std::string_view text,
 namespace {
 
 // Attempts to bind `atom` against `tuple` on top of `binding`.
-bool BindAtomToTuple(const Atom& atom, const Tuple& tuple, Binding* binding) {
-  for (size_t i = 0; i < atom.terms.size(); ++i) {
+bool BindAtomToTuple(const Atom& atom, TupleView tuple, Binding* binding) {
+  for (int i = 0; i < static_cast<int>(atom.terms.size()); ++i) {
     const Term& t = atom.terms[i];
     if (t.is_constant()) {
       if (t.constant() != tuple[i]) return false;

@@ -281,6 +281,7 @@ BodyPlan CompileBody(const std::vector<Atom>& atoms, int var_count,
                               hints);
     plan.variants.push_back(std::move(variant));
   }
+  plan.code = LowerBody(plan);
   return plan;
 }
 
@@ -403,6 +404,7 @@ std::string DumpPlans(const CompiledSetting& compiled,
                   " fresh_per_trigger=", plan.apply.fresh_per_trigger, "\n");
     out += " body:\n";
     DumpBody(plan.body, schema, tgds[d].var_names, &out);
+    AppendBodyCodeDump(plan.body.code, schema, tgds[d].var_names, &out);
     out += " head (universals bound):\n";
     DumpSteps(plan.head.full, schema, tgds[d].var_names, &out);
   }
@@ -410,6 +412,8 @@ std::string DumpPlans(const CompiledSetting& compiled,
     out += StrCat("egd #", d, ": ", egds[d].ToString(schema, symbols), "\n");
     out += " body:\n";
     DumpBody(compiled.egds[d].body, schema, egds[d].var_names, &out);
+    AppendBodyCodeDump(compiled.egds[d].body.code, schema,
+                       egds[d].var_names, &out);
   }
   out += StrCat("fingerprint: ", compiled.fingerprint, "\n");
   return out;

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "logic/atom.h"
+#include "plan/bytecode.h"
 #include "relational/schema.h"
 #include "relational/value.h"
 
@@ -97,6 +98,10 @@ struct BodyPlan {
   std::vector<bool> initially_bound;
   std::vector<JoinStep> full;
   std::vector<DeltaVariant> variants;  // variants[i].pivot == i
+  // Linear lowering of `full` + `variants` (plan/bytecode.h), executed by
+  // the match VM unless PDX_FORCE_TREE_EXEC routes to the tree executor.
+  // Empty for hand-built plans that skipped CompileBody.
+  BodyCode code;
 };
 
 // One flat head slot of the apply template: where the value of one head

@@ -22,7 +22,8 @@ Instance::Instance(const Schema* schema) : schema_(schema) {
   stores_.reserve(n);
   for (int r = 0; r < n; ++r) {
     auto store = std::make_shared<RelationStore>();
-    store->index.resize(schema->arity(r));
+    store->arity = schema->arity(r);
+    store->index.resize(store->arity);
     stores_.push_back(std::move(store));
   }
 }
@@ -43,26 +44,35 @@ Tuple Instance::ResolveTuple(const Tuple& t) const {
 }
 
 bool Instance::AddFact(RelationId relation, Tuple tuple) {
+  return AddFact(relation, tuple.data(), tuple.size());
+}
+
+bool Instance::AddFact(RelationId relation, const Value* values, size_t n) {
   PDX_CHECK_GE(relation, 0);
   PDX_CHECK_LT(relation, static_cast<RelationId>(stores_.size()));
-  PDX_CHECK_EQ(static_cast<int>(tuple.size()), schema_->arity(relation))
+  PDX_CHECK_EQ(static_cast<int>(n), schema_->arity(relation))
       << "arity mismatch inserting into " << schema_->relation_name(relation);
   // Resolve-on-write: new facts always enter in resolved form, so only
-  // tuples inserted *before* a merge can hold stale values.
+  // tuples inserted *before* a merge can hold stale values. The resolved
+  // image lives in a stack buffer for the common arities so the whole
+  // insert allocates nothing but the arena/index growth itself.
+  constexpr size_t kStackArity = 16;
+  Value buf[kStackArity];
+  Tuple wide;
   if (!resolver_.trivial()) {
-    for (Value& v : tuple) v = resolver_.Resolve(v);
+    Value* dst = buf;
+    if (n > kStackArity) {
+      wide.resize(n);
+      dst = wide.data();
+    }
+    for (size_t i = 0; i < n; ++i) dst[i] = resolver_.Resolve(values[i]);
+    values = dst;
   }
-  if (stores_[relation]->dedup.count(tuple) > 0) return false;
-  RelationStore& store = Mutable(relation);
-  auto [it, inserted] = store.dedup.emplace(
-      std::move(tuple), static_cast<int>(store.tuples.size()));
-  PDX_DCHECK(inserted);
-  const Tuple& stored = it->first;
-  int idx = it->second;
-  store.tuples.push_back(stored);
-  for (int pos = 0; pos < static_cast<int>(stored.size()); ++pos) {
-    store.index[pos][stored[pos].packed()].push_back(idx);
-  }
+  const uint64_t hash = HashValueSeq(values, n);
+  // Dedup-probe the (possibly shared) store first: a duplicate insert
+  // must not trigger a COW clone.
+  if (stores_[relation]->DedupFind(values, n, hash) >= 0) return false;
+  Mutable(relation).Append(values, n, hash);
   ++fact_count_;
   return true;
 }
@@ -82,32 +92,31 @@ bool Instance::AddFactSharded(RelationId relation, Tuple tuple) {
     for (Value& v : tuple) v = resolver_.Resolve(v);
   }
   RelationStore& store = *stores_[relation];
-  auto [it, inserted] = store.dedup.emplace(
-      std::move(tuple), static_cast<int>(store.tuples.size()));
-  if (!inserted) return false;
-  const Tuple& stored = it->first;
-  int idx = it->second;
-  store.tuples.push_back(stored);
-  for (int pos = 0; pos < static_cast<int>(stored.size()); ++pos) {
-    store.index[pos][stored[pos].packed()].push_back(idx);
-  }
+  const uint64_t hash = HashValueSeq(tuple.data(), tuple.size());
+  if (store.DedupFind(tuple, hash) >= 0) return false;
+  store.Append(tuple, hash);
   return true;
 }
 
 int Instance::FindResolvedTupleIndex(RelationId relation,
                                      const Tuple& resolved) const {
   const RelationStore& store = *stores_[relation];
-  auto it = store.dedup.find(resolved);
-  if (it != store.dedup.end()) return it->second;
+  const uint64_t hash = HashValueSeq(resolved.data(), resolved.size());
+  const int32_t hit = store.DedupFind(resolved, hash);
+  if (hit >= 0) return hit;
   if (resolver_.trivial() || resolved.empty()) return -1;
   // A pre-merge raw tuple may resolve to `resolved` without being stored
   // verbatim: probe the class-aware bucket of position 0.
-  std::vector<int> scratch;
-  const std::vector<int>* bucket =
-      TuplesWithResolvedValueAt(relation, 0, resolved[0], &scratch);
-  if (bucket == nullptr) return -1;
-  for (int idx : *bucket) {
-    if (ResolveTuple(store.tuples[idx]) == resolved) return idx;
+  for (int32_t idx : TuplesWithResolvedValueAt(relation, 0, resolved[0])) {
+    const Value* raw = store.TupleData(idx);
+    bool equal = true;
+    for (int pos = 0; pos < store.arity; ++pos) {
+      if (resolver_.Resolve(raw[pos]) != resolved[pos]) {
+        equal = false;
+        break;
+      }
+    }
+    if (equal) return idx;
   }
   return -1;
 }
@@ -122,32 +131,30 @@ bool Instance::RemoveFact(RelationId relation, const Tuple& tuple) {
   int idx;
   while ((idx = FindResolvedTupleIndex(relation, resolved)) >= 0) {
     RelationStore& store = Mutable(relation);
-    Tuple raw = store.tuples[idx];
-    auto it = store.dedup.find(raw);
-    PDX_DCHECK(it != store.dedup.end());
-    int last = static_cast<int>(store.tuples.size()) - 1;
-    // Drop the removed tuple's index entries.
-    for (int pos = 0; pos < static_cast<int>(raw.size()); ++pos) {
-      auto& by_value = store.index[pos];
-      auto bucket_it = by_value.find(raw[pos].packed());
-      PDX_DCHECK(bucket_it != by_value.end());
-      std::vector<int>& bucket = bucket_it->second;
-      bucket.erase(std::find(bucket.begin(), bucket.end(), idx));
-      if (bucket.empty()) by_value.erase(bucket_it);
+    const int arity = store.arity;
+    const Tuple raw(store.TupleData(idx), store.TupleData(idx) + arity);
+    const uint64_t raw_hash = HashValueSeq(raw.data(), raw.size());
+    const int32_t last = static_cast<int32_t>(store.count) - 1;
+    // Drop the removed tuple's index and dedup entries.
+    for (int pos = 0; pos < arity; ++pos) {
+      store.index[pos].Erase(raw[pos].packed(), idx);
     }
+    store.dedup.Erase(raw_hash, idx);
     if (idx != last) {
       // Move the last tuple into the hole and repoint its entries.
-      Tuple moved = std::move(store.tuples[last]);
-      for (int pos = 0; pos < static_cast<int>(moved.size()); ++pos) {
-        for (int& entry : store.index[pos][moved[pos].packed()]) {
-          if (entry == last) entry = idx;
-        }
+      const Value* moved = store.TupleData(last);
+      const uint64_t moved_hash =
+          HashValueSeq(moved, static_cast<size_t>(arity));
+      for (int pos = 0; pos < arity; ++pos) {
+        store.index[pos].Repoint(moved[pos].packed(), last, idx);
       }
-      store.dedup.find(moved)->second = idx;
-      store.tuples[idx] = std::move(moved);
+      store.dedup.Repoint(moved_hash, last, idx);
+      std::copy(moved, moved + arity,
+                store.data.begin() + static_cast<size_t>(idx) * arity);
     }
-    store.tuples.pop_back();
-    store.dedup.erase(it);
+    --store.count;
+    store.data.resize(store.count * static_cast<size_t>(arity));
+    store.InvalidateClassCache();
     // Indexes shifted: delta consumers must re-scan this relation.
     ++store.rewrites;
     --fact_count_;
@@ -160,22 +167,30 @@ bool Instance::Contains(RelationId relation, const Tuple& tuple) const {
   PDX_CHECK_GE(relation, 0);
   PDX_CHECK_LT(relation, static_cast<RelationId>(stores_.size()));
   if (resolver_.trivial()) {
-    return stores_[relation]->dedup.count(tuple) > 0;
+    const uint64_t hash = HashValueSeq(tuple.data(), tuple.size());
+    return stores_[relation]->DedupFind(tuple, hash) >= 0;
   }
   return FindResolvedTupleIndex(relation, ResolveTuple(tuple)) >= 0;
 }
 
-const std::vector<int>* Instance::TuplesWithValueAt(RelationId relation,
-                                                    int position,
-                                                    Value value) const {
+bool Instance::ContainsExact(RelationId relation, const Value* values,
+                             size_t n) const {
+  PDX_DCHECK(relation >= 0 &&
+             relation < static_cast<RelationId>(stores_.size()));
+  const RelationStore& store = *stores_[relation];
+  const uint64_t hash = HashValueSeq(values, n);
+  return store.dedup.Find(hash, [&](int32_t i) {
+           return store.TupleEquals(i, values, n);
+         }) >= 0;
+}
+
+TupleIndexSpan Instance::TuplesWithValueAt(RelationId relation, int position,
+                                           Value value) const {
   PDX_CHECK_GE(relation, 0);
   PDX_CHECK_LT(relation, static_cast<RelationId>(stores_.size()));
   PDX_CHECK_GE(position, 0);
   PDX_CHECK_LT(position, static_cast<int>(stores_[relation]->index.size()));
-  const auto& by_value = stores_[relation]->index[position];
-  auto it = by_value.find(value.packed());
-  if (it == by_value.end()) return nullptr;
-  return &it->second;
+  return stores_[relation]->index[position].Find(value.packed());
 }
 
 size_t Instance::CountTuplesWithResolvedValueAt(RelationId relation,
@@ -184,34 +199,47 @@ size_t Instance::CountTuplesWithResolvedValueAt(RelationId relation,
   Value root = resolver_.Resolve(value);
   const std::vector<Value>* members = resolver_.ClassMembers(root);
   if (members == nullptr) {
-    const std::vector<int>* bucket =
-        TuplesWithValueAt(relation, position, root);
-    return bucket == nullptr ? 0 : bucket->size();
+    return TuplesWithValueAt(relation, position, root).size();
   }
-  size_t total = 0;
-  for (const Value& m : *members) {
-    const std::vector<int>* bucket = TuplesWithValueAt(relation, position, m);
-    if (bucket != nullptr) total += bucket->size();
-  }
-  return total;
+  return ResolvedClassBucket(relation, position, root, *members).size();
 }
 
-const std::vector<int>* Instance::TuplesWithResolvedValueAt(
-    RelationId relation, int position, Value value,
-    std::vector<int>* scratch) const {
+TupleIndexSpan Instance::TuplesWithResolvedValueAt(RelationId relation,
+                                                   int position,
+                                                   Value value) const {
   Value root = resolver_.Resolve(value);
   const std::vector<Value>* members = resolver_.ClassMembers(root);
   if (members == nullptr) {
     return TuplesWithValueAt(relation, position, root);
   }
-  scratch->clear();
-  for (const Value& m : *members) {
-    const std::vector<int>* bucket = TuplesWithValueAt(relation, position, m);
-    if (bucket != nullptr) {
-      scratch->insert(scratch->end(), bucket->begin(), bucket->end());
+  return ResolvedClassBucket(relation, position, root, *members);
+}
+
+TupleIndexSpan Instance::ResolvedClassBucket(
+    RelationId relation, int position, Value root,
+    const std::vector<Value>& members) const {
+  PDX_CHECK_GE(relation, 0);
+  PDX_CHECK_LT(relation, static_cast<RelationId>(stores_.size()));
+  const RelationStore& store = *stores_[relation];
+  PDX_CHECK_GE(position, 0);
+  PDX_CHECK_LT(position, static_cast<int>(store.index.size()));
+  // Packed values keep bits 33..62 clear (bit 63 = null flag, low 32 bits
+  // = id), so folding the position into them is collision-free.
+  const uint64_t key =
+      root.packed() ^ (static_cast<uint64_t>(position) << 33);
+  const uint64_t version = resolver_.version();
+  ClassBucketCache& cache = store.class_cache;
+  std::lock_guard<std::mutex> lock(cache.mu);
+  ClassBucketCache::Entry& entry = cache.map[key];
+  if (entry.version != version) {
+    entry.bucket.clear();
+    for (const Value& m : members) {
+      TupleIndexSpan bucket = store.index[position].Find(m.packed());
+      entry.bucket.insert(entry.bucket.end(), bucket.begin(), bucket.end());
     }
+    entry.version = version;
   }
-  return scratch->empty() ? nullptr : scratch;
+  return TupleIndexSpan(entry.bucket.data(), entry.bucket.size());
 }
 
 Instance::MergeResult Instance::MergeValues(Value a, Value b) {
@@ -230,11 +258,11 @@ Instance::MergeResult Instance::MergeValues(Value a, Value b) {
   for (RelationId r = 0; r < n; ++r) {
     const RelationStore& store = *stores_[r];
     size_t first = out.dirty.size();
-    for (const auto& by_value : store.index) {
+    for (const FlatIndex& by_value : store.index) {
       for (const Value& m : out.reassigned) {
-        auto it = by_value.find(m.packed());
-        if (it == by_value.end()) continue;
-        for (int idx : it->second) out.dirty.emplace_back(r, idx);
+        for (int32_t idx : by_value.Find(m.packed())) {
+          out.dirty.emplace_back(r, idx);
+        }
       }
     }
     std::sort(out.dirty.begin() + first, out.dirty.end());
@@ -250,7 +278,7 @@ InstanceWatermark Instance::TakeWatermark() const {
   mark.counts.resize(n);
   mark.rewrites.resize(n);
   for (int r = 0; r < n; ++r) {
-    mark.counts[r] = stores_[r]->tuples.size();
+    mark.counts[r] = stores_[r]->count;
     mark.rewrites[r] = stores_[r]->rewrites;
   }
   return mark;
@@ -260,9 +288,11 @@ void Instance::ForEachFact(const std::function<void(const Fact&)>& fn) const {
   Fact fact;
   if (resolver_.trivial()) {
     for (RelationId r = 0; r < static_cast<RelationId>(stores_.size()); ++r) {
+      const RelationStore& store = *stores_[r];
       fact.relation = r;
-      for (const Tuple& t : stores_[r]->tuples) {
-        fact.tuple = t;
+      for (size_t i = 0; i < store.count; ++i) {
+        const Value* t = store.TupleData(i);
+        fact.tuple.assign(t, t + store.arity);
         fn(fact);
       }
     }
@@ -272,10 +302,13 @@ void Instance::ForEachFact(const std::function<void(const Fact&)>& fn) const {
   // fact, so deduplicate per relation.
   std::unordered_set<Tuple, TupleHash> seen;
   for (RelationId r = 0; r < static_cast<RelationId>(stores_.size()); ++r) {
+    const RelationStore& store = *stores_[r];
     fact.relation = r;
     seen.clear();
-    for (const Tuple& t : stores_[r]->tuples) {
-      fact.tuple = ResolveTuple(t);
+    for (size_t i = 0; i < store.count; ++i) {
+      const Value* t = store.TupleData(i);
+      fact.tuple.assign(t, t + store.arity);
+      for (Value& v : fact.tuple) v = resolver_.Resolve(v);
       if (seen.insert(fact.tuple).second) fn(fact);
     }
   }
@@ -331,10 +364,14 @@ bool Instance::HasNulls() const {
 bool Instance::IsSubsetOf(const Instance& other) const {
   if (resolver_.trivial() && other.resolver_.trivial()) {
     if (fact_count_ > other.fact_count_) return false;
+    Tuple scratch;
     for (RelationId r = 0; r < static_cast<RelationId>(stores_.size()); ++r) {
       if (stores_[r] == other.stores_[r]) continue;  // shared: trivially ⊆
-      for (const Tuple& t : stores_[r]->tuples) {
-        if (!other.Contains(r, t)) return false;
+      const RelationStore& store = *stores_[r];
+      for (size_t i = 0; i < store.count; ++i) {
+        const Value* t = store.TupleData(i);
+        scratch.assign(t, t + store.arity);
+        if (!other.Contains(r, scratch)) return false;
       }
     }
     return true;
@@ -366,9 +403,8 @@ void Instance::Substitute(Value from, Value to) {
     // Skip relations not containing `from` (checked via the inverted
     // index) so their stores — and any watermarks into them — survive.
     bool contains = false;
-    for (const auto& by_value : stores_[r]->index) {
-      auto it = by_value.find(from.packed());
-      if (it != by_value.end() && !it->second.empty()) {
+    for (const FlatIndex& by_value : stores_[r]->index) {
+      if (!by_value.Find(from.packed()).empty()) {
         contains = true;
         break;
       }
@@ -377,12 +413,19 @@ void Instance::Substitute(Value from, Value to) {
     // Rebuild this relation: egd steps are rare relative to tgd steps and
     // a full per-relation rebuild keeps the index exact.
     RelationStore& store = Mutable(r);
-    std::vector<Tuple> old = std::move(store.tuples);
-    fact_count_ -= old.size();
+    std::vector<Tuple> old;
+    old.reserve(store.count);
+    for (size_t i = 0; i < store.count; ++i) {
+      const Value* t = store.TupleData(i);
+      old.emplace_back(t, t + store.arity);
+    }
+    fact_count_ -= store.count;
     uint64_t rewrites = store.rewrites;
-    store.tuples.clear();
-    store.dedup.clear();
-    store.index.assign(schema_->arity(r), {});
+    store.data.clear();
+    store.count = 0;
+    store.dedup.Clear();
+    for (FlatIndex& by_value : store.index) by_value.Clear();
+    store.InvalidateClassCache();
     store.rewrites = rewrites + 1;
     for (Tuple& t : old) {
       for (Value& v : t) {

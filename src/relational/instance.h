@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -11,6 +12,7 @@
 #include <vector>
 
 #include "base/status.h"
+#include "relational/flat_index.h"
 #include "relational/schema.h"
 #include "relational/tuple.h"
 #include "relational/value.h"
@@ -121,20 +123,35 @@ class Instance {
     return Contains(fact.relation, fact.tuple);
   }
 
-  // All raw tuples of one relation, in insertion order. Under merges a
-  // tuple's values may be stale: resolve-on-read via ResolveValue /
-  // ResolveTuple before comparing values across tuples.
-  const std::vector<Tuple>& tuples(RelationId relation) const {
+  // Raw exact-tuple membership over a caller-owned value buffer: one
+  // dedup-set probe, no Tuple materialized and no resolver pass. Only
+  // equivalent to Contains when the resolver is trivial (no merges) —
+  // the match VM's point-lookup fast path guards on exactly that.
+  bool ContainsExact(RelationId relation, const Value* values,
+                     size_t n) const;
+
+  // AddFact over a caller-owned value buffer (typically a stack array in
+  // the chase apply loop): same semantics as the Tuple overload but with
+  // no per-fact vector allocation.
+  bool AddFact(RelationId relation, const Value* values, size_t n);
+
+  // All raw tuples of one relation, in insertion order, as a borrowed
+  // view over the relation's contiguous arena. Under merges a tuple's
+  // values may be stale: resolve-on-read via ResolveValue / ResolveTuple
+  // before comparing values across tuples. The view (and any TupleView
+  // taken from it) is invalidated by mutation of the relation.
+  TupleList tuples(RelationId relation) const {
     PDX_CHECK_GE(relation, 0);
     PDX_CHECK_LT(relation, static_cast<RelationId>(stores_.size()));
-    return stores_[relation]->tuples;
+    const RelationStore& store = *stores_[relation];
+    return TupleList(store.data.data(), store.count, store.arity);
   }
 
   // Indexes (into tuples(relation)) of tuples holding raw `value` at
-  // `position`, or nullptr if none. The pointer is invalidated by any
-  // store mutation. Class-blind: see TuplesWithResolvedValueAt.
-  const std::vector<int>* TuplesWithValueAt(RelationId relation, int position,
-                                            Value value) const;
+  // `position`; empty if none. The span is invalidated by any store
+  // mutation. Class-blind: see TuplesWithResolvedValueAt.
+  TupleIndexSpan TuplesWithValueAt(RelationId relation, int position,
+                                   Value value) const;
 
   // Number of tuples whose value at `position` *resolves* to
   // resolve(value) (the sum of the index buckets of the class members).
@@ -142,12 +159,13 @@ class Instance {
                                         Value value) const;
 
   // Indexes of tuples whose value at `position` resolves to
-  // resolve(value). Returns a pointer into the index when the class is a
-  // singleton (no copy); otherwise fills and returns `scratch`. Returns
-  // nullptr if no tuple matches.
-  const std::vector<int>* TuplesWithResolvedValueAt(
-      RelationId relation, int position, Value value,
-      std::vector<int>* scratch) const;
+  // resolve(value); empty if none. Singleton classes return the index
+  // bucket directly; merged classes return the store's cached
+  // concatenation of the member buckets (built once per resolver version
+  // per (root, position), so repeated probes stop re-hashing every class
+  // member). The span is invalidated by store mutation or a new merge.
+  TupleIndexSpan TuplesWithResolvedValueAt(RelationId relation, int position,
+                                           Value value) const;
 
   // --- Value resolution -----------------------------------------------
 
@@ -262,18 +280,88 @@ class Instance {
   std::string ToString(const SymbolTable& symbols) const;
 
  private:
-  // One relation's storage: dense tuple store + dedup map + per-position
-  // inverted index (index[position][value.packed()] = tuple indexes).
-  // Shared copy-on-write between Instance copies.
+  // Per-store memo for class-aware index probes: for one (resolved root,
+  // position) key, the concatenation of the index buckets of every class
+  // member, stamped with the resolver version that built it. Cleared on
+  // any store mutation; a newer resolver version invalidates entries
+  // lazily. The mutex serializes concurrent *readers* rebuilding entries
+  // against a shared store (mutations never run concurrently with reads
+  // of the same store — the sharded-apply protocol guarantees that).
+  // Entry references are stable under further map inserts, so returned
+  // spans stay valid for the duration of a read-only enumeration.
+  struct ClassBucketCache {
+    struct Entry {
+      uint64_t version = ~0ull;
+      std::vector<int32_t> bucket;
+    };
+    std::mutex mu;
+    std::unordered_map<uint64_t, Entry> map;
+
+    ClassBucketCache() = default;
+    // Caches never copy: a COW clone starts cold.
+    ClassBucketCache(const ClassBucketCache&) {}
+    ClassBucketCache& operator=(const ClassBucketCache&) = delete;
+  };
+
+  // One relation's storage: a contiguous tuple arena (tuple i occupies
+  // data[i*arity, (i+1)*arity)) + flat dedup set + per-position flat
+  // inverted index. Shared copy-on-write between Instance copies.
   struct RelationStore {
-    std::vector<Tuple> tuples;
-    std::unordered_map<Tuple, int, TupleHash> dedup;
-    std::vector<std::unordered_map<uint64_t, std::vector<int>>> index;
+    int arity = 0;
+    size_t count = 0;           // number of stored tuples
+    std::vector<Value> data;    // the arena
+    FlatTupleSet dedup;
+    std::vector<FlatIndex> index;  // one per position
     uint64_t rewrites = 0;
+    mutable ClassBucketCache class_cache;
+
+    const Value* TupleData(size_t i) const {
+      return data.data() + i * static_cast<size_t>(arity);
+    }
+    bool TupleEquals(int32_t i, const Value* values, size_t n) const {
+      return static_cast<size_t>(arity) == n &&
+             std::equal(TupleData(i), TupleData(i) + arity, values);
+    }
+    int32_t DedupFind(const Value* values, size_t n, uint64_t hash) const {
+      return dedup.Find(
+          hash, [&](int32_t i) { return TupleEquals(i, values, n); });
+    }
+    int32_t DedupFind(const Tuple& tuple, uint64_t hash) const {
+      return DedupFind(tuple.data(), tuple.size(), hash);
+    }
+    // Called on every mutation. Mutations hold the store exclusively, so
+    // the unlocked empty check is safe; the lock orders the clear against
+    // reader rebuilds that may still be publishing under the mutex.
+    void InvalidateClassCache() {
+      if (class_cache.map.empty()) return;
+      std::lock_guard<std::mutex> lock(class_cache.mu);
+      class_cache.map.clear();
+    }
+    // The shared insert tail: appends an absent, already-resolved tuple
+    // to the arena, dedup set and per-position indexes.
+    void Append(const Value* values, size_t n, uint64_t hash) {
+      const int32_t idx = static_cast<int32_t>(count);
+      data.insert(data.end(), values, values + n);
+      ++count;
+      dedup.Insert(hash, idx);
+      for (int pos = 0; pos < arity; ++pos) {
+        index[pos].Add(values[pos].packed(), idx);
+      }
+      InvalidateClassCache();
+    }
+    void Append(const Tuple& tuple, uint64_t hash) {
+      Append(tuple.data(), tuple.size(), hash);
+    }
   };
 
   // The store for `relation`, cloned first if currently shared.
   RelationStore& Mutable(RelationId relation);
+
+  // The cached class-aware bucket for a merged class (see
+  // TuplesWithResolvedValueAt).
+  TupleIndexSpan ResolvedClassBucket(RelationId relation, int position,
+                                     Value root,
+                                     const std::vector<Value>& members) const;
 
   // Index (into tuples(relation)) of one stored tuple resolving to the
   // already-resolved `resolved`, or -1. Exact when the resolver is

@@ -1,6 +1,7 @@
 #ifndef PDX_RELATIONAL_TUPLE_H_
 #define PDX_RELATIONAL_TUPLE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -13,6 +14,98 @@ namespace pdx {
 // A tuple of values. Arity is implicit (checked against the schema when
 // inserted into an Instance).
 using Tuple = std::vector<Value>;
+
+// Hash of a value sequence — the one tuple hash of the system: TupleHash,
+// the Instance dedup set and the flat-index property tests all agree on it
+// so a Tuple and its arena-stored copy hash identically.
+inline uint64_t HashValueSeq(const Value* values, size_t n) {
+  uint64_t h = 0x9e3779b97f4a7c15ull;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t x = values[i].packed();
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    h = h * 0x100000001b3ull ^ x;
+  }
+  return h;
+}
+
+// A borrowed, non-owning view of one stored tuple (a contiguous run of
+// `arity` values inside a relation's arena). Invalidated by any mutation
+// of the owning store. Cheap to copy; compares element-wise against other
+// views and against owned Tuples.
+class TupleView {
+ public:
+  TupleView() = default;
+  TupleView(const Value* data, int arity) : data_(data), arity_(arity) {}
+
+  int size() const { return arity_; }
+  bool empty() const { return arity_ == 0; }
+  const Value& operator[](int pos) const { return data_[pos]; }
+  const Value* data() const { return data_; }
+  const Value* begin() const { return data_; }
+  const Value* end() const { return data_ + arity_; }
+
+  Tuple ToTuple() const { return Tuple(data_, data_ + arity_); }
+
+  bool operator==(TupleView other) const {
+    return arity_ == other.arity_ &&
+           std::equal(data_, data_ + arity_, other.data_);
+  }
+  bool operator==(const Tuple& tuple) const {
+    return static_cast<size_t>(arity_) == tuple.size() &&
+           std::equal(data_, data_ + arity_, tuple.data());
+  }
+
+ private:
+  const Value* data_ = nullptr;
+  int arity_ = 0;
+};
+
+// A borrowed view of one relation's whole tuple store: `count` tuples of
+// `arity` values each, contiguous in insertion order. What
+// Instance::tuples() returns; supports size(), indexing and range-for like
+// the std::vector<Tuple> it replaces, but hands out TupleViews.
+class TupleList {
+ public:
+  TupleList() = default;
+  TupleList(const Value* data, size_t count, int arity)
+      : data_(data), count_(count), arity_(arity) {}
+
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  int arity() const { return arity_; }
+  const Value* data() const { return data_; }
+
+  TupleView operator[](size_t i) const {
+    return TupleView(data_ + i * static_cast<size_t>(arity_), arity_);
+  }
+
+  class const_iterator {
+   public:
+    const_iterator(const TupleList* list, size_t i) : list_(list), i_(i) {}
+    TupleView operator*() const { return (*list_)[i_]; }
+    const_iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    bool operator==(const const_iterator& other) const {
+      return i_ == other.i_;
+    }
+
+   private:
+    const TupleList* list_;
+    size_t i_;
+  };
+
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, count_); }
+
+ private:
+  const Value* data_ = nullptr;
+  size_t count_ = 0;
+  int arity_ = 0;
+};
 
 // A tuple tagged with the relation it belongs to: R(t).
 struct Fact {
@@ -30,15 +123,7 @@ struct Fact {
 
 struct TupleHash {
   size_t operator()(const Tuple& t) const {
-    uint64_t h = 0x9e3779b97f4a7c15ull;
-    for (const Value& v : t) {
-      uint64_t x = v.packed();
-      x ^= x >> 30;
-      x *= 0xbf58476d1ce4e5b9ull;
-      x ^= x >> 27;
-      h = h * 0x100000001b3ull ^ x;
-    }
-    return static_cast<size_t>(h);
+    return static_cast<size_t>(HashValueSeq(t.data(), t.size()));
   }
 };
 

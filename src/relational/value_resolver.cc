@@ -49,9 +49,21 @@ ValueResolver::UnionResult ValueResolver::Union(Value a, Value b) {
   std::vector<Value>& winner_members = state.members[winner.packed()];
   if (winner_members.empty()) winner_members.push_back(winner);
   // Eager path compression: every absorbed value points straight at the
-  // new root, so Resolve stays a single probe.
+  // new root, so Resolve stays a single probe. Absorbed values are
+  // always nulls (a constant in a class is its root), so the dense
+  // null-id parent table covers them; the gap fill keeps untouched ids
+  // resolving to themselves.
   for (const Value& v : result.reassigned) {
-    state.parent[v.packed()] = winner;
+    PDX_DCHECK(v.is_null());
+    const uint32_t id = v.id();
+    if (id >= state.parent.size()) {
+      const size_t old_size = state.parent.size();
+      state.parent.resize(static_cast<size_t>(id) + 1);
+      for (size_t i = old_size; i < state.parent.size(); ++i) {
+        state.parent[i] = Value::Null(static_cast<uint32_t>(i));
+      }
+    }
+    state.parent[id] = winner;
     winner_members.push_back(v);
   }
   ++state.version;

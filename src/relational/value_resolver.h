@@ -43,13 +43,18 @@ class ValueResolver {
   ValueResolver& operator=(ValueResolver&&) = default;
 
   // True if no union was ever applied: every value resolves to itself.
-  bool trivial() const { return state_ == nullptr || state_->parent.empty(); }
+  bool trivial() const { return state_ == nullptr || state_->version == 0; }
 
   // The root of `v`'s equivalence class (identity for unmerged values).
+  // Constants can never lose a union, so only nulls consult the parent
+  // table — one bounds-checked array read, no hashing (this is the
+  // hottest call in merge-heavy chases: every slot comparison under a
+  // non-trivial resolver resolves through here).
   Value Resolve(Value v) const {
-    if (state_ == nullptr) return v;
-    auto it = state_->parent.find(v.packed());
-    return it == state_->parent.end() ? v : it->second;
+    if (state_ == nullptr || !v.is_null()) return v;
+    const std::vector<Value>& parent = state_->parent;
+    const uint32_t id = v.id();
+    return id < parent.size() ? parent[id] : v;
   }
 
   bool SameClass(Value a, Value b) const {
@@ -93,9 +98,11 @@ class ValueResolver {
 
  private:
   struct State {
-    // value -> its class root; only values that lost a union appear (roots
-    // and untouched values are absent, resolving to themselves).
-    std::unordered_map<uint64_t, Value> parent;
+    // Class root by null id, dense: parent[id] is Null(id)'s root, or
+    // Null(id) itself when unmerged (ids past the end resolve to
+    // themselves too). Only nulls can lose a union — a constant in a
+    // class is always its root — so constants never need an entry.
+    std::vector<Value> parent;
     // root -> all values of the class, including the root; only classes of
     // size >= 2 appear.
     std::unordered_map<uint64_t, std::vector<Value>> members;

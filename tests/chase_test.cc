@@ -59,7 +59,7 @@ TEST_F(ChaseTest, ExistentialsCreateFreshNulls) {
   EXPECT_EQ(result.outcome, ChaseOutcome::kSuccess);
   EXPECT_EQ(result.nulls_created, 1);
   ASSERT_EQ(result.instance.tuples(h_).size(), 1u);
-  const Tuple& t = result.instance.tuples(h_)[0];
+  const TupleView t = result.instance.tuples(h_)[0];
   EXPECT_EQ(t[0], b_);
   EXPECT_TRUE(t[1].is_null());
 }

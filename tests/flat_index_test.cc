@@ -1,0 +1,220 @@
+// Property tests of the flat storage primitives (relational/flat_index.h)
+// and of the RelationStore invariants built on them: random
+// insert/erase/repoint schedules against a std::unordered_map reference,
+// the swap-with-last deletion protocol at the Instance level, and COW
+// clone sharing (a snapshot's buckets must be bit-stable while the live
+// instance mutates its cloned stores).
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "relational/flat_index.h"
+#include "relational/instance.h"
+#include "workload/random.h"
+
+namespace pdx {
+namespace {
+
+std::vector<int32_t> Sorted(TupleIndexSpan span) {
+  std::vector<int32_t> out(span.begin(), span.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<int32_t> Sorted(std::vector<int32_t> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+// Random Add/Erase/Repoint schedules over a skewed key space (small key
+// pool → buckets deep enough to spill inline storage into the overflow
+// arena repeatedly). After every operation batch the index must agree
+// bucket-for-bucket with an unordered_map reference, as multisets — Erase
+// swaps within the bucket, so order is not part of the contract.
+TEST(FlatIndexTest, RandomOpsMatchUnorderedMapReference) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    Rng rng(seed);
+    FlatIndex index;
+    std::unordered_map<uint64_t, std::vector<int32_t>> ref;
+    std::vector<std::pair<uint64_t, int32_t>> live;
+    int32_t next = 0;
+    const uint32_t key_pool = 3 + rng.UniformInt(60);
+    for (int op = 0; op < 20000; ++op) {
+      const uint32_t draw = rng.UniformInt(100);
+      if (draw < 70 || live.empty()) {
+        const uint64_t key = rng.UniformInt(key_pool);
+        const int32_t idx = next++;
+        index.Add(key, idx);
+        ref[key].push_back(idx);
+        live.emplace_back(key, idx);
+      } else if (draw < 90) {
+        const size_t pick = rng.UniformInt(static_cast<uint32_t>(live.size()));
+        const auto [key, idx] = live[pick];
+        live[pick] = live.back();
+        live.pop_back();
+        EXPECT_TRUE(index.Erase(key, idx));
+        std::vector<int32_t>& bucket = ref[key];
+        bucket.erase(std::find(bucket.begin(), bucket.end(), idx));
+      } else {
+        const size_t pick = rng.UniformInt(static_cast<uint32_t>(live.size()));
+        const uint64_t key = live[pick].first;
+        const int32_t from = live[pick].second;
+        const int32_t to = next++;
+        index.Repoint(key, from, to);
+        live[pick].second = to;
+        std::vector<int32_t>& bucket = ref[key];
+        *std::find(bucket.begin(), bucket.end(), from) = to;
+      }
+      if (op % 512 == 0) {
+        for (const auto& [key, bucket] : ref) {
+          ASSERT_EQ(Sorted(index.Find(key)), Sorted(bucket))
+              << "seed " << seed << " op " << op << " key " << key;
+        }
+      }
+    }
+    for (const auto& [key, bucket] : ref) {
+      EXPECT_EQ(Sorted(index.Find(key)), Sorted(bucket)) << "seed " << seed;
+    }
+    // Keys never inserted (or fully drained) report empty, and erasing an
+    // absent entry reports false without disturbing anything.
+    EXPECT_TRUE(index.Find(~1ull).empty());
+    EXPECT_FALSE(index.Erase(~1ull, 0));
+    for (const auto& [key, bucket] : ref) {
+      EXPECT_FALSE(index.Erase(key, next + 1)) << "seed " << seed;
+      EXPECT_EQ(Sorted(index.Find(key)), Sorted(bucket)) << "seed " << seed;
+    }
+  }
+}
+
+struct FlatIndexInstanceTest : ::testing::Test {
+  Schema schema;
+  SymbolTable symbols;
+
+  FlatIndexInstanceTest() { PDX_CHECK(schema.AddRelation("R", 2).ok()); }
+
+  Value Const(uint32_t i) {
+    return symbols.InternConstant("c" + std::to_string(i));
+  }
+};
+
+// Random AddFact/RemoveFact schedules: RemoveFact's swap-with-last
+// (arena compaction + index/dedup repoint) must keep every positional
+// bucket pointing at exactly the right arena rows.
+TEST_F(FlatIndexInstanceTest, RemoveFactSwapWithLastKeepsIndexConsistent) {
+  for (uint64_t seed : {7u, 8u, 9u}) {
+    Rng rng(seed);
+    Instance instance(&schema);
+    std::vector<Tuple> facts;  // reference multiset (all distinct)
+    const uint32_t pool = 12;
+    for (int op = 0; op < 4000; ++op) {
+      if (rng.UniformInt(3) != 0 || facts.empty()) {
+        Tuple t{Const(rng.UniformInt(pool)), Const(rng.UniformInt(pool))};
+        if (instance.AddFact(0, Tuple(t))) facts.push_back(t);
+      } else {
+        const size_t pick =
+            rng.UniformInt(static_cast<uint32_t>(facts.size()));
+        Tuple victim = facts[pick];
+        facts[pick] = facts.back();
+        facts.pop_back();
+        ASSERT_TRUE(instance.RemoveFact(0, victim)) << "seed " << seed;
+        ASSERT_FALSE(instance.Contains(0, victim)) << "seed " << seed;
+      }
+      if (op % 256 == 0) {
+        ASSERT_EQ(instance.fact_count(), facts.size()) << "seed " << seed;
+        for (const Tuple& t : facts) {
+          ASSERT_TRUE(instance.Contains(0, t)) << "seed " << seed;
+        }
+        // Every positional bucket maps through the arena to exactly the
+        // reference facts holding that value at that position.
+        for (int pos = 0; pos < 2; ++pos) {
+          for (uint32_t c = 0; c < pool; ++c) {
+            const Value v = Const(c);
+            size_t expected = 0;
+            for (const Tuple& t : facts) expected += t[pos] == v ? 1 : 0;
+            const TupleIndexSpan bucket =
+                instance.TuplesWithValueAt(0, pos, v);
+            ASSERT_EQ(bucket.size(), expected)
+                << "seed " << seed << " pos " << pos << " c " << c;
+            const TupleList tuples = instance.tuples(0);
+            for (int32_t idx : bucket) {
+              ASSERT_EQ(tuples[idx][pos], v) << "seed " << seed;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// COW clone sharing: a copied instance shares stores until one side
+// mutates; afterwards the snapshot's contents, buckets and fingerprint
+// must be exactly what they were at copy time.
+TEST_F(FlatIndexInstanceTest, CowCloneKeepsSnapshotBucketsStable) {
+  Instance live(&schema);
+  for (uint32_t i = 0; i < 32; ++i) {
+    live.AddFact(0, {Const(i % 5), Const(i)});
+  }
+  Instance snapshot = live;  // shared stores, no copy yet
+  const uint64_t snapshot_fp = snapshot.CanonicalFingerprint();
+  const size_t snapshot_bucket = snapshot.TuplesWithValueAt(0, 0, Const(0)).size();
+
+  // Mutations on the live side force a clone-on-unshare; the snapshot
+  // keeps the original store.
+  for (uint32_t i = 32; i < 256; ++i) {
+    live.AddFact(0, {Const(0), Const(i)});
+  }
+  ASSERT_TRUE(live.RemoveFact(0, {Const(0), Const(0)}));
+  EXPECT_EQ(snapshot.CanonicalFingerprint(), snapshot_fp);
+  EXPECT_EQ(snapshot.TuplesWithValueAt(0, 0, Const(0)).size(),
+            snapshot_bucket);
+  EXPECT_TRUE(snapshot.Contains(0, {Const(0), Const(0)}));
+  EXPECT_FALSE(live.Contains(0, {Const(0), Const(0)}));
+  EXPECT_GT(live.TuplesWithValueAt(0, 0, Const(0)).size(), snapshot_bucket);
+
+  // And the other direction: mutating the snapshot must not leak into the
+  // (already cloned) live side.
+  Instance branch = live;
+  branch.AddFact(0, {Const(4), Const(999)});
+  EXPECT_FALSE(live.Contains(0, {Const(4), Const(999)}));
+  EXPECT_TRUE(branch.Contains(0, {Const(4), Const(999)}));
+}
+
+// Merged-value lookups route through the resolved-class bucket cache;
+// the cached concatenation must match a fresh per-member scan, stay
+// correct across further merges (version bump), and across store
+// mutation (invalidation).
+TEST_F(FlatIndexInstanceTest, ResolvedClassBucketsTrackMergesAndMutation) {
+  Instance instance(&schema);
+  Value n1 = symbols.FreshNull();
+  Value n2 = symbols.FreshNull();
+  instance.AddFact(0, {n1, Const(1)});
+  instance.AddFact(0, {n2, Const(2)});
+  instance.AddFact(0, {Const(7), Const(3)});
+
+  Instance::MergeResult merge = instance.MergeValues(n1, n2);
+  ASSERT_TRUE(merge.merged);
+  const Value root = instance.ResolveValue(n1);
+  // Both null-headed rows are in the class bucket; repeated calls hit the
+  // cache and must agree.
+  EXPECT_EQ(instance.TuplesWithResolvedValueAt(0, 0, root).size(), 2u);
+  EXPECT_EQ(instance.TuplesWithResolvedValueAt(0, 0, root).size(), 2u);
+  EXPECT_EQ(instance.CountTuplesWithResolvedValueAt(0, 0, root), 2u);
+
+  // A further merge bumps the resolver version: the cache entry must
+  // rebuild, not serve the stale two-member bucket.
+  Instance::MergeResult merge2 = instance.MergeValues(n1, Const(7));
+  ASSERT_TRUE(merge2.merged);
+  const Value root2 = instance.ResolveValue(n2);
+  EXPECT_EQ(instance.TuplesWithResolvedValueAt(0, 0, root2).size(), 3u);
+
+  // Store mutation invalidates the cache: a new row with the root value
+  // must appear in the bucket.
+  instance.AddFact(0, {root2, Const(4)});
+  EXPECT_EQ(instance.TuplesWithResolvedValueAt(0, 0, root2).size(), 4u);
+}
+
+}  // namespace
+}  // namespace pdx

@@ -8,6 +8,7 @@
 #include "gtest/gtest.h"
 #include "chase/chase.h"
 #include "hom/instance_hom.h"
+#include "hom/match_vm.h"
 #include "logic/parser.h"
 #include "pde/setting_file.h"
 #include "relational/instance_io.h"
@@ -212,6 +213,37 @@ TEST_P(FuzzTest, FuzzedChasesResolveSurvivingNullsToUniqueRoots) {
                 testing_util::CanonicalizedFingerprint(delta.instance))
           << "compiled/interpreted fingerprint divergence, trial " << trial
           << "\nI:\n" << start.ToString(symbols_);
+    }
+
+    // VM-vs-tree cross-validation: the same compiled sequential delta
+    // chase under both planned executors (the bytecode VM and the
+    // recursive tree walk it replaced). They enumerate identical match
+    // sets per partition, so outcome, step count, null count and the
+    // canonicalized fingerprint must all agree. The prior executor state
+    // (possibly pinned by PDX_FORCE_TREE_EXEC) is restored afterwards.
+    {
+      ChaseOptions compiled_options = delta_options;
+      compiled_options.compile_plans = true;
+      const bool saved_force = ForceTreeExec();
+      SetForceTreeExec(false);
+      ChaseResult vm_run =
+          Chase(start, deps->tgds, deps->egds, &symbols_, compiled_options);
+      SetForceTreeExec(true);
+      ChaseResult tree_run =
+          Chase(start, deps->tgds, deps->egds, &symbols_, compiled_options);
+      SetForceTreeExec(saved_force);
+      ASSERT_EQ(vm_run.outcome, tree_run.outcome)
+          << "vm/tree disagreement, trial " << trial << "\nI:\n"
+          << start.ToString(symbols_);
+      if (vm_run.outcome == ChaseOutcome::kSuccess) {
+        EXPECT_EQ(vm_run.steps, tree_run.steps) << "trial " << trial;
+        EXPECT_EQ(vm_run.nulls_created, tree_run.nulls_created)
+            << "trial " << trial;
+        EXPECT_EQ(testing_util::CanonicalizedFingerprint(vm_run.instance),
+                  testing_util::CanonicalizedFingerprint(tree_run.instance))
+            << "vm/tree fingerprint divergence, trial " << trial << "\nI:\n"
+            << start.ToString(symbols_);
+      }
     }
 
     if (delta.outcome != ChaseOutcome::kSuccess) continue;

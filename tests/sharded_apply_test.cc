@@ -175,8 +175,8 @@ TEST_F(ShardedApplyTest, ConcurrentShardsMatchSequentialReference) {
     // Every reference fact is present (Contains resolves, so this also
     // crosses the resolver).
     for (int r = 0; r < kRelations; ++r) {
-      for (const Tuple& t : reference.tuples(r)) {
-        ASSERT_TRUE(sharded.Contains(r, t));
+      for (TupleView t : reference.tuples(r)) {
+        ASSERT_TRUE(sharded.Contains(r, t.ToTuple()));
       }
     }
   }

@@ -85,10 +85,9 @@ TEST_F(SnapshotTest, BranchRemoveFactDoesNotLeakIntoParent) {
   EXPECT_EQ(branch.fact_count(), 2u);
   EXPECT_EQ(parent.fact_count(), 3u);
   // The branch's inverted index survived the swap-with-last removal.
-  const std::vector<int>* hits = branch.TuplesWithValueAt(0, 0, b_);
-  ASSERT_NE(hits, nullptr);
-  ASSERT_EQ(hits->size(), 1u);
-  EXPECT_EQ(branch.tuples(0)[(*hits)[0]], (Tuple{b_, c_}));
+  const TupleIndexSpan hits = branch.TuplesWithValueAt(0, 0, b_);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(branch.tuples(0)[hits[0]], (Tuple{b_, c_}));
 }
 
 TEST_F(SnapshotTest, BranchSubstituteDoesNotLeakIntoParent) {
@@ -266,9 +265,9 @@ TEST_F(SnapshotTest, MergeDoesNotDirtyWatermarksOrRewrites) {
   EXPECT_TRUE(with_extras.any());
   EXPECT_TRUE(with_extras.dirty(0));
   ASSERT_EQ(with_extras.extras(0).size(), 1u);
-  const Tuple& raw = instance.tuples(0)[with_extras.extras(0)[0]];
+  const TupleView raw = instance.tuples(0)[with_extras.extras(0)[0]];
   EXPECT_EQ(raw, (Tuple{a_, n}));  // raw store keeps the stale value
-  EXPECT_EQ(instance.ResolveTuple(raw), (Tuple{a_, b_}));
+  EXPECT_EQ(instance.ResolveTuple(raw.ToTuple()), (Tuple{a_, b_}));
   EXPECT_EQ(instance.ResolvedFactCount(), 1u);
 }
 

@@ -7,10 +7,14 @@
 # `parallel`-labeled tests under ThreadSanitizer (TSan and ASan cannot
 # share a build tree, so the TSan pass builds only the concurrency
 # tests in its own tree and runs just that label). The sanitizer suites
-# run twice each: once on the default compiled-plan path and once with
-# PDX_FORCE_INTERPRETER=1 pinning the retained interpreter.
+# run repeatedly: once on the default compiled-plan path, once with
+# PDX_FORCE_INTERPRETER=1 pinning the retained interpreter, and once
+# with PDX_FORCE_TREE_EXEC=1 pinning the recursive tree executor (the
+# match VM's kill switch).
 #
-# The plain pass is followed by a pdxcli smoke stage: check/chase/solve on
+# The plain pass is followed by a perf smoke gate (`bench_chase --quick`:
+# VM-vs-tree cross-check plus a conservative throughput floor on
+# pipeline_n512) and a pdxcli smoke stage: check/chase/solve on
 # the shipped Example 1 setting with --metrics-out/--trace-out, failing on
 # malformed exporter output, plus a -DPDX_OBS_NOOP=ON build gate proving
 # the library and CLI still compile with the observability layer stubbed
@@ -76,6 +80,14 @@ if [[ "$mode" == "all" || "$mode" == "--smoke-only" ]]; then
     fi
   done
 
+  echo "== perf smoke gate (bench_chase --quick) =="
+  cmake --build build -j "$jobs" --target bench_chase
+  # Cross-checks the bytecode VM against the tree executor on
+  # pipeline_n512 (same steps and canonical fingerprint) and fails if VM
+  # throughput drops below a conservative facts/sec floor — a regression
+  # tripwire, not a benchmark (full numbers live in BENCH_chase.json).
+  ./build/bench/bench_chase --quick
+
   echo "== PDX_OBS_NOOP build gate =="
   cmake -B build-noop -S . -DPDX_OBS_NOOP=ON
   cmake --build build-noop -j "$jobs" --target pdx pdxcli
@@ -94,6 +106,12 @@ if [[ "$mode" == "all" || "$mode" == "--sanitize-only" ]]; then
   # that the default path runs through plan/.
   echo "== address+undefined sanitizer rerun (interpreter forced) =="
   PDX_FORCE_INTERPRETER=1 ctest --test-dir build-asan -L tier1 \
+    --output-on-failure -j "$jobs" --timeout 600
+  # And with the match VM disabled: PDX_FORCE_TREE_EXEC=1 pins the
+  # recursive tree executor (the bytecode VM's kill switch), keeping the
+  # fallback path under ASan now that the VM is the default executor.
+  echo "== address+undefined sanitizer rerun (tree executor forced) =="
+  PDX_FORCE_TREE_EXEC=1 ctest --test-dir build-asan -L tier1 \
     --output-on-failure -j "$jobs" --timeout 600
 fi
 
@@ -122,6 +140,12 @@ if [[ "$mode" == "all" || "$mode" == "--tsan-only" ]]; then
   # machinery; pin it for its own sanitized pass.
   echo "== thread sanitizer rerun (dag schedule forced) =="
   PDX_FORCE_SCHEDULE=dag ctest --test-dir build-tsan -L parallel \
+    --output-on-failure -j "$jobs" --timeout 600
+  # Tree-executor lane: parallel collection with the VM kill switch on —
+  # the recursive executor must stay race-free when pool workers
+  # enumerate delta partitions through it.
+  echo "== thread sanitizer rerun (tree executor forced) =="
+  PDX_FORCE_TREE_EXEC=1 ctest --test-dir build-tsan -L parallel \
     --output-on-failure -j "$jobs" --timeout 600
 fi
 

@@ -4,7 +4,7 @@
 //   pdxcli check   --setting FILE
 //   pdxcli chase   --setting FILE --source FILE [--target FILE] [--threads N]
 //                  [--schedule barrier|speculative|dag] [--speculative]
-//                  [--dump-plans]
+//                  [--dump-plans] [--repeat N]
 //   pdxcli solve   --setting FILE --source FILE [--target FILE]
 //                  [--solver auto|ctract|generic] [--minimize] [--diff]
 //                  [--threads N]
@@ -22,9 +22,12 @@
 // Setting files use the [source]/[target]/[st]/[ts]/[t] format of
 // pde/setting_file.h; instance files hold facts like "E(a,b).".
 
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -256,15 +259,43 @@ int RunChase(const CliArgs& args) {
                                  setting->schema(), symbols)
               << "\n";
   }
-  ChaseResult chased =
-      Chase(combined, setting->st_tgds(), {}, &symbols, chase_options);
-  if (chased.outcome != ChaseOutcome::kSuccess) {
-    std::cerr << "chase did not complete: " << chased.failure << "\n";
-    return 1;
+  int repeat = 1;
+  if (auto it = args.flags.find("repeat"); it != args.flags.end()) {
+    repeat = std::atoi(it->second.c_str());
+    if (repeat < 1) {
+      std::cerr << "--repeat needs a positive count\n";
+      return 2;
+    }
   }
-  std::cout << "# J_can = chase of (I, J) with Σ_st (" << chased.steps
-            << " steps, " << chased.nulls_created << " nulls)\n"
-            << setting->TargetPart(chased.instance).ToString(symbols) << "\n";
+  // With --repeat N the same chase runs N times and the wall-time
+  // min/median are reported: min is the least-noise estimate, the median
+  // shows how contended the box was. Output facts come from the last run
+  // (every run chases the same input, so they agree).
+  std::vector<double> wall_ms;
+  wall_ms.reserve(static_cast<size_t>(repeat));
+  std::optional<ChaseResult> chased;
+  for (int rep = 0; rep < repeat; ++rep) {
+    auto t0 = std::chrono::steady_clock::now();
+    ChaseResult result =
+        Chase(combined, setting->st_tgds(), {}, &symbols, chase_options);
+    auto t1 = std::chrono::steady_clock::now();
+    if (result.outcome != ChaseOutcome::kSuccess) {
+      std::cerr << "chase did not complete: " << result.failure << "\n";
+      return 1;
+    }
+    wall_ms.push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+    chased = std::move(result);
+  }
+  if (repeat > 1) {
+    std::sort(wall_ms.begin(), wall_ms.end());
+    std::cout << "# chase wall over " << repeat << " runs: min "
+              << wall_ms.front() << " ms, median "
+              << wall_ms[wall_ms.size() / 2] << " ms\n";
+  }
+  std::cout << "# J_can = chase of (I, J) with Σ_st (" << chased->steps
+            << " steps, " << chased->nulls_created << " nulls)\n"
+            << setting->TargetPart(chased->instance).ToString(symbols) << "\n";
   return 0;
 }
 
@@ -506,7 +537,7 @@ int Main(int argc, char** argv) {
                  "[--solver auto|ctract|generic] [--query Q] "
                  "[--minimize] [--diff] [--threads N] "
                  "[--schedule barrier|speculative|dag] [--speculative] "
-                 "[--dump-plans] "
+                 "[--dump-plans] [--repeat N] "
                  "[--metrics-out FILE] [--trace-out FILE]\n";
     return 2;
   }
