@@ -1,0 +1,381 @@
+// Serving bench: starts an in-process pdxd (Unix socket transport, real
+// wire protocol — the same bytes a remote client would send) and drives it
+// with concurrent client threads issuing a read-heavy verb mix, then
+// writes BENCH_serve.json with the throughput, per-verb latency
+// percentiles and the batch coalescing histogram.
+//
+// What the numbers mean:
+//   - qps / per-verb p50/p99: end-to-end over the socket, including JSON
+//     parse, dispatch, solve and response marshalling.
+//   - batch_size histogram + writes_per_batch: the single-writer admission
+//     queue's coalescing under concurrent writers. writes_per_batch > 1
+//     means N compatible writes cost one chase round.
+//   - read QPS is measured against a concurrently advancing generation
+//     chain, so it demonstrates that snapshot reads never block on the
+//     writer.
+//
+// Usage: bench_serve [output.json]   (default BENCH_serve.json in cwd)
+//        bench_serve --quick         (short run, smoke gate: exits nonzero
+//                                     if any request fails or coalescing
+//                                     never happened under write pressure)
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "serve/client.h"
+#include "serve/metrics.h"
+#include "serve/server.h"
+
+namespace pdx {
+namespace serve {
+namespace {
+
+// Example 1 of the paper plus a key egd: writes create chase work and can
+// conflict, reads have certain answers to compute.
+constexpr char kSetting[] =
+    "[source]\n"
+    "E/2\n"
+    "[target]\n"
+    "H/2\n"
+    "[st]\n"
+    "E(x,z) & E(z,y) -> H(x,y).\n"
+    "[ts]\n"
+    "H(x,y) -> E(x,y).\n";
+
+struct VerbStats {
+  std::string verb;
+  std::vector<int64_t> latencies_us;  // merged across client threads
+
+  int64_t Percentile(double p) const {
+    if (latencies_us.empty()) return 0;
+    std::vector<int64_t> sorted = latencies_us;
+    std::sort(sorted.begin(), sorted.end());
+    size_t index = static_cast<size_t>(p * (sorted.size() - 1));
+    return sorted[index];
+  }
+};
+
+struct RunResult {
+  double wall_s = 0;
+  int64_t requests = 0;
+  int64_t errors = 0;
+  double qps = 0;
+  std::vector<VerbStats> verbs;
+};
+
+// One client thread's share of the mix. Each client keeps its own
+// connection (the protocol is pipelined per connection, serial per
+// client, like real callers).
+struct ClientShare {
+  std::vector<std::pair<std::string, std::vector<int64_t>>> latencies;
+  int64_t errors = 0;
+};
+
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string WriteRequest(int client, int seq) {
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer),
+                "{\"verb\":\"write\",\"tenant\":\"%s\","
+                "\"facts\":\"E(c%d_%d, c%d_%d).\"}",
+                "%TENANT%", client, seq, client, seq + 1);
+  return buffer;
+}
+
+// The verb mix, cycled per request index: read-heavy with a steady write
+// stream so coalescing is observable.
+std::string RequestFor(const std::string& tenant, int client, int index) {
+  std::string request;
+  switch (index % 8) {
+    case 0:
+    case 1:
+      request = WriteRequest(client, index);
+      break;
+    case 2:
+    case 3:
+      request = "{\"verb\":\"exists\",\"tenant\":\"%TENANT%\"}";
+      break;
+    case 4:
+    case 5:
+      request =
+          "{\"verb\":\"certain\",\"tenant\":\"%TENANT%\","
+          "\"query\":\"q(x,y) :- H(x,y).\"}";
+      break;
+    case 6:
+      request =
+          "{\"verb\":\"contains\",\"tenant\":\"%TENANT%\","
+          "\"facts\":\"H(c0_0, c0_2).\"}";
+      break;
+    default:
+      request = "{\"verb\":\"ping\"}";
+      break;
+  }
+  size_t at = request.find("%TENANT%");
+  if (at != std::string::npos) request.replace(at, 8, tenant);
+  return request;
+}
+
+const char* VerbOf(int index) {
+  switch (index % 8) {
+    case 0:
+    case 1:
+      return "write";
+    case 2:
+    case 3:
+      return "exists";
+    case 4:
+    case 5:
+      return "certain";
+    case 6:
+      return "contains";
+    default:
+      return "ping";
+  }
+}
+
+ClientShare DriveClient(const std::string& address, const std::string& tenant,
+                        int client, int requests) {
+  ClientShare share;
+  share.latencies = {{"write", {}}, {"exists", {}},   {"certain", {}},
+                     {"contains", {}}, {"ping", {}}};
+  auto connection = Client::Connect(address);
+  if (!connection.ok()) {
+    share.errors = requests;
+    return share;
+  }
+  for (int i = 0; i < requests; ++i) {
+    std::string request = RequestFor(tenant, client, i);
+    int64_t start = NowUs();
+    auto response = connection->CallRaw(request);
+    int64_t elapsed = NowUs() - start;
+    if (!response.ok() || !response->GetBool("ok")) {
+      ++share.errors;
+      continue;
+    }
+    const char* verb = VerbOf(i);
+    for (auto& [name, values] : share.latencies) {
+      if (name == verb) {
+        values.push_back(elapsed);
+        break;
+      }
+    }
+  }
+  return share;
+}
+
+RunResult RunMix(const std::string& address, const std::string& tenant,
+                 int clients, int requests_per_client) {
+  std::vector<ClientShare> shares(clients);
+  std::vector<std::thread> threads;
+  auto started = std::chrono::steady_clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      shares[c] = DriveClient(address, tenant, c, requests_per_client);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - started);
+
+  RunResult result;
+  result.wall_s = elapsed.count() / 1e6;
+  for (const char* verb : {"write", "exists", "certain", "contains", "ping"}) {
+    result.verbs.push_back(VerbStats{verb, {}});
+  }
+  for (const ClientShare& share : shares) {
+    result.errors += share.errors;
+    for (const auto& [verb, values] : share.latencies) {
+      for (VerbStats& stats : result.verbs) {
+        if (stats.verb == verb) {
+          stats.latencies_us.insert(stats.latencies_us.end(), values.begin(),
+                                    values.end());
+          break;
+        }
+      }
+    }
+  }
+  result.requests = static_cast<int64_t>(clients) * requests_per_client;
+  result.qps = result.wall_s > 0 ? result.requests / result.wall_s : 0;
+  return result;
+}
+
+std::string ToJson(const RunResult& run, int clients, int requests_per_client,
+                   int64_t writes, int64_t batches, int64_t burst_writes,
+                   int64_t burst_batches,
+                   const obs::HistogramData& batch_hist) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench").String("serve");
+  w.Key("nproc").Int(
+      static_cast<int64_t>(std::thread::hardware_concurrency()));
+  w.Key("clients").Int(clients);
+  w.Key("requests_per_client").Int(requests_per_client);
+  w.Key("wall_s").Double(run.wall_s, 3);
+  w.Key("requests").Int(run.requests);
+  w.Key("qps").Double(run.qps, 1);
+  w.Key("errors").Int(run.errors);
+  w.Key("verbs").BeginArray();
+  for (const VerbStats& stats : run.verbs) {
+    w.BeginObject();
+    w.Key("verb").String(stats.verb);
+    w.Key("count").Int(static_cast<int64_t>(stats.latencies_us.size()));
+    w.Key("p50_us").Int(stats.Percentile(0.50));
+    w.Key("p99_us").Int(stats.Percentile(0.99));
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("write_requests").Int(writes);
+  w.Key("batches").Int(batches);
+  w.Key("writes_per_batch")
+      .Double(batches > 0 ? static_cast<double>(writes) / batches : 0, 2);
+  w.Key("burst_writes").Int(burst_writes);
+  w.Key("burst_batches").Int(burst_batches);
+  w.Key("batch_size_histogram").BeginArray();
+  for (size_t i = 0; i < batch_hist.bucket_counts.size(); ++i) {
+    w.BeginObject();
+    if (i < batch_hist.upper_bounds.size()) {
+      w.Key("le").Int(batch_hist.upper_bounds[i]);
+    } else {
+      w.Key("le").String("+Inf");
+    }
+    w.Key("count").Int(batch_hist.bucket_counts[i]);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return std::move(w).Take();
+}
+
+int Main(int argc, char** argv) {
+  bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  std::string path = "BENCH_serve.json";
+  if (argc > 1 && !quick) path = argv[1];
+
+  std::string socket_path =
+      "/tmp/bench_serve_" + std::to_string(::getpid()) + ".sock";
+  ServerOptions options;
+  options.address = "unix:" + socket_path;
+  // A blocked write parks its connection's worker on the ticket, so the
+  // pool must be able to hold the whole coalescing burst at once.
+  options.worker_threads = 32;
+  auto server = Server::Start(options);
+  PDX_CHECK(server.ok()) << server.status().ToString();
+
+  auto tenant = (*server)->registry().Load(kSetting);
+  PDX_CHECK(tenant.ok()) << tenant.status().ToString();
+  std::string tenant_id = (*tenant)->id();
+
+  // Pre-run marks so the report covers only the measured mix.
+  ServeMetrics& metrics = GlobalServeMetrics();
+  int64_t writes_before = metrics.write_requests_total.Value();
+  int64_t batches_before = metrics.batches_total.Value();
+  obs::HistogramData hist_before = metrics.batch_size.Value();
+
+  int clients = quick ? 4 : 8;
+  int requests_per_client = quick ? 64 : 512;
+  RunResult run =
+      RunMix((*server)->address(), tenant_id, clients, requests_per_client);
+
+  int64_t writes = metrics.write_requests_total.Value() - writes_before;
+  int64_t batches = metrics.batches_total.Value() - batches_before;
+  obs::HistogramData batch_hist = metrics.batch_size.Value();
+  for (size_t i = 0; i < batch_hist.bucket_counts.size() &&
+                     i < hist_before.bucket_counts.size();
+       ++i) {
+    batch_hist.bucket_counts[i] -= hist_before.bucket_counts[i];
+  }
+
+  // Coalescing burst: freeze the writer's drain so `burst_writes`
+  // concurrent writes pile up in the admission queue, then release it —
+  // they must come back in far fewer batches (ideally one). This is the
+  // bench-shaped version of the acceptance criterion "N compatible writes
+  // cost one chase round".
+  int64_t burst_writes = 16;
+  int64_t burst_batches = 0;
+  {
+    int64_t before = metrics.batches_total.Value();
+    (*tenant)->PauseWrites();
+    std::vector<std::thread> writers;
+    for (int i = 0; i < burst_writes; ++i) {
+      writers.emplace_back([&, i] {
+        auto connection = Client::Connect((*server)->address());
+        if (!connection.ok()) return;
+        char request[160];
+        std::snprintf(request, sizeof(request),
+                      "{\"verb\":\"write\",\"tenant\":\"%s\","
+                      "\"facts\":\"E(b%d, b%d).\"}",
+                      tenant_id.c_str(), i, i + 1);
+        (void)connection->CallRaw(request);
+      });
+    }
+    // Wait for every burst write to be admitted before releasing the
+    // writer, so the whole burst drains as one batch.
+    auto give_up = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while ((*tenant)->Stats().queue_depth <
+               static_cast<size_t>(burst_writes) &&
+           std::chrono::steady_clock::now() < give_up) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    (*tenant)->ResumeWrites();
+    for (std::thread& t : writers) t.join();
+    burst_batches = metrics.batches_total.Value() - before;
+  }
+
+  (*server)->Shutdown();
+
+  int64_t errors = run.errors;
+  std::fprintf(stderr,
+               "bench_serve: %lld requests in %.2fs (%.0f qps), "
+               "%lld errors, %lld writes in %lld batches (%.2f/batch), "
+               "burst %lld writes -> %lld batches\n",
+               static_cast<long long>(run.requests), run.wall_s, run.qps,
+               static_cast<long long>(errors), static_cast<long long>(writes),
+               static_cast<long long>(batches),
+               batches > 0 ? static_cast<double>(writes) / batches : 0.0,
+               static_cast<long long>(burst_writes),
+               static_cast<long long>(burst_batches));
+
+  if (quick) {
+    if (errors > 0) {
+      std::fprintf(stderr, "bench_serve: FAIL, %lld errors\n",
+                   static_cast<long long>(errors));
+      return 1;
+    }
+    if (burst_batches >= burst_writes) {
+      std::fprintf(stderr,
+                   "bench_serve: FAIL, burst writes did not coalesce\n");
+      return 1;
+    }
+    std::fprintf(stderr, "bench_serve: quick gate OK\n");
+    return 0;
+  }
+
+  std::string json = ToJson(run, clients, requests_per_client, writes, batches,
+                            burst_writes, burst_batches, batch_hist);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  PDX_CHECK(f != nullptr) << "cannot open " << path;
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace pdx
+
+int main(int argc, char** argv) { return pdx::serve::Main(argc, argv); }

@@ -20,6 +20,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "UNIMPLEMENTED";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }
@@ -56,6 +58,10 @@ Status ResourceExhaustedError(std::string message) {
 
 Status UnimplementedError(std::string message) {
   return Status(StatusCode::kUnimplemented, std::move(message));
+}
+
+Status DeadlineExceededError(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
 }
 
 Status InternalError(std::string message) {

@@ -20,6 +20,7 @@ enum class StatusCode {
   kResourceExhausted = 5,
   kUnimplemented = 6,
   kInternal = 7,
+  kDeadlineExceeded = 8,
 };
 
 // Returns the canonical name of a status code, e.g. "INVALID_ARGUMENT".
@@ -61,6 +62,7 @@ Status FailedPreconditionError(std::string message);
 Status ResourceExhaustedError(std::string message);
 Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
+Status DeadlineExceededError(std::string message);
 
 // A value of type T or an error Status. Accessing the value of a non-OK
 // StatusOr is a fatal error.

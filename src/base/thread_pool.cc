@@ -40,14 +40,7 @@ ThreadPool::ThreadPool(int threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stop_ = true;
-  }
-  work_cv_.notify_all();
-  for (std::thread& t : workers_) t.join();
-}
+ThreadPool::~ThreadPool() { Shutdown(); }
 
 int ThreadPool::HardwareConcurrency() {
   unsigned hc = std::thread::hardware_concurrency();
@@ -75,22 +68,72 @@ void ThreadPool::RunShards(Job* job, size_t start_shard) {
 
 void ThreadPool::WorkerLoop(size_t worker_index) {
   uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
   while (true) {
-    Job* job = nullptr;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] { return stop_ || job_seq_ != seen; });
-      if (stop_) return;
+    work_cv_.wait(lock, [&] {
+      return stop_ || job_seq_ != seen || !tasks_.empty();
+    });
+    // Tasks first: a job posted while every worker sits in a long task
+    // would otherwise never see a task-draining worker again (jobs are
+    // also drained by their posting caller, tasks only by workers).
+    if (!tasks_.empty()) {
+      std::function<void()> task = std::move(tasks_.front());
+      tasks_.pop_front();
+      ++tasks_active_;
+      lock.unlock();
+      task();
+      task = nullptr;  // release captures before touching pool state
+      lock.lock();
+      --tasks_active_;
+      if (draining_ && tasks_.empty() && tasks_active_ == 0) {
+        drain_cv_.notify_all();
+      }
+      continue;
+    }
+    if (job_seq_ != seen) {
       seen = job_seq_;
-      job = job_;
-    }
-    RunShards(job, (1 + worker_index) % job->shard_count);
-    {
-      std::lock_guard<std::mutex> lock(mu_);
+      Job* job = job_;
+      lock.unlock();
+      RunShards(job, (1 + worker_index) % job->shard_count);
+      lock.lock();
       --workers_active_;
+      done_cv_.notify_one();
+      continue;
     }
-    done_cv_.notify_one();
+    if (stop_) return;
   }
+}
+
+bool ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_ || stop_) return false;
+    if (!workers_.empty()) {
+      tasks_.push_back(std::move(task));
+      PoolMetrics::Get().tasks.Inc();
+      work_cv_.notify_one();
+      return true;
+    }
+  }
+  // No workers: the calling thread is the pool's only participant.
+  PoolMetrics::Get().tasks.Inc();
+  task();
+  return true;
+}
+
+void ThreadPool::Shutdown() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!draining_) {
+    draining_ = true;
+    drain_cv_.wait(lock, [&] { return tasks_.empty() && tasks_active_ == 0; });
+    stop_ = true;
+    work_cv_.notify_all();
+  }
+  if (workers_.empty()) return;  // idempotent second call, or no workers
+  std::vector<std::thread> workers = std::move(workers_);
+  workers_.clear();
+  lock.unlock();
+  for (std::thread& t : workers) t.join();
 }
 
 void ThreadPool::ParallelFor(size_t n,

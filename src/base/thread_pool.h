@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -65,6 +66,24 @@ class ThreadPool {
   // its shards, then waits for the workers to check out.
   void Wait();
 
+  // --- One-off task queue (the pdxd server's worker pool) --------------
+  //
+  // Submit enqueues `task` for execution on some worker thread and returns
+  // immediately; distinct tasks run concurrently (one per idle worker).
+  // Returns false — without running or retaining the task — once Shutdown
+  // has begun. On a pool with no workers (threads <= 1) the task runs
+  // inline in Submit. A pool serving long-running tasks should not be
+  // given ParallelFor jobs at the same time: workers busy in a task join
+  // a posted job only after their task returns.
+  bool Submit(std::function<void()> task);
+
+  // Graceful drain: stops accepting new tasks, waits until every queued
+  // and in-flight task has finished, then joins the worker threads.
+  // Idempotent; the destructor calls it. Must not be invoked from inside
+  // a task (a task waiting for its own pool to drain deadlocks) or while
+  // a ParallelFor / unjoined async job is in flight.
+  void Shutdown();
+
   // std::thread::hardware_concurrency with a floor of 1.
   static int HardwareConcurrency();
 
@@ -83,12 +102,16 @@ class ThreadPool {
   static void RunShards(Job* job, size_t start_shard);
 
   std::mutex mu_;
-  std::condition_variable work_cv_;  // workers wait for a new job_seq_
+  std::condition_variable work_cv_;  // workers wait for a job or a task
   std::condition_variable done_cv_;  // caller waits for workers_active_ == 0
+  std::condition_variable drain_cv_; // Shutdown waits for tasks to finish
   Job* job_ = nullptr;               // guarded by mu_
   uint64_t job_seq_ = 0;             // guarded by mu_
   size_t workers_active_ = 0;        // guarded by mu_
   bool stop_ = false;                // guarded by mu_
+  std::deque<std::function<void()>> tasks_;  // guarded by mu_
+  size_t tasks_active_ = 0;          // guarded by mu_
+  bool draining_ = false;            // guarded by mu_: Shutdown has begun
   std::vector<std::thread> workers_;
 
   // Async job state, touched only by the owning (caller) thread between

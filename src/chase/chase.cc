@@ -1165,8 +1165,14 @@ ChaseResult ChaseRestrictedDelta(const Instance& start,
     }
   }
   // Everything is "new" before the first round, so round one degenerates
-  // to the full scan the naive chase would do — exactly once.
-  InstanceWatermark mark = InstanceWatermark::Origin(instance);
+  // to the full scan the naive chase would do — exactly once. An
+  // incremental caller (ChaseOptions::resume_from) instead seeds the
+  // round with its own watermark: only facts added past it are pending,
+  // which is sound because the pre-watermark state was already a
+  // fixpoint of these dependencies.
+  InstanceWatermark mark = options.resume_from != nullptr
+                               ? *options.resume_from
+                               : InstanceWatermark::Origin(instance);
   // Per-relation indexes of pre-watermark tuples dirtied by this round's
   // merges; the tgd phase re-examines them alongside the additive delta.
   std::vector<std::vector<int>> extras;

@@ -132,6 +132,17 @@ struct ChaseOptions {
   // (plan/compiler.h, ForceInterpreter).
   bool compile_plans = true;
 
+  // Incremental resume (kRestricted only): when non-null, the first
+  // round's delta covers only the facts added to the start instance after
+  // this watermark, instead of the whole instance. Correct exactly when
+  // the pre-watermark state already satisfies every dependency being
+  // chased (it was itself chased to fixpoint and only AddFact happened
+  // since — the pdxd generation store's single-writer discipline). The
+  // other strategies ignore it and fall back to the full first scan,
+  // which is always correct, just not amortized. The pointee must outlive
+  // the call.
+  const InstanceWatermark* resume_from = nullptr;
+
   // Auto-compaction of merge-heavy raw stores (kRestricted only): when the
   // fraction of raw tuples that are duplicates under resolution exceeds
   // this ratio — and the raw store holds at least compact_min_facts tuples

@@ -32,6 +32,10 @@ Status ParseRelationLine(std::string_view line,
     return InvalidArgumentError(
         StrCat("malformed relation declaration '", line, "'"));
   }
+  // Bounded parse: settings arrive over the wire in pdxd requests, so a
+  // declaration like "E/99999999999" must come back as a Status, not
+  // overflow into UB or a giant allocation.
+  constexpr int kMaxArity = 1024;
   int arity = 0;
   for (char c : arity_text) {
     if (c < '0' || c > '9') {
@@ -39,6 +43,10 @@ Status ParseRelationLine(std::string_view line,
           StrCat("non-numeric arity in '", line, "'"));
     }
     arity = arity * 10 + (c - '0');
+    if (arity > kMaxArity) {
+      return InvalidArgumentError(
+          StrCat("arity out of range (max ", kMaxArity, ") in '", line, "'"));
+    }
   }
   out->push_back(RelationSchema{std::move(name), arity});
   return OkStatus();

@@ -1,0 +1,81 @@
+#include "serve/admission.h"
+
+#include "serve/metrics.h"
+
+namespace pdx {
+namespace serve {
+
+void WriteTicket::Complete(Status status,
+                           std::shared_ptr<const Generation> published) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    done_ = true;
+    status_ = std::move(status);
+    published_ = std::move(published);
+  }
+  cv_.notify_all();
+}
+
+Status WriteTicket::Wait(std::chrono::steady_clock::time_point deadline,
+                         std::shared_ptr<const Generation>* published) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!cv_.wait_until(lock, deadline, [&] { return done_; })) {
+    return DeadlineExceededError(
+        "write admitted but not published before the deadline");
+  }
+  if (published != nullptr) *published = published_;
+  return status_;
+}
+
+bool AdmissionQueue::Submit(std::shared_ptr<WriteTicket> ticket) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return false;
+    pending_.push_back(std::move(ticket));
+    GlobalServeMetrics().queue_depth.Add(1);
+  }
+  cv_.notify_all();
+  return true;
+}
+
+std::vector<std::shared_ptr<WriteTicket>> AdmissionQueue::DrainBlocking() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return closed_ || (!pending_.empty() && !paused_); });
+  std::vector<std::shared_ptr<WriteTicket>> batch(pending_.begin(),
+                                                  pending_.end());
+  pending_.clear();
+  if (!batch.empty()) {
+    GlobalServeMetrics().queue_depth.Add(-static_cast<int64_t>(batch.size()));
+  }
+  return batch;
+}
+
+void AdmissionQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+void AdmissionQueue::Pause() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = true;
+}
+
+void AdmissionQueue::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+size_t AdmissionQueue::Depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+}  // namespace serve
+}  // namespace pdx

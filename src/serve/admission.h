@@ -1,0 +1,91 @@
+#ifndef PDX_SERVE_ADMISSION_H_
+#define PDX_SERVE_ADMISSION_H_
+
+// The write-side admission queue of a pdxd tenant. Connection handlers
+// enqueue parsed fact batches as WriteTickets and block on ticket
+// completion (with the request deadline); the tenant's single writer
+// thread drains *everything* pending in one gulp, chases the union as one
+// delta round, publishes the next generation, then completes every ticket
+// of the batch. The queue is deliberately dumb — compatibility of batched
+// writes is decided by the writer (an egd-failing union falls back to
+// individual replay), not here.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "base/status.h"
+#include "relational/tuple.h"
+
+namespace pdx {
+namespace serve {
+
+class Generation;
+
+// One admitted write: the parsed facts plus a one-shot completion slot the
+// submitting connection blocks on.
+class WriteTicket {
+ public:
+  explicit WriteTicket(std::vector<Fact> facts) : facts_(std::move(facts)) {}
+
+  const std::vector<Fact>& facts() const { return facts_; }
+
+  // Writer side: resolves the ticket exactly once. `published` is the
+  // generation that made the write visible (null when rejected).
+  void Complete(Status status, std::shared_ptr<const Generation> published);
+
+  // Submitter side: blocks until the writer completes the ticket or the
+  // deadline passes; DeadlineExceeded means the write may still be applied
+  // later — it has been admitted and the writer never abandons a ticket.
+  Status Wait(std::chrono::steady_clock::time_point deadline,
+              std::shared_ptr<const Generation>* published);
+
+ private:
+  const std::vector<Fact> facts_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  Status status_;
+  std::shared_ptr<const Generation> published_;
+};
+
+class AdmissionQueue {
+ public:
+  // Enqueues a ticket and wakes the writer. Returns false (without
+  // retaining the ticket) once Close() has been called.
+  bool Submit(std::shared_ptr<WriteTicket> ticket);
+
+  // Writer side: blocks until at least one ticket is pending (and the
+  // queue is not paused) or the queue is closed, then moves *all* pending
+  // tickets out — the coalescing gulp. An empty result means closed.
+  std::vector<std::shared_ptr<WriteTicket>> DrainBlocking();
+
+  // Stops admission and wakes the writer; pending tickets are still
+  // handed out by the final DrainBlocking calls so a graceful shutdown
+  // completes every admitted write.
+  void Close();
+
+  // Test hooks: while paused, DrainBlocking holds even if tickets are
+  // pending — lets a test enqueue N writes and then observe that Resume
+  // yields exactly one batch of N.
+  void Pause();
+  void Resume();
+
+  size_t Depth() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<WriteTicket>> pending_;
+  bool closed_ = false;
+  bool paused_ = false;
+};
+
+}  // namespace serve
+}  // namespace pdx
+
+#endif  // PDX_SERVE_ADMISSION_H_

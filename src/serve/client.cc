@@ -1,0 +1,184 @@
+#include "serve/client.h"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "base/string_util.h"
+
+namespace pdx {
+namespace serve {
+
+namespace {
+
+StatusOr<int> ConnectFd(const std::string& address) {
+  if (address.rfind("unix:", 0) == 0) {
+    std::string path = address.substr(5);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+      return InvalidArgumentError(StrCat("bad unix path in ", address));
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return InternalError("socket(AF_UNIX) failed");
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      int err = errno;
+      ::close(fd);
+      return NotFoundError(
+          StrCat("cannot connect to ", address, ": ", std::strerror(err)));
+    }
+    return fd;
+  }
+  if (address.rfind("tcp:", 0) == 0) {
+    std::string hostport = address.substr(4);
+    size_t colon = hostport.rfind(':');
+    if (colon == std::string::npos) {
+      return InvalidArgumentError(
+          StrCat("tcp address needs HOST:PORT, got ", address));
+    }
+    std::string host = hostport.substr(0, colon);
+    std::string port = hostport.substr(colon + 1);
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* info = nullptr;
+    if (::getaddrinfo(host.c_str(), port.c_str(), &hints, &info) != 0) {
+      return NotFoundError(StrCat("cannot resolve ", address));
+    }
+    int fd = -1;
+    int err = 0;
+    for (addrinfo* ai = info; ai != nullptr; ai = ai->ai_next) {
+      fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+      if (fd < 0) continue;
+      if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+      err = errno;
+      ::close(fd);
+      fd = -1;
+    }
+    ::freeaddrinfo(info);
+    if (fd < 0) {
+      return NotFoundError(
+          StrCat("cannot connect to ", address, ": ", std::strerror(err)));
+    }
+    return fd;
+  }
+  return InvalidArgumentError(
+      StrCat("address must be unix:PATH or tcp:HOST:PORT, got ", address));
+}
+
+bool SendAll(int fd, std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+StatusOr<Client> Client::Connect(const std::string& address) {
+  PDX_ASSIGN_OR_RETURN(int fd, ConnectFd(address));
+  return Client(fd);
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+StatusOr<JsonValue> Client::Call(const JsonValue& request) {
+  return CallRaw(request.Dump());
+}
+
+StatusOr<JsonValue> Client::CallRaw(std::string_view request_line) {
+  if (fd_ < 0) return FailedPreconditionError("client is closed");
+  std::string line(request_line);
+  line += '\n';
+  if (!SendAll(fd_, line)) {
+    Close();
+    return InternalError("send failed (server gone?)");
+  }
+  char chunk[4096];
+  while (true) {
+    size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string response = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return ParseJson(response);
+    }
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      Close();
+      return InternalError("connection closed before a response arrived");
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+StatusOr<std::string> HttpGet(const std::string& address,
+                              const std::string& path) {
+  PDX_ASSIGN_OR_RETURN(int fd, ConnectFd(address));
+  std::string request =
+      StrCat("GET ", path, " HTTP/1.0\r\nConnection: close\r\n\r\n");
+  if (!SendAll(fd, request)) {
+    ::close(fd);
+    return InternalError("send failed");
+  }
+  std::string response;
+  char chunk[4096];
+  while (true) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      ::close(fd);
+      return InternalError("recv failed");
+    }
+    if (n == 0) break;
+    response.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  size_t header_end = response.find("\r\n\r\n");
+  size_t body_start = header_end == std::string::npos ? std::string::npos
+                                                      : header_end + 4;
+  if (body_start == std::string::npos) {
+    header_end = response.find("\n\n");
+    body_start = header_end == std::string::npos ? std::string::npos
+                                                 : header_end + 2;
+  }
+  if (body_start == std::string::npos) {
+    return InternalError("malformed HTTP response (no header terminator)");
+  }
+  std::string status_line = response.substr(0, response.find('\n'));
+  if (status_line.find(" 200 ") == std::string::npos) {
+    return InternalError(StrCat("HTTP error: ", status_line));
+  }
+  return response.substr(body_start);
+}
+
+}  // namespace serve
+}  // namespace pdx

@@ -1,0 +1,61 @@
+#ifndef PDX_SERVE_CLIENT_H_
+#define PDX_SERVE_CLIENT_H_
+
+// Blocking client for the pdxd wire protocol plus a one-shot HTTP GET for
+// the /metrics endpoint. Shared by pdxctl, bench_serve and serve_test —
+// the same code that exercises the daemon in CI drives it in production.
+// Not thread-safe: one Client per connection per thread.
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "base/status.h"
+#include "serve/json.h"
+
+namespace pdx {
+namespace serve {
+
+class Client {
+ public:
+  // Connects to "unix:PATH" or "tcp:HOST:PORT".
+  static StatusOr<Client> Connect(const std::string& address);
+
+  Client(Client&& other) noexcept : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+    other.fd_ = -1;
+  }
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  // Sends one request object and blocks for the response line. The
+  // returned Status reflects transport failures only; protocol-level
+  // errors come back inside the response ("ok": false).
+  StatusOr<JsonValue> Call(const JsonValue& request);
+
+  // Same, with a preformatted single-line JSON request.
+  StatusOr<JsonValue> CallRaw(std::string_view request_line);
+
+  // True while the connection is usable.
+  bool connected() const { return fd_ >= 0; }
+
+  void Close();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::string buffer_;  // bytes read past the last response line
+};
+
+// Connects to `address`, issues `GET <path>`, and returns the response
+// body after verifying a 200 status line. Used to scrape /metrics without
+// shelling out to curl.
+StatusOr<std::string> HttpGet(const std::string& address,
+                              const std::string& path);
+
+}  // namespace serve
+}  // namespace pdx
+
+#endif  // PDX_SERVE_CLIENT_H_

@@ -1,0 +1,43 @@
+#include "serve/generation.h"
+
+#include "pde/setting.h"
+
+namespace pdx {
+namespace serve {
+
+uint64_t Generation::Fingerprint() const {
+  std::lock_guard<std::mutex> lock(memo_mu_);
+  if (!fingerprint_.has_value()) {
+    fingerprint_ = canonical_.CanonicalFingerprint();
+  }
+  return *fingerprint_;
+}
+
+const Instance& Generation::SourceView(const PdeSetting& setting) const {
+  std::lock_guard<std::mutex> lock(memo_mu_);
+  if (!source_view_.has_value()) {
+    source_view_ = setting.SourcePart(base_);
+  }
+  return *source_view_;
+}
+
+const Instance& Generation::TargetView(const PdeSetting& setting) const {
+  std::lock_guard<std::mutex> lock(memo_mu_);
+  if (!target_view_.has_value()) {
+    target_view_ = setting.TargetPart(base_);
+  }
+  return *target_view_;
+}
+
+std::optional<bool> Generation::CachedExists() const {
+  std::lock_guard<std::mutex> lock(memo_mu_);
+  return exists_;
+}
+
+void Generation::CacheExists(bool value) const {
+  std::lock_guard<std::mutex> lock(memo_mu_);
+  exists_ = value;
+}
+
+}  // namespace serve
+}  // namespace pdx

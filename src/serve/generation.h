@@ -1,0 +1,129 @@
+#ifndef PDX_SERVE_GENERATION_H_
+#define PDX_SERVE_GENERATION_H_
+
+// Snapshot isolation for pdxd reads: a tenant's state is a chain of
+// immutable *generations*, each one COW-branched off the last (O(#relations)
+// per publish, never O(#facts)). Readers pin the generation current at
+// request arrival with one shared_ptr copy and serve the whole request off
+// it — a writer publishing generation k+1 mid-request never changes what a
+// pinned reader of generation k sees. The single writer is the only thread
+// that creates generations; GenerationStore::Publish is the linearization
+// point.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "relational/instance.h"
+
+namespace pdx {
+
+class PdeSetting;
+class SymbolTable;
+
+namespace serve {
+
+// One immutable published state of a tenant. Two views share COW stores:
+//
+//   * `base` is the admitted state (I, J) — the union of every fact ever
+//     written, exactly as the clients sent it. ExistsSolution and certain
+//     answers are questions about (I, J), so the solvers run on base's
+//     side projections.
+//   * `canonical` is the chase closure of base under Σ_st ∪ Σ_t. The
+//     writer maintains it incrementally (one delta round per batch,
+//     resuming from the previous generation's watermark); `contains`
+//     probes it, and its CanonicalFingerprint is the generation identity
+//     that snapshot-isolation tests assert on.
+//
+// Everything here is written once by the writer before Publish and then
+// only read; the lazy memos below are the sole post-publish mutation,
+// guarded by memo_mu (solver verdicts and side projections are demand
+// driven — computing them eagerly would put a generic-solver run on the
+// write path).
+class Generation {
+ public:
+  Generation(uint64_t seq, Instance base, Instance canonical,
+             InstanceWatermark canonical_mark)
+      : seq_(seq),
+        base_(std::move(base)),
+        canonical_(std::move(canonical)),
+        canonical_mark_(std::move(canonical_mark)) {}
+
+  Generation(const Generation&) = delete;
+  Generation& operator=(const Generation&) = delete;
+
+  uint64_t seq() const { return seq_; }
+  const Instance& base() const { return base_; }
+  const Instance& canonical() const { return canonical_; }
+  // The canonical instance's watermark at publish: the next batch's chase
+  // resumes from here.
+  const InstanceWatermark& canonical_mark() const { return canonical_mark_; }
+
+  // Cumulative chase steps spent building this chain up to this generation.
+  int64_t chase_steps() const { return chase_steps_; }
+  void set_chase_steps(int64_t steps) { chase_steps_ = steps; }
+
+  // CanonicalFingerprint of `canonical`, memoized (it is an O(n log n)
+  // scan). Null-renaming invariant, so it identifies the generation's
+  // logical content regardless of chase scheduling.
+  uint64_t Fingerprint() const;
+
+  // Side projections of `base`, memoized. The setting must be the tenant's.
+  const Instance& SourceView(const PdeSetting& setting) const;
+  const Instance& TargetView(const PdeSetting& setting) const;
+
+  // Memoized ExistsSolution verdict for the tenant's auto solver choice
+  // (serve/tenant.cc computes it; repeated exists requests against one
+  // generation answer from the memo). nullopt until first computed.
+  std::optional<bool> CachedExists() const;
+  void CacheExists(bool value) const;
+
+ private:
+  const uint64_t seq_;
+  const Instance base_;
+  const Instance canonical_;
+  const InstanceWatermark canonical_mark_;
+  int64_t chase_steps_ = 0;
+
+  mutable std::mutex memo_mu_;
+  mutable std::optional<uint64_t> fingerprint_;
+  mutable std::optional<Instance> source_view_;
+  mutable std::optional<Instance> target_view_;
+  mutable std::optional<bool> exists_;
+};
+
+// The single-writer / multi-reader publication cell. Acquire is what every
+// read-path request does first; Publish is called only by the tenant's
+// writer thread.
+class GenerationStore {
+ public:
+  explicit GenerationStore(std::shared_ptr<const Generation> initial)
+      : current_(std::move(initial)) {}
+
+  // The generation current right now. The returned pointer pins it: the
+  // reader's entire request is served off this object even if the writer
+  // publishes past it concurrently.
+  std::shared_ptr<const Generation> Acquire() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return current_;
+  }
+
+  // Atomically makes `next` the current generation. Single-writer: only
+  // the tenant's writer thread calls this, with next->seq() strictly
+  // increasing.
+  void Publish(std::shared_ptr<const Generation> next) {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_ = std::move(next);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const Generation> current_;
+};
+
+}  // namespace serve
+}  // namespace pdx
+
+#endif  // PDX_SERVE_GENERATION_H_

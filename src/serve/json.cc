@@ -1,0 +1,329 @@
+#include "serve/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "base/string_util.h"
+
+namespace pdx {
+namespace serve {
+
+namespace {
+
+// Wire documents are flat in practice (one level of request fields plus an
+// answers array); the cap only exists so a hostile deeply-nested document
+// cannot exhaust the parser's stack.
+constexpr int kMaxDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  StatusOr<JsonValue> Parse() {
+    PDX_ASSIGN_OR_RETURN(JsonValue value, ParseValue(0));
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(std::string_view what) const {
+    return InvalidArgumentError(
+        StrCat("json: ", what, " at offset ", pos_));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<JsonValue> ParseValue(int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipSpace();
+    if (pos_ >= text_.size()) return Error("unexpected end of document");
+    char c = text_[pos_];
+    switch (c) {
+      case '{': return ParseObject(depth);
+      case '[': return ParseArray(depth);
+      case '"': {
+        PDX_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return JsonValue::String(std::move(s));
+      }
+      case 't':
+        if (ConsumeLiteral("true")) return JsonValue::Bool(true);
+        return Error("invalid literal");
+      case 'f':
+        if (ConsumeLiteral("false")) return JsonValue::Bool(false);
+        return Error("invalid literal");
+      case 'n':
+        if (ConsumeLiteral("null")) return JsonValue::Null();
+        return Error("invalid literal");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  StatusOr<JsonValue> ParseObject(int depth) {
+    ++pos_;  // '{'
+    JsonValue object = JsonValue::Object();
+    if (Consume('}')) return object;
+    while (true) {
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key");
+      }
+      PDX_ASSIGN_OR_RETURN(std::string key, ParseString());
+      if (!Consume(':')) return Error("expected ':' after object key");
+      PDX_ASSIGN_OR_RETURN(JsonValue value, ParseValue(depth + 1));
+      object.Set(std::move(key), std::move(value));
+      if (Consume(',')) continue;
+      if (Consume('}')) return object;
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  StatusOr<JsonValue> ParseArray(int depth) {
+    ++pos_;  // '['
+    JsonValue array = JsonValue::Array();
+    if (Consume(']')) return array;
+    while (true) {
+      PDX_ASSIGN_OR_RETURN(JsonValue value, ParseValue(depth + 1));
+      array.Add(std::move(value));
+      if (Consume(',')) continue;
+      if (Consume(']')) return array;
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  StatusOr<std::string> ParseString() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("raw control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("dangling escape");
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              return Error("invalid \\u escape");
+          }
+          // UTF-8 encode the code point (surrogates pass through as the
+          // replacement character; see header note).
+          if (code >= 0xd800 && code <= 0xdfff) code = 0xfffd;
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xc0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          } else {
+            out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          }
+          break;
+        }
+        default:
+          return Error("unknown escape");
+      }
+    }
+  }
+
+  StatusOr<JsonValue> ParseNumber() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      return Error("invalid number");
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      long long n = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end != nullptr && *end == '\0') {
+        return JsonValue::Int(static_cast<int64_t>(n));
+      }
+      // Out of int64 range: fall through to double.
+    }
+    errno = 0;
+    char* end = nullptr;
+    double d = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0' || !std::isfinite(d)) {
+      return Error("invalid number");
+    }
+    return JsonValue::Double(d);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  for (const JsonMember& member : members_) {
+    if (member.first == key) return &member.second;
+  }
+  return nullptr;
+}
+
+std::string JsonValue::GetString(std::string_view key,
+                                 std::string_view fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_string() ? v->as_string()
+                                        : std::string(fallback);
+}
+
+int64_t JsonValue::GetInt(std::string_view key, int64_t fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_number() ? v->as_int() : fallback;
+}
+
+bool JsonValue::GetBool(std::string_view key, bool fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_bool() ? v->as_bool() : fallback;
+}
+
+void AppendJsonEscaped(std::string_view s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          *out += buffer;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+void JsonValue::DumpTo(std::string* out) const {
+  switch (kind_) {
+    case Kind::kNull:
+      *out += "null";
+      return;
+    case Kind::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Kind::kNumber:
+      if (is_int_) {
+        *out += std::to_string(int_);
+      } else {
+        char buffer[32];
+        std::snprintf(buffer, sizeof(buffer), "%.17g", num_);
+        *out += buffer;
+      }
+      return;
+    case Kind::kString:
+      *out += '"';
+      AppendJsonEscaped(string_, out);
+      *out += '"';
+      return;
+    case Kind::kArray: {
+      *out += '[';
+      bool first = true;
+      for (const JsonValue& item : items_) {
+        if (!first) *out += ',';
+        first = false;
+        item.DumpTo(out);
+      }
+      *out += ']';
+      return;
+    }
+    case Kind::kObject: {
+      *out += '{';
+      bool first = true;
+      for (const JsonMember& member : members_) {
+        if (!first) *out += ',';
+        first = false;
+        *out += '"';
+        AppendJsonEscaped(member.first, out);
+        *out += "\":";
+        member.second.DumpTo(out);
+      }
+      *out += '}';
+      return;
+    }
+  }
+}
+
+std::string JsonValue::Dump() const {
+  std::string out;
+  DumpTo(&out);
+  return out;
+}
+
+StatusOr<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace serve
+}  // namespace pdx

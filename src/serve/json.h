@@ -1,0 +1,146 @@
+#ifndef PDX_SERVE_JSON_H_
+#define PDX_SERVE_JSON_H_
+
+// A minimal JSON document model and recursive-descent parser for the pdxd
+// wire protocol (serve/protocol.h): line-delimited JSON requests arrive
+// from untrusted clients, so parsing must return Status on any malformed
+// input — never crash, never recurse unboundedly. The writer side emits
+// *compact* single-line documents (the obs JsonWriter pretty-prints, which
+// a line-delimited protocol cannot use).
+//
+// Deliberately small: objects keep insertion order (deterministic output,
+// goldenable tests), numbers are int64 when they round-trip exactly and
+// double otherwise, and \uXXXX escapes outside the BMP are not combined
+// into surrogate pairs (protocol payloads are program text and fact
+// spellings, not arbitrary unicode prose).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+
+namespace pdx {
+namespace serve {
+
+class JsonValue;
+
+using JsonMember = std::pair<std::string, JsonValue>;
+
+// One JSON value: null, bool, number, string, array or object.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b) {
+    JsonValue v;
+    v.kind_ = Kind::kBool;
+    v.bool_ = b;
+    return v;
+  }
+  static JsonValue Int(int64_t n) {
+    JsonValue v;
+    v.kind_ = Kind::kNumber;
+    v.int_ = n;
+    v.num_ = static_cast<double>(n);
+    v.is_int_ = true;
+    return v;
+  }
+  static JsonValue Double(double d) {
+    JsonValue v;
+    v.kind_ = Kind::kNumber;
+    v.num_ = d;
+    v.int_ = static_cast<int64_t>(d);
+    v.is_int_ = false;
+    return v;
+  }
+  static JsonValue String(std::string s) {
+    JsonValue v;
+    v.kind_ = Kind::kString;
+    v.string_ = std::move(s);
+    return v;
+  }
+  static JsonValue Array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const { return bool_; }
+  // Numbers: int64 view truncates when the document held a fraction.
+  int64_t as_int() const { return is_int_ ? int_ : static_cast<int64_t>(num_); }
+  double as_double() const { return num_; }
+  const std::string& as_string() const { return string_; }
+  const std::vector<JsonValue>& items() const { return items_; }
+  const std::vector<JsonMember>& members() const { return members_; }
+
+  // --- Building (writer side) -----------------------------------------
+  JsonValue& Add(JsonValue item) {  // array append
+    items_.push_back(std::move(item));
+    return *this;
+  }
+  JsonValue& Set(std::string key, JsonValue value) {  // object append
+    members_.emplace_back(std::move(key), std::move(value));
+    return *this;
+  }
+
+  // --- Lookup (reader side) -------------------------------------------
+
+  // The member named `key`, or nullptr. First match wins.
+  const JsonValue* Find(std::string_view key) const;
+
+  // Typed member accessors with defaults: the protocol's optional fields.
+  std::string GetString(std::string_view key,
+                        std::string_view fallback = "") const;
+  int64_t GetInt(std::string_view key, int64_t fallback = 0) const;
+  bool GetBool(std::string_view key, bool fallback = false) const;
+
+  // Compact single-line rendering (the wire format). Deterministic:
+  // members in insertion order, numbers via int64 or shortest %g.
+  std::string Dump() const;
+
+ private:
+  void DumpTo(std::string* out) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  bool is_int_ = true;
+  int64_t int_ = 0;
+  double num_ = 0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<JsonMember> members_;
+};
+
+// Parses exactly one JSON document from `text` (surrounding whitespace
+// allowed, trailing garbage rejected). Returns InvalidArgument on any
+// syntax error, on nesting beyond an internal depth cap, and on documents
+// whose numbers do not fit a double.
+StatusOr<JsonValue> ParseJson(std::string_view text);
+
+// Escapes `s` as the *contents* of a JSON string literal (no surrounding
+// quotes); shared by Dump and ad-hoc emitters.
+void AppendJsonEscaped(std::string_view s, std::string* out);
+
+}  // namespace serve
+}  // namespace pdx
+
+#endif  // PDX_SERVE_JSON_H_

@@ -1,0 +1,63 @@
+#include "serve/metrics.h"
+
+#include <vector>
+
+namespace pdx {
+namespace serve {
+
+namespace {
+
+obs::Histogram Latency(const char* name) {
+  // 100us .. 10s, decade buckets: wide enough for both the in-memory ping
+  // path and a generic-solver certain-answer run.
+  return obs::MetricsRegistry::Global().GetHistogram(
+      name, {100, 1'000, 10'000, 100'000, 1'000'000, 10'000'000});
+}
+
+ServeMetrics MakeServeMetrics() {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  ServeMetrics m;
+  m.requests_total = reg.GetCounter("pdx_serve_requests_total");
+  m.errors_total = reg.GetCounter("pdx_serve_errors_total");
+  m.deadline_exceeded_total =
+      reg.GetCounter("pdx_serve_deadline_exceeded_total");
+  m.inflight_requests = reg.GetGauge("pdx_serve_inflight_requests");
+  m.connections_total = reg.GetCounter("pdx_serve_connections_total");
+  m.write_requests_total = reg.GetCounter("pdx_serve_write_requests_total");
+  m.batches_total = reg.GetCounter("pdx_serve_batches_total");
+  m.batch_retries_total = reg.GetCounter("pdx_serve_batch_retries_total");
+  m.batch_size = reg.GetHistogram("pdx_serve_batch_size",
+                                  {1, 2, 4, 8, 16, 32, 64, 128});
+  m.queue_depth = reg.GetGauge("pdx_serve_queue_depth");
+  m.generation_lag = reg.GetGauge("pdx_serve_generation_lag");
+  m.generation_seq = reg.GetGauge("pdx_serve_generation_seq");
+  m.tenants = reg.GetGauge("pdx_serve_tenants");
+  m.latency_ping = Latency("pdx_serve_latency_micros_ping");
+  m.latency_load = Latency("pdx_serve_latency_micros_load");
+  m.latency_write = Latency("pdx_serve_latency_micros_write");
+  m.latency_exists = Latency("pdx_serve_latency_micros_exists");
+  m.latency_certain = Latency("pdx_serve_latency_micros_certain");
+  m.latency_contains = Latency("pdx_serve_latency_micros_contains");
+  m.latency_stats = Latency("pdx_serve_latency_micros_stats");
+  return m;
+}
+
+}  // namespace
+
+obs::Histogram& ServeMetrics::LatencyFor(std::string_view verb) {
+  if (verb == "ping") return latency_ping;
+  if (verb == "load") return latency_load;
+  if (verb == "write") return latency_write;
+  if (verb == "exists") return latency_exists;
+  if (verb == "certain") return latency_certain;
+  if (verb == "contains") return latency_contains;
+  return latency_stats;
+}
+
+ServeMetrics& GlobalServeMetrics() {
+  static ServeMetrics* metrics = new ServeMetrics(MakeServeMetrics());
+  return *metrics;
+}
+
+}  // namespace serve
+}  // namespace pdx

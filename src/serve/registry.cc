@@ -1,0 +1,83 @@
+#include "serve/registry.h"
+
+#include "base/string_util.h"
+#include "serve/metrics.h"
+
+namespace pdx {
+namespace serve {
+
+StatusOr<std::shared_ptr<Tenant>> TenantRegistry::Load(
+    std::string_view setting_text) {
+  // Resolve the id first (a parse into a throwaway symbol table) so the
+  // common reload path takes the lock only for a map probe.
+  PDX_ASSIGN_OR_RETURN(std::string id, Tenant::IdForSetting(setting_text));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tenants_.find(id);
+    if (it != tenants_.end()) return it->second;
+  }
+  PDX_ASSIGN_OR_RETURN(std::shared_ptr<Tenant> tenant,
+                       Tenant::Create(setting_text, options_));
+  PDX_CHECK(tenant->id() == id);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = tenants_.emplace(id, std::move(tenant));
+  if (inserted) {
+    GlobalServeMetrics().tenants.Set(static_cast<int64_t>(tenants_.size()));
+  }
+  // When a concurrent Load won the race, ours is discarded (its destructor
+  // drains the idle writer) and everyone shares the winner.
+  return it->second;
+}
+
+StatusOr<std::shared_ptr<Tenant>> TenantRegistry::Find(
+    const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(id);
+  if (it == tenants_.end()) {
+    return NotFoundError(StrCat("no tenant '", id, "' (load it first)"));
+  }
+  return it->second;
+}
+
+Status TenantRegistry::Evict(const std::string& id) {
+  std::shared_ptr<Tenant> victim;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tenants_.find(id);
+    if (it == tenants_.end()) {
+      return NotFoundError(StrCat("no tenant '", id, "'"));
+    }
+    victim = std::move(it->second);
+    tenants_.erase(it);
+    GlobalServeMetrics().tenants.Set(static_cast<int64_t>(tenants_.size()));
+  }
+  victim->Shutdown();  // outside the lock: joins the writer thread
+  return OkStatus();
+}
+
+std::vector<std::shared_ptr<Tenant>> TenantRegistry::All() const {
+  std::vector<std::shared_ptr<Tenant>> all;
+  std::lock_guard<std::mutex> lock(mu_);
+  all.reserve(tenants_.size());
+  for (const auto& [id, tenant] : tenants_) all.push_back(tenant);
+  return all;
+}
+
+size_t TenantRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tenants_.size();
+}
+
+void TenantRegistry::ShutdownAll() {
+  std::vector<std::shared_ptr<Tenant>> victims;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, tenant] : tenants_) victims.push_back(std::move(tenant));
+    tenants_.clear();
+    GlobalServeMetrics().tenants.Set(0);
+  }
+  for (auto& tenant : victims) tenant->Shutdown();
+}
+
+}  // namespace serve
+}  // namespace pdx

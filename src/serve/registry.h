@@ -1,0 +1,55 @@
+#ifndef PDX_SERVE_REGISTRY_H_
+#define PDX_SERVE_REGISTRY_H_
+
+// The tenant registry of pdxd: resident tenants keyed by setting
+// fingerprint (Tenant::id()). Load is find-or-create — two clients loading
+// the same setting (however spelled) share one tenant, one symbol
+// universe, one compiled-plan set and one generation chain.
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+#include "serve/tenant.h"
+
+namespace pdx {
+namespace serve {
+
+class TenantRegistry {
+ public:
+  explicit TenantRegistry(const TenantOptions& options = TenantOptions())
+      : options_(options) {}
+  ~TenantRegistry() { ShutdownAll(); }
+
+  // The tenant for `setting_text`, creating it if absent. Creation happens
+  // under the registry lock: concurrent loads of one setting build it once.
+  StatusOr<std::shared_ptr<Tenant>> Load(std::string_view setting_text);
+
+  // The tenant with this id, or NotFound.
+  StatusOr<std::shared_ptr<Tenant>> Find(const std::string& id) const;
+
+  // Removes the tenant and drains its writer (admitted writes complete;
+  // requests already holding the shared_ptr finish against their pinned
+  // generations).
+  Status Evict(const std::string& id);
+
+  std::vector<std::shared_ptr<Tenant>> All() const;
+
+  size_t size() const;
+
+  // Evicts and drains every tenant (the daemon's graceful shutdown tail).
+  void ShutdownAll();
+
+ private:
+  const TenantOptions options_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<Tenant>> tenants_;
+};
+
+}  // namespace serve
+}  // namespace pdx
+
+#endif  // PDX_SERVE_REGISTRY_H_

@@ -1,0 +1,325 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "base/string_util.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "serve/metrics.h"
+
+namespace pdx {
+namespace serve {
+
+namespace {
+
+// How often blocking loops re-check the draining flag.
+constexpr int kPollMillis = 100;
+
+struct BoundListener {
+  int fd = -1;
+  std::string resolved;   // canonical "unix:..." / "tcp:IP:PORT"
+  std::string unix_path;  // non-empty for unix sockets
+};
+
+StatusOr<BoundListener> BindListener(const std::string& address) {
+  BoundListener out;
+  if (address.rfind("unix:", 0) == 0) {
+    std::string path = address.substr(5);
+    if (path.empty()) return InvalidArgumentError("empty unix socket path");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+      return InvalidArgumentError(StrCat("unix path too long: ", path));
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return InternalError("socket(AF_UNIX) failed");
+    ::unlink(path.c_str());  // the daemon owns its socket path
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::listen(fd, 128) != 0) {
+      int err = errno;
+      ::close(fd);
+      return InternalError(
+          StrCat("cannot listen on ", address, ": ", std::strerror(err)));
+    }
+    out.fd = fd;
+    out.resolved = address;
+    out.unix_path = std::move(path);
+    return out;
+  }
+  if (address.rfind("tcp:", 0) == 0) {
+    std::string hostport = address.substr(4);
+    size_t colon = hostport.rfind(':');
+    if (colon == std::string::npos) {
+      return InvalidArgumentError(
+          StrCat("tcp address needs HOST:PORT, got ", address));
+    }
+    std::string host = hostport.substr(0, colon);
+    std::string port = hostport.substr(colon + 1);
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    hints.ai_flags = AI_PASSIVE;
+    addrinfo* info = nullptr;
+    if (::getaddrinfo(host.empty() ? nullptr : host.c_str(), port.c_str(),
+                      &hints, &info) != 0) {
+      return InvalidArgumentError(StrCat("cannot resolve ", address));
+    }
+    int fd = -1;
+    int err = 0;
+    for (addrinfo* ai = info; ai != nullptr; ai = ai->ai_next) {
+      fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+      if (fd < 0) continue;
+      int one = 1;
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+      if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 &&
+          ::listen(fd, 128) == 0) {
+        break;
+      }
+      err = errno;
+      ::close(fd);
+      fd = -1;
+    }
+    ::freeaddrinfo(info);
+    if (fd < 0) {
+      return InternalError(
+          StrCat("cannot listen on ", address, ": ", std::strerror(err)));
+    }
+    sockaddr_storage bound{};
+    socklen_t len = sizeof(bound);
+    char hostbuf[NI_MAXHOST], portbuf[NI_MAXSERV];
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0 &&
+        ::getnameinfo(reinterpret_cast<sockaddr*>(&bound), len, hostbuf,
+                      sizeof(hostbuf), portbuf, sizeof(portbuf),
+                      NI_NUMERICHOST | NI_NUMERICSERV) == 0) {
+      out.resolved = StrCat("tcp:", hostbuf, ":", portbuf);
+    } else {
+      out.resolved = address;
+    }
+    out.fd = fd;
+    return out;
+  }
+  return InvalidArgumentError(
+      StrCat("address must be unix:PATH or tcp:HOST:PORT, got ", address));
+}
+
+// Sends all of `data`, ignoring SIGPIPE (MSG_NOSIGNAL). False on error.
+bool SendAll(int fd, std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// Accepts one connection, or -1 after a poll tick / on drain.
+int PollAccept(int listen_fd, const std::atomic<bool>& draining) {
+  pollfd pfd{listen_fd, POLLIN, 0};
+  int ready = ::poll(&pfd, 1, kPollMillis);
+  if (draining.load(std::memory_order_relaxed)) return -1;
+  if (ready <= 0 || (pfd.revents & POLLIN) == 0) return -1;
+  return ::accept(listen_fd, nullptr, nullptr);
+}
+
+}  // namespace
+
+Server::Server(const ServerOptions& options)
+    : options_(options),
+      registry_(options.tenant),
+      handler_(&registry_, options.protocol) {}
+
+StatusOr<std::unique_ptr<Server>> Server::Start(const ServerOptions& options) {
+  std::unique_ptr<Server> server(new Server(options));
+  PDX_ASSIGN_OR_RETURN(BoundListener main, BindListener(options.address));
+  server->listen_fd_ = main.fd;
+  server->address_ = main.resolved;
+  server->unix_path_ = main.unix_path;
+  if (!options.metrics_address.empty()) {
+    auto metrics = BindListener(options.metrics_address);
+    if (!metrics.ok()) {
+      ::close(server->listen_fd_);
+      if (!server->unix_path_.empty()) ::unlink(server->unix_path_.c_str());
+      server->listen_fd_ = -1;
+      return metrics.status();
+    }
+    server->metrics_fd_ = metrics->fd;
+    server->metrics_address_ = metrics->resolved;
+    server->metrics_unix_path_ = metrics->unix_path;
+  }
+  int threads = options.worker_threads > 0 ? options.worker_threads
+                                           : ThreadPool::HardwareConcurrency();
+  // The pool runs long-lived connection tasks; +1 because ThreadPool spawns
+  // threads-1 workers (the "calling thread" participant never joins here).
+  server->pool_ = std::make_unique<ThreadPool>(threads + 1);
+  server->accept_thread_ = std::thread(&Server::AcceptLoop, server.get());
+  if (server->metrics_fd_ >= 0) {
+    server->metrics_thread_ = std::thread(&Server::MetricsLoop, server.get());
+  }
+  return server;
+}
+
+Server::~Server() { Shutdown(); }
+
+void Server::AcceptLoop() {
+  while (!draining_.load(std::memory_order_relaxed)) {
+    int fd = PollAccept(listen_fd_, draining_);
+    if (fd < 0) continue;
+    GlobalServeMetrics().connections_total.Inc();
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.insert(fd);
+    }
+    bool submitted = pool_->Submit([this, fd] { ServeConnection(fd); });
+    if (!submitted) {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.erase(fd);
+      ::close(fd);
+    }
+  }
+}
+
+void Server::ServeConnection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open) {
+    size_t newline = buffer.find('\n');
+    if (newline == std::string::npos) {
+      if (buffer.size() > options_.max_line_bytes) {
+        SendAll(fd,
+                "{\"id\":null,\"ok\":false,\"error\":{\"code\":"
+                "\"INVALID_ARGUMENT\",\"message\":\"request line too "
+                "large\"}}\n");
+        break;
+      }
+      ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;  // EOF (including drain's SHUT_RD) or error
+      buffer.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    std::string line = buffer.substr(0, newline);
+    buffer.erase(0, newline + 1);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    bool shutdown_requested = false;
+    std::string response = handler_.HandleLine(line, &shutdown_requested);
+    response += '\n';
+    open = SendAll(fd, response);
+    if (shutdown_requested) {
+      // The response is out; now start the drain. Done via flag + an
+      // outside thread (Wait + Shutdown): this task cannot drain the pool
+      // it runs on.
+      RequestShutdown();
+      break;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.erase(fd);
+  }
+  ::close(fd);
+}
+
+void Server::MetricsLoop() {
+  while (!draining_.load(std::memory_order_relaxed)) {
+    int fd = PollAccept(metrics_fd_, draining_);
+    if (fd < 0) continue;
+    ServeMetricsConnection(fd);
+    ::close(fd);
+  }
+}
+
+void Server::ServeMetricsConnection(int fd) {
+  // Minimal HTTP: read the request head (we serve one document whatever
+  // the path), respond, close. Scrapers are few and periodic, so this is
+  // handled inline on the metrics thread.
+  std::string head;
+  char chunk[1024];
+  while (head.find("\r\n\r\n") == std::string::npos &&
+         head.find("\n\n") == std::string::npos && head.size() < 64 * 1024) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return;
+    head.append(chunk, static_cast<size_t>(n));
+  }
+  std::string body =
+      obs::ExportPrometheus(obs::MetricsRegistry::Global().Snapshot());
+  std::string response = StrCat(
+      "HTTP/1.0 200 OK\r\n"
+      "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+      "Content-Length: ", body.size(),
+      "\r\n"
+      "Connection: close\r\n\r\n",
+      body);
+  SendAll(fd, response);
+}
+
+void Server::RequestShutdown() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+}
+
+bool Server::WaitForShutdownRequest(std::chrono::milliseconds poll) {
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  stop_cv_.wait_for(lock, poll, [&] { return stop_requested_; });
+  return stop_requested_;
+}
+
+void Server::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    if (shut_down_) return;
+    shut_down_ = true;
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+
+  // 1. Stop accepting: the accept loops notice `draining_` within a poll
+  //    tick; then the listeners can be closed.
+  draining_.store(true, std::memory_order_relaxed);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (metrics_thread_.joinable()) metrics_thread_.join();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (metrics_fd_ >= 0) ::close(metrics_fd_);
+  listen_fd_ = metrics_fd_ = -1;
+  if (!unix_path_.empty()) ::unlink(unix_path_.c_str());
+  if (!metrics_unix_path_.empty()) ::unlink(metrics_unix_path_.c_str());
+
+  // 2. Half-close open connections: handlers blocked in recv see EOF and
+  //    return after finishing the request they are on. Responses still
+  //    flow — only the read side closes.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (int fd : conns_) ::shutdown(fd, SHUT_RD);
+  }
+
+  // 3. Drain the worker pool: every in-flight request completes, including
+  //    writes blocked on tickets — the tenant writers are still running.
+  pool_->Shutdown();
+
+  // 4. Only now stop the tenants: their admission queues close and their
+  //    writers publish every admitted batch before joining.
+  registry_.ShutdownAll();
+}
+
+}  // namespace serve
+}  // namespace pdx

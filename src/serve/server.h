@@ -1,0 +1,108 @@
+#ifndef PDX_SERVE_SERVER_H_
+#define PDX_SERVE_SERVER_H_
+
+// The pdxd transport: a blocking accept loop over a Unix or TCP listening
+// socket, one ThreadPool task per connection (line-delimited JSON requests
+// handled by serve/protocol.h), plus an optional HTTP endpoint that serves
+// the process metrics registry in Prometheus text format. No external
+// dependencies — plain POSIX sockets.
+//
+// Addresses are "unix:PATH" or "tcp:HOST:PORT" (PORT may be 0 to let the
+// kernel pick; address() reports the resolved port).
+//
+// Graceful drain (Shutdown, also triggered by the protocol's `shutdown`
+// verb): stop accepting, half-close every open connection's read side so
+// handlers finish their in-flight request and see EOF, drain the worker
+// pool, then shut the tenant registry down — admitted writes are always
+// published or rejected, never dropped.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "base/status.h"
+#include "base/thread_pool.h"
+#include "serve/protocol.h"
+#include "serve/registry.h"
+
+namespace pdx {
+namespace serve {
+
+struct ServerOptions {
+  std::string address;          // protocol listener, required
+  std::string metrics_address;  // /metrics HTTP listener; empty = disabled
+  int worker_threads = 0;       // connection handlers; 0 = hardware
+  size_t max_line_bytes = 8u << 20;
+  ProtocolOptions protocol;
+  TenantOptions tenant;
+};
+
+class Server {
+ public:
+  // Binds the listeners and starts the accept loop and worker pool.
+  static StatusOr<std::unique_ptr<Server>> Start(const ServerOptions& options);
+
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // The bound addresses, with kernel-assigned TCP ports resolved.
+  const std::string& address() const { return address_; }
+  const std::string& metrics_address() const { return metrics_address_; }
+
+  TenantRegistry& registry() { return registry_; }
+
+  // Blocks until a shutdown has been requested (shutdown verb or
+  // Shutdown() from another thread), or `poll` elapses; true = requested.
+  // The caller then runs Shutdown() to actually drain — the request
+  // handler can't (a pool task cannot wait for its own pool).
+  bool WaitForShutdownRequest(std::chrono::milliseconds poll);
+
+  // Graceful drain as described above. Idempotent; the destructor calls
+  // it. Must not be called from a connection handler.
+  void Shutdown();
+
+ private:
+  explicit Server(const ServerOptions& options);
+
+  void AcceptLoop();
+  void MetricsLoop();
+  void ServeConnection(int fd);
+  void ServeMetricsConnection(int fd);
+  void RequestShutdown();
+
+  ServerOptions options_;
+  std::string address_;
+  std::string metrics_address_;
+  TenantRegistry registry_;
+  ProtocolHandler handler_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  int listen_fd_ = -1;
+  int metrics_fd_ = -1;
+  std::string unix_path_;          // unlinked on shutdown, "" for TCP
+  std::string metrics_unix_path_;
+
+  std::thread accept_thread_;
+  std::thread metrics_thread_;
+
+  std::atomic<bool> draining_{false};
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+  bool shut_down_ = false;
+
+  std::mutex conns_mu_;
+  std::unordered_set<int> conns_;  // open connection fds, for SHUT_RD
+};
+
+}  // namespace serve
+}  // namespace pdx
+
+#endif  // PDX_SERVE_SERVER_H_

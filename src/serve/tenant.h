@@ -1,0 +1,180 @@
+#ifndef PDX_SERVE_TENANT_H_
+#define PDX_SERVE_TENANT_H_
+
+// One resident PDE setting inside pdxd: the compiled setting, its symbol
+// universe, the generation chain and the single writer thread that advances
+// it. All request-path methods are thread-safe; reads pin a generation and
+// never block on the writer, writes block on their ticket until the batch
+// containing them is published (or the deadline passes).
+//
+// Symbol-universe locking: SymbolTable::FreshNull is lock-free, but
+// InternConstant and ValueToString are not safe against concurrent
+// interning. Every operation that may intern (parsing facts, queries,
+// settings) takes symbols_mu_ exclusively; solver runs and fact rendering
+// take it shared. The writer chases under a shared lock too — it only
+// creates nulls and renders failure messages.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "base/status.h"
+#include "chase/chase.h"
+#include "pde/setting.h"
+#include "relational/value.h"
+#include "serve/admission.h"
+#include "serve/generation.h"
+
+namespace pdx {
+namespace serve {
+
+struct TenantOptions {
+  // Worker threads per chase / solver run. 1 by default: pdxd gets its
+  // concurrency from serving many requests at once, so single-threaded
+  // chases avoid oversubscribing the box; raise it for a tenant whose
+  // individual batches are huge.
+  int chase_threads = 1;
+  int64_t max_chase_steps = 1'000'000;
+  // Budget for the generic solver's exists/certain search.
+  int64_t max_solver_nodes = 1'000'000;
+};
+
+struct WriteOutcome {
+  uint64_t generation = 0;   // seq of the generation holding the write
+  uint64_t fingerprint = 0;  // its canonical fingerprint
+};
+
+struct ExistsOutcome {
+  bool exists = false;
+  std::string solver;  // "ctract" or "generic" — what actually ran
+  uint64_t generation = 0;
+  uint64_t fingerprint = 0;
+};
+
+struct CertainOutcome {
+  bool no_solution = false;
+  bool boolean_value = false;
+  std::vector<std::string> answers;  // rendered tuples, sorted
+  bool is_boolean = false;
+  uint64_t generation = 0;
+  uint64_t fingerprint = 0;
+};
+
+struct ContainsOutcome {
+  bool contains = false;
+  uint64_t generation = 0;
+  uint64_t fingerprint = 0;
+};
+
+struct TenantStats {
+  std::string id;
+  uint64_t generation = 0;
+  size_t base_facts = 0;
+  size_t canonical_facts = 0;
+  size_t queue_depth = 0;
+  int64_t chase_steps = 0;
+};
+
+class Tenant {
+ public:
+  // Parses `setting_text` into a fresh symbol universe, builds generation
+  // 0 (the chase of the empty instance — which also warms the process-wide
+  // plan cache with this setting's compiled plans) and starts the writer
+  // thread. Fails with InvalidArgument on malformed settings.
+  static StatusOr<std::shared_ptr<Tenant>> Create(std::string_view setting_text,
+                                                  const TenantOptions& options);
+
+  ~Tenant();
+
+  // Stable identity: hex of a 64-bit hash over the setting's canonical
+  // file-text rendering, so two loads of the same setting (even spelled
+  // with different whitespace/comments) share one tenant.
+  const std::string& id() const { return id_; }
+  const PdeSetting& setting() const { return *setting_; }
+
+  // Computes the id `setting_text` would get, without building a tenant.
+  static StatusOr<std::string> IdForSetting(std::string_view setting_text);
+
+  // --- Request paths ---------------------------------------------------
+
+  // Admits the facts (instance text over the combined schema; source-side
+  // facts must be ground) and blocks until the batch containing them is
+  // published or `deadline` passes. FailedPrecondition when the write is
+  // incompatible (its chase fails on a target egd — the write would make
+  // the state unsolvable, which the canonical chase is sound to reject).
+  StatusOr<WriteOutcome> Write(std::string_view facts_text,
+                               std::chrono::steady_clock::time_point deadline);
+
+  // ExistsSolution on the pinned generation's (I, J). `solver` is "auto"
+  // (Figure 3 when applicable, else the generic search), "ctract" or
+  // "generic". Auto verdicts are memoized per generation.
+  StatusOr<ExistsOutcome> Exists(const std::string& solver);
+
+  // Certain answers of `query_text` on the pinned generation's (I, J).
+  // `mode` is "exact" (PTIME for data exchange, minimal-solution
+  // enumeration otherwise) or "lower_bound" (the always-PTIME sound
+  // under-approximation via J_can).
+  StatusOr<CertainOutcome> Certain(std::string_view query_text,
+                                   const std::string& mode);
+
+  // True iff every fact of `facts_text` is in the pinned generation's
+  // canonical (chased) instance. Labeled nulls in the probe parse fresh
+  // and therefore never match.
+  StatusOr<ContainsOutcome> Contains(std::string_view facts_text);
+
+  TenantStats Stats() const;
+
+  // The current generation (tests assert isolation through this).
+  std::shared_ptr<const Generation> Snapshot() const {
+    return store_.Acquire();
+  }
+
+  // Test hooks: freeze/unfreeze the writer's drain so N submitted writes
+  // provably coalesce into one batch.
+  void PauseWrites() { queue_.Pause(); }
+  void ResumeWrites() { queue_.Resume(); }
+
+  // Stops admission, lets the writer finish every admitted write, joins
+  // it. Idempotent; the destructor calls it.
+  void Shutdown();
+
+ private:
+  Tenant() = default;
+
+  void WriterLoop();
+  // One coalesced batch: chase the union as a single delta round off the
+  // current generation; on egd failure with >1 tickets, replay each
+  // individually so only the offending writes are rejected.
+  void ApplyBatch(const std::vector<std::shared_ptr<WriteTicket>>& batch);
+  // Chases `tickets`' facts as one round on top of `prev`. On success
+  // publishes and completes the tickets; on failure returns the failed
+  // chase outcome without publishing (tickets untouched).
+  ChaseOutcome TryPublish(const std::shared_ptr<const Generation>& prev,
+                          const std::vector<std::shared_ptr<WriteTicket>>& tickets,
+                          std::string* failure);
+
+  ChaseOptions BatchChaseOptions() const;
+
+  std::string id_;
+  TenantOptions options_;
+  std::unique_ptr<SymbolTable> symbols_;
+  std::optional<PdeSetting> setting_;
+  std::vector<Tgd> generating_tgds_;  // Σ_st ∪ Σ_t tgds
+  GenerationStore store_{nullptr};
+  AdmissionQueue queue_;
+  std::thread writer_;
+  bool shut_down_ = false;
+  std::mutex shutdown_mu_;
+
+  mutable std::shared_mutex symbols_mu_;
+};
+
+}  // namespace serve
+}  // namespace pdx
+
+#endif  // PDX_SERVE_TENANT_H_

@@ -80,6 +80,25 @@ TEST(SettingFileTest, RejectsMalformedInput) {
                    .ok());
 }
 
+// Absurd arities must come back as a clean Status — the digit
+// accumulation is bounded, so a 30-digit arity can neither overflow int
+// nor provoke a huge allocation downstream.
+TEST(SettingFileTest, RejectsOutOfRangeArity) {
+  SymbolTable symbols;
+  EXPECT_FALSE(
+      ParseSettingFile("[source]\nE/999999999999999999999999999999\n"
+                       "[target]\nH/2\n",
+                       &symbols)
+          .ok());
+  EXPECT_FALSE(
+      ParseSettingFile("[source]\nE/1025\n[target]\nH/2\n", &symbols).ok());
+  EXPECT_FALSE(
+      ParseSettingFile("[source]\nE/-2\n[target]\nH/2\n", &symbols).ok());
+  // The maximum itself is fine.
+  EXPECT_TRUE(
+      ParseSettingFile("[source]\nE/1024\n[target]\nH/2\n", &symbols).ok());
+}
+
 TEST(SettingFileTest, RoundTripsThroughFileText) {
   SymbolTable symbols;
   PdeSetting setting = Unwrap(ParseSettingFile(kExample1, &symbols));

@@ -88,6 +88,90 @@ if [[ "$mode" == "all" || "$mode" == "--smoke-only" ]]; then
   # tripwire, not a benchmark (full numbers live in BENCH_chase.json).
   ./build/bench/bench_chase --quick
 
+  echo "== pdxd smoke (serving daemon) =="
+  cmake --build build -j "$jobs" --target pdxd pdxctl bench_serve
+  sock="$smoke_dir/pdxd.sock"
+  msock="$smoke_dir/pdxd_metrics.sock"
+  ./build/tools/pdxd --listen "unix:$sock" --metrics "unix:$msock" \
+    --threads 4 >"$smoke_dir/pdxd.log" 2>&1 &
+  pdxd_pid=$!
+  trap 'kill "$pdxd_pid" 2>/dev/null || true; rm -rf "$smoke_dir"' EXIT
+  for _ in $(seq 1 100); do [[ -S "$sock" ]] && break; sleep 0.1; done
+  [[ -S "$sock" ]] ||
+    { echo "smoke: pdxd did not come up" >&2; cat "$smoke_dir/pdxd.log" >&2
+      exit 1; }
+
+  # Scripted request mix: every pdxctl call exits nonzero on an ok=false
+  # response, so under `set -e` each line is an assertion.
+  ./build/tools/pdxctl call --addr "unix:$sock" \
+    --json '{"verb":"ping"}' >/dev/null
+  ./build/tools/pdxctl load --addr "unix:$sock" \
+    --setting data/example1.pdx \
+    --facts data/example1_triangle.facts >"$smoke_dir/load.json"
+  tenant="$(grep -o '"tenant":"[0-9a-f]\{16\}"' "$smoke_dir/load.json" |
+    head -1 | cut -d'"' -f4)"
+  [[ -n "$tenant" ]] ||
+    { echo "smoke: load response has no tenant id" >&2; exit 1; }
+  # A disjoint edge keeps the instance transitively closed, so a solution
+  # still exists after the write (E(c,a) would close the a->c->a cycle
+  # and force the unjustified H(a,a)).
+  ./build/tools/pdxctl call --addr "unix:$sock" --json \
+    '{"verb":"write","tenant":"'"$tenant"'","facts":"E(d,e)."}' >/dev/null
+  ./build/tools/pdxctl call --addr "unix:$sock" --json \
+    '{"verb":"exists","tenant":"'"$tenant"'"}' |
+    grep -q '"exists":true' ||
+    { echo "smoke: triangle must have a solution" >&2; exit 1; }
+  ./build/tools/pdxctl call --addr "unix:$sock" --json \
+    '{"verb":"certain","tenant":"'"$tenant"'","query":"q(x,y) :- H(x,y)."}' \
+    >/dev/null
+  ./build/tools/pdxctl call --addr "unix:$sock" --json \
+    '{"verb":"contains","tenant":"'"$tenant"'","facts":"H(a,c)."}' |
+    grep -q '"contains":true' ||
+    { echo "smoke: H(a,c) must be in the canonical instance" >&2; exit 1; }
+  ./build/tools/pdxctl call --addr "unix:$sock" \
+    --json '{"verb":"stats"}' >/dev/null
+  # Malformed input must come back as a clean error response (pdxctl
+  # exits 1 on ok=false, so invert).
+  ! ./build/tools/pdxctl call --addr "unix:$sock" \
+    --json '{"verb":"frobnicate"}' >/dev/null ||
+    { echo "smoke: unknown verb must be rejected" >&2; exit 1; }
+
+  # The /metrics endpoint must serve Prometheus 0.0.4 text with the
+  # pdx_serve_* families populated by the mix above.
+  ./build/tools/pdxctl scrape --addr "unix:$msock" >"$smoke_dir/pdxd.prom"
+  grep -q '^# TYPE pdx_serve_requests_total counter' "$smoke_dir/pdxd.prom" ||
+    { echo "smoke: pdxd.prom has no serve counter TYPE line" >&2; exit 1; }
+  grep -q '^pdx_serve_write_requests_total [1-9]' "$smoke_dir/pdxd.prom" ||
+    { echo "smoke: pdxd.prom did not count writes" >&2; exit 1; }
+  grep -q 'pdx_serve_latency_micros_write_bucket{le="+Inf"}' \
+    "$smoke_dir/pdxd.prom" ||
+    { echo "smoke: pdxd.prom has no write latency histogram" >&2; exit 1; }
+
+  # Graceful drain: the shutdown verb answers first, then the daemon
+  # exits 0 on its own — with a timeout guard so a hung drain fails loudly.
+  ./build/tools/pdxctl call --addr "unix:$sock" \
+    --json '{"verb":"shutdown"}' | grep -q '"draining":true' ||
+    { echo "smoke: shutdown did not acknowledge" >&2; exit 1; }
+  for _ in $(seq 1 100); do
+    kill -0 "$pdxd_pid" 2>/dev/null || break
+    sleep 0.1
+  done
+  if kill -0 "$pdxd_pid" 2>/dev/null; then
+    echo "smoke: pdxd did not drain within 10s" >&2
+    kill -9 "$pdxd_pid"
+    exit 1
+  fi
+  wait "$pdxd_pid" ||
+    { echo "smoke: pdxd exited nonzero" >&2
+      cat "$smoke_dir/pdxd.log" >&2; exit 1; }
+  trap 'rm -rf "$smoke_dir"' EXIT
+
+  echo "== serve smoke gate (bench_serve --quick) =="
+  # In-process daemon + concurrent socket clients: fails on any error
+  # response or if a frozen-writer burst fails to coalesce into fewer
+  # chase rounds than writes.
+  ./build/bench/bench_serve --quick
+
   echo "== PDX_OBS_NOOP build gate =="
   cmake -B build-noop -S . -DPDX_OBS_NOOP=ON
   cmake --build build-noop -j "$jobs" --target pdx pdxcli
@@ -121,7 +205,7 @@ if [[ "$mode" == "all" || "$mode" == "--tsan-only" ]]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan -j "$jobs" \
     --target thread_pool_test trigger_ledger_test chase_parallel_test \
-    sharded_apply_test fuzz_test obs_test
+    sharded_apply_test fuzz_test obs_test serve_test
   # PDX_FORCE_SPECULATIVE=1 makes every parallel-labeled chase take the
   # speculative path (worker-side head instantiation, concurrent ledger,
   # cross-dependency pipelining) — code TSan most needs to see; the

@@ -1,0 +1,164 @@
+// pdxctl — command-line client for a running pdxd.
+//
+// Usage:
+//   pdxctl call   --addr unix:/tmp/pdxd.sock --json '{"verb":"ping"}'
+//   pdxctl call   --addr ... --json -          (read request lines from stdin,
+//                                               one response line per request)
+//   pdxctl load   --addr ... --setting FILE [--facts FILE]
+//   pdxctl scrape --addr tcp:127.0.0.1:9464 [--path /metrics]
+//
+// `call` prints the raw response line(s); the exit code is nonzero when a
+// response carries "ok": false, so shell scripts can assert on outcomes.
+// `load` is sugar for a `load` call with the setting (and optional facts)
+// read from files. `scrape` fetches the Prometheus endpoint body.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "base/string_util.h"
+#include "serve/client.h"
+
+namespace pdx {
+namespace serve {
+namespace {
+
+StatusOr<std::string> ReadFileText(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return NotFoundError(StrCat("cannot open ", path));
+  std::ostringstream text;
+  text << file.rdbuf();
+  return std::move(text).str();
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: pdxctl call   --addr ADDR --json REQUEST|-\n"
+               "       pdxctl load   --addr ADDR --setting FILE "
+               "[--facts FILE]\n"
+               "       pdxctl scrape --addr ADDR [--path /metrics]\n");
+  return 2;
+}
+
+// Prints the response line; false when it carries ok=false (or is
+// unparseable, which a correct daemon never sends).
+bool PrintResponse(const JsonValue& response) {
+  std::printf("%s\n", response.Dump().c_str());
+  return response.GetBool("ok");
+}
+
+int RunCall(Client& client, const std::string& json) {
+  bool all_ok = true;
+  if (json == "-") {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (line.empty()) continue;
+      auto response = client.CallRaw(line);
+      if (!response.ok()) {
+        std::fprintf(stderr, "pdxctl: %s\n",
+                     response.status().ToString().c_str());
+        return 1;
+      }
+      all_ok &= PrintResponse(*response);
+    }
+  } else {
+    auto response = client.CallRaw(json);
+    if (!response.ok()) {
+      std::fprintf(stderr, "pdxctl: %s\n",
+                   response.status().ToString().c_str());
+      return 1;
+    }
+    all_ok = PrintResponse(*response);
+  }
+  return all_ok ? 0 : 1;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  std::string addr, json, setting, facts, path = "/metrics";
+  for (int i = 2; i < argc; ++i) {
+    std::string flag = argv[i];
+    const char* v = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (flag == "--addr" && v) {
+      addr = v, ++i;
+    } else if (flag == "--json" && v) {
+      json = v, ++i;
+    } else if (flag == "--setting" && v) {
+      setting = v, ++i;
+    } else if (flag == "--facts" && v) {
+      facts = v, ++i;
+    } else if (flag == "--path" && v) {
+      path = v, ++i;
+    } else {
+      std::fprintf(stderr, "pdxctl: bad flag %s\n", flag.c_str());
+      return Usage();
+    }
+  }
+  if (addr.empty()) {
+    std::fprintf(stderr, "pdxctl: --addr is required\n");
+    return Usage();
+  }
+
+  if (command == "scrape") {
+    auto body = HttpGet(addr, path);
+    if (!body.ok()) {
+      std::fprintf(stderr, "pdxctl: %s\n", body.status().ToString().c_str());
+      return 1;
+    }
+    std::fputs(body->c_str(), stdout);
+    return 0;
+  }
+
+  auto client = Client::Connect(addr);
+  if (!client.ok()) {
+    std::fprintf(stderr, "pdxctl: %s\n", client.status().ToString().c_str());
+    return 1;
+  }
+
+  if (command == "call") {
+    if (json.empty()) return Usage();
+    return RunCall(*client, json);
+  }
+
+  if (command == "load") {
+    if (setting.empty()) return Usage();
+    auto setting_text = ReadFileText(setting);
+    if (!setting_text.ok()) {
+      std::fprintf(stderr, "pdxctl: %s\n",
+                   setting_text.status().ToString().c_str());
+      return 1;
+    }
+    JsonValue request = JsonValue::Object();
+    request.Set("verb", JsonValue::String("load"));
+    request.Set("setting", JsonValue::String(*setting_text));
+    if (!facts.empty()) {
+      auto facts_text = ReadFileText(facts);
+      if (!facts_text.ok()) {
+        std::fprintf(stderr, "pdxctl: %s\n",
+                     facts_text.status().ToString().c_str());
+        return 1;
+      }
+      request.Set("facts", JsonValue::String(*facts_text));
+    }
+    auto response = client->Call(request);
+    if (!response.ok()) {
+      std::fprintf(stderr, "pdxctl: %s\n",
+                   response.status().ToString().c_str());
+      return 1;
+    }
+    return PrintResponse(*response) ? 0 : 1;
+  }
+
+  std::fprintf(stderr, "pdxctl: unknown command %s\n", command.c_str());
+  return Usage();
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace pdx
+
+int main(int argc, char** argv) { return pdx::serve::Main(argc, argv); }
