@@ -8,9 +8,10 @@
 #include <unordered_set>
 #include <utility>
 
-#include "base/concurrent_set.h"
 #include "base/string_util.h"
 #include "base/thread_pool.h"
+#include "chase/journal.h"
+#include "chase/trigger_ledger.h"
 #include "hom/matcher.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -217,9 +218,11 @@ size_t CollectDeltaMatches(
 
 // Applies one tgd chase step for the trigger `binding`: extends the
 // binding with fresh nulls for existential variables and inserts the head
-// image. Returns the number of fresh nulls created.
+// image. Returns the number of fresh nulls created. With a journal, the
+// extended row is recorded under `dep` for deletion propagation.
 int ApplyTgdStep(const Tgd& tgd, const Binding& binding, Instance* instance,
-                 SymbolTable* symbols) {
+                 SymbolTable* symbols, size_t dep = 0,
+                 ChaseJournal* journal = nullptr) {
   Binding extended = binding;
   int fresh = 0;
   for (VariableId v = 0; v < tgd.var_count; ++v) {
@@ -227,6 +230,10 @@ int ApplyTgdStep(const Tgd& tgd, const Binding& binding, Instance* instance,
       extended.Bind(v, symbols->FreshNull());
       ++fresh;
     }
+  }
+  if (journal != nullptr) {
+    journal->RecordTgd(dep, extended.values.data(), extended.values.size(),
+                       tgd.existential);
   }
   for (const Atom& atom : tgd.head) {
     Tuple tuple;
@@ -246,10 +253,12 @@ int ApplyTgdStep(const Tgd& tgd, const Binding& binding, Instance* instance,
 
 // ApplyTgdStep through the fused apply template: fresh nulls drawn in the
 // template's existential order (ascending variable ids — the same order
-// the interpreted loop visits them), head rows built slot by slot.
+// the interpreted loop visits them), head rows built slot by slot. `tgd`
+// is only consulted when journaling (the existential fingerprint mask).
 int ApplyTgdStepPlanned(const plan::ApplyTemplate& apply,
                         const Binding& binding, Instance* instance,
-                        SymbolTable* symbols) {
+                        SymbolTable* symbols, const Tgd* tgd = nullptr,
+                        size_t dep = 0, ChaseJournal* journal = nullptr) {
   // Zero-allocation apply: fresh nulls land in a stack array parallel to
   // apply.existentials (ascending variable order, same as the interpreted
   // loop) and each head row is staged in a stack buffer for the span
@@ -265,6 +274,15 @@ int ApplyTgdStepPlanned(const plan::ApplyTemplate& apply,
     for (size_t i = 0; i < n_exist; ++i) {
       PDX_DCHECK(!binding.bound[apply.existentials[i]]);
       fresh[i] = symbols->FreshNull();
+    }
+    if (journal != nullptr) {
+      // Journaled runs pay one extended-row materialization per firing;
+      // the journal-off hot path stays allocation-free.
+      std::vector<Value> full = binding.values;
+      for (size_t i = 0; i < n_exist; ++i) {
+        full[apply.existentials[i]] = fresh[i];
+      }
+      journal->RecordTgd(dep, full.data(), full.size(), tgd->existential);
     }
     Value row[kStack];
     size_t cursor = 0;
@@ -294,6 +312,10 @@ int ApplyTgdStepPlanned(const plan::ApplyTemplate& apply,
     PDX_DCHECK(!extended.bound[v]);
     extended.Bind(v, symbols->FreshNull());
   }
+  if (journal != nullptr) {
+    journal->RecordTgd(dep, extended.values.data(), extended.values.size(),
+                       tgd->existential);
+  }
   size_t cursor = 0;
   for (const plan::HeadAtom& atom : apply.head_atoms) {
     Tuple tuple;
@@ -318,81 +340,9 @@ bool HeadSatisfied(const Tgd& tgd, const plan::TgdPlan* plan,
   return HasMatch(tgd.head, tgd.var_count, instance, body_match);
 }
 
-// Fingerprint of a fired trigger: tgd index plus the values assigned to
-// the universally quantified body variables. Used by the oblivious chase
-// to fire every trigger exactly once.
-uint64_t TriggerFingerprint(size_t tgd_index, const Tgd& tgd,
-                            const Binding& binding) {
-  uint64_t h = 0xcbf29ce484222325ull ^ (tgd_index * 0x9e3779b97f4a7c15ull);
-  for (VariableId v = 0; v < tgd.var_count; ++v) {
-    if (!binding.bound[v]) continue;
-    uint64_t x = binding.values[v].packed();
-    x ^= x >> 30;
-    x *= 0xbf58476d1ce4e5b9ull;
-    h = (h ^ x) * 0x100000001b3ull;
-  }
-  return h;
-}
-
-// The oblivious chase's once-per-trigger ledger, scoped by value
-// generation: every fingerprint is additionally indexed under the null
-// roots its binding used. When an egd merge absorbs a class, its roots are
-// *retired* — bindings over them can never be produced again (the matcher
-// now resolves those values to the winning root) — so every fingerprint of
-// that generation is dropped wholesale. Long egd-heavy chases therefore
-// hold only the fingerprints valid under the current resolution instead of
-// the full firing history. (Triggers over the merged values refire with
-// their post-merge binding, exactly as they did when Substitute rewrote
-// the values out of existence.)
-//
-// The fingerprint set is a sharded concurrent set, so admission can run
-// from pool workers during a speculative collect phase (Admit); the
-// by-root generation index stays sequential — it is only written from the
-// apply loop (RecordRoots / Insert) and read between rounds (RetireRoots).
-class TriggerLedger {
- public:
-  // Claims the fingerprint; true iff this caller won it (the trigger is
-  // new and must fire exactly once). Safe from any thread.
-  bool Admit(uint64_t fp) { return fired_.Insert(fp); }
-
-  // Indexes an admitted fingerprint under the null roots of its binding so
-  // RetireRoots can drop the whole generation. Sequential (apply phase).
-  void RecordRoots(uint64_t fp, const Tgd& tgd, const Binding& binding) {
-    for (VariableId v = 0; v < tgd.var_count; ++v) {
-      if (binding.bound[v] && binding.values[v].is_null()) {
-        by_root_[binding.values[v].packed()].push_back(fp);
-      }
-    }
-  }
-
-  // Sequential admission + indexing (the barrier-mode fire loop). Returns
-  // true if the trigger is new and must fire.
-  bool Insert(uint64_t fp, const Tgd& tgd, const Binding& binding) {
-    if (!Admit(fp)) return false;
-    RecordRoots(fp, tgd, binding);
-    return true;
-  }
-
-  // True if the trigger already fired. Safe for concurrent worker-side
-  // filtering during the collect phase.
-  bool Contains(uint64_t fp) const { return fired_.Contains(fp); }
-
-  // Drops every fingerprint whose binding referenced a retired root.
-  void RetireRoots(const std::vector<Value>& retired) {
-    for (const Value& v : retired) {
-      auto it = by_root_.find(v.packed());
-      if (it == by_root_.end()) continue;
-      for (uint64_t fp : it->second) fired_.Erase(fp);
-      by_root_.erase(it);
-    }
-  }
-
-  size_t size() const { return fired_.size(); }
-
- private:
-  ConcurrentFingerprintSet fired_;
-  std::unordered_map<uint64_t, std::vector<uint64_t>> by_root_;
-};
+// TriggerFingerprint and TriggerLedger moved to chase/trigger_ledger.h:
+// the deletion-propagation journal (chase/journal.h) shares the ledger's
+// exactly-once/retire discipline, so the class is now a public header.
 
 // --- Speculative parallel execution (ChaseOptions::speculative) --------
 //
@@ -544,12 +494,17 @@ const plan::HeadOverlayPlan* OverlayFor(const plan::TgdPlan* plan,
 // ApplyTgdStep/ApplyTgdStepPlanned; returns the fresh-null count.
 int QueueTgdStep(const Tgd& tgd, const plan::TgdPlan* plan,
                  const Binding& binding, SymbolTable* symbols,
-                 ShardedInserts* inserts) {
+                 ShardedInserts* inserts, size_t dep = 0,
+                 ChaseJournal* journal = nullptr) {
   Binding extended = binding;
   if (plan != nullptr) {
     const plan::ApplyTemplate& apply = plan->apply;
     for (VariableId v : apply.existentials) {
       extended.Bind(v, symbols->FreshNull());
+    }
+    if (journal != nullptr) {
+      journal->RecordTgd(dep, extended.values.data(),
+                         extended.values.size(), tgd.existential);
     }
     size_t cursor = 0;
     for (const plan::HeadAtom& atom : apply.head_atoms) {
@@ -570,6 +525,10 @@ int QueueTgdStep(const Tgd& tgd, const plan::TgdPlan* plan,
       extended.Bind(v, symbols->FreshNull());
       ++fresh;
     }
+  }
+  if (journal != nullptr) {
+    journal->RecordTgd(dep, extended.values.data(), extended.values.size(),
+                       tgd.existential);
   }
   for (const Atom& atom : tgd.head) {
     Tuple tuple;
@@ -836,7 +795,8 @@ bool RunTgdPhaseScheduled(const std::vector<Tgd>& tgds,
                           Instance* instance, const DeltaView& delta,
                           SymbolTable* symbols, TriggerLedger* ledger,
                           ThreadPool* pool, const ChaseOptions& options,
-                          ChaseSchedule schedule, ChaseResult* result) {
+                          ChaseSchedule schedule, ChaseResult* result,
+                          ChaseJournal* journal = nullptr) {
   ChaseMetrics& metrics = ChaseMetrics::Get();
   const bool dag = schedule == ChaseSchedule::kDag;
   std::vector<size_t> active;
@@ -974,6 +934,11 @@ bool RunTgdPhaseScheduled(const std::vector<Tgd>& tgds,
           // generation index is still owed.
           ledger->RecordRoots(buffer.fps[t], tgd, scratch);
         }
+        if (journal != nullptr) {
+          // `row` is the full extended binding: the workers already
+          // patched the existential slots from their reserved ranges.
+          journal->RecordTgd(d, row, var_count, tgd.existential);
+        }
         const Value* cursor = head;
         for (const Atom& atom : tgd.head) {
           if (deferred) {
@@ -1062,12 +1027,12 @@ bool RunEgdsToFixpoint(const std::vector<Egd>& egds, Instance* instance,
 // The classic scan-from-scratch restricted chase with Substitute-based egd
 // steps, kept as the cross-validation baseline (and A/B rival) for the
 // delta-driven union-find default.
-ChaseResult ChaseRestrictedNaive(const Instance& start,
+ChaseResult ChaseRestrictedNaive(Instance start,
                                  const std::vector<Tgd>& tgds,
                                  const std::vector<Egd>& egds,
                                  SymbolTable* symbols,
                                  const ChaseOptions& options) {
-  ChaseResult result(start);
+  ChaseResult result(std::move(start));
   Instance& instance = result.instance;
   while (true) {
     if (result.steps >= options.max_steps) {
@@ -1134,14 +1099,14 @@ bool AbsorbEgdOutcome(const EgdFixpointOutcome& egd_out, ChaseResult* result) {
 // additionally instantiate heads and pipeline across dependencies
 // (RunTgdPhaseSpeculative); the result is then equal only up to a
 // bijective null renaming.
-ChaseResult ChaseRestrictedDelta(const Instance& start,
+ChaseResult ChaseRestrictedDelta(Instance start,
                                  const std::vector<Tgd>& tgds,
                                  const std::vector<Egd>& egds,
                                  SymbolTable* symbols,
                                  const ChaseOptions& options,
                                  ThreadPool* pool,
                                  const plan::CompiledSetting* compiled) {
-  ChaseResult result(start);
+  ChaseResult result(std::move(start));
   Instance& instance = result.instance;
   const std::vector<plan::EgdPlan>* egd_plans =
       compiled != nullptr ? &compiled->egds : nullptr;
@@ -1199,7 +1164,7 @@ ChaseResult ChaseRestrictedDelta(const Instance& start,
     ++round;
     EgdFixpointOutcome egd_out = RunEgdsToFixpointDelta(
         egds, &instance, mark, options.max_steps - result.steps, symbols,
-        &extras, pool, egd_plans);
+        &extras, pool, egd_plans, options.journal);
     if (!AbsorbEgdOutcome(egd_out, &result)) return result;
     dirty_accum += egd_out.dirtied;
     DeltaView delta(instance, mark, extras);
@@ -1217,7 +1182,7 @@ ChaseResult ChaseRestrictedDelta(const Instance& start,
               tgds, compiled != nullptr ? compiled->footprints : footprints,
               compiled, compiled == nullptr ? &local_overlays : nullptr,
               &instance, delta, symbols, /*ledger=*/nullptr, pool, options,
-              schedule, &result)) {
+              schedule, &result, options.journal)) {
         return result;
       }
     } else {
@@ -1266,7 +1231,8 @@ ChaseResult ChaseRestrictedDelta(const Instance& start,
             const Binding& trigger = pending[t];
             if (!overlay.DecideFire(trigger)) continue;
             result.nulls_created +=
-                QueueTgdStep(tgd, plan, trigger, symbols, &inserts);
+                QueueTgdStep(tgd, plan, trigger, symbols, &inserts, d,
+                             options.journal);
             ++result.steps;
             ++applied;
             if (result.steps >= options.max_steps) {
@@ -1287,8 +1253,9 @@ ChaseResult ChaseRestrictedDelta(const Instance& start,
             result.nulls_created +=
                 plan != nullptr
                     ? ApplyTgdStepPlanned(plan->apply, trigger, &instance,
-                                          symbols)
-                    : ApplyTgdStep(tgd, trigger, &instance, symbols);
+                                          symbols, &tgd, d, options.journal)
+                    : ApplyTgdStep(tgd, trigger, &instance, symbols, d,
+                                   options.journal);
             ++result.steps;
             ++applied;
             if (result.steps >= options.max_steps) {
@@ -1339,13 +1306,13 @@ ChaseResult ChaseRestrictedDelta(const Instance& start,
 // per round; a match wholly over old, unmerged facts was enumerated (and
 // fingerprinted) in the round its newest fact arrived, so nothing is
 // missed.
-ChaseResult ChaseOblivious(const Instance& start,
+ChaseResult ChaseOblivious(Instance start,
                            const std::vector<Tgd>& tgds,
                            const std::vector<Egd>& egds,
                            SymbolTable* symbols, const ChaseOptions& options,
                            ThreadPool* pool,
                            const plan::CompiledSetting* compiled) {
-  ChaseResult result(start);
+  ChaseResult result(std::move(start));
   Instance& instance = result.instance;
   TriggerLedger fired;
   const std::vector<plan::EgdPlan>* egd_plans =
@@ -1481,7 +1448,8 @@ EgdFixpointOutcome RunEgdsToFixpointDelta(
     const std::vector<Egd>& egds, Instance* instance,
     const InstanceWatermark& mark, int64_t max_steps,
     const SymbolTable* symbols, std::vector<std::vector<int>>* extras,
-    ThreadPool* pool, const std::vector<plan::EgdPlan>* egd_plans) {
+    ThreadPool* pool, const std::vector<plan::EgdPlan>* egd_plans,
+    ChaseJournal* journal) {
   EgdFixpointOutcome out;
   if (egds.empty()) return out;
   PDX_DCHECK(egd_plans == nullptr || egd_plans->size() == egds.size());
@@ -1516,8 +1484,10 @@ EgdFixpointOutcome RunEgdsToFixpointDelta(
           egd_plans != nullptr ? &(*egd_plans)[e] : nullptr;
       // Applies one merge, sharing the conflict / dirty / budget
       // bookkeeping between the two collection disciplines below. Returns
-      // false when the fixpoint must stop (out is final).
-      auto apply_merge = [&](Value a, Value b) {
+      // false when the fixpoint must stop (out is final). `trigger` is the
+      // body match that forced the merge, journaled so deletion
+      // propagation can tell when a merge's justification dies.
+      auto apply_merge = [&](const Binding& trigger, Value a, Value b) {
         Instance::MergeResult merge = instance->MergeValues(a, b);
         ++out.steps;
         if (merge.conflict) {
@@ -1532,6 +1502,10 @@ EgdFixpointOutcome RunEgdsToFixpointDelta(
         }
         PDX_DCHECK(merge.merged);
         merge_counter.Inc();
+        if (journal != nullptr) {
+          journal->RecordEgd(e, trigger.values.data(),
+                             trigger.values.size());
+        }
         for (const auto& [relation, idx] : merge.dirty) {
           (*extras)[relation].push_back(idx);
           pass_dirty[relation].push_back(idx);
@@ -1567,7 +1541,7 @@ EgdFixpointOutcome RunEgdsToFixpointDelta(
           Value a = instance->ResolveValue(trigger.values[egd.left_var]);
           Value b = instance->ResolveValue(trigger.values[egd.right_var]);
           if (a == b) continue;
-          if (!apply_merge(a, b)) return out;
+          if (!apply_merge(trigger, a, b)) return out;
         }
       } else {
         Binding trigger = Binding::Empty(egd.var_count);
@@ -1575,7 +1549,7 @@ EgdFixpointOutcome RunEgdsToFixpointDelta(
         // across the whole pass; the matcher consults the live resolver.
         while (FindViolatedEgdTriggerDelta(*instance, delta, egd, plan,
                                            &trigger)) {
-          if (!apply_merge(trigger.values[egd.left_var],
+          if (!apply_merge(trigger, trigger.values[egd.left_var],
                            trigger.values[egd.right_var])) {
             return out;
           }
@@ -1616,7 +1590,7 @@ bool UsesPlans(const ChaseOptions& options) {
          !plan::ForceInterpreter();
 }
 
-ChaseResult ChaseDispatch(const Instance& start, const std::vector<Tgd>& tgds,
+ChaseResult ChaseDispatch(Instance start, const std::vector<Tgd>& tgds,
                           const std::vector<Egd>& egds, SymbolTable* symbols,
                           const ChaseOptions& options) {
   // One cache probe per run; re-chases of the same setting hit and reuse
@@ -1630,26 +1604,27 @@ ChaseResult ChaseDispatch(const Instance& start, const std::vector<Tgd>& tgds,
       int threads = ResolveThreadCount(options);
       if (threads > 1) {
         ThreadPool pool(threads);
-        return ChaseOblivious(start, tgds, egds, symbols, options, &pool,
-                              compiled.get());
+        return ChaseOblivious(std::move(start), tgds, egds, symbols, options,
+                              &pool, compiled.get());
       }
-      return ChaseOblivious(start, tgds, egds, symbols, options, nullptr,
-                            compiled.get());
+      return ChaseOblivious(std::move(start), tgds, egds, symbols, options,
+                            nullptr, compiled.get());
     }
     case ChaseStrategy::kRestrictedNaive:
-      return ChaseRestrictedNaive(start, tgds, egds, symbols, options);
+      return ChaseRestrictedNaive(std::move(start), tgds, egds, symbols,
+                                  options);
     case ChaseStrategy::kRestricted: {
       int threads = ResolveThreadCount(options);
       if (threads > 1) {
         ThreadPool pool(threads);
-        return ChaseRestrictedDelta(start, tgds, egds, symbols, options,
-                                    &pool, compiled.get());
+        return ChaseRestrictedDelta(std::move(start), tgds, egds, symbols,
+                                    options, &pool, compiled.get());
       }
-      return ChaseRestrictedDelta(start, tgds, egds, symbols, options,
-                                  nullptr, compiled.get());
+      return ChaseRestrictedDelta(std::move(start), tgds, egds, symbols,
+                                  options, nullptr, compiled.get());
     }
   }
-  ChaseResult result(start);
+  ChaseResult result(std::move(start));
   result.outcome = ChaseOutcome::kBudgetExhausted;
   return result;
 }
@@ -1682,9 +1657,11 @@ ChaseSchedule ResolveSchedule(const ChaseOptions& options) {
                              : ChaseSchedule::kBarrier;
 }
 
-ChaseResult Chase(const Instance& start, const std::vector<Tgd>& tgds,
-                  const std::vector<Egd>& egds, SymbolTable* symbols,
-                  const ChaseOptions& options) {
+namespace {
+
+ChaseResult ChaseRun(Instance start, const std::vector<Tgd>& tgds,
+                     const std::vector<Egd>& egds, SymbolTable* symbols,
+                     const ChaseOptions& options) {
   PDX_CHECK(symbols != nullptr);
   obs::Span run_span(obs::Tracer::Global(), "chase");
   run_span.AttrStr("strategy", StrategyName(options.strategy))
@@ -1695,7 +1672,8 @@ ChaseResult Chase(const Instance& start, const std::vector<Tgd>& tgds,
       .AttrBool("compiled", UsesPlans(options))
       .AttrInt("tgds", static_cast<int64_t>(tgds.size()))
       .AttrInt("egds", static_cast<int64_t>(egds.size()));
-  ChaseResult result = ChaseDispatch(start, tgds, egds, symbols, options);
+  ChaseResult result =
+      ChaseDispatch(std::move(start), tgds, egds, symbols, options);
   run_span.AttrInt("steps", result.steps)
       .AttrBool("failed", result.outcome == ChaseOutcome::kFailed);
   ChaseMetrics& metrics = ChaseMetrics::Get();
@@ -1704,6 +1682,20 @@ ChaseResult Chase(const Instance& start, const std::vector<Tgd>& tgds,
   metrics.nulls.Inc(result.nulls_created);
   metrics.compactions.Inc(result.compactions);
   return result;
+}
+
+}  // namespace
+
+ChaseResult Chase(const Instance& start, const std::vector<Tgd>& tgds,
+                  const std::vector<Egd>& egds, SymbolTable* symbols,
+                  const ChaseOptions& options) {
+  return ChaseRun(start, tgds, egds, symbols, options);
+}
+
+ChaseResult Chase(Instance&& start, const std::vector<Tgd>& tgds,
+                  const std::vector<Egd>& egds, SymbolTable* symbols,
+                  const ChaseOptions& options) {
+  return ChaseRun(std::move(start), tgds, egds, symbols, options);
 }
 
 ChaseResult Chase(const Instance& start, const std::vector<Tgd>& tgds,

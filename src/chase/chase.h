@@ -73,6 +73,8 @@ enum class ChaseSchedule {
 // bench output and pdxcli --schedule.
 const char* ScheduleName(ChaseSchedule schedule);
 
+class ChaseJournal;
+
 struct ChaseOptions {
   // Upper bound on the number of chase steps before giving up. Weakly
   // acyclic inputs terminate well under this for the sizes we run; the
@@ -152,6 +154,18 @@ struct ChaseOptions {
   // without changing any result. Set the ratio outside (0, 1) to disable.
   double compact_duplicate_ratio = 0.5;
   size_t compact_min_facts = 4096;
+
+  // Firing journal for deletion propagation (kRestricted only; see
+  // chase/journal.h and chase/stream.h). When non-null, every applied tgd
+  // trigger and every successful egd merge is recorded — with its full
+  // extended binding — from the sequential apply phases, so a later ±Δ
+  // batch (StreamingChase::ResumeWithDeltas) can count surviving
+  // justifications per derived fact and propagate retractions. The other
+  // strategies ignore it: the naive engine has no delta discipline to
+  // resume, and the oblivious ledger is a per-run local (an oblivious run
+  // cannot be resumed at all). Null keeps the hot path entirely free of
+  // journaling. The pointee must outlive the call.
+  ChaseJournal* journal = nullptr;
 };
 
 struct ChaseResult {
@@ -200,6 +214,15 @@ ChaseSchedule ResolveSchedule(const ChaseOptions& options);
 // The chase is fair: it loops over dependencies round-robin until a full
 // pass finds no applicable trigger.
 ChaseResult Chase(const Instance& start, const std::vector<Tgd>& tgds,
+                  const std::vector<Egd>& egds, SymbolTable* symbols,
+                  const ChaseOptions& options = ChaseOptions());
+
+// Move-in overload: consumes `start`. The COW relation stores stay
+// uniquely owned, so the chase mutates them in place instead of
+// re-materializing every touched relation — the streaming resume path
+// (chase/stream.h) hands its own instance back in every ±Δ batch and
+// would otherwise pay a second O(instance) copy per batch.
+ChaseResult Chase(Instance&& start, const std::vector<Tgd>& tgds,
                   const std::vector<Egd>& egds, SymbolTable* symbols,
                   const ChaseOptions& options = ChaseOptions());
 
@@ -256,12 +279,18 @@ struct EgdPlan;
 // With non-null `egd_plans` (compiled plans indexed parallel to `egds`),
 // trigger enumeration executes through the dependency compiler's plans
 // instead of the interpreter; the fixpoint closure is unchanged.
+//
+// With a non-null `journal`, every successful merge is recorded under the
+// trigger binding that forced it (sequential apply side only — both
+// collection disciplines apply merges on the calling thread), feeding
+// deletion propagation's egd-death detection (chase/stream.h).
 EgdFixpointOutcome RunEgdsToFixpointDelta(
     const std::vector<Egd>& egds, Instance* instance,
     const InstanceWatermark& mark, int64_t max_steps,
     const SymbolTable* symbols, std::vector<std::vector<int>>* extras,
     ThreadPool* pool = nullptr,
-    const std::vector<plan::EgdPlan>* egd_plans = nullptr);
+    const std::vector<plan::EgdPlan>* egd_plans = nullptr,
+    ChaseJournal* journal = nullptr);
 
 // True if `instance` satisfies the tgd / egd under standard first-order
 // semantics (nulls behave as ordinary values).

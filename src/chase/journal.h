@@ -1,0 +1,101 @@
+#ifndef PDX_CHASE_JOURNAL_H_
+#define PDX_CHASE_JOURNAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "chase/trigger_ledger.h"
+#include "relational/value.h"
+
+namespace pdx {
+
+// The firing journal behind deletion propagation (chase/stream.h): an
+// append-only log of every trigger a restricted chase applied, written
+// from the sequential apply phases (never from pool workers — the
+// collect-parallel/apply-sequential discipline means the journal needs no
+// locking). One entry per firing holds the dependency index and the full
+// extended binding row (universal values plus, for tgds, the fresh nulls
+// invented for the existential variables), flat in a shared value pool —
+// no per-entry allocation on the hot path. Body and head facts are not
+// stored: they are cheap to reconstruct by instantiating the dependency's
+// atoms under the row, which also keeps entries valid across egd merges
+// (values re-resolve through the live resolver) and store compactions
+// (no tuple indexes are held).
+//
+// Exactly-once discipline: entries are keyed by the universal-binding
+// trigger fingerprint through an embedded TriggerLedger. Recording a
+// fingerprint that already names a *live* entry is refused (a duplicate
+// firing — the restricted decide disciplines make this unreachable, so
+// the refusal is a safety net keeping support counts exact); killing an
+// entry retires its fingerprint, so a deleted trigger whose body match
+// re-forms re-admits and fires exactly once more.
+class ChaseJournal {
+ public:
+  struct Entry {
+    uint32_t begin = 0;  // offset of this entry's row in the value pool
+    uint16_t len = 0;    // row width (the dependency's var_count)
+    bool egd = false;    // tgd firing or egd merge
+    bool alive = true;   // false once deletion propagation killed it
+    uint32_t dep = 0;    // index into the run's tgds / egds vector
+    uint64_t fp = 0;     // universal-binding fingerprint (the ledger key)
+  };
+
+  ChaseJournal();
+
+  // The ledger makes the journal non-copyable; streaming state that needs
+  // transactionality rolls back via Kill/Revive/TruncateTo instead of
+  // copying (see StreamingChase).
+  ChaseJournal(const ChaseJournal&) = delete;
+  ChaseJournal& operator=(const ChaseJournal&) = delete;
+
+  // Records one tgd firing: `row[0, n)` is the extended binding
+  // (existential slots filled with the invented nulls; `existential`
+  // masks them out of the fingerprint, so a re-derived firing with new
+  // nulls keys the same). Returns false (and records nothing) when a
+  // live entry already holds the fingerprint.
+  bool RecordTgd(size_t dep, const Value* row, size_t n,
+                 const std::vector<bool>& existential);
+
+  // Records one successful egd merge under the trigger binding that
+  // forced it. Egd fingerprints live in their own namespace (an egd and a
+  // tgd sharing an index and binding never collide).
+  bool RecordEgd(size_t dep, const Value* row, size_t n);
+
+  size_t size() const { return entries_.size(); }
+  size_t live_count() const { return live_; }
+  const Entry& entry(size_t i) const { return entries_[i]; }
+  const Value* row(const Entry& e) const { return pool_.data() + e.begin; }
+
+  // Marks entry `i` dead and retires its fingerprint (re-admittable).
+  // Returns false if it was already dead.
+  bool Kill(size_t i);
+
+  // Rollback support: resurrects a killed entry (re-claiming its
+  // fingerprint) / drops every entry at index >= `n` (retiring live
+  // fingerprints). A failed ±Δ batch undoes itself with exactly these.
+  void Revive(size_t i);
+  void TruncateTo(size_t n);
+
+  // Drops everything (fresh ledger): the full re-chase fallback path.
+  void Clear();
+
+  // Exchanges the entire state with `other`. StreamingChase's fallback
+  // chases into a scratch journal and swaps it in only once the re-chase
+  // succeeded, so a failed fallback leaves this journal untouched.
+  void Swap(ChaseJournal& other);
+
+ private:
+  bool Record(bool egd, size_t dep, const Value* row, size_t n, uint64_t fp);
+
+  std::vector<Value> pool_;
+  std::vector<Entry> entries_;
+  size_t live_ = 0;
+  // unique_ptr: the ledger's concurrent fingerprint set is neither
+  // copyable nor movable, and Clear() needs to replace it wholesale.
+  std::unique_ptr<TriggerLedger> ledger_;
+};
+
+}  // namespace pdx
+
+#endif  // PDX_CHASE_JOURNAL_H_

@@ -12,6 +12,7 @@
 #include "obs/trace.h"
 #include "plan/compiler.h"
 #include "plan/ir.h"
+#include "pde/solution.h"
 #include "plan/plan_cache.h"
 #include "relational/snapshot.h"
 
@@ -24,6 +25,7 @@ namespace {
 // BENCH outputs and --metrics-out can never disagree about them.
 struct SolverMetrics {
   obs::Counter runs, nodes, candidates_discovered, candidate_checks;
+  obs::Counter witness_revalidated;
   static SolverMetrics& Get() {
     static SolverMetrics* m = [] {
       obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
@@ -34,6 +36,8 @@ struct SolverMetrics {
           reg.GetCounter("pdx_solver_candidates_discovered_total");
       metrics->candidate_checks =
           reg.GetCounter("pdx_solver_candidate_checks_total");
+      metrics->witness_revalidated =
+          reg.GetCounter("pdx_solver_witness_revalidated_total");
       return metrics;
     }();
     return *m;
@@ -535,6 +539,27 @@ StatusOr<GenericSolveResult> GenericExistsSolution(
   PDX_RETURN_IF_ERROR(setting.ValidateTargetInstance(target));
   Searcher searcher(setting, symbols, options);
   return searcher.Run(setting.CombineInstances(source, target));
+}
+
+StatusOr<IncrementalSolveResult> GenericExistsSolutionIncremental(
+    const PdeSetting& setting, const Instance& source, const Instance& target,
+    const Instance* prior_witness, SymbolTable* symbols,
+    const GenericSolverOptions& options) {
+  PDX_CHECK(symbols != nullptr);
+  IncrementalSolveResult out;
+  if (prior_witness != nullptr &&
+      IsSolution(setting, source, target, *prior_witness, *symbols)) {
+    SolverMetrics::Get().witness_revalidated.Inc();
+    out.result.outcome = SolveOutcome::kSolutionFound;
+    out.result.solution = *prior_witness;
+    out.revalidated = true;
+    return out;
+  }
+  auto solved = GenericExistsSolution(setting, source, target, symbols,
+                                      options);
+  if (!solved.ok()) return solved.status();
+  out.result = std::move(solved).value();
+  return out;
 }
 
 }  // namespace pdx

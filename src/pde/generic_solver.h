@@ -88,6 +88,27 @@ StatusOr<GenericSolveResult> GenericExistsSolution(
     SymbolTable* symbols,
     const GenericSolverOptions& options = GenericSolverOptions());
 
+struct IncrementalSolveResult {
+  GenericSolveResult result;
+  // True when the prior witness revalidated and no search ran (the PTIME
+  // path); result is then kSolutionFound with the witness as solution.
+  bool revalidated = false;
+};
+
+// GenericExistsSolution after a ±Δ batch, reusing the previous answer's
+// witness: if `prior_witness` (the J' of an earlier kSolutionFound, over
+// the current setting) is still a solution for the *new* (source, target)
+// — a PTIME IsSolution check — the NP search is skipped entirely. Reuse is
+// positive-only: deletions can break a witness but a broken witness says
+// nothing about other solutions, and additions to J can push J ⊄ J', so
+// any failed check falls through to the full search. Pass null (or after a
+// kNoSolution) to always search. Used by the serving layer to keep exists
+// verdicts fresh across churn (serve/tenant.cc).
+StatusOr<IncrementalSolveResult> GenericExistsSolutionIncremental(
+    const PdeSetting& setting, const Instance& source, const Instance& target,
+    const Instance* prior_witness, SymbolTable* symbols,
+    const GenericSolverOptions& options = GenericSolverOptions());
+
 }  // namespace pdx
 
 #endif  // PDX_PDE_GENERIC_SOLVER_H_

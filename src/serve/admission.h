@@ -26,13 +26,18 @@ namespace serve {
 
 class Generation;
 
-// One admitted write: the parsed facts plus a one-shot completion slot the
-// submitting connection blocks on.
+// One admitted ±Δ: parsed facts to add and/or retract, plus a one-shot
+// completion slot the submitting connection blocks on. The writer applies
+// a coalesced batch deletes-first (across the whole batch), so a write
+// and a retract of the same fact coalesced together leave it present.
 class WriteTicket {
  public:
-  explicit WriteTicket(std::vector<Fact> facts) : facts_(std::move(facts)) {}
+  explicit WriteTicket(std::vector<Fact> facts,
+                       std::vector<Fact> deletes = {})
+      : facts_(std::move(facts)), deletes_(std::move(deletes)) {}
 
   const std::vector<Fact>& facts() const { return facts_; }
+  const std::vector<Fact>& deletes() const { return deletes_; }
 
   // Writer side: resolves the ticket exactly once. `published` is the
   // generation that made the write visible (null when rejected).
@@ -46,6 +51,7 @@ class WriteTicket {
 
  private:
   const std::vector<Fact> facts_;
+  const std::vector<Fact> deletes_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool done_ = false;

@@ -24,8 +24,12 @@ ServeMetrics MakeServeMetrics() {
   m.inflight_requests = reg.GetGauge("pdx_serve_inflight_requests");
   m.connections_total = reg.GetCounter("pdx_serve_connections_total");
   m.write_requests_total = reg.GetCounter("pdx_serve_write_requests_total");
+  m.retract_requests_total =
+      reg.GetCounter("pdx_serve_retract_requests_total");
   m.batches_total = reg.GetCounter("pdx_serve_batches_total");
   m.batch_retries_total = reg.GetCounter("pdx_serve_batch_retries_total");
+  m.stream_fallbacks_total =
+      reg.GetCounter("pdx_serve_stream_fallbacks_total");
   m.batch_size = reg.GetHistogram("pdx_serve_batch_size",
                                   {1, 2, 4, 8, 16, 32, 64, 128});
   m.queue_depth = reg.GetGauge("pdx_serve_queue_depth");
@@ -35,6 +39,7 @@ ServeMetrics MakeServeMetrics() {
   m.latency_ping = Latency("pdx_serve_latency_micros_ping");
   m.latency_load = Latency("pdx_serve_latency_micros_load");
   m.latency_write = Latency("pdx_serve_latency_micros_write");
+  m.latency_retract = Latency("pdx_serve_latency_micros_retract");
   m.latency_exists = Latency("pdx_serve_latency_micros_exists");
   m.latency_certain = Latency("pdx_serve_latency_micros_certain");
   m.latency_contains = Latency("pdx_serve_latency_micros_contains");
@@ -48,6 +53,7 @@ obs::Histogram& ServeMetrics::LatencyFor(std::string_view verb) {
   if (verb == "ping") return latency_ping;
   if (verb == "load") return latency_load;
   if (verb == "write") return latency_write;
+  if (verb == "retract") return latency_retract;
   if (verb == "exists") return latency_exists;
   if (verb == "certain") return latency_certain;
   if (verb == "contains") return latency_contains;

@@ -27,9 +27,12 @@ struct ServeMetrics {
   // batches_total / write_requests_total — N compatible writes admitted
   // while the writer is busy coalesce into ONE chase round.
   obs::Counter write_requests_total;  // write verbs admitted to a queue
+  obs::Counter retract_requests_total;  // retract verbs admitted to a queue
   obs::Counter batches_total;         // coalesced chase rounds run
   obs::Counter batch_retries_total;   // individual replays after a failed
                                       // coalesced batch
+  obs::Counter stream_fallbacks_total;  // deletion batches that invalidated
+                                        // an egd merge and re-chased fully
   obs::Histogram batch_size;          // writes per published batch
   obs::Gauge queue_depth;             // tickets waiting in admission queues
   obs::Gauge generation_lag;          // writes admitted but not yet visible
@@ -43,6 +46,7 @@ struct ServeMetrics {
   obs::Histogram latency_ping;
   obs::Histogram latency_load;
   obs::Histogram latency_write;
+  obs::Histogram latency_retract;
   obs::Histogram latency_exists;
   obs::Histogram latency_certain;
   obs::Histogram latency_contains;

@@ -214,6 +214,16 @@ JsonValue ProtocolHandler::Dispatch(const JsonValue& request,
     return response;
   }
 
+  if (verb == "retract") {
+    auto facts = RequiredString(request, "facts");
+    if (!facts.ok()) return ErrorResponse(id, facts.status());
+    auto outcome = (*tenant)->Retract(*facts, deadline);
+    if (!outcome.ok()) return ErrorResponse(id, outcome.status());
+    JsonValue response = OkResponse(id);
+    SetGeneration(&response, outcome->generation, outcome->fingerprint);
+    return response;
+  }
+
   if (verb == "exists") {
     auto outcome = (*tenant)->Exists(request.GetString("solver", "auto"));
     if (!outcome.ok()) return ErrorResponse(id, outcome.status());

@@ -8,13 +8,13 @@
 //
 // Request object:
 //   {"id": <any>,            // echoed verbatim in the response
-//    "verb": "ping" | "load" | "write" | "exists" | "certain" |
-//            "contains" | "stats" | "evict" | "shutdown",
+//    "verb": "ping" | "load" | "write" | "retract" | "exists" |
+//            "certain" | "contains" | "stats" | "evict" | "shutdown",
 //    "tenant": "<hex id>",   // every verb except ping/load/stats/shutdown
 //    "deadline_ms": 30000,   // optional per-request deadline
 //    "setting": "...",       // load: setting file text
 //    "facts": "E(a,b).",     // load (optional initial facts) / write /
-//                            // contains: instance text
+//                            // retract / contains: instance text
 //    "query": "q(x) :- ...", // certain
 //    "mode": "exact",        // certain: exact | lower_bound
 //    "solver": "auto"}       // exists: auto | ctract | generic

@@ -32,14 +32,6 @@ std::string HexId(uint64_t h) {
   return buffer;
 }
 
-Status ChaseFailureStatus(ChaseOutcome outcome, const std::string& failure) {
-  if (outcome == ChaseOutcome::kBudgetExhausted) {
-    return ResourceExhaustedError("chase budget exhausted applying write");
-  }
-  return FailedPreconditionError(
-      StrCat("write rejected, no solution would exist: ", failure));
-}
-
 }  // namespace
 
 StatusOr<std::string> Tenant::IdForSetting(std::string_view setting_text) {
@@ -67,22 +59,24 @@ StatusOr<std::shared_ptr<Tenant>> Tenant::Create(std::string_view setting_text,
   tenant->generating_tgds_.insert(tenant->generating_tgds_.end(),
                                   tenant->setting_->target_tgds().begin(),
                                   tenant->setting_->target_tgds().end());
-  // Generation 0: the chase of the empty instance. Trivial data-wise, but
-  // it compiles this setting's plans into the process-wide PlanCache once,
-  // so the first real write doesn't pay compilation.
-  ChaseResult chased =
-      Chase(tenant->setting_->EmptyInstance(), tenant->generating_tgds_,
-            tenant->setting_->target_egds(), tenant->symbols_.get(),
-            tenant->BatchChaseOptions());
-  if (chased.outcome != ChaseOutcome::kSuccess) {
+  // Generation 0: the streaming chase initialized on the empty instance.
+  // Trivial data-wise, but it compiles this setting's plans into the
+  // process-wide PlanCache once (so the first real write doesn't pay
+  // compilation) and seeds the firing journal deletion propagation reads.
+  tenant->stream_ = std::make_unique<StreamingChase>(
+      &tenant->setting_->schema(), tenant->generating_tgds_,
+      tenant->setting_->target_egds(), tenant->symbols_.get(),
+      tenant->BatchChaseOptions());
+  Status init = tenant->stream_->Initialize(tenant->setting_->EmptyInstance());
+  if (!init.ok()) {
     return InvalidArgumentError(
-        StrCat("setting rejects even the empty instance: ", chased.failure));
+        StrCat("setting rejects even the empty instance: ", init.message()));
   }
-  InstanceWatermark mark = chased.instance.TakeWatermark();
-  auto gen0 = std::make_shared<Generation>(0, tenant->setting_->EmptyInstance(),
-                                           std::move(chased.instance),
-                                           std::move(mark));
-  gen0->set_chase_steps(chased.steps);
+  auto gen0 = std::make_shared<Generation>(
+      0, Instance(tenant->stream_->base()),
+      Instance(tenant->stream_->instance()),
+      InstanceWatermark(tenant->stream_->mark()));
+  gen0->set_chase_steps(tenant->stream_->total_steps());
   tenant->store_.Publish(std::move(gen0));
   tenant->writer_ = std::thread(&Tenant::WriterLoop, tenant.get());
   return tenant;
@@ -110,8 +104,8 @@ ChaseOptions Tenant::BatchChaseOptions() const {
 
 // --- Write path ----------------------------------------------------------
 
-StatusOr<WriteOutcome> Tenant::Write(
-    std::string_view facts_text,
+StatusOr<WriteOutcome> Tenant::SubmitDelta(
+    std::string_view facts_text, bool retract,
     std::chrono::steady_clock::time_point deadline) {
   std::vector<Fact> facts;
   {
@@ -122,19 +116,28 @@ StatusOr<WriteOutcome> Tenant::Write(
         ParseInstance(facts_text, setting_->schema(), symbols_.get()));
     facts = parsed.AllFacts();
   }
-  for (const Fact& fact : facts) {
-    if (!setting_->is_source(fact.relation)) continue;
-    for (Value v : fact.tuple) {
-      if (v.is_null()) {
-        return InvalidArgumentError(
-            "source-side facts must be ground (no labeled nulls)");
+  if (!retract) {
+    for (const Fact& fact : facts) {
+      if (!setting_->is_source(fact.relation)) continue;
+      for (Value v : fact.tuple) {
+        if (v.is_null()) {
+          return InvalidArgumentError(
+              "source-side facts must be ground (no labeled nulls)");
+        }
       }
     }
   }
   ServeMetrics& metrics = GlobalServeMetrics();
-  metrics.write_requests_total.Inc();
+  if (retract) {
+    metrics.retract_requests_total.Inc();
+  } else {
+    metrics.write_requests_total.Inc();
+  }
   metrics.generation_lag.Add(1);
-  auto ticket = std::make_shared<WriteTicket>(std::move(facts));
+  auto ticket = retract
+                    ? std::make_shared<WriteTicket>(std::vector<Fact>(),
+                                                    std::move(facts))
+                    : std::make_shared<WriteTicket>(std::move(facts));
   if (!queue_.Submit(ticket)) {
     metrics.generation_lag.Add(-1);
     return FailedPreconditionError("tenant is shutting down");
@@ -147,6 +150,18 @@ StatusOr<WriteOutcome> Tenant::Write(
   return out;
 }
 
+StatusOr<WriteOutcome> Tenant::Write(
+    std::string_view facts_text,
+    std::chrono::steady_clock::time_point deadline) {
+  return SubmitDelta(facts_text, /*retract=*/false, deadline);
+}
+
+StatusOr<WriteOutcome> Tenant::Retract(
+    std::string_view facts_text,
+    std::chrono::steady_clock::time_point deadline) {
+  return SubmitDelta(facts_text, /*retract=*/true, deadline);
+}
+
 void Tenant::WriterLoop() {
   while (true) {
     std::vector<std::shared_ptr<WriteTicket>> batch = queue_.DrainBlocking();
@@ -155,70 +170,70 @@ void Tenant::WriterLoop() {
   }
 }
 
-ChaseOutcome Tenant::TryPublish(
+Status Tenant::TryPublish(
     const std::shared_ptr<const Generation>& prev,
-    const std::vector<std::shared_ptr<WriteTicket>>& tickets,
-    std::string* failure) {
-  Instance canonical = prev->canonical();  // COW branch
-  Instance base = prev->base();            // COW branch
+    const std::vector<std::shared_ptr<WriteTicket>>& tickets) {
+  std::vector<Fact> adds;
+  std::vector<Fact> deletes;
   for (const auto& ticket : tickets) {
-    for (const Fact& fact : ticket->facts()) {
-      canonical.AddFact(fact);
-      base.AddFact(fact);
-    }
+    adds.insert(adds.end(), ticket->facts().begin(), ticket->facts().end());
+    deletes.insert(deletes.end(), ticket->deletes().begin(),
+                   ticket->deletes().end());
   }
-  ChaseOptions opts = BatchChaseOptions();
-  // Everything below the previous generation's watermark is already a
-  // chase fixpoint (single-writer invariant), so this round's delta is
-  // exactly the facts just added: one incremental round per batch, not a
-  // full rescan.
-  const InstanceWatermark& mark = prev->canonical_mark();
-  opts.resume_from = &mark;
-  ChaseResult chased = [&] {
+  // One ±Δ round on the writer's streaming state: deletes propagate
+  // through the firing journal (retraction cascade + re-derivation), adds
+  // resume the delta chase from the post-removal watermark — never a full
+  // rescan unless a retraction invalidated an egd merge. A failed batch
+  // rolls the stream back wholesale, so per-ticket replay below always
+  // starts from the published state.
+  StatusOr<StreamStats> stats = [&] {
     std::shared_lock<std::shared_mutex> lock(symbols_mu_);
-    return Chase(canonical, generating_tgds_, setting_->target_egds(),
-                 symbols_.get(), opts);
+    return stream_->ResumeWithDeltas(adds, deletes);
   }();
-  if (chased.outcome != ChaseOutcome::kSuccess) {
-    *failure = chased.failure.empty() ? "chase budget exhausted"
-                                      : chased.failure;
-    return chased.outcome;
+  if (!stats.ok()) {
+    if (stats.status().code() == StatusCode::kFailedPrecondition) {
+      return FailedPreconditionError(
+          StrCat("write rejected, no solution would exist: ",
+                 stats.status().message()));
+    }
+    return stats.status();
   }
-  InstanceWatermark next_mark = chased.instance.TakeWatermark();
-  auto next = std::make_shared<Generation>(prev->seq() + 1, std::move(base),
-                                           std::move(chased.instance),
-                                           std::move(next_mark));
-  next->set_chase_steps(prev->chase_steps() + chased.steps);
+  auto next = std::make_shared<Generation>(
+      prev->seq() + 1, Instance(stream_->base()),
+      Instance(stream_->instance()), InstanceWatermark(stream_->mark()));
+  next->set_chase_steps(prev->chase_steps() + stats.value().steps);
   ServeMetrics& metrics = GlobalServeMetrics();
   metrics.batches_total.Inc();
   metrics.batch_size.Observe(static_cast<int64_t>(tickets.size()));
+  if (stats.value().fell_back) metrics.stream_fallbacks_total.Inc();
   metrics.generation_seq.Set(static_cast<int64_t>(next->seq()));
   store_.Publish(next);
   for (const auto& ticket : tickets) {
     ticket->Complete(OkStatus(), next);
   }
-  return ChaseOutcome::kSuccess;
+  return OkStatus();
 }
 
 void Tenant::ApplyBatch(
     const std::vector<std::shared_ptr<WriteTicket>>& batch) {
   ServeMetrics& metrics = GlobalServeMetrics();
   std::shared_ptr<const Generation> prev = store_.Acquire();
-  std::string failure;
-  ChaseOutcome outcome = TryPublish(prev, batch, &failure);
-  if (outcome != ChaseOutcome::kSuccess) {
+  Status status = TryPublish(prev, batch);
+  if (!status.ok()) {
     if (batch.size() == 1) {
-      batch[0]->Complete(ChaseFailureStatus(outcome, failure), nullptr);
+      batch[0]->Complete(status, nullptr);
     } else {
       // The union failed, but individual writes may be fine (two writes
-      // each consistent alone can clash through an egd). Replay one by
-      // one so only the offenders are rejected.
+      // each consistent alone can clash through an egd, or a retraction
+      // can strand a sibling write's egd batch). Replay one by one so
+      // only the offenders are rejected — sound because a failed
+      // ResumeWithDeltas left the stream exactly at the published state.
       for (const auto& ticket : batch) {
         metrics.batch_retries_total.Inc();
         prev = store_.Acquire();
-        outcome = TryPublish(prev, {ticket}, &failure);
-        if (outcome != ChaseOutcome::kSuccess) {
-          ticket->Complete(ChaseFailureStatus(outcome, failure), nullptr);
+        status = TryPublish(prev, {ticket});
+        if (!status.ok()) {
+          ticket->Complete(status, nullptr);
         }
       }
     }
@@ -271,16 +286,32 @@ StatusOr<ExistsOutcome> Tenant::Exists(const std::string& solver) {
     GenericSolverOptions opts;
     opts.max_nodes = options_.max_solver_nodes;
     opts.num_threads = options_.chase_threads;
+    // Reuse the last witness across generations: when churn left the old
+    // solution J' intact, a PTIME IsSolution revalidation replaces the NP
+    // search. The witness is copied out under witness_mu_ (COW, cheap) so
+    // concurrent Exists calls don't share a mutable Instance.
+    std::optional<Instance> prior;
+    {
+      std::lock_guard<std::mutex> wlock(witness_mu_);
+      if (exists_witness_.has_value()) prior.emplace(*exists_witness_);
+    }
     PDX_ASSIGN_OR_RETURN(
-        GenericSolveResult result,
-        GenericExistsSolution(*setting_, source, target, symbols_.get(),
-                              opts));
-    if (result.outcome == SolveOutcome::kBudgetExhausted) {
+        IncrementalSolveResult inc,
+        GenericExistsSolutionIncremental(
+            *setting_, source, target,
+            prior.has_value() ? &*prior : nullptr, symbols_.get(), opts));
+    if (inc.result.outcome == SolveOutcome::kBudgetExhausted) {
       return ResourceExhaustedError(
           "solver budget exhausted; existence unknown");
     }
-    out.exists = result.outcome == SolveOutcome::kSolutionFound;
-    out.solver = "generic";
+    out.exists = inc.result.outcome == SolveOutcome::kSolutionFound;
+    out.solver = inc.revalidated ? "generic+revalidated" : "generic";
+    std::lock_guard<std::mutex> wlock(witness_mu_);
+    if (out.exists && inc.result.solution.has_value()) {
+      exists_witness_.emplace(*inc.result.solution);
+    } else if (!out.exists) {
+      exists_witness_.reset();
+    }
   }
   if (is_auto) gen->CacheExists(out.exists);
   return out;

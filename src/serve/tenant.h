@@ -25,6 +25,7 @@
 
 #include "base/status.h"
 #include "chase/chase.h"
+#include "chase/stream.h"
 #include "pde/setting.h"
 #include "relational/value.h"
 #include "serve/admission.h"
@@ -51,7 +52,10 @@ struct WriteOutcome {
 
 struct ExistsOutcome {
   bool exists = false;
-  std::string solver;  // "ctract" or "generic" — what actually ran
+  // What actually ran: "ctract", "generic", "generic+revalidated" (prior
+  // witness survived a PTIME IsSolution check, NP search skipped) or
+  // "cached" (auto verdict memoized on the generation).
+  std::string solver;
   uint64_t generation = 0;
   uint64_t fingerprint = 0;
 };
@@ -110,6 +114,20 @@ class Tenant {
   StatusOr<WriteOutcome> Write(std::string_view facts_text,
                                std::chrono::steady_clock::time_point deadline);
 
+  // Retracts the facts (instance text over the combined schema) and blocks
+  // until the batch containing the retraction is published or `deadline`
+  // passes. Retracting facts that were never admitted — including derived
+  // facts, which are consequences of the base, not retractable inputs — is
+  // a no-op, not an error. Deletion propagates through the streaming chase
+  // (chase/stream.h): derived facts whose every justification involved a
+  // retracted fact leave the canonical instance, over-deletions are
+  // re-derived, and a retraction that invalidates an egd merge falls back
+  // to one full re-chase of the net base. A coalesced batch applies all
+  // its deletes before all its adds.
+  StatusOr<WriteOutcome> Retract(
+      std::string_view facts_text,
+      std::chrono::steady_clock::time_point deadline);
+
   // ExistsSolution on the pinned generation's (I, J). `solver` is "auto"
   // (Figure 3 when applicable, else the generic search), "ctract" or
   // "generic". Auto verdicts are memoized per generation.
@@ -146,17 +164,22 @@ class Tenant {
  private:
   Tenant() = default;
 
+  // Shared Write/Retract path: parse, enqueue, block on the ticket.
+  StatusOr<WriteOutcome> SubmitDelta(
+      std::string_view facts_text, bool retract,
+      std::chrono::steady_clock::time_point deadline);
+
   void WriterLoop();
-  // One coalesced batch: chase the union as a single delta round off the
-  // current generation; on egd failure with >1 tickets, replay each
-  // individually so only the offending writes are rejected.
+  // One coalesced batch: apply the union of the tickets' deletes then adds
+  // as a single ±Δ round on the writer's streaming chase; on failure with
+  // >1 tickets, replay each individually (the stream rolls a failed batch
+  // back wholesale) so only the offending writes are rejected.
   void ApplyBatch(const std::vector<std::shared_ptr<WriteTicket>>& batch);
-  // Chases `tickets`' facts as one round on top of `prev`. On success
-  // publishes and completes the tickets; on failure returns the failed
-  // chase outcome without publishing (tickets untouched).
-  ChaseOutcome TryPublish(const std::shared_ptr<const Generation>& prev,
-                          const std::vector<std::shared_ptr<WriteTicket>>& tickets,
-                          std::string* failure);
+  // Applies `tickets`' ±Δ on the streaming chase on top of `prev`. On
+  // success publishes and completes the tickets; on failure returns the
+  // error without publishing (tickets untouched, stream state unchanged).
+  Status TryPublish(const std::shared_ptr<const Generation>& prev,
+                    const std::vector<std::shared_ptr<WriteTicket>>& tickets);
 
   ChaseOptions BatchChaseOptions() const;
 
@@ -167,11 +190,22 @@ class Tenant {
   std::vector<Tgd> generating_tgds_;  // Σ_st ∪ Σ_t tgds
   GenerationStore store_{nullptr};
   AdmissionQueue queue_;
+  // Writer-owned streaming state: base + canonical instance + firing
+  // journal. Only the writer thread touches it after Create; generations
+  // publish COW branches of its instances, so pinned readers are immune to
+  // later in-place retraction.
+  std::unique_ptr<StreamingChase> stream_;
   std::thread writer_;
   bool shut_down_ = false;
   std::mutex shutdown_mu_;
 
   mutable std::shared_mutex symbols_mu_;
+
+  // Last generic-solver exists witness (the solution J'), reused across
+  // generations: a PTIME IsSolution revalidation beats re-running the NP
+  // search when churn left the witness intact. Positive reuse only.
+  mutable std::mutex witness_mu_;
+  std::optional<Instance> exists_witness_;
 };
 
 }  // namespace serve

@@ -1,0 +1,96 @@
+#include "workload/churn.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace pdx {
+
+ChurnStream::ChurnStream(std::vector<Fact> universe, size_t initially_live,
+                         ChurnOptions options)
+    : universe_(std::move(universe)),
+      options_(options),
+      rng_(options.seed) {
+  PDX_CHECK_LE(initially_live, universe_.size());
+  live_.reserve(initially_live);
+  for (size_t i = 0; i < initially_live; ++i) live_.push_back(i);
+  fresh_.reserve(universe_.size() - initially_live);
+  for (size_t i = initially_live; i < universe_.size(); ++i) {
+    fresh_.push_back(i);
+  }
+}
+
+ChurnBatch ChurnStream::Next() {
+  ChurnBatch batch;
+  ++batches_;
+  // Deletes: a uniform sample of the live set, swap-removed so the pick
+  // stays O(1) per fact.
+  size_t deletes = std::min(
+      live_.size(),
+      static_cast<size_t>(options_.delete_rate *
+                              static_cast<double>(live_.size()) +
+                          0.5));
+  for (size_t k = 0; k < deletes; ++k) {
+    size_t pick = rng_.UniformInt(static_cast<uint32_t>(live_.size()));
+    size_t idx = live_[pick];
+    live_[pick] = live_.back();
+    live_.pop_back();
+    retired_.push_back(idx);
+    batch.deletes.push_back(universe_[idx]);
+  }
+  // Inserts: sized against the post-delete live count, each drawn from
+  // the retired pool (re-insertion) with probability `overlap`, else from
+  // the fresh pool; an empty pool falls through to the other. Facts
+  // deleted *this* batch are eligible for re-insertion only next batch
+  // (they were pushed onto retired_ above — exclude them so a batch's
+  // adds and deletes never overlap).
+  size_t inserts = static_cast<size_t>(
+      options_.insert_rate * static_cast<double>(live_.size()) + 0.5);
+  const size_t reinsertable = retired_.size() - deletes;
+  size_t from_retired_cap = reinsertable;
+  for (size_t k = 0; k < inserts; ++k) {
+    std::vector<size_t>* pool = nullptr;
+    if (rng_.Bernoulli(options_.overlap)) {
+      pool = from_retired_cap > 0 ? &retired_ : &fresh_;
+    } else {
+      pool = !fresh_.empty() ? &fresh_ : (from_retired_cap > 0 ? &retired_
+                                                               : nullptr);
+    }
+    if (pool == &retired_ && from_retired_cap == 0) pool = nullptr;
+    if (pool == nullptr || pool->empty()) break;
+    const size_t bound =
+        pool == &retired_ ? from_retired_cap : pool->size();
+    size_t pick = rng_.UniformInt(static_cast<uint32_t>(bound));
+    size_t idx = (*pool)[pick];
+    if (pool == &retired_) {
+      --from_retired_cap;
+      (*pool)[pick] = (*pool)[from_retired_cap];
+      (*pool)[from_retired_cap] = pool->back();
+    } else {
+      (*pool)[pick] = pool->back();
+    }
+    pool->pop_back();
+    live_.push_back(idx);
+    batch.adds.push_back(universe_[idx]);
+  }
+  return batch;
+}
+
+std::vector<Fact> ChurnStream::LiveFacts() const {
+  std::vector<size_t> sorted = live_;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<Fact> facts;
+  facts.reserve(sorted.size());
+  for (size_t idx : sorted) facts.push_back(universe_[idx]);
+  return facts;
+}
+
+Instance ChurnStream::NetInstance(const Schema* schema) const {
+  Instance instance(schema);
+  for (const Fact& fact : LiveFacts()) {
+    instance.AddFact(fact.relation, fact.tuple);
+  }
+  return instance;
+}
+
+}  // namespace pdx

@@ -3,9 +3,12 @@
 // agree with the sound-and-complete generic search solver, and any witness
 // either solver produces must verify against Definition 2.
 
+#include <algorithm>
+#include <optional>
 #include <unordered_set>
 
 #include "gtest/gtest.h"
+#include "chase/stream.h"
 #include "hom/instance_hom.h"
 #include "hom/match_vm.h"
 #include "logic/parser.h"
@@ -14,6 +17,7 @@
 #include "pde/generic_solver.h"
 #include "pde/solution.h"
 #include "tests/test_util.h"
+#include "workload/churn.h"
 #include "workload/setting_gen.h"
 
 namespace pdx {
@@ -486,6 +490,103 @@ TEST_P(EgdHeavyChaseCrossValidationTest, EnginesAgreeOnEgdHeavyChases) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EgdHeavyChaseCrossValidationTest,
                          ::testing::Range(uint64_t{1}, uint64_t{41}));
+
+// Churn lane: a random C_tract setting whose source instance lives in a
+// StreamingChase and churns through ±Δ batches. After every batch, the
+// incremental exists verdict (witness carried across batches through
+// GenericExistsSolutionIncremental) must agree with a fresh generic
+// solver — and with the Figure 3 fast path — replaying the churn stream's
+// net instance into a fresh engine.
+class StreamingChurnCrossValidationTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StreamingChurnCrossValidationTest,
+       IncrementalExistsAgreesWithFreshSolversUnderChurn) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+  SymbolTable symbols;
+  SettingGenOptions opts;
+  opts.max_arity = 2;
+  opts.st_tgd_count = 2;
+  opts.ts_tgd_count = 2;
+  StatusOr<GeneratedSetting> generated =
+      MakeRandomLavSetting(opts, &rng, &symbols);
+  ASSERT_TRUE(generated.ok()) << generated.status().ToString();
+  const PdeSetting& setting = generated->setting;
+
+  Instance seed_source =
+      MakeRandomSourceInstance(setting, 12, /*constant_pool=*/4, &rng,
+                               &symbols);
+  std::vector<Fact> universe = seed_source.AllFacts();
+  std::sort(universe.begin(), universe.end());
+  universe.erase(std::unique(universe.begin(), universe.end()),
+                 universe.end());
+  if (universe.size() < 4) {
+    GTEST_SKIP() << "degenerate universe on this seed";
+  }
+
+  ChurnOptions churn_options;
+  churn_options.delete_rate = 0.3;
+  churn_options.insert_rate = 0.25;
+  churn_options.overlap = 0.5;
+  churn_options.seed = seed * 977 + 5;
+  ChurnStream churn(universe, universe.size() / 2, churn_options);
+
+  // Dependency-free stream: it maintains exactly the net source, the way
+  // pdxd's writer owns the admitted base.
+  StreamingChase stream(&setting.schema(), {}, {}, &symbols);
+  ASSERT_TRUE(stream.Initialize(churn.NetInstance(&setting.schema())).ok());
+
+  Instance target = setting.EmptyInstance();
+  GenericSolverOptions solver_options;
+  solver_options.max_nodes = 200'000;
+  std::optional<Instance> witness;
+
+  for (int batch_idx = 0; batch_idx < 4; ++batch_idx) {
+    ChurnBatch batch = churn.Next();
+    ASSERT_TRUE(stream.ResumeWithDeltas(batch.adds, batch.deletes).ok());
+
+    IncrementalSolveResult incremental =
+        Unwrap(GenericExistsSolutionIncremental(
+                   setting, stream.instance(), target,
+                   witness.has_value() ? &*witness : nullptr, &symbols,
+                   solver_options),
+               "GenericExistsSolutionIncremental");
+    GenericSolveResult fresh =
+        Unwrap(GenericExistsSolution(setting,
+                                     churn.NetInstance(&setting.schema()),
+                                     target, &symbols, solver_options),
+               "GenericExistsSolution");
+    if (incremental.result.outcome == SolveOutcome::kBudgetExhausted ||
+        fresh.outcome == SolveOutcome::kBudgetExhausted) {
+      GTEST_SKIP() << "solver budget exhausted on this seed";
+    }
+    EXPECT_EQ(incremental.result.outcome, fresh.outcome)
+        << "incremental/fresh divergence, seed " << seed << " batch "
+        << batch_idx << (incremental.revalidated ? " (revalidated)" : "");
+
+    CtractSolveResult fast = Unwrap(
+        CtractExistsSolution(setting, stream.instance(), target, &symbols),
+        "CtractExistsSolution");
+    EXPECT_EQ(fast.has_solution,
+              fresh.outcome == SolveOutcome::kSolutionFound)
+        << "fast-path divergence, seed " << seed << " batch " << batch_idx;
+
+    if (incremental.result.outcome == SolveOutcome::kSolutionFound) {
+      ASSERT_TRUE(incremental.result.solution.has_value());
+      EXPECT_TRUE(IsSolution(setting, stream.instance(), target,
+                             *incremental.result.solution, symbols))
+          << "incremental witness failed verification, seed " << seed
+          << " batch " << batch_idx;
+      witness = *incremental.result.solution;
+    } else {
+      witness.reset();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamingChurnCrossValidationTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{13}));
 
 }  // namespace
 }  // namespace pdx

@@ -7,12 +7,14 @@
 
 #include "gtest/gtest.h"
 #include "chase/chase.h"
+#include "chase/stream.h"
 #include "hom/instance_hom.h"
 #include "hom/match_vm.h"
 #include "logic/parser.h"
 #include "pde/setting_file.h"
 #include "relational/instance_io.h"
 #include "tests/test_util.h"
+#include "workload/churn.h"
 #include "workload/random.h"
 
 namespace pdx {
@@ -273,6 +275,81 @@ TEST_P(FuzzTest, FuzzedChasesResolveSurvivingNullsToUniqueRoots) {
       for (Value v : fact.tuple) {
         EXPECT_EQ(delta.instance.ResolveValue(v), v);
       }
+    }
+  }
+}
+
+// Streaming churn fuzz: a random ±Δ stream absorbed batch-by-batch by a
+// StreamingChase must track a fresh engine chasing the net instance —
+// dependency satisfaction and homomorphic equivalence after every batch —
+// whatever the schedule, thread count and compile mode drawn for the
+// trial. The universe is constant-only E facts, so the egd-bearing rule
+// set only ever merges invented nulls: no churn order can fail the chase,
+// and deleting an egd firing's body exercises the full re-chase fallback
+// instead.
+TEST_P(FuzzTest, ChurnStreamsMatchFreshEngineOnNetInstance) {
+  Rng rng(GetParam() + 6000);
+  const char* kRuleSets[] = {
+      "E(x,z) & E(z,y) -> H(x,y).",
+      "E(x,z) & E(z,y) -> H(x,y). H(x,y) -> exists w: E(x,w).",
+      "E(x,y) -> exists z: H(x,z). H(x,y) & H(x,z) -> y = z.",
+  };
+  const RelationId e = schema_.FindRelation("E").value();
+  for (int trial = 0; trial < 6; ++trial) {
+    auto deps =
+        ParseDependencies(kRuleSets[rng.UniformInt(3)], schema_, &symbols_);
+    ASSERT_TRUE(deps.ok()) << deps.status().ToString();
+
+    std::vector<Fact> universe;
+    int pool = 4 + static_cast<int>(rng.UniformInt(5));
+    for (int i = 0; i < 24; ++i) {
+      Tuple tuple;
+      for (int pos = 0; pos < 2; ++pos) {
+        tuple.push_back(symbols_.InternConstant(
+            "k" + std::to_string(rng.UniformInt(pool))));
+      }
+      universe.push_back({e, tuple});
+    }
+    std::sort(universe.begin(), universe.end());
+    universe.erase(std::unique(universe.begin(), universe.end()),
+                   universe.end());
+
+    ChaseOptions options;
+    options.max_steps = 5000;
+    options.compile_plans = rng.UniformInt(2) == 1;
+    const int kThreadChoices[] = {1, 2, 8};
+    options.num_threads = kThreadChoices[rng.UniformInt(3)];
+    options.schedule = testing_util::DrawSchedule(rng.UniformInt(3));
+
+    ChurnOptions churn_options;
+    churn_options.delete_rate = 0.2;
+    churn_options.insert_rate = 0.2;
+    churn_options.overlap = 0.5;
+    churn_options.seed = GetParam() * 131 + trial;
+    ChurnStream churn(universe, universe.size() / 2, churn_options);
+
+    StreamingChase stream(&schema_, deps->tgds, deps->egds, &symbols_,
+                          options);
+    ASSERT_TRUE(stream.Initialize(churn.NetInstance(&schema_)).ok());
+
+    for (int batch_idx = 0; batch_idx < 4; ++batch_idx) {
+      ChurnBatch batch = churn.Next();
+      auto stats = stream.ResumeWithDeltas(batch.adds, batch.deletes);
+      ASSERT_TRUE(stats.ok())
+          << stats.status().ToString() << "\ntrial " << trial << " batch "
+          << batch_idx;
+      Instance net = churn.NetInstance(&schema_);
+      ChaseResult scratch =
+          Chase(net, deps->tgds, deps->egds, &symbols_, options);
+      ASSERT_EQ(scratch.outcome, ChaseOutcome::kSuccess)
+          << "trial " << trial << " batch " << batch_idx;
+      EXPECT_TRUE(SatisfiesAll(stream.instance(), *deps))
+          << "trial " << trial << " batch " << batch_idx;
+      testing_util::AssertHomEquivalent(
+          stream.instance(), scratch.instance,
+          "trial " + std::to_string(trial) + " batch " +
+              std::to_string(batch_idx) + " schedule " +
+              ScheduleName(options.schedule));
     }
   }
 }

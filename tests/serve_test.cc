@@ -331,6 +331,169 @@ TEST(ServeTenantTest, FailedBatchReplaysIndividually) {
   EXPECT_TRUE(contains->contains) << "the compatible write must land";
 }
 
+// --- Retraction ----------------------------------------------------------
+
+TEST(ServeTenantTest, RetractRemovesFactAndItsConsequences) {
+  std::shared_ptr<Tenant> tenant = MustCreate(kExample1);
+  ASSERT_TRUE(tenant->Write("E(a,b). E(b,c).", Soon()).ok());
+  ASSERT_TRUE(tenant->Contains("H(a,c).")->contains);
+
+  auto retracted = tenant->Retract("E(b,c).", Soon());
+  ASSERT_TRUE(retracted.ok()) << retracted.status().ToString();
+  EXPECT_EQ(retracted->generation, 2u);
+  EXPECT_FALSE(tenant->Contains("E(b,c).")->contains);
+  EXPECT_FALSE(tenant->Contains("H(a,c).")->contains)
+      << "the derived consequence must go with its only justification";
+  EXPECT_TRUE(tenant->Contains("E(a,b).")->contains);
+
+  // Retracting a derived fact is a no-op: consequences are not inputs.
+  ASSERT_TRUE(tenant->Write("E(b,c).", Soon()).ok());
+  ASSERT_TRUE(tenant->Contains("H(a,c).")->contains);
+  ASSERT_TRUE(tenant->Retract("H(a,c).", Soon()).ok());
+  EXPECT_TRUE(tenant->Contains("H(a,c).")->contains);
+
+  // So is retracting something never admitted.
+  ASSERT_TRUE(tenant->Retract("E(z,z).", Soon()).ok());
+  EXPECT_TRUE(tenant->Contains("E(a,b).")->contains);
+}
+
+// Retraction re-answers exists incrementally: breaking the triangle flips
+// the verdict to false, restoring it flips it back (and the generic
+// solver's cached witness revalidates instead of re-searching).
+TEST(ServeTenantTest, RetractFlipsExistsVerdict) {
+  std::shared_ptr<Tenant> tenant = MustCreate(kExample1);
+  ASSERT_TRUE(tenant->Write("E(a,b). E(b,c). E(a,c).", Soon()).ok());
+  auto exists = tenant->Exists("generic");
+  ASSERT_TRUE(exists.ok()) << exists.status().ToString();
+  EXPECT_TRUE(exists->exists);
+
+  ASSERT_TRUE(tenant->Retract("E(a,c).", Soon()).ok());
+  exists = tenant->Exists("generic");
+  ASSERT_TRUE(exists.ok()) << exists.status().ToString();
+  EXPECT_FALSE(exists->exists)
+      << "the open path's forced H(a,c) has no Σts justification left";
+
+  ASSERT_TRUE(tenant->Write("E(a,c).", Soon()).ok());
+  exists = tenant->Exists("generic");
+  ASSERT_TRUE(exists.ok()) << exists.status().ToString();
+  EXPECT_TRUE(exists->exists);
+}
+
+// A mixed paused burst — writes and retracts — coalesces into ONE ±Δ
+// chase round, applying all deletes before all adds: a retract and a
+// re-write of the same fact in one batch leave the fact present.
+TEST(ServeTenantTest, MixedWriteRetractBurstCoalescesDeletesFirst) {
+  std::shared_ptr<Tenant> tenant = MustCreate(kExample1);
+  ServeMetrics& metrics = GlobalServeMetrics();
+  ASSERT_TRUE(tenant->Write("E(a,b). E(b,c).", Soon()).ok());
+
+  tenant->PauseWrites();
+  int64_t batches_before = metrics.batches_total.Value();
+  int64_t retracts_before = metrics.retract_requests_total.Value();
+
+  std::vector<std::thread> workers;
+  std::atomic<int> failures{0};
+  workers.emplace_back([&] {
+    if (!tenant->Retract("E(b,c).", Soon()).ok()) failures.fetch_add(1);
+  });
+  workers.emplace_back([&] {
+    if (!tenant->Retract("E(a,b).", Soon()).ok()) failures.fetch_add(1);
+  });
+  workers.emplace_back([&] {
+    if (!tenant->Write("E(a,b). E(x,y).", Soon()).ok()) failures.fetch_add(1);
+  });
+  auto give_up = steady_clock::now() + std::chrono::seconds(30);
+  while (tenant->Stats().queue_depth < 3 && steady_clock::now() < give_up) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  ASSERT_EQ(tenant->Stats().queue_depth, 3u);
+  tenant->ResumeWrites();
+  for (std::thread& t : workers) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(metrics.batches_total.Value() - batches_before, 1)
+      << "the mixed burst must cost exactly one ±Δ round";
+  EXPECT_EQ(metrics.retract_requests_total.Value() - retracts_before, 2);
+  EXPECT_EQ(tenant->Snapshot()->seq(), 2u);
+  // Deleted and not re-added: gone. Deleted and re-added in the same
+  // batch: present (deletes-before-adds).
+  EXPECT_FALSE(tenant->Contains("E(b,c).")->contains);
+  EXPECT_TRUE(tenant->Contains("E(a,b).")->contains);
+  EXPECT_TRUE(tenant->Contains("E(x,y).")->contains);
+}
+
+// Per-ticket replay when a retraction decides satisfiability: the union
+// batch {retract E(k,v1), write E(k,v2), write E(k,v3)} clashes on the
+// key egd, so the writer replays in admission order — the retract frees
+// the key, the first write claims it, the second is rejected.
+TEST(ServeTenantTest, RetractionDecidesEgdBatchReplay) {
+  std::shared_ptr<Tenant> tenant = MustCreate(kKeyed);
+  ServeMetrics& metrics = GlobalServeMetrics();
+  ASSERT_TRUE(tenant->Write("E(k,v1).", Soon()).ok());
+
+  tenant->PauseWrites();
+  int64_t retries_before = metrics.batch_retries_total.Value();
+  std::atomic<int> ok_count{0}, rejected{0};
+  std::vector<std::thread> workers;
+  auto submit = [&](const std::string& facts, bool retract) {
+    workers.emplace_back([&, facts, retract] {
+      auto result = retract ? tenant->Retract(facts, Soon())
+                            : tenant->Write(facts, Soon());
+      if (result.ok()) {
+        ok_count.fetch_add(1);
+      } else if (result.status().code() == StatusCode::kFailedPrecondition) {
+        rejected.fetch_add(1);
+      }
+    });
+    // Admission is FIFO: wait for this ticket before submitting the next
+    // so the replay order is deterministic.
+    auto give_up = steady_clock::now() + std::chrono::seconds(30);
+    size_t want = workers.size();
+    while (tenant->Stats().queue_depth < want &&
+           steady_clock::now() < give_up) {
+      std::this_thread::sleep_for(milliseconds(1));
+    }
+  };
+  submit("E(k,v1).", /*retract=*/true);
+  submit("E(k,v2).", /*retract=*/false);
+  submit("E(k,v3).", /*retract=*/false);
+  ASSERT_EQ(tenant->Stats().queue_depth, 3u);
+  tenant->ResumeWrites();
+  for (std::thread& t : workers) t.join();
+
+  EXPECT_EQ(ok_count.load(), 2) << "the retract and exactly one write land";
+  EXPECT_EQ(rejected.load(), 1);
+  EXPECT_EQ(metrics.batch_retries_total.Value() - retries_before, 3);
+  EXPECT_FALSE(tenant->Contains("H(k,v1).")->contains);
+  EXPECT_TRUE(tenant->Contains("H(k,v2).")->contains);
+  EXPECT_FALSE(tenant->Contains("H(k,v3).")->contains);
+}
+
+// Snapshot isolation under retraction: a pinned generation keeps its
+// facts and fingerprint while later generations retract them, and
+// re-admitting the fact restores the exact pre-retraction fingerprint
+// (this setting's chase invents no nulls).
+TEST(ServeTenantTest, PinnedGenerationImmuneToRetraction) {
+  std::shared_ptr<Tenant> tenant = MustCreate(kExample1);
+  ASSERT_TRUE(tenant->Write("E(a,b). E(b,c). E(a,c).", Soon()).ok());
+  std::shared_ptr<const Generation> pinned = tenant->Snapshot();
+  const uint64_t fp1 = pinned->Fingerprint();
+
+  ASSERT_TRUE(tenant->Retract("E(a,c).", Soon()).ok());
+  std::shared_ptr<const Generation> after = tenant->Snapshot();
+  EXPECT_NE(after->Fingerprint(), fp1);
+  EXPECT_EQ(after->base().fact_count(), 2u);
+
+  // The pinned reader still sees the pre-retraction state.
+  EXPECT_EQ(pinned->seq(), 1u);
+  EXPECT_EQ(pinned->Fingerprint(), fp1);
+  EXPECT_EQ(pinned->base().fact_count(), 3u);
+
+  // Re-admitting restores the fingerprint bit-for-bit.
+  ASSERT_TRUE(tenant->Write("E(a,c).", Soon()).ok());
+  EXPECT_EQ(tenant->Snapshot()->Fingerprint(), fp1);
+}
+
 TEST(ServeTenantTest, WriteDeadlineExceededWhileWriterFrozen) {
   std::shared_ptr<Tenant> tenant = MustCreate(kExample1);
   tenant->PauseWrites();
@@ -447,6 +610,41 @@ TEST(ServeProtocolTest, LoadWriteReadLifecycle) {
       handler, R"({"id": 6, "verb": "evict", "tenant": ")" + tenant + "\"}");
   ASSERT_TRUE(evicted.GetBool("ok"));
   EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(ServeProtocolTest, RetractVerbRoundTrip) {
+  TenantRegistry registry;
+  ProtocolHandler handler(&registry, ProtocolOptions());
+
+  JsonValue request = JsonValue::Object();
+  request.Set("id", JsonValue::Int(1));
+  request.Set("verb", JsonValue::String("load"));
+  request.Set("setting", JsonValue::String(kExample1));
+  request.Set("facts", JsonValue::String("E(a,b). E(b,c)."));
+  JsonValue loaded = Handle(handler, request.Dump());
+  ASSERT_TRUE(loaded.GetBool("ok")) << loaded.Dump();
+  std::string tenant = loaded.GetString("tenant");
+  std::string fingerprint = loaded.GetString("fingerprint");
+
+  JsonValue retracted = Handle(
+      handler, R"({"id": 2, "verb": "retract", "tenant": ")" + tenant +
+                   R"(", "facts": "E(b,c)."})");
+  ASSERT_TRUE(retracted.GetBool("ok")) << retracted.Dump();
+  EXPECT_EQ(retracted.GetInt("generation"), 2);
+  EXPECT_NE(retracted.GetString("fingerprint"), fingerprint);
+
+  JsonValue contains = Handle(
+      handler, R"({"id": 3, "verb": "contains", "tenant": ")" + tenant +
+                   R"(", "facts": "H(a,c)."})");
+  ASSERT_TRUE(contains.GetBool("ok")) << contains.Dump();
+  EXPECT_FALSE(contains.GetBool("contains"))
+      << "the retraction's consequences must be invisible to readers";
+
+  JsonValue missing_facts = Handle(
+      handler,
+      R"({"id": 4, "verb": "retract", "tenant": ")" + tenant + "\"}");
+  EXPECT_FALSE(missing_facts.GetBool("ok"));
+  EXPECT_EQ(ErrorCode(missing_facts), "INVALID_ARGUMENT");
 }
 
 TEST(ServeProtocolTest, ExpiredDeadlineRejectedOnArrival) {

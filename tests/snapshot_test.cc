@@ -271,6 +271,62 @@ TEST_F(SnapshotTest, MergeDoesNotDirtyWatermarksOrRewrites) {
   EXPECT_EQ(instance.ResolvedFactCount(), 1u);
 }
 
+// Deletion propagation's reader contract: a pinned branch (what a pdxd
+// generation holds) keeps its facts — including raw TupleView spans read
+// before the writer moved on — while the live branch retracts facts
+// in place.
+TEST_F(SnapshotTest, PinnedBranchSurvivesLiveRetraction) {
+  Instance live = Base();
+  InstanceSnapshot pinned(live);  // the published generation
+
+  // Readers resolve spans against the pinned branch up front.
+  const TupleView span = pinned.get().tuples(0)[0];
+  ASSERT_EQ(span[0], a_);
+  ASSERT_EQ(span[1], b_);
+
+  // The writer retracts through the live branch: every raw R tuple goes.
+  EXPECT_TRUE(live.RemoveFact(0, {a_, b_}));
+  EXPECT_TRUE(live.RemoveFact(0, {b_, c_}));
+  EXPECT_EQ(live.tuples(0).size(), 0u);
+
+  // The pinned branch is untouched, span included.
+  EXPECT_EQ(pinned.get().tuples(0).size(), 2u);
+  EXPECT_TRUE(pinned.get().Contains(0, {a_, b_}));
+  EXPECT_TRUE(pinned.get().Contains(0, {b_, c_}));
+  EXPECT_EQ(span[0], a_);
+  EXPECT_EQ(span[1], b_);
+
+  // And the other way: re-adding on the live side never bleeds back.
+  EXPECT_TRUE(live.AddFact(0, {c_, c_}));
+  EXPECT_FALSE(pinned.get().Contains(0, {c_, c_}));
+}
+
+// Same contract across compaction: the writer may swap its store for a
+// compacted copy (the chase's auto-compaction under merge-heavy churn)
+// while a pinned reader keeps the original spans.
+TEST_F(SnapshotTest, PinnedBranchSurvivesLiveCompaction) {
+  Instance live = Base();
+  Value n = symbols_.FreshNull();
+  live.AddFact(0, {a_, n});
+  ASSERT_TRUE(live.MergeValues(n, b_).merged);  // R(a,n) duplicates R(a,b)
+
+  InstanceSnapshot pinned(live);
+  const TupleView span = pinned.get().tuples(1)[0];
+  ASSERT_EQ(span[0], a_);
+  const size_t pinned_raw = pinned.get().tuples(0).size();
+
+  // Writer-side compaction: duplicates under resolution fold away.
+  Instance compacted = live.CompactResolved(/*keep_resolver=*/true);
+  EXPECT_LT(compacted.tuples(0).size(), pinned_raw);
+  live = std::move(compacted);
+  EXPECT_TRUE(live.RemoveFact(1, {a_}));
+
+  // The pinned branch still exposes the pre-compaction store.
+  EXPECT_EQ(pinned.get().tuples(0).size(), pinned_raw);
+  EXPECT_TRUE(pinned.get().Contains(1, {a_}));
+  EXPECT_EQ(span[0], a_);
+}
+
 TEST_F(SnapshotTest, FingerprintUnaffectedBySharing) {
   Instance parent = Base();
   InstanceSnapshot snapshot(parent);

@@ -13,6 +13,9 @@
 #include "gtest/gtest.h"
 #include "base/concurrent_set.h"
 #include "base/thread_pool.h"
+#include "chase/journal.h"
+#include "chase/trigger_ledger.h"
+#include "relational/value.h"
 
 namespace pdx {
 namespace {
@@ -123,6 +126,114 @@ TEST(ConcurrentFingerprintSetTest, MixedInsertAndContains) {
   });
   EXPECT_EQ(misses.load(), 0u);
   EXPECT_EQ(set.size(), kPerThread * (1 + kThreads / 2));
+}
+
+// Deletion propagation's ledger contract, at the TriggerLedger level:
+// Retire(fp) makes a single fired trigger re-admittable, and a subsequent
+// admission race is again won exactly once. This is the delete→re-insert
+// cycle StreamingChase drives (kill the journal entry, retire its
+// fingerprint, re-fire when the body match re-forms).
+TEST(TriggerLedgerTest, RetireSingleFingerprintReadmitsExactlyOnce) {
+  constexpr size_t kFps = 4'096;
+  constexpr size_t kThreads = 8;
+  TriggerLedger ledger;
+  ThreadPool pool(kThreads);
+  for (size_t f = 0; f < kFps; ++f) ASSERT_TRUE(ledger.Admit(Fp(f)));
+
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    // Sequential retirement (the apply phase kills journal entries).
+    size_t retired = 0;
+    for (size_t f = cycle; f < kFps; f += 4) {
+      ASSERT_TRUE(ledger.Retire(Fp(f)));
+      EXPECT_FALSE(ledger.Retire(Fp(f)));  // double-retire is refused
+      ++retired;
+    }
+    // Concurrent re-admission (a speculative collect phase re-fires).
+    std::atomic<uint64_t> wins{0};
+    pool.ParallelFor(kThreads, [&](size_t) {
+      uint64_t local_wins = 0;
+      for (size_t f = 0; f < kFps; ++f) {
+        if (ledger.Admit(Fp(f))) ++local_wins;
+      }
+      wins.fetch_add(local_wins, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(wins.load(), retired) << "cycle " << cycle;
+    EXPECT_EQ(ledger.size(), kFps) << "cycle " << cycle;
+  }
+}
+
+// The journal embeds the ledger: killing an entry retires its fingerprint
+// so the same universal binding records exactly once more — with fresh
+// existential nulls, which must not perturb the fingerprint.
+TEST(ChaseJournalTest, KillThenRerecordIsExactlyOnce) {
+  SymbolTable symbols;
+  Value a = symbols.InternConstant("a");
+  Value b = symbols.InternConstant("b");
+  const std::vector<bool> existential = {false, false, true};
+
+  ChaseJournal journal;
+  Value row[3] = {a, b, symbols.FreshNull()};
+  ASSERT_TRUE(journal.RecordTgd(0, row, 3, existential));
+  EXPECT_EQ(journal.live_count(), 1u);
+
+  // Same universal binding, different invented null: still a duplicate
+  // while the entry is alive.
+  row[2] = symbols.FreshNull();
+  EXPECT_FALSE(journal.RecordTgd(0, row, 3, existential));
+  EXPECT_EQ(journal.size(), 1u);
+
+  // Kill retires the fingerprint; the re-derived firing is admitted once.
+  ASSERT_TRUE(journal.Kill(0));
+  EXPECT_FALSE(journal.Kill(0));  // already dead
+  EXPECT_EQ(journal.live_count(), 0u);
+  row[2] = symbols.FreshNull();
+  EXPECT_TRUE(journal.RecordTgd(0, row, 3, existential));
+  EXPECT_FALSE(journal.RecordTgd(0, row, 3, existential));
+  EXPECT_EQ(journal.size(), 2u);
+  EXPECT_EQ(journal.live_count(), 1u);
+
+  // A different dependency index is a different trigger; an egd under the
+  // same index and row lives in its own fingerprint namespace.
+  EXPECT_TRUE(journal.RecordTgd(1, row, 3, existential));
+  EXPECT_TRUE(journal.RecordEgd(0, row, 3));
+  EXPECT_EQ(journal.live_count(), 3u);
+}
+
+// Rollback primitives restore the exactly-once discipline byte-for-byte:
+// Revive re-claims a killed fingerprint, TruncateTo retires dropped live
+// ones.
+TEST(ChaseJournalTest, ReviveAndTruncateRestoreLedgerState) {
+  SymbolTable symbols;
+  Value a = symbols.InternConstant("a");
+  Value b = symbols.InternConstant("b");
+  const std::vector<bool> no_existential = {false, false};
+
+  ChaseJournal journal;
+  Value row0[2] = {a, b};
+  Value row1[2] = {b, a};
+  ASSERT_TRUE(journal.RecordTgd(0, row0, 2, no_existential));
+  ASSERT_TRUE(journal.RecordTgd(0, row1, 2, no_existential));
+
+  // Kill + Revive (a failed batch undoing its cascade): the fingerprint
+  // is claimed again, so re-recording is refused.
+  ASSERT_TRUE(journal.Kill(0));
+  journal.Revive(0);
+  EXPECT_EQ(journal.live_count(), 2u);
+  EXPECT_FALSE(journal.RecordTgd(0, row0, 2, no_existential));
+
+  // TruncateTo (a failed batch dropping its own recordings): the dropped
+  // live fingerprint is retired, so the trigger can record again.
+  journal.TruncateTo(1);
+  EXPECT_EQ(journal.size(), 1u);
+  EXPECT_TRUE(journal.RecordTgd(0, row1, 2, no_existential));
+
+  // Swap moves the whole state (the fallback re-chase commit path).
+  ChaseJournal scratch;
+  journal.Swap(scratch);
+  EXPECT_EQ(journal.size(), 0u);
+  EXPECT_EQ(scratch.size(), 2u);
+  EXPECT_TRUE(journal.RecordTgd(0, row0, 2, no_existential));
+  EXPECT_FALSE(scratch.RecordTgd(0, row1, 2, no_existential));
 }
 
 }  // namespace

@@ -12,9 +12,11 @@
 # with PDX_FORCE_TREE_EXEC=1 pinning the recursive tree executor (the
 # match VM's kill switch).
 #
-# The plain pass is followed by a perf smoke gate (`bench_chase --quick`:
-# VM-vs-tree cross-check plus a conservative throughput floor on
-# pipeline_n512) and a pdxcli smoke stage: check/chase/solve on
+# The plain pass is followed by two perf smoke gates (`bench_chase
+# --quick`: VM-vs-tree cross-check plus a conservative throughput floor
+# on pipeline_n512; `bench_stream --quick`: incremental ±Δ re-solve vs
+# full re-chase at 10% churn, fingerprint-cross-checked with a
+# conservative speedup floor) and a pdxcli smoke stage: check/chase/solve on
 # the shipped Example 1 setting with --metrics-out/--trace-out, failing on
 # malformed exporter output, plus a -DPDX_OBS_NOOP=ON build gate proving
 # the library and CLI still compile with the observability layer stubbed
@@ -88,6 +90,15 @@ if [[ "$mode" == "all" || "$mode" == "--smoke-only" ]]; then
   # tripwire, not a benchmark (full numbers live in BENCH_chase.json).
   ./build/bench/bench_chase --quick
 
+  echo "== streaming smoke gate (bench_stream --quick) =="
+  cmake --build build -j "$jobs" --target bench_stream
+  # Replays a 10% churn stream into ResumeWithDeltas and a from-scratch
+  # chase per batch, cross-checked for identical canonicalized
+  # fingerprints, and fails if the incremental path is not comfortably
+  # faster — a regression tripwire for deletion propagation (full numbers
+  # live in BENCH_stream.json).
+  ./build/bench/bench_stream --quick
+
   echo "== pdxd smoke (serving daemon) =="
   cmake --build build -j "$jobs" --target pdxd pdxctl bench_serve
   sock="$smoke_dir/pdxd.sock"
@@ -128,6 +139,20 @@ if [[ "$mode" == "all" || "$mode" == "--smoke-only" ]]; then
     '{"verb":"contains","tenant":"'"$tenant"'","facts":"H(a,c)."}' |
     grep -q '"contains":true' ||
     { echo "smoke: H(a,c) must be in the canonical instance" >&2; exit 1; }
+  # Retraction round-trip: the disjoint edge leaves, its retraction is a
+  # generation bump, and the fact is gone from the canonical instance
+  # (the triangle — and hence existence — is untouched).
+  ./build/tools/pdxctl call --addr "unix:$sock" --json \
+    '{"verb":"retract","tenant":"'"$tenant"'","facts":"E(d,e)."}' >/dev/null
+  ./build/tools/pdxctl call --addr "unix:$sock" --json \
+    '{"verb":"contains","tenant":"'"$tenant"'","facts":"E(d,e)."}' |
+    grep -q '"contains":false' ||
+    { echo "smoke: retracted E(d,e) must leave the instance" >&2; exit 1; }
+  ./build/tools/pdxctl call --addr "unix:$sock" --json \
+    '{"verb":"exists","tenant":"'"$tenant"'"}' |
+    grep -q '"exists":true' ||
+    { echo "smoke: retraction must not break the triangle's solution" >&2
+      exit 1; }
   ./build/tools/pdxctl call --addr "unix:$sock" \
     --json '{"verb":"stats"}' >/dev/null
   # Malformed input must come back as a clean error response (pdxctl
@@ -143,6 +168,8 @@ if [[ "$mode" == "all" || "$mode" == "--smoke-only" ]]; then
     { echo "smoke: pdxd.prom has no serve counter TYPE line" >&2; exit 1; }
   grep -q '^pdx_serve_write_requests_total [1-9]' "$smoke_dir/pdxd.prom" ||
     { echo "smoke: pdxd.prom did not count writes" >&2; exit 1; }
+  grep -q '^pdx_serve_retract_requests_total [1-9]' "$smoke_dir/pdxd.prom" ||
+    { echo "smoke: pdxd.prom did not count retractions" >&2; exit 1; }
   grep -q 'pdx_serve_latency_micros_write_bucket{le="+Inf"}' \
     "$smoke_dir/pdxd.prom" ||
     { echo "smoke: pdxd.prom has no write latency histogram" >&2; exit 1; }
@@ -205,7 +232,7 @@ if [[ "$mode" == "all" || "$mode" == "--tsan-only" ]]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan -j "$jobs" \
     --target thread_pool_test trigger_ledger_test chase_parallel_test \
-    sharded_apply_test fuzz_test obs_test serve_test
+    sharded_apply_test fuzz_test obs_test serve_test stream_test
   # PDX_FORCE_SPECULATIVE=1 makes every parallel-labeled chase take the
   # speculative path (worker-side head instantiation, concurrent ledger,
   # cross-dependency pipelining) — code TSan most needs to see; the
